@@ -1,0 +1,37 @@
+//! Criterion bench: the paper's §I claim — EAM force computation costs
+//! roughly twice a pair potential's for the same particle count (three
+//! phases vs one, plus the density/embedding memory traffic).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use md_geometry::LatticeSpec;
+use md_potential::{AnalyticEam, Morse};
+use md_sim::{PotentialChoice, StrategyKind, System};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_eam_vs_pair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eam_vs_pair");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    // Same lattice, same cutoff, same neighbor lists: only the potential
+    // differs, so the ratio isolates the extra EAM phases.
+    let spec = LatticeSpec::bcc_fe(12);
+    for (name, pot) in [
+        ("eam", PotentialChoice::Eam(Arc::new(AnalyticEam::fe()))),
+        (
+            "morse_pair",
+            PotentialChoice::Pair(Arc::new(Morse::new(0.4, 1.6, 2.4824, 5.67))),
+        ),
+    ] {
+        let system = System::from_lattice(spec, md_sim::units::FE_MASS);
+        let mut engine =
+            md_sim::ForceEngine::new(&system, pot, StrategyKind::Serial, 1, 0.3).expect("engine");
+        let mut system = system;
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| engine.compute(&mut system));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eam_vs_pair);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench: linked-cell binning and Verlet list construction —
+//! the half list (SDC/CS/SAP input) vs the full list (the RC baseline's
+//! doubled structure, paper §I memory argument).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use md_geometry::LatticeSpec;
+use md_neighbor::{CellGrid, NeighborList, VerletConfig};
+use std::time::Duration;
+
+fn bench_builds(c: &mut Criterion) {
+    let (bx, pos) = LatticeSpec::bcc_fe(12).build();
+    let mut group = c.benchmark_group("neighbor_build");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group.bench_function(BenchmarkId::from_parameter("cell_grid"), |b| {
+        b.iter(|| CellGrid::build(&bx, &pos, 5.97));
+    });
+    group.bench_function(BenchmarkId::from_parameter("half_list"), |b| {
+        b.iter(|| NeighborList::build(&bx, &pos, VerletConfig::half(5.67, 0.3)));
+    });
+    group.bench_function(BenchmarkId::from_parameter("full_list"), |b| {
+        b.iter(|| NeighborList::build(&bx, &pos, VerletConfig::full(5.67, 0.3)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_builds);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench: the §II.D data-reordering effect on the serial force
+//! kernel — shuffled atom labels vs spatially sorted labels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use md_geometry::LatticeSpec;
+use md_neighbor::reorder::spatial_permutation;
+use md_potential::AnalyticEam;
+use md_sim::{PotentialChoice, StrategyKind, System};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_reorder(c: &mut Criterion) {
+    // 31k atoms: the working set must spill L2 for the locality effect to
+    // be visible (see EXPERIMENTS.md §II.D — at cache-resident sizes the
+    // shuffled and sorted layouts time identically).
+    let spec = LatticeSpec::bcc_fe(25);
+    let (bx, mut pos) = spec.build();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    pos.shuffle(&mut rng);
+    let sorted = {
+        let perm = spatial_permutation(&bx, &pos, 5.97);
+        perm.apply(&pos)
+    };
+    let mut group = c.benchmark_group("reorder");
+    group.sample_size(10).measurement_time(Duration::from_secs(6));
+    for (name, positions) in [("shuffled", pos.clone()), ("spatially_sorted", sorted)] {
+        let system = System::new(bx, positions, md_sim::units::FE_MASS);
+        let potc = PotentialChoice::Eam(Arc::new(AnalyticEam::fe()));
+        let mut engine =
+            md_sim::ForceEngine::new(&system, potc, StrategyKind::Serial, 1, 0.3).expect("engine");
+        let mut system = system;
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| engine.compute(&mut system));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reorder);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench: SDC dimensionality ablation (Table 1's rows) — the same
+//! force computation through 1-, 2- and 3-dimensional decompositions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use md_geometry::LatticeSpec;
+use md_potential::AnalyticEam;
+use md_sim::{PotentialChoice, StrategyKind, System};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_dims(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sdc_dims");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for dims in 1..=3usize {
+        let system = System::from_lattice(LatticeSpec::bcc_fe(13), md_sim::units::FE_MASS);
+        let pot = PotentialChoice::Eam(Arc::new(AnalyticEam::fe()));
+        let mut engine =
+            md_sim::ForceEngine::new(&system, pot, StrategyKind::Sdc { dims }, 4, 0.3)
+                .expect("engine");
+        let mut system = system;
+        group.bench_function(BenchmarkId::from_parameter(format!("{dims}d")), |b| {
+            b.iter(|| engine.compute(&mut system));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dims);
+criterion_main!(benches);

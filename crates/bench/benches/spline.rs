@@ -1,0 +1,40 @@
+//! Criterion bench: analytic (exp-based) vs spline-tabulated EAM radial
+//! function evaluation — the tabulation trade-off production codes make.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use md_potential::{AnalyticEam, EamPotential, TabulatedEam};
+use std::time::Duration;
+
+fn bench_eval(c: &mut Criterion) {
+    let analytic = AnalyticEam::fe();
+    let tabulated = TabulatedEam::standard(&analytic, analytic.rho_e());
+    let radii: Vec<f64> = (0..1024).map(|k| 1.5 + 4.0 * (k as f64) / 1024.0).collect();
+    let mut group = c.benchmark_group("eam_eval");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group.bench_function(BenchmarkId::from_parameter("analytic"), |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &r in &radii {
+                let (v, d) = analytic.pair(black_box(r));
+                let (f, df) = analytic.density(black_box(r));
+                acc += v + d + f + df;
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("tabulated"), |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &r in &radii {
+                let (v, d) = tabulated.pair(black_box(r));
+                let (f, df) = tabulated.density(black_box(r));
+                acc += v + d + f + df;
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval);
+criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! `mdrun` — a general-purpose MD runner over the `sdc-md` stack: pick a
+//! material and strategy, run, dump trajectories/logs/checkpoints.
+//!
+//! ```text
+//! cargo run -p sdc-bench --release --bin mdrun -- \
+//!     --potential fe --cells 12 --strategy sdc3d --threads 4 \
+//!     --temperature 300 --steps 200 --report 50 \
+//!     --dump traj.xyz --log thermo.csv --checkpoint final.ckpt
+//!
+//! # continue a previous run:
+//! cargo run -p sdc-bench --release --bin mdrun -- \
+//!     --restart final.ckpt --potential fe --strategy sap --steps 100
+//! ```
+//!
+//! Potentials: `fe` (BCC iron EAM), `cu` (FCC copper EAM), `lj` (argon).
+//! Strategies: serial, sdc1d, sdc2d, sdc3d, cs, atomic, locks, localwrite,
+//! sap, rc. Thermostats: `none`, `rescale:T:N`, `berendsen:T:tau`,
+//! `langevin:T:tau`.
+
+use md_geometry::{Lattice, LatticeSpec};
+use md_potential::{AnalyticEam, LennardJones};
+use md_sim::analysis::ThermoAverager;
+use md_sim::checkpoint::{load_checkpoint, save_checkpoint};
+use md_sim::output::{ThermoLog, XyzWriter};
+use md_sim::{Simulation, StrategyKind, Thermo, Thermostat};
+use sdc_bench::Args;
+
+fn parse_thermostat(spec: &str) -> Thermostat {
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts.as_slice() {
+        ["none"] => Thermostat::None,
+        ["rescale", t, every] => Thermostat::Rescale {
+            target: t.parse().expect("rescale target"),
+            every: every.parse().expect("rescale period"),
+        },
+        ["berendsen", t, tau] => Thermostat::Berendsen {
+            target: t.parse().expect("berendsen target"),
+            tau: tau.parse().expect("berendsen tau"),
+        },
+        ["langevin", t, tau] => Thermostat::Langevin {
+            target: t.parse().expect("langevin target"),
+            tau: tau.parse().expect("langevin tau"),
+            seed: 1729,
+        },
+        _ => panic!("unknown thermostat spec '{spec}' (none | rescale:T:N | berendsen:T:tau | langevin:T:tau)"),
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let potential = args.get_str("--potential").unwrap_or("fe").to_string();
+    let cells: usize = args.get("--cells", 10);
+    let strategy = args
+        .get_str("--strategy")
+        .map(|s| StrategyKind::parse(s).unwrap_or_else(|| panic!("unknown strategy '{s}'")))
+        .unwrap_or(StrategyKind::Sdc { dims: 3 });
+    let threads: usize = args.get("--threads", 4);
+    let temperature: f64 = args.get("--temperature", 300.0);
+    let steps: usize = args.get("--steps", 100);
+    let dt: f64 = args.get("--dt", 1e-3);
+    let report: usize = args.get("--report", 20);
+    let seed: u64 = args.get("--seed", 42);
+    let thermostat = parse_thermostat(args.get_str("--thermostat").unwrap_or("none"));
+    let reorder = args.flag("--reorder");
+
+    // Assemble the builder from either a restart file or a fresh lattice.
+    let element;
+    let builder = if let Some(ckpt) = args.get_str("--restart") {
+        let (system, step) = load_checkpoint(ckpt).expect("readable checkpoint");
+        println!("restarted {} atoms from '{ckpt}' (step {step})", system.len());
+        element = match potential.as_str() {
+            "cu" => "Cu",
+            "lj" => "Ar",
+            _ => "Fe",
+        };
+        Simulation::from_system(system)
+    } else {
+        let (spec, elem, mass) = match potential.as_str() {
+            "fe" => (LatticeSpec::bcc_fe(cells), "Fe", 55.845),
+            "cu" => (LatticeSpec::new(Lattice::Fcc, 3.615, [cells; 3]), "Cu", 63.546),
+            "lj" => (LatticeSpec::new(Lattice::Fcc, 5.27, [cells; 3]), "Ar", 39.948),
+            other => panic!("unknown potential '{other}' (fe | cu | lj)"),
+        };
+        element = elem;
+        println!(
+            "{element}: {} atoms ({cells}³ cells), strategy {strategy}, {threads} threads",
+            spec.atom_count()
+        );
+        Simulation::builder(spec).mass(mass).temperature(temperature)
+    };
+
+    let builder = match potential.as_str() {
+        "fe" => builder.potential(AnalyticEam::fe()),
+        "cu" => builder.potential(AnalyticEam::cu()),
+        "lj" => builder.pair_potential(LennardJones::new(0.0104, 3.4, 8.5)),
+        _ => unreachable!(),
+    };
+    let mut sim = builder
+        .strategy(strategy)
+        .threads(threads)
+        .dt(dt)
+        .seed(seed)
+        .thermostat(thermostat)
+        .reorder(reorder)
+        .build()
+        .unwrap_or_else(|e| panic!("cannot build simulation: {e}"));
+
+    let mut traj = args
+        .get_str("--dump")
+        .map(|p| XyzWriter::create(p, element).expect("writable trajectory path"));
+    let mut log = args
+        .get_str("--log")
+        .map(|p| ThermoLog::create(p).expect("writable log path"));
+
+    println!("{}", Thermo::header());
+    println!("{}", sim.thermo());
+    let mut averages = ThermoAverager::new();
+    sim.run_with(steps, report, |sim, t| {
+        println!("{t}");
+        averages.push(&t);
+        if let Some(w) = traj.as_mut() {
+            w.write_frame(sim.system(), t.step).expect("trajectory write");
+        }
+        if let Some(l) = log.as_mut() {
+            l.log(&t).expect("log write");
+        }
+    });
+    if let Some(mut w) = traj {
+        w.flush().expect("trajectory flush");
+        println!("wrote {} trajectory frames", w.frames());
+    }
+    if let Some(mut l) = log {
+        l.flush().expect("log flush");
+    }
+    println!("\n{averages}");
+    println!("\nphase timing:\n{}", sim.timers());
+
+    if let Some(path) = args.get_str("--checkpoint") {
+        save_checkpoint(path, sim.system(), sim.step_count()).expect("checkpoint write");
+        println!("checkpoint saved to '{path}'");
+    }
+}

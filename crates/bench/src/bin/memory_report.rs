@@ -1,0 +1,68 @@
+//! Regenerates the paper's **§I memory argument** as concrete numbers: EAM
+//! needs extra per-atom state (ρ, F′), metals' high coordination makes the
+//! neighbor list the dominant allocation, the RC baseline doubles it, and
+//! SAP's privatization grows linearly with threads — while SDC adds only a
+//! subdomain index.
+//!
+//! ```text
+//! cargo run -p sdc-bench --release --bin memory_report -- --case 2 --scale 2
+//! ```
+
+use md_neighbor::{NeighborList, VerletConfig};
+use md_sim::System;
+use sdc_bench::{case_lattice, Args, CUTOFF, SKIN};
+use sdc_core::{strategies::privatized::privatized_bytes, DecompositionConfig, SdcPlan};
+
+fn mb(bytes: usize) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+fn main() {
+    let args = Args::parse();
+    let case: usize = args.get("--case", 1);
+    let scale: usize = args.get("--scale", 2);
+    let spec = case_lattice(case, scale);
+    let n = spec.atom_count();
+    println!("memory report — case {case} at scale 1/{scale}: {n} atoms\n");
+
+    let (bx, pos) = spec.build();
+    let system = System::new(bx, pos, 55.845);
+
+    let vec3_bytes = n * 24;
+    let f64_bytes = n * 8;
+    println!("per-atom state:");
+    println!("  positions + velocities + forces : {:>8.2} MB", mb(3 * vec3_bytes));
+    println!(
+        "  EAM extras (rho + F')            : {:>8.2} MB  (the paper's 'extra memory space\n                                                to store electron densities and its derivative')",
+        mb(2 * f64_bytes)
+    );
+
+    let half = NeighborList::build(system.sim_box(), system.positions(), VerletConfig::half(CUTOFF, SKIN));
+    let full = half.to_full();
+    println!("\nneighbor lists ({} pairs within {} Å):", half.entries(), CUTOFF + SKIN);
+    println!("  half list (SDC/CS/SAP input)     : {:>8.2} MB", mb(half.heap_bytes()));
+    println!(
+        "  full list (RC baseline)          : {:>8.2} MB  ({:.2}x)",
+        mb(full.heap_bytes()),
+        full.heap_bytes() as f64 / half.heap_bytes() as f64
+    );
+
+    match SdcPlan::build(system.sim_box(), system.positions(), DecompositionConfig::new(3, CUTOFF + SKIN)) {
+        Ok(plan) => println!(
+            "\nSDC plan (3-D, {} subdomains)     : {:>8.2} MB  (atom bins only)",
+            plan.decomposition().subdomain_count(),
+            mb(plan.atom_bins().heap_bytes())
+        ),
+        Err(e) => println!("\nSDC plan: not decomposable at this scale ({e})"),
+    }
+
+    println!("\nSAP private copies (rho + force arrays per thread):");
+    for threads in [2usize, 4, 8, 16] {
+        let bytes = privatized_bytes::<f64>(n, threads)
+            + privatized_bytes::<md_geometry::Vec3>(n, threads);
+        println!("  {threads:>2} threads                       : {:>8.2} MB", mb(bytes));
+    }
+    println!("\nthe paper's complaint about SAP — 'memory overhead grows linearly with");
+    println!("the number of threads … it also competes for cache space' — in numbers;");
+    println!("SDC's footprint is a flat, thread-independent atom binning.");
+}

@@ -1,0 +1,59 @@
+//! NUMA sensitivity ablation — the paper's §V future work ("a detailed
+//! study of SDC method on NUMA memory architecture is needed"), realized as
+//! a model sweep: how do the strategy speedup curves bend when remote-socket
+//! memory traffic costs extra?
+//!
+//! ```text
+//! cargo run -p sdc-bench --release --bin numa_ablation
+//! cargo run -p sdc-bench --release --bin numa_ablation -- --case 4 --cores-per-socket 8
+//! ```
+
+use md_perfmodel::{speedup, CaseGeometry, MachineParams, THREAD_SWEEP};
+use md_sim::StrategyKind;
+use sdc_bench::Args;
+
+fn main() {
+    let args = Args::parse();
+    let case_id: usize = args.get("--case", 3);
+    let cores_per_socket: usize = args.get("--cores-per-socket", 4);
+    let case = CaseGeometry::paper_case(case_id);
+    println!(
+        "NUMA ablation — case {case_id} ({} atoms), {cores_per_socket} cores/socket",
+        case.n_atoms
+    );
+    println!("(penalty = extra cost of a remote-socket memory access)\n");
+    for strategy in [
+        StrategyKind::Sdc { dims: 2 },
+        StrategyKind::Redundant,
+        StrategyKind::Privatized,
+    ] {
+        println!("{strategy}:");
+        print!("{:<16}", "penalty \\ P");
+        for p in THREAD_SWEEP {
+            print!("{p:>8}");
+        }
+        println!();
+        for penalty in [0.0, 0.2, 0.5, 1.0] {
+            let m = MachineParams {
+                numa_penalty: penalty,
+                cores_per_socket,
+                ..MachineParams::default()
+            };
+            print!("{:<16}", format!("{penalty:.1}"));
+            for &p in &THREAD_SWEEP {
+                match speedup(&m, &case, strategy, p) {
+                    Some(s) => print!("{s:>8.2}"),
+                    None => print!("{:>8}", ""),
+                }
+            }
+            println!();
+        }
+        println!();
+    }
+    println!("reading: within one socket (P ≤ {cores_per_socket}) nothing changes; past it,");
+    println!("every strategy pays the remote-traffic tax on its compute term, but the");
+    println!("*ordering* is NUMA-stable — SDC's advantage is synchronization structure,");
+    println!("not memory placement. First-touch placement of the per-color subdomain");
+    println!("data (each task's atoms on its socket) is the obvious follow-up the");
+    println!("paper's future-work section gestures at.");
+}

@@ -1,0 +1,82 @@
+//! Regenerates the paper's **§II.D data-reordering claim**: spatially
+//! reordering atoms (and thereby the neighbor-list access pattern) improved
+//! simulation efficiency by **12 % in serial** and **39 % in parallel** runs
+//! on the large test case, measured as
+//! `(T_unoptimized − T_optimized) · 100 / T_unoptimized` (the paper's Eq. 3).
+//!
+//! ```text
+//! cargo run -p sdc-bench --release --bin reorder_ablation
+//! cargo run -p sdc-bench --release --bin reorder_ablation -- --cells 20 --steps 10
+//! ```
+//!
+//! Protocol: a BCC iron crystal's atom labels are randomly shuffled —
+//! the state a long simulation (or an unsorted input file) leaves the
+//! arrays in, and what the paper's "unoptimized" layout means in practice;
+//! lattice-generation order is already nearly sorted. The *unoptimized*
+//! configuration runs as-is; the *optimized* one enables the §II.D spatial
+//! reorder (cell-sorted relabeling at startup and at every list rebuild).
+
+use md_geometry::LatticeSpec;
+use md_potential::AnalyticEam;
+use md_sim::{PotentialChoice, Simulation, StrategyKind, System};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use sdc_bench::Args;
+use std::sync::Arc;
+
+fn shuffled_system(spec: LatticeSpec, seed: u64) -> System {
+    let (bx, mut pos) = spec.build();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    pos.shuffle(&mut rng);
+    System::new(bx, pos, md_sim::units::FE_MASS)
+}
+
+fn run(spec: LatticeSpec, strategy: StrategyKind, threads: usize, reorder: bool, steps: usize) -> f64 {
+    let mut sim = Simulation::from_system(shuffled_system(spec, 7))
+        .potential_choice(PotentialChoice::Eam(Arc::new(AnalyticEam::fe())))
+        .strategy(strategy)
+        .threads(threads)
+        .skin(sdc_bench::SKIN)
+        .temperature(300.0)
+        .seed(11)
+        .reorder(reorder)
+        .build()
+        .expect("buildable case");
+    sim.run(2); // warm-up
+    sim.reset_timers();
+    sim.run(steps);
+    sim.timers().paper_time().as_secs_f64() / steps as f64
+}
+
+fn main() {
+    let args = Args::parse();
+    let cells: usize = args.get("--cells", 17);
+    let steps: usize = args.get("--steps", 8);
+    let threads: usize = args.get("--threads", 4);
+    let spec = LatticeSpec::bcc_fe(cells);
+    println!(
+        "§II.D data-reordering ablation — {} atoms (shuffled labels), {steps} timed steps",
+        spec.atom_count()
+    );
+    println!("efficiency gain = (T_unopt − T_opt)·100/T_unopt   (the paper's Eq. 3)\n");
+
+    let serial_unopt = run(spec, StrategyKind::Serial, 1, false, steps);
+    let serial_opt = run(spec, StrategyKind::Serial, 1, true, steps);
+    let serial_gain = (serial_unopt - serial_opt) * 100.0 / serial_unopt;
+    println!("serial   unoptimized: {serial_unopt:.4} s/step");
+    println!("serial   reordered  : {serial_opt:.4} s/step");
+    println!("serial   gain       : {serial_gain:.1} %   (paper: 12 % on its large case)\n");
+
+    let strategy = StrategyKind::Sdc { dims: 2 };
+    let par_unopt = run(spec, strategy, threads, false, steps);
+    let par_opt = run(spec, strategy, threads, true, steps);
+    let par_gain = (par_unopt - par_opt) * 100.0 / par_unopt;
+    println!("parallel unoptimized: {par_unopt:.4} s/step  (2-D SDC, {threads} threads)");
+    println!("parallel reordered  : {par_opt:.4} s/step");
+    println!("parallel gain       : {par_gain:.1} %   (paper: 39 % on its large case)\n");
+
+    println!("note: the magnitude tracks how badly shuffled the labels are and how");
+    println!("large the system is relative to cache; the paper's 1M-atom runs on a");
+    println!("4 MB-L2 Xeon sit in the worst regime. The direction (reordering helps,");
+    println!("and helps parallel runs more) is the reproducible claim.");
+}

@@ -1,0 +1,79 @@
+//! Thread-pool context.
+//!
+//! The paper pins its OpenMP threads to cores with `sched_setaffinity` and
+//! sweeps thread counts 2–16 on a fixed machine. The Rust equivalent is an
+//! explicit rayon [`ThreadPool`] per configuration: every parallel strategy
+//! runs inside [`ParallelContext::install`], so the executing thread count
+//! is always exactly the configured one regardless of the global pool.
+
+use rayon::ThreadPool;
+
+/// An owned rayon thread pool with a fixed thread count.
+pub struct ParallelContext {
+    pool: ThreadPool,
+    threads: usize,
+}
+
+impl ParallelContext {
+    /// Builds a pool with exactly `threads` worker threads.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0` or the pool cannot be spawned.
+    pub fn new(threads: usize) -> ParallelContext {
+        assert!(threads > 0, "thread count must be at least 1");
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .thread_name(|i| format!("sdc-worker-{i}"))
+            .build()
+            .expect("failed to build rayon thread pool");
+        ParallelContext { pool, threads }
+    }
+
+    /// Configured worker count.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` inside the pool; rayon parallel iterators invoked within use
+    /// this pool's workers.
+    #[inline]
+    pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
+        self.pool.install(f)
+    }
+}
+
+impl std::fmt::Debug for ParallelContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelContext")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn pool_uses_requested_thread_count() {
+        let ctx = ParallelContext::new(3);
+        assert_eq!(ctx.threads(), 3);
+        let inside = ctx.install(rayon::current_num_threads);
+        assert_eq!(inside, 3);
+    }
+
+    #[test]
+    fn install_runs_work_and_returns_value() {
+        let ctx = ParallelContext::new(2);
+        let sum: u64 = ctx.install(|| (0..1000u64).into_par_iter().sum());
+        assert_eq!(sum, 499_500);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_threads_rejected() {
+        let _ = ParallelContext::new(0);
+    }
+}

@@ -1,0 +1,50 @@
+//! # sdc-core
+//!
+//! The paper's contribution: **Spatial Decomposition Coloring (SDC)** for
+//! parallelizing reduction operations on irregular arrays, together with the
+//! baseline strategies it is evaluated against.
+//!
+//! ## The problem
+//!
+//! Short-range MD force loops over *half* neighbor lists apply Newton's
+//! third law: each stored pair `(i, j)` updates **both** `out[i]` and
+//! `out[j]` (paper Figs. 1–2). Parallelizing the outer loop naively lets two
+//! threads update the same element concurrently — the classic irregular
+//! array reduction.
+//!
+//! ## The strategies (paper §I taxonomy and §III comparison)
+//!
+//! | [`StrategyKind`] | Paper class | Mechanism |
+//! |---|---|---|
+//! | `Serial` | — | reference single-thread sweep |
+//! | `Sdc { dims }` | the contribution | color subdomains (2/4/8 colors); within a color, write footprints are geometrically disjoint — no synchronization; barrier between colors |
+//! | `Critical` | class 1 | one global lock around every scatter update |
+//! | `Atomic` | class 1 | CAS-loop atomic adds per lane |
+//! | `Privatized` | class 2 (SAP) | per-thread private copies, serialized merge |
+//! | `Redundant` | class 5 (RC) | full neighbor list, gather-only, 2× compute |
+//!
+//! All strategies produce identical results up to floating-point summation
+//! order; the test suites assert tight agreement.
+//!
+//! ## Safety
+//!
+//! The only `unsafe` in the workspace is [`shared::SharedSlice`], the aliased
+//! output array handed to same-color subdomain tasks. Its soundness rests on
+//! the geometric disjointness invariant established by
+//! [`plan::SdcPlan::validate_footprints`], which is checked by construction in debug
+//! builds and exhaustively in the test suite.
+
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod decomposition;
+pub mod plan;
+pub mod scatter;
+pub mod shared;
+pub mod strategies;
+
+pub use context::ParallelContext;
+pub use decomposition::{ColoredDecomposition, DecompositionConfig, DecompositionError};
+pub use plan::SdcPlan;
+pub use scatter::{PairTerm, ScatterValue};
+pub use strategies::{ScatterExec, StrategyKind};

@@ -1,0 +1,63 @@
+//! Atomic-update baseline (the other paper class-1 variant).
+//!
+//! Identical iteration structure to the critical-section strategy, but each
+//! lane of each update is a lock-free compare-exchange add
+//! ([`ScatterValue::atomic_add`]). Cheaper than a global lock, still paying
+//! a synchronized memory operation per scatter — and it surrenders
+//! bit-reproducibility, since commit order varies run to run.
+
+use crate::context::ParallelContext;
+use crate::scatter::{PairTerm, ScatterValue};
+use crate::shared::SharedSlice;
+use md_neighbor::Csr;
+use rayon::prelude::*;
+
+/// Parallel scatter with per-update CAS-loop atomic adds.
+pub fn scatter_atomic<V: ScatterValue>(
+    ctx: &ParallelContext,
+    half: &Csr,
+    out: &mut [V],
+    kernel: &(impl Fn(usize, usize) -> Option<PairTerm<V>> + Sync),
+) {
+    let shared = SharedSlice::new(out);
+    let n = shared.len();
+    ctx.install(|| {
+        (0..half.rows()).into_par_iter().for_each(|i| {
+            for &j in half.row(i) {
+                if let Some(t) = kernel(i, j as usize) {
+                    let j = j as usize;
+                    assert!(i < n && j < n, "pair index out of bounds");
+                    // SAFETY: every concurrent access to the output during
+                    // this scatter goes through atomic_add; pointers are in
+                    // bounds by the assertion above.
+                    unsafe {
+                        V::atomic_add(shared.as_ptr().add(i), t.to_i);
+                        V::atomic_add(shared.as_ptr().add(j), t.to_j);
+                    }
+                }
+            }
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_on_a_dense_graph() {
+        let n = 32usize;
+        let rows: Vec<Vec<u32>> = (0..n)
+            .map(|i| ((i + 1) as u32..n as u32).collect())
+            .collect();
+        let half = Csr::from_rows(&rows);
+        // Power-of-two contributions: exact under any summation order.
+        let kernel = |i: usize, j: usize| Some(PairTerm::symmetric(((i + j) % 8) as f64 * 0.25));
+        let mut expect = vec![0.0f64; n];
+        crate::strategies::serial::scatter_serial(&half, &mut expect, &kernel);
+        let ctx = ParallelContext::new(4);
+        let mut got = vec![0.0f64; n];
+        scatter_atomic(&ctx, &half, &mut got, &kernel);
+        assert_eq!(expect, got);
+    }
+}

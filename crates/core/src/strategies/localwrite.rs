@@ -1,0 +1,247 @@
+//! LOCALWRITE — the paper's class-3 strategy (Han & Tseng, its refs.
+//! [19, 20]), which it describes but does not evaluate: "partitions
+//! computations and distributes it among threads in order to avoid write
+//! conflicts … it needs an inspector at runtime".
+//!
+//! Implemented here to complete the taxonomy:
+//!
+//! * An **inspector** pass classifies every stored pair against an atom →
+//!   partition map: *interior* pairs (both endpoints in one partition) are
+//!   assigned to that partition and processed with the usual two-sided
+//!   scatter; *boundary* pairs are assigned to **both** endpoint partitions,
+//!   each side computing the kernel but writing only to its own atom.
+//! * The **executor** runs partitions in parallel with no synchronization at
+//!   all: every write targets the executing partition's own atoms.
+//!
+//! The costs are exactly the ones the paper attributes to this class: the
+//! inspector ("the cost of reorder reduction array and computations") plus
+//! redundant kernel evaluations for boundary pairs — a fraction that shrinks
+//! as partitions grow, interpolating between RC (every pair boundary) and
+//! SDC (no redundancy, but colors + barriers).
+
+use crate::context::ParallelContext;
+use crate::scatter::{PairTerm, ScatterValue};
+use crate::shared::SharedSlice;
+use md_neighbor::Csr;
+use rayon::prelude::*;
+
+/// Which endpoint(s) a partition writes for one of its pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WriteMode {
+    /// Interior pair: write both endpoints.
+    Both,
+    /// Boundary pair owned via `i`: write `i` only.
+    IOnly,
+    /// Boundary pair owned via `j`: write `j` only.
+    JOnly,
+}
+
+/// The inspector's output: per-partition work lists.
+#[derive(Debug, Clone)]
+pub struct LocalWritePlan {
+    partition_of: Vec<u32>,
+    /// Per partition: `(i, j, mode)` triples.
+    lists: Vec<Vec<(u32, u32, u8)>>,
+    interior_pairs: usize,
+    boundary_pairs: usize,
+}
+
+impl LocalWritePlan {
+    /// Runs the inspector: contiguous index-range partitioning of `n` atoms
+    /// into `partitions` chunks, then pair classification over the half
+    /// list. (With spatially sorted atoms — the §II.D reorder — index
+    /// ranges are spatial blocks, which keeps the boundary fraction low.)
+    pub fn build(half: &Csr, partitions: usize) -> LocalWritePlan {
+        assert!(partitions > 0, "need at least one partition");
+        let n = half.rows();
+        let chunk = n.div_ceil(partitions).max(1);
+        let partition_of: Vec<u32> = (0..n).map(|a| (a / chunk) as u32).collect();
+        let n_parts = if n == 0 { 1 } else { (n - 1) / chunk + 1 };
+        let mut lists: Vec<Vec<(u32, u32, u8)>> = vec![Vec::new(); n_parts];
+        let mut interior = 0usize;
+        let mut boundary = 0usize;
+        for (i, row) in half.iter_rows() {
+            let pi = partition_of[i];
+            for &j in row {
+                let pj = partition_of[j as usize];
+                if pi == pj {
+                    lists[pi as usize].push((i as u32, j, WriteMode::Both as u8));
+                    interior += 1;
+                } else {
+                    lists[pi as usize].push((i as u32, j, WriteMode::IOnly as u8));
+                    lists[pj as usize].push((i as u32, j, WriteMode::JOnly as u8));
+                    boundary += 1;
+                }
+            }
+        }
+        LocalWritePlan {
+            partition_of,
+            lists,
+            interior_pairs: interior,
+            boundary_pairs: boundary,
+        }
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Partition owning atom `a`.
+    pub fn partition_of(&self, a: usize) -> usize {
+        self.partition_of[a] as usize
+    }
+
+    /// Pairs with both endpoints in one partition (computed once).
+    pub fn interior_pairs(&self) -> usize {
+        self.interior_pairs
+    }
+
+    /// Cross-partition pairs (kernel computed twice — the class's redundant
+    /// work).
+    pub fn boundary_pairs(&self) -> usize {
+        self.boundary_pairs
+    }
+
+    /// The redundant-computation fraction: extra kernel evaluations over
+    /// the half-list count.
+    pub fn redundancy(&self) -> f64 {
+        let total = self.interior_pairs + self.boundary_pairs;
+        if total == 0 {
+            0.0
+        } else {
+            self.boundary_pairs as f64 / total as f64
+        }
+    }
+}
+
+/// LOCALWRITE executor: partitions in parallel, each writing only its own
+/// atoms.
+pub fn scatter_localwrite<V: ScatterValue>(
+    ctx: &ParallelContext,
+    plan: &LocalWritePlan,
+    out: &mut [V],
+    kernel: &(impl Fn(usize, usize) -> Option<PairTerm<V>> + Sync),
+) {
+    let shared = SharedSlice::new(out);
+    ctx.install(|| {
+        plan.lists.par_iter().enumerate().for_each(|(p, list)| {
+            let sh = &shared;
+            for &(i, j, mode) in list {
+                let (i, j) = (i as usize, j as usize);
+                if let Some(t) = kernel(i, j) {
+                    // SAFETY: a partition writes only to atoms it owns —
+                    // `Both` pairs have both endpoints in partition p;
+                    // `IOnly`/`JOnly` write the single endpoint owned by p.
+                    // Partitions are disjoint, so no element is written by
+                    // two tasks.
+                    unsafe {
+                        match mode {
+                            m if m == WriteMode::Both as u8 => {
+                                debug_assert_eq!(plan.partition_of(i), p);
+                                debug_assert_eq!(plan.partition_of(j), p);
+                                sh.get_mut(i).add(t.to_i);
+                                sh.get_mut(j).add(t.to_j);
+                            }
+                            m if m == WriteMode::IOnly as u8 => {
+                                debug_assert_eq!(plan.partition_of(i), p);
+                                sh.get_mut(i).add(t.to_i);
+                            }
+                            _ => {
+                                debug_assert_eq!(plan.partition_of(j), p);
+                                sh.get_mut(j).add(t.to_j);
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Csr {
+        let rows: Vec<Vec<u32>> = (0..n)
+            .map(|i| if i + 1 < n { vec![i as u32 + 1] } else { vec![] })
+            .collect();
+        Csr::from_rows(&rows)
+    }
+
+    #[test]
+    fn inspector_classifies_interior_and_boundary() {
+        // 10 atoms in 2 partitions of 5; path graph → 9 pairs, exactly one
+        // (4–5) crosses the boundary.
+        let half = path_graph(10);
+        let plan = LocalWritePlan::build(&half, 2);
+        assert_eq!(plan.partitions(), 2);
+        assert_eq!(plan.interior_pairs(), 8);
+        assert_eq!(plan.boundary_pairs(), 1);
+        assert!((plan.redundancy() - 1.0 / 9.0).abs() < 1e-12);
+        assert_eq!(plan.partition_of(4), 0);
+        assert_eq!(plan.partition_of(5), 1);
+    }
+
+    #[test]
+    fn matches_serial_including_boundary_pairs() {
+        let n = 100usize;
+        // Dense-ish graph: each atom connects to the next 5.
+        let rows: Vec<Vec<u32>> = (0..n)
+            .map(|i| ((i + 1)..(i + 6).min(n)).map(|j| j as u32).collect())
+            .collect();
+        let half = Csr::from_rows(&rows);
+        let kernel = |i: usize, j: usize| Some(PairTerm::symmetric((i * 3 + j * 5) as f64));
+        let mut expect = vec![0.0f64; n];
+        crate::strategies::serial::scatter_serial(&half, &mut expect, &kernel);
+        for partitions in [1, 2, 3, 7, 16] {
+            let plan = LocalWritePlan::build(&half, partitions);
+            let ctx = ParallelContext::new(4);
+            let mut got = vec![0.0f64; n];
+            scatter_localwrite(&ctx, &plan, &mut got, &kernel);
+            assert_eq!(expect, got, "partitions = {partitions}");
+        }
+    }
+
+    #[test]
+    fn antisymmetric_kernels_work_across_boundaries() {
+        let half = path_graph(20);
+        let plan = LocalWritePlan::build(&half, 4);
+        let kernel = |i: usize, j: usize| {
+            let f = (j as f64) - (i as f64);
+            Some(PairTerm { to_i: f, to_j: -f })
+        };
+        let ctx = ParallelContext::new(3);
+        let mut got = vec![0.0f64; 20];
+        scatter_localwrite(&ctx, &plan, &mut got, &kernel);
+        let mut expect = vec![0.0f64; 20];
+        crate::strategies::serial::scatter_serial(&half, &mut expect, &kernel);
+        assert_eq!(expect, got);
+        // Newton still holds globally.
+        assert_eq!(got.iter().sum::<f64>(), 0.0);
+    }
+
+    #[test]
+    fn redundancy_shrinks_with_fewer_partitions() {
+        let n = 200usize;
+        let rows: Vec<Vec<u32>> = (0..n)
+            .map(|i| ((i + 1)..(i + 8).min(n)).map(|j| j as u32).collect())
+            .collect();
+        let half = Csr::from_rows(&rows);
+        let few = LocalWritePlan::build(&half, 2).redundancy();
+        let many = LocalWritePlan::build(&half, 50).redundancy();
+        assert!(few < many, "few = {few}, many = {many}");
+        // One partition: everything interior, zero redundancy.
+        assert_eq!(LocalWritePlan::build(&half, 1).redundancy(), 0.0);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let plan = LocalWritePlan::build(&Csr::empty(5), 3);
+        let ctx = ParallelContext::new(2);
+        let mut out = vec![0.0f64; 5];
+        scatter_localwrite(&ctx, &plan, &mut out, &|_, _| Some(PairTerm::symmetric(1.0)));
+        assert_eq!(out, vec![0.0; 5]);
+    }
+}

@@ -1,0 +1,446 @@
+//! The irregular-reduction strategies and their shared entry point.
+//!
+//! Each submodule implements one of the paper's strategies as a free
+//! function; [`ScatterExec`] bundles the resources (thread pool, neighbor
+//! CSRs, SDC plan) and dispatches on [`StrategyKind`]. The benchmark harness
+//! and the MD engine both go through this single entry point, so every
+//! strategy sees exactly the same kernels and data.
+
+pub mod atomic;
+pub mod critical;
+pub mod localwrite;
+pub mod locked;
+pub mod privatized;
+pub mod redundant;
+pub mod sdc;
+pub mod serial;
+
+use crate::context::ParallelContext;
+use crate::plan::SdcPlan;
+use crate::scatter::{PairTerm, ScatterValue};
+use md_neighbor::Csr;
+
+/// Selects an irregular-reduction parallelization strategy (paper §I
+/// taxonomy; see the crate docs for the mapping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// Single-threaded reference sweep over the half list.
+    Serial,
+    /// Spatial Decomposition Coloring with `dims` decomposed axes
+    /// (the paper's contribution; `dims ∈ 1..=3`).
+    Sdc {
+        /// Number of decomposed axes (1, 2 or 3).
+        dims: usize,
+    },
+    /// One global lock around every scatter update (paper's CS baseline).
+    Critical,
+    /// Lock-free CAS adds per update (a class-1 variant the paper names:
+    /// "critical region, atomic or lock").
+    Atomic,
+    /// Striped per-atom locks (the paper's remaining class-1 variant:
+    /// "… or lock") — parallel except on true stripe collisions.
+    Locks,
+    /// LOCALWRITE (paper class 3, Han & Tseng): inspector-partitioned
+    /// iteration space, boundary pairs computed redundantly by both sides,
+    /// all writes local — no synchronization.
+    LocalWrite,
+    /// Share-Array Privatization: thread-private copies merged serially
+    /// (paper's SAP baseline).
+    Privatized,
+    /// Redundant Computation over a full neighbor list (paper's RC
+    /// baseline): gather-only, 2× pair computations.
+    Redundant,
+}
+
+impl StrategyKind {
+    /// Short machine-readable name (used by the bench harness CLI).
+    pub fn name(&self) -> &'static str {
+        match self {
+            StrategyKind::Serial => "serial",
+            StrategyKind::Sdc { dims: 1 } => "sdc1d",
+            StrategyKind::Sdc { dims: 2 } => "sdc2d",
+            StrategyKind::Sdc { dims: 3 } => "sdc3d",
+            StrategyKind::Sdc { .. } => "sdc",
+            StrategyKind::Critical => "cs",
+            StrategyKind::Atomic => "atomic",
+            StrategyKind::Locks => "locks",
+            StrategyKind::LocalWrite => "localwrite",
+            StrategyKind::Privatized => "sap",
+            StrategyKind::Redundant => "rc",
+        }
+    }
+
+    /// Parses the names produced by [`StrategyKind::name`].
+    pub fn parse(s: &str) -> Option<StrategyKind> {
+        Some(match s {
+            "serial" => StrategyKind::Serial,
+            "sdc1d" => StrategyKind::Sdc { dims: 1 },
+            "sdc2d" | "sdc" => StrategyKind::Sdc { dims: 2 },
+            "sdc3d" => StrategyKind::Sdc { dims: 3 },
+            "cs" | "critical" => StrategyKind::Critical,
+            "atomic" => StrategyKind::Atomic,
+            "locks" | "locked" => StrategyKind::Locks,
+            "localwrite" | "lw" => StrategyKind::LocalWrite,
+            "sap" | "privatized" => StrategyKind::Privatized,
+            "rc" | "redundant" => StrategyKind::Redundant,
+            _ => return None,
+        })
+    }
+
+    /// Every concrete strategy (the paper's Fig. 9 set plus the remaining
+    /// class-1 variants).
+    pub fn all() -> [StrategyKind; 10] {
+        [
+            StrategyKind::Serial,
+            StrategyKind::Sdc { dims: 1 },
+            StrategyKind::Sdc { dims: 2 },
+            StrategyKind::Sdc { dims: 3 },
+            StrategyKind::Critical,
+            StrategyKind::Atomic,
+            StrategyKind::Locks,
+            StrategyKind::LocalWrite,
+            StrategyKind::Privatized,
+            StrategyKind::Redundant,
+        ]
+    }
+
+    /// `true` for strategies whose floating-point summation order is fixed,
+    /// making results bit-reproducible run to run.
+    pub fn is_deterministic(&self) -> bool {
+        !matches!(
+            self,
+            StrategyKind::Critical | StrategyKind::Atomic | StrategyKind::Locks
+        )
+    }
+
+    /// `true` if the strategy consumes the full (symmetric) neighbor list.
+    pub fn needs_full_list(&self) -> bool {
+        matches!(self, StrategyKind::Redundant)
+    }
+
+    /// `true` if the strategy needs an [`SdcPlan`].
+    pub fn needs_plan(&self) -> bool {
+        matches!(self, StrategyKind::Sdc { .. })
+    }
+
+    /// `true` if the strategy needs a LOCALWRITE inspector plan.
+    pub fn needs_localwrite_plan(&self) -> bool {
+        matches!(self, StrategyKind::LocalWrite)
+    }
+}
+
+impl std::fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The resources a scatter execution may need. Build once per neighbor-list
+/// rebuild, run many times (typically twice per time-step: densities and
+/// forces).
+pub struct ScatterExec<'a> {
+    /// Thread pool to run on.
+    pub ctx: &'a ParallelContext,
+    /// Half neighbor list (every strategy except `Redundant`).
+    pub half: &'a Csr,
+    /// Full neighbor list (`Redundant` only).
+    pub full: Option<&'a Csr>,
+    /// SDC plan (`Sdc` only).
+    pub plan: Option<&'a SdcPlan>,
+    /// LOCALWRITE inspector plan (`LocalWrite` only).
+    pub localwrite: Option<&'a localwrite::LocalWritePlan>,
+}
+
+impl ScatterExec<'_> {
+    /// Runs the scatter: `out[i] += Σ to_i`, `out[j] += Σ to_j` over all
+    /// stored pairs, using `kind`'s synchronization scheme.
+    ///
+    /// `out` is **accumulated into**, not cleared — callers zero it first
+    /// when appropriate (matching the paper's loop structure, where `rho[]`
+    /// and `force[]` are reset at the start of each step).
+    ///
+    /// # Panics
+    /// Panics if `kind` needs a resource (`full`, `plan`) this exec lacks,
+    /// or if `plan`'s dimensionality does not match `Sdc { dims }`.
+    pub fn run<V: ScatterValue>(
+        &self,
+        kind: StrategyKind,
+        out: &mut [V],
+        kernel: &(impl Fn(usize, usize) -> Option<PairTerm<V>> + Sync),
+    ) {
+        assert_eq!(
+            out.len(),
+            self.half.rows(),
+            "output length must match atom count"
+        );
+        match kind {
+            StrategyKind::Serial => serial::scatter_serial(self.half, out, kernel),
+            StrategyKind::Sdc { dims } => {
+                let plan = self.plan.expect("SDC strategy requires a plan");
+                assert_eq!(
+                    plan.decomposition().dims(),
+                    dims,
+                    "plan dimensionality does not match StrategyKind::Sdc"
+                );
+                sdc::scatter_sdc(self.ctx, plan, self.half, out, kernel);
+            }
+            StrategyKind::Critical => critical::scatter_critical(self.ctx, self.half, out, kernel),
+            StrategyKind::Atomic => atomic::scatter_atomic(self.ctx, self.half, out, kernel),
+            StrategyKind::Locks => locked::scatter_locked(self.ctx, self.half, out, kernel),
+            StrategyKind::LocalWrite => {
+                let plan = self
+                    .localwrite
+                    .expect("LocalWrite strategy requires an inspector plan");
+                localwrite::scatter_localwrite(self.ctx, plan, out, kernel);
+            }
+            StrategyKind::Privatized => {
+                privatized::scatter_privatized(self.ctx, self.half, out, kernel)
+            }
+            StrategyKind::Redundant => {
+                let full = self.full.expect("Redundant strategy requires a full list");
+                redundant::scatter_redundant(self.ctx, full, out, kernel);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomposition::DecompositionConfig;
+    use md_geometry::{LatticeSpec, SimBox, Vec3};
+    use md_neighbor::{NeighborList, VerletConfig};
+
+    const CUTOFF: f64 = 5.67;
+    const SKIN: f64 = 0.3;
+
+    struct Fixture {
+        pos: Vec<Vec3>,
+        sim_box: SimBox,
+        half: md_neighbor::Csr,
+        full: md_neighbor::Csr,
+        plans: Vec<SdcPlan>,
+        lw: localwrite::LocalWritePlan,
+    }
+
+    fn fixture() -> Fixture {
+        let (sim_box, pos) = LatticeSpec::bcc_fe(17).build();
+        let nl = NeighborList::build(&sim_box, &pos, VerletConfig::half(CUTOFF, SKIN));
+        let full = nl.to_full();
+        let plans = (1..=3)
+            .map(|dims| {
+                SdcPlan::build(&sim_box, &pos, DecompositionConfig::new(dims, CUTOFF + SKIN))
+                    .unwrap()
+            })
+            .collect();
+        let lw = localwrite::LocalWritePlan::build(nl.csr(), 16);
+        Fixture {
+            pos,
+            sim_box,
+            half: nl.csr().clone(),
+            full: full.csr().clone(),
+            plans,
+            lw,
+        }
+    }
+
+    fn run_density(f: &Fixture, kind: StrategyKind, threads: usize) -> Vec<f64> {
+        let ctx = ParallelContext::new(threads);
+        let plan = match kind {
+            StrategyKind::Sdc { dims } => Some(&f.plans[dims - 1]),
+            _ => None,
+        };
+        let exec = ScatterExec {
+            ctx: &ctx,
+            half: &f.half,
+            full: Some(&f.full),
+            plan,
+            localwrite: Some(&f.lw),
+        };
+        let pos = &f.pos;
+        let sim_box = &f.sim_box;
+        let mut rho = vec![0.0f64; pos.len()];
+        // A density-like symmetric kernel with a sharp cutoff, so the skin
+        // pairs exercise the `None` path.
+        exec.run(kind, &mut rho, &|i, j| {
+            let r2 = sim_box.distance_sq(pos[i], pos[j]);
+            if r2 < CUTOFF * CUTOFF {
+                Some(PairTerm::symmetric((-r2).exp() + 0.01))
+            } else {
+                None
+            }
+        });
+        rho
+    }
+
+    fn run_force(f: &Fixture, kind: StrategyKind, threads: usize) -> Vec<Vec3> {
+        let ctx = ParallelContext::new(threads);
+        let plan = match kind {
+            StrategyKind::Sdc { dims } => Some(&f.plans[dims - 1]),
+            _ => None,
+        };
+        let exec = ScatterExec {
+            ctx: &ctx,
+            half: &f.half,
+            full: Some(&f.full),
+            plan,
+            localwrite: Some(&f.lw),
+        };
+        let pos = &f.pos;
+        let sim_box = &f.sim_box;
+        let mut force = vec![Vec3::ZERO; pos.len()];
+        // An antisymmetric force-like kernel: f(i,j) = -f(j,i) by
+        // construction, as Redundant requires.
+        exec.run(kind, &mut force, &|i, j| {
+            let d = sim_box.min_image(pos[i], pos[j]);
+            let r2 = d.norm_sq();
+            if r2 < CUTOFF * CUTOFF {
+                Some(PairTerm::newton(d * (1.0 / (1.0 + r2))))
+            } else {
+                None
+            }
+        });
+        force
+    }
+
+    fn assert_close_f64(a: &[f64], b: &[f64], tol: f64, what: &str) {
+        for (k, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x - y).abs() <= tol * x.abs().max(1.0),
+                "{what}: element {k} differs: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_strategies_agree_on_densities() {
+        let f = fixture();
+        let reference = run_density(&f, StrategyKind::Serial, 1);
+        for kind in StrategyKind::all() {
+            for threads in [1, 2, 4] {
+                let got = run_density(&f, kind, threads);
+                assert_close_f64(&reference, &got, 1e-12, &format!("{kind} t={threads}"));
+            }
+        }
+    }
+
+    #[test]
+    fn all_strategies_agree_on_forces() {
+        let f = fixture();
+        let reference = run_force(&f, StrategyKind::Serial, 1);
+        for kind in StrategyKind::all() {
+            let got = run_force(&f, kind, 4);
+            for (k, (a, b)) in reference.iter().zip(&got).enumerate() {
+                assert!(
+                    (*a - *b).norm() <= 1e-11 * a.norm().max(1.0),
+                    "{kind}: force {k} differs: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn newton_kernel_forces_sum_to_zero() {
+        let f = fixture();
+        for kind in [
+            StrategyKind::Serial,
+            StrategyKind::Sdc { dims: 2 },
+            StrategyKind::Privatized,
+            StrategyKind::Redundant,
+        ] {
+            let force = run_force(&f, kind, 2);
+            let total: Vec3 = force.iter().sum();
+            assert!(
+                total.norm() < 1e-9,
+                "{kind}: net force {total} violates Newton's third law"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_strategies_are_bit_reproducible() {
+        let f = fixture();
+        for kind in StrategyKind::all() {
+            if !kind.is_deterministic() {
+                continue;
+            }
+            let a = run_density(&f, kind, 4);
+            let b = run_density(&f, kind, 4);
+            assert_eq!(a, b, "{kind} not reproducible");
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for kind in StrategyKind::all() {
+            assert_eq!(StrategyKind::parse(kind.name()), Some(kind), "{kind}");
+        }
+        assert_eq!(StrategyKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn resource_predicates() {
+        assert!(StrategyKind::Redundant.needs_full_list());
+        assert!(!StrategyKind::Serial.needs_full_list());
+        assert!(StrategyKind::Sdc { dims: 2 }.needs_plan());
+        assert!(!StrategyKind::Critical.needs_plan());
+        assert!(!StrategyKind::Atomic.is_deterministic());
+        assert!(!StrategyKind::Critical.is_deterministic());
+        assert!(!StrategyKind::Locks.is_deterministic());
+        assert!(StrategyKind::Sdc { dims: 3 }.is_deterministic());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a plan")]
+    fn sdc_without_plan_panics() {
+        let f = fixture();
+        let ctx = ParallelContext::new(2);
+        let exec = ScatterExec {
+            ctx: &ctx,
+            half: &f.half,
+            full: None,
+            plan: None,
+            localwrite: None,
+        };
+        let mut out = vec![0.0f64; f.pos.len()];
+        exec.run(StrategyKind::Sdc { dims: 2 }, &mut out, &|_, _| {
+            Some(PairTerm::symmetric(1.0))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a full list")]
+    fn redundant_without_full_list_panics() {
+        let f = fixture();
+        let ctx = ParallelContext::new(2);
+        let exec = ScatterExec {
+            ctx: &ctx,
+            half: &f.half,
+            full: None,
+            plan: None,
+            localwrite: None,
+        };
+        let mut out = vec![0.0f64; f.pos.len()];
+        exec.run(StrategyKind::Redundant, &mut out, &|_, _| {
+            Some(PairTerm::symmetric(1.0))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "output length")]
+    fn wrong_output_length_panics() {
+        let f = fixture();
+        let ctx = ParallelContext::new(1);
+        let exec = ScatterExec {
+            ctx: &ctx,
+            half: &f.half,
+            full: None,
+            plan: None,
+            localwrite: None,
+        };
+        let mut out = vec![0.0f64; 3];
+        exec.run(StrategyKind::Serial, &mut out, &|_, _| {
+            Some(PairTerm::symmetric(1.0))
+        });
+    }
+}

@@ -1,0 +1,111 @@
+//! Share-Array Privatization baseline (paper class 2, "SAP" in Fig. 9).
+//!
+//! Every thread accumulates into its **own full-length private copy** of the
+//! reduction array; afterwards the copies are merged into the shared array.
+//! The paper's two criticisms are faithfully present:
+//!
+//! * memory overhead grows linearly with the thread count (`threads × N`
+//!   values — [`privatized_bytes`] reports it), competing for cache;
+//! * the merge is serialized ("updating shared array must be done in a
+//!   critical section"), an `O(threads × N)` sequential tail that caps
+//!   scalability beyond ~8 cores in the paper's measurements.
+
+use crate::context::ParallelContext;
+use crate::scatter::{PairTerm, ScatterValue};
+use md_neighbor::Csr;
+use rayon::prelude::*;
+
+/// Parallel scatter via thread-private copies and a serialized merge.
+///
+/// Rows are split into `threads` contiguous chunks (mirroring OpenMP's
+/// static schedule); chunk `k` scatters into private array `k`; the merge
+/// adds the private arrays into `out` in chunk order, so the result is
+/// deterministic for a fixed thread count.
+pub fn scatter_privatized<V: ScatterValue>(
+    ctx: &ParallelContext,
+    half: &Csr,
+    out: &mut [V],
+    kernel: &(impl Fn(usize, usize) -> Option<PairTerm<V>> + Sync),
+) {
+    let n = half.rows();
+    let threads = ctx.threads();
+    let chunk = n.div_ceil(threads).max(1);
+    let privates: Vec<Vec<V>> = ctx.install(|| {
+        (0..threads)
+            .into_par_iter()
+            .map(|k| {
+                let mut local = vec![V::zero(); n];
+                let start = (k * chunk).min(n);
+                let end = ((k + 1) * chunk).min(n);
+                for i in start..end {
+                    for &j in half.row(i) {
+                        if let Some(t) = kernel(i, j as usize) {
+                            local[i].add(t.to_i);
+                            local[j as usize].add(t.to_j);
+                        }
+                    }
+                }
+                local
+            })
+            .collect()
+    });
+    // The paper's serialized merge: private copies folded into the shared
+    // array one after another.
+    for local in &privates {
+        for (o, l) in out.iter_mut().zip(local) {
+            o.add(*l);
+        }
+    }
+}
+
+/// The extra heap the strategy allocates for `n` atoms of `V` on `threads`
+/// threads — the paper's linear-in-threads memory overhead.
+pub fn privatized_bytes<V: ScatterValue>(n: usize, threads: usize) -> usize {
+    n * threads * std::mem::size_of::<V>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_including_cross_chunk_pairs() {
+        // A path graph: every pair crosses a chunk boundary for some thread
+        // count, exercising the private-copy scatter to "remote" rows.
+        let n = 100usize;
+        let rows: Vec<Vec<u32>> = (0..n)
+            .map(|i| if i + 1 < n { vec![i as u32 + 1] } else { vec![] })
+            .collect();
+        let half = Csr::from_rows(&rows);
+        let kernel = |i: usize, j: usize| Some(PairTerm::symmetric((i * 31 + j) as f64));
+        let mut expect = vec![0.0f64; n];
+        crate::strategies::serial::scatter_serial(&half, &mut expect, &kernel);
+        for threads in [1, 2, 3, 4, 7] {
+            let ctx = ParallelContext::new(threads);
+            let mut got = vec![0.0f64; n];
+            scatter_privatized(&ctx, &half, &mut got, &kernel);
+            assert_eq!(expect, got, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn handles_more_threads_than_rows() {
+        let half = Csr::from_rows(&[vec![1], vec![]]);
+        let ctx = ParallelContext::new(8);
+        let mut out = vec![0.0f64; 2];
+        scatter_privatized(&ctx, &half, &mut out, &|_, _| Some(PairTerm::symmetric(1.0)));
+        assert_eq!(out, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn memory_overhead_is_linear_in_threads() {
+        assert_eq!(
+            privatized_bytes::<f64>(1000, 4),
+            4 * 1000 * std::mem::size_of::<f64>()
+        );
+        assert_eq!(
+            privatized_bytes::<md_geometry::Vec3>(10, 2),
+            2 * 10 * 24
+        );
+    }
+}

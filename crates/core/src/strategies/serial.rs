@@ -1,0 +1,64 @@
+//! Reference single-thread sweep.
+//!
+//! This is the paper's optimized serial baseline (its Figs. 1–2 loops with
+//! the §II.D optimizations): one pass over the half list, both endpoints
+//! updated per pair via Newton's third law / symmetric density flow. All
+//! speedups in the reproduction are measured against this path.
+
+use crate::scatter::{PairTerm, ScatterValue};
+use md_neighbor::Csr;
+
+/// Serial scatter over a half list: for each stored pair `(i, j)`,
+/// `out[i] += to_i` and `out[j] += to_j`.
+pub fn scatter_serial<V: ScatterValue>(
+    half: &Csr,
+    out: &mut [V],
+    kernel: &(impl Fn(usize, usize) -> Option<PairTerm<V>> + Sync),
+) {
+    for (i, row) in half.iter_rows() {
+        for &j in row {
+            if let Some(t) = kernel(i, j as usize) {
+                out[i].add(t.to_i);
+                out[j as usize].add(t.to_j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_both_endpoints() {
+        // 0-1, 0-2, 1-2 triangle with unit symmetric contributions:
+        // every vertex has degree 2.
+        let half = Csr::from_rows(&[vec![1, 2], vec![2], vec![]]);
+        let mut out = vec![0.0f64; 3];
+        scatter_serial(&half, &mut out, &|_, _| Some(PairTerm::symmetric(1.0)));
+        assert_eq!(out, vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn none_contributions_are_skipped() {
+        let half = Csr::from_rows(&[vec![1, 2], vec![2], vec![]]);
+        let mut out = vec![0.0f64; 3];
+        scatter_serial(&half, &mut out, &|i, j| {
+            // skip the 0-2 pair
+            if i == 0 && j == 2 {
+                None
+            } else {
+                Some(PairTerm::symmetric(1.0))
+            }
+        });
+        assert_eq!(out, vec![1.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn accumulates_into_existing_values() {
+        let half = Csr::from_rows(&[vec![1], vec![]]);
+        let mut out = vec![10.0f64, 20.0];
+        scatter_serial(&half, &mut out, &|_, _| Some(PairTerm::symmetric(1.0)));
+        assert_eq!(out, vec![11.0, 21.0]);
+    }
+}

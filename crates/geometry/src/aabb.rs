@@ -1,0 +1,224 @@
+//! Axis-aligned boxes (AABBs).
+//!
+//! Subdomains produced by the spatial decomposition (paper §II.B step 1) are
+//! axis-aligned boxes inside the simulation box. The coloring safety argument
+//! — that same-color subdomains expanded by the cutoff halo `r_c` remain
+//! disjoint — is a statement about AABB intersection under periodic wrap, so
+//! this module also provides halo expansion and periodic-overlap tests used by
+//! `sdc-core`'s validation layer.
+
+use crate::{SimBox, Vec3};
+
+/// A half-open axis-aligned box `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    /// Inclusive lower corner.
+    pub lo: Vec3,
+    /// Exclusive upper corner.
+    pub hi: Vec3,
+}
+
+impl Aabb {
+    /// Creates an AABB from corners.
+    ///
+    /// # Panics
+    /// Panics if `lo[d] > hi[d]` for any axis.
+    pub fn new(lo: Vec3, hi: Vec3) -> Aabb {
+        assert!(
+            lo.x <= hi.x && lo.y <= hi.y && lo.z <= hi.z,
+            "invalid AABB corners lo={lo} hi={hi}"
+        );
+        Aabb { lo, hi }
+    }
+
+    /// The AABB covering an entire simulation box.
+    pub fn of_box(b: &SimBox) -> Aabb {
+        Aabb::new(Vec3::ZERO, b.lengths())
+    }
+
+    /// Edge lengths.
+    #[inline]
+    pub fn extent(&self) -> Vec3 {
+        self.hi - self.lo
+    }
+
+    /// Volume of the box.
+    #[inline]
+    pub fn volume(&self) -> f64 {
+        let e = self.extent();
+        e.x * e.y * e.z
+    }
+
+    /// Center point.
+    #[inline]
+    pub fn center(&self) -> Vec3 {
+        (self.lo + self.hi) * 0.5
+    }
+
+    /// `true` if the point lies inside the half-open box.
+    #[inline]
+    pub fn contains(&self, p: Vec3) -> bool {
+        p.x >= self.lo.x
+            && p.x < self.hi.x
+            && p.y >= self.lo.y
+            && p.y < self.hi.y
+            && p.z >= self.lo.z
+            && p.z < self.hi.z
+    }
+
+    /// Grows the box by `margin` on every face (the `r_c` halo of a
+    /// subdomain — the paper's "neighbor region", Fig. 3).
+    pub fn expanded(&self, margin: f64) -> Aabb {
+        assert!(margin >= 0.0, "margin must be non-negative, got {margin}");
+        Aabb {
+            lo: self.lo - Vec3::splat(margin),
+            hi: self.hi + Vec3::splat(margin),
+        }
+    }
+
+    /// Non-periodic open-interval overlap test (shared boundary does not
+    /// count as overlap, matching the half-open atom ownership convention).
+    pub fn intersects(&self, other: &Aabb) -> bool {
+        (0..3).all(|d| self.lo[d] < other.hi[d] && other.lo[d] < self.hi[d])
+    }
+
+    /// Overlap test under periodic boundary conditions: do any periodic
+    /// images of `other` intersect `self`?
+    ///
+    /// Both boxes must be subsets of the primary image of `sim_box` *before*
+    /// halo expansion; halos may stick out, which is exactly why the periodic
+    /// images (shift ∈ {-L, 0, +L} per periodic axis) must be checked.
+    pub fn intersects_periodic(&self, other: &Aabb, sim_box: &SimBox) -> bool {
+        let l = sim_box.lengths();
+        let shifts = |d: usize| -> &'static [f64] {
+            if sim_box.periodicity()[d] {
+                &[-1.0, 0.0, 1.0]
+            } else {
+                &[0.0]
+            }
+        };
+        for &sx in shifts(0) {
+            for &sy in shifts(1) {
+                for &sz in shifts(2) {
+                    let shift = Vec3::new(sx * l.x, sy * l.y, sz * l.z);
+                    let shifted = Aabb {
+                        lo: other.lo + shift,
+                        hi: other.hi + shift,
+                    };
+                    if self.intersects(&shifted) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Minimum separation between the two boxes along each axis under the
+    /// minimum-image convention (0 where they overlap in projection).
+    pub fn periodic_gap(&self, other: &Aabb, sim_box: &SimBox) -> Vec3 {
+        let l = sim_box.lengths();
+        let mut gap = Vec3::ZERO;
+        for d in 0..3 {
+            let mut best = f64::INFINITY;
+            let shifts: &[f64] = if sim_box.periodicity()[d] { &[-1.0, 0.0, 1.0] } else { &[0.0] };
+            for &s in shifts {
+                let olo = other.lo[d] + s * l[d];
+                let ohi = other.hi[d] + s * l[d];
+                // 1-D gap between [lo,hi) intervals; 0 if overlapping.
+                let g = if ohi <= self.lo[d] {
+                    self.lo[d] - ohi
+                } else if self.hi[d] <= olo {
+                    olo - self.hi[d]
+                } else {
+                    0.0
+                };
+                best = best.min(g);
+            }
+            gap[d] = best;
+        }
+        gap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bb(lo: [f64; 3], hi: [f64; 3]) -> Aabb {
+        Aabb::new(Vec3::from(lo), Vec3::from(hi))
+    }
+
+    #[test]
+    fn contains_is_half_open() {
+        let b = bb([0.0, 0.0, 0.0], [1.0, 1.0, 1.0]);
+        assert!(b.contains(Vec3::ZERO));
+        assert!(!b.contains(Vec3::ONE));
+        assert!(b.contains(Vec3::new(0.999, 0.5, 0.0)));
+        assert!(!b.contains(Vec3::new(1.0, 0.5, 0.5)));
+    }
+
+    #[test]
+    fn volume_extent_center() {
+        let b = bb([1.0, 1.0, 1.0], [3.0, 5.0, 2.0]);
+        assert_eq!(b.extent(), Vec3::new(2.0, 4.0, 1.0));
+        assert_eq!(b.volume(), 8.0);
+        assert_eq!(b.center(), Vec3::new(2.0, 3.0, 1.5));
+    }
+
+    #[test]
+    fn expansion_grows_every_face() {
+        let b = bb([2.0, 2.0, 2.0], [4.0, 4.0, 4.0]).expanded(0.5);
+        assert_eq!(b.lo, Vec3::splat(1.5));
+        assert_eq!(b.hi, Vec3::splat(4.5));
+    }
+
+    #[test]
+    fn non_periodic_intersection() {
+        let a = bb([0.0, 0.0, 0.0], [2.0, 2.0, 2.0]);
+        let c = bb([1.9, 0.0, 0.0], [3.0, 1.0, 1.0]);
+        let d = bb([2.0, 0.0, 0.0], [3.0, 1.0, 1.0]); // touching faces only
+        assert!(a.intersects(&c));
+        assert!(!a.intersects(&d));
+        assert!(c.intersects(&a), "intersection must be symmetric");
+    }
+
+    #[test]
+    fn periodic_intersection_across_boundary() {
+        let sim = SimBox::cubic(10.0);
+        // Halo of a subdomain at the right edge sticks past x = 10 and must
+        // hit a subdomain at the left edge.
+        let right = bb([8.0, 0.0, 0.0], [10.0, 10.0, 10.0]).expanded(0.5);
+        let left = bb([0.0, 0.0, 0.0], [2.0, 10.0, 10.0]);
+        assert!(right.intersects_periodic(&left, &sim));
+        // Without periodicity they do not intersect.
+        let open = SimBox::with_periodicity(Vec3::splat(10.0), [false; 3]);
+        assert!(!right.intersects_periodic(&left, &open));
+    }
+
+    #[test]
+    fn periodic_gap_wraps() {
+        let sim = SimBox::cubic(10.0);
+        let a = bb([0.0, 0.0, 0.0], [1.0, 10.0, 10.0]);
+        let b2 = bb([9.0, 0.0, 0.0], [10.0, 10.0, 10.0]);
+        let g = a.periodic_gap(&b2, &sim);
+        assert_eq!(g.x, 0.0, "adjacent across the boundary");
+        let c = bb([5.0, 0.0, 0.0], [6.0, 10.0, 10.0]);
+        let g2 = a.periodic_gap(&c, &sim);
+        assert_eq!(g2.x, 4.0);
+    }
+
+    #[test]
+    fn of_box_covers_everything() {
+        let sim = SimBox::periodic(Vec3::new(3.0, 4.0, 5.0));
+        let b = Aabb::of_box(&sim);
+        assert_eq!(b.volume(), 60.0);
+        assert!(b.contains(Vec3::new(2.9, 3.9, 4.9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid AABB")]
+    fn inverted_corners_panic() {
+        let _ = bb([1.0, 0.0, 0.0], [0.0, 1.0, 1.0]);
+    }
+}

@@ -1,0 +1,292 @@
+//! Crystal lattice generators.
+//!
+//! The paper's four test cases are body-centered cubic (BCC) iron crystals
+//! (§III.B): 54,000 / 265,302 / 1,062,882 / 3,456,000 atoms. BCC has two
+//! atoms per conventional unit cell, so those counts correspond exactly to
+//! 30³, 51³·2… — concretely `2·n³` with `n ∈ {30, 51, 81, 120}`. The
+//! [`LatticeSpec::paper_case`] constructor reproduces them precisely.
+
+use crate::{SimBox, Vec3};
+
+/// Bravais lattice type (conventional cubic cells).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lattice {
+    /// Simple cubic: 1 atom per cell at (0,0,0).
+    Sc,
+    /// Body-centered cubic: 2 atoms per cell. Ground state of iron.
+    Bcc,
+    /// Face-centered cubic: 4 atoms per cell.
+    Fcc,
+}
+
+impl Lattice {
+    /// Fractional basis positions within the conventional cubic cell.
+    pub fn basis(self) -> &'static [Vec3] {
+        match self {
+            Lattice::Sc => &[Vec3 { x: 0.0, y: 0.0, z: 0.0 }],
+            Lattice::Bcc => &[
+                Vec3 { x: 0.0, y: 0.0, z: 0.0 },
+                Vec3 { x: 0.5, y: 0.5, z: 0.5 },
+            ],
+            Lattice::Fcc => &[
+                Vec3 { x: 0.0, y: 0.0, z: 0.0 },
+                Vec3 { x: 0.5, y: 0.5, z: 0.0 },
+                Vec3 { x: 0.5, y: 0.0, z: 0.5 },
+                Vec3 { x: 0.0, y: 0.5, z: 0.5 },
+            ],
+        }
+    }
+
+    /// Atoms per conventional cell.
+    #[inline]
+    pub fn atoms_per_cell(self) -> usize {
+        self.basis().len()
+    }
+
+    /// Nearest-neighbor distance for lattice constant `a`.
+    pub fn nearest_neighbor_distance(self, a: f64) -> f64 {
+        match self {
+            Lattice::Sc => a,
+            Lattice::Bcc => a * 3f64.sqrt() / 2.0,
+            Lattice::Fcc => a * 2f64.sqrt() / 2.0,
+        }
+    }
+
+    /// Number of nearest neighbors (coordination number).
+    pub fn coordination(self) -> usize {
+        match self {
+            Lattice::Sc => 6,
+            Lattice::Bcc => 8,
+            Lattice::Fcc => 12,
+        }
+    }
+}
+
+/// A finite crystal: lattice type, lattice constant and cell counts per axis.
+///
+/// ```
+/// use md_geometry::LatticeSpec;
+///
+/// // The paper's small test case: 30³ BCC cells of iron = 54,000 atoms.
+/// let spec = LatticeSpec::paper_case(1);
+/// assert_eq!(spec.atom_count(), 54_000);
+/// let (sim_box, atoms) = LatticeSpec::bcc_fe(3).build();
+/// assert_eq!(atoms.len(), 54);
+/// assert!(sim_box.lengths().x > 8.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatticeSpec {
+    /// Bravais lattice of the crystal.
+    pub lattice: Lattice,
+    /// Lattice constant `a` in Å.
+    pub a: f64,
+    /// Number of conventional cells along x, y, z.
+    pub cells: [usize; 3],
+}
+
+/// Lattice constant of BCC iron in Å (α-iron at room temperature).
+pub const FE_BCC_LATTICE_CONSTANT: f64 = 2.8665;
+
+impl LatticeSpec {
+    /// Creates a spec.
+    ///
+    /// # Panics
+    /// Panics if `a ≤ 0` or any cell count is zero.
+    pub fn new(lattice: Lattice, a: f64, cells: [usize; 3]) -> LatticeSpec {
+        assert!(a > 0.0 && a.is_finite(), "lattice constant must be positive, got {a}");
+        assert!(
+            cells.iter().all(|&c| c > 0),
+            "cell counts must be non-zero, got {cells:?}"
+        );
+        LatticeSpec { lattice, a, cells }
+    }
+
+    /// BCC iron with `n × n × n` conventional cells — the shape of all four
+    /// test cases in the paper.
+    pub fn bcc_fe(n: usize) -> LatticeSpec {
+        LatticeSpec::new(Lattice::Bcc, FE_BCC_LATTICE_CONSTANT, [n, n, n])
+    }
+
+    /// The paper's four test cases (§III.B):
+    ///
+    /// | case | cells | atoms |
+    /// |------|-------|-----------|
+    /// | 1 (small)  | 30³  | 54,000 |
+    /// | 2 (medium) | 51³  | 265,302 |
+    /// | 3 (large)  | 81³  | 1,062,882 |
+    /// | 4 (large)  | 120³ | 3,456,000 |
+    ///
+    /// # Panics
+    /// Panics unless `case ∈ 1..=4`.
+    pub fn paper_case(case: usize) -> LatticeSpec {
+        let n = match case {
+            1 => 30,
+            2 => 51,
+            3 => 81,
+            4 => 120,
+            _ => panic!("paper test case must be 1..=4, got {case}"),
+        };
+        LatticeSpec::bcc_fe(n)
+    }
+
+    /// Total number of atoms the spec generates.
+    #[inline]
+    pub fn atom_count(&self) -> usize {
+        self.lattice.atoms_per_cell() * self.cells[0] * self.cells[1] * self.cells[2]
+    }
+
+    /// The periodic box that tiles this crystal exactly.
+    pub fn sim_box(&self) -> SimBox {
+        SimBox::periodic(Vec3::new(
+            self.a * self.cells[0] as f64,
+            self.a * self.cells[1] as f64,
+            self.a * self.cells[2] as f64,
+        ))
+    }
+
+    /// Generates atom positions in row-major cell order, basis-inner.
+    ///
+    /// Positions lie in `[0, L)` along each axis, so the crystal tiles the
+    /// box returned by [`LatticeSpec::sim_box`] without duplicated boundary
+    /// atoms.
+    pub fn generate(&self) -> Vec<Vec3> {
+        let mut out = Vec::with_capacity(self.atom_count());
+        let basis = self.lattice.basis();
+        for ix in 0..self.cells[0] {
+            for iy in 0..self.cells[1] {
+                for iz in 0..self.cells[2] {
+                    let corner = Vec3::new(ix as f64, iy as f64, iz as f64) * self.a;
+                    for b in basis {
+                        out.push(corner + *b * self.a);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Generates positions and the matching box in one call.
+    pub fn build(&self) -> (SimBox, Vec<Vec3>) {
+        (self.sim_box(), self.generate())
+    }
+
+    /// Number density in atoms / Å³.
+    pub fn number_density(&self) -> f64 {
+        self.atom_count() as f64 / self.sim_box().volume()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_case_atom_counts_match_table() {
+        assert_eq!(LatticeSpec::paper_case(1).atom_count(), 54_000);
+        assert_eq!(LatticeSpec::paper_case(2).atom_count(), 265_302);
+        assert_eq!(LatticeSpec::paper_case(3).atom_count(), 1_062_882);
+        assert_eq!(LatticeSpec::paper_case(4).atom_count(), 3_456_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=4")]
+    fn paper_case_out_of_range_panics() {
+        let _ = LatticeSpec::paper_case(5);
+    }
+
+    #[test]
+    fn generated_count_matches_spec() {
+        let spec = LatticeSpec::new(Lattice::Fcc, 3.6, [2, 3, 4]);
+        let atoms = spec.generate();
+        assert_eq!(atoms.len(), 4 * 2 * 3 * 4);
+        assert_eq!(atoms.len(), spec.atom_count());
+    }
+
+    #[test]
+    fn atoms_lie_inside_the_box() {
+        let spec = LatticeSpec::bcc_fe(3);
+        let (bx, atoms) = spec.build();
+        for p in &atoms {
+            for d in 0..3 {
+                assert!(p[d] >= 0.0 && p[d] < bx.lengths()[d], "atom {p} outside box");
+            }
+        }
+    }
+
+    #[test]
+    fn no_duplicate_positions() {
+        let spec = LatticeSpec::bcc_fe(3);
+        let atoms = spec.generate();
+        for i in 0..atoms.len() {
+            for j in (i + 1)..atoms.len() {
+                assert!(
+                    atoms[i].distance_sq(atoms[j]) > 1e-6,
+                    "atoms {i} and {j} coincide at {}",
+                    atoms[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bcc_nearest_neighbor_count_under_pbc() {
+        // Every BCC atom has exactly 8 nearest neighbors at a·√3/2.
+        let spec = LatticeSpec::bcc_fe(3);
+        let (bx, atoms) = spec.build();
+        let nn = Lattice::Bcc.nearest_neighbor_distance(spec.a);
+        let tol = 1e-6;
+        for (i, &pi) in atoms.iter().enumerate() {
+            let mut count = 0;
+            for (j, &pj) in atoms.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let d = bx.distance_sq(pi, pj).sqrt();
+                if (d - nn).abs() < tol {
+                    count += 1;
+                }
+            }
+            assert_eq!(count, 8, "atom {i} has {count} nearest neighbors");
+        }
+    }
+
+    #[test]
+    fn fcc_coordination_is_12() {
+        let spec = LatticeSpec::new(Lattice::Fcc, 3.6, [3, 3, 3]);
+        let (bx, atoms) = spec.build();
+        let nn = Lattice::Fcc.nearest_neighbor_distance(spec.a);
+        let p0 = atoms[0];
+        let count = atoms
+            .iter()
+            .skip(1)
+            .filter(|&&p| (bx.distance_sq(p0, p).sqrt() - nn).abs() < 1e-6)
+            .count();
+        assert_eq!(count, 12);
+    }
+
+    #[test]
+    fn density_of_bcc_fe_is_physical() {
+        // BCC Fe number density ≈ 0.0849 atoms/Å³.
+        let d = LatticeSpec::bcc_fe(4).number_density();
+        assert!((d - 2.0 / FE_BCC_LATTICE_CONSTANT.powi(3)).abs() < 1e-12);
+        assert!((d - 0.0849).abs() < 1e-3, "density {d}");
+    }
+
+    #[test]
+    fn basis_sizes() {
+        assert_eq!(Lattice::Sc.atoms_per_cell(), 1);
+        assert_eq!(Lattice::Bcc.atoms_per_cell(), 2);
+        assert_eq!(Lattice::Fcc.atoms_per_cell(), 4);
+        assert_eq!(Lattice::Sc.coordination(), 6);
+        assert_eq!(Lattice::Bcc.coordination(), 8);
+        assert_eq!(Lattice::Fcc.coordination(), 12);
+    }
+
+    #[test]
+    fn box_tiles_crystal() {
+        let spec = LatticeSpec::bcc_fe(2);
+        let bx = spec.sim_box();
+        let l = 2.0 * FE_BCC_LATTICE_CONSTANT;
+        assert!((bx.lengths().x - l).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,96 @@
+//! # md-geometry
+//!
+//! Geometric substrate for molecular dynamics simulations: 3-D vectors,
+//! orthorhombic periodic simulation boxes, crystal lattice generators and
+//! axis-aligned regions.
+//!
+//! This crate is the foundation of the `sdc-md` workspace, the Rust
+//! reproduction of *"Efficient Parallel Implementation of Molecular Dynamics
+//! with Embedded Atom Method on Multi-core Platforms"* (Hu, Liu & Li,
+//! ICPP 2009). The paper's experiments simulate pure BCC iron under periodic
+//! boundary conditions; everything those experiments need geometrically lives
+//! here:
+//!
+//! * [`Vec3`] — a plain-old-data 3-D vector with the usual arithmetic.
+//! * [`SimBox`] — an orthorhombic periodic box with wrapping and
+//!   minimum-image convention.
+//! * [`lattice`] — BCC / FCC / SC crystal builders, including the exact
+//!   test-case sizes of the paper (54,000 … 3,456,000 atoms).
+//! * [`Aabb`] — axis-aligned boxes used by the spatial decomposition.
+//!
+//! The crate is dependency-free and `#![forbid(unsafe_code)]`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aabb;
+pub mod lattice;
+pub mod simbox;
+pub mod vec3;
+
+pub use aabb::Aabb;
+pub use lattice::{Lattice, LatticeSpec};
+pub use simbox::SimBox;
+pub use vec3::Vec3;
+
+/// Spatial axes of the simulation domain.
+///
+/// Used throughout the workspace to select decomposition dimensions
+/// (the paper's 1-D / 2-D / 3-D Spatial Decomposition Coloring variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// The x axis (index 0).
+    X,
+    /// The y axis (index 1).
+    Y,
+    /// The z axis (index 2).
+    Z,
+}
+
+impl Axis {
+    /// All three axes in index order.
+    pub const ALL: [Axis; 3] = [Axis::X, Axis::Y, Axis::Z];
+
+    /// Numeric index of the axis (`X = 0`, `Y = 1`, `Z = 2`).
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            Axis::X => 0,
+            Axis::Y => 1,
+            Axis::Z => 2,
+        }
+    }
+
+    /// Axis from its numeric index.
+    ///
+    /// # Panics
+    /// Panics if `i > 2`.
+    #[inline]
+    pub fn from_index(i: usize) -> Axis {
+        match i {
+            0 => Axis::X,
+            1 => Axis::Y,
+            2 => Axis::Z,
+            _ => panic!("axis index out of range: {i}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_round_trips_through_index() {
+        for (i, ax) in Axis::ALL.iter().enumerate() {
+            assert_eq!(ax.index(), i);
+            assert_eq!(Axis::from_index(i), *ax);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "axis index out of range")]
+    fn axis_from_bad_index_panics() {
+        let _ = Axis::from_index(3);
+    }
+}

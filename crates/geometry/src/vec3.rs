@@ -1,0 +1,445 @@
+//! A minimal, allocation-free 3-D vector of `f64` components.
+//!
+//! `Vec3` is deliberately plain: `Copy`, `repr(C)` and free of any SIMD or
+//! generic machinery, so that a `&[Vec3]` slice is exactly the
+//! structure-of-arrays-friendly `[x, y, z, x, y, z, …]` memory layout the
+//! force kernels stream over. The compiler auto-vectorizes the hot loops
+//! without any help.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A 3-D vector with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct Vec3 {
+    /// x component.
+    pub x: f64,
+    /// y component.
+    pub y: f64,
+    /// z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    /// The all-ones vector.
+    pub const ONE: Vec3 = Vec3 { x: 1.0, y: 1.0, z: 1.0 };
+
+    /// Creates a vector from its components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Vec3 {
+        Vec3 { x, y, z }
+    }
+
+    /// Creates a vector with all components equal to `v`.
+    #[inline]
+    pub const fn splat(v: f64) -> Vec3 {
+        Vec3 { x: v, y: v, z: v }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, rhs: Vec3) -> f64 {
+        self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, rhs: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.y * rhs.z - self.z * rhs.y,
+            y: self.z * rhs.x - self.x * rhs.z,
+            z: self.x * rhs.y - self.y * rhs.x,
+        }
+    }
+
+    /// Squared Euclidean norm. Cheaper than [`Vec3::norm`]; prefer it in
+    /// cutoff tests (`r² < r_c²`), which is how every kernel in this
+    /// workspace uses it.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Unit vector in the direction of `self`.
+    ///
+    /// Returns [`Vec3::ZERO`] for the zero vector instead of producing NaNs,
+    /// which is the convenient convention for force directions between
+    /// coincident points.
+    #[inline]
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        if n == 0.0 {
+            Vec3::ZERO
+        } else {
+            self / n
+        }
+    }
+
+    /// Component-wise product (Hadamard product).
+    #[inline]
+    pub fn mul_elem(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x * rhs.x, self.y * rhs.y, self.z * rhs.z)
+    }
+
+    /// Component-wise quotient.
+    #[inline]
+    pub fn div_elem(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x / rhs.x, self.y / rhs.y, self.z / rhs.z)
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min_elem(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x.min(rhs.x), self.y.min(rhs.y), self.z.min(rhs.z))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max_elem(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x.max(rhs.x), self.y.max(rhs.y), self.z.max(rhs.z))
+    }
+
+    /// Smallest component.
+    #[inline]
+    pub fn min_component(self) -> f64 {
+        self.x.min(self.y).min(self.z)
+    }
+
+    /// Largest component.
+    #[inline]
+    pub fn max_component(self) -> f64 {
+        self.x.max(self.y).max(self.z)
+    }
+
+    /// `self + t * (rhs - self)`.
+    #[inline]
+    pub fn lerp(self, rhs: Vec3, t: f64) -> Vec3 {
+        self + (rhs - self) * t
+    }
+
+    /// The vector as a `[f64; 3]` array (x, y, z).
+    #[inline]
+    pub const fn to_array(self) -> [f64; 3] {
+        [self.x, self.y, self.z]
+    }
+
+    /// Builds a vector from a `[f64; 3]` array (x, y, z).
+    #[inline]
+    pub const fn from_array(a: [f64; 3]) -> Vec3 {
+        Vec3::new(a[0], a[1], a[2])
+    }
+
+    /// `true` if every component is finite (no NaN / ±inf).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// Squared distance to another point.
+    #[inline]
+    pub fn distance_sq(self, rhs: Vec3) -> f64 {
+        (self - rhs).norm_sq()
+    }
+
+    /// Distance to another point.
+    #[inline]
+    pub fn distance(self, rhs: Vec3) -> f64 {
+        self.distance_sq(rhs).sqrt()
+    }
+
+    /// Absolute value of each component.
+    #[inline]
+    pub fn abs(self) -> Vec3 {
+        Vec3::new(self.x.abs(), self.y.abs(), self.z.abs())
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec3) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+        self.z += rhs.z;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec3) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+        self.z -= rhs.z;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        v * self
+    }
+}
+
+impl MulAssign<f64> for Vec3 {
+    #[inline]
+    fn mul_assign(&mut self, s: f64) {
+        self.x *= s;
+        self.y *= s;
+        self.z *= s;
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, s: f64) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl DivAssign<f64> for Vec3 {
+    #[inline]
+    fn div_assign(&mut self, s: f64) {
+        self.x /= s;
+        self.y /= s;
+        self.z /= s;
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 index out of range: {i}"),
+        }
+    }
+}
+
+impl IndexMut<usize> for Vec3 {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        match i {
+            0 => &mut self.x,
+            1 => &mut self.y,
+            2 => &mut self.z,
+            _ => panic!("Vec3 index out of range: {i}"),
+        }
+    }
+}
+
+impl Sum for Vec3 {
+    fn sum<I: Iterator<Item = Vec3>>(iter: I) -> Vec3 {
+        iter.fold(Vec3::ZERO, Add::add)
+    }
+}
+
+impl<'a> Sum<&'a Vec3> for Vec3 {
+    fn sum<I: Iterator<Item = &'a Vec3>>(iter: I) -> Vec3 {
+        iter.copied().sum()
+    }
+}
+
+impl From<[f64; 3]> for Vec3 {
+    #[inline]
+    fn from(a: [f64; 3]) -> Vec3 {
+        Vec3::from_array(a)
+    }
+}
+
+impl From<Vec3> for [f64; 3] {
+    #[inline]
+    fn from(v: Vec3) -> [f64; 3] {
+        v.to_array()
+    }
+}
+
+impl std::fmt::Display for Vec3 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: f64, y: f64, z: f64) -> Vec3 {
+        Vec3::new(x, y, z)
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = v(1.0, -2.0, 3.0);
+        let b = v(0.5, 4.0, -1.0);
+        assert_eq!(a + b, v(1.5, 2.0, 2.0));
+        assert_eq!(a - b, v(0.5, -6.0, 4.0));
+        assert_eq!(a * 2.0, v(2.0, -4.0, 6.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(a / 2.0, v(0.5, -1.0, 1.5));
+        assert_eq!(-a, v(-1.0, 2.0, -3.0));
+        assert_eq!(a + Vec3::ZERO, a);
+    }
+
+    #[test]
+    fn compound_assignment() {
+        let mut a = v(1.0, 2.0, 3.0);
+        a += v(1.0, 1.0, 1.0);
+        assert_eq!(a, v(2.0, 3.0, 4.0));
+        a -= v(2.0, 2.0, 2.0);
+        assert_eq!(a, v(0.0, 1.0, 2.0));
+        a *= 3.0;
+        assert_eq!(a, v(0.0, 3.0, 6.0));
+        a /= 3.0;
+        assert_eq!(a, v(0.0, 1.0, 2.0));
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let x = v(1.0, 0.0, 0.0);
+        let y = v(0.0, 1.0, 0.0);
+        let z = v(0.0, 0.0, 1.0);
+        assert_eq!(x.dot(y), 0.0);
+        assert_eq!(x.cross(y), z);
+        assert_eq!(y.cross(z), x);
+        assert_eq!(z.cross(x), y);
+        // anti-commutativity
+        assert_eq!(x.cross(y), -(y.cross(x)));
+        // cross product orthogonal to both operands
+        let a = v(1.2, -0.7, 2.9);
+        let b = v(-3.1, 0.4, 0.8);
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < 1e-12);
+        assert!(c.dot(b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norms() {
+        let a = v(3.0, 4.0, 0.0);
+        assert_eq!(a.norm_sq(), 25.0);
+        assert_eq!(a.norm(), 5.0);
+        let u = a.normalized();
+        assert!((u.norm() - 1.0).abs() < 1e-15);
+        assert_eq!(Vec3::ZERO.normalized(), Vec3::ZERO);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = v(1.0, 2.0, 3.0);
+        let b = v(4.0, 0.5, -1.0);
+        assert_eq!(a.mul_elem(b), v(4.0, 1.0, -3.0));
+        assert_eq!(a.div_elem(v(2.0, 2.0, 2.0)), v(0.5, 1.0, 1.5));
+        assert_eq!(a.min_elem(b), v(1.0, 0.5, -1.0));
+        assert_eq!(a.max_elem(b), v(4.0, 2.0, 3.0));
+        assert_eq!(b.min_component(), -1.0);
+        assert_eq!(b.max_component(), 4.0);
+        assert_eq!(b.abs(), v(4.0, 0.5, 1.0));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = v(0.0, 0.0, 0.0);
+        let b = v(2.0, 4.0, -6.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), v(1.0, 2.0, -3.0));
+    }
+
+    #[test]
+    fn indexing() {
+        let mut a = v(1.0, 2.0, 3.0);
+        assert_eq!(a[0], 1.0);
+        assert_eq!(a[1], 2.0);
+        assert_eq!(a[2], 3.0);
+        a[1] = 9.0;
+        assert_eq!(a.y, 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn index_out_of_range_panics() {
+        let _ = v(0.0, 0.0, 0.0)[3];
+    }
+
+    #[test]
+    fn array_round_trip() {
+        let a = v(1.0, 2.0, 3.0);
+        let arr: [f64; 3] = a.into();
+        assert_eq!(arr, [1.0, 2.0, 3.0]);
+        assert_eq!(Vec3::from(arr), a);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let pts = [v(1.0, 0.0, 0.0), v(0.0, 2.0, 0.0), v(0.0, 0.0, 3.0)];
+        let s: Vec3 = pts.iter().sum();
+        assert_eq!(s, v(1.0, 2.0, 3.0));
+        let s2: Vec3 = pts.into_iter().sum();
+        assert_eq!(s2, s);
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(v(1.0, 2.0, 3.0).is_finite());
+        assert!(!v(f64::NAN, 0.0, 0.0).is_finite());
+        assert!(!v(0.0, f64::INFINITY, 0.0).is_finite());
+    }
+
+    #[test]
+    fn distances() {
+        let a = v(1.0, 1.0, 1.0);
+        let b = v(4.0, 5.0, 1.0);
+        assert_eq!(a.distance_sq(b), 25.0);
+        assert_eq!(a.distance(b), 5.0);
+    }
+
+    #[test]
+    fn memory_layout_is_three_packed_f64() {
+        assert_eq!(std::mem::size_of::<Vec3>(), 24);
+        assert_eq!(std::mem::align_of::<Vec3>(), 8);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the geometric substrate.
+
+use md_geometry::{Aabb, Lattice, LatticeSpec, SimBox, Vec3};
+use proptest::prelude::*;
+
+fn arb_vec3(limit: f64) -> impl Strategy<Value = Vec3> {
+    (-limit..limit, -limit..limit, -limit..limit).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn vector_algebra_identities(a in arb_vec3(1e3), b in arb_vec3(1e3), s in -100.0..100.0f64) {
+        // Distributivity and linearity of dot.
+        prop_assert!(((a + b).dot(a) - (a.dot(a) + b.dot(a))).abs() < 1e-6);
+        prop_assert!(((a * s).dot(b) - s * a.dot(b)).abs() < 1e-6 * (1.0 + s.abs() * a.norm() * b.norm()));
+        // Cauchy–Schwarz.
+        prop_assert!(a.dot(b).abs() <= a.norm() * b.norm() + 1e-6);
+        // Triangle inequality.
+        prop_assert!((a + b).norm() <= a.norm() + b.norm() + 1e-9);
+        // Cross product orthogonality and Lagrange identity.
+        let c = a.cross(b);
+        prop_assert!(c.dot(a).abs() <= 1e-3 * (1.0 + a.norm_sq() * b.norm()));
+        let lagrange = a.norm_sq() * b.norm_sq() - a.dot(b) * a.dot(b);
+        prop_assert!((c.norm_sq() - lagrange).abs() <= 1e-4 * (1.0 + lagrange.abs()));
+    }
+
+    #[test]
+    fn min_image_distance_is_translation_invariant(
+        a in arb_vec3(30.0),
+        b in arb_vec3(30.0),
+        shift in arb_vec3(100.0),
+        l in 10.0..50.0f64,
+    ) {
+        let bx = SimBox::cubic(l);
+        let (wa, wb) = (bx.wrap(a), bx.wrap(b));
+        let d0 = bx.distance_sq(wa, wb);
+        // Shifting both points by the same vector (then wrapping) preserves
+        // the minimum-image distance.
+        let d1 = bx.distance_sq(bx.wrap(wa + shift), bx.wrap(wb + shift));
+        prop_assert!((d0 - d1).abs() < 1e-6 * (1.0 + d0), "{d0} vs {d1}");
+    }
+
+    #[test]
+    fn min_image_never_exceeds_half_diagonal(a in arb_vec3(40.0), b in arb_vec3(40.0), l in 10.0..40.0f64) {
+        let bx = SimBox::cubic(l);
+        let d = bx.min_image(bx.wrap(a), bx.wrap(b));
+        for k in 0..3 {
+            prop_assert!(d[k].abs() <= l / 2.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn aabb_expansion_contains_original(
+        lo in arb_vec3(50.0),
+        extent in (0.1..20.0f64, 0.1..20.0f64, 0.1..20.0f64),
+        margin in 0.0..10.0f64,
+        p in arb_vec3(80.0),
+    ) {
+        let hi = lo + Vec3::new(extent.0, extent.1, extent.2);
+        let bb = Aabb::new(lo, hi);
+        let grown = bb.expanded(margin);
+        // Monotonicity: everything inside bb stays inside grown.
+        if bb.contains(p) {
+            prop_assert!(grown.contains(p));
+        }
+        prop_assert!(grown.volume() >= bb.volume());
+        prop_assert!(bb.intersects(&grown) || bb.volume() == 0.0);
+    }
+
+    #[test]
+    fn lattice_counts_and_density(n in 1usize..6, a in 2.0..6.0f64) {
+        for (lat, per_cell) in [(Lattice::Sc, 1usize), (Lattice::Bcc, 2), (Lattice::Fcc, 4)] {
+            let spec = LatticeSpec::new(lat, a, [n, n, n]);
+            let atoms = spec.generate();
+            prop_assert_eq!(atoms.len(), per_cell * n * n * n);
+            let bx = spec.sim_box();
+            // All atoms inside, density matches count/volume.
+            for p in &atoms {
+                for d in 0..3 {
+                    prop_assert!(p[d] >= 0.0 && p[d] < bx.lengths()[d]);
+                }
+            }
+            let rho = spec.number_density();
+            prop_assert!((rho - atoms.len() as f64 / bx.volume()).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Linked-cell binning.
+//!
+//! Atoms are binned into a regular grid of cells whose edge is at least the
+//! interaction range, so all neighbors of an atom lie in its own cell or the
+//! 26 surrounding cells. Construction is a counting sort (O(N)); the cell
+//! contents are stored in CSR form, so a build performs exactly three passes
+//! over the atoms and two allocations.
+
+use crate::csr::Csr;
+use md_geometry::{SimBox, Vec3};
+
+/// A regular grid of cells over a periodic simulation box, with atoms binned
+/// into cells.
+#[derive(Debug, Clone)]
+pub struct CellGrid {
+    dims: [usize; 3],
+    cells: Csr,
+    /// cell id of each atom, kept for O(1) lookup.
+    atom_cell: Vec<u32>,
+}
+
+impl CellGrid {
+    /// Bins `positions` into cells of edge ≥ `min_cell` inside `sim_box`.
+    ///
+    /// Positions must already be wrapped into the primary image.
+    ///
+    /// # Panics
+    /// Panics if `min_cell` is not positive, exceeds any box edge, or if any
+    /// position lies outside the primary image.
+    pub fn build(sim_box: &SimBox, positions: &[Vec3], min_cell: f64) -> CellGrid {
+        assert!(min_cell > 0.0 && min_cell.is_finite(), "min_cell must be positive");
+        let l = sim_box.lengths();
+        let mut dims = [0usize; 3];
+        for d in 0..3 {
+            let n = (l[d] / min_cell).floor() as usize;
+            assert!(n >= 1, "cell size {min_cell} exceeds box edge {}", l[d]);
+            dims[d] = n;
+        }
+        let inv_cell = Vec3::new(
+            dims[0] as f64 / l.x,
+            dims[1] as f64 / l.y,
+            dims[2] as f64 / l.z,
+        );
+        let n_cells = dims[0] * dims[1] * dims[2];
+        let mut pairs = Vec::with_capacity(positions.len());
+        let mut atom_cell = Vec::with_capacity(positions.len());
+        for (a, &p) in positions.iter().enumerate() {
+            for d in 0..3 {
+                assert!(
+                    p[d] >= 0.0 && p[d] < l[d],
+                    "atom {a} at {p} outside primary image of box {l}"
+                );
+            }
+            let c = cell_of(p, inv_cell, dims);
+            pairs.push((c as u32, a as u32));
+            atom_cell.push(c as u32);
+        }
+        let cells = Csr::from_pairs(n_cells, &pairs);
+        CellGrid {
+            dims,
+            cells,
+            atom_cell,
+        }
+    }
+
+    /// Grid dimensions (number of cells along each axis).
+    #[inline]
+    pub fn dims(&self) -> [usize; 3] {
+        self.dims
+    }
+
+    /// Total number of cells.
+    #[inline]
+    pub fn cell_count(&self) -> usize {
+        self.dims[0] * self.dims[1] * self.dims[2]
+    }
+
+    /// Atoms contained in cell `c`.
+    #[inline]
+    pub fn cell_atoms(&self, c: usize) -> &[u32] {
+        self.cells.row(c)
+    }
+
+    /// Cell id of atom `a`.
+    #[inline]
+    pub fn cell_of_atom(&self, a: usize) -> usize {
+        self.atom_cell[a] as usize
+    }
+
+    /// Linear cell id from 3-D cell coordinates.
+    #[inline]
+    pub fn cell_id(&self, ix: usize, iy: usize, iz: usize) -> usize {
+        (ix * self.dims[1] + iy) * self.dims[2] + iz
+    }
+
+    /// 3-D cell coordinates from a linear id.
+    #[inline]
+    pub fn cell_coords(&self, c: usize) -> [usize; 3] {
+        let iz = c % self.dims[2];
+        let iy = (c / self.dims[2]) % self.dims[1];
+        let ix = c / (self.dims[1] * self.dims[2]);
+        [ix, iy, iz]
+    }
+
+    /// The *unique* cells in the 3×3×3 stencil around cell `c`, with periodic
+    /// wrap. When the grid has fewer than three cells along some axis the
+    /// wrapped stencil would repeat cells; duplicates are removed so that a
+    /// pair of cells appears at most once.
+    pub fn stencil(&self, c: usize) -> Vec<usize> {
+        let [ix, iy, iz] = self.cell_coords(c);
+        let mut out = Vec::with_capacity(27);
+        for dx in -1i64..=1 {
+            for dy in -1i64..=1 {
+                for dz in -1i64..=1 {
+                    let nx = wrap(ix as i64 + dx, self.dims[0]);
+                    let ny = wrap(iy as i64 + dy, self.dims[1]);
+                    let nz = wrap(iz as i64 + dz, self.dims[2]);
+                    out.push(self.cell_id(nx, ny, nz));
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Iterates all atoms in cell order (used by the spatial-sort reordering).
+    pub fn atoms_in_cell_order(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.cell_count()).flat_map(move |c| self.cell_atoms(c).iter().copied())
+    }
+
+    /// Mean atoms per cell.
+    pub fn mean_occupancy(&self) -> f64 {
+        self.atom_cell.len() as f64 / self.cell_count() as f64
+    }
+}
+
+#[inline]
+fn wrap(i: i64, n: usize) -> usize {
+    let n = n as i64;
+    (((i % n) + n) % n) as usize
+}
+
+#[inline]
+fn cell_of(p: Vec3, inv_cell: Vec3, dims: [usize; 3]) -> usize {
+    let mut idx = [0usize; 3];
+    for d in 0..3 {
+        // Clamp handles positions within float-epsilon of the upper edge.
+        let i = (p[d] * inv_cell[d]) as usize;
+        idx[d] = i.min(dims[d] - 1);
+    }
+    (idx[0] * dims[1] + idx[1]) * dims[2] + idx[2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use md_geometry::LatticeSpec;
+
+    #[test]
+    fn every_atom_lands_in_exactly_one_cell() {
+        let (bx, pos) = LatticeSpec::bcc_fe(3).build();
+        let g = CellGrid::build(&bx, &pos, 2.87);
+        let total: usize = (0..g.cell_count()).map(|c| g.cell_atoms(c).len()).sum();
+        assert_eq!(total, pos.len());
+        for a in 0..pos.len() {
+            let c = g.cell_of_atom(a);
+            assert!(g.cell_atoms(c).contains(&(a as u32)));
+        }
+    }
+
+    #[test]
+    fn dims_respect_min_cell() {
+        let bx = SimBox::cubic(10.0);
+        let g = CellGrid::build(&bx, &[Vec3::splat(1.0)], 3.0);
+        assert_eq!(g.dims(), [3, 3, 3]);
+        // Each cell edge is 10/3 ≈ 3.33 ≥ 3.0.
+    }
+
+    #[test]
+    fn cell_id_coords_round_trip() {
+        let bx = SimBox::periodic(Vec3::new(12.0, 8.0, 20.0));
+        let g = CellGrid::build(&bx, &[Vec3::splat(0.5)], 2.0);
+        for c in 0..g.cell_count() {
+            let [ix, iy, iz] = g.cell_coords(c);
+            assert_eq!(g.cell_id(ix, iy, iz), c);
+        }
+    }
+
+    #[test]
+    fn stencil_full_grid_has_27_unique_cells() {
+        let bx = SimBox::cubic(12.0);
+        let g = CellGrid::build(&bx, &[Vec3::splat(0.5)], 3.0); // 4×4×4
+        let s = g.stencil(g.cell_id(1, 1, 1));
+        assert_eq!(s.len(), 27);
+    }
+
+    #[test]
+    fn stencil_wraps_at_boundary() {
+        let bx = SimBox::cubic(12.0);
+        let g = CellGrid::build(&bx, &[Vec3::splat(0.5)], 3.0); // 4×4×4
+        let s = g.stencil(g.cell_id(0, 0, 0));
+        assert_eq!(s.len(), 27);
+        // The wrapped neighbor (3,3,3) must be present.
+        assert!(s.contains(&g.cell_id(3, 3, 3)));
+    }
+
+    #[test]
+    fn stencil_dedups_on_small_grids() {
+        let bx = SimBox::cubic(4.0);
+        let g = CellGrid::build(&bx, &[Vec3::splat(0.5)], 2.0); // 2×2×2 grid
+        let s = g.stencil(0);
+        // With 2 cells per axis the 27-stencil collapses to all 8 cells.
+        assert_eq!(s.len(), 8);
+    }
+
+    #[test]
+    fn atoms_near_upper_edge_are_clamped_into_last_cell() {
+        let bx = SimBox::cubic(10.0);
+        let p = Vec3::splat(10.0 - 1e-13);
+        let g = CellGrid::build(&bx, &[p], 2.5);
+        let c = g.cell_of_atom(0);
+        assert_eq!(g.cell_coords(c), [3, 3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside primary image")]
+    fn unwrapped_positions_are_rejected() {
+        let bx = SimBox::cubic(10.0);
+        let _ = CellGrid::build(&bx, &[Vec3::splat(10.5)], 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds box edge")]
+    fn oversized_cell_rejected() {
+        let bx = SimBox::cubic(2.0);
+        let _ = CellGrid::build(&bx, &[Vec3::splat(0.5)], 3.0);
+    }
+
+    #[test]
+    fn cell_order_iteration_covers_all_atoms() {
+        let (bx, pos) = LatticeSpec::bcc_fe(2).build();
+        let g = CellGrid::build(&bx, &pos, 2.8);
+        let mut seen: Vec<u32> = g.atoms_in_cell_order().collect();
+        seen.sort_unstable();
+        let expect: Vec<u32> = (0..pos.len() as u32).collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn mean_occupancy_is_total_over_cells() {
+        let (bx, pos) = LatticeSpec::bcc_fe(3).build();
+        let g = CellGrid::build(&bx, &pos, 2.87);
+        let expected = pos.len() as f64 / g.cell_count() as f64;
+        assert!((g.mean_occupancy() - expected).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,308 @@
+//! Compressed sparse row (CSR) adjacency storage.
+//!
+//! The paper's serial code (its Figs. 1–2) walks neighbor lists through two
+//! *irregular* arrays, `neighindex[i]` (start of atom `i`'s neighbors) and
+//! `neighlen[i]` (their count). Its §II.D.2 optimization replaces them with
+//! "regular arrays" so that accesses become sequential — which is precisely
+//! the CSR layout implemented here: one `offsets` array of length `n + 1`
+//! (monotone, so `offsets[i+1] - offsets[i]` *is* `neighlen[i]`) plus one
+//! contiguous `indices` array.
+
+/// CSR adjacency: `indices[offsets[i] .. offsets[i+1]]` are the neighbors of
+/// row `i`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    indices: Vec<u32>,
+}
+
+impl Csr {
+    /// An empty CSR with `rows` empty rows.
+    pub fn empty(rows: usize) -> Csr {
+        Csr {
+            offsets: vec![0; rows + 1],
+            indices: Vec::new(),
+        }
+    }
+
+    /// Builds a CSR from per-row neighbor vectors.
+    pub fn from_rows(rows: &[Vec<u32>]) -> Csr {
+        let mut offsets = Vec::with_capacity(rows.len() + 1);
+        let mut total = 0u32;
+        offsets.push(0);
+        for r in rows {
+            total = total
+                .checked_add(r.len() as u32)
+                .expect("CSR entry count overflows u32");
+            offsets.push(total);
+        }
+        let mut indices = Vec::with_capacity(total as usize);
+        for r in rows {
+            indices.extend_from_slice(r);
+        }
+        Csr { offsets, indices }
+    }
+
+    /// Builds a CSR with `rows` rows from `(row, value)` pairs in any order,
+    /// by counting sort. Within each row, values keep their input order
+    /// (the sort is stable).
+    pub fn from_pairs(rows: usize, pairs: &[(u32, u32)]) -> Csr {
+        let mut counts = vec![0u32; rows + 1];
+        for &(r, _) in pairs {
+            assert!((r as usize) < rows, "row {r} out of range (rows = {rows})");
+            counts[r as usize + 1] += 1;
+        }
+        for i in 0..rows {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut indices = vec![0u32; pairs.len()];
+        for &(r, v) in pairs {
+            let at = cursor[r as usize];
+            indices[at as usize] = v;
+            cursor[r as usize] += 1;
+        }
+        Csr { offsets, indices }
+    }
+
+    /// Assembles a CSR directly from raw parts.
+    ///
+    /// # Panics
+    /// Panics unless `offsets` is non-empty, monotone non-decreasing, starts
+    /// at 0 and ends at `indices.len()`.
+    pub fn from_raw(offsets: Vec<u32>, indices: Vec<u32>) -> Csr {
+        assert!(!offsets.is_empty(), "offsets must have at least one entry");
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be monotone non-decreasing"
+        );
+        assert_eq!(
+            *offsets.last().unwrap() as usize,
+            indices.len(),
+            "last offset must equal indices length"
+        );
+        Csr { offsets, indices }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of stored entries.
+    #[inline]
+    pub fn entries(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// The neighbors of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.indices[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Length of row `i` (the paper's `neighlen[i]`).
+    #[inline]
+    pub fn row_len(&self, i: usize) -> usize {
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// The raw offsets array (the paper's regularized `neighindex[]`).
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The raw indices array (the paper's `neighlist[]`).
+    #[inline]
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Iterates `(row, &neighbors)` pairs.
+    pub fn iter_rows(&self) -> impl Iterator<Item = (usize, &[u32])> + '_ {
+        (0..self.rows()).map(move |i| (i, self.row(i)))
+    }
+
+    /// Sorts every row ascending in place (the paper's §II.D.1 neighbor
+    /// reordering, which makes the inner-loop reads of `rho[j]` sweep memory
+    /// monotonically).
+    pub fn sort_rows(&mut self) {
+        for i in 0..self.rows() {
+            let (s, e) = (self.offsets[i] as usize, self.offsets[i + 1] as usize);
+            self.indices[s..e].sort_unstable();
+        }
+    }
+
+    /// Returns the *mirrored* CSR: entry `j ∈ row(i)` becomes `i ∈ row(j)`.
+    ///
+    /// Applied to a half neighbor list this yields "the other half"; the
+    /// union (see [`Csr::symmetrized`]) is the full list the Redundant
+    /// Computation baseline consumes.
+    pub fn mirrored(&self) -> Csr {
+        let n = self.rows();
+        let mut counts = vec![0u32; n + 1];
+        for &j in &self.indices {
+            assert!((j as usize) < n, "mirror requires square adjacency");
+            counts[j as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut indices = vec![0u32; self.indices.len()];
+        for (i, row) in self.iter_rows() {
+            for &j in row {
+                let at = cursor[j as usize];
+                indices[at as usize] = i as u32;
+                cursor[j as usize] += 1;
+            }
+        }
+        Csr { offsets, indices }
+    }
+
+    /// Union of `self` and its mirror: the full (symmetric) adjacency.
+    /// Rows of the result are sorted ascending.
+    pub fn symmetrized(&self) -> Csr {
+        let mirror = self.mirrored();
+        let n = self.rows();
+        let mut rows: Vec<Vec<u32>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut r: Vec<u32> = self.row(i).to_vec();
+            r.extend_from_slice(mirror.row(i));
+            r.sort_unstable();
+            r.dedup();
+            rows.push(r);
+        }
+        Csr::from_rows(&rows)
+    }
+
+    /// Heap bytes used by the structure (for memory-overhead reporting; the
+    /// paper motivates SDC partly by EAM's memory pressure).
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.capacity() * std::mem::size_of::<u32>()
+            + self.indices.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        // 0 -> {1, 2}, 1 -> {2}, 2 -> {}, 3 -> {0}
+        Csr::from_rows(&[vec![1, 2], vec![2], vec![], vec![0]])
+    }
+
+    #[test]
+    fn rows_and_entries() {
+        let c = sample();
+        assert_eq!(c.rows(), 4);
+        assert_eq!(c.entries(), 4);
+        assert_eq!(c.row(0), &[1, 2]);
+        assert_eq!(c.row(1), &[2]);
+        assert_eq!(c.row(2), &[] as &[u32]);
+        assert_eq!(c.row(3), &[0]);
+        assert_eq!(c.row_len(0), 2);
+        assert_eq!(c.row_len(2), 0);
+    }
+
+    #[test]
+    fn empty_has_no_entries() {
+        let c = Csr::empty(3);
+        assert_eq!(c.rows(), 3);
+        assert_eq!(c.entries(), 0);
+        for i in 0..3 {
+            assert!(c.row(i).is_empty());
+        }
+    }
+
+    #[test]
+    fn from_pairs_matches_from_rows() {
+        let pairs = [(0, 1), (3, 0), (0, 2), (1, 2)];
+        let c = Csr::from_pairs(4, &pairs);
+        assert_eq!(c, sample());
+    }
+
+    #[test]
+    fn from_pairs_is_stable_within_rows() {
+        let pairs = [(0, 5), (0, 3), (0, 4)];
+        let c = Csr::from_pairs(1, &pairs);
+        assert_eq!(c.row(0), &[5, 3, 4]);
+    }
+
+    #[test]
+    fn from_raw_validates() {
+        let c = Csr::from_raw(vec![0, 2, 2], vec![7, 8]);
+        assert_eq!(c.row(0), &[7, 8]);
+        assert_eq!(c.row(1), &[] as &[u32]);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn from_raw_rejects_decreasing_offsets() {
+        let _ = Csr::from_raw(vec![0, 2, 1], vec![7, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "last offset")]
+    fn from_raw_rejects_bad_total() {
+        let _ = Csr::from_raw(vec![0, 1], vec![7, 8]);
+    }
+
+    #[test]
+    fn sort_rows_sorts_each_row() {
+        let mut c = Csr::from_rows(&[vec![3, 1, 2], vec![9, 0]]);
+        c.sort_rows();
+        assert_eq!(c.row(0), &[1, 2, 3]);
+        assert_eq!(c.row(1), &[0, 9]);
+    }
+
+    #[test]
+    fn mirror_reverses_all_edges() {
+        let c = sample();
+        let m = c.mirrored();
+        assert_eq!(m.row(0), &[3]);
+        assert_eq!(m.row(1), &[0]);
+        assert_eq!(m.row(2), &[0, 1]);
+        assert_eq!(m.row(3), &[] as &[u32]);
+        assert_eq!(m.entries(), c.entries());
+        // Mirroring twice restores the edge set (possibly reordered).
+        let mm = m.mirrored();
+        let mut orig: Vec<(usize, u32)> = c.iter_rows().flat_map(|(i, r)| r.iter().map(move |&j| (i, j))).collect();
+        let mut back: Vec<(usize, u32)> = mm.iter_rows().flat_map(|(i, r)| r.iter().map(move |&j| (i, j))).collect();
+        orig.sort_unstable();
+        back.sort_unstable();
+        assert_eq!(orig, back);
+    }
+
+    #[test]
+    fn symmetrized_contains_both_directions() {
+        let c = Csr::from_rows(&[vec![1], vec![], vec![1]]);
+        let s = c.symmetrized();
+        assert_eq!(s.row(0), &[1]);
+        assert_eq!(s.row(1), &[0, 2]);
+        assert_eq!(s.row(2), &[1]);
+        // A half list of p pairs symmetrizes to exactly 2p entries.
+        assert_eq!(s.entries(), 2 * c.entries());
+    }
+
+    #[test]
+    fn iter_rows_visits_all() {
+        let c = sample();
+        let collected: Vec<(usize, Vec<u32>)> =
+            c.iter_rows().map(|(i, r)| (i, r.to_vec())).collect();
+        assert_eq!(collected.len(), 4);
+        assert_eq!(collected[3], (3, vec![0]));
+    }
+
+    #[test]
+    fn heap_bytes_counts_both_arrays() {
+        let c = sample();
+        assert!(c.heap_bytes() >= (c.offsets().len() + c.indices().len()) * 4);
+    }
+}

@@ -1,0 +1,312 @@
+//! Data-reordering locality transforms (paper §II.D).
+//!
+//! Irregular MD loops "do not repeatedly access data in memory with small
+//! constant strides" (the paper citing Han & Tseng). The paper applies two
+//! remedies, both implemented here:
+//!
+//! 1. **Spatial atom reordering** — relabel atoms so that spatially close
+//!    atoms get close indices (we sort by linked-cell id). Neighbor indices
+//!    `j` in the inner loops then read `rho[j]` / `pos[j]` from nearby cache
+//!    lines.
+//! 2. **Regularized neighbor arrays** — the CSR layout of [`crate::Csr`]
+//!    replaces the irregular `neighindex[]`/`neighlen[]` pair, and
+//!    [`crate::Csr::sort_rows`] makes each row's reads monotone in memory.
+//!
+//! The permutation type is explicit about direction: `new_to_old[new] = old`.
+
+use crate::cell_grid::CellGrid;
+use crate::csr::Csr;
+use crate::verlet::{NeighborList, NeighborListKind};
+use md_geometry::{SimBox, Vec3};
+
+/// A relabeling of `n` atoms: `new_to_old[new_index] = old_index`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    new_to_old: Vec<u32>,
+}
+
+impl Permutation {
+    /// The identity permutation on `n` elements.
+    pub fn identity(n: usize) -> Permutation {
+        Permutation {
+            new_to_old: (0..n as u32).collect(),
+        }
+    }
+
+    /// Builds a permutation from a `new_to_old` mapping.
+    ///
+    /// # Panics
+    /// Panics unless the mapping is a bijection on `0..n`.
+    pub fn from_new_to_old(new_to_old: Vec<u32>) -> Permutation {
+        let n = new_to_old.len();
+        let mut seen = vec![false; n];
+        for &o in &new_to_old {
+            assert!((o as usize) < n, "index {o} out of range for permutation of {n}");
+            assert!(!seen[o as usize], "index {o} appears twice; not a permutation");
+            seen[o as usize] = true;
+        }
+        Permutation { new_to_old }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.new_to_old.len()
+    }
+
+    /// `true` for the empty permutation.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.new_to_old.is_empty()
+    }
+
+    /// The raw `new_to_old` mapping.
+    #[inline]
+    pub fn new_to_old(&self) -> &[u32] {
+        &self.new_to_old
+    }
+
+    /// Old index of the atom now labeled `new`.
+    #[inline]
+    pub fn old_of(&self, new: usize) -> usize {
+        self.new_to_old[new] as usize
+    }
+
+    /// The inverse permutation (`old_to_new`).
+    pub fn inverse(&self) -> Permutation {
+        let mut inv = vec![0u32; self.len()];
+        for (new, &old) in self.new_to_old.iter().enumerate() {
+            inv[old as usize] = new as u32;
+        }
+        Permutation { new_to_old: inv }
+    }
+
+    /// Applies the relabeling to per-atom data: `out[new] = data[old]`.
+    pub fn apply<T: Clone>(&self, data: &[T]) -> Vec<T> {
+        assert_eq!(data.len(), self.len(), "data length != permutation length");
+        self.new_to_old
+            .iter()
+            .map(|&old| data[old as usize].clone())
+            .collect()
+    }
+
+    /// Applies the relabeling in place using a scratch buffer.
+    pub fn apply_in_place<T: Clone>(&self, data: &mut Vec<T>) {
+        let out = self.apply(data);
+        *data = out;
+    }
+
+    /// Composition `self ∘ other`: applying the result equals applying
+    /// `other` first, then `self`.
+    pub fn compose(&self, other: &Permutation) -> Permutation {
+        assert_eq!(self.len(), other.len(), "permutation sizes differ");
+        let new_to_old = self
+            .new_to_old
+            .iter()
+            .map(|&mid| other.new_to_old[mid as usize])
+            .collect();
+        Permutation { new_to_old }
+    }
+}
+
+/// Computes the spatial-sort permutation: atoms ordered by linked-cell id
+/// (x-major), preserving input order within a cell.
+///
+/// This is the paper's §II.D.1 transform: after relabeling, consecutive atom
+/// indices are spatially adjacent, so the irregular reads in the inner force
+/// loops hit nearby cache lines.
+pub fn spatial_permutation(sim_box: &SimBox, positions: &[Vec3], cell_size: f64) -> Permutation {
+    if positions.is_empty() {
+        return Permutation::identity(0);
+    }
+    let grid = CellGrid::build(sim_box, positions, cell_size);
+    let order: Vec<u32> = grid.atoms_in_cell_order().collect();
+    Permutation::from_new_to_old(order)
+}
+
+/// Remaps a CSR adjacency under an atom relabeling, re-canonicalizing each
+/// stored pair so that half-list invariants (owner = lower index, rows
+/// ascending) survive the relabeling.
+pub fn remap_csr(csr: &Csr, perm: &Permutation, kind: NeighborListKind) -> Csr {
+    let n = csr.rows();
+    assert_eq!(n, perm.len(), "CSR rows != permutation length");
+    let old_to_new = perm.inverse();
+    let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(csr.entries());
+    match kind {
+        NeighborListKind::Half => {
+            for (i_old, row) in csr.iter_rows() {
+                let i_new = old_to_new.new_to_old[i_old];
+                for &j_old in row {
+                    let j_new = old_to_new.new_to_old[j_old as usize];
+                    let (a, b) = if i_new < j_new { (i_new, j_new) } else { (j_new, i_new) };
+                    pairs.push((a, b));
+                }
+            }
+        }
+        NeighborListKind::Full => {
+            for (i_old, row) in csr.iter_rows() {
+                let i_new = old_to_new.new_to_old[i_old];
+                for &j_old in row {
+                    pairs.push((i_new, old_to_new.new_to_old[j_old as usize]));
+                }
+            }
+        }
+    }
+    let mut out = Csr::from_pairs(n, &pairs);
+    out.sort_rows();
+    out
+}
+
+/// Applies an atom relabeling to a whole neighbor list (CSR + reference
+/// positions), preserving its kind and configuration.
+pub fn reorder_neighbor_list(nl: &NeighborList, perm: &Permutation) -> NeighborList {
+    let csr = remap_csr(nl.csr(), perm, nl.kind());
+    NeighborList::from_parts(nl.config(), csr, perm.apply(nl.ref_positions_raw()))
+}
+
+impl NeighborList {
+    /// Reassembles a list from parts (used by the reordering transform).
+    pub(crate) fn from_parts(
+        config: crate::verlet::VerletConfig,
+        csr: Csr,
+        ref_positions: Vec<Vec3>,
+    ) -> NeighborList {
+        NeighborList::assemble_from_parts(config, csr, ref_positions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verlet::VerletConfig;
+    use md_geometry::LatticeSpec;
+
+    #[test]
+    fn identity_apply_is_noop() {
+        let p = Permutation::identity(4);
+        let data = vec![10, 20, 30, 40];
+        assert_eq!(p.apply(&data), data);
+    }
+
+    #[test]
+    fn apply_moves_old_to_new() {
+        // new 0 takes old 2, new 1 takes old 0, new 2 takes old 1.
+        let p = Permutation::from_new_to_old(vec![2, 0, 1]);
+        assert_eq!(p.apply(&['a', 'b', 'c']), vec!['c', 'a', 'b']);
+        assert_eq!(p.old_of(0), 2);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let p = Permutation::from_new_to_old(vec![3, 1, 0, 2]);
+        let data = vec![1, 2, 3, 4];
+        let there = p.apply(&data);
+        let back = p.inverse().apply(&there);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn compose_applies_right_then_left() {
+        let f = Permutation::from_new_to_old(vec![1, 2, 0]);
+        let g = Permutation::from_new_to_old(vec![2, 1, 0]);
+        let fg = f.compose(&g);
+        let data = vec!['x', 'y', 'z'];
+        assert_eq!(fg.apply(&data), f.apply(&g.apply(&data)));
+    }
+
+    #[test]
+    #[should_panic(expected = "appears twice")]
+    fn duplicate_rejected() {
+        let _ = Permutation::from_new_to_old(vec![0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        let _ = Permutation::from_new_to_old(vec![0, 3]);
+    }
+
+    #[test]
+    fn spatial_permutation_is_a_permutation_and_clusters_cells() {
+        let (bx, pos) = LatticeSpec::bcc_fe(3).build();
+        let p = spatial_permutation(&bx, &pos, 2.9);
+        assert_eq!(p.len(), pos.len());
+        // After relabeling, consecutive atoms should mostly be nearby:
+        // measure mean distance between consecutive indices before/after.
+        let reordered = p.apply(&pos);
+        let mean_step = |ps: &[md_geometry::Vec3]| {
+            ps.windows(2)
+                .map(|w| bx.distance_sq(w[0], w[1]).sqrt())
+                .sum::<f64>()
+                / (ps.len() - 1) as f64
+        };
+        // BCC generation order is already fairly local; the reorder must not
+        // be dramatically worse and must remain a valid permutation.
+        assert!(mean_step(&reordered) <= mean_step(&pos) * 2.0);
+        let mut sorted = p.new_to_old().to_vec();
+        sorted.sort_unstable();
+        let expect: Vec<u32> = (0..pos.len() as u32).collect();
+        assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn remap_preserves_pair_set_half() {
+        let (bx, pos) = LatticeSpec::bcc_fe(2).build();
+        let nl = NeighborList::build(&bx, &pos, VerletConfig::half(2.5, 0.0));
+        let p = Permutation::from_new_to_old({
+            // reverse order — a maximally disruptive relabeling
+            (0..pos.len() as u32).rev().collect()
+        });
+        let remapped = remap_csr(nl.csr(), &p, NeighborListKind::Half);
+        // The set of unordered pairs (translated back) must be identical.
+        let to_old = |x: u32| p.new_to_old()[x as usize];
+        let mut orig: Vec<(u32, u32)> = nl
+            .csr()
+            .iter_rows()
+            .flat_map(|(i, r)| r.iter().map(move |&j| (i as u32, j)))
+            .collect();
+        let mut back: Vec<(u32, u32)> = remapped
+            .iter_rows()
+            .flat_map(|(i, r)| {
+                r.iter().map(move |&j| {
+                    let (a, b) = (to_old(i as u32), to_old(j));
+                    if a < b {
+                        (a, b)
+                    } else {
+                        (b, a)
+                    }
+                })
+            })
+            .collect();
+        orig.sort_unstable();
+        back.sort_unstable();
+        assert_eq!(orig, back);
+        // Half invariants hold after remap.
+        for (i, row) in remapped.iter_rows() {
+            for &j in row {
+                assert!(j as usize > i);
+            }
+        }
+    }
+
+    #[test]
+    fn reordered_list_agrees_with_rebuild() {
+        // Reordering the list must equal rebuilding from reordered positions.
+        let (bx, pos) = LatticeSpec::bcc_fe(2).build();
+        let cfg = VerletConfig::half(2.5, 0.2);
+        let nl = NeighborList::build(&bx, &pos, cfg);
+        let p = spatial_permutation(&bx, &pos, cfg.reach());
+        let reordered = reorder_neighbor_list(&nl, &p);
+        let rebuilt = NeighborList::build(&bx, &p.apply(&pos), cfg);
+        let pairs = |l: &NeighborList| {
+            let mut v: Vec<(u32, u32)> = l
+                .csr()
+                .iter_rows()
+                .flat_map(|(i, r)| r.iter().map(move |&j| (i as u32, j)))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(pairs(&reordered), pairs(&rebuilt));
+    }
+}

@@ -1,0 +1,97 @@
+//! Neighbor-count statistics.
+//!
+//! The paper motivates SDC partly by metals' high coordination ("metal atoms
+//! usually have more neighboring atoms than other type atoms", §I) — these
+//! statistics make that density visible in examples and benchmarks.
+
+use crate::csr::Csr;
+
+/// Per-row (per-atom) count statistics of a CSR adjacency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NeighborStats {
+    /// Smallest row length.
+    pub min: usize,
+    /// Largest row length.
+    pub max: usize,
+    /// Mean row length.
+    pub mean: f64,
+    /// Total stored entries.
+    pub total: usize,
+    /// Number of rows.
+    pub rows: usize,
+}
+
+impl NeighborStats {
+    /// Computes statistics over all rows of a CSR.
+    ///
+    /// For an empty CSR (no rows) all fields are zero.
+    pub fn of_csr(csr: &Csr) -> NeighborStats {
+        let rows = csr.rows();
+        if rows == 0 {
+            return NeighborStats {
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                total: 0,
+                rows: 0,
+            };
+        }
+        let mut min = usize::MAX;
+        let mut max = 0usize;
+        for i in 0..rows {
+            let l = csr.row_len(i);
+            min = min.min(l);
+            max = max.max(l);
+        }
+        let total = csr.entries();
+        NeighborStats {
+            min,
+            max,
+            mean: total as f64 / rows as f64,
+            total,
+            rows,
+        }
+    }
+}
+
+impl std::fmt::Display for NeighborStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} entries over {} atoms (min {}, mean {:.2}, max {})",
+            self.total, self.rows, self.min, self.mean, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_simple_csr() {
+        let c = Csr::from_rows(&[vec![1, 2, 3], vec![0], vec![]]);
+        let s = NeighborStats::of_csr(&c);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 3);
+        assert_eq!(s.total, 4);
+        assert_eq!(s.rows, 3);
+        assert!((s.mean - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_empty_csr() {
+        let s = NeighborStats::of_csr(&Csr::empty(0));
+        assert_eq!(s.rows, 0);
+        assert_eq!(s.total, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let c = Csr::from_rows(&[vec![1], vec![0]]);
+        let s = NeighborStats::of_csr(&c).to_string();
+        assert!(s.contains("2 entries"));
+        assert!(s.contains("2 atoms"));
+    }
+}

@@ -1,0 +1,475 @@
+//! Verlet neighbor lists.
+//!
+//! A Verlet list (Verlet 1967, the paper's ref. 2) records, for every atom,
+//! the indices of all atoms within `cutoff + skin`. The *skin* margin lets a
+//! list survive several time-steps: it only needs rebuilding once some atom
+//! has moved further than `skin / 2` since the list was built (two atoms
+//! approaching head-on close the gap at twice the single-atom rate).
+//!
+//! Two list shapes are provided:
+//!
+//! * [`NeighborListKind::Half`] — each pair `(i, j)` stored once, under
+//!   `min(i, j)`. Force kernels then apply Newton's third law, writing to
+//!   **both** `i` and `j` — the irregular scatter the paper's SDC method
+//!   parallelizes.
+//! * [`NeighborListKind::Full`] — each pair stored in both rows. Kernels
+//!   only ever write to their own row (gather form); this doubles the pair
+//!   computations and the list memory, which is exactly the paper's
+//!   *Redundant Computation* (RC) baseline.
+
+use crate::cell_grid::CellGrid;
+use crate::csr::Csr;
+use crate::stats::NeighborStats;
+use md_geometry::{SimBox, Vec3};
+
+/// Whether each pair is stored once (half) or twice (full).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NeighborListKind {
+    /// Pair `(i, j)` with `i < j` stored once in row `i`.
+    Half,
+    /// Pair stored in both row `i` and row `j`.
+    Full,
+}
+
+/// Parameters for building a [`NeighborList`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VerletConfig {
+    /// Interaction cutoff `r_c` (Å).
+    pub cutoff: f64,
+    /// Extra skin margin (Å); the list holds all pairs within
+    /// `cutoff + skin`.
+    pub skin: f64,
+    /// Half or full list.
+    pub kind: NeighborListKind,
+}
+
+impl VerletConfig {
+    /// Half list with the given cutoff and skin.
+    pub fn half(cutoff: f64, skin: f64) -> VerletConfig {
+        VerletConfig {
+            cutoff,
+            skin,
+            kind: NeighborListKind::Half,
+        }
+    }
+
+    /// Full list with the given cutoff and skin.
+    pub fn full(cutoff: f64, skin: f64) -> VerletConfig {
+        VerletConfig {
+            cutoff,
+            skin,
+            kind: NeighborListKind::Full,
+        }
+    }
+
+    /// The list radius `cutoff + skin`.
+    #[inline]
+    pub fn reach(&self) -> f64 {
+        self.cutoff + self.skin
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.cutoff > 0.0 && self.cutoff.is_finite(),
+            "cutoff must be positive, got {}",
+            self.cutoff
+        );
+        assert!(
+            self.skin >= 0.0 && self.skin.is_finite(),
+            "skin must be non-negative, got {}",
+            self.skin
+        );
+    }
+}
+
+/// A built Verlet neighbor list in CSR form.
+///
+/// ```
+/// use md_geometry::LatticeSpec;
+/// use md_neighbor::{NeighborList, VerletConfig};
+///
+/// let (sim_box, positions) = LatticeSpec::bcc_fe(5).build();
+/// let list = NeighborList::build(&sim_box, &positions, VerletConfig::half(5.67, 0.0));
+/// // Perfect BCC iron: 58 neighbors within 5.67 Å, so the half list
+/// // stores 29 pairs per atom (each pair once).
+/// assert_eq!(list.entries(), positions.len() * 29);
+/// assert_eq!(list.to_full().stats().min, 58);
+/// assert!(!list.needs_rebuild(&sim_box, &positions));
+/// ```
+#[derive(Debug, Clone)]
+pub struct NeighborList {
+    config: VerletConfig,
+    csr: Csr,
+    /// Atom positions at build time, for the displacement rebuild check.
+    ref_positions: Vec<Vec3>,
+}
+
+impl NeighborList {
+    /// Builds a neighbor list with linked-cell binning: O(N) for homogeneous
+    /// systems.
+    ///
+    /// `positions` must be wrapped into the primary image of `sim_box`, and
+    /// every periodic box edge must be at least `2 · (cutoff + skin)` so the
+    /// minimum-image convention resolves each pair to a unique image.
+    ///
+    /// # Panics
+    /// Panics on invalid config or if the box is too small for the reach.
+    pub fn build(sim_box: &SimBox, positions: &[Vec3], config: VerletConfig) -> NeighborList {
+        config.validate();
+        sim_box
+            .validate_cutoff(config.reach())
+            .expect("box too small for cutoff + skin");
+        let reach_sq = config.reach() * config.reach();
+        let grid = CellGrid::build(sim_box, positions, config.reach());
+
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(positions.len() * 16);
+        for c in 0..grid.cell_count() {
+            let atoms_c = grid.cell_atoms(c);
+            if atoms_c.is_empty() {
+                continue;
+            }
+            for nc in grid.stencil(c) {
+                // Visit each unordered cell pair once (self-pairs allowed).
+                if nc < c {
+                    continue;
+                }
+                let atoms_n = grid.cell_atoms(nc);
+                for &ia in atoms_c {
+                    for &ja in atoms_n {
+                        // Within the same cell, take each atom pair once.
+                        if nc == c && ja <= ia {
+                            continue;
+                        }
+                        let (i, j) = if ia < ja { (ia, ja) } else { (ja, ia) };
+                        let d = sim_box.min_image(positions[i as usize], positions[j as usize]);
+                        if d.norm_sq() < reach_sq {
+                            pairs.push((i, j));
+                        }
+                    }
+                }
+            }
+        }
+
+        let csr = assemble(positions.len(), &pairs, config.kind);
+        NeighborList {
+            config,
+            csr,
+            ref_positions: positions.to_vec(),
+        }
+    }
+
+    /// Reference O(N²) builder; used by tests to validate [`NeighborList::build`].
+    pub fn build_brute_force(
+        sim_box: &SimBox,
+        positions: &[Vec3],
+        config: VerletConfig,
+    ) -> NeighborList {
+        config.validate();
+        let reach_sq = config.reach() * config.reach();
+        let mut pairs = Vec::new();
+        for i in 0..positions.len() {
+            for j in (i + 1)..positions.len() {
+                if sim_box.distance_sq(positions[i], positions[j]) < reach_sq {
+                    pairs.push((i as u32, j as u32));
+                }
+            }
+        }
+        let csr = assemble(positions.len(), &pairs, config.kind);
+        NeighborList {
+            config,
+            csr,
+            ref_positions: positions.to_vec(),
+        }
+    }
+
+    /// The build configuration.
+    #[inline]
+    pub fn config(&self) -> VerletConfig {
+        self.config
+    }
+
+    /// Half or full.
+    #[inline]
+    pub fn kind(&self) -> NeighborListKind {
+        self.config.kind
+    }
+
+    /// Interaction cutoff `r_c`.
+    #[inline]
+    pub fn cutoff(&self) -> f64 {
+        self.config.cutoff
+    }
+
+    /// Number of atoms the list covers.
+    #[inline]
+    pub fn atoms(&self) -> usize {
+        self.csr.rows()
+    }
+
+    /// Neighbors of atom `i`.
+    #[inline]
+    pub fn neighbors(&self, i: usize) -> &[u32] {
+        self.csr.row(i)
+    }
+
+    /// The underlying CSR adjacency.
+    #[inline]
+    pub fn csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    /// Number of stored pair entries (half list: one per pair; full: two).
+    #[inline]
+    pub fn entries(&self) -> usize {
+        self.csr.entries()
+    }
+
+    /// `true` once some atom has drifted more than `skin / 2` from its
+    /// position at build time, i.e. the list may now miss a pair within
+    /// `cutoff` and must be rebuilt before the next force evaluation.
+    pub fn needs_rebuild(&self, sim_box: &SimBox, positions: &[Vec3]) -> bool {
+        assert_eq!(
+            positions.len(),
+            self.ref_positions.len(),
+            "atom count changed since list build"
+        );
+        let limit_sq = (self.config.skin * 0.5) * (self.config.skin * 0.5);
+        positions
+            .iter()
+            .zip(&self.ref_positions)
+            .any(|(&p, &q)| sim_box.distance_sq(p, q) > limit_sq)
+    }
+
+    /// Converts this list to the full (symmetric) form. No-op on full lists.
+    pub fn to_full(&self) -> NeighborList {
+        match self.config.kind {
+            NeighborListKind::Full => self.clone(),
+            NeighborListKind::Half => NeighborList {
+                config: VerletConfig {
+                    kind: NeighborListKind::Full,
+                    ..self.config
+                },
+                csr: self.csr.symmetrized(),
+                ref_positions: self.ref_positions.clone(),
+            },
+        }
+    }
+
+    /// Positions the list was built from (rebuild reference).
+    pub fn ref_positions_raw(&self) -> &[Vec3] {
+        &self.ref_positions
+    }
+
+    /// Reassembles a list from validated parts (crate-internal; used by the
+    /// reordering transform, which preserves the pair set by construction).
+    pub(crate) fn assemble_from_parts(
+        config: VerletConfig,
+        csr: Csr,
+        ref_positions: Vec<Vec3>,
+    ) -> NeighborList {
+        assert_eq!(csr.rows(), ref_positions.len());
+        NeighborList {
+            config,
+            csr,
+            ref_positions,
+        }
+    }
+
+    /// Per-atom neighbor count statistics.
+    pub fn stats(&self) -> NeighborStats {
+        NeighborStats::of_csr(&self.csr)
+    }
+
+    /// Heap bytes consumed by the list (paper §I: EAM neighbor-list memory
+    /// pressure; the RC baseline's full list doubles this).
+    pub fn heap_bytes(&self) -> usize {
+        self.csr.heap_bytes() + self.ref_positions.capacity() * std::mem::size_of::<Vec3>()
+    }
+}
+
+fn assemble(n: usize, half_pairs: &[(u32, u32)], kind: NeighborListKind) -> Csr {
+    match kind {
+        NeighborListKind::Half => {
+            let mut csr = Csr::from_pairs(n, half_pairs);
+            csr.sort_rows();
+            csr
+        }
+        NeighborListKind::Full => {
+            let mut both = Vec::with_capacity(half_pairs.len() * 2);
+            for &(i, j) in half_pairs {
+                both.push((i, j));
+                both.push((j, i));
+            }
+            let mut csr = Csr::from_pairs(n, &both);
+            csr.sort_rows();
+            csr
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use md_geometry::LatticeSpec;
+
+    const FE_CUTOFF: f64 = 5.67;
+
+    fn pair_set(nl: &NeighborList) -> Vec<(u32, u32)> {
+        let mut v: Vec<(u32, u32)> = nl
+            .csr()
+            .iter_rows()
+            .flat_map(|(i, r)| r.iter().map(move |&j| (i as u32, j)))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn cell_build_matches_brute_force_half() {
+        let (bx, pos) = LatticeSpec::bcc_fe(5).build();
+        let cfg = VerletConfig::half(FE_CUTOFF, 0.3);
+        let fast = NeighborList::build(&bx, &pos, cfg);
+        let slow = NeighborList::build_brute_force(&bx, &pos, cfg);
+        assert_eq!(pair_set(&fast), pair_set(&slow));
+    }
+
+    #[test]
+    fn cell_build_matches_brute_force_full() {
+        let (bx, pos) = LatticeSpec::bcc_fe(4).build();
+        let cfg = VerletConfig::full(FE_CUTOFF, 0.0);
+        let fast = NeighborList::build(&bx, &pos, cfg);
+        let slow = NeighborList::build_brute_force(&bx, &pos, cfg);
+        assert_eq!(pair_set(&fast), pair_set(&slow));
+    }
+
+    #[test]
+    fn half_list_stores_each_pair_once_with_lower_owner() {
+        let (bx, pos) = LatticeSpec::bcc_fe(4).build();
+        let nl = NeighborList::build(&bx, &pos, VerletConfig::half(FE_CUTOFF, 0.0));
+        for (i, row) in nl.csr().iter_rows() {
+            for &j in row {
+                assert!(j as usize > i, "half list row {i} contains {j} ≤ {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_list_is_symmetric_and_double_sized() {
+        let (bx, pos) = LatticeSpec::bcc_fe(4).build();
+        let half = NeighborList::build(&bx, &pos, VerletConfig::half(FE_CUTOFF, 0.0));
+        let full = NeighborList::build(&bx, &pos, VerletConfig::full(FE_CUTOFF, 0.0));
+        assert_eq!(full.entries(), 2 * half.entries());
+        for (i, row) in full.csr().iter_rows() {
+            for &j in row {
+                assert!(
+                    full.neighbors(j as usize).contains(&(i as u32)),
+                    "pair ({i},{j}) not mirrored"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn to_full_equals_direct_full_build() {
+        let (bx, pos) = LatticeSpec::bcc_fe(5).build();
+        let half = NeighborList::build(&bx, &pos, VerletConfig::half(FE_CUTOFF, 0.1));
+        let full = NeighborList::build(&bx, &pos, VerletConfig::full(FE_CUTOFF, 0.1));
+        assert_eq!(pair_set(&half.to_full()), pair_set(&full));
+    }
+
+    #[test]
+    fn bcc_fe_coordination_within_cutoff() {
+        // Within 5.67 Å ≈ 1.98a, BCC has 8 (√3/2·a) + 6 (a) + 12 (√2·a)
+        // + 24 (√11/2·a ≈ 1.66a) + 8 (√3·a ≈ 1.73a) = 58 neighbors.
+        let (bx, pos) = LatticeSpec::bcc_fe(4).build();
+        let nl = NeighborList::build(&bx, &pos, VerletConfig::full(FE_CUTOFF, 0.0));
+        let s = nl.stats();
+        assert_eq!(s.min, 58, "every Fe atom sees 58 neighbors in a perfect crystal");
+        assert_eq!(s.max, 58);
+    }
+
+    #[test]
+    fn needs_rebuild_triggers_on_half_skin_drift() {
+        let (bx, mut pos) = LatticeSpec::bcc_fe(5).build();
+        let nl = NeighborList::build(&bx, &pos, VerletConfig::half(FE_CUTOFF, 1.0));
+        assert!(!nl.needs_rebuild(&bx, &pos));
+        // Move one atom by 0.49 — still inside skin/2 = 0.5.
+        pos[0].x += 0.49;
+        let wrapped: Vec<_> = pos.iter().map(|&p| bx.wrap(p)).collect();
+        assert!(!nl.needs_rebuild(&bx, &wrapped));
+        // 0.51 crosses the threshold.
+        pos[0].x += 0.02;
+        let wrapped: Vec<_> = pos.iter().map(|&p| bx.wrap(p)).collect();
+        assert!(nl.needs_rebuild(&bx, &wrapped));
+    }
+
+    #[test]
+    fn rebuild_check_sees_through_periodic_wrap() {
+        let (bx, mut pos) = LatticeSpec::bcc_fe(5).build();
+        let nl = NeighborList::build(&bx, &pos, VerletConfig::half(FE_CUTOFF, 1.0));
+        // Drift across the boundary: small physical move, large coordinate
+        // jump after wrapping. The min-image displacement check must not
+        // flag this as a big move... but must flag genuine skin/2 drift.
+        pos[0].x -= 0.2; // may wrap below 0
+        let wrapped: Vec<_> = pos.iter().map(|&p| bx.wrap(p)).collect();
+        assert!(!nl.needs_rebuild(&bx, &wrapped));
+    }
+
+    #[test]
+    fn skin_enlarges_the_list() {
+        let (bx, pos) = LatticeSpec::bcc_fe(5).build();
+        let tight = NeighborList::build(&bx, &pos, VerletConfig::half(FE_CUTOFF, 0.0));
+        let padded = NeighborList::build(&bx, &pos, VerletConfig::half(FE_CUTOFF, 0.6));
+        assert!(padded.entries() > tight.entries());
+    }
+
+    #[test]
+    fn neighbor_rows_are_sorted_ascending() {
+        let (bx, pos) = LatticeSpec::bcc_fe(5).build();
+        let nl = NeighborList::build(&bx, &pos, VerletConfig::half(FE_CUTOFF, 0.3));
+        for (_, row) in nl.csr().iter_rows() {
+            assert!(row.windows(2).all(|w| w[0] < w[1]), "row not sorted: {row:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "box too small")]
+    fn box_smaller_than_two_reach_rejected() {
+        let bx = SimBox::cubic(10.0);
+        let _ = NeighborList::build(&bx, &[Vec3::splat(1.0)], VerletConfig::half(4.0, 1.1));
+    }
+
+    #[test]
+    fn empty_system_builds_empty_list() {
+        let bx = SimBox::cubic(20.0);
+        let nl = NeighborList::build(&bx, &[], VerletConfig::half(5.0, 0.0));
+        assert_eq!(nl.atoms(), 0);
+        assert_eq!(nl.entries(), 0);
+    }
+
+    #[test]
+    fn isolated_atoms_have_no_neighbors() {
+        let bx = SimBox::cubic(100.0);
+        let pos = [Vec3::splat(10.0), Vec3::splat(60.0)];
+        let nl = NeighborList::build(&bx, &pos, VerletConfig::half(5.0, 0.5));
+        assert_eq!(nl.entries(), 0);
+    }
+
+    #[test]
+    fn pair_across_periodic_boundary_is_found() {
+        let bx = SimBox::cubic(20.0);
+        let pos = [Vec3::new(0.5, 10.0, 10.0), Vec3::new(19.5, 10.0, 10.0)];
+        let nl = NeighborList::build(&bx, &pos, VerletConfig::half(5.0, 0.0));
+        assert_eq!(nl.entries(), 1, "boundary pair at distance 1.0 missed");
+        assert_eq!(nl.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn full_memory_is_about_double_half_memory() {
+        let (bx, pos) = LatticeSpec::bcc_fe(5).build();
+        let half = NeighborList::build(&bx, &pos, VerletConfig::half(FE_CUTOFF, 0.3));
+        let full = NeighborList::build(&bx, &pos, VerletConfig::full(FE_CUTOFF, 0.3));
+        let ratio = full.heap_bytes() as f64 / half.heap_bytes() as f64;
+        assert!(ratio > 1.5, "full/half memory ratio = {ratio}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Workload geometry.
+//!
+//! The model needs only the *geometry* of a test case — atom count, stored
+//! pair count, box dimensions — plus the real decomposition the SDC engine
+//! would build. For the paper's perfect BCC iron crystals all of these are
+//! exact closed forms: within the 5.67 Å cutoff every atom has 58 neighbors
+//! (8+6+12+24+8 shells), i.e. 29 stored half-pairs per atom.
+
+use md_geometry::{LatticeSpec, Vec3};
+use sdc_core::{ColoredDecomposition, DecompositionConfig, DecompositionError};
+
+/// Stored half-pairs per atom in perfect BCC iron with `r_c = 5.67 Å`.
+pub const FE_PAIRS_PER_ATOM: f64 = 29.0;
+
+/// Fe EAM cutoff used throughout the paper reproduction (Å).
+pub const FE_CUTOFF: f64 = 5.67;
+
+/// Geometry of one benchmark case.
+#[derive(Debug, Clone)]
+pub struct CaseGeometry {
+    /// Human-readable name ("small", "medium", …).
+    pub name: String,
+    /// Number of atoms.
+    pub n_atoms: usize,
+    /// Stored half-pairs.
+    pub pairs: f64,
+    box_lengths: Vec3,
+    range: f64,
+}
+
+impl CaseGeometry {
+    /// One of the paper's four test cases (§III.B):
+    /// 54,000 / 265,302 / 1,062,882 / 3,456,000 BCC Fe atoms.
+    pub fn paper_case(case: usize) -> CaseGeometry {
+        let spec = LatticeSpec::paper_case(case);
+        let name = match case {
+            1 => "small(1)",
+            2 => "medium(2)",
+            3 => "large(3)",
+            _ => "large(4)",
+        };
+        CaseGeometry::from_lattice(name, spec, FE_CUTOFF, FE_PAIRS_PER_ATOM)
+    }
+
+    /// Builds a case from any lattice spec.
+    pub fn from_lattice(
+        name: &str,
+        spec: LatticeSpec,
+        range: f64,
+        pairs_per_atom: f64,
+    ) -> CaseGeometry {
+        let n = spec.atom_count();
+        CaseGeometry {
+            name: name.to_string(),
+            n_atoms: n,
+            pairs: n as f64 * pairs_per_atom,
+            box_lengths: spec.sim_box().lengths(),
+            range,
+        }
+    }
+
+    /// Interaction range the decomposition uses.
+    #[inline]
+    pub fn range(&self) -> f64 {
+        self.range
+    }
+
+    /// Box edge lengths.
+    #[inline]
+    pub fn box_lengths(&self) -> Vec3 {
+        self.box_lengths
+    }
+
+    /// The real SDC decomposition for this case and dimensionality — the
+    /// exact same code path the execution engine uses, so task counts and
+    /// colors in the model are the engine's, not an approximation.
+    pub fn decomposition(&self, dims: usize) -> Result<ColoredDecomposition, DecompositionError> {
+        let sim_box = md_geometry::SimBox::periodic(self.box_lengths);
+        ColoredDecomposition::new(&sim_box, DecompositionConfig::new(dims, self.range))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cases_have_exact_atom_counts() {
+        assert_eq!(CaseGeometry::paper_case(1).n_atoms, 54_000);
+        assert_eq!(CaseGeometry::paper_case(2).n_atoms, 265_302);
+        assert_eq!(CaseGeometry::paper_case(3).n_atoms, 1_062_882);
+        assert_eq!(CaseGeometry::paper_case(4).n_atoms, 3_456_000);
+    }
+
+    #[test]
+    fn pairs_scale_with_atoms() {
+        let c = CaseGeometry::paper_case(1);
+        assert_eq!(c.pairs, 54_000.0 * 29.0);
+    }
+
+    #[test]
+    fn decompositions_follow_case_size() {
+        // Small case: 86 Å box → 6 even subdomains per axis (floor 7.58).
+        let small = CaseGeometry::paper_case(1);
+        let d1 = small.decomposition(1).unwrap();
+        assert_eq!(d1.counts(), [6, 1, 1]);
+        // Large case 4: 344 Å box → 30 per axis.
+        let large = CaseGeometry::paper_case(4);
+        let d3 = large.decomposition(3).unwrap();
+        assert_eq!(d3.counts(), [30, 30, 30]);
+        // Paper §II.B: "nearly 5000 subdomains with each color in large test
+        // case" — 30³/8 = 3375, same order.
+        assert!(d3.subdomains_per_color() >= 3000);
+    }
+
+    #[test]
+    fn verified_against_real_neighbor_list() {
+        // The closed-form 29 pairs/atom matches an actual Verlet build.
+        use md_neighbor::{NeighborList, VerletConfig};
+        let spec = LatticeSpec::bcc_fe(5);
+        let (bx, pos) = spec.build();
+        let nl = NeighborList::build(&bx, &pos, VerletConfig::half(FE_CUTOFF, 0.0));
+        let per_atom = nl.entries() as f64 / pos.len() as f64;
+        assert!((per_atom - FE_PAIRS_PER_ATOM).abs() < 1e-9, "{per_atom}");
+    }
+}

@@ -1,0 +1,299 @@
+//! The per-strategy time predictions (see the crate docs for the formulas).
+
+use crate::case::CaseGeometry;
+use crate::machine::MachineParams;
+use sdc_core::StrategyKind;
+
+/// Predicted wall-clock seconds per time-step for the paper's timed phases
+/// (density + force sweeps).
+///
+/// Returns `None` for configurations the paper leaves blank: an SDC
+/// decomposition that cannot be built (box too small for `dims`), or one
+/// whose total subdomain count is below the thread count (Table 1's blank
+/// cells — some threads would always idle).
+pub fn predict_seconds(
+    m: &MachineParams,
+    case: &CaseGeometry,
+    kind: StrategyKind,
+    threads: usize,
+) -> Option<f64> {
+    assert!(threads >= 1, "thread count must be ≥ 1");
+    let sweeps = m.sweeps as f64;
+    let w_sweep = case.pairs * m.pair_cost; // serial work of one sweep
+    let p = threads as f64;
+    let ovh = m.overhead(threads);
+    match kind {
+        StrategyKind::Serial => Some(sweeps * w_sweep),
+        StrategyKind::Sdc { dims } => {
+            let decomp = case.decomposition(dims).ok()?;
+            let total = decomp.subdomain_count();
+            if total < threads {
+                return None; // the paper's blank-cell rule
+            }
+            let colors = decomp.color_count();
+            let per_color = decomp.subdomains_per_color();
+            // Halo-traffic locality factor: ratio of (subdomain + r_c halo)
+            // volume to subdomain volume over the decomposed axes.
+            let counts = decomp.counts();
+            let lengths = case.box_lengths();
+            let mut halo_ratio = 1.0;
+            for d in 0..dims {
+                let edge = lengths[d] / counts[d] as f64;
+                halo_ratio *= (edge + 2.0 * case.range()) / edge;
+            }
+            let locality = 1.0 + m.halo_kappa * (halo_ratio - 1.0);
+            // Uniform crystal: equal tasks. Makespan in rounds of P tasks;
+            // the final partial round overlaps partially (round_overlap).
+            let task = w_sweep / total as f64 * locality;
+            let frac = per_color as f64 / threads as f64;
+            let ceil = per_color.div_ceil(threads) as f64;
+            let rounds = (frac + m.round_overlap * (ceil - frac)).max(1.0);
+            let per_sweep = colors as f64 * (rounds * task * ovh + m.barrier(threads));
+            Some(sweeps * per_sweep)
+        }
+        StrategyKind::Critical => {
+            let locked = case.pairs * m.lock_cost * (1.0 + m.lock_contention * (p - 1.0));
+            Some(sweeps * (w_sweep / p * ovh + locked))
+        }
+        StrategyKind::Atomic => {
+            let synced = case.pairs * m.atomic_cost * (1.0 + m.atomic_contention * (p - 1.0));
+            Some(sweeps * (w_sweep / p * ovh + synced) + sweeps * m.barrier(threads))
+        }
+        StrategyKind::Locks => {
+            // Two uncontended lock round-trips per pair, spread over the
+            // stripe pool; contention grows slowly (collision probability
+            // ~ P / stripes) — parallelizable but overhead-heavy.
+            let synced = case.pairs
+                * (2.0 * m.lock_cost)
+                * (1.0 + m.atomic_contention * (p - 1.0))
+                / p;
+            Some(sweeps * (w_sweep / p * ovh + synced) + sweeps * m.barrier(threads))
+        }
+        StrategyKind::LocalWrite => {
+            // Boundary pairs cost a second kernel evaluation; writes need
+            // no synchronization at all (one barrier per sweep).
+            let work = w_sweep * (1.0 + m.lw_boundary_frac);
+            Some(sweeps * (work / p * ovh + m.barrier(threads)))
+        }
+        StrategyKind::Privatized => {
+            let compute = w_sweep / p * ovh * (1.0 + m.sap_cache * (p - 1.0));
+            let init = case.n_atoms as f64 * m.zero_cost;
+            let merge = p * case.n_atoms as f64 * m.merge_cost;
+            Some(sweeps * (compute + init + merge))
+        }
+        StrategyKind::Redundant => {
+            Some(sweeps * (m.rc_work * w_sweep / p * ovh + m.barrier(threads)))
+        }
+    }
+}
+
+/// Speedup versus the serial sweep: the paper's reported metric.
+///
+/// ```
+/// use md_perfmodel::{speedup, CaseGeometry, MachineParams};
+/// use sdc_core::StrategyKind;
+///
+/// let m = MachineParams::default();
+/// let case = CaseGeometry::paper_case(3); // 1,062,882 atoms
+/// let s = speedup(&m, &case, StrategyKind::Sdc { dims: 2 }, 16).unwrap();
+/// assert!(s > 10.0, "paper Table 1 reports 12.31 here");
+/// // Blank cell: 1-D SDC on the small case cannot feed 16 threads.
+/// let small = CaseGeometry::paper_case(1);
+/// assert!(speedup(&m, &small, StrategyKind::Sdc { dims: 1 }, 16).is_none());
+/// ```
+pub fn speedup(
+    m: &MachineParams,
+    case: &CaseGeometry,
+    kind: StrategyKind,
+    threads: usize,
+) -> Option<f64> {
+    let serial = predict_seconds(m, case, StrategyKind::Serial, 1).unwrap();
+    predict_seconds(m, case, kind, threads).map(|t| serial / t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> MachineParams {
+        MachineParams::default()
+    }
+
+    fn sp(case: usize, kind: StrategyKind, p: usize) -> Option<f64> {
+        speedup(&m(), &CaseGeometry::paper_case(case), kind, p)
+    }
+
+    const SDC2: StrategyKind = StrategyKind::Sdc { dims: 2 };
+    const SDC1: StrategyKind = StrategyKind::Sdc { dims: 1 };
+    const SDC3: StrategyKind = StrategyKind::Sdc { dims: 3 };
+
+    #[test]
+    fn serial_speedup_is_one() {
+        assert_eq!(sp(2, StrategyKind::Serial, 1), Some(1.0));
+    }
+
+    #[test]
+    fn no_strategy_beats_the_thread_count() {
+        for case in 1..=4 {
+            for kind in StrategyKind::all() {
+                for p in [1, 2, 3, 4, 8, 12, 16] {
+                    if let Some(s) = sp(case, kind, p) {
+                        assert!(
+                            s <= p as f64 + 1e-9,
+                            "{kind} case {case} P={p}: speedup {s} > P"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sdc_2d_is_near_linear_on_large_cases() {
+        // Paper Table 1: 2-D SDC reaches 12.31 / 12.42 at 16 cores on the
+        // large cases.
+        for case in [3, 4] {
+            let s16 = sp(case, SDC2, 16).unwrap();
+            assert!((9.0..=14.5).contains(&s16), "case {case}: {s16}");
+            let s2 = sp(case, SDC2, 2).unwrap();
+            assert!((1.6..=2.0).contains(&s2), "case {case}: {s2}");
+        }
+    }
+
+    #[test]
+    fn sdc_speedup_grows_with_cores_on_large_cases() {
+        for case in [3, 4] {
+            let mut prev = 0.0;
+            for p in [2, 3, 4, 8, 12, 16] {
+                let s = sp(case, SDC2, p).unwrap();
+                assert!(
+                    s >= prev - 0.25,
+                    "case {case}: speedup dropped {prev} → {s} at P={p}"
+                );
+                prev = s;
+            }
+        }
+    }
+
+    #[test]
+    fn one_dimensional_sdc_saturates_at_its_subdomain_count() {
+        // Large case 3: 20 slabs → 10 per color; speedups at 12 and 16
+        // threads stay pinned near 10 (paper: 9.76, 9.59).
+        let s12 = sp(3, SDC1, 12).unwrap();
+        let s16 = sp(3, SDC1, 16).unwrap();
+        assert!((7.5..=10.0).contains(&s12), "{s12}");
+        assert!((s16 - s12).abs() < 1.0, "saturated: {s12} vs {s16}");
+        // And 2-D SDC clearly beats it at 16 threads (paper: 12.31 vs 9.59).
+        assert!(sp(3, SDC2, 16).unwrap() > s16 + 1.0);
+    }
+
+    #[test]
+    fn table1_blank_cells_are_none() {
+        // Small case: 6 slabs total → 1-D SDC blank at 8, 12, 16 threads
+        // (the paper's blanks at 12/16; our maximal-even rule yields 6
+        // subdomains so 8 is blank too — documented in EXPERIMENTS.md).
+        assert!(sp(1, SDC1, 12).is_none());
+        assert!(sp(1, SDC1, 16).is_none());
+        // Medium case: 12 slabs → runs at 12 threads, blank at 16 (paper).
+        assert!(sp(2, SDC1, 12).is_some());
+        assert!(sp(2, SDC1, 16).is_none());
+        // 2-D / 3-D never blank on any paper case (paper Table 1).
+        for case in 1..=4 {
+            for p in [2, 3, 4, 8, 12, 16] {
+                assert!(sp(case, SDC2, p).is_some(), "2D case {case} P={p}");
+                assert!(sp(case, SDC3, p).is_some(), "3D case {case} P={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn critical_section_is_slowest_and_flat() {
+        // Paper: "CS method achieves lowest efficiency… not feasible".
+        for case in 1..=4 {
+            for p in [2, 4, 8, 16] {
+                let cs = sp(case, StrategyKind::Critical, p).unwrap();
+                assert!(cs < 2.0, "case {case} P={p}: CS speedup {cs}");
+                let sdc = sp(case, SDC2, p).unwrap();
+                assert!(cs < sdc, "CS must lose to SDC");
+                let sap = sp(case, StrategyKind::Privatized, p).unwrap();
+                let rc = sp(case, StrategyKind::Redundant, p).unwrap();
+                assert!(cs < sap && cs < rc, "CS must be the slowest");
+            }
+        }
+    }
+
+    #[test]
+    fn sap_degrades_past_eight_cores() {
+        // Paper: SAP beats RC below 8 cores, then degrades (serialized
+        // merge + cache pressure).
+        for case in [2, 3, 4] {
+            let sap4 = sp(case, StrategyKind::Privatized, 4).unwrap();
+            let rc4 = sp(case, StrategyKind::Redundant, 4).unwrap();
+            assert!(sap4 > rc4, "case {case}: SAP({sap4}) ≤ RC({rc4}) at 4 cores");
+            let sap8 = sp(case, StrategyKind::Privatized, 8).unwrap();
+            let sap16 = sp(case, StrategyKind::Privatized, 16).unwrap();
+            assert!(
+                sap16 < sap8 * 1.15,
+                "case {case}: SAP kept scaling past 8 ({sap8} → {sap16})"
+            );
+            let rc16 = sp(case, StrategyKind::Redundant, 16).unwrap();
+            assert!(rc16 > sap16, "case {case}: RC must win at 16 cores");
+        }
+    }
+
+    #[test]
+    fn rc_is_near_linear_at_half_slope_and_sdc_wins_by_about_1_7() {
+        // Paper §IV: "RC method achieves a nearly linear speedup… SDC can
+        // gain about 1.7-fold increase in performance as compared to RC on
+        // medium and large test cases."
+        for case in [2, 3, 4] {
+            let rc16 = sp(case, StrategyKind::Redundant, 16).unwrap();
+            assert!((5.5..=9.0).contains(&rc16), "case {case}: RC(16) = {rc16}");
+            let sdc16 = sp(case, SDC2, 16).unwrap();
+            let ratio = sdc16 / rc16;
+            assert!(
+                (1.35..=2.1).contains(&ratio),
+                "case {case}: SDC/RC = {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn three_dimensional_sdc_tracks_two_dimensional_closely() {
+        // Paper Table 1: 2-D and 3-D SDC are within ~2% of each other on
+        // the large cases (12.31 vs 12.29; 12.42 vs 12.34) — 3-D's extra
+        // fork-join overhead roughly cancels its finer task granularity.
+        // The model reproduces that near-tie to within 15%.
+        for case in [2, 3, 4] {
+            let s2 = sp(case, SDC2, 16).unwrap();
+            let s3 = sp(case, SDC3, 16).unwrap();
+            let rel = (s3 / s2 - 1.0).abs();
+            assert!(rel < 0.15, "case {case}: 3D {s3} vs 2D {s2} ({rel:.3})");
+        }
+    }
+
+    #[test]
+    fn speedup_improves_with_case_size_for_sdc() {
+        // Paper §IV: performance improves "with the increase in the number
+        // of atoms".
+        let small = sp(1, SDC2, 16).unwrap();
+        let large = sp(4, SDC2, 16).unwrap();
+        assert!(large > small, "large {large} vs small {small}");
+    }
+
+    #[test]
+    fn atomic_sits_between_cs_and_sdc() {
+        for p in [4, 16] {
+            let cs = sp(3, StrategyKind::Critical, p).unwrap();
+            let at = sp(3, StrategyKind::Atomic, p).unwrap();
+            let sdc = sp(3, SDC2, p).unwrap();
+            assert!(cs < at && at < sdc, "P={p}: {cs} < {at} < {sdc} violated");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count")]
+    fn zero_threads_rejected() {
+        let _ = sp(1, StrategyKind::Serial, 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Smooth cutoff switching.
+//!
+//! Truncating a potential abruptly at `r_c` makes the force discontinuous
+//! and wrecks NVE energy conservation. Every radial function in this crate
+//! is instead multiplied by a quintic "smoothstep" window that takes it to
+//! zero with two continuous derivatives over a taper region
+//! `[r_c − taper, r_c]`.
+
+/// A C² switching window: 1 below `start`, 0 above `end`, quintic blend
+/// between.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmoothCutoff {
+    start: f64,
+    end: f64,
+}
+
+impl SmoothCutoff {
+    /// Window switching off over `[cutoff - taper, cutoff]`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < taper ≤ cutoff`.
+    pub fn new(cutoff: f64, taper: f64) -> SmoothCutoff {
+        assert!(
+            cutoff > 0.0 && cutoff.is_finite(),
+            "cutoff must be positive, got {cutoff}"
+        );
+        assert!(
+            taper > 0.0 && taper <= cutoff,
+            "taper must satisfy 0 < taper ≤ cutoff, got {taper}"
+        );
+        SmoothCutoff {
+            start: cutoff - taper,
+            end: cutoff,
+        }
+    }
+
+    /// The radius where switching begins.
+    #[inline]
+    pub fn start(&self) -> f64 {
+        self.start
+    }
+
+    /// The cutoff radius (window is exactly 0 from here on).
+    #[inline]
+    pub fn end(&self) -> f64 {
+        self.end
+    }
+
+    /// Returns `(s(r), ds/dr)`.
+    ///
+    /// `s` is 1 for `r ≤ start`, 0 for `r ≥ end`, and the descending quintic
+    /// smoothstep `1 − (10t³ − 15t⁴ + 6t⁵)` in between (`t` the normalized
+    /// position in the taper). Both `s'` and `s''` vanish at the endpoints.
+    #[inline]
+    pub fn eval(&self, r: f64) -> (f64, f64) {
+        if r <= self.start {
+            (1.0, 0.0)
+        } else if r >= self.end {
+            (0.0, 0.0)
+        } else {
+            let w = self.end - self.start;
+            let t = (r - self.start) / w;
+            let t2 = t * t;
+            let s = 1.0 - t2 * t * (10.0 - 15.0 * t + 6.0 * t2);
+            let ds = -30.0 * t2 * (1.0 - t) * (1.0 - t) / w;
+            (s, ds)
+        }
+    }
+
+    /// Applies the window to a raw `(value, derivative)` pair evaluated at
+    /// `r`: returns `(g·s, g'·s + g·s')`.
+    #[inline]
+    pub fn apply(&self, r: f64, value: f64, deriv: f64) -> (f64, f64) {
+        if r >= self.end {
+            return (0.0, 0.0);
+        }
+        let (s, ds) = self.eval(r);
+        (value * s, deriv * s + value * ds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::check_derivative;
+
+    #[test]
+    fn window_endpoints() {
+        let c = SmoothCutoff::new(5.0, 1.0);
+        assert_eq!(c.eval(3.9), (1.0, 0.0));
+        assert_eq!(c.eval(4.0), (1.0, 0.0));
+        assert_eq!(c.eval(5.0), (0.0, 0.0));
+        assert_eq!(c.eval(6.0), (0.0, 0.0));
+        let (mid, _) = c.eval(4.5);
+        assert!((mid - 0.5).abs() < 1e-12, "quintic smoothstep midpoint is 1/2");
+    }
+
+    #[test]
+    fn window_is_monotone_decreasing() {
+        let c = SmoothCutoff::new(5.0, 2.0);
+        let mut prev = 1.0;
+        for k in 0..=100 {
+            let r = 3.0 + 2.0 * k as f64 / 100.0;
+            let (s, ds) = c.eval(r);
+            assert!(s <= prev + 1e-15, "not monotone at r = {r}");
+            assert!(ds <= 1e-15, "positive slope at r = {r}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn window_derivative_is_consistent() {
+        let c = SmoothCutoff::new(5.0, 1.5);
+        for r in [3.6, 4.0, 4.2, 4.7, 4.99] {
+            check_derivative(|x| c.eval(x), r, 1e-6, 1e-6);
+        }
+    }
+
+    #[test]
+    fn derivative_vanishes_at_both_ends_of_taper() {
+        let c = SmoothCutoff::new(5.0, 1.0);
+        let (_, d0) = c.eval(4.0 + 1e-9);
+        let (_, d1) = c.eval(5.0 - 1e-9);
+        assert!(d0.abs() < 1e-6);
+        assert!(d1.abs() < 1e-6);
+    }
+
+    #[test]
+    fn apply_is_product_rule() {
+        let c = SmoothCutoff::new(5.0, 1.0);
+        // g(r) = r², g' = 2r, windowed.
+        let f = |r: f64| c.apply(r, r * r, 2.0 * r);
+        for r in [4.25, 4.5, 4.75] {
+            check_derivative(f, r, 1e-6, 1e-6);
+        }
+        assert_eq!(f(5.1), (0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "taper")]
+    fn zero_taper_rejected() {
+        let _ = SmoothCutoff::new(5.0, 0.0);
+    }
+}

@@ -1,0 +1,328 @@
+//! DYNAMO *setfl* (`eam/alloy`) file I/O, single-element flavor.
+//!
+//! Production EAM potentials — including the Fe potentials used by XMD (the
+//! code the paper starts from) and LAMMPS — are distributed in the DYNAMO
+//! tabulated formats. The *setfl* layout for one element is:
+//!
+//! ```text
+//! line 1–3 : comments
+//! line 4   : Nelements  name…
+//! line 5   : nrho  drho  nr  dr  cutoff
+//! line 6   : atomic-number  mass  lattice-constant  structure
+//! then     : F(ρ) table   (nrho values)
+//!            f(r) table   (nr values, the density function)
+//!            r·φ(r) table (nr values; φ is recovered as table/r)
+//! ```
+//!
+//! [`write_setfl`] serializes any [`EamPotential`]; [`read_setfl`] loads a
+//! file into a spline-backed [`TabulatedEam`]. Numbers are free-form
+//! whitespace-separated, as real files in the wild are.
+
+use crate::eam::tabulated::TabulatedEam;
+use crate::spline::UniformSpline;
+use crate::traits::EamPotential;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Element metadata stored in a setfl header.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetflHeader {
+    /// Element symbol (e.g. "Fe").
+    pub element: String,
+    /// Atomic number.
+    pub atomic_number: u32,
+    /// Atomic mass, amu.
+    pub mass: f64,
+    /// Lattice constant, Å.
+    pub lattice_constant: f64,
+    /// Lattice structure tag ("bcc", "fcc", …).
+    pub structure: String,
+}
+
+impl SetflHeader {
+    /// Iron defaults.
+    pub fn fe() -> SetflHeader {
+        SetflHeader {
+            element: "Fe".to_string(),
+            atomic_number: 26,
+            mass: 55.845,
+            lattice_constant: 2.8665,
+            structure: "bcc".to_string(),
+        }
+    }
+}
+
+/// A setfl read error with enough context to fix the file.
+#[derive(Debug)]
+pub enum SetflError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem (truncation, bad counts, non-numeric fields).
+    Malformed(String),
+}
+
+impl std::fmt::Display for SetflError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SetflError::Io(e) => write!(f, "setfl I/O error: {e}"),
+            SetflError::Malformed(m) => write!(f, "malformed setfl file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SetflError {}
+
+impl From<std::io::Error> for SetflError {
+    fn from(e: std::io::Error) -> SetflError {
+        SetflError::Io(e)
+    }
+}
+
+/// Serializes a potential as a single-element setfl table.
+///
+/// `r_min` bounds the radial tables from below (as in
+/// [`TabulatedEam::from_potential`]); values below it repeat the first
+/// sample, matching how tabulated codes clamp the deep core.
+pub fn write_setfl(
+    sink: &mut impl Write,
+    pot: &dyn EamPotential,
+    header: &SetflHeader,
+    nrho: usize,
+    rho_max: f64,
+    nr: usize,
+) -> Result<(), SetflError> {
+    if nrho < 3 || nr < 3 {
+        return Err(SetflError::Malformed(format!(
+            "table sizes must be ≥ 3, got nrho = {nrho}, nr = {nr}"
+        )));
+    }
+    let rc = pot.cutoff();
+    let drho = rho_max / (nrho - 1) as f64;
+    let dr = rc / (nr - 1) as f64;
+    writeln!(sink, "setfl table written by sdc-md")?;
+    writeln!(sink, "reproduction of Hu, Liu & Li, ICPP 2009")?;
+    writeln!(sink, "single-element EAM")?;
+    writeln!(sink, "1 {}", header.element)?;
+    writeln!(sink, "{nrho} {drho:.16e} {nr} {dr:.16e} {rc:.16e}")?;
+    writeln!(
+        sink,
+        "{} {:.6} {:.6} {}",
+        header.atomic_number, header.mass, header.lattice_constant, header.structure
+    )?;
+    let mut write_block = |values: Vec<f64>| -> Result<(), SetflError> {
+        for chunk in values.chunks(5) {
+            let line: Vec<String> = chunk.iter().map(|v| format!("{v:.16e}")).collect();
+            writeln!(sink, "{}", line.join(" "))?;
+        }
+        Ok(())
+    };
+    write_block((0..nrho).map(|k| pot.embedding(k as f64 * drho).0).collect())?;
+    write_block((0..nr).map(|k| pot.density(k as f64 * dr).0).collect())?;
+    write_block(
+        (0..nr)
+            .map(|k| {
+                let r = k as f64 * dr;
+                r * pot.pair(r).0
+            })
+            .collect(),
+    )?;
+    Ok(())
+}
+
+/// Writes a setfl file to `path`.
+pub fn save_setfl(
+    path: impl AsRef<Path>,
+    pot: &dyn EamPotential,
+    header: &SetflHeader,
+    nrho: usize,
+    rho_max: f64,
+    nr: usize,
+) -> Result<(), SetflError> {
+    let mut f = std::fs::File::create(path)?;
+    write_setfl(&mut f, pot, header, nrho, rho_max, nr)
+}
+
+/// Parses a single-element setfl table into a spline-backed potential.
+///
+/// Returns the header alongside the potential. The pair table stores
+/// `r·φ(r)`; `φ` is recovered by dividing out `r` (the `r = 0` sample is
+/// discarded — tabulated MD codes never evaluate there).
+pub fn read_setfl(source: impl Read) -> Result<(SetflHeader, TabulatedEam), SetflError> {
+    let mut lines = BufReader::new(source).lines();
+    let mut next_line = || -> Result<String, SetflError> {
+        lines
+            .next()
+            .ok_or_else(|| SetflError::Malformed("unexpected end of file".into()))?
+            .map_err(SetflError::from)
+    };
+    for _ in 0..3 {
+        next_line()?; // comments
+    }
+    let elem_line = next_line()?;
+    let mut it = elem_line.split_whitespace();
+    let n_elem: usize = parse(it.next(), "element count")?;
+    if n_elem != 1 {
+        return Err(SetflError::Malformed(format!(
+            "only single-element files supported, got {n_elem} elements"
+        )));
+    }
+    let element = it
+        .next()
+        .ok_or_else(|| SetflError::Malformed("missing element symbol".into()))?
+        .to_string();
+
+    let grid_line = next_line()?;
+    let mut it = grid_line.split_whitespace();
+    let nrho: usize = parse(it.next(), "nrho")?;
+    let drho: f64 = parse(it.next(), "drho")?;
+    let nr: usize = parse(it.next(), "nr")?;
+    let dr: f64 = parse(it.next(), "dr")?;
+    let cutoff: f64 = parse(it.next(), "cutoff")?;
+    if nrho < 3 || nr < 4 || drho <= 0.0 || dr <= 0.0 || cutoff <= 0.0 {
+        return Err(SetflError::Malformed(format!(
+            "bad grid: nrho={nrho} drho={drho} nr={nr} dr={dr} cutoff={cutoff}"
+        )));
+    }
+
+    let meta_line = next_line()?;
+    let mut it = meta_line.split_whitespace();
+    let header = SetflHeader {
+        atomic_number: parse(it.next(), "atomic number")?,
+        mass: parse(it.next(), "mass")?,
+        lattice_constant: parse(it.next(), "lattice constant")?,
+        structure: it.next().unwrap_or("unknown").to_string(),
+        element,
+    };
+
+    // Remaining tokens: nrho + nr + nr numbers, free-form.
+    let mut numbers = Vec::with_capacity(nrho + 2 * nr);
+    for line in lines {
+        let line = line?;
+        for tok in line.split_whitespace() {
+            let v: f64 = tok
+                .parse()
+                .map_err(|_| SetflError::Malformed(format!("non-numeric table entry '{tok}'")))?;
+            numbers.push(v);
+        }
+    }
+    if numbers.len() != nrho + 2 * nr {
+        return Err(SetflError::Malformed(format!(
+            "expected {} table values, found {}",
+            nrho + 2 * nr,
+            numbers.len()
+        )));
+    }
+    let f_table = numbers[..nrho].to_vec();
+    let rho_table = numbers[nrho..nrho + nr].to_vec();
+    let rphi_table = &numbers[nrho + nr..];
+
+    // Recover φ from r·φ, dropping the r = 0 sample.
+    let phi_table: Vec<f64> = (1..nr).map(|k| rphi_table[k] / (k as f64 * dr)).collect();
+
+    let embedding = UniformSpline::new(0.0, drho * (nrho - 1) as f64, f_table);
+    let density = UniformSpline::new(0.0, dr * (nr - 1) as f64, rho_table);
+    let pair = UniformSpline::new(dr, dr * (nr - 1) as f64, phi_table);
+    Ok((
+        header,
+        TabulatedEam::from_splines(pair, density, embedding, cutoff),
+    ))
+}
+
+/// Loads a setfl file from `path`.
+pub fn load_setfl(path: impl AsRef<Path>) -> Result<(SetflHeader, TabulatedEam), SetflError> {
+    read_setfl(std::fs::File::open(path)?)
+}
+
+fn parse<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> Result<T, SetflError> {
+    tok.ok_or_else(|| SetflError::Malformed(format!("missing {what}")))?
+        .parse()
+        .map_err(|_| SetflError::Malformed(format!("unparseable {what}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eam::analytic::AnalyticEam;
+    use crate::traits::EamPotential;
+
+    fn round_trip() -> (AnalyticEam, SetflHeader, TabulatedEam) {
+        let src = AnalyticEam::fe();
+        let mut buf = Vec::new();
+        write_setfl(
+            &mut buf,
+            &src,
+            &SetflHeader::fe(),
+            2000,
+            3.0 * src.rho_e(),
+            2000,
+        )
+        .unwrap();
+        let (header, loaded) = read_setfl(&buf[..]).unwrap();
+        (src, header, loaded)
+    }
+
+    #[test]
+    fn header_round_trips() {
+        let (_, header, _) = round_trip();
+        assert_eq!(header, SetflHeader::fe());
+    }
+
+    #[test]
+    fn potential_round_trips_within_table_resolution() {
+        let (src, _, loaded) = round_trip();
+        assert!((loaded.cutoff() - src.cutoff()).abs() < 1e-12);
+        for k in 1..200 {
+            let r = 1.0 + (5.6 - 1.0) * k as f64 / 200.0;
+            assert!(
+                (src.pair(r).0 - loaded.pair(r).0).abs() < 1e-5,
+                "pair at r = {r}: {} vs {}",
+                src.pair(r).0,
+                loaded.pair(r).0
+            );
+            assert!((src.density(r).0 - loaded.density(r).0).abs() < 1e-6);
+        }
+        let rho_max = 3.0 * src.rho_e();
+        for k in 0..200 {
+            let rho = 0.98 * rho_max * k as f64 / 200.0;
+            assert!((src.embedding(rho).0 - loaded.embedding(rho).0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn file_round_trip_on_disk() {
+        let path = std::env::temp_dir().join("sdc_md_test_fe.setfl");
+        let src = AnalyticEam::fe();
+        save_setfl(&path, &src, &SetflHeader::fe(), 500, 60.0, 500).unwrap();
+        let (header, loaded) = load_setfl(&path).unwrap();
+        assert_eq!(header.element, "Fe");
+        assert!((loaded.pair(2.5).0 - src.pair(2.5).0).abs() < 1e-3);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn truncated_file_is_rejected_with_context() {
+        let src = AnalyticEam::fe();
+        let mut buf = Vec::new();
+        write_setfl(&mut buf, &src, &SetflHeader::fe(), 100, 60.0, 100).unwrap();
+        buf.truncate(buf.len() / 2);
+        let err = read_setfl(&buf[..]).unwrap_err();
+        assert!(err.to_string().contains("table values"), "{err}");
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        let err = read_setfl("not a setfl file".as_bytes()).unwrap_err();
+        assert!(matches!(err, SetflError::Malformed(_)));
+        let multi = "c\nc\nc\n2 Fe Cr\n10 0.1 10 0.1 5.0\n26 55 2.8 bcc\n";
+        let err = read_setfl(multi.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("single-element"));
+    }
+
+    #[test]
+    fn bad_table_sizes_rejected_on_write() {
+        let src = AnalyticEam::fe();
+        let mut buf = Vec::new();
+        let err = write_setfl(&mut buf, &src, &SetflHeader::fe(), 2, 60.0, 100).unwrap_err();
+        assert!(err.to_string().contains("≥ 3"));
+    }
+}

@@ -1,0 +1,5 @@
+//! Embedded-Atom Method potentials.
+
+pub mod analytic;
+pub mod file;
+pub mod tabulated;

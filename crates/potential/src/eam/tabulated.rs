@@ -1,0 +1,212 @@
+//! Spline-tabulated EAM.
+//!
+//! Production EAM potentials (DYNAMO *funcfl*/*setfl* files, as consumed by
+//! XMD — the serial code the paper starts from — and LAMMPS) are tables of
+//! `φ`, `f` and `F` evaluated by spline interpolation. [`TabulatedEam`]
+//! reproduces that pipeline: it samples any [`EamPotential`] onto uniform
+//! grids and evaluates through [`UniformSpline`].
+//!
+//! Besides fidelity to the original system, the tabulated path exercises a
+//! different performance profile (table lookups instead of `exp` calls) —
+//! the `spline` Criterion bench compares the two.
+
+use crate::spline::UniformSpline;
+use crate::traits::EamPotential;
+
+/// An EAM potential backed by cubic-spline tables.
+#[derive(Debug, Clone)]
+pub struct TabulatedEam {
+    pair: UniformSpline,
+    density: UniformSpline,
+    embedding: UniformSpline,
+    r_min: f64,
+    rc: f64,
+    rho_max: f64,
+}
+
+impl TabulatedEam {
+    /// Tabulates `source` with `n_r` radial knots on `[r_min, cutoff]` and
+    /// `n_rho` embedding knots on `[0, rho_max]`.
+    ///
+    /// `r_min` bounds the table from below; separations smaller than any
+    /// physically reachable distance (deep core) are evaluated by clamped
+    /// extrapolation of the first segment, as tabulated MD codes do.
+    ///
+    /// # Panics
+    /// Panics if the grids are degenerate (`n < 3` knots) or bounds invalid.
+    pub fn from_potential(
+        source: &dyn EamPotential,
+        r_min: f64,
+        n_r: usize,
+        rho_max: f64,
+        n_rho: usize,
+    ) -> TabulatedEam {
+        let rc = source.cutoff();
+        assert!(r_min > 0.0 && r_min < rc, "need 0 < r_min < cutoff");
+        assert!(rho_max > 0.0, "rho_max must be positive");
+        let pair = UniformSpline::from_fn(r_min, rc, n_r, |r| source.pair(r).0);
+        let density = UniformSpline::from_fn(r_min, rc, n_r, |r| source.density(r).0);
+        let embedding = UniformSpline::from_fn(0.0, rho_max, n_rho, |rho| source.embedding(rho).0);
+        TabulatedEam {
+            pair,
+            density,
+            embedding,
+            r_min,
+            rc,
+            rho_max,
+        }
+    }
+
+    /// Assembles a tabulated potential directly from splines (used by the
+    /// setfl file reader). The pair spline's lower bound becomes `r_min`;
+    /// the embedding spline's upper bound becomes `rho_max`.
+    pub fn from_splines(
+        pair: UniformSpline,
+        density: UniformSpline,
+        embedding: UniformSpline,
+        cutoff: f64,
+    ) -> TabulatedEam {
+        assert!(cutoff > 0.0, "cutoff must be positive");
+        TabulatedEam {
+            r_min: pair.a(),
+            rho_max: embedding.b(),
+            pair,
+            density,
+            embedding,
+            rc: cutoff,
+        }
+    }
+
+    /// Default-resolution tabulation (2000 radial knots, 2000 embedding
+    /// knots, embedding domain `[0, 3ρ_estimate]`).
+    pub fn standard(source: &dyn EamPotential, rho_estimate: f64) -> TabulatedEam {
+        TabulatedEam::from_potential(source, 0.5, 2000, 3.0 * rho_estimate, 2000)
+    }
+
+    /// Upper edge of the embedding table.
+    #[inline]
+    pub fn rho_max(&self) -> f64 {
+        self.rho_max
+    }
+
+    /// Lower edge of the radial tables.
+    #[inline]
+    pub fn r_min(&self) -> f64 {
+        self.r_min
+    }
+}
+
+impl EamPotential for TabulatedEam {
+    fn cutoff(&self) -> f64 {
+        self.rc
+    }
+
+    #[inline]
+    fn pair(&self, r: f64) -> (f64, f64) {
+        if r >= self.rc {
+            return (0.0, 0.0);
+        }
+        self.pair.eval(r)
+    }
+
+    #[inline]
+    fn density(&self, r: f64) -> (f64, f64) {
+        if r >= self.rc {
+            return (0.0, 0.0);
+        }
+        self.density.eval(r)
+    }
+
+    #[inline]
+    fn embedding(&self, rho: f64) -> (f64, f64) {
+        debug_assert!(
+            rho <= self.rho_max,
+            "host density {rho} beyond table edge {}; enlarge rho_max",
+            self.rho_max
+        );
+        self.embedding.eval(rho)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eam::analytic::AnalyticEam;
+    use crate::traits::check_derivative;
+
+    fn tables() -> (AnalyticEam, TabulatedEam) {
+        let src = AnalyticEam::fe();
+        let tab = TabulatedEam::standard(&src, src.rho_e());
+        (src, tab)
+    }
+
+    #[test]
+    fn tabulated_matches_analytic_values() {
+        let (src, tab) = tables();
+        for k in 0..200 {
+            let r = 1.0 + (5.6 - 1.0) * k as f64 / 199.0;
+            assert!(
+                (src.pair(r).0 - tab.pair(r).0).abs() < 1e-6,
+                "pair mismatch at r = {r}"
+            );
+            assert!(
+                (src.density(r).0 - tab.density(r).0).abs() < 1e-6,
+                "density mismatch at r = {r}"
+            );
+        }
+        for k in 0..200 {
+            let rho = 3.0 * src.rho_e() * k as f64 / 199.0;
+            assert!(
+                (src.embedding(rho).0 - tab.embedding(rho).0).abs() < 1e-6,
+                "embedding mismatch at rho = {rho}"
+            );
+        }
+    }
+
+    #[test]
+    fn tabulated_matches_analytic_derivatives() {
+        let (src, tab) = tables();
+        for r in [1.5, 2.48, 3.7, 5.0, 5.5] {
+            let (_, d_src) = src.pair(r);
+            let (_, d_tab) = tab.pair(r);
+            assert!((d_src - d_tab).abs() < 1e-4, "pair slope at r = {r}");
+            let (_, f_src) = src.density(r);
+            let (_, f_tab) = tab.density(r);
+            assert!((f_src - f_tab).abs() < 1e-4, "density slope at r = {r}");
+        }
+    }
+
+    #[test]
+    fn tabulated_derivatives_internally_consistent() {
+        let (_, tab) = tables();
+        for r in [1.2, 2.0, 3.3, 4.8] {
+            check_derivative(|x| tab.pair(x), r, 1e-6, 1e-5);
+            check_derivative(|x| tab.density(x), r, 1e-6, 1e-5);
+        }
+        for rho in [1.0, 10.0, 25.0] {
+            check_derivative(|x| tab.embedding(x), rho, 1e-6, 1e-5);
+        }
+    }
+
+    #[test]
+    fn zero_beyond_cutoff() {
+        let (_, tab) = tables();
+        assert_eq!(tab.pair(5.67), (0.0, 0.0));
+        assert_eq!(tab.density(9.0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn accessors() {
+        let (src, tab) = tables();
+        assert_eq!(tab.cutoff(), src.cutoff());
+        assert_eq!(tab.r_min(), 0.5);
+        assert!((tab.rho_max() - 3.0 * src.rho_e()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "r_min < cutoff")]
+    fn bad_radial_domain_rejected() {
+        let src = AnalyticEam::fe();
+        let _ = TabulatedEam::from_potential(&src, 6.0, 100, 30.0, 100);
+    }
+}

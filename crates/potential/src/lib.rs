@@ -1,0 +1,49 @@
+//! # md-potential
+//!
+//! Interatomic potentials for the `sdc-md` workspace.
+//!
+//! The paper's workload is the **Embedded-Atom Method** (Daw & Baskes 1984,
+//! its ref. 1): the total energy of a metal is
+//!
+//! ```text
+//! E = Σ_i F(ρ_i) + ½ Σ_{i≠j} φ(r_ij),     ρ_i = Σ_{j≠i} f(r_ij)
+//! ```
+//!
+//! with a pair interaction `φ`, an electron-density contribution `f`, and an
+//! embedding function `F`. Computing forces requires **three phases**
+//! (paper §II.C): accumulate densities, evaluate embedding derivatives,
+//! accumulate forces — roughly twice the work of a plain pair potential
+//! (paper §I), which is why the paper uses EAM to stress its
+//! parallelization.
+//!
+//! Provided here:
+//!
+//! * [`AnalyticEam`] — a smooth, closed-form EAM with a Morse pair term,
+//!   exponential density and quadratic embedding, C²-smoothed to zero at the
+//!   cutoff; [`AnalyticEam::fe`] is an iron-like parameterization on the BCC
+//!   lattice the paper simulates.
+//! * [`TabulatedEam`] — the same interface backed by cubic-spline tables
+//!   (the form production EAM potentials ship in), built by sampling any
+//!   other [`EamPotential`].
+//! * [`LennardJones`] and [`Morse`] — pair potentials; the paper's intro
+//!   contrasts EAM cost against exactly this class, and its conclusion
+//!   claims SDC applies to them unchanged.
+//! * [`spline`] — natural cubic splines on uniform grids (the substrate for
+//!   tabulation).
+
+#![warn(missing_docs)]
+
+pub mod cutoff;
+pub mod eam;
+pub mod pair;
+pub mod spline;
+pub mod traits;
+
+pub use cutoff::SmoothCutoff;
+pub use eam::analytic::AnalyticEam;
+pub use eam::file::{load_setfl, read_setfl, save_setfl, write_setfl, SetflError, SetflHeader};
+pub use eam::tabulated::TabulatedEam;
+pub use pair::lj::LennardJones;
+pub use pair::morse::Morse;
+pub use spline::UniformSpline;
+pub use traits::{EamPotential, PairPotential};

@@ -1,0 +1,138 @@
+//! Lennard-Jones 12–6 pair potential.
+
+use crate::cutoff::SmoothCutoff;
+use crate::traits::PairPotential;
+
+/// The 12–6 Lennard-Jones potential
+/// `V(r) = 4ε[(σ/r)¹² − (σ/r)⁶]`, C²-smoothed to zero at the cutoff.
+#[derive(Debug, Clone, Copy)]
+pub struct LennardJones {
+    epsilon: f64,
+    sigma: f64,
+    cutoff: SmoothCutoff,
+}
+
+impl LennardJones {
+    /// Creates an LJ potential with well depth `epsilon` (eV), length scale
+    /// `sigma` (Å) and cutoff `rc` (Å). The smoothing taper covers the last
+    /// 10 % of the cutoff.
+    ///
+    /// # Panics
+    /// Panics unless all parameters are positive and `rc > sigma`.
+    pub fn new(epsilon: f64, sigma: f64, rc: f64) -> LennardJones {
+        assert!(epsilon > 0.0, "epsilon must be positive, got {epsilon}");
+        assert!(sigma > 0.0, "sigma must be positive, got {sigma}");
+        assert!(rc > sigma, "cutoff {rc} must exceed sigma {sigma}");
+        LennardJones {
+            epsilon,
+            sigma,
+            cutoff: SmoothCutoff::new(rc, 0.1 * rc),
+        }
+    }
+
+    /// The conventional LJ setup for tests and examples:
+    /// `rc = 2.5σ`.
+    pub fn reduced(epsilon: f64, sigma: f64) -> LennardJones {
+        LennardJones::new(epsilon, sigma, 2.5 * sigma)
+    }
+
+    /// Well depth ε.
+    #[inline]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Length scale σ.
+    #[inline]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// The separation that minimizes the raw (un-smoothed) potential:
+    /// `r_min = 2^(1/6) σ`.
+    pub fn r_min(&self) -> f64 {
+        2f64.powf(1.0 / 6.0) * self.sigma
+    }
+}
+
+impl PairPotential for LennardJones {
+    fn cutoff(&self) -> f64 {
+        self.cutoff.end()
+    }
+
+    #[inline]
+    fn energy_deriv(&self, r: f64) -> (f64, f64) {
+        if r >= self.cutoff.end() {
+            return (0.0, 0.0);
+        }
+        let sr = self.sigma / r;
+        let sr2 = sr * sr;
+        let sr6 = sr2 * sr2 * sr2;
+        let sr12 = sr6 * sr6;
+        let v = 4.0 * self.epsilon * (sr12 - sr6);
+        let dv = 4.0 * self.epsilon * (-12.0 * sr12 + 6.0 * sr6) / r;
+        self.cutoff.apply(r, v, dv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::check_derivative;
+
+    #[test]
+    fn minimum_at_two_to_the_sixth_sigma() {
+        let lj = LennardJones::reduced(1.0, 1.0);
+        let (_, d) = lj.energy_deriv(lj.r_min());
+        assert!(d.abs() < 1e-12, "slope at r_min = {d}");
+        let (v, _) = lj.energy_deriv(lj.r_min());
+        assert!((v - (-1.0)).abs() < 1e-9, "well depth = {v}");
+    }
+
+    #[test]
+    fn repulsive_inside_attractive_outside() {
+        let lj = LennardJones::reduced(1.0, 1.0);
+        let (_, d_in) = lj.energy_deriv(0.95);
+        let (_, d_out) = lj.energy_deriv(1.5);
+        assert!(d_in < 0.0, "inside the well V decreases with r");
+        assert!(d_out > 0.0, "outside the well V increases toward 0");
+    }
+
+    #[test]
+    fn zero_beyond_cutoff() {
+        let lj = LennardJones::reduced(1.0, 1.0);
+        assert_eq!(lj.energy_deriv(2.5), (0.0, 0.0));
+        assert_eq!(lj.energy_deriv(10.0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn smooth_at_cutoff() {
+        let lj = LennardJones::reduced(1.0, 1.0);
+        let eps = 1e-7;
+        let (v, d) = lj.energy_deriv(2.5 - eps);
+        assert!(v.abs() < 1e-5, "value near cutoff = {v}");
+        assert!(d.abs() < 1e-4, "slope near cutoff = {d}");
+    }
+
+    #[test]
+    fn derivative_consistent_over_domain() {
+        let lj = LennardJones::reduced(1.0, 1.0);
+        for r in [0.9, 1.0, 1.12, 1.5, 2.0, 2.3, 2.45] {
+            check_derivative(|x| lj.energy_deriv(x), r, 1e-7, 1e-5);
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let lj = LennardJones::new(0.5, 2.0, 6.0);
+        assert_eq!(lj.epsilon(), 0.5);
+        assert_eq!(lj.sigma(), 2.0);
+        assert_eq!(lj.cutoff(), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed sigma")]
+    fn cutoff_inside_core_rejected() {
+        let _ = LennardJones::new(1.0, 2.0, 1.0);
+    }
+}

@@ -1,0 +1,5 @@
+//! Pair potentials (single computational phase — the paper's §I contrast
+//! class for EAM's three phases).
+
+pub mod lj;
+pub mod morse;

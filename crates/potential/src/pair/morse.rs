@@ -1,0 +1,118 @@
+//! Morse pair potential.
+
+use crate::cutoff::SmoothCutoff;
+use crate::traits::PairPotential;
+
+/// The Morse potential
+/// `V(r) = D[(1 − e^(−α(r−r₀)))² − 1]`, C²-smoothed to zero at the cutoff.
+///
+/// Historically the pair term of choice for metals (and the pair term of our
+/// [`crate::AnalyticEam`]): unlike LJ it has a finite repulsive core and its
+/// stiffness `α` decouples from the well position `r₀`.
+#[derive(Debug, Clone, Copy)]
+pub struct Morse {
+    d: f64,
+    alpha: f64,
+    r0: f64,
+    cutoff: SmoothCutoff,
+}
+
+impl Morse {
+    /// Creates a Morse potential with well depth `d` (eV), stiffness `alpha`
+    /// (1/Å), equilibrium separation `r0` (Å) and cutoff `rc` (Å); the
+    /// smoothing taper covers the last 15 % of the cutoff.
+    ///
+    /// # Panics
+    /// Panics unless all parameters are positive and `rc > r0`.
+    pub fn new(d: f64, alpha: f64, r0: f64, rc: f64) -> Morse {
+        assert!(d > 0.0, "well depth must be positive, got {d}");
+        assert!(alpha > 0.0, "stiffness must be positive, got {alpha}");
+        assert!(r0 > 0.0, "equilibrium distance must be positive, got {r0}");
+        assert!(rc > r0, "cutoff {rc} must exceed r0 {r0}");
+        Morse {
+            d,
+            alpha,
+            r0,
+            cutoff: SmoothCutoff::new(rc, 0.15 * rc),
+        }
+    }
+
+    /// Well depth D.
+    #[inline]
+    pub fn well_depth(&self) -> f64 {
+        self.d
+    }
+
+    /// Equilibrium separation r₀ of the raw potential.
+    #[inline]
+    pub fn r0(&self) -> f64 {
+        self.r0
+    }
+}
+
+impl PairPotential for Morse {
+    fn cutoff(&self) -> f64 {
+        self.cutoff.end()
+    }
+
+    #[inline]
+    fn energy_deriv(&self, r: f64) -> (f64, f64) {
+        if r >= self.cutoff.end() {
+            return (0.0, 0.0);
+        }
+        let e = (-self.alpha * (r - self.r0)).exp();
+        let one_minus = 1.0 - e;
+        let v = self.d * (one_minus * one_minus - 1.0);
+        let dv = 2.0 * self.d * self.alpha * one_minus * e;
+        self.cutoff.apply(r, v, dv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::check_derivative;
+
+    fn morse() -> Morse {
+        Morse::new(0.8, 1.5, 2.5, 6.0)
+    }
+
+    #[test]
+    fn minimum_at_r0_with_depth_d() {
+        let m = morse();
+        let (v, d) = m.energy_deriv(2.5);
+        assert!((v - (-0.8)).abs() < 1e-12);
+        assert!(d.abs() < 1e-12);
+    }
+
+    #[test]
+    fn repulsive_core_attractive_tail() {
+        let m = morse();
+        assert!(m.energy(1.5) > m.energy(2.5));
+        let (_, d_out) = m.energy_deriv(3.5);
+        assert!(d_out > 0.0);
+    }
+
+    #[test]
+    fn zero_beyond_cutoff_and_smooth_there() {
+        let m = morse();
+        assert_eq!(m.energy_deriv(6.0), (0.0, 0.0));
+        let (v, d) = m.energy_deriv(6.0 - 1e-7);
+        assert!(v.abs() < 1e-5);
+        assert!(d.abs() < 1e-4);
+    }
+
+    #[test]
+    fn derivative_consistent_over_domain() {
+        let m = morse();
+        for r in [1.2, 2.0, 2.5, 3.0, 4.5, 5.3, 5.9] {
+            check_derivative(|x| m.energy_deriv(x), r, 1e-7, 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed r0")]
+    fn cutoff_inside_well_rejected() {
+        let _ = Morse::new(1.0, 1.0, 3.0, 2.0);
+    }
+}

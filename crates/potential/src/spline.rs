@@ -1,0 +1,215 @@
+//! Natural cubic splines on uniform grids.
+//!
+//! Production EAM potentials are distributed as tables (DYNAMO *funcfl* /
+//! *setfl* files) and evaluated by spline interpolation; [`crate::TabulatedEam`]
+//! reproduces that pipeline. A uniform grid makes knot lookup a single
+//! multiply — no binary search in the force inner loop.
+//!
+//! The second derivatives are obtained with the Thomas tridiagonal solve for
+//! the natural spline system (`y'' = 0` at both ends).
+
+/// A natural cubic spline over a uniform grid on `[a, b]`.
+#[derive(Debug, Clone)]
+pub struct UniformSpline {
+    a: f64,
+    h: f64,
+    /// knot values y_i
+    y: Vec<f64>,
+    /// knot second derivatives y''_i
+    y2: Vec<f64>,
+}
+
+impl UniformSpline {
+    /// Interpolates the `n ≥ 3` samples `y` placed uniformly on `[a, b]`.
+    ///
+    /// # Panics
+    /// Panics if `n < 3`, `b ≤ a`, or any sample is non-finite.
+    pub fn new(a: f64, b: f64, y: Vec<f64>) -> UniformSpline {
+        let n = y.len();
+        assert!(n >= 3, "spline needs at least 3 knots, got {n}");
+        assert!(b > a, "invalid interval [{a}, {b}]");
+        assert!(y.iter().all(|v| v.is_finite()), "non-finite spline sample");
+        let h = (b - a) / (n - 1) as f64;
+
+        // Natural spline: solve the tridiagonal system
+        //   y2[0] = y2[n-1] = 0
+        //   (1/6)·h·y2[i-1] + (2/3)·h·y2[i] + (1/6)·h·y2[i+1]
+        //       = (y[i+1] - 2 y[i] + y[i-1]) / h        for 1 ≤ i ≤ n-2
+        // with the Thomas algorithm specialized to constant coefficients.
+        let mut y2 = vec![0.0; n];
+        let mut u = vec![0.0; n];
+        // Forward sweep. sig = 1/2 for uniform spacing.
+        for i in 1..n - 1 {
+            let p = 0.5 * y2[i - 1] + 2.0;
+            y2[i] = -0.5 / p;
+            let rhs = (y[i + 1] - 2.0 * y[i] + y[i - 1]) / h;
+            u[i] = (3.0 * rhs / h - 0.5 * u[i - 1]) / p;
+        }
+        // Back substitution.
+        y2[n - 1] = 0.0;
+        for i in (1..n - 1).rev() {
+            y2[i] = y2[i] * y2[i + 1] + u[i];
+        }
+        y2[0] = 0.0;
+
+        UniformSpline { a, h, y, y2 }
+    }
+
+    /// Builds a spline by sampling `f` at `n` uniform points on `[a, b]`.
+    pub fn from_fn(a: f64, b: f64, n: usize, f: impl Fn(f64) -> f64) -> UniformSpline {
+        assert!(n >= 3, "spline needs at least 3 knots, got {n}");
+        let h = (b - a) / (n - 1) as f64;
+        let y = (0..n).map(|i| f(a + h * i as f64)).collect();
+        UniformSpline::new(a, b, y)
+    }
+
+    /// Lower bound of the domain.
+    #[inline]
+    pub fn a(&self) -> f64 {
+        self.a
+    }
+
+    /// Upper bound of the domain.
+    #[inline]
+    pub fn b(&self) -> f64 {
+        self.a + self.h * (self.y.len() - 1) as f64
+    }
+
+    /// Number of knots.
+    #[inline]
+    pub fn knots(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Evaluates `(S(x), S'(x))`.
+    ///
+    /// Arguments outside `[a, b]` are clamped to the boundary knot interval
+    /// (linear extrapolation of the end segment); potentials guard their own
+    /// domains before calling.
+    #[inline]
+    pub fn eval(&self, x: f64) -> (f64, f64) {
+        let n = self.y.len();
+        let t = (x - self.a) / self.h;
+        let i = (t.floor() as isize).clamp(0, n as isize - 2) as usize;
+        let xl = self.a + self.h * i as f64;
+        // Normalized coordinates within segment i.
+        let bb = (x - xl) / self.h;
+        let aa = 1.0 - bb;
+        let (yl, yr) = (self.y[i], self.y[i + 1]);
+        let (dl, dr) = (self.y2[i], self.y2[i + 1]);
+        let h2_6 = self.h * self.h / 6.0;
+        let value = aa * yl + bb * yr + ((aa * aa * aa - aa) * dl + (bb * bb * bb - bb) * dr) * h2_6;
+        let deriv = (yr - yl) / self.h
+            + (-(3.0 * aa * aa - 1.0) * dl + (3.0 * bb * bb - 1.0) * dr) * self.h / 6.0;
+        (value, deriv)
+    }
+
+    /// Value only.
+    #[inline]
+    pub fn value(&self, x: f64) -> f64 {
+        self.eval(x).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::check_derivative;
+
+    #[test]
+    fn reproduces_knot_values_exactly() {
+        let f = |x: f64| (1.3 * x).sin() + 0.2 * x;
+        let s = UniformSpline::from_fn(0.0, 4.0, 17, f);
+        for i in 0..17 {
+            let x = 4.0 * i as f64 / 16.0;
+            assert!((s.value(x) - f(x)).abs() < 1e-12, "knot {i} off");
+        }
+    }
+
+    #[test]
+    fn interpolates_smooth_function_accurately() {
+        let f = |x: f64| (-x).exp() * (2.0 * x).cos();
+        let s = UniformSpline::from_fn(0.0, 5.0, 201, f);
+        // Natural boundary conditions force S'' = 0 at the ends, so accuracy
+        // is only O(h²) in the first/last segment; check the interior.
+        for k in 20..980 {
+            let x = 5.0 * (k as f64 + 0.5) / 1000.0;
+            assert!(
+                (s.value(x) - f(x)).abs() < 1e-6,
+                "error {} at x = {x}",
+                (s.value(x) - f(x)).abs()
+            );
+        }
+    }
+
+    #[test]
+    fn derivative_matches_value_by_finite_difference() {
+        let s = UniformSpline::from_fn(0.5, 3.0, 64, |x| x * x * x - 2.0 * x);
+        for x in [0.7, 1.1, 1.9, 2.6, 2.95] {
+            check_derivative(|v| s.eval(v), x, 1e-6, 1e-6);
+        }
+    }
+
+    #[test]
+    fn derivative_approximates_true_derivative() {
+        let tau = std::f64::consts::TAU;
+        let s = UniformSpline::from_fn(0.0, tau, 401, f64::sin);
+        for k in 1..100 {
+            let x = tau * k as f64 / 100.0;
+            let (_, d) = s.eval(x);
+            assert!((d - x.cos()).abs() < 1e-4, "d = {d}, cos = {}", x.cos());
+        }
+    }
+
+    #[test]
+    fn cubic_polynomials_nearly_exact_inside() {
+        // A cubic is in the spline space except for the natural boundary
+        // condition; in the interior the error must be tiny with many knots.
+        let f = |x: f64| 2.0 * x * x * x - x * x + 3.0;
+        let s = UniformSpline::from_fn(-1.0, 1.0, 401, f);
+        for k in 100..=300 {
+            let x = -1.0 + 2.0 * k as f64 / 400.0;
+            assert!((s.value(x) - f(x)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn linear_function_is_exact_everywhere() {
+        // Natural boundary conditions are exact for linear data.
+        let s = UniformSpline::from_fn(0.0, 10.0, 11, |x| 3.0 * x + 1.0);
+        for k in 0..=100 {
+            let x = 10.0 * k as f64 / 100.0;
+            assert!((s.value(x) - (3.0 * x + 1.0)).abs() < 1e-10);
+            let (_, d) = s.eval(x);
+            assert!((d - 3.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn out_of_domain_clamps_to_end_segments() {
+        let s = UniformSpline::from_fn(0.0, 1.0, 11, |x| x);
+        // Extrapolation continues the boundary segment (linear here).
+        assert!((s.value(-0.1) - (-0.1)).abs() < 1e-9);
+        assert!((s.value(1.1) - 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accessors() {
+        let s = UniformSpline::from_fn(2.0, 4.0, 9, |x| x);
+        assert_eq!(s.a(), 2.0);
+        assert!((s.b() - 4.0).abs() < 1e-12);
+        assert_eq!(s.knots(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 knots")]
+    fn too_few_knots_rejected() {
+        let _ = UniformSpline::new(0.0, 1.0, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid interval")]
+    fn inverted_interval_rejected() {
+        let _ = UniformSpline::new(1.0, 0.0, vec![1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for the potential implementations.
+
+use md_potential::{
+    AnalyticEam, EamPotential, LennardJones, Morse, PairPotential, SmoothCutoff, TabulatedEam,
+    UniformSpline,
+};
+use proptest::prelude::*;
+
+fn central_diff(f: impl Fn(f64) -> f64, x: f64, h: f64) -> f64 {
+    (f(x + h) - f(x - h)) / (2.0 * h)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn lj_derivative_consistent_at_random_radii(r in 0.85..2.45f64) {
+        let lj = LennardJones::reduced(1.0, 1.0);
+        let (_, d) = lj.energy_deriv(r);
+        let numeric = central_diff(|x| lj.energy(x), r, 1e-7);
+        prop_assert!((d - numeric).abs() < 1e-4 * (1.0 + d.abs()), "{d} vs {numeric}");
+    }
+
+    #[test]
+    fn morse_derivative_consistent_at_random_radii(r in 1.0..5.9f64) {
+        let m = Morse::new(0.7, 1.3, 2.6, 6.0);
+        let (_, d) = m.energy_deriv(r);
+        let numeric = central_diff(|x| m.energy(x), r, 1e-7);
+        prop_assert!((d - numeric).abs() < 1e-4 * (1.0 + d.abs()));
+    }
+
+    #[test]
+    fn eam_radial_functions_consistent(r in 1.2..5.6f64) {
+        let p = AnalyticEam::fe();
+        let (_, dp) = p.pair(r);
+        let np = central_diff(|x| p.pair(x).0, r, 1e-7);
+        prop_assert!((dp - np).abs() < 1e-4 * (1.0 + dp.abs()));
+        let (_, df) = p.density(r);
+        let nf = central_diff(|x| p.density(x).0, r, 1e-7);
+        prop_assert!((df - nf).abs() < 1e-4 * (1.0 + df.abs()));
+    }
+
+    #[test]
+    fn embedding_consistent_and_convex(rho in 0.1..60.0f64) {
+        let p = AnalyticEam::fe();
+        let (_, d) = p.embedding(rho);
+        let numeric = central_diff(|x| p.embedding(x).0, rho, 1e-6);
+        prop_assert!((d - numeric).abs() < 1e-6 * (1.0 + d.abs()));
+        // Convexity: slope increases with rho.
+        let (_, d2) = p.embedding(rho + 1.0);
+        prop_assert!(d2 >= d);
+    }
+
+    #[test]
+    fn cutoff_window_bounded_and_monotone(rc in 2.0..8.0f64, frac in 0.1..0.9f64, r in 0.0..10.0f64) {
+        let c = SmoothCutoff::new(rc, frac * rc);
+        let (s, _) = c.eval(r);
+        prop_assert!((0.0..=1.0).contains(&s));
+        let (s2, _) = c.eval(r + 0.1);
+        prop_assert!(s2 <= s + 1e-12, "window must not increase");
+    }
+
+    #[test]
+    fn spline_interpolates_random_cubics_exactly_inside(
+        c0 in -3.0..3.0f64, c1 in -3.0..3.0f64, c2 in -3.0..3.0f64, c3 in -3.0..3.0f64,
+        x in -0.5..0.5f64,
+    ) {
+        let f = move |t: f64| c0 + c1 * t + c2 * t * t + c3 * t * t * t;
+        let s = UniformSpline::from_fn(-1.0, 1.0, 201, f);
+        // Natural BCs perturb only the boundary segments; the interior of a
+        // cubic reproduces to high accuracy.
+        let scale = 1.0 + c0.abs() + c1.abs() + c2.abs() + c3.abs();
+        prop_assert!((s.value(x) - f(x)).abs() < 1e-4 * scale);
+    }
+
+    #[test]
+    fn tabulated_tracks_analytic_at_random_points(r in 1.0..5.5f64, rho_frac in 0.0..0.98f64) {
+        let src = AnalyticEam::fe();
+        let tab = TabulatedEam::standard(&src, src.rho_e());
+        let rho = rho_frac * tab.rho_max();
+        prop_assert!((src.pair(r).0 - tab.pair(r).0).abs() < 1e-5);
+        prop_assert!((src.density(r).0 - tab.density(r).0).abs() < 1e-5);
+        prop_assert!((src.embedding(rho).0 - tab.embedding(rho).0).abs() < 1e-5);
+    }
+}

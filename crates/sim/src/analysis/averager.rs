@@ -1,0 +1,147 @@
+//! Running averages of thermodynamic observables.
+//!
+//! Production runs report time-averaged temperature/energy/pressure with
+//! fluctuations, not instantaneous snapshots; this accumulator uses
+//! Welford's one-pass algorithm, so long runs lose no precision.
+
+use crate::thermo::Thermo;
+
+/// One-pass mean/variance accumulator (Welford).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Accumulator {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Accumulator {
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 with no samples).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample standard deviation (0 with < 2 samples).
+    pub fn std_dev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+}
+
+/// Time averages of the [`Thermo`] observables.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThermoAverager {
+    /// Temperature statistics (K).
+    pub temperature: Accumulator,
+    /// Potential energy statistics (eV).
+    pub potential: Accumulator,
+    /// Total energy statistics (eV).
+    pub total: Accumulator,
+    /// Pressure statistics (GPa).
+    pub pressure: Accumulator,
+}
+
+impl ThermoAverager {
+    /// Fresh, empty averager.
+    pub fn new() -> ThermoAverager {
+        ThermoAverager::default()
+    }
+
+    /// Accumulates one snapshot.
+    pub fn push(&mut self, t: &Thermo) {
+        self.temperature.push(t.temperature);
+        self.potential.push(t.potential_energy);
+        self.total.push(t.total);
+        self.pressure.push(t.pressure_gpa);
+    }
+
+    /// Number of accumulated snapshots.
+    pub fn count(&self) -> u64 {
+        self.temperature.count()
+    }
+}
+
+impl std::fmt::Display for ThermoAverager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "over {} samples: T = {:.1} ± {:.1} K, PE = {:.3} ± {:.3} eV, \
+             E = {:.3} ± {:.3} eV, P = {:.3} ± {:.3} GPa",
+            self.count(),
+            self.temperature.mean(),
+            self.temperature.std_dev(),
+            self.potential.mean(),
+            self.potential.std_dev(),
+            self.total.mean(),
+            self.total.std_dev(),
+            self.pressure.mean(),
+            self.pressure.std_dev(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_direct_formulas() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut acc = Accumulator::default();
+        for &x in &data {
+            acc.push(x);
+        }
+        assert_eq!(acc.count(), 8);
+        assert!((acc.mean() - 5.0).abs() < 1e-12);
+        // Sample std dev of this classic data set is ~2.138.
+        let mean = 5.0;
+        let var: f64 = data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / 7.0;
+        assert!((acc.std_dev() - var.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let mut acc = Accumulator::default();
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.std_dev(), 0.0);
+        acc.push(3.0);
+        assert_eq!(acc.mean(), 3.0);
+        assert_eq!(acc.std_dev(), 0.0, "single sample has no spread");
+    }
+
+    #[test]
+    fn thermo_averager_tracks_all_channels() {
+        let mut avg = ThermoAverager::new();
+        for k in 0..5 {
+            avg.push(&Thermo {
+                step: k,
+                temperature: 300.0 + k as f64,
+                kinetic: 1.0,
+                potential_energy: -10.0,
+                total: -9.0,
+                pressure_gpa: 0.5,
+            });
+        }
+        assert_eq!(avg.count(), 5);
+        assert!((avg.temperature.mean() - 302.0).abs() < 1e-12);
+        assert_eq!(avg.potential.std_dev(), 0.0);
+        let text = avg.to_string();
+        assert!(text.contains("5 samples"));
+        assert!(text.contains("302.0"));
+    }
+}

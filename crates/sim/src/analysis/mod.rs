@@ -1,0 +1,12 @@
+//! Trajectory analysis: the observables the paper's workload family
+//! (micro-deformation, thermal behavior of Fe) is studied with.
+
+pub mod averager;
+pub mod msd;
+pub mod rdf;
+pub mod vacf;
+
+pub use averager::{Accumulator, ThermoAverager};
+pub use msd::MsdTracker;
+pub use rdf::Rdf;
+pub use vacf::Vacf;

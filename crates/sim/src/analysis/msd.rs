@@ -1,0 +1,119 @@
+//! Mean-squared displacement with periodic-boundary unwrapping.
+//!
+//! Wrapped coordinates jump by a box length when an atom crosses a face, so
+//! raw `|x(t) − x(0)|²` is wrong under PBC. The tracker integrates
+//! minimum-image displacements between consecutive samples instead, which is
+//! exact as long as no atom moves more than half a box edge between samples
+//! (trivially true at MD time-steps).
+
+use crate::system::System;
+use md_geometry::Vec3;
+
+/// Accumulates unwrapped displacements from a reference frame.
+#[derive(Debug, Clone)]
+pub struct MsdTracker {
+    prev_wrapped: Vec<Vec3>,
+    unwrapped_disp: Vec<Vec3>,
+}
+
+impl MsdTracker {
+    /// Starts tracking from the system's current positions.
+    pub fn new(system: &System) -> MsdTracker {
+        MsdTracker {
+            prev_wrapped: system.positions().to_vec(),
+            unwrapped_disp: vec![Vec3::ZERO; system.len()],
+        }
+    }
+
+    /// Advances the tracker to the system's current positions.
+    ///
+    /// # Panics
+    /// Panics if the atom count changed. (Relabeling atoms — the §II.D
+    /// reorder — invalidates the tracker; sample on a fixed labeling.)
+    pub fn sample(&mut self, system: &System) {
+        assert_eq!(
+            system.len(),
+            self.prev_wrapped.len(),
+            "atom count changed under the MSD tracker"
+        );
+        let sim_box = system.sim_box();
+        for ((prev, disp), &now) in self
+            .prev_wrapped
+            .iter_mut()
+            .zip(&mut self.unwrapped_disp)
+            .zip(system.positions())
+        {
+            *disp += sim_box.min_image(now, *prev);
+            *prev = now;
+        }
+    }
+
+    /// Mean-squared displacement (Å²) relative to the reference frame.
+    pub fn msd(&self) -> f64 {
+        if self.unwrapped_disp.is_empty() {
+            return 0.0;
+        }
+        self.unwrapped_disp.iter().map(|d| d.norm_sq()).sum::<f64>()
+            / self.unwrapped_disp.len() as f64
+    }
+
+    /// Per-atom unwrapped displacement vectors.
+    pub fn displacements(&self) -> &[Vec3] {
+        &self.unwrapped_disp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::FE_MASS;
+    use md_geometry::{LatticeSpec, SimBox};
+
+    #[test]
+    fn static_system_has_zero_msd() {
+        let system = System::from_lattice(LatticeSpec::bcc_fe(3), FE_MASS);
+        let mut tracker = MsdTracker::new(&system);
+        tracker.sample(&system);
+        tracker.sample(&system);
+        assert_eq!(tracker.msd(), 0.0);
+    }
+
+    #[test]
+    fn uniform_translation_gives_square_of_distance() {
+        let mut system = System::from_lattice(LatticeSpec::bcc_fe(3), FE_MASS);
+        let mut tracker = MsdTracker::new(&system);
+        // Move everything by (1, 2, 2) in four small steps.
+        for _ in 0..4 {
+            for p in system.positions_mut() {
+                *p += Vec3::new(0.25, 0.5, 0.5);
+            }
+            system.wrap();
+            tracker.sample(&system);
+        }
+        assert!((tracker.msd() - 9.0).abs() < 1e-9, "msd = {}", tracker.msd());
+    }
+
+    #[test]
+    fn unwrapping_sees_through_boundary_crossings() {
+        let bx = SimBox::cubic(10.0);
+        let mut system = System::new(bx, vec![Vec3::new(9.5, 5.0, 5.0)], 1.0);
+        let mut tracker = MsdTracker::new(&system);
+        // March the atom 3 Å forward in x; it crosses the boundary once.
+        for _ in 0..6 {
+            system.positions_mut()[0].x += 0.5;
+            system.wrap();
+            tracker.sample(&system);
+        }
+        assert!((tracker.msd() - 9.0).abs() < 1e-9, "msd = {}", tracker.msd());
+        assert!((tracker.displacements()[0].x - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "atom count changed")]
+    fn atom_count_change_is_rejected() {
+        let system = System::from_lattice(LatticeSpec::bcc_fe(3), FE_MASS);
+        let mut tracker = MsdTracker::new(&system);
+        let smaller = System::from_lattice(LatticeSpec::bcc_fe(2), FE_MASS);
+        tracker.sample(&smaller);
+    }
+}

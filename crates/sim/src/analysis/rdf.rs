@@ -1,0 +1,189 @@
+//! Radial distribution function g(r).
+//!
+//! The standard structural fingerprint: for a crystal, sharp peaks at the
+//! neighbor-shell radii; for a liquid, a broad first peak decaying to 1.
+//! Computed with the same linked-cell machinery as the neighbor lists, so
+//! accumulation is O(N) per frame.
+
+use crate::system::System;
+use md_neighbor::{NeighborList, VerletConfig};
+
+/// A binned g(r) accumulator.
+#[derive(Debug, Clone)]
+pub struct Rdf {
+    r_max: f64,
+    bins: Vec<u64>,
+    frames: usize,
+    atoms: usize,
+    volume: f64,
+}
+
+impl Rdf {
+    /// Creates an accumulator with `n_bins` bins on `[0, r_max)`.
+    ///
+    /// # Panics
+    /// Panics if `r_max ≤ 0` or `n_bins == 0`.
+    pub fn new(r_max: f64, n_bins: usize) -> Rdf {
+        assert!(r_max > 0.0 && r_max.is_finite(), "r_max must be positive");
+        assert!(n_bins > 0, "need at least one bin");
+        Rdf {
+            r_max,
+            bins: vec![0; n_bins],
+            frames: 0,
+            atoms: 0,
+            volume: 0.0,
+        }
+    }
+
+    /// Accumulates one frame.
+    ///
+    /// # Panics
+    /// Panics if any periodic box edge is shorter than `2·r_max` (the
+    /// minimum-image requirement), or if the atom count changes between
+    /// frames.
+    pub fn sample(&mut self, system: &System) {
+        let sim_box = system.sim_box();
+        sim_box
+            .validate_cutoff(self.r_max)
+            .expect("box too small for the requested r_max");
+        if self.frames == 0 {
+            self.atoms = system.len();
+        } else {
+            assert_eq!(self.atoms, system.len(), "atom count changed");
+        }
+        // A half list with zero skin at exactly r_max visits each pair once.
+        let nl = NeighborList::build(sim_box, system.positions(), VerletConfig::half(self.r_max, 0.0));
+        let pos = system.positions();
+        let scale = self.bins.len() as f64 / self.r_max;
+        for (i, row) in nl.csr().iter_rows() {
+            for &j in row {
+                let r = sim_box.distance_sq(pos[i], pos[j as usize]).sqrt();
+                let b = (r * scale) as usize;
+                if b < self.bins.len() {
+                    self.bins[b] += 2; // each pair counts for both atoms
+                }
+            }
+        }
+        self.volume += sim_box.volume();
+        self.frames += 1;
+    }
+
+    /// Number of accumulated frames.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// Returns `(r_mid, g(r))` samples, ideal-gas normalized so that an
+    /// uncorrelated system gives g ≈ 1.
+    ///
+    /// # Panics
+    /// Panics if no frames were sampled.
+    pub fn finish(&self) -> Vec<(f64, f64)> {
+        assert!(self.frames > 0, "no frames sampled");
+        let n_bins = self.bins.len();
+        let dr = self.r_max / n_bins as f64;
+        let mean_volume = self.volume / self.frames as f64;
+        let density = self.atoms as f64 / mean_volume;
+        let norm_frames = (self.frames * self.atoms) as f64;
+        (0..n_bins)
+            .map(|b| {
+                let r_lo = b as f64 * dr;
+                let r_hi = r_lo + dr;
+                let shell = 4.0 / 3.0 * std::f64::consts::PI * (r_hi.powi(3) - r_lo.powi(3));
+                let ideal = density * shell;
+                let g = self.bins[b] as f64 / (norm_frames * ideal);
+                (r_lo + 0.5 * dr, g)
+            })
+            .collect()
+    }
+
+    /// Radius of the highest g(r) bin — the first-shell position for
+    /// condensed phases.
+    pub fn peak_position(&self) -> f64 {
+        self.finish()
+            .into_iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(r, _)| r)
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::FE_MASS;
+    use md_geometry::LatticeSpec;
+
+    #[test]
+    fn bcc_crystal_peaks_at_the_nearest_neighbor_shell() {
+        let system = System::from_lattice(LatticeSpec::bcc_fe(6), FE_MASS);
+        let mut rdf = Rdf::new(5.0, 250);
+        rdf.sample(&system);
+        let peak = rdf.peak_position();
+        let nn = 2.8665 * 3f64.sqrt() / 2.0; // 2.4824 Å
+        assert!((peak - nn).abs() < 0.05, "peak at {peak}, expected {nn}");
+    }
+
+    #[test]
+    fn crystal_gr_is_zero_between_shells() {
+        let system = System::from_lattice(LatticeSpec::bcc_fe(6), FE_MASS);
+        let mut rdf = Rdf::new(5.0, 250);
+        rdf.sample(&system);
+        let g = rdf.finish();
+        // No pairs inside the hard core (below ~2.3 Å) nor between the 2nd
+        // (2.8665) and 3rd (4.054) shells, e.g. around 3.4 Å.
+        for (r, v) in &g {
+            if *r < 2.3 || (*r > 3.1 && *r < 3.9) {
+                assert_eq!(*v, 0.0, "g({r}) = {v} should be empty");
+            }
+        }
+    }
+
+    #[test]
+    fn shell_counts_integrate_correctly() {
+        // Integrating ρ·g(r)·4πr² dr over the first peak recovers the BCC
+        // coordination number 8.
+        let system = System::from_lattice(LatticeSpec::bcc_fe(6), FE_MASS);
+        let mut rdf = Rdf::new(5.0, 500);
+        rdf.sample(&system);
+        let g = rdf.finish();
+        let density = system.len() as f64 / system.sim_box().volume();
+        let dr = 5.0 / 500.0;
+        let count: f64 = g
+            .iter()
+            .filter(|(r, _)| (2.2..2.7).contains(r))
+            .map(|(r, v)| density * v * 4.0 * std::f64::consts::PI * r * r * dr)
+            .sum();
+        assert!((count - 8.0).abs() < 0.2, "first shell count = {count}");
+    }
+
+    #[test]
+    fn multiple_frames_average() {
+        let system = System::from_lattice(LatticeSpec::bcc_fe(6), FE_MASS);
+        let mut one = Rdf::new(5.0, 100);
+        one.sample(&system);
+        let mut three = Rdf::new(5.0, 100);
+        for _ in 0..3 {
+            three.sample(&system);
+        }
+        assert_eq!(three.frames(), 3);
+        // Identical frames: averaged g equals single-frame g.
+        for ((_, a), (_, b)) in one.finish().iter().zip(three.finish().iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "box too small")]
+    fn oversized_rmax_rejected() {
+        let system = System::from_lattice(LatticeSpec::bcc_fe(4), FE_MASS);
+        let mut rdf = Rdf::new(50.0, 10);
+        rdf.sample(&system);
+    }
+
+    #[test]
+    #[should_panic(expected = "no frames")]
+    fn finish_without_samples_panics() {
+        let _ = Rdf::new(5.0, 10).finish();
+    }
+}

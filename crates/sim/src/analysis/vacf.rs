@@ -1,0 +1,118 @@
+//! Velocity autocorrelation function (VACF).
+//!
+//! `C(t) = ⟨v(0)·v(t)⟩ / ⟨v(0)·v(0)⟩`: starts at 1, oscillates and decays
+//! in a solid (phonons), decays monotonically toward 0 in a dilute gas. Its
+//! time integral is proportional to the diffusion coefficient
+//! (Green–Kubo).
+
+use crate::system::System;
+use md_geometry::Vec3;
+
+/// Velocity autocorrelation accumulator.
+#[derive(Debug, Clone)]
+pub struct Vacf {
+    v0: Vec<Vec3>,
+    norm: f64,
+    samples: Vec<f64>,
+}
+
+impl Vacf {
+    /// Captures the reference velocities `v(0)` from the current state.
+    ///
+    /// # Panics
+    /// Panics if all velocities are zero (the normalization is undefined).
+    pub fn new(system: &System) -> Vacf {
+        let v0 = system.velocities().to_vec();
+        let norm = v0.iter().map(|v| v.norm_sq()).sum::<f64>();
+        assert!(norm > 0.0, "VACF needs non-zero initial velocities");
+        Vacf {
+            v0,
+            norm,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Records `C(t)` for the system's current velocities.
+    ///
+    /// # Panics
+    /// Panics if the atom count changed.
+    pub fn sample(&mut self, system: &System) -> f64 {
+        assert_eq!(system.len(), self.v0.len(), "atom count changed");
+        let dot: f64 = self
+            .v0
+            .iter()
+            .zip(system.velocities())
+            .map(|(a, b)| a.dot(*b))
+            .sum();
+        let c = dot / self.norm;
+        self.samples.push(c);
+        c
+    }
+
+    /// All recorded correlation values, in sampling order.
+    pub fn series(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Trapezoidal integral of the recorded series times `dt` — proportional
+    /// to the Green–Kubo diffusion coefficient.
+    pub fn integral(&self, dt: f64) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let inner: f64 = self.samples[1..self.samples.len() - 1].iter().sum();
+        dt * (0.5 * (self.samples[0] + *self.samples.last().unwrap()) + inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::FE_MASS;
+    use crate::velocity::init_velocities;
+    use md_geometry::LatticeSpec;
+
+    fn hot() -> System {
+        let mut s = System::from_lattice(LatticeSpec::bcc_fe(3), FE_MASS);
+        init_velocities(&mut s, 300.0, 1);
+        s
+    }
+
+    #[test]
+    fn correlation_starts_at_one() {
+        let s = hot();
+        let mut vacf = Vacf::new(&s);
+        let c0 = vacf.sample(&s);
+        assert!((c0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversed_velocities_give_minus_one() {
+        let mut s = hot();
+        let mut vacf = Vacf::new(&s);
+        for v in s.velocities_mut() {
+            *v = -*v;
+        }
+        let c = vacf.sample(&s);
+        assert!((c + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integral_is_trapezoidal() {
+        let s = hot();
+        let mut vacf = Vacf::new(&s);
+        vacf.sample(&s); // 1
+        vacf.sample(&s); // 1
+        vacf.sample(&s); // 1
+        // ∫ of a constant 1 over 2 intervals of dt = 0.5 → 1.0.
+        assert!((vacf.integral(0.5) - 1.0).abs() < 1e-12);
+        assert_eq!(vacf.series().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero initial velocities")]
+    fn zero_velocities_rejected() {
+        let s = System::from_lattice(LatticeSpec::bcc_fe(2), FE_MASS);
+        let _ = Vacf::new(&s);
+    }
+}

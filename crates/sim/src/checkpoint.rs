@@ -1,0 +1,239 @@
+//! Checkpoint (restart) files.
+//!
+//! A plain-text snapshot of the full dynamic state — box, masses,
+//! positions, velocities — sufficient to continue a run bit-exactly (forces
+//! and EAM scratch are recomputed on load). The format is a versioned
+//! whitespace table, human-inspectable like XMD's own state files.
+
+use crate::system::System;
+use md_geometry::{SimBox, Vec3};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &str = "sdc-md-checkpoint";
+const VERSION: u32 = 1;
+
+/// Checkpoint read errors.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem (bad magic, truncation, non-numeric fields).
+    Malformed(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Malformed(m) => write!(f, "malformed checkpoint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> CheckpointError {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Writes a checkpoint of `system` at step `step`.
+pub fn write_checkpoint(
+    sink: &mut impl Write,
+    system: &System,
+    step: usize,
+) -> Result<(), CheckpointError> {
+    let mut w = BufWriter::new(sink);
+    let l = system.sim_box().lengths();
+    let periodic = system.sim_box().periodicity();
+    writeln!(w, "{MAGIC} v{VERSION}")?;
+    writeln!(w, "step {step}")?;
+    writeln!(
+        w,
+        "box {:.17e} {:.17e} {:.17e} {} {} {}",
+        l.x, l.y, l.z, periodic[0] as u8, periodic[1] as u8, periodic[2] as u8
+    )?;
+    writeln!(w, "mass {:.17e}", system.mass())?;
+    writeln!(w, "atoms {}", system.len())?;
+    for (p, v) in system.positions().iter().zip(system.velocities()) {
+        writeln!(
+            w,
+            "{:.17e} {:.17e} {:.17e} {:.17e} {:.17e} {:.17e}",
+            p.x, p.y, p.z, v.x, v.y, v.z
+        )?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Saves a checkpoint to `path`.
+pub fn save_checkpoint(
+    path: impl AsRef<Path>,
+    system: &System,
+    step: usize,
+) -> Result<(), CheckpointError> {
+    let mut f = std::fs::File::create(path)?;
+    write_checkpoint(&mut f, system, step)
+}
+
+/// Reads a checkpoint, returning the restored system and its step counter.
+pub fn read_checkpoint(source: impl Read) -> Result<(System, usize), CheckpointError> {
+    let mut lines = BufReader::new(source).lines();
+    let mut next = || -> Result<String, CheckpointError> {
+        lines
+            .next()
+            .ok_or_else(|| CheckpointError::Malformed("unexpected end of file".into()))?
+            .map_err(CheckpointError::from)
+    };
+    let head = next()?;
+    if head != format!("{MAGIC} v{VERSION}") {
+        return Err(CheckpointError::Malformed(format!(
+            "bad header '{head}' (expected '{MAGIC} v{VERSION}')"
+        )));
+    }
+    let step: usize = field(&next()?, "step")?;
+    let box_line = next()?;
+    let toks: Vec<&str> = box_line.split_whitespace().collect();
+    if toks.len() != 7 || toks[0] != "box" {
+        return Err(CheckpointError::Malformed(format!("bad box line '{box_line}'")));
+    }
+    let parse_f = |t: &str| -> Result<f64, CheckpointError> {
+        t.parse()
+            .map_err(|_| CheckpointError::Malformed(format!("bad number '{t}'")))
+    };
+    let lengths = Vec3::new(parse_f(toks[1])?, parse_f(toks[2])?, parse_f(toks[3])?);
+    let periodic = [toks[4] == "1", toks[5] == "1", toks[6] == "1"];
+    let mass: f64 = field(&next()?, "mass")?;
+    let n: usize = field(&next()?, "atoms")?;
+    let mut positions = Vec::with_capacity(n);
+    let mut velocities = Vec::with_capacity(n);
+    for k in 0..n {
+        let line = next()?;
+        let vals: Result<Vec<f64>, _> = line.split_whitespace().map(parse_f).collect();
+        let vals = vals?;
+        if vals.len() != 6 {
+            return Err(CheckpointError::Malformed(format!(
+                "atom {k}: expected 6 fields, got {}",
+                vals.len()
+            )));
+        }
+        positions.push(Vec3::new(vals[0], vals[1], vals[2]));
+        velocities.push(Vec3::new(vals[3], vals[4], vals[5]));
+    }
+    let sim_box = SimBox::with_periodicity(lengths, periodic);
+    let mut system = System::new(sim_box, positions, mass);
+    system.velocities_mut().copy_from_slice(&velocities);
+    Ok((system, step))
+}
+
+/// Loads a checkpoint from `path`.
+pub fn load_checkpoint(path: impl AsRef<Path>) -> Result<(System, usize), CheckpointError> {
+    read_checkpoint(std::fs::File::open(path)?)
+}
+
+fn field<T: std::str::FromStr>(line: &str, key: &str) -> Result<T, CheckpointError> {
+    let mut it = line.split_whitespace();
+    match (it.next(), it.next()) {
+        (Some(k), Some(v)) if k == key => v
+            .parse()
+            .map_err(|_| CheckpointError::Malformed(format!("bad {key} value '{v}'"))),
+        _ => Err(CheckpointError::Malformed(format!(
+            "expected '{key} <value>', got '{line}'"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::FE_MASS;
+    use crate::velocity::init_velocities;
+    use md_geometry::LatticeSpec;
+
+    fn state() -> System {
+        let mut s = System::from_lattice(LatticeSpec::bcc_fe(3), FE_MASS);
+        init_velocities(&mut s, 450.0, 7);
+        s
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let original = state();
+        let mut buf = Vec::new();
+        write_checkpoint(&mut buf, &original, 123).unwrap();
+        let (restored, step) = read_checkpoint(&buf[..]).unwrap();
+        assert_eq!(step, 123);
+        assert_eq!(restored.len(), original.len());
+        assert_eq!(restored.mass(), original.mass());
+        assert_eq!(restored.positions(), original.positions());
+        assert_eq!(restored.velocities(), original.velocities());
+        assert_eq!(
+            restored.sim_box().lengths(),
+            original.sim_box().lengths()
+        );
+    }
+
+    #[test]
+    fn disk_round_trip() {
+        let path = std::env::temp_dir().join("sdc_md_test.ckpt");
+        let original = state();
+        save_checkpoint(&path, &original, 5).unwrap();
+        let (restored, step) = load_checkpoint(&path).unwrap();
+        assert_eq!(step, 5);
+        assert_eq!(restored.positions(), original.positions());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn restart_continues_the_same_trajectory() {
+        use crate::forces::{ForceEngine, PotentialChoice};
+        use crate::integrate::velocity_verlet;
+        use md_potential::AnalyticEam;
+        use sdc_core::StrategyKind;
+        use std::sync::Arc;
+
+        let mut reference = System::from_lattice(LatticeSpec::bcc_fe(5), FE_MASS);
+        init_velocities(&mut reference, 300.0, 3);
+        let pot = || PotentialChoice::Eam(Arc::new(AnalyticEam::fe()));
+        let mut eng = ForceEngine::new(&reference, pot(), StrategyKind::Serial, 1, 0.3).unwrap();
+        eng.compute(&mut reference);
+        for _ in 0..10 {
+            velocity_verlet(&mut reference, &mut eng, 1e-3);
+        }
+        // Checkpoint mid-run.
+        let mut buf = Vec::new();
+        write_checkpoint(&mut buf, &reference, 10).unwrap();
+        // Continue the original.
+        for _ in 0..10 {
+            velocity_verlet(&mut reference, &mut eng, 1e-3);
+        }
+        // Restore and continue the copy.
+        let (mut restored, _) = read_checkpoint(&buf[..]).unwrap();
+        let mut eng2 = ForceEngine::new(&restored, pot(), StrategyKind::Serial, 1, 0.3).unwrap();
+        eng2.compute(&mut restored);
+        for _ in 0..10 {
+            velocity_verlet(&mut restored, &mut eng2, 1e-3);
+        }
+        for (a, b) in reference.positions().iter().zip(restored.positions()) {
+            assert!((*a - *b).norm() < 1e-12, "trajectories diverged: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn bad_files_are_rejected() {
+        assert!(matches!(
+            read_checkpoint("not a checkpoint".as_bytes()).unwrap_err(),
+            CheckpointError::Malformed(_)
+        ));
+        // Truncated atom table.
+        let original = state();
+        let mut buf = Vec::new();
+        write_checkpoint(&mut buf, &original, 0).unwrap();
+        buf.truncate(buf.len() - 40);
+        let err = read_checkpoint(&buf[..]).unwrap_err();
+        assert!(err.to_string().contains("malformed") || err.to_string().contains("fields"),
+            "{err}");
+    }
+}

@@ -1,0 +1,416 @@
+//! The three-phase EAM force computation (paper §II.C).
+//!
+//! Per time-step:
+//!
+//! 1. **Densities** (Fig. 7): `rho[i] += f(r); rho[j] += f(r)` over the half
+//!    list — an irregular reduction, executed by the configured strategy.
+//! 2. **Embedding** (§II.C phase 2): `fp[i] = F'(ρ_i)` — a plain data-
+//!    parallel loop with no cross-iteration dependences (`parallel for`).
+//! 3. **Forces** (Fig. 8): for each stored pair, the scalar
+//!    `s = φ'(r) + (F'(ρ_i) + F'(ρ_j))·f'(r)` (the paper's Eq. 2), scattered
+//!    as `force[i] −= s·r̂; force[j] += s·r̂` — the second irregular
+//!    reduction.
+//!
+//! Phases 1 and 3 are the paper's timed quantity; phase 2 is cheap
+//! (`O(N)` vs `O(N·neighbors)`).
+
+use crate::forces::ForceEngine;
+use crate::system::System;
+use crate::timing::Phase;
+use md_geometry::Vec3;
+use md_neighbor::NeighborList;
+use md_potential::EamPotential;
+use rayon::prelude::*;
+use sdc_core::PairTerm;
+
+impl ForceEngine {
+    pub(crate) fn compute_eam(&mut self, system: &mut System, pot: &dyn EamPotential) {
+        let rc2 = pot.cutoff() * pot.cutoff();
+        let strategy = self.strategy();
+        // Timers are detached so `exec` (borrowing `self`) and timing
+        // (borrowing `self.timers` mutably) can coexist.
+        let mut timers = std::mem::take(self.timers_mut());
+        {
+            let exec = self.exec();
+            let ctx = self.ctx();
+            let (sim_box, pos, rho, fp, forces) = system.eam_split_mut();
+
+            // Phase 1: electron densities.
+            timers.time(Phase::Density, || {
+                rho.fill(0.0);
+                let kernel = |i: usize, j: usize| {
+                    let d = sim_box.min_image(pos[i], pos[j]);
+                    let r2 = d.norm_sq();
+                    if r2 >= rc2 {
+                        return None;
+                    }
+                    Some(PairTerm::symmetric(pot.density(r2.sqrt()).0))
+                };
+                exec.run(strategy, rho, &kernel);
+            });
+
+            // Phase 2: embedding derivatives (no dependences).
+            timers.time(Phase::Embedding, || {
+                ctx.install(|| {
+                    fp.par_iter_mut()
+                        .zip(rho.par_iter())
+                        .for_each(|(f, &r)| *f = pot.embedding(r).1);
+                });
+            });
+
+            // Phase 3: forces.
+            timers.time(Phase::Force, || {
+                forces.fill(Vec3::ZERO);
+                let fp_ro: &[f64] = fp;
+                let kernel = |i: usize, j: usize| {
+                    let d = sim_box.min_image(pos[i], pos[j]);
+                    let r2 = d.norm_sq();
+                    if r2 >= rc2 {
+                        return None;
+                    }
+                    let r = r2.sqrt();
+                    let (_, dphi) = pot.pair(r);
+                    let (_, df) = pot.density(r);
+                    let scalar = dphi + (fp_ro[i] + fp_ro[j]) * df;
+                    // F_i = −dE/dr · r̂, r̂ = (r_i − r_j)/r; Newton gives −F to j.
+                    Some(PairTerm::newton(d * (-scalar / r)))
+                };
+                exec.run(strategy, forces, &kernel);
+            });
+        }
+        *self.timers_mut() = timers;
+    }
+}
+
+/// Total EAM potential energy `Σ_i F(ρ_i) + Σ_pairs φ(r)`, using the
+/// densities stored in the system by the last force computation.
+pub fn eam_energy(half: &NeighborList, system: &System, pot: &dyn EamPotential) -> f64 {
+    let embed: f64 = system.rho().iter().map(|&r| pot.embedding(r).0).sum();
+    let rc2 = pot.cutoff() * pot.cutoff();
+    let pos = system.positions();
+    let sim_box = system.sim_box();
+    let mut pair = 0.0;
+    for (i, row) in half.csr().iter_rows() {
+        for &j in row {
+            let r2 = sim_box.distance_sq(pos[i], pos[j as usize]);
+            if r2 < rc2 {
+                pair += pot.pair(r2.sqrt()).0;
+            }
+        }
+    }
+    embed + pair
+}
+
+/// Configurational (virial) stress tensor `Σ_pairs d ⊗ f / V`, using the
+/// stored embedding derivatives. Its trace/3 is the configurational part of
+/// the pressure.
+pub fn eam_stress(
+    half: &NeighborList,
+    system: &System,
+    pot: &dyn EamPotential,
+) -> crate::stress::StressTensor {
+    let rc2 = pot.cutoff() * pot.cutoff();
+    let pos = system.positions();
+    let fp = system.fp();
+    let sim_box = system.sim_box();
+    let mut t = crate::stress::StressTensor::zero();
+    for (i, row) in half.csr().iter_rows() {
+        for &j in row {
+            let j = j as usize;
+            let d = sim_box.min_image(pos[i], pos[j]);
+            let r2 = d.norm_sq();
+            if r2 < rc2 {
+                let r = r2.sqrt();
+                let (_, dphi) = pot.pair(r);
+                let (_, df) = pot.density(r);
+                let scalar = dphi + (fp[i] + fp[j]) * df;
+                // Force on i: f = −(scalar/r)·d; dyadic d ⊗ f.
+                t.add_dyadic(d, d * (-scalar / r));
+            }
+        }
+    }
+    t.scaled(1.0 / sim_box.volume())
+}
+
+/// Pair virial `W = Σ_pairs r⃗·f⃗ = −Σ_pairs (dE/dr)·r`, using the stored
+/// embedding derivatives.
+pub fn eam_virial(half: &NeighborList, system: &System, pot: &dyn EamPotential) -> f64 {
+    let rc2 = pot.cutoff() * pot.cutoff();
+    let pos = system.positions();
+    let fp = system.fp();
+    let sim_box = system.sim_box();
+    let mut w = 0.0;
+    for (i, row) in half.csr().iter_rows() {
+        for &j in row {
+            let j = j as usize;
+            let r2 = sim_box.distance_sq(pos[i], pos[j]);
+            if r2 < rc2 {
+                let r = r2.sqrt();
+                let (_, dphi) = pot.pair(r);
+                let (_, df) = pot.density(r);
+                w -= (dphi + (fp[i] + fp[j]) * df) * r;
+            }
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::forces::{ForceEngine, PotentialChoice};
+    use crate::system::System;
+    use crate::units::FE_MASS;
+    use md_geometry::{LatticeSpec, Vec3};
+    use md_potential::{AnalyticEam, TabulatedEam};
+    use sdc_core::StrategyKind;
+    use std::sync::Arc;
+
+    fn fe_engine(n: usize, strategy: StrategyKind, threads: usize) -> (System, ForceEngine) {
+        let system = System::from_lattice(LatticeSpec::bcc_fe(n), FE_MASS);
+        let pot = PotentialChoice::Eam(Arc::new(AnalyticEam::fe()));
+        let eng = ForceEngine::new(&system, pot, strategy, threads, 0.3).unwrap();
+        (system, eng)
+    }
+
+    /// Perturb the perfect crystal deterministically so forces are non-zero.
+    fn rattle(system: &mut System, amplitude: f64) {
+        for (k, p) in system.positions_mut().iter_mut().enumerate() {
+            let k = k as f64;
+            p.x += amplitude * (0.917 * k).sin();
+            p.y += amplitude * (1.311 * k).cos();
+            p.z += amplitude * (2.113 * k).sin();
+        }
+        system.wrap();
+    }
+
+    #[test]
+    fn perfect_crystal_has_zero_forces_by_symmetry() {
+        let (mut system, mut eng) = fe_engine(5, StrategyKind::Serial, 1);
+        eng.compute(&mut system);
+        for (i, f) in system.forces().iter().enumerate() {
+            assert!(f.norm() < 1e-10, "atom {i}: |F| = {}", f.norm());
+        }
+    }
+
+    #[test]
+    fn perfect_crystal_density_equals_shell_sum() {
+        let (mut system, mut eng) = fe_engine(5, StrategyKind::Serial, 1);
+        eng.compute(&mut system);
+        let pot = AnalyticEam::fe();
+        for (i, &rho) in system.rho().iter().enumerate() {
+            assert!(
+                (rho - pot.rho_e()).abs() < 1e-9,
+                "atom {i}: rho = {rho}, rho_e = {}",
+                pot.rho_e()
+            );
+        }
+    }
+
+    #[test]
+    fn newtons_third_law_net_force_is_zero() {
+        let (mut system, mut eng) = fe_engine(5, StrategyKind::Serial, 1);
+        rattle(&mut system, 0.08);
+        eng.rebuild(&system);
+        eng.compute(&mut system);
+        let net: Vec3 = system.forces().iter().sum();
+        assert!(net.norm() < 1e-9, "net force {net}");
+    }
+
+    #[test]
+    fn forces_are_minus_gradient_of_energy() {
+        let (mut system, mut eng) = fe_engine(5, StrategyKind::Serial, 1);
+        rattle(&mut system, 0.05);
+        eng.rebuild(&system);
+        eng.compute(&mut system);
+        let f0 = system.forces()[7];
+        // Central difference on atom 7, each axis.
+        let h = 1e-6;
+        for axis in 0..3 {
+            let mut plus = system.clone();
+            plus.positions_mut()[7][axis] += h;
+            plus.wrap();
+            let mut eng_p = ForceEngine::new(
+                &plus,
+                PotentialChoice::Eam(Arc::new(AnalyticEam::fe())),
+                StrategyKind::Serial,
+                1,
+                0.3,
+            )
+            .unwrap();
+            eng_p.compute(&mut plus);
+            let ep = eng_p.potential_energy(&plus);
+
+            let mut minus = system.clone();
+            minus.positions_mut()[7][axis] -= h;
+            minus.wrap();
+            let mut eng_m = ForceEngine::new(
+                &minus,
+                PotentialChoice::Eam(Arc::new(AnalyticEam::fe())),
+                StrategyKind::Serial,
+                1,
+                0.3,
+            )
+            .unwrap();
+            eng_m.compute(&mut minus);
+            let em = eng_m.potential_energy(&minus);
+
+            let numeric = -(ep - em) / (2.0 * h);
+            assert!(
+                (f0[axis] - numeric).abs() < 1e-5 * f0[axis].abs().max(1.0),
+                "axis {axis}: analytic {}, numeric {numeric}",
+                f0[axis]
+            );
+        }
+    }
+
+    #[test]
+    fn all_strategies_compute_identical_physics() {
+        let mut reference: Option<(Vec<f64>, Vec<Vec3>)> = None;
+        for strategy in [
+            StrategyKind::Serial,
+            StrategyKind::Sdc { dims: 1 },
+            StrategyKind::Sdc { dims: 2 },
+            StrategyKind::Sdc { dims: 3 },
+            StrategyKind::Critical,
+            StrategyKind::Atomic,
+            StrategyKind::Locks,
+            StrategyKind::LocalWrite,
+            StrategyKind::Privatized,
+            StrategyKind::Redundant,
+        ] {
+            let (mut system, mut eng) = fe_engine(9, strategy, 3);
+            rattle(&mut system, 0.05);
+            eng.rebuild(&system);
+            eng.compute(&mut system);
+            let rho = system.rho().to_vec();
+            let forces = system.forces().to_vec();
+            match &reference {
+                None => reference = Some((rho, forces)),
+                Some((rho_ref, f_ref)) => {
+                    for (k, (a, b)) in rho_ref.iter().zip(&rho).enumerate() {
+                        assert!(
+                            (a - b).abs() < 1e-10 * a.abs().max(1.0),
+                            "{strategy}: rho[{k}] {a} vs {b}"
+                        );
+                    }
+                    for (k, (a, b)) in f_ref.iter().zip(&forces).enumerate() {
+                        assert!(
+                            (*a - *b).norm() < 1e-9,
+                            "{strategy}: force[{k}] {a} vs {b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tabulated_eam_matches_analytic_closely() {
+        let src = AnalyticEam::fe();
+        let tab = TabulatedEam::standard(&src, src.rho_e());
+        let mut sys_a = System::from_lattice(LatticeSpec::bcc_fe(5), FE_MASS);
+        rattle(&mut sys_a, 0.05);
+        let mut sys_t = sys_a.clone();
+        let mut eng_a = ForceEngine::new(
+            &sys_a,
+            PotentialChoice::Eam(Arc::new(src)),
+            StrategyKind::Serial,
+            1,
+            0.3,
+        )
+        .unwrap();
+        let mut eng_t = ForceEngine::new(
+            &sys_t,
+            PotentialChoice::Eam(Arc::new(tab)),
+            StrategyKind::Serial,
+            1,
+            0.3,
+        )
+        .unwrap();
+        eng_a.compute(&mut sys_a);
+        eng_t.compute(&mut sys_t);
+        for (a, t) in sys_a.forces().iter().zip(sys_t.forces()) {
+            assert!((*a - *t).norm() < 1e-3, "forces diverge: {a} vs {t}");
+        }
+        let ea = eng_a.potential_energy(&sys_a);
+        let et = eng_t.potential_energy(&sys_t);
+        assert!((ea - et).abs() / ea.abs() < 1e-5, "energy {ea} vs {et}");
+    }
+
+    #[test]
+    fn cohesive_energy_per_atom_is_negative() {
+        let (mut system, mut eng) = fe_engine(5, StrategyKind::Serial, 1);
+        eng.compute(&mut system);
+        let e = eng.potential_energy(&system) / system.len() as f64;
+        assert!(e < -1.0, "cohesive energy {e} eV/atom");
+    }
+
+    #[test]
+    fn compressed_crystal_has_positive_pressure() {
+        let (mut system, mut eng) = fe_engine(5, StrategyKind::Serial, 1);
+        system.deform(Vec3::splat(0.97));
+        eng.rebuild(&system);
+        eng.compute(&mut system);
+        let p = eng.pressure(&system);
+        let (mut relaxed, mut eng2) = fe_engine(5, StrategyKind::Serial, 1);
+        eng2.compute(&mut relaxed);
+        let p0 = eng2.pressure(&relaxed);
+        assert!(
+            p > p0,
+            "compression must raise pressure: {p} vs {p0} (eV/Å³)"
+        );
+    }
+
+    #[test]
+    fn pressure_tensor_trace_matches_scalar_pressure() {
+        let (mut system, mut eng) = fe_engine(5, StrategyKind::Serial, 1);
+        rattle(&mut system, 0.05);
+        eng.rebuild(&system);
+        eng.compute(&mut system);
+        let t = eng.pressure_tensor(&system);
+        assert!(
+            (t.pressure() - eng.pressure(&system)).abs() < 1e-10,
+            "trace/3 = {}, pressure = {}",
+            t.pressure(),
+            eng.pressure(&system)
+        );
+    }
+
+    #[test]
+    fn unstrained_crystal_stress_is_isotropic() {
+        let (mut system, mut eng) = fe_engine(5, StrategyKind::Serial, 1);
+        eng.compute(&mut system);
+        let t = eng.pressure_tensor(&system);
+        let [xx, yy, zz, xy, xz, yz] = t.components;
+        assert!((xx - yy).abs() < 1e-9 && (yy - zz).abs() < 1e-9);
+        assert!(xy.abs() < 1e-9 && xz.abs() < 1e-9 && yz.abs() < 1e-9);
+        assert!(t.von_mises() < 1e-8);
+    }
+
+    #[test]
+    fn uniaxial_strain_breaks_stress_isotropy() {
+        let (mut system, mut eng) = fe_engine(5, StrategyKind::Serial, 1);
+        system.deform(Vec3::new(1.02, 1.0, 1.0));
+        eng.rebuild(&system);
+        eng.compute(&mut system);
+        let t = eng.pressure_tensor(&system);
+        let [xx, yy, zz, ..] = t.components;
+        // Stretch along x: the x-diagonal must respond differently from y/z,
+        // which stay equal by symmetry.
+        assert!((yy - zz).abs() < 1e-9, "transverse symmetry");
+        assert!((xx - yy).abs() > 1e-4, "xx = {xx}, yy = {yy}");
+        assert!(t.von_mises() > 1e-4);
+    }
+
+    #[test]
+    fn timers_charge_density_and_force_phases() {
+        let (mut system, mut eng) = fe_engine(5, StrategyKind::Serial, 1);
+        eng.compute(&mut system);
+        eng.compute(&mut system);
+        use crate::timing::Phase;
+        assert_eq!(eng.timers().count(Phase::Density), 2);
+        assert_eq!(eng.timers().count(Phase::Embedding), 2);
+        assert_eq!(eng.timers().count(Phase::Force), 2);
+        assert!(eng.timers().paper_time() > std::time::Duration::ZERO);
+    }
+}

@@ -1,0 +1,371 @@
+//! Force computation engines.
+//!
+//! [`ForceEngine`] owns everything a force evaluation needs — the thread
+//! pool, the Verlet lists, the SDC plan, the potential — and exposes the
+//! paper's workflow:
+//!
+//! * [`ForceEngine::maybe_rebuild`] — rebuild neighbor list *and*
+//!   decomposition together when atoms have drifted past half the skin
+//!   (paper §II.B: "steps 1 and 2 will be done when the neighbor list is
+//!   created or updated");
+//! * [`ForceEngine::compute`] — the three-phase EAM force computation
+//!   (§II.C) or single-phase pair forces, every irregular reduction routed
+//!   through the configured [`StrategyKind`];
+//! * [`ForceEngine::timers`] — phase-resolved timing (§III.A metric).
+
+pub mod eam;
+pub mod pair;
+
+use crate::system::System;
+use crate::timing::{Phase, PhaseTimers};
+use md_neighbor::{NeighborList, VerletConfig};
+use md_potential::{EamPotential, PairPotential};
+use sdc_core::strategies::localwrite::LocalWritePlan;
+use sdc_core::{
+    DecompositionConfig, DecompositionError, ParallelContext, ScatterExec, SdcPlan, StrategyKind,
+};
+use std::sync::Arc;
+
+/// The potential driving the forces.
+#[derive(Clone)]
+pub enum PotentialChoice {
+    /// Embedded-Atom Method (three computational phases).
+    Eam(Arc<dyn EamPotential>),
+    /// Plain pair potential (one computational phase).
+    Pair(Arc<dyn PairPotential>),
+}
+
+impl PotentialChoice {
+    /// Interaction cutoff of the wrapped potential.
+    pub fn cutoff(&self) -> f64 {
+        match self {
+            PotentialChoice::Eam(p) => p.cutoff(),
+            PotentialChoice::Pair(p) => p.cutoff(),
+        }
+    }
+
+    /// `true` for EAM.
+    pub fn is_eam(&self) -> bool {
+        matches!(self, PotentialChoice::Eam(_))
+    }
+}
+
+impl std::fmt::Debug for PotentialChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PotentialChoice::Eam(p) => write!(f, "Eam(cutoff = {})", p.cutoff()),
+            PotentialChoice::Pair(p) => write!(f, "Pair(cutoff = {})", p.cutoff()),
+        }
+    }
+}
+
+/// Errors configuring a [`ForceEngine`].
+#[derive(Debug)]
+pub enum EngineError {
+    /// The box cannot satisfy the decomposition constraints for the chosen
+    /// SDC dimensionality.
+    Decomposition(DecompositionError),
+    /// The box is too small for the cutoff + skin (minimum-image violation).
+    BoxTooSmall(md_geometry::simbox::BoxError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Decomposition(e) => write!(f, "decomposition failed: {e}"),
+            EngineError::BoxTooSmall(e) => write!(f, "box too small: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<DecompositionError> for EngineError {
+    fn from(e: DecompositionError) -> EngineError {
+        EngineError::Decomposition(e)
+    }
+}
+
+/// LOCALWRITE partition count: several chunks per worker so the scheduler
+/// can balance, without inflating the boundary-pair fraction.
+fn localwrite_partitions(threads: usize) -> usize {
+    (threads * 4).max(4)
+}
+
+/// A configured force computation pipeline.
+pub struct ForceEngine {
+    potential: PotentialChoice,
+    strategy: StrategyKind,
+    ctx: ParallelContext,
+    verlet: VerletConfig,
+    half: NeighborList,
+    full: Option<NeighborList>,
+    plan: Option<SdcPlan>,
+    localwrite: Option<LocalWritePlan>,
+    timers: PhaseTimers,
+    rebuilds: usize,
+}
+
+impl ForceEngine {
+    /// Builds the engine and its initial neighbor list / plan from the
+    /// current system state.
+    pub fn new(
+        system: &System,
+        potential: PotentialChoice,
+        strategy: StrategyKind,
+        threads: usize,
+        skin: f64,
+    ) -> Result<ForceEngine, EngineError> {
+        let cutoff = potential.cutoff();
+        let verlet = VerletConfig::half(cutoff, skin);
+        system
+            .sim_box()
+            .validate_cutoff(verlet.reach())
+            .map_err(EngineError::BoxTooSmall)?;
+        // Fail decomposition *before* paying for the neighbor build.
+        let plan = match strategy {
+            StrategyKind::Sdc { dims } => Some(SdcPlan::build(
+                system.sim_box(),
+                system.positions(),
+                DecompositionConfig::new(dims, verlet.reach()),
+            )?),
+            _ => None,
+        };
+        let half = NeighborList::build(system.sim_box(), system.positions(), verlet);
+        let full = strategy.needs_full_list().then(|| half.to_full());
+        let localwrite = strategy
+            .needs_localwrite_plan()
+            .then(|| LocalWritePlan::build(half.csr(), localwrite_partitions(threads)));
+        Ok(ForceEngine {
+            potential,
+            strategy,
+            ctx: ParallelContext::new(threads),
+            verlet,
+            half,
+            full,
+            plan,
+            localwrite,
+            timers: PhaseTimers::new(),
+            rebuilds: 0,
+        })
+    }
+
+    /// The configured strategy.
+    #[inline]
+    pub fn strategy(&self) -> StrategyKind {
+        self.strategy
+    }
+
+    /// Worker thread count.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.ctx.threads()
+    }
+
+    /// The half neighbor list currently in use.
+    #[inline]
+    pub fn neighbor_list(&self) -> &NeighborList {
+        &self.half
+    }
+
+    /// The SDC plan, when the strategy uses one.
+    #[inline]
+    pub fn plan(&self) -> Option<&SdcPlan> {
+        self.plan.as_ref()
+    }
+
+    /// Accumulated phase timers.
+    #[inline]
+    pub fn timers(&self) -> &PhaseTimers {
+        &self.timers
+    }
+
+    /// Resets the phase timers (e.g. after warm-up steps).
+    pub fn reset_timers(&mut self) {
+        self.timers.reset();
+    }
+
+    /// Number of neighbor-list rebuilds performed so far.
+    #[inline]
+    pub fn rebuilds(&self) -> usize {
+        self.rebuilds
+    }
+
+    /// Rebuilds list, full list and plan if any atom drifted more than
+    /// half the skin. Returns `true` if a rebuild happened.
+    pub fn maybe_rebuild(&mut self, system: &System) -> bool {
+        if self
+            .half
+            .needs_rebuild(system.sim_box(), system.positions())
+        {
+            self.rebuild(system);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Unconditionally rebuilds neighbor structures and the SDC plan from
+    /// the current positions (the paper's "steps 1 and 2", performed
+    /// together with every list update).
+    pub fn rebuild(&mut self, system: &System) {
+        let verlet = self.verlet;
+        let strategy = self.strategy;
+        let threads = self.ctx.threads();
+        let (half, full, plan, localwrite) = self.timers.time(Phase::Neighbor, || {
+            let half = NeighborList::build(system.sim_box(), system.positions(), verlet);
+            let full = strategy.needs_full_list().then(|| half.to_full());
+            let plan = match strategy {
+                StrategyKind::Sdc { dims } => Some(
+                    SdcPlan::build(
+                        system.sim_box(),
+                        system.positions(),
+                        DecompositionConfig::new(dims, verlet.reach()),
+                    )
+                    .expect("decomposition valid at construction became invalid"),
+                ),
+                _ => None,
+            };
+            let localwrite = strategy
+                .needs_localwrite_plan()
+                .then(|| LocalWritePlan::build(half.csr(), localwrite_partitions(threads)));
+            (half, full, plan, localwrite)
+        });
+        self.half = half;
+        self.full = full;
+        self.plan = plan;
+        self.localwrite = localwrite;
+        self.rebuilds += 1;
+    }
+
+    /// Computes forces (and, for EAM, densities and embedding derivatives)
+    /// into the system's arrays. Does *not* check for rebuilds — drivers
+    /// call [`ForceEngine::maybe_rebuild`] after moving atoms.
+    pub fn compute(&mut self, system: &mut System) {
+        match self.potential.clone() {
+            PotentialChoice::Eam(p) => self.compute_eam(system, p.as_ref()),
+            PotentialChoice::Pair(p) => self.compute_pair(system, p.as_ref()),
+        }
+    }
+
+    /// Potential energy of the current configuration, eV.
+    ///
+    /// For EAM this uses the densities stored by the last
+    /// [`ForceEngine::compute`]; call that first.
+    pub fn potential_energy(&self, system: &System) -> f64 {
+        match &self.potential {
+            PotentialChoice::Eam(p) => eam::eam_energy(&self.half, system, p.as_ref()),
+            PotentialChoice::Pair(p) => pair::pair_energy(&self.half, system, p.as_ref()),
+        }
+    }
+
+    /// Pair virial `W = Σ_pairs r · f_pair`, eV. Pressure is
+    /// `(2·KE + W) / (3V)` (in eV/Å³).
+    ///
+    /// For EAM this uses the embedding derivatives from the last
+    /// [`ForceEngine::compute`]; call that first.
+    pub fn virial(&self, system: &System) -> f64 {
+        match &self.potential {
+            PotentialChoice::Eam(p) => eam::eam_virial(&self.half, system, p.as_ref()),
+            PotentialChoice::Pair(p) => pair::pair_virial(&self.half, system, p.as_ref()),
+        }
+    }
+
+    /// Pressure in eV/Å³ (multiply by [`crate::units::EV_PER_A3_TO_GPA`]
+    /// for GPa). Uses the last computed forces/densities.
+    pub fn pressure(&self, system: &System) -> f64 {
+        let v = system.sim_box().volume();
+        (2.0 * system.kinetic_energy() + self.virial(system)) / (3.0 * v)
+    }
+
+    /// Full pressure tensor (kinetic + configurational), eV/Å³. Its trace/3
+    /// equals [`ForceEngine::pressure`]; diagonal components resolve the
+    /// uniaxial stresses of the paper's micro-deformation workload.
+    pub fn pressure_tensor(&self, system: &System) -> crate::stress::StressTensor {
+        let config = match &self.potential {
+            PotentialChoice::Eam(p) => eam::eam_stress(&self.half, system, p.as_ref()),
+            PotentialChoice::Pair(p) => pair::pair_stress(&self.half, system, p.as_ref()),
+        };
+        crate::stress::kinetic_stress(system).plus(&config)
+    }
+
+    pub(crate) fn exec(&self) -> ScatterExec<'_> {
+        ScatterExec {
+            ctx: &self.ctx,
+            half: self.half.csr(),
+            full: self.full.as_ref().map(|f| f.csr()),
+            plan: self.plan.as_ref(),
+            localwrite: self.localwrite.as_ref(),
+        }
+    }
+
+    pub(crate) fn timers_mut(&mut self) -> &mut PhaseTimers {
+        &mut self.timers
+    }
+
+    pub(crate) fn ctx(&self) -> &ParallelContext {
+        &self.ctx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::FE_MASS;
+    use md_geometry::LatticeSpec;
+    use md_potential::AnalyticEam;
+
+    fn engine(strategy: StrategyKind) -> (System, ForceEngine) {
+        let system = System::from_lattice(LatticeSpec::bcc_fe(6), FE_MASS);
+        let pot = PotentialChoice::Eam(Arc::new(AnalyticEam::fe()));
+        let eng = ForceEngine::new(&system, pot, strategy, 2, 0.3).unwrap();
+        (system, eng)
+    }
+
+    #[test]
+    fn construction_builds_required_resources() {
+        let (_, eng) = engine(StrategyKind::Serial);
+        assert!(eng.plan().is_none());
+        let (_, eng) = engine(StrategyKind::Redundant);
+        assert!(eng.plan().is_none());
+        // bcc_fe(6) is too small to decompose (17.2 Å < 2·2·5.97)…
+        let sys = System::from_lattice(LatticeSpec::bcc_fe(9), FE_MASS);
+        let pot = PotentialChoice::Eam(Arc::new(AnalyticEam::fe()));
+        let eng =
+            ForceEngine::new(&sys, pot, StrategyKind::Sdc { dims: 3 }, 2, 0.3).unwrap();
+        assert!(eng.plan().is_some());
+        assert_eq!(eng.threads(), 2);
+    }
+
+    #[test]
+    fn sdc_on_a_tiny_box_reports_decomposition_error() {
+        let system = System::from_lattice(LatticeSpec::bcc_fe(6), FE_MASS);
+        let pot = PotentialChoice::Eam(Arc::new(AnalyticEam::fe()));
+        let err = ForceEngine::new(&system, pot, StrategyKind::Sdc { dims: 1 }, 2, 0.3)
+            .err()
+            .expect("6-cell box cannot host two 2·range subdomains");
+        assert!(matches!(err, EngineError::Decomposition(_)));
+        assert!(err.to_string().contains("decomposition"));
+    }
+
+    #[test]
+    fn rebuild_is_triggered_by_drift() {
+        let (mut system, mut eng) = engine(StrategyKind::Serial);
+        assert!(!eng.maybe_rebuild(&system));
+        system.positions_mut()[0].x += 0.2; // > skin/2 = 0.15
+        system.wrap();
+        assert!(eng.maybe_rebuild(&system));
+        assert_eq!(eng.rebuilds(), 1);
+        assert!(eng.timers().count(crate::timing::Phase::Neighbor) > 0);
+    }
+
+    #[test]
+    fn potential_choice_reports_kind_and_cutoff() {
+        let eam = PotentialChoice::Eam(Arc::new(AnalyticEam::fe()));
+        assert!(eam.is_eam());
+        assert_eq!(eam.cutoff(), 5.67);
+        let lj = PotentialChoice::Pair(Arc::new(md_potential::LennardJones::reduced(1.0, 1.0)));
+        assert!(!lj.is_eam());
+        assert!(format!("{lj:?}").contains("Pair"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Velocity-Verlet time integration.
+//!
+//! The standard symplectic scheme:
+//!
+//! ```text
+//! v(t+dt/2) = v(t) + (dt/2)·F(t)/m
+//! x(t+dt)   = x(t) + dt·v(t+dt/2)           (then wrap, maybe rebuild lists)
+//! F(t+dt)   = forces(x(t+dt))
+//! v(t+dt)   = v(t+dt/2) + (dt/2)·F(t+dt)/m
+//! ```
+//!
+//! Force units are eV/Å, masses amu, velocities Å/ps:
+//! `a = F/m · FORCE2ACCEL`.
+
+use crate::forces::ForceEngine;
+use crate::system::System;
+use crate::units::FORCE2ACCEL;
+
+/// Advances the system one step of size `dt` (ps).
+///
+/// Requires `system.forces()` to hold the forces of the *current*
+/// configuration (the previous step's phase 3, or an initial
+/// [`ForceEngine::compute`]).
+pub fn velocity_verlet(system: &mut System, engine: &mut ForceEngine, dt: f64) {
+    debug_assert!(dt > 0.0 && dt.is_finite(), "bad time-step {dt}");
+    let kick = 0.5 * dt * FORCE2ACCEL / system.mass();
+
+    // First half-kick.
+    {
+        let (vel, force) = system.kick_buffers();
+        for (v, f) in vel.iter_mut().zip(force) {
+            *v += *f * kick;
+        }
+    }
+    // Drift.
+    {
+        let (pos, vel) = system.drift_buffers();
+        for (p, v) in pos.iter_mut().zip(vel) {
+            *p += *v * dt;
+        }
+    }
+    system.wrap();
+
+    // New forces (with a list/decomposition rebuild if atoms drifted far).
+    engine.maybe_rebuild(system);
+    engine.compute(system);
+
+    // Second half-kick.
+    {
+        let (vel, force) = system.kick_buffers();
+        for (v, f) in vel.iter_mut().zip(force) {
+            *v += *f * kick;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forces::PotentialChoice;
+    use crate::units::FE_MASS;
+    use crate::velocity::init_velocities;
+    use md_geometry::LatticeSpec;
+    use md_potential::AnalyticEam;
+    use sdc_core::StrategyKind;
+    use std::sync::Arc;
+
+    fn setup(t: f64) -> (System, ForceEngine) {
+        let mut system = System::from_lattice(LatticeSpec::bcc_fe(5), FE_MASS);
+        init_velocities(&mut system, t, 12345);
+        let mut eng = ForceEngine::new(
+            &system,
+            PotentialChoice::Eam(Arc::new(AnalyticEam::fe())),
+            StrategyKind::Serial,
+            1,
+            0.4,
+        )
+        .unwrap();
+        eng.compute(&mut system);
+        (system, eng)
+    }
+
+    #[test]
+    fn nve_energy_is_conserved() {
+        let (mut system, mut eng) = setup(300.0);
+        let dt = 1e-3; // 1 fs
+        let e0 = system.kinetic_energy() + eng.potential_energy(&system);
+        for _ in 0..200 {
+            velocity_verlet(&mut system, &mut eng, dt);
+        }
+        let e1 = system.kinetic_energy() + eng.potential_energy(&system);
+        let drift = ((e1 - e0) / e0).abs();
+        assert!(drift < 5e-5, "relative energy drift {drift} over 200 fs");
+    }
+
+    #[test]
+    fn momentum_is_conserved() {
+        let (mut system, mut eng) = setup(500.0);
+        for _ in 0..50 {
+            velocity_verlet(&mut system, &mut eng, 1e-3);
+        }
+        assert!(system.momentum().norm() < 1e-6);
+    }
+
+    #[test]
+    fn crystal_at_rest_stays_at_rest() {
+        let (mut system, mut eng) = setup(0.0);
+        let p0 = system.positions().to_vec();
+        for _ in 0..20 {
+            velocity_verlet(&mut system, &mut eng, 1e-3);
+        }
+        for (a, b) in p0.iter().zip(system.positions()) {
+            assert!((*a - *b).norm() < 1e-9, "perfect lattice must not move");
+        }
+    }
+
+    #[test]
+    fn hot_crystal_equilibrates_kinetic_into_potential() {
+        // Starting from a perfect lattice at T0, equipartition moves half the
+        // kinetic energy into potential; temperature falls toward ~T0/2.
+        let (mut system, mut eng) = setup(400.0);
+        for _ in 0..400 {
+            velocity_verlet(&mut system, &mut eng, 1e-3);
+        }
+        let t = system.temperature();
+        assert!(
+            t > 100.0 && t < 350.0,
+            "after equilibration T = {t}, expected roughly 200 K"
+        );
+    }
+
+    #[test]
+    fn neighbor_rebuilds_happen_during_long_runs() {
+        let (mut system, mut eng) = setup(1200.0);
+        for _ in 0..300 {
+            velocity_verlet(&mut system, &mut eng, 2e-3);
+        }
+        assert!(
+            eng.rebuilds() > 0,
+            "a hot crystal must trigger at least one rebuild"
+        );
+        // And energy is still finite/sane after rebuilds.
+        let e = system.kinetic_energy() + eng.potential_energy(&system);
+        assert!(e.is_finite());
+    }
+}

@@ -1,0 +1,47 @@
+//! # md-sim
+//!
+//! A complete molecular-dynamics engine on top of the `sdc-md` substrates:
+//!
+//! * [`System`] — structure-of-arrays atom state in a periodic box;
+//! * [`ForceEngine`] — the paper's three-phase EAM force computation
+//!   (densities → embedding → forces, §II.C) or single-phase pair forces,
+//!   executed through any [`StrategyKind`] from `sdc-core`, with
+//!   phase-resolved [`timing`] (the paper times *only* the density and
+//!   force phases, §III.A);
+//! * [`integrate`] — velocity-Verlet time stepping;
+//! * [`thermostat`] — velocity rescaling and Berendsen coupling;
+//! * [`Thermo`] — temperature / energy / pressure observables;
+//! * [`Simulation`] — a builder-configured driver wiring all of the above,
+//!   including neighbor-list/decomposition rebuilds and the paper's §II.D
+//!   data-reordering optimization.
+//!
+//! Units are "metal" units: Å, eV, amu, picoseconds, kelvin.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod checkpoint;
+pub mod forces;
+pub mod integrate;
+pub mod output;
+pub mod sim;
+pub mod stress;
+pub mod system;
+pub mod thermo;
+pub mod thermostat;
+pub mod timing;
+pub mod units;
+pub mod velocity;
+
+pub use analysis::{Accumulator, MsdTracker, Rdf, ThermoAverager, Vacf};
+pub use checkpoint::{load_checkpoint, read_checkpoint, save_checkpoint, write_checkpoint};
+pub use forces::{ForceEngine, PotentialChoice};
+pub use output::{ThermoLog, XyzWriter};
+pub use stress::StressTensor;
+pub use sim::{Simulation, SimulationBuilder};
+pub use system::System;
+pub use thermo::Thermo;
+pub use thermostat::Thermostat;
+pub use timing::{Phase, PhaseTimers};
+
+pub use sdc_core::StrategyKind;

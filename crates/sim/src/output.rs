@@ -1,0 +1,217 @@
+//! Trajectory and log output.
+//!
+//! The serial code the paper builds on (XMD) writes text snapshots; the
+//! modern interchange equivalent is **extended XYZ** — one frame per block,
+//! a comment line carrying the lattice and property schema, one line per
+//! atom — readable by OVITO, ASE and VMD. [`ThermoLog`] writes the per-step
+//! observables as CSV for plotting.
+
+use crate::system::System;
+use crate::thermo::Thermo;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Writes extended-XYZ trajectory frames to any `Write` sink.
+pub struct XyzWriter<W: Write> {
+    sink: BufWriter<W>,
+    element: String,
+    frames: usize,
+}
+
+impl XyzWriter<std::fs::File> {
+    /// Creates (truncates) a trajectory file.
+    pub fn create(path: impl AsRef<Path>, element: &str) -> io::Result<XyzWriter<std::fs::File>> {
+        Ok(XyzWriter::new(std::fs::File::create(path)?, element))
+    }
+}
+
+impl<W: Write> XyzWriter<W> {
+    /// Wraps a sink; `element` is the chemical symbol written per atom.
+    pub fn new(sink: W, element: &str) -> XyzWriter<W> {
+        XyzWriter {
+            sink: BufWriter::new(sink),
+            element: element.to_string(),
+            frames: 0,
+        }
+    }
+
+    /// Writes one frame (positions and velocities).
+    pub fn write_frame(&mut self, system: &System, step: usize) -> io::Result<()> {
+        let l = system.sim_box().lengths();
+        writeln!(self.sink, "{}", system.len())?;
+        writeln!(
+            self.sink,
+            "Lattice=\"{} 0 0 0 {} 0 0 0 {}\" Properties=species:S:1:pos:R:3:vel:R:3 step={step}",
+            l.x, l.y, l.z
+        )?;
+        for (p, v) in system.positions().iter().zip(system.velocities()) {
+            writeln!(
+                self.sink,
+                "{} {:.8} {:.8} {:.8} {:.6} {:.6} {:.6}",
+                self.element, p.x, p.y, p.z, v.x, v.y, v.z
+            )?;
+        }
+        self.frames += 1;
+        Ok(())
+    }
+
+    /// Number of frames written so far.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// Flushes buffered frames to the sink.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.sink.flush()
+    }
+}
+
+/// CSV log of thermodynamic snapshots.
+pub struct ThermoLog<W: Write> {
+    sink: BufWriter<W>,
+    rows: usize,
+}
+
+impl ThermoLog<std::fs::File> {
+    /// Creates (truncates) a CSV log file and writes the header.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<ThermoLog<std::fs::File>> {
+        ThermoLog::new(std::fs::File::create(path)?)
+    }
+}
+
+impl<W: Write> ThermoLog<W> {
+    /// Wraps a sink and writes the CSV header.
+    pub fn new(sink: W) -> io::Result<ThermoLog<W>> {
+        let mut sink = BufWriter::new(sink);
+        writeln!(sink, "step,temperature_k,kinetic_ev,potential_ev,total_ev,pressure_gpa")?;
+        Ok(ThermoLog { sink, rows: 0 })
+    }
+
+    /// Appends one snapshot row.
+    pub fn log(&mut self, t: &Thermo) -> io::Result<()> {
+        writeln!(
+            self.sink,
+            "{},{},{},{},{},{}",
+            t.step, t.temperature, t.kinetic, t.potential_energy, t.total, t.pressure_gpa
+        )?;
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Rows written so far (excluding the header).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Flushes buffered rows.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.sink.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::FE_MASS;
+    use md_geometry::LatticeSpec;
+
+    fn system() -> System {
+        System::from_lattice(LatticeSpec::bcc_fe(2), FE_MASS)
+    }
+
+    #[test]
+    fn xyz_frame_has_correct_structure() {
+        let mut buf = Vec::new();
+        {
+            let mut w = XyzWriter::new(&mut buf, "Fe");
+            w.write_frame(&system(), 7).unwrap();
+            assert_eq!(w.frames(), 1);
+            w.flush().unwrap();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next().unwrap(), "16"); // 2³ BCC cells
+        let comment = lines.next().unwrap();
+        assert!(comment.contains("Lattice="));
+        assert!(comment.contains("step=7"));
+        let atom_lines: Vec<&str> = lines.collect();
+        assert_eq!(atom_lines.len(), 16);
+        for l in atom_lines {
+            let fields: Vec<&str> = l.split_whitespace().collect();
+            assert_eq!(fields.len(), 7);
+            assert_eq!(fields[0], "Fe");
+            for f in &fields[1..] {
+                f.parse::<f64>().expect("numeric field");
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_frames_concatenate() {
+        let mut buf = Vec::new();
+        {
+            let mut w = XyzWriter::new(&mut buf, "Fe");
+            let s = system();
+            w.write_frame(&s, 0).unwrap();
+            w.write_frame(&s, 1).unwrap();
+            assert_eq!(w.frames(), 2);
+            w.flush().unwrap();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.matches("step=").count(), 2);
+        assert_eq!(text.lines().count(), 2 * (16 + 2));
+    }
+
+    #[test]
+    fn thermo_log_is_parseable_csv() {
+        let mut buf = Vec::new();
+        {
+            let mut log = ThermoLog::new(&mut buf).unwrap();
+            let t = Thermo {
+                step: 3,
+                temperature: 300.0,
+                kinetic: 1.5,
+                potential_energy: -10.0,
+                total: -8.5,
+                pressure_gpa: 0.25,
+            };
+            log.log(&t).unwrap();
+            assert_eq!(log.rows(), 1);
+            log.flush().unwrap();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines = text.lines();
+        assert!(lines.next().unwrap().starts_with("step,"));
+        let row: Vec<&str> = lines.next().unwrap().split(',').collect();
+        assert_eq!(row.len(), 6);
+        assert_eq!(row[0], "3");
+        assert_eq!(row[4].parse::<f64>().unwrap(), -8.5);
+    }
+
+    #[test]
+    fn file_backed_writers_round_trip() {
+        let dir = std::env::temp_dir();
+        let traj = dir.join("sdc_md_test_traj.xyz");
+        let log_path = dir.join("sdc_md_test_thermo.csv");
+        {
+            let mut w = XyzWriter::create(&traj, "Fe").unwrap();
+            w.write_frame(&system(), 0).unwrap();
+            w.flush().unwrap();
+            let mut log = ThermoLog::create(&log_path).unwrap();
+            log.log(&Thermo {
+                step: 0,
+                temperature: 1.0,
+                kinetic: 1.0,
+                potential_energy: 1.0,
+                total: 2.0,
+                pressure_gpa: 0.0,
+            })
+            .unwrap();
+            log.flush().unwrap();
+        }
+        assert!(std::fs::read_to_string(&traj).unwrap().starts_with("16\n"));
+        assert_eq!(std::fs::read_to_string(&log_path).unwrap().lines().count(), 2);
+        let _ = std::fs::remove_file(traj);
+        let _ = std::fs::remove_file(log_path);
+    }
+}

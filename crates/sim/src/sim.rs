@@ -1,0 +1,453 @@
+//! The simulation driver.
+//!
+//! [`Simulation`] wires a [`System`], a [`ForceEngine`], the integrator, an
+//! optional thermostat, and the paper's §II.D data-reordering optimization
+//! into a run loop; [`SimulationBuilder`] is the one-stop configuration
+//! surface used by the examples and the benchmark harness.
+
+use crate::forces::{EngineError, ForceEngine, PotentialChoice};
+use crate::integrate::velocity_verlet;
+use crate::system::System;
+use crate::thermo::Thermo;
+use crate::thermostat::Thermostat;
+use crate::timing::PhaseTimers;
+use crate::units::FE_MASS;
+use crate::velocity::init_velocities;
+use md_geometry::{LatticeSpec, Vec3};
+use md_neighbor::reorder::spatial_permutation;
+use md_potential::{EamPotential, PairPotential};
+use sdc_core::StrategyKind;
+use std::sync::Arc;
+
+/// A configured, running molecular-dynamics simulation.
+pub struct Simulation {
+    system: System,
+    engine: ForceEngine,
+    dt: f64,
+    thermostat: Thermostat,
+    reorder: bool,
+    step: usize,
+}
+
+impl Simulation {
+    /// Starts building a simulation of a crystal generated from `spec`.
+    pub fn builder(spec: LatticeSpec) -> SimulationBuilder {
+        SimulationBuilder::new(SystemSource::Lattice(spec))
+    }
+
+    /// Starts building a simulation from an explicit system.
+    pub fn from_system(system: System) -> SimulationBuilder {
+        SimulationBuilder::new(SystemSource::Explicit(Box::new(system)))
+    }
+
+    /// Advances one time-step (velocity Verlet + thermostat).
+    pub fn step(&mut self) {
+        // The §II.D spatial reorder rides along with list rebuilds: relabel
+        // atoms by cell *before* the rebuild the integrator is about to do,
+        // so the fresh list is built on the improved layout.
+        if self.reorder
+            && self
+                .engine
+                .neighbor_list()
+                .needs_rebuild(self.system.sim_box(), self.system.positions())
+        {
+            let perm = spatial_permutation(
+                self.system.sim_box(),
+                self.system.positions(),
+                self.engine.neighbor_list().config().reach(),
+            );
+            self.system.apply_permutation(&perm);
+            self.engine.rebuild(&self.system);
+        }
+        velocity_verlet(&mut self.system, &mut self.engine, self.dt);
+        self.step += 1;
+        self.thermostat
+            .apply(&mut self.system, self.step, self.dt);
+    }
+
+    /// Runs `steps` time-steps.
+    pub fn run(&mut self, steps: usize) {
+        for _ in 0..steps {
+            self.step();
+        }
+    }
+
+    /// Runs `steps` time-steps, invoking `report` with a fresh
+    /// [`Thermo`] snapshot every `every` steps (and after the final step).
+    pub fn run_with(
+        &mut self,
+        steps: usize,
+        every: usize,
+        mut report: impl FnMut(&Simulation, Thermo),
+    ) {
+        let every = every.max(1);
+        for k in 1..=steps {
+            self.step();
+            if k % every == 0 || k == steps {
+                let snapshot = self.thermo();
+                report(self, snapshot);
+            }
+        }
+    }
+
+    /// Current thermodynamic snapshot.
+    pub fn thermo(&self) -> Thermo {
+        Thermo::measure(&self.system, &self.engine, self.step)
+    }
+
+    /// The atom state.
+    pub fn system(&self) -> &System {
+        &self.system
+    }
+
+    /// Mutable atom state (for custom perturbations between steps; callers
+    /// moving atoms should follow with [`Simulation::refresh_forces`]).
+    pub fn system_mut(&mut self) -> &mut System {
+        &mut self.system
+    }
+
+    /// The force engine.
+    pub fn engine(&self) -> &ForceEngine {
+        &self.engine
+    }
+
+    /// Accumulated phase timers.
+    pub fn timers(&self) -> &PhaseTimers {
+        self.engine.timers()
+    }
+
+    /// Resets phase timers (e.g. after warm-up).
+    pub fn reset_timers(&mut self) {
+        self.engine.reset_timers();
+    }
+
+    /// Steps taken so far.
+    pub fn step_count(&self) -> usize {
+        self.step
+    }
+
+    /// Time-step size (ps).
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Replaces the thermostat mid-run (e.g. a temperature ramp).
+    pub fn set_thermostat(&mut self, thermostat: Thermostat) {
+        self.thermostat = thermostat;
+    }
+
+    /// Applies an affine strain to box and atoms (the paper's
+    /// micro-deformation workload), then rebuilds lists and forces.
+    pub fn deform(&mut self, factors: Vec3) {
+        self.system.deform(factors);
+        self.refresh_forces();
+    }
+
+    /// Rebuilds neighbor structures and recomputes forces after an external
+    /// modification of the system.
+    pub fn refresh_forces(&mut self) {
+        self.engine.rebuild(&self.system);
+        self.engine.compute(&mut self.system);
+    }
+}
+
+enum SystemSource {
+    Lattice(LatticeSpec),
+    Explicit(Box<System>),
+}
+
+/// Builder for [`Simulation`].
+pub struct SimulationBuilder {
+    source: SystemSource,
+    mass: f64,
+    potential: Option<PotentialChoice>,
+    strategy: StrategyKind,
+    threads: usize,
+    skin: f64,
+    dt: f64,
+    temperature: f64,
+    seed: u64,
+    thermostat: Thermostat,
+    reorder: bool,
+}
+
+impl SimulationBuilder {
+    fn new(source: SystemSource) -> SimulationBuilder {
+        SimulationBuilder {
+            source,
+            mass: FE_MASS,
+            potential: None,
+            strategy: StrategyKind::Serial,
+            threads: 1,
+            skin: 0.3,
+            dt: 1e-3, // 1 fs
+            temperature: 0.0,
+            seed: 0,
+            thermostat: Thermostat::None,
+            reorder: false,
+        }
+    }
+
+    /// Atom mass in amu (default: iron).
+    pub fn mass(mut self, mass: f64) -> Self {
+        self.mass = mass;
+        self
+    }
+
+    /// Uses an EAM potential.
+    pub fn potential(mut self, p: impl EamPotential + 'static) -> Self {
+        self.potential = Some(PotentialChoice::Eam(Arc::new(p)));
+        self
+    }
+
+    /// Uses a pair potential.
+    pub fn pair_potential(mut self, p: impl PairPotential + 'static) -> Self {
+        self.potential = Some(PotentialChoice::Pair(Arc::new(p)));
+        self
+    }
+
+    /// Uses a pre-wrapped potential choice.
+    pub fn potential_choice(mut self, p: PotentialChoice) -> Self {
+        self.potential = Some(p);
+        self
+    }
+
+    /// Parallelization strategy (default: serial).
+    pub fn strategy(mut self, s: StrategyKind) -> Self {
+        self.strategy = s;
+        self
+    }
+
+    /// Worker threads (default 1).
+    pub fn threads(mut self, t: usize) -> Self {
+        self.threads = t;
+        self
+    }
+
+    /// Verlet skin in Å (default 0.3).
+    pub fn skin(mut self, skin: f64) -> Self {
+        self.skin = skin;
+        self
+    }
+
+    /// Time-step in ps (default 1 fs; the paper uses
+    /// [`crate::units::PAPER_DT_PS`]).
+    pub fn dt(mut self, dt: f64) -> Self {
+        self.dt = dt;
+        self
+    }
+
+    /// Initial temperature in K (default 0: atoms start at rest).
+    pub fn temperature(mut self, t: f64) -> Self {
+        self.temperature = t;
+        self
+    }
+
+    /// RNG seed for velocity initialization (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Thermostat (default: none, NVE).
+    pub fn thermostat(mut self, t: Thermostat) -> Self {
+        self.thermostat = t;
+        self
+    }
+
+    /// Enables the §II.D spatial data-reordering optimization: atoms are
+    /// relabeled by cell at startup and at every neighbor-list rebuild.
+    pub fn reorder(mut self, on: bool) -> Self {
+        self.reorder = on;
+        self
+    }
+
+    /// Builds the simulation: generates the system, initializes velocities,
+    /// builds neighbor structures and computes the initial forces.
+    pub fn build(self) -> Result<Simulation, EngineError> {
+        let mut system = match self.source {
+            SystemSource::Lattice(spec) => System::from_lattice(spec, self.mass),
+            SystemSource::Explicit(s) => *s,
+        };
+        let potential = self.potential.expect("a potential must be configured");
+        if self.temperature > 0.0 {
+            init_velocities(&mut system, self.temperature, self.seed);
+        }
+        if self.reorder {
+            let perm = spatial_permutation(
+                system.sim_box(),
+                system.positions(),
+                potential.cutoff() + self.skin,
+            );
+            system.apply_permutation(&perm);
+        }
+        let mut engine =
+            ForceEngine::new(&system, potential, self.strategy, self.threads, self.skin)?;
+        engine.compute(&mut system);
+        Ok(Simulation {
+            system,
+            engine,
+            dt: self.dt,
+            thermostat: self.thermostat,
+            reorder: self.reorder,
+            step: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use md_potential::{AnalyticEam, LennardJones};
+
+    fn fe_sim(strategy: StrategyKind) -> Simulation {
+        Simulation::builder(LatticeSpec::bcc_fe(5))
+            .potential(AnalyticEam::fe())
+            .strategy(strategy)
+            .temperature(300.0)
+            .seed(42)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_defaults_produce_a_runnable_simulation() {
+        let mut sim = fe_sim(StrategyKind::Serial);
+        assert_eq!(sim.step_count(), 0);
+        sim.run(5);
+        assert_eq!(sim.step_count(), 5);
+        let t = sim.thermo();
+        assert!(t.temperature > 0.0);
+        assert!(t.potential_energy < 0.0);
+        assert!(t.total.is_finite());
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_trajectories() {
+        let mut a = fe_sim(StrategyKind::Serial);
+        let mut b = fe_sim(StrategyKind::Serial);
+        a.run(10);
+        b.run(10);
+        assert_eq!(a.system().positions(), b.system().positions());
+    }
+
+    #[test]
+    fn strategies_produce_matching_trajectories() {
+        // Deterministic strategies agree to FP-roundoff over a short run.
+        let mut serial = fe_sim(StrategyKind::Serial);
+        let mut sap = fe_sim(StrategyKind::Privatized);
+        serial.run(10);
+        sap.run(10);
+        for (a, b) in serial
+            .system()
+            .positions()
+            .iter()
+            .zip(sap.system().positions())
+        {
+            assert!((*a - *b).norm() < 1e-8, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn thermostat_holds_temperature() {
+        let mut sim = Simulation::builder(LatticeSpec::bcc_fe(5))
+            .potential(AnalyticEam::fe())
+            .temperature(600.0)
+            .seed(1)
+            .thermostat(Thermostat::Berendsen {
+                target: 300.0,
+                tau: 0.02,
+            })
+            .build()
+            .unwrap();
+        sim.run(300);
+        let t = sim.thermo().temperature;
+        assert!((150.0..450.0).contains(&t), "T = {t}");
+    }
+
+    #[test]
+    fn reorder_changes_labels_not_physics() {
+        let mut plain = Simulation::builder(LatticeSpec::bcc_fe(5))
+            .potential(AnalyticEam::fe())
+            .temperature(300.0)
+            .seed(9)
+            .build()
+            .unwrap();
+        let mut sorted = Simulation::builder(LatticeSpec::bcc_fe(5))
+            .potential(AnalyticEam::fe())
+            .temperature(300.0)
+            .seed(9)
+            .reorder(true)
+            .build()
+            .unwrap();
+        plain.run(20);
+        sorted.run(20);
+        let ta = plain.thermo();
+        let tb = sorted.thermo();
+        // Same initial condition modulo relabeling ⇒ same macroscopic state.
+        assert!(
+            (ta.total - tb.total).abs() < 1e-6 * ta.total.abs(),
+            "total energy {} vs {}",
+            ta.total,
+            tb.total
+        );
+        assert!((ta.temperature - tb.temperature).abs() < 2.0);
+    }
+
+    #[test]
+    fn deform_strains_the_box_and_recomputes() {
+        let mut sim = fe_sim(StrategyKind::Serial);
+        let v0 = sim.system().sim_box().volume();
+        let p0 = sim.thermo().pressure_gpa;
+        sim.deform(Vec3::splat(0.98));
+        let v1 = sim.system().sim_box().volume();
+        assert!(v1 < v0);
+        assert!(sim.thermo().pressure_gpa > p0, "compression raises pressure");
+    }
+
+    #[test]
+    fn thermostat_can_be_retargeted_mid_run() {
+        let mut sim = Simulation::builder(LatticeSpec::bcc_fe(5))
+            .potential(AnalyticEam::fe())
+            .temperature(600.0)
+            .seed(2)
+            .thermostat(Thermostat::Rescale { target: 600.0, every: 1 })
+            .build()
+            .unwrap();
+        sim.run(5);
+        assert!((sim.thermo().temperature - 600.0).abs() < 1.0);
+        sim.set_thermostat(Thermostat::Rescale { target: 200.0, every: 1 });
+        sim.run(5);
+        assert!((sim.thermo().temperature - 200.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn run_with_reports_at_the_requested_cadence() {
+        let mut sim = fe_sim(StrategyKind::Serial);
+        let mut seen = Vec::new();
+        sim.run_with(10, 4, |_, t| seen.push(t.step));
+        // Reports at 4, 8 and the final step 10.
+        assert_eq!(seen, vec![4, 8, 10]);
+    }
+
+    #[test]
+    fn lj_pair_simulation_runs() {
+        let spec = LatticeSpec::new(md_geometry::Lattice::Fcc, 1.5496, [6, 6, 6]);
+        let mut sim = Simulation::builder(spec)
+            .pair_potential(LennardJones::reduced(1.0, 1.0))
+            .mass(1.0)
+            .temperature(0.3 / 8.617333262e-5) // T* ≈ 0.3 in LJ units
+            .dt(1e-3)
+            .seed(3)
+            .build()
+            .unwrap();
+        sim.run(20);
+        assert!(sim.thermo().total.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "potential must be configured")]
+    fn missing_potential_panics() {
+        let _ = Simulation::builder(LatticeSpec::bcc_fe(5)).build();
+    }
+}

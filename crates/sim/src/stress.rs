@@ -1,0 +1,136 @@
+//! Full pressure/stress tensor.
+//!
+//! The paper's workload is *micro-deformation of iron* (§III.B): the
+//! observable of interest is the stress response to applied strain, which
+//! needs the full virial tensor, not just the scalar pressure:
+//!
+//! ```text
+//! P_ab = ( Σ_i m v_i,a v_i,b  +  Σ_pairs d_a f_b ) / V
+//! ```
+//!
+//! with `d` the pair separation and `f` the force on the first endpoint.
+//! The trace/3 equals the scalar pressure reported by
+//! [`crate::forces::ForceEngine::pressure`]; diagonal components resolve
+//! uniaxial loading (σ_xx ≠ σ_yy under x-strain); off-diagonals measure
+//! shear.
+
+use crate::system::System;
+use crate::units::MVV2E;
+use md_geometry::Vec3;
+
+/// A symmetric 3×3 tensor in Voigt-ish order `[xx, yy, zz, xy, xz, yz]`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StressTensor {
+    /// Components `[xx, yy, zz, xy, xz, yz]`, eV/Å³.
+    pub components: [f64; 6],
+}
+
+impl StressTensor {
+    /// Zero tensor.
+    pub fn zero() -> StressTensor {
+        StressTensor::default()
+    }
+
+    /// Adds the dyadic `a ⊗ b` (symmetrized off-diagonals).
+    #[inline]
+    pub fn add_dyadic(&mut self, a: Vec3, b: Vec3) {
+        self.components[0] += a.x * b.x;
+        self.components[1] += a.y * b.y;
+        self.components[2] += a.z * b.z;
+        self.components[3] += 0.5 * (a.x * b.y + a.y * b.x);
+        self.components[4] += 0.5 * (a.x * b.z + a.z * b.x);
+        self.components[5] += 0.5 * (a.y * b.z + a.z * b.y);
+    }
+
+    /// Scales all components.
+    pub fn scaled(mut self, s: f64) -> StressTensor {
+        for c in &mut self.components {
+            *c *= s;
+        }
+        self
+    }
+
+    /// Component-wise sum.
+    pub fn plus(mut self, other: &StressTensor) -> StressTensor {
+        for (a, b) in self.components.iter_mut().zip(&other.components) {
+            *a += b;
+        }
+        self
+    }
+
+    /// `(trace)/3` — the scalar pressure.
+    pub fn pressure(&self) -> f64 {
+        (self.components[0] + self.components[1] + self.components[2]) / 3.0
+    }
+
+    /// The von Mises equivalent (deviatoric) stress — the standard scalar
+    /// measure of shear loading.
+    pub fn von_mises(&self) -> f64 {
+        let [xx, yy, zz, xy, xz, yz] = self.components;
+        (0.5 * ((xx - yy).powi(2) + (yy - zz).powi(2) + (zz - xx).powi(2))
+            + 3.0 * (xy * xy + xz * xz + yz * yz))
+            .sqrt()
+    }
+}
+
+/// Kinetic part of the pressure tensor: `Σ m v_a v_b · MVV2E / V`.
+pub fn kinetic_stress(system: &System) -> StressTensor {
+    let mut t = StressTensor::zero();
+    for &v in system.velocities() {
+        t.add_dyadic(v, v);
+    }
+    t.scaled(system.mass() * MVV2E / system.sim_box().volume())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::FE_MASS;
+    use crate::velocity::init_velocities;
+    use md_geometry::LatticeSpec;
+
+    #[test]
+    fn dyadic_accumulation_is_symmetric() {
+        let mut t = StressTensor::zero();
+        t.add_dyadic(Vec3::new(1.0, 2.0, 3.0), Vec3::new(4.0, 5.0, 6.0));
+        let [xx, yy, zz, xy, xz, yz] = t.components;
+        assert_eq!(xx, 4.0);
+        assert_eq!(yy, 10.0);
+        assert_eq!(zz, 18.0);
+        assert_eq!(xy, 0.5 * (5.0 + 8.0));
+        assert_eq!(xz, 0.5 * (6.0 + 12.0));
+        assert_eq!(yz, 0.5 * (12.0 + 15.0));
+    }
+
+    #[test]
+    fn trace_of_kinetic_stress_matches_kinetic_energy() {
+        let mut s = System::from_lattice(LatticeSpec::bcc_fe(4), FE_MASS);
+        init_velocities(&mut s, 400.0, 3);
+        let t = kinetic_stress(&s);
+        let trace = t.components[0] + t.components[1] + t.components[2];
+        let expect = 2.0 * s.kinetic_energy() / s.sim_box().volume();
+        assert!((trace - expect).abs() < 1e-12 * expect.abs());
+        assert!((t.pressure() - expect / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn von_mises_vanishes_for_hydrostatic_states() {
+        let t = StressTensor {
+            components: [2.0, 2.0, 2.0, 0.0, 0.0, 0.0],
+        };
+        assert_eq!(t.von_mises(), 0.0);
+        let sheared = StressTensor {
+            components: [2.0, 2.0, 2.0, 0.5, 0.0, 0.0],
+        };
+        assert!(sheared.von_mises() > 0.0);
+    }
+
+    #[test]
+    fn algebra_helpers() {
+        let a = StressTensor {
+            components: [1.0; 6],
+        };
+        let b = a.scaled(2.0).plus(&a);
+        assert_eq!(b.components, [3.0; 6]);
+    }
+}

@@ -1,0 +1,328 @@
+//! Structure-of-arrays atom state.
+//!
+//! Positions, velocities, forces and per-atom EAM scratch (host densities
+//! `rho[]`, embedding derivatives `fp[]`) live in separate contiguous
+//! arrays — the layout the paper's loops (Figs. 1–2, 7–8) stream over, and
+//! the one the §II.D data-reordering transforms permute.
+
+use crate::units::MVV2E;
+use md_geometry::{LatticeSpec, SimBox, Vec3};
+use md_neighbor::Permutation;
+
+/// The full dynamic state of a single-species simulation.
+#[derive(Debug, Clone)]
+pub struct System {
+    sim_box: SimBox,
+    positions: Vec<Vec3>,
+    velocities: Vec<Vec3>,
+    forces: Vec<Vec3>,
+    /// Host electron density per atom (EAM phase-1 output).
+    rho: Vec<f64>,
+    /// Embedding derivative `F'(ρ_i)` per atom (EAM phase-2 output).
+    fp: Vec<f64>,
+    mass: f64,
+}
+
+impl System {
+    /// Creates a system from a box and positions, all velocities zero.
+    ///
+    /// # Panics
+    /// Panics if `mass ≤ 0` or any position lies outside the primary image.
+    pub fn new(sim_box: SimBox, positions: Vec<Vec3>, mass: f64) -> System {
+        assert!(mass > 0.0 && mass.is_finite(), "mass must be positive, got {mass}");
+        let l = sim_box.lengths();
+        for (a, p) in positions.iter().enumerate() {
+            for d in 0..3 {
+                assert!(
+                    p[d] >= 0.0 && p[d] < l[d],
+                    "atom {a} at {p} outside the primary image"
+                );
+            }
+        }
+        let n = positions.len();
+        System {
+            sim_box,
+            positions,
+            velocities: vec![Vec3::ZERO; n],
+            forces: vec![Vec3::ZERO; n],
+            rho: vec![0.0; n],
+            fp: vec![0.0; n],
+            mass,
+        }
+    }
+
+    /// Builds a perfect crystal from a lattice spec.
+    pub fn from_lattice(spec: LatticeSpec, mass: f64) -> System {
+        let (bx, pos) = spec.build();
+        System::new(bx, pos, mass)
+    }
+
+    /// Number of atoms.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// `true` when the system has no atoms.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The periodic box.
+    #[inline]
+    pub fn sim_box(&self) -> &SimBox {
+        &self.sim_box
+    }
+
+    /// Atom mass (amu); single species.
+    #[inline]
+    pub fn mass(&self) -> f64 {
+        self.mass
+    }
+
+    /// Positions (primary image).
+    #[inline]
+    pub fn positions(&self) -> &[Vec3] {
+        &self.positions
+    }
+
+    /// Mutable positions. Callers must re-wrap (see [`System::wrap`]) after
+    /// moving atoms.
+    #[inline]
+    pub fn positions_mut(&mut self) -> &mut [Vec3] {
+        &mut self.positions
+    }
+
+    /// Velocities (Å/ps).
+    #[inline]
+    pub fn velocities(&self) -> &[Vec3] {
+        &self.velocities
+    }
+
+    /// Mutable velocities.
+    #[inline]
+    pub fn velocities_mut(&mut self) -> &mut [Vec3] {
+        &mut self.velocities
+    }
+
+    /// Forces (eV/Å) from the last force computation.
+    #[inline]
+    pub fn forces(&self) -> &[Vec3] {
+        &self.forces
+    }
+
+    /// Mutable forces (force engines write here).
+    #[inline]
+    pub fn forces_mut(&mut self) -> &mut [Vec3] {
+        &mut self.forces
+    }
+
+    /// Host electron densities from the last EAM phase 1.
+    #[inline]
+    pub fn rho(&self) -> &[f64] {
+        &self.rho
+    }
+
+    /// Mutable host densities.
+    #[inline]
+    pub fn rho_mut(&mut self) -> &mut [f64] {
+        &mut self.rho
+    }
+
+    /// Embedding derivatives `F'(ρ_i)` from the last EAM phase 2.
+    #[inline]
+    pub fn fp(&self) -> &[f64] {
+        &self.fp
+    }
+
+    /// Mutable embedding derivatives.
+    #[inline]
+    pub fn fp_mut(&mut self) -> &mut [f64] {
+        &mut self.fp
+    }
+
+    /// Splits mutable borrows for the EAM force phase, which reads `fp`
+    /// while scattering into `forces`.
+    #[inline]
+    pub fn forces_and_fp_mut(&mut self) -> (&mut [Vec3], &[f64]) {
+        (&mut self.forces, &self.fp)
+    }
+
+    /// Split borrow for the integrator's kick: `(velocities, forces)`.
+    #[inline]
+    pub fn kick_buffers(&mut self) -> (&mut [Vec3], &[Vec3]) {
+        (&mut self.velocities, &self.forces)
+    }
+
+    /// Split borrow for the integrator's drift: `(positions, velocities)`.
+    #[inline]
+    pub fn drift_buffers(&mut self) -> (&mut [Vec3], &[Vec3]) {
+        (&mut self.positions, &self.velocities)
+    }
+
+    /// Splits the state into the borrows the three-phase EAM computation
+    /// needs simultaneously:
+    /// `(box, positions, rho, fp, forces)`.
+    #[allow(clippy::type_complexity)]
+    pub fn eam_split_mut(
+        &mut self,
+    ) -> (&SimBox, &[Vec3], &mut [f64], &mut [f64], &mut [Vec3]) {
+        (
+            &self.sim_box,
+            &self.positions,
+            &mut self.rho,
+            &mut self.fp,
+            &mut self.forces,
+        )
+    }
+
+    /// Wraps every position back into the primary image.
+    pub fn wrap(&mut self) {
+        for p in &mut self.positions {
+            *p = self.sim_box.wrap(*p);
+        }
+    }
+
+    /// Total kinetic energy, eV.
+    pub fn kinetic_energy(&self) -> f64 {
+        0.5 * self.mass
+            * MVV2E
+            * self
+                .velocities
+                .iter()
+                .map(|v| v.norm_sq())
+                .sum::<f64>()
+    }
+
+    /// Instantaneous temperature, K, with the center-of-mass drift's three
+    /// degrees of freedom removed (`KE = ½ (3N − 3) k_B T`).
+    pub fn temperature(&self) -> f64 {
+        let dof = 3 * self.len().max(2) - 3;
+        2.0 * self.kinetic_energy() / (dof as f64 * crate::units::KB)
+    }
+
+    /// Total linear momentum (amu·Å/ps).
+    pub fn momentum(&self) -> Vec3 {
+        self.velocities.iter().sum::<Vec3>() * self.mass
+    }
+
+    /// Removes center-of-mass drift.
+    pub fn zero_momentum(&mut self) {
+        if self.is_empty() {
+            return;
+        }
+        let drift = self.velocities.iter().sum::<Vec3>() / self.len() as f64;
+        for v in &mut self.velocities {
+            *v -= drift;
+        }
+    }
+
+    /// Relabels atoms (the §II.D spatial-sort optimization). All per-atom
+    /// arrays are permuted consistently.
+    pub fn apply_permutation(&mut self, perm: &Permutation) {
+        assert_eq!(perm.len(), self.len(), "permutation length mismatch");
+        perm.apply_in_place(&mut self.positions);
+        perm.apply_in_place(&mut self.velocities);
+        perm.apply_in_place(&mut self.forces);
+        perm.apply_in_place(&mut self.rho);
+        perm.apply_in_place(&mut self.fp);
+    }
+
+    /// Uniformly rescales the box and all positions (affine deformation) —
+    /// the paper's micro-deformation workload applies strain this way.
+    pub fn deform(&mut self, factors: Vec3) {
+        self.sim_box = self.sim_box.scaled(factors);
+        for p in &mut self.positions {
+            *p = p.mul_elem(factors);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{FE_MASS, KB};
+    use md_geometry::LatticeSpec;
+
+    fn small() -> System {
+        System::from_lattice(LatticeSpec::bcc_fe(3), FE_MASS)
+    }
+
+    #[test]
+    fn construction_from_lattice() {
+        let s = small();
+        assert_eq!(s.len(), 54);
+        assert!(!s.is_empty());
+        assert_eq!(s.mass(), FE_MASS);
+        assert!(s.velocities().iter().all(|v| *v == Vec3::ZERO));
+    }
+
+    #[test]
+    fn kinetic_energy_and_temperature() {
+        let mut s = small();
+        // Give every atom the same speed along x… then momentum removal
+        // would kill it; set alternating velocities instead.
+        for (i, v) in s.velocities_mut().iter_mut().enumerate() {
+            v.x = if i % 2 == 0 { 1.0 } else { -1.0 };
+        }
+        let ke = s.kinetic_energy();
+        let expect = 0.5 * FE_MASS * MVV2E * 54.0;
+        assert!((ke - expect).abs() < 1e-12);
+        let t = s.temperature();
+        let dof = (3 * 54 - 3) as f64;
+        assert!((t - 2.0 * ke / (dof * KB)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_momentum_removes_drift() {
+        let mut s = small();
+        for v in s.velocities_mut() {
+            *v = Vec3::new(1.0, 2.0, 3.0);
+        }
+        s.zero_momentum();
+        assert!(s.momentum().norm() < 1e-9);
+        assert!(s.kinetic_energy() < 1e-12, "all motion was drift");
+    }
+
+    #[test]
+    fn wrap_returns_atoms_to_primary_image() {
+        let mut s = small();
+        let l = s.sim_box().lengths();
+        s.positions_mut()[0].x += l.x; // one image over
+        s.wrap();
+        let p = s.positions()[0];
+        assert!(p.x >= 0.0 && p.x < l.x);
+    }
+
+    #[test]
+    fn permutation_moves_all_arrays_consistently() {
+        let mut s = small();
+        for (i, v) in s.velocities_mut().iter_mut().enumerate() {
+            v.x = i as f64;
+        }
+        let p0 = s.positions()[5];
+        let perm = Permutation::from_new_to_old((0..54u32).rev().collect());
+        s.apply_permutation(&perm);
+        assert_eq!(s.positions()[48], p0, "old atom 5 is new atom 48");
+        assert_eq!(s.velocities()[48].x, 5.0);
+    }
+
+    #[test]
+    fn deform_scales_box_and_positions_together() {
+        let mut s = small();
+        let frac_before = s.sim_box().to_fractional(s.positions()[10]);
+        s.deform(Vec3::new(1.02, 1.0, 0.98));
+        let frac_after = s.sim_box().to_fractional(s.positions()[10]);
+        assert!((frac_before - frac_after).norm() < 1e-12, "fractional coords preserved");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the primary image")]
+    fn unwrapped_initial_positions_rejected() {
+        let bx = SimBox::cubic(10.0);
+        let _ = System::new(bx, vec![Vec3::splat(11.0)], 1.0);
+    }
+
+    use crate::units::MVV2E;
+}

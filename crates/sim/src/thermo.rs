@@ -1,0 +1,98 @@
+//! Thermodynamic observables.
+
+use crate::forces::ForceEngine;
+use crate::system::System;
+use crate::units::EV_PER_A3_TO_GPA;
+
+/// A snapshot of the system's thermodynamic state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Thermo {
+    /// Simulation step the snapshot was taken at.
+    pub step: usize,
+    /// Instantaneous temperature (K).
+    pub temperature: f64,
+    /// Kinetic energy (eV).
+    pub kinetic: f64,
+    /// Potential energy (eV).
+    pub potential_energy: f64,
+    /// Total energy (eV).
+    pub total: f64,
+    /// Pressure (GPa).
+    pub pressure_gpa: f64,
+}
+
+impl Thermo {
+    /// Measures the current state. The engine's last
+    /// [`ForceEngine::compute`] must correspond to the current positions
+    /// (true after every integration step).
+    pub fn measure(system: &System, engine: &ForceEngine, step: usize) -> Thermo {
+        let kinetic = system.kinetic_energy();
+        let potential_energy = engine.potential_energy(system);
+        Thermo {
+            step,
+            temperature: system.temperature(),
+            kinetic,
+            potential_energy,
+            total: kinetic + potential_energy,
+            pressure_gpa: engine.pressure(system) * EV_PER_A3_TO_GPA,
+        }
+    }
+
+    /// A table header matching [`Thermo`]'s `Display` row.
+    pub fn header() -> &'static str {
+        "    step       T(K)        KE(eV)          PE(eV)       total(eV)    P(GPa)"
+    }
+}
+
+impl std::fmt::Display for Thermo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:>8} {:>10.2} {:>13.4} {:>15.4} {:>15.4} {:>9.3}",
+            self.step,
+            self.temperature,
+            self.kinetic,
+            self.potential_energy,
+            self.total,
+            self.pressure_gpa
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forces::PotentialChoice;
+    use crate::units::FE_MASS;
+    use crate::velocity::init_velocities;
+    use md_geometry::LatticeSpec;
+    use md_potential::AnalyticEam;
+    use sdc_core::StrategyKind;
+    use std::sync::Arc;
+
+    #[test]
+    fn snapshot_is_consistent() {
+        let mut system = System::from_lattice(LatticeSpec::bcc_fe(5), FE_MASS);
+        init_velocities(&mut system, 300.0, 2);
+        let mut eng = ForceEngine::new(
+            &system,
+            PotentialChoice::Eam(Arc::new(AnalyticEam::fe())),
+            StrategyKind::Serial,
+            1,
+            0.3,
+        )
+        .unwrap();
+        eng.compute(&mut system);
+        let t = Thermo::measure(&system, &eng, 7);
+        assert_eq!(t.step, 7);
+        assert!((t.temperature - 300.0).abs() < 1e-6);
+        assert!((t.total - (t.kinetic + t.potential_energy)).abs() < 1e-12);
+        assert!(t.potential_energy < 0.0);
+        // Display row parses visually; header and row share column count.
+        let row = t.to_string();
+        assert_eq!(
+            row.split_whitespace().count(),
+            Thermo::header().split_whitespace().count()
+        );
+    }
+}

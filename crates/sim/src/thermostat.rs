@@ -1,0 +1,227 @@
+//! Temperature control.
+//!
+//! Two simple, widely used thermostats suffice for the paper's workloads
+//! (equilibrating an Fe crystal before deformation):
+//!
+//! * **velocity rescaling** — hard reset of the temperature every `every`
+//!   steps;
+//! * **Berendsen** — exponential relaxation toward the target with time
+//!   constant `tau`.
+
+use crate::system::System;
+use crate::units::thermal_velocity;
+
+/// A velocity-scaling thermostat.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Thermostat {
+    /// No temperature control (NVE).
+    None,
+    /// Rescale velocities to exactly `target` K every `every` steps.
+    Rescale {
+        /// Target temperature (K).
+        target: f64,
+        /// Apply period in steps.
+        every: usize,
+    },
+    /// Berendsen weak coupling: each step velocities are scaled by
+    /// `λ = √(1 + (dt/tau)·(target/T − 1))`.
+    Berendsen {
+        /// Target temperature (K).
+        target: f64,
+        /// Relaxation time (ps).
+        tau: f64,
+    },
+    /// Langevin (Ornstein–Uhlenbeck) thermostat: each step, every velocity
+    /// component relaxes as `v ← c·v + √(1−c²)·σ·ξ` with `c = e^(−dt/tau)`,
+    /// `σ = √(k_B T/m)` and `ξ` unit Gaussian noise. Unlike global
+    /// rescaling it thermalizes each mode locally and produces a canonical
+    /// ensemble. The noise is *counter-based* (hashed from seed, step and
+    /// atom index), so trajectories are deterministic and independent of
+    /// thread count.
+    Langevin {
+        /// Target temperature (K).
+        target: f64,
+        /// Friction relaxation time (ps).
+        tau: f64,
+        /// Noise seed.
+        seed: u64,
+    },
+}
+
+impl Thermostat {
+    /// Applies the thermostat after step `step` of size `dt` (ps).
+    pub fn apply(&self, system: &mut System, step: usize, dt: f64) {
+        match *self {
+            Thermostat::None => {}
+            Thermostat::Rescale { target, every } => {
+                if every > 0 && step.is_multiple_of(every) {
+                    scale_to(system, target);
+                }
+            }
+            Thermostat::Berendsen { target, tau } => {
+                assert!(tau > 0.0, "Berendsen tau must be positive");
+                let t = system.temperature();
+                if t > 0.0 {
+                    let lambda2 = 1.0 + (dt / tau) * (target / t - 1.0);
+                    let lambda = lambda2.max(0.0).sqrt();
+                    for v in system.velocities_mut() {
+                        *v *= lambda;
+                    }
+                }
+            }
+            Thermostat::Langevin { target, tau, seed } => {
+                assert!(tau > 0.0, "Langevin tau must be positive");
+                let c = (-dt / tau).exp();
+                let noise = (1.0 - c * c).sqrt() * thermal_velocity(target, system.mass());
+                for (a, v) in system.velocities_mut().iter_mut().enumerate() {
+                    for k in 0..3 {
+                        let xi = gaussian_hash(seed, step as u64, a as u64, k as u64);
+                        v[k] = c * v[k] + noise * xi;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// SplitMix64 bit mixer.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// A unit Gaussian from a counter tuple via Box–Muller over two hashed
+/// uniforms — stateless, reproducible, order-independent.
+#[inline]
+fn gaussian_hash(seed: u64, step: u64, atom: u64, lane: u64) -> f64 {
+    let key = splitmix64(seed ^ splitmix64(step ^ splitmix64(atom ^ splitmix64(lane))));
+    let u1 = ((key >> 11) as f64 + 1.0) / ((1u64 << 53) as f64 + 2.0);
+    let u2 = (splitmix64(key) >> 11) as f64 / (1u64 << 53) as f64;
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+fn scale_to(system: &mut System, target: f64) {
+    let t = system.temperature();
+    if t > 0.0 {
+        let s = (target / t).sqrt();
+        for v in system.velocities_mut() {
+            *v *= s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::FE_MASS;
+    use crate::velocity::init_velocities;
+    use md_geometry::LatticeSpec;
+
+    fn hot_system() -> System {
+        let mut s = System::from_lattice(LatticeSpec::bcc_fe(5), FE_MASS);
+        init_velocities(&mut s, 600.0, 5);
+        s
+    }
+
+    #[test]
+    fn none_is_a_noop() {
+        let mut s = hot_system();
+        let v0 = s.velocities().to_vec();
+        Thermostat::None.apply(&mut s, 10, 1e-3);
+        assert_eq!(s.velocities(), &v0[..]);
+    }
+
+    #[test]
+    fn rescale_hits_target_on_period() {
+        let mut s = hot_system();
+        Thermostat::Rescale {
+            target: 300.0,
+            every: 5,
+        }
+        .apply(&mut s, 10, 1e-3);
+        assert!((s.temperature() - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rescale_skips_off_period_steps() {
+        let mut s = hot_system();
+        Thermostat::Rescale {
+            target: 300.0,
+            every: 5,
+        }
+        .apply(&mut s, 7, 1e-3);
+        assert!((s.temperature() - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn berendsen_relaxes_toward_target() {
+        let mut s = hot_system();
+        let thermostat = Thermostat::Berendsen {
+            target: 300.0,
+            tau: 0.1,
+        };
+        let mut prev = s.temperature();
+        for step in 0..50 {
+            thermostat.apply(&mut s, step, 1e-3);
+            let t = s.temperature();
+            assert!(t <= prev + 1e-9, "temperature must fall monotonically");
+            prev = t;
+        }
+        assert!(prev < 600.0 && prev > 300.0);
+    }
+
+    #[test]
+    fn langevin_equilibrates_toward_target_from_both_sides() {
+        // Free particles + Langevin = exact OU process: temperature relaxes
+        // to the target with time constant tau/2.
+        for start in [900.0, 60.0] {
+            let mut s = System::from_lattice(LatticeSpec::bcc_fe(5), FE_MASS);
+            init_velocities(&mut s, start, 2);
+            let thermostat = Thermostat::Langevin {
+                target: 300.0,
+                tau: 0.01,
+            seed: 5,
+            };
+            for step in 0..400 {
+                thermostat.apply(&mut s, step, 1e-3);
+            }
+            let t = s.temperature();
+            assert!(
+                (200.0..420.0).contains(&t),
+                "from {start} K: settled at {t} K"
+            );
+        }
+    }
+
+    #[test]
+    fn langevin_is_deterministic_per_seed() {
+        let mut a = hot_system();
+        let mut b = hot_system();
+        let th = Thermostat::Langevin { target: 300.0, tau: 0.05, seed: 9 };
+        th.apply(&mut a, 3, 1e-3);
+        th.apply(&mut b, 3, 1e-3);
+        assert_eq!(a.velocities(), b.velocities());
+        let mut c = hot_system();
+        Thermostat::Langevin { target: 300.0, tau: 0.05, seed: 10 }.apply(&mut c, 3, 1e-3);
+        assert_ne!(a.velocities(), c.velocities());
+    }
+
+    #[test]
+    fn berendsen_heats_a_cold_system() {
+        let mut s = hot_system();
+        // Cool it down first.
+        for v in s.velocities_mut() {
+            *v *= 0.1;
+        }
+        let t0 = s.temperature();
+        Thermostat::Berendsen {
+            target: 300.0,
+            tau: 0.05,
+        }
+        .apply(&mut s, 1, 1e-3);
+        assert!(s.temperature() > t0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Physical constants and unit conversions ("metal" units).
+//!
+//! | quantity | unit |
+//! |----------|------|
+//! | length   | Å |
+//! | energy   | eV |
+//! | mass     | amu |
+//! | time     | ps |
+//! | temperature | K |
+//! | force    | eV/Å |
+//! | pressure | eV/Å³ (× [`EV_PER_A3_TO_GPA`] for GPa) |
+//!
+//! The paper's time-step of `1e-17 s` is `1e-5 ps` ([`PAPER_DT_PS`]).
+
+/// Boltzmann constant, eV/K.
+pub const KB: f64 = 8.617333262e-5;
+
+/// Converts `amu · (Å/ps)²` to eV (for kinetic energy `½ m v²`).
+pub const MVV2E: f64 = 1.0364269e-4;
+
+/// Converts `eV/Å / amu` to `Å/ps²` (for acceleration `F/m`).
+/// Exactly `1 / MVV2E`.
+pub const FORCE2ACCEL: f64 = 1.0 / MVV2E;
+
+/// Converts eV/Å³ to GPa.
+pub const EV_PER_A3_TO_GPA: f64 = 160.21766208;
+
+/// Mass of iron, amu.
+pub const FE_MASS: f64 = 55.845;
+
+/// The paper's time-step (`1e-17 s`, §III.B) in ps.
+pub const PAPER_DT_PS: f64 = 1e-5;
+
+/// Thermal velocity scale `√(k_B T / m)` in Å/ps.
+pub fn thermal_velocity(temperature: f64, mass: f64) -> f64 {
+    assert!(temperature >= 0.0, "negative temperature {temperature}");
+    assert!(mass > 0.0, "non-positive mass {mass}");
+    (KB * temperature / (mass * MVV2E)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_mutually_consistent() {
+        assert!((MVV2E * FORCE2ACCEL - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn iron_thermal_velocity_at_room_temperature_is_physical() {
+        // √(kB·300K / 55.845 amu) ≈ 2.1 Å/ps ≈ 210 m/s (1-D RMS component).
+        let v = thermal_velocity(300.0, FE_MASS);
+        assert!((1.5..3.0).contains(&v), "v = {v} Å/ps");
+    }
+
+    #[test]
+    fn zero_temperature_gives_zero_velocity() {
+        assert_eq!(thermal_velocity(0.0, FE_MASS), 0.0);
+    }
+
+    #[test]
+    fn kinetic_energy_conversion_scale() {
+        // One amu moving at 1 Å/ps = 100 m/s carries ½·1.66e-27·(100)² J
+        // ≈ 8.3e-24 J ≈ 5.18e-5 eV; ½·MVV2E matches.
+        let ke = 0.5 * MVV2E;
+        assert!((ke - 5.18e-5).abs() < 2e-7, "ke = {ke}");
+    }
+
+    #[test]
+    fn paper_dt_is_ten_attoseconds() {
+        assert_eq!(PAPER_DT_PS, 1e-5);
+    }
+}

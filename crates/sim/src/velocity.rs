@@ -1,0 +1,145 @@
+//! Maxwell–Boltzmann velocity initialization.
+
+use crate::system::System;
+use crate::units::{thermal_velocity, KB, MVV2E};
+use md_geometry::Vec3;
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Draws velocities from the Maxwell–Boltzmann distribution at
+/// `temperature`, removes center-of-mass drift, and rescales so the
+/// instantaneous temperature (with 3N−3 degrees of freedom) is *exactly*
+/// `temperature`.
+///
+/// Deterministic for a fixed `seed`.
+pub fn init_velocities(system: &mut System, temperature: f64, seed: u64) {
+    assert!(
+        temperature >= 0.0 && temperature.is_finite(),
+        "temperature must be non-negative, got {temperature}"
+    );
+    if system.is_empty() || temperature == 0.0 {
+        for v in system.velocities_mut() {
+            *v = Vec3::ZERO;
+        }
+        return;
+    }
+    let sigma = thermal_velocity(temperature, system.mass());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let normal = Gaussian { sigma };
+    for v in system.velocities_mut() {
+        *v = Vec3::new(
+            normal.sample(&mut rng),
+            normal.sample(&mut rng),
+            normal.sample(&mut rng),
+        );
+    }
+    system.zero_momentum();
+    // Exact rescale to the target temperature.
+    let current = system.temperature();
+    if current > 0.0 {
+        let scale = (temperature / current).sqrt();
+        for v in system.velocities_mut() {
+            *v *= scale;
+        }
+    }
+}
+
+/// A Box–Muller Gaussian sampler (avoids depending on `rand_distr`).
+struct Gaussian {
+    sigma: f64,
+}
+
+impl Distribution<f64> for Gaussian {
+    fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        loop {
+            let u1: f64 = rng.gen::<f64>();
+            let u2: f64 = rng.gen::<f64>();
+            if u1 > f64::MIN_POSITIVE {
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                return z * self.sigma;
+            }
+        }
+    }
+}
+
+/// The kinetic energy a system of `n` atoms should carry at `temperature`
+/// under the 3N−3 convention, eV. Used by tests and the thermostat.
+pub fn target_kinetic_energy(n: usize, temperature: f64) -> f64 {
+    0.5 * (3 * n.max(2) - 3) as f64 * KB * temperature
+}
+
+/// RMS speed (Å/ps) corresponding to a temperature, for sanity checks.
+pub fn rms_speed(temperature: f64, mass: f64) -> f64 {
+    (3.0 * KB * temperature / (mass * MVV2E)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::FE_MASS;
+    use md_geometry::LatticeSpec;
+
+    fn system() -> System {
+        System::from_lattice(LatticeSpec::bcc_fe(4), FE_MASS)
+    }
+
+    #[test]
+    fn hits_target_temperature_exactly() {
+        let mut s = system();
+        init_velocities(&mut s, 300.0, 7);
+        assert!((s.temperature() - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn removes_momentum() {
+        let mut s = system();
+        init_velocities(&mut s, 500.0, 1);
+        assert!(s.momentum().norm() < 1e-8);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = system();
+        let mut b = system();
+        init_velocities(&mut a, 300.0, 42);
+        init_velocities(&mut b, 300.0, 42);
+        assert_eq!(a.velocities(), b.velocities());
+        let mut c = system();
+        init_velocities(&mut c, 300.0, 43);
+        assert_ne!(a.velocities(), c.velocities());
+    }
+
+    #[test]
+    fn zero_temperature_is_at_rest() {
+        let mut s = system();
+        init_velocities(&mut s, 0.0, 9);
+        assert_eq!(s.kinetic_energy(), 0.0);
+    }
+
+    #[test]
+    fn speeds_have_maxwellian_scale() {
+        let mut s = system();
+        init_velocities(&mut s, 300.0, 3);
+        let rms = (s
+            .velocities()
+            .iter()
+            .map(|v| v.norm_sq())
+            .sum::<f64>()
+            / s.len() as f64)
+            .sqrt();
+        let expect = rms_speed(300.0, FE_MASS);
+        assert!(
+            (rms - expect).abs() / expect < 0.05,
+            "rms {rms}, expected ≈ {expect}"
+        );
+    }
+
+    #[test]
+    fn kinetic_energy_matches_equipartition() {
+        let mut s = system();
+        init_velocities(&mut s, 300.0, 11);
+        let target = target_kinetic_energy(s.len(), 300.0);
+        assert!((s.kinetic_energy() - target).abs() < 1e-9);
+    }
+}

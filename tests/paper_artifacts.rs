@@ -1,0 +1,199 @@
+//! The paper's evaluation artifacts, reproduced and compared cell by cell.
+//!
+//! These tests pin the *shape* agreement between the modeled reproduction
+//! and the published Table 1 / Fig. 9 / §II.B geometry claims; EXPERIMENTS.md
+//! documents the full side-by-side numbers.
+
+use md_perfmodel::{fig9_rows, speedup, table1_rows, CaseGeometry, MachineParams, THREAD_SWEEP};
+use sdc_md::core::StrategyKind;
+
+/// The paper's Table 1 (same layout as `sdc_bench::PAPER_TABLE1`, inlined
+/// here to keep the integration test free-standing).
+const PAPER: [[[Option<f64>; 6]; 3]; 4] = [
+    [
+        [Some(1.71), Some(2.46), Some(3.07), Some(4.17), None, None],
+        [Some(1.70), Some(2.46), Some(3.07), Some(4.74), Some(5.90), Some(6.43)],
+        [Some(1.66), Some(2.40), Some(2.99), Some(4.61), Some(5.74), Some(6.30)],
+    ],
+    [
+        [Some(1.84), Some(2.64), Some(3.37), Some(6.24), Some(6.33), None],
+        [Some(1.84), Some(2.65), Some(3.39), Some(6.20), Some(8.89), Some(10.90)],
+        [Some(1.82), Some(2.65), Some(3.36), Some(6.16), Some(8.76), Some(10.78)],
+    ],
+    [
+        [Some(1.86), Some(2.76), Some(3.67), Some(6.82), Some(9.76), Some(9.59)],
+        [Some(1.87), Some(2.78), Some(3.64), Some(6.74), Some(9.73), Some(12.31)],
+        [Some(1.86), Some(2.75), Some(3.64), Some(6.64), Some(9.65), Some(12.29)],
+    ],
+    [
+        [Some(1.88), Some(2.79), Some(3.66), Some(6.30), Some(9.97), Some(9.82)],
+        [Some(1.87), Some(2.80), Some(3.65), Some(6.77), Some(9.84), Some(12.42)],
+        [Some(1.87), Some(2.80), Some(3.67), Some(6.74), Some(9.82), Some(12.34)],
+    ],
+];
+
+#[test]
+fn modeled_table1_tracks_the_paper_on_2d_and_3d_rows() {
+    // The multi-dimensional rows are the paper's headline (its §IV calls
+    // them "scalable"); the model must land within 35 % of every published
+    // cell, and within 20 % on the large cases at 2/4/8/16 threads.
+    let rows = table1_rows(&MachineParams::default());
+    let mut checked = 0;
+    for row in &rows {
+        if row.dims == 1 {
+            continue; // 1-D depends on the paper's unstated slab count
+        }
+        let ci = match row.case.as_str() {
+            "small(1)" => 0,
+            "medium(2)" => 1,
+            "large(3)" => 2,
+            _ => 3,
+        };
+        for (k, &p) in THREAD_SWEEP.iter().enumerate() {
+            let (Some(ours), Some(paper)) = (row.speedups[k], PAPER[ci][row.dims - 1][k]) else {
+                continue;
+            };
+            let rel = (ours - paper).abs() / paper;
+            // The paper's small case saturates hard above 8 threads
+            // (54k-atom arrays × 16 threads on a 2009 4-socket box —
+            // false-sharing/NUMA effects outside this model); those cells
+            // are reported but not bounded here (see EXPERIMENTS.md).
+            if ci == 0 && p > 8 {
+                continue;
+            }
+            let bound = if ci == 0 { 0.60 } else { 0.35 };
+            assert!(
+                rel < bound,
+                "{} {}D P={p}: modeled {ours:.2} vs paper {paper:.2} ({:.0}% off)",
+                row.case,
+                row.dims,
+                rel * 100.0
+            );
+            if ci >= 2 && matches!(p, 2 | 4 | 8 | 16) {
+                assert!(
+                    rel < 0.20,
+                    "{} {}D P={p}: large-case cell {ours:.2} vs {paper:.2}",
+                    row.case,
+                    row.dims
+                );
+            }
+            checked += 1;
+        }
+    }
+    assert!(checked >= 40, "only {checked} cells compared");
+}
+
+#[test]
+fn table1_blank_pattern_is_a_superset_of_the_papers() {
+    // Wherever the paper prints a blank, our maximal-even decomposition
+    // also cannot run it. (We additionally blank small-case 1-D at 8
+    // threads — our rule yields 6 slabs; documented in EXPERIMENTS.md.)
+    let rows = table1_rows(&MachineParams::default());
+    for row in &rows {
+        let ci = match row.case.as_str() {
+            "small(1)" => 0,
+            "medium(2)" => 1,
+            "large(3)" => 2,
+            _ => 3,
+        };
+        #[allow(clippy::needless_range_loop)]
+        for k in 0..6 {
+            if PAPER[ci][row.dims - 1][k].is_none() {
+                assert!(
+                    row.speedups[k].is_none(),
+                    "{} {}D col {k}: paper blank, model filled",
+                    row.case,
+                    row.dims
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fig9_ordering_matches_the_papers_panels() {
+    let rows = fig9_rows(&MachineParams::default());
+    // 16 series, and at 16 threads the ordering in every panel is
+    // SDC > RC > SAP > CS (paper Fig. 9, all four subplots).
+    assert_eq!(rows.len(), 16);
+    for case in ["small(1)", "medium(2)", "large(3)", "large(4)"] {
+        let get = |s: StrategyKind| {
+            rows.iter()
+                .find(|r| r.case == case && r.strategy == s)
+                .and_then(|r| r.speedups[5])
+                .unwrap()
+        };
+        let sdc = get(StrategyKind::Sdc { dims: 2 });
+        let cs = get(StrategyKind::Critical);
+        let sap = get(StrategyKind::Privatized);
+        let rc = get(StrategyKind::Redundant);
+        assert!(
+            sdc > rc && rc > sap && sap > cs,
+            "{case}: ordering at 16 threads: sdc {sdc:.2}, rc {rc:.2}, sap {sap:.2}, cs {cs:.2}"
+        );
+    }
+}
+
+#[test]
+fn section_iv_sdc_vs_rc_factor() {
+    // "SDC method can gain about 1.7-fold increase in performance as
+    // compared to RC method on medium and large test cases."
+    let m = MachineParams::default();
+    for case_id in 2..=4 {
+        let case = CaseGeometry::paper_case(case_id);
+        let sdc = speedup(&m, &case, StrategyKind::Sdc { dims: 2 }, 16).unwrap();
+        let rc = speedup(&m, &case, StrategyKind::Redundant, 16).unwrap();
+        let f = sdc / rc;
+        assert!((1.4..=2.0).contains(&f), "case {case_id}: factor {f:.2}");
+    }
+}
+
+#[test]
+fn section_iib_subdomain_count_claims() {
+    // "there are 340 subdomains with each color in medium test case, and
+    // there are nearly 5000 subdomains with each color in large test case"
+    // — same order of magnitude from our maximal-even rule (exact counts
+    // depend on the paper's unstated skin).
+    let medium = CaseGeometry::paper_case(2).decomposition(3).unwrap();
+    assert!(
+        (100..=700).contains(&medium.subdomains_per_color()),
+        "medium: {}",
+        medium.subdomains_per_color()
+    );
+    let large = CaseGeometry::paper_case(4).decomposition(3).unwrap();
+    assert!(
+        (2500..=7000).contains(&large.subdomains_per_color()),
+        "large: {}",
+        large.subdomains_per_color()
+    );
+}
+
+#[test]
+fn section_i_eam_does_about_twice_the_pair_work() {
+    // Measured, not modeled: one EAM step vs one Morse step with identical
+    // cutoff and neighbor lists ("the computation workload required by the
+    // embedded atom method is nearly more than twice the workload of the
+    // pair-wise potential", §I). Debug-build timings are noisy; require
+    // only ratio > 1.4.
+    use sdc_md::prelude::*;
+    use std::sync::Arc;
+    let spec = LatticeSpec::bcc_fe(9);
+    let time_one = |pot: PotentialChoice| {
+        let system = System::from_lattice(spec, 55.845);
+        let mut engine =
+            ForceEngine::new(&system, pot, StrategyKind::Serial, 1, 0.3).unwrap();
+        let mut system = system;
+        engine.compute(&mut system); // warm-up
+        engine.reset_timers();
+        for _ in 0..5 {
+            engine.compute(&mut system);
+        }
+        engine.timers().paper_time().as_secs_f64()
+    };
+    let eam = time_one(PotentialChoice::Eam(Arc::new(AnalyticEam::fe())));
+    let pair = time_one(PotentialChoice::Pair(Arc::new(Morse::new(
+        0.4, 1.6, 2.4824, 5.67,
+    ))));
+    let ratio = eam / pair;
+    assert!(ratio > 1.4, "EAM/pair work ratio {ratio:.2}");
+}

@@ -1,0 +1,142 @@
+//! End-to-end physical invariants through the public API.
+
+use sdc_md::prelude::*;
+
+#[test]
+fn nve_conserves_energy_through_rebuilds() {
+    let mut sim = Simulation::builder(LatticeSpec::bcc_fe(9))
+        .potential(AnalyticEam::fe())
+        .strategy(StrategyKind::Sdc { dims: 3 })
+        .threads(2)
+        .temperature(600.0)
+        .seed(8)
+        .dt(1e-3)
+        .skin(0.4)
+        .build()
+        .unwrap();
+    let e0 = sim.thermo().total;
+    sim.run(150);
+    let e1 = sim.thermo().total;
+    assert!(
+        ((e1 - e0) / e0).abs() < 1e-4,
+        "energy drift: {e0} → {e1}"
+    );
+    // 600 K for 150 fs moves atoms enough to trigger at least one
+    // list + decomposition rebuild; conservation must survive it.
+    assert!(sim.engine().rebuilds() >= 1, "test must exercise rebuilds");
+}
+
+#[test]
+fn momentum_stays_zero() {
+    let mut sim = Simulation::builder(LatticeSpec::bcc_fe(9))
+        .potential(AnalyticEam::fe())
+        .strategy(StrategyKind::Redundant)
+        .threads(2)
+        .temperature(500.0)
+        .seed(4)
+        .build()
+        .unwrap();
+    sim.run(50);
+    assert!(sim.system().momentum().norm() < 1e-6);
+}
+
+#[test]
+fn berendsen_thermostat_reaches_target() {
+    let mut sim = Simulation::builder(LatticeSpec::bcc_fe(9))
+        .potential(AnalyticEam::fe())
+        .strategy(StrategyKind::Serial)
+        .temperature(900.0)
+        .seed(6)
+        .thermostat(Thermostat::Berendsen {
+            target: 300.0,
+            tau: 0.02,
+        })
+        .build()
+        .unwrap();
+    sim.run(250);
+    let t = sim.thermo().temperature;
+    assert!((120.0..480.0).contains(&t), "T = {t}");
+}
+
+#[test]
+fn cold_crystal_cohesive_energy_is_iron_like() {
+    let mut sim = Simulation::builder(LatticeSpec::bcc_fe(9))
+        .potential(AnalyticEam::fe())
+        .strategy(StrategyKind::Serial)
+        .build()
+        .unwrap();
+    sim.run(1);
+    let per_atom = sim.thermo().potential_energy / sim.system().len() as f64;
+    // Analytic iron-like EAM: a few eV of cohesion per atom (real Fe: −4.28).
+    assert!((-8.0..-2.0).contains(&per_atom), "E/atom = {per_atom}");
+}
+
+#[test]
+fn compression_raises_pressure_tension_lowers_it() {
+    let build = || {
+        Simulation::builder(LatticeSpec::bcc_fe(9))
+            .potential(AnalyticEam::fe())
+            .strategy(StrategyKind::Serial)
+            .build()
+            .unwrap()
+    };
+    let p_ref = build().thermo().pressure_gpa;
+    let mut squeezed = build();
+    squeezed.deform(Vec3::splat(0.98));
+    let mut stretched = build();
+    stretched.deform(Vec3::splat(1.02));
+    assert!(squeezed.thermo().pressure_gpa > p_ref + 1.0);
+    assert!(stretched.thermo().pressure_gpa < p_ref - 1.0);
+}
+
+#[test]
+fn heating_raises_potential_energy_monotonically() {
+    // Equipartition: a hotter crystal sits higher in its potential wells.
+    let mut per_atom = Vec::new();
+    for temperature in [100.0, 400.0, 800.0] {
+        let mut sim = Simulation::builder(LatticeSpec::bcc_fe(9))
+            .potential(AnalyticEam::fe())
+            .strategy(StrategyKind::Privatized)
+            .threads(2)
+            .temperature(temperature)
+            .seed(9)
+            .thermostat(Thermostat::Rescale {
+                target: temperature,
+                every: 10,
+            })
+            .build()
+            .unwrap();
+        sim.run(80);
+        per_atom.push(sim.thermo().potential_energy / sim.system().len() as f64);
+    }
+    assert!(
+        per_atom[0] < per_atom[1] && per_atom[1] < per_atom[2],
+        "PE/atom not monotone in T: {per_atom:?}"
+    );
+}
+
+#[test]
+fn lj_and_morse_pair_potentials_run_under_sdc() {
+    // The conclusion's "other potentials" claim, end to end.
+    let spec = LatticeSpec::new(Lattice::Fcc, 5.27, [7, 7, 7]);
+    for use_morse in [false, true] {
+        let builder = Simulation::builder(spec)
+            .mass(39.948)
+            .strategy(StrategyKind::Sdc { dims: 2 })
+            .threads(2)
+            .temperature(20.0)
+            .seed(12)
+            .dt(5e-3);
+        let mut sim = if use_morse {
+            builder.pair_potential(Morse::new(0.0104, 1.2, 3.82, 8.5))
+        } else {
+            builder.pair_potential(LennardJones::new(0.0104, 3.4, 8.5))
+        }
+        .build()
+        .unwrap();
+        let e0 = sim.thermo().total;
+        sim.run(40);
+        let e1 = sim.thermo().total;
+        assert!(((e1 - e0) / e0).abs() < 1e-3, "drift for morse={use_morse}");
+    }
+}
