@@ -10,63 +10,143 @@
 //! # continue a previous run:
 //! cargo run -p sdc-bench --release --bin mdrun -- \
 //!     --restart final.ckpt --potential fe --strategy sap --steps 100
+//!
+//! # supervised run: periodic atomic checkpoints + rollback on faults:
+//! cargo run -p sdc-bench --release --bin mdrun -- \
+//!     --cells 12 --steps 2000 --recover --checkpoint-every 200 \
+//!     --checkpoint run.ckpt --max-retries 3
 //! ```
 //!
 //! Potentials: `fe` (BCC iron EAM), `cu` (FCC copper EAM), `lj` (argon).
 //! Strategies: serial, sdc1d, sdc2d, sdc3d, cs, atomic, locks, localwrite,
 //! sap, rc. Thermostats: `none`, `rescale:T:N`, `berendsen:T:tau`,
 //! `langevin:T:tau`.
+//!
+//! Bad arguments never panic: the process prints what was wrong with which
+//! flag, shows the usage summary, and exits with status 2.
 
 use md_geometry::{Lattice, LatticeSpec};
 use md_potential::{AnalyticEam, LennardJones};
 use md_sim::analysis::ThermoAverager;
 use md_sim::checkpoint::{load_checkpoint, save_checkpoint};
+use md_sim::health::RecoveryConfig;
 use md_sim::output::{ThermoLog, XyzWriter};
 use md_sim::{Simulation, StrategyKind, Thermo, Thermostat};
 use sdc_bench::Args;
+use std::path::PathBuf;
 
-fn parse_thermostat(spec: &str) -> Thermostat {
+const USAGE: &str = "\
+usage: mdrun [options]
+  --potential fe|cu|lj      material (default fe)
+  --cells N                 lattice cells per edge (default 10)
+  --strategy NAME           serial|sdc1d|sdc2d|sdc3d|cs|atomic|locks|
+                            localwrite|sap|rc (default sdc3d; infeasible
+                            SDC degrades automatically)
+  --threads N               worker threads (default 4)
+  --temperature T           initial temperature, K (default 300)
+  --steps N                 time-steps (default 100)
+  --dt PS                   time-step, ps (default 1e-3)
+  --report N                thermo print cadence (default 20)
+  --seed N                  velocity RNG seed (default 42)
+  --thermostat SPEC         none|rescale:T:N|berendsen:T:tau|langevin:T:tau
+  --reorder                 enable spatial data reordering
+  --restart PATH            continue from a checkpoint file
+  --dump PATH               write an .xyz trajectory
+  --log PATH                write a thermo CSV
+  --checkpoint PATH         checkpoint file (final state; with
+                            --checkpoint-every/--recover also periodic)
+  --checkpoint-every N      save a checkpoint every N steps (atomic write)
+  --recover                 run under fault supervision: roll back to the
+                            last checkpoint and retry with a smaller dt
+  --max-retries N           fault retries before giving up (default 3)";
+
+const KNOWN_FLAGS: &[&str] = &[
+    "--potential",
+    "--cells",
+    "--strategy",
+    "--threads",
+    "--temperature",
+    "--steps",
+    "--dt",
+    "--report",
+    "--seed",
+    "--thermostat",
+    "--reorder",
+    "--restart",
+    "--dump",
+    "--log",
+    "--checkpoint",
+    "--checkpoint-every",
+    "--recover",
+    "--max-retries",
+];
+
+fn parse_thermostat(spec: &str) -> Result<Thermostat, String> {
     let parts: Vec<&str> = spec.split(':').collect();
+    let num = |tok: &str, what: &str| -> Result<f64, String> {
+        tok.parse()
+            .map_err(|_| format!("invalid {what} '{tok}' in thermostat spec '{spec}'"))
+    };
     match parts.as_slice() {
-        ["none"] => Thermostat::None,
-        ["rescale", t, every] => Thermostat::Rescale {
-            target: t.parse().expect("rescale target"),
-            every: every.parse().expect("rescale period"),
-        },
-        ["berendsen", t, tau] => Thermostat::Berendsen {
-            target: t.parse().expect("berendsen target"),
-            tau: tau.parse().expect("berendsen tau"),
-        },
-        ["langevin", t, tau] => Thermostat::Langevin {
-            target: t.parse().expect("langevin target"),
-            tau: tau.parse().expect("langevin tau"),
+        ["none"] => Ok(Thermostat::None),
+        ["rescale", t, every] => Ok(Thermostat::Rescale {
+            target: num(t, "target")?,
+            every: every
+                .parse()
+                .map_err(|_| format!("invalid period '{every}' in thermostat spec '{spec}'"))?,
+        }),
+        ["berendsen", t, tau] => Ok(Thermostat::Berendsen {
+            target: num(t, "target")?,
+            tau: num(tau, "tau")?,
+        }),
+        ["langevin", t, tau] => Ok(Thermostat::Langevin {
+            target: num(t, "target")?,
+            tau: num(tau, "tau")?,
             seed: 1729,
-        },
-        _ => panic!("unknown thermostat spec '{spec}' (none | rescale:T:N | berendsen:T:tau | langevin:T:tau)"),
+        }),
+        _ => Err(format!(
+            "unknown thermostat spec '{spec}' (none | rescale:T:N | berendsen:T:tau | langevin:T:tau)"
+        )),
     }
 }
 
-fn main() {
-    let args = Args::parse();
+fn run(args: &Args) -> Result<(), String> {
+    let unknown = args.unknown_flags(KNOWN_FLAGS);
+    if !unknown.is_empty() {
+        return Err(format!("unknown flag '{}'", unknown[0]));
+    }
     let potential = args.get_str("--potential").unwrap_or("fe").to_string();
-    let cells: usize = args.get("--cells", 10);
-    let strategy = args
-        .get_str("--strategy")
-        .map(|s| StrategyKind::parse(s).unwrap_or_else(|| panic!("unknown strategy '{s}'")))
-        .unwrap_or(StrategyKind::Sdc { dims: 3 });
-    let threads: usize = args.get("--threads", 4);
-    let temperature: f64 = args.get("--temperature", 300.0);
-    let steps: usize = args.get("--steps", 100);
-    let dt: f64 = args.get("--dt", 1e-3);
-    let report: usize = args.get("--report", 20);
-    let seed: u64 = args.get("--seed", 42);
-    let thermostat = parse_thermostat(args.get_str("--thermostat").unwrap_or("none"));
+    let cells: usize = args.try_get_or("--cells", 10)?;
+    let strategy = match args.get_str("--strategy") {
+        Some(s) => StrategyKind::parse(s).ok_or_else(|| {
+            format!("unknown strategy '{s}' for flag '--strategy' (serial|sdc1d|sdc2d|sdc3d|cs|atomic|locks|localwrite|sap|rc)")
+        })?,
+        None => StrategyKind::Sdc { dims: 3 },
+    };
+    let threads: usize = args.try_get_or("--threads", 4)?;
+    let temperature: f64 = args.try_get_or("--temperature", 300.0)?;
+    let steps: usize = args.try_get_or("--steps", 100)?;
+    let dt: f64 = args.try_get_or("--dt", 1e-3)?;
+    let report: usize = args.try_get_or("--report", 20)?;
+    let seed: u64 = args.try_get_or("--seed", 42)?;
+    let thermostat = parse_thermostat(args.get_str("--thermostat").unwrap_or("none"))?;
     let reorder = args.flag("--reorder");
+    let checkpoint_every: usize = args.try_get_or("--checkpoint-every", 0)?;
+    let recover = args.flag("--recover");
+    let max_retries: usize = args.try_get_or("--max-retries", 3)?;
+    let checkpoint_path: Option<PathBuf> = args
+        .get_str("--checkpoint")
+        .map(PathBuf::from)
+        .or_else(|| {
+            // Supervised or periodic checkpointing needs *somewhere* to write.
+            (recover || checkpoint_every > 0).then(|| PathBuf::from("mdrun.ckpt"))
+        });
 
     // Assemble the builder from either a restart file or a fresh lattice.
     let element;
     let builder = if let Some(ckpt) = args.get_str("--restart") {
-        let (system, step) = load_checkpoint(ckpt).expect("readable checkpoint");
+        let (system, step) = load_checkpoint(ckpt)
+            .map_err(|e| format!("cannot restart from '{ckpt}': {e}"))?;
         println!("restarted {} atoms from '{ckpt}' (step {step})", system.len());
         element = match potential.as_str() {
             "cu" => "Cu",
@@ -79,7 +159,7 @@ fn main() {
             "fe" => (LatticeSpec::bcc_fe(cells), "Fe", 55.845),
             "cu" => (LatticeSpec::new(Lattice::Fcc, 3.615, [cells; 3]), "Cu", 63.546),
             "lj" => (LatticeSpec::new(Lattice::Fcc, 5.27, [cells; 3]), "Ar", 39.948),
-            other => panic!("unknown potential '{other}' (fe | cu | lj)"),
+            other => return Err(format!("unknown potential '{other}' for flag '--potential' (fe | cu | lj)")),
         };
         element = elem;
         println!(
@@ -103,40 +183,93 @@ fn main() {
         .thermostat(thermostat)
         .reorder(reorder)
         .build()
-        .unwrap_or_else(|e| panic!("cannot build simulation: {e}"));
+        .map_err(|e| format!("cannot build simulation: {e}"))?;
+    for event in sim.downgrades() {
+        println!("warning: {event}");
+    }
 
-    let mut traj = args
-        .get_str("--dump")
-        .map(|p| XyzWriter::create(p, element).expect("writable trajectory path"));
-    let mut log = args
-        .get_str("--log")
-        .map(|p| ThermoLog::create(p).expect("writable log path"));
+    let mut traj = match args.get_str("--dump") {
+        Some(p) => Some(
+            XyzWriter::create(p, element)
+                .map_err(|e| format!("cannot open trajectory '{p}': {e}"))?,
+        ),
+        None => None,
+    };
+    let mut log = match args.get_str("--log") {
+        Some(p) => {
+            Some(ThermoLog::create(p).map_err(|e| format!("cannot open log '{p}': {e}"))?)
+        }
+        None => None,
+    };
 
     println!("{}", Thermo::header());
     println!("{}", sim.thermo());
     let mut averages = ThermoAverager::new();
-    sim.run_with(steps, report, |sim, t| {
+
+    if recover {
+        let cfg = RecoveryConfig {
+            checkpoint_every: if checkpoint_every > 0 { checkpoint_every } else { 100 },
+            checkpoint_path: checkpoint_path.clone(),
+            max_retries,
+            ..RecoveryConfig::default()
+        };
+        let report = sim
+            .run_with_recovery(steps, &cfg)
+            .map_err(|e| format!("supervised run failed: {e}"))?;
+        let t = sim.thermo();
         println!("{t}");
         averages.push(&t);
-        if let Some(w) = traj.as_mut() {
-            w.write_frame(sim.system(), t.step).expect("trajectory write");
+        println!(
+            "recovery: {} steps, {} checkpoints, {} rollbacks, final dt {:.2e} ps",
+            report.steps_completed, report.checkpoints_taken, report.rollbacks, report.final_dt
+        );
+        for record in &report.faults {
+            println!("  fault (retry {}): {}", record.retry, record.fault);
         }
-        if let Some(l) = log.as_mut() {
-            l.log(&t).expect("log write");
+    } else {
+        let report_every = report.max(1);
+        for k in 1..=steps {
+            sim.step();
+            if k % report_every == 0 || k == steps {
+                let t = sim.thermo();
+                println!("{t}");
+                averages.push(&t);
+                if let Some(w) = traj.as_mut() {
+                    w.write_frame(sim.system(), t.step)
+                        .map_err(|e| format!("trajectory write failed: {e}"))?;
+                }
+                if let Some(l) = log.as_mut() {
+                    l.log(&t).map_err(|e| format!("log write failed: {e}"))?;
+                }
+            }
+            if checkpoint_every > 0 && k % checkpoint_every == 0 {
+                let path = checkpoint_path.as_deref().expect("path defaulted above");
+                save_checkpoint(path, sim.system(), sim.step_count())
+                    .map_err(|e| format!("checkpoint write failed: {e}"))?;
+            }
         }
-    });
+    }
     if let Some(mut w) = traj {
-        w.flush().expect("trajectory flush");
+        w.flush().map_err(|e| format!("trajectory flush failed: {e}"))?;
         println!("wrote {} trajectory frames", w.frames());
     }
     if let Some(mut l) = log {
-        l.flush().expect("log flush");
+        l.flush().map_err(|e| format!("log flush failed: {e}"))?;
     }
     println!("\n{averages}");
     println!("\nphase timing:\n{}", sim.timers());
 
-    if let Some(path) = args.get_str("--checkpoint") {
-        save_checkpoint(path, sim.system(), sim.step_count()).expect("checkpoint write");
-        println!("checkpoint saved to '{path}'");
+    if let Some(path) = &checkpoint_path {
+        save_checkpoint(path, sim.system(), sim.step_count())
+            .map_err(|e| format!("checkpoint write failed: {e}"))?;
+        println!("checkpoint saved to '{}'", path.display());
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run(&Args::parse()) {
+        eprintln!("mdrun: {e}\n\n{USAGE}");
+        std::process::exit(2);
     }
 }

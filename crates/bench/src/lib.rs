@@ -144,6 +144,11 @@ impl Args {
         }
     }
 
+    /// Builds from an explicit token list (tests, embedding).
+    pub fn from_vec(raw: Vec<String>) -> Args {
+        Args { raw }
+    }
+
     /// `true` if the flag is present.
     pub fn flag(&self, name: &str) -> bool {
         self.raw.iter().any(|a| a == name)
@@ -166,6 +171,40 @@ impl Args {
             .position(|a| a == name)
             .and_then(|i| self.raw.get(i + 1))
             .map(|s| s.as_str())
+    }
+
+    /// The value following `name`, parsed. Unlike [`Args::get`], a value
+    /// that fails to parse is an error naming the flag and the offending
+    /// token instead of a silent fallback to the default. `Ok(None)` when
+    /// the flag is absent.
+    pub fn try_get<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        let Some(i) = self.raw.iter().position(|a| a == name) else {
+            return Ok(None);
+        };
+        let value = self
+            .raw
+            .get(i + 1)
+            .filter(|v| !v.starts_with("--"))
+            .ok_or_else(|| format!("flag '{name}' expects a value"))?;
+        value
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("invalid value '{value}' for flag '{name}'"))
+    }
+
+    /// Like [`Args::try_get`] with a default for an absent flag.
+    pub fn try_get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        Ok(self.try_get(name)?.unwrap_or(default))
+    }
+
+    /// Tokens that look like flags (`--…`) but are not in `known` — typos
+    /// a strict CLI should reject instead of silently ignoring.
+    pub fn unknown_flags(&self, known: &[&str]) -> Vec<String> {
+        self.raw
+            .iter()
+            .filter(|a| a.starts_with("--") && !known.contains(&a.as_str()))
+            .cloned()
+            .collect()
     }
 }
 
@@ -191,6 +230,34 @@ mod tests {
         assert_eq!(PAPER_TABLE1[1][1][5], Some(10.90)); // medium, 2-D, 16
         assert_eq!(PAPER_TABLE1[3][1][5], Some(12.42)); // large(4), 2-D, 16
         assert_eq!(PAPER_TABLE1[2][0][5], Some(9.59)); // large(3), 1-D, 16
+    }
+
+    #[test]
+    fn try_get_names_the_bad_flag_and_value() {
+        let args = Args::from_vec(vec!["--steps".into(), "banana".into()]);
+        let err = args.try_get::<usize>("--steps").unwrap_err();
+        assert!(err.contains("--steps") && err.contains("banana"), "{err}");
+        // A flag immediately followed by another flag has no value.
+        let args = Args::from_vec(vec!["--steps".into(), "--recover".into()]);
+        let err = args.try_get::<usize>("--steps").unwrap_err();
+        assert!(err.contains("expects a value"), "{err}");
+        // Absent flag is None; present-and-valid parses.
+        let args = Args::from_vec(vec!["--steps".into(), "7".into()]);
+        assert_eq!(args.try_get::<usize>("--steps").unwrap(), Some(7));
+        assert_eq!(args.try_get::<usize>("--cells").unwrap(), None);
+        assert_eq!(args.try_get_or("--cells", 10).unwrap(), 10);
+    }
+
+    #[test]
+    fn unknown_flags_catch_typos() {
+        let args = Args::from_vec(vec![
+            "--steps".into(),
+            "7".into(),
+            "--restrat".into(),
+            "x.ckpt".into(),
+        ]);
+        assert_eq!(args.unknown_flags(&["--steps"]), vec!["--restrat"]);
+        assert!(args.unknown_flags(&["--steps", "--restrat"]).is_empty());
     }
 
     #[test]

@@ -47,4 +47,4 @@ pub use context::ParallelContext;
 pub use decomposition::{ColoredDecomposition, DecompositionConfig, DecompositionError};
 pub use plan::SdcPlan;
 pub use scatter::{PairTerm, ScatterValue};
-pub use strategies::{ScatterExec, StrategyKind};
+pub use strategies::{DowngradeEvent, ScatterExec, StrategyKind};

@@ -127,6 +127,39 @@ impl StrategyKind {
     pub fn needs_localwrite_plan(&self) -> bool {
         matches!(self, StrategyKind::LocalWrite)
     }
+
+    /// The next-best strategy when this one is infeasible for the current
+    /// box geometry: SDC sheds decomposed axes one at a time (3 → 2 → 1) —
+    /// each step weakens the geometric precondition — and finally falls back
+    /// to striped [`StrategyKind::Locks`], which is parallel, race-free and
+    /// has no geometric precondition at all. Strategies without
+    /// preconditions have nothing to degrade to.
+    pub fn downgrade(&self) -> Option<StrategyKind> {
+        match self {
+            StrategyKind::Sdc { dims } if *dims > 1 => Some(StrategyKind::Sdc { dims: dims - 1 }),
+            StrategyKind::Sdc { .. } => Some(StrategyKind::Locks),
+            _ => None,
+        }
+    }
+}
+
+/// A recorded strategy downgrade: the engine replaced an infeasible
+/// strategy with the next one in the degradation chain (see
+/// [`StrategyKind::downgrade`]) instead of failing the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DowngradeEvent {
+    /// The strategy that could not be used.
+    pub from: StrategyKind,
+    /// The replacement that was tried next.
+    pub to: StrategyKind,
+    /// Why `from` was infeasible (human-readable).
+    pub reason: String,
+}
+
+impl std::fmt::Display for DowngradeEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "strategy downgraded {} -> {}: {}", self.from, self.to, self.reason)
+    }
 }
 
 impl std::fmt::Display for StrategyKind {
@@ -388,6 +421,40 @@ mod tests {
         assert!(!StrategyKind::Critical.is_deterministic());
         assert!(!StrategyKind::Locks.is_deterministic());
         assert!(StrategyKind::Sdc { dims: 3 }.is_deterministic());
+    }
+
+    #[test]
+    fn downgrade_chain_ends_at_locks() {
+        // Sdc sheds one axis per step, then falls back to striped locks.
+        assert_eq!(
+            StrategyKind::Sdc { dims: 3 }.downgrade(),
+            Some(StrategyKind::Sdc { dims: 2 })
+        );
+        assert_eq!(
+            StrategyKind::Sdc { dims: 2 }.downgrade(),
+            Some(StrategyKind::Sdc { dims: 1 })
+        );
+        assert_eq!(
+            StrategyKind::Sdc { dims: 1 }.downgrade(),
+            Some(StrategyKind::Locks)
+        );
+        // Non-SDC strategies have no geometric precondition to relax.
+        for kind in StrategyKind::all() {
+            if !kind.needs_plan() {
+                assert_eq!(kind.downgrade(), None, "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn downgrade_event_display_names_both_strategies() {
+        let ev = DowngradeEvent {
+            from: StrategyKind::Sdc { dims: 3 },
+            to: StrategyKind::Sdc { dims: 2 },
+            reason: "axis 0 too small".into(),
+        };
+        let msg = ev.to_string();
+        assert!(msg.contains("sdc3d") && msg.contains("sdc2d") && msg.contains("axis 0"));
     }
 
     #[test]

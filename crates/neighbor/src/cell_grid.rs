@@ -22,11 +22,15 @@ pub struct CellGrid {
 impl CellGrid {
     /// Bins `positions` into cells of edge ≥ `min_cell` inside `sim_box`.
     ///
-    /// Positions must already be wrapped into the primary image.
+    /// Positions must already be wrapped into the primary image along the
+    /// periodic axes. Along non-periodic axes, atoms that drifted past a
+    /// face are binned into the boundary cell instead of being rejected —
+    /// open boundaries make such drift legitimate, and higher layers (the
+    /// simulation watchdog) decide when it has become an escape.
     ///
     /// # Panics
-    /// Panics if `min_cell` is not positive, exceeds any box edge, or if any
-    /// position lies outside the primary image.
+    /// Panics if `min_cell` is not positive, exceeds any box edge, or if
+    /// any position lies outside the primary image along a periodic axis.
     pub fn build(sim_box: &SimBox, positions: &[Vec3], min_cell: f64) -> CellGrid {
         assert!(min_cell > 0.0 && min_cell.is_finite(), "min_cell must be positive");
         let l = sim_box.lengths();
@@ -45,13 +49,21 @@ impl CellGrid {
         let mut pairs = Vec::with_capacity(positions.len());
         let mut atom_cell = Vec::with_capacity(positions.len());
         for (a, &p) in positions.iter().enumerate() {
-            for d in 0..3 {
-                assert!(
-                    p[d] >= 0.0 && p[d] < l[d],
-                    "atom {a} at {p} outside primary image of box {l}"
-                );
+            let mut q = p;
+            for (d, axis) in md_geometry::Axis::ALL.into_iter().enumerate() {
+                if sim_box.is_periodic(axis) {
+                    assert!(
+                        p[d] >= 0.0 && p[d] < l[d],
+                        "atom {a} at {p} outside primary image of box {l}"
+                    );
+                } else {
+                    // Open boundary: atoms may legitimately drift past the
+                    // face. Bin them into the boundary cell; the simulation
+                    // watchdog decides when drift has become an escape.
+                    q[d] = p[d].clamp(0.0, l[d]);
+                }
             }
-            let c = cell_of(p, inv_cell, dims);
+            let c = cell_of(q, inv_cell, dims);
             pairs.push((c as u32, a as u32));
             atom_cell.push(c as u32);
         }
@@ -228,6 +240,18 @@ mod tests {
     fn unwrapped_positions_are_rejected() {
         let bx = SimBox::cubic(10.0);
         let _ = CellGrid::build(&bx, &[Vec3::splat(10.5)], 2.5);
+    }
+
+    #[test]
+    fn open_axis_overflow_bins_into_the_boundary_cell() {
+        // z is non-periodic: drift past either face is tolerated and lands
+        // in the nearest boundary cell instead of panicking.
+        let bx = SimBox::with_periodicity(Vec3::splat(10.0), [true, true, false]);
+        let above = Vec3::new(1.0, 1.0, 13.5);
+        let below = Vec3::new(1.0, 1.0, -2.0);
+        let g = CellGrid::build(&bx, &[above, below], 2.5);
+        assert_eq!(g.cell_coords(g.cell_of_atom(0)), [0, 0, 3]);
+        assert_eq!(g.cell_coords(g.cell_of_atom(1)), [0, 0, 0]);
     }
 
     #[test]

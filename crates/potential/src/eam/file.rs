@@ -178,9 +178,15 @@ pub fn read_setfl(source: impl Read) -> Result<(SetflHeader, TabulatedEam), Setf
     let nr: usize = parse(it.next(), "nr")?;
     let dr: f64 = parse(it.next(), "dr")?;
     let cutoff: f64 = parse(it.next(), "cutoff")?;
-    if nrho < 3 || nr < 4 || drho <= 0.0 || dr <= 0.0 || cutoff <= 0.0 {
+    if nrho < 3
+        || nr < 4
+        || !(drho > 0.0 && drho.is_finite())
+        || !(dr > 0.0 && dr.is_finite())
+        || !(cutoff > 0.0 && cutoff.is_finite())
+    {
         return Err(SetflError::Malformed(format!(
-            "bad grid: nrho={nrho} drho={drho} nr={nr} dr={dr} cutoff={cutoff}"
+            "bad grid: nrho={nrho} drho={drho} nr={nr} dr={dr} cutoff={cutoff} \
+             (counts must be ≥ 3/4, spacings and cutoff finite and positive)"
         )));
     }
 
@@ -194,7 +200,9 @@ pub fn read_setfl(source: impl Read) -> Result<(SetflHeader, TabulatedEam), Setf
         element,
     };
 
-    // Remaining tokens: nrho + nr + nr numbers, free-form.
+    // Remaining tokens: nrho + nr + nr numbers, free-form. NaN/inf entries
+    // are rejected here — a single poisoned sample would propagate through
+    // the spline into every force evaluation near it.
     let mut numbers = Vec::with_capacity(nrho + 2 * nr);
     for line in lines {
         let line = line?;
@@ -202,6 +210,12 @@ pub fn read_setfl(source: impl Read) -> Result<(SetflHeader, TabulatedEam), Setf
             let v: f64 = tok
                 .parse()
                 .map_err(|_| SetflError::Malformed(format!("non-numeric table entry '{tok}'")))?;
+            if !v.is_finite() {
+                return Err(SetflError::Malformed(format!(
+                    "non-finite table entry '{tok}' at index {}",
+                    numbers.len()
+                )));
+            }
             numbers.push(v);
         }
     }
@@ -316,6 +330,64 @@ mod tests {
         let multi = "c\nc\nc\n2 Fe Cr\n10 0.1 10 0.1 5.0\n26 55 2.8 bcc\n";
         let err = read_setfl(multi.as_bytes()).unwrap_err();
         assert!(err.to_string().contains("single-element"));
+    }
+
+    /// A tiny but structurally valid file, for targeted corruption.
+    fn small_valid_file() -> String {
+        let src = AnalyticEam::fe();
+        let mut buf = Vec::new();
+        write_setfl(&mut buf, &src, &SetflHeader::fe(), 50, 60.0, 50).unwrap();
+        String::from_utf8(buf).unwrap()
+    }
+
+    #[test]
+    fn truncation_inside_the_header_is_rejected() {
+        // Cut after the comments: the element line is missing entirely.
+        let text: String = small_valid_file().lines().take(3).collect::<Vec<_>>().join("\n");
+        let err = read_setfl(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("end of file"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_table_entry_is_rejected() {
+        // Poison one sample in the embedding table (line 7 = first F row).
+        let mut lines: Vec<String> = small_valid_file().lines().map(String::from).collect();
+        let mut row: Vec<String> = lines[6].split_whitespace().map(String::from).collect();
+        row[2] = "NaN".into();
+        lines[6] = row.join(" ");
+        let err = read_setfl(lines.join("\n").as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("non-finite table entry"), "{err}");
+    }
+
+    #[test]
+    fn infinite_table_entry_is_rejected() {
+        let mut lines: Vec<String> = small_valid_file().lines().map(String::from).collect();
+        let mut row: Vec<String> = lines[8].split_whitespace().map(String::from).collect();
+        row[0] = "inf".into();
+        lines[8] = row.join(" ");
+        let err = read_setfl(lines.join("\n").as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("non-finite table entry"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_grid_spacing_is_rejected() {
+        let mut lines: Vec<String> = small_valid_file().lines().map(String::from).collect();
+        // Grid line is line 5 (index 4): "nrho drho nr dr cutoff".
+        let mut grid: Vec<String> = lines[4].split_whitespace().map(String::from).collect();
+        grid[1] = "NaN".into();
+        lines[4] = grid.join(" ");
+        let err = read_setfl(lines.join("\n").as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("bad grid"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_cutoff_is_rejected() {
+        let mut lines: Vec<String> = small_valid_file().lines().map(String::from).collect();
+        let mut grid: Vec<String> = lines[4].split_whitespace().map(String::from).collect();
+        grid[4] = "inf".into();
+        lines[4] = grid.join(" ");
+        let err = read_setfl(lines.join("\n").as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("bad grid"), "{err}");
     }
 
     #[test]

@@ -4,14 +4,27 @@
 //! positions, velocities — sufficient to continue a run bit-exactly (forces
 //! and EAM scratch are recomputed on load). The format is a versioned
 //! whitespace table, human-inspectable like XMD's own state files.
+//!
+//! Two on-disk guarantees make checkpoints crash-safe:
+//!
+//! * **integrity** — the current format (v2) ends with a `checksum` footer
+//!   (FNV-1a 64 over every preceding byte), so truncation and bit-flips are
+//!   detected at load instead of silently restarting from garbage. v1 files
+//!   (no footer) are still read.
+//! * **atomicity** — [`save_checkpoint`] writes to a temporary sibling file
+//!   and renames it over the target only after a successful flush + fsync,
+//!   so a crash mid-write never clobbers the previous good checkpoint.
 
 use crate::system::System;
 use md_geometry::{SimBox, Vec3};
-use std::io::{BufRead, BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::{Path, PathBuf};
 
 const MAGIC: &str = "sdc-md-checkpoint";
-const VERSION: u32 = 1;
+/// Current checkpoint format version (written by [`write_checkpoint`]).
+pub const VERSION: u32 = 2;
+/// Oldest readable version.
+pub const MIN_VERSION: u32 = 1;
 
 /// Checkpoint read errors.
 #[derive(Debug)]
@@ -20,6 +33,21 @@ pub enum CheckpointError {
     Io(std::io::Error),
     /// Structural problem (bad magic, truncation, non-numeric fields).
     Malformed(String),
+    /// The file declares a format version this reader does not speak.
+    UnsupportedVersion {
+        /// Version found in the file header.
+        found: u32,
+        /// Newest version this reader supports.
+        supported: u32,
+    },
+    /// The v2 checksum footer does not match the file contents — the file
+    /// was truncated or corrupted after it was written.
+    ChecksumMismatch {
+        /// Checksum recorded in the footer.
+        stored: u64,
+        /// Checksum recomputed over the file body.
+        computed: u64,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -27,6 +55,14 @@ impl std::fmt::Display for CheckpointError {
         match self {
             CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
             CheckpointError::Malformed(m) => write!(f, "malformed checkpoint: {m}"),
+            CheckpointError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported checkpoint version v{found} (this reader speaks v{MIN_VERSION}..=v{supported})"
+            ),
+            CheckpointError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checkpoint checksum mismatch: footer says {stored:016x}, contents hash to {computed:016x} (file corrupted or truncated)"
+            ),
         }
     }
 }
@@ -39,60 +75,169 @@ impl From<std::io::Error> for CheckpointError {
     }
 }
 
-/// Writes a checkpoint of `system` at step `step`.
+/// FNV-1a 64-bit hash — dependency-free integrity check for the v2 footer.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Renders the checkpoint body (everything before the checksum footer).
+fn render_body(system: &System, step: usize) -> String {
+    use std::fmt::Write as _;
+    let l = system.sim_box().lengths();
+    let periodic = system.sim_box().periodicity();
+    let mut body = String::with_capacity(128 + 128 * system.len());
+    let _ = writeln!(body, "{MAGIC} v{VERSION}");
+    let _ = writeln!(body, "step {step}");
+    let _ = writeln!(
+        body,
+        "box {:.17e} {:.17e} {:.17e} {} {} {}",
+        l.x, l.y, l.z, periodic[0] as u8, periodic[1] as u8, periodic[2] as u8
+    );
+    let _ = writeln!(body, "mass {:.17e}", system.mass());
+    let _ = writeln!(body, "atoms {}", system.len());
+    for (p, v) in system.positions().iter().zip(system.velocities()) {
+        let _ = writeln!(
+            body,
+            "{:.17e} {:.17e} {:.17e} {:.17e} {:.17e} {:.17e}",
+            p.x, p.y, p.z, v.x, v.y, v.z
+        );
+    }
+    body
+}
+
+/// Writes a v2 checkpoint of `system` at step `step`, including the
+/// checksum footer.
 pub fn write_checkpoint(
     sink: &mut impl Write,
     system: &System,
     step: usize,
 ) -> Result<(), CheckpointError> {
-    let mut w = BufWriter::new(sink);
-    let l = system.sim_box().lengths();
-    let periodic = system.sim_box().periodicity();
-    writeln!(w, "{MAGIC} v{VERSION}")?;
-    writeln!(w, "step {step}")?;
-    writeln!(
-        w,
-        "box {:.17e} {:.17e} {:.17e} {} {} {}",
-        l.x, l.y, l.z, periodic[0] as u8, periodic[1] as u8, periodic[2] as u8
-    )?;
-    writeln!(w, "mass {:.17e}", system.mass())?;
-    writeln!(w, "atoms {}", system.len())?;
-    for (p, v) in system.positions().iter().zip(system.velocities()) {
-        writeln!(
-            w,
-            "{:.17e} {:.17e} {:.17e} {:.17e} {:.17e} {:.17e}",
-            p.x, p.y, p.z, v.x, v.y, v.z
-        )?;
-    }
-    w.flush()?;
+    let body = render_body(system, step);
+    sink.write_all(body.as_bytes())?;
+    writeln!(sink, "checksum {:016x}", fnv1a64(body.as_bytes()))?;
+    sink.flush()?;
     Ok(())
 }
 
-/// Saves a checkpoint to `path`.
+/// The temporary sibling path used by [`save_checkpoint`]'s atomic write.
+pub fn checkpoint_tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Atomically replaces `path` with the output of `write`: the bytes go to a
+/// temporary sibling first and are renamed over `path` only after a
+/// successful flush + fsync. On any error the temporary file is removed and
+/// an existing `path` is left untouched.
+pub fn atomic_write(
+    path: impl AsRef<Path>,
+    write: impl FnOnce(&mut std::fs::File) -> Result<(), CheckpointError>,
+) -> Result<(), CheckpointError> {
+    let path = path.as_ref();
+    let tmp = checkpoint_tmp_path(path);
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        write(&mut f)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Saves a checkpoint to `path` atomically (temp file + rename; see
+/// [`atomic_write`]).
 pub fn save_checkpoint(
     path: impl AsRef<Path>,
     system: &System,
     step: usize,
 ) -> Result<(), CheckpointError> {
-    let mut f = std::fs::File::create(path)?;
-    write_checkpoint(&mut f, system, step)
+    atomic_write(path, |f| write_checkpoint(f, system, step))
 }
 
-/// Reads a checkpoint, returning the restored system and its step counter.
-pub fn read_checkpoint(source: impl Read) -> Result<(System, usize), CheckpointError> {
-    let mut lines = BufReader::new(source).lines();
+/// Reads a checkpoint (v1 or v2), returning the restored system and its
+/// step counter. For v2, the checksum footer is verified before any field
+/// is trusted.
+pub fn read_checkpoint(mut source: impl Read) -> Result<(System, usize), CheckpointError> {
+    let mut raw = Vec::new();
+    source.read_to_end(&mut raw)?;
+
+    // Header: "<MAGIC> v<N>".
+    let header_end = raw
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| CheckpointError::Malformed("missing header line".into()))?;
+    let header = String::from_utf8_lossy(&raw[..header_end]);
+    let version = match header.strip_prefix(MAGIC) {
+        Some(rest) => rest
+            .trim()
+            .strip_prefix('v')
+            .and_then(|v| v.parse::<u32>().ok())
+            .ok_or_else(|| {
+                CheckpointError::Malformed(format!("bad version field in header '{header}'"))
+            })?,
+        None => {
+            return Err(CheckpointError::Malformed(format!(
+                "bad header '{header}' (expected '{MAGIC} v<N>')"
+            )))
+        }
+    };
+    if !(MIN_VERSION..=VERSION).contains(&version) {
+        return Err(CheckpointError::UnsupportedVersion {
+            found: version,
+            supported: VERSION,
+        });
+    }
+
+    // v2: split off and verify the checksum footer before parsing anything.
+    let body: &[u8] = if version >= 2 {
+        let trimmed_len = raw.iter().rposition(|&b| b != b'\n').map_or(0, |i| i + 1);
+        let footer_start = raw[..trimmed_len]
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        let footer = String::from_utf8_lossy(&raw[footer_start..trimmed_len]);
+        let stored = footer
+            .strip_prefix("checksum ")
+            .and_then(|h| u64::from_str_radix(h.trim(), 16).ok())
+            .ok_or_else(|| {
+                CheckpointError::Malformed(format!(
+                    "missing or malformed checksum footer (last line: '{footer}')"
+                ))
+            })?;
+        let body = &raw[..footer_start];
+        let computed = fnv1a64(body);
+        if stored != computed {
+            return Err(CheckpointError::ChecksumMismatch { stored, computed });
+        }
+        body
+    } else {
+        &raw
+    };
+
+    parse_body(body, version)
+}
+
+/// Parses the (already integrity-checked) checkpoint body.
+fn parse_body(body: &[u8], _version: u32) -> Result<(System, usize), CheckpointError> {
+    let mut lines = BufReader::new(body).lines();
     let mut next = || -> Result<String, CheckpointError> {
         lines
             .next()
             .ok_or_else(|| CheckpointError::Malformed("unexpected end of file".into()))?
             .map_err(CheckpointError::from)
     };
-    let head = next()?;
-    if head != format!("{MAGIC} v{VERSION}") {
-        return Err(CheckpointError::Malformed(format!(
-            "bad header '{head}' (expected '{MAGIC} v{VERSION}')"
-        )));
-    }
+    next()?; // header, already validated
     let step: usize = field(&next()?, "step")?;
     let box_line = next()?;
     let toks: Vec<&str> = box_line.split_whitespace().collect();
@@ -100,8 +245,15 @@ pub fn read_checkpoint(source: impl Read) -> Result<(System, usize), CheckpointE
         return Err(CheckpointError::Malformed(format!("bad box line '{box_line}'")));
     }
     let parse_f = |t: &str| -> Result<f64, CheckpointError> {
-        t.parse()
-            .map_err(|_| CheckpointError::Malformed(format!("bad number '{t}'")))
+        let v: f64 = t
+            .parse()
+            .map_err(|_| CheckpointError::Malformed(format!("bad number '{t}'")))?;
+        if !v.is_finite() {
+            return Err(CheckpointError::Malformed(format!(
+                "non-finite value '{t}' in checkpoint"
+            )));
+        }
+        Ok(v)
     };
     let lengths = Vec3::new(parse_f(toks[1])?, parse_f(toks[2])?, parse_f(toks[3])?);
     let periodic = [toks[4] == "1", toks[5] == "1", toks[6] == "1"];
@@ -158,11 +310,25 @@ mod tests {
         s
     }
 
+    /// A v2 checkpoint rendered to bytes.
+    fn v2_bytes(system: &System, step: usize) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_checkpoint(&mut buf, system, step).unwrap();
+        buf
+    }
+
+    /// The same state as a legacy v1 file: v2 body with the old header and
+    /// no checksum footer (byte-identical to what the v1 writer produced).
+    fn v1_bytes(system: &System, step: usize) -> Vec<u8> {
+        render_body(system, step)
+            .replacen(&format!("v{VERSION}"), "v1", 1)
+            .into_bytes()
+    }
+
     #[test]
     fn round_trip_is_bit_exact() {
         let original = state();
-        let mut buf = Vec::new();
-        write_checkpoint(&mut buf, &original, 123).unwrap();
+        let buf = v2_bytes(&original, 123);
         let (restored, step) = read_checkpoint(&buf[..]).unwrap();
         assert_eq!(step, 123);
         assert_eq!(restored.len(), original.len());
@@ -183,6 +349,96 @@ mod tests {
         let (restored, step) = load_checkpoint(&path).unwrap();
         assert_eq!(step, 5);
         assert_eq!(restored.positions(), original.positions());
+        // The atomic write leaves no temporary sibling behind.
+        assert!(!checkpoint_tmp_path(&path).exists());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn legacy_v1_files_are_still_read() {
+        let original = state();
+        let buf = v1_bytes(&original, 42);
+        let (restored, step) = read_checkpoint(&buf[..]).unwrap();
+        assert_eq!(step, 42);
+        assert_eq!(restored.positions(), original.positions());
+        assert_eq!(restored.velocities(), original.velocities());
+    }
+
+    #[test]
+    fn unknown_version_reports_unsupported() {
+        let buf = String::from_utf8(v2_bytes(&state(), 0))
+            .unwrap()
+            .replacen("v2", "v7", 1)
+            .into_bytes();
+        match read_checkpoint(&buf[..]).unwrap_err() {
+            CheckpointError::UnsupportedVersion { found, supported } => {
+                assert_eq!(found, 7);
+                assert_eq!(supported, VERSION);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let mut buf = v2_bytes(&state(), 0);
+        buf.truncate(buf.len() - 40);
+        // Truncation eats the footer; whatever remains of the last line
+        // cannot be a valid `checksum` footer or match the hash.
+        let err = read_checkpoint(&buf[..]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CheckpointError::Malformed(_) | CheckpointError::ChecksumMismatch { .. }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn flipped_body_byte_is_a_checksum_mismatch() {
+        let mut buf = v2_bytes(&state(), 9);
+        // Flip one digit in the middle of the atom table.
+        let mid = buf.len() / 2;
+        let target = (mid..buf.len())
+            .find(|&i| buf[i].is_ascii_digit())
+            .unwrap();
+        buf[target] = if buf[target] == b'5' { b'6' } else { b'5' };
+        assert!(matches!(
+            read_checkpoint(&buf[..]).unwrap_err(),
+            CheckpointError::ChecksumMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn flipped_footer_byte_is_rejected() {
+        let mut buf = v2_bytes(&state(), 9);
+        // Flip a hex digit inside the footer itself.
+        let last = buf.iter().rposition(|b| b.is_ascii_hexdigit()).unwrap();
+        buf[last] = if buf[last] == b'a' { b'b' } else { b'a' };
+        assert!(matches!(
+            read_checkpoint(&buf[..]).unwrap_err(),
+            CheckpointError::ChecksumMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn interrupted_atomic_write_preserves_previous_checkpoint() {
+        let path = std::env::temp_dir().join("sdc_md_test_atomic.ckpt");
+        let original = state();
+        save_checkpoint(&path, &original, 11).unwrap();
+        // A writer that dies mid-stream (simulated crash between writes).
+        let err = atomic_write(&path, |f| {
+            f.write_all(b"sdc-md-checkpoint v2\nstep 99\npartial garbage")?;
+            Err(CheckpointError::Malformed("simulated crash".into()))
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("simulated crash"));
+        // The previous checkpoint is intact and the temp file is gone.
+        let (restored, step) = load_checkpoint(&path).unwrap();
+        assert_eq!(step, 11);
+        assert_eq!(restored.positions(), original.positions());
+        assert!(!checkpoint_tmp_path(&path).exists());
         let _ = std::fs::remove_file(path);
     }
 
@@ -224,16 +480,35 @@ mod tests {
     #[test]
     fn bad_files_are_rejected() {
         assert!(matches!(
-            read_checkpoint("not a checkpoint".as_bytes()).unwrap_err(),
+            read_checkpoint("not a checkpoint\n".as_bytes()).unwrap_err(),
             CheckpointError::Malformed(_)
         ));
-        // Truncated atom table.
-        let original = state();
-        let mut buf = Vec::new();
-        write_checkpoint(&mut buf, &original, 0).unwrap();
+        // No newline at all.
+        assert!(matches!(
+            read_checkpoint("x".as_bytes()).unwrap_err(),
+            CheckpointError::Malformed(_)
+        ));
+        // Truncated v1 atom table (no checksum to catch it; the parser must).
+        let mut buf = v1_bytes(&state(), 0);
         buf.truncate(buf.len() - 40);
         let err = read_checkpoint(&buf[..]).unwrap_err();
-        assert!(err.to_string().contains("malformed") || err.to_string().contains("fields"),
-            "{err}");
+        assert!(
+            err.to_string().contains("malformed") || err.to_string().contains("fields"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn non_finite_fields_rejected_even_in_v1() {
+        let original = state();
+        let text = String::from_utf8(v1_bytes(&original, 0)).unwrap();
+        // Replace the first atom's x coordinate with NaN.
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        let mut atom = lines[5].split_whitespace().map(String::from).collect::<Vec<_>>();
+        atom[0] = "NaN".into();
+        lines[5] = atom.join(" ");
+        let buf = lines.join("\n");
+        let err = read_checkpoint(buf.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "{err}");
     }
 }

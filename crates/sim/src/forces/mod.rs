@@ -22,7 +22,8 @@ use md_neighbor::{NeighborList, VerletConfig};
 use md_potential::{EamPotential, PairPotential};
 use sdc_core::strategies::localwrite::LocalWritePlan;
 use sdc_core::{
-    DecompositionConfig, DecompositionError, ParallelContext, ScatterExec, SdcPlan, StrategyKind,
+    DecompositionConfig, DecompositionError, DowngradeEvent, ParallelContext, ScatterExec,
+    SdcPlan, StrategyKind,
 };
 use std::sync::Arc;
 
@@ -104,6 +105,7 @@ pub struct ForceEngine {
     localwrite: Option<LocalWritePlan>,
     timers: PhaseTimers,
     rebuilds: usize,
+    downgrades: Vec<DowngradeEvent>,
 }
 
 impl ForceEngine {
@@ -147,7 +149,45 @@ impl ForceEngine {
             localwrite,
             timers: PhaseTimers::new(),
             rebuilds: 0,
+            downgrades: Vec::new(),
         })
+    }
+
+    /// Like [`ForceEngine::new`], but instead of failing when the requested
+    /// strategy's geometric preconditions don't hold, walks the degradation
+    /// chain ([`StrategyKind::downgrade`]: SDC 3-D → 2-D → 1-D → striped
+    /// locks) until a feasible strategy is found, recording one
+    /// [`DowngradeEvent`] per step. Errors unrelated to strategy choice
+    /// (e.g. a box smaller than the interaction cutoff) are still returned.
+    pub fn with_fallback(
+        system: &System,
+        potential: PotentialChoice,
+        requested: StrategyKind,
+        threads: usize,
+        skin: f64,
+    ) -> Result<ForceEngine, EngineError> {
+        let mut kind = requested;
+        let mut events = Vec::new();
+        loop {
+            match ForceEngine::new(system, potential.clone(), kind, threads, skin) {
+                Ok(mut engine) => {
+                    engine.downgrades = events;
+                    return Ok(engine);
+                }
+                Err(EngineError::Decomposition(err)) => {
+                    let Some(next) = kind.downgrade() else {
+                        return Err(EngineError::Decomposition(err));
+                    };
+                    events.push(DowngradeEvent {
+                        from: kind,
+                        to: next,
+                        reason: err.to_string(),
+                    });
+                    kind = next;
+                }
+                Err(other) => return Err(other),
+            }
+        }
     }
 
     /// The configured strategy.
@@ -191,6 +231,14 @@ impl ForceEngine {
         self.rebuilds
     }
 
+    /// Every strategy downgrade recorded so far — at construction (via
+    /// [`ForceEngine::with_fallback`]) or mid-run when a rebuild found the
+    /// configured decomposition no longer feasible. Empty in the common case.
+    #[inline]
+    pub fn downgrades(&self) -> &[DowngradeEvent] {
+        &self.downgrades
+    }
+
     /// Rebuilds list, full list and plan if any atom drifted more than
     /// half the skin. Returns `true` if a rebuild happened.
     pub fn maybe_rebuild(&mut self, system: &System) -> bool {
@@ -208,29 +256,49 @@ impl ForceEngine {
     /// Unconditionally rebuilds neighbor structures and the SDC plan from
     /// the current positions (the paper's "steps 1 and 2", performed
     /// together with every list update).
+    ///
+    /// A decomposition valid at construction can become invalid mid-run
+    /// (e.g. [`crate::system::System::deform`] shrinking an axis below the
+    /// 2·range rule); instead of dying, the engine walks the degradation
+    /// chain and records the downgrade (see [`ForceEngine::downgrades`]).
     pub fn rebuild(&mut self, system: &System) {
         let verlet = self.verlet;
-        let strategy = self.strategy;
+        let mut strategy = self.strategy;
         let threads = self.ctx.threads();
+        let mut events = Vec::new();
         let (half, full, plan, localwrite) = self.timers.time(Phase::Neighbor, || {
             let half = NeighborList::build(system.sim_box(), system.positions(), verlet);
-            let full = strategy.needs_full_list().then(|| half.to_full());
-            let plan = match strategy {
-                StrategyKind::Sdc { dims } => Some(
-                    SdcPlan::build(
-                        system.sim_box(),
-                        system.positions(),
-                        DecompositionConfig::new(dims, verlet.reach()),
-                    )
-                    .expect("decomposition valid at construction became invalid"),
-                ),
-                _ => None,
+            let plan = loop {
+                let StrategyKind::Sdc { dims } = strategy else {
+                    break None;
+                };
+                match SdcPlan::build(
+                    system.sim_box(),
+                    system.positions(),
+                    DecompositionConfig::new(dims, verlet.reach()),
+                ) {
+                    Ok(p) => break Some(p),
+                    Err(err) => {
+                        let next = strategy
+                            .downgrade()
+                            .expect("every Sdc strategy has a downgrade");
+                        events.push(DowngradeEvent {
+                            from: strategy,
+                            to: next,
+                            reason: err.to_string(),
+                        });
+                        strategy = next;
+                    }
+                }
             };
+            let full = strategy.needs_full_list().then(|| half.to_full());
             let localwrite = strategy
                 .needs_localwrite_plan()
                 .then(|| LocalWritePlan::build(half.csr(), localwrite_partitions(threads)));
             (half, full, plan, localwrite)
         });
+        self.strategy = strategy;
+        self.downgrades.extend(events);
         self.half = half;
         self.full = full;
         self.plan = plan;
@@ -357,6 +425,73 @@ mod tests {
         assert!(eng.maybe_rebuild(&system));
         assert_eq!(eng.rebuilds(), 1);
         assert!(eng.timers().count(crate::timing::Phase::Neighbor) > 0);
+    }
+
+    #[test]
+    fn fallback_downgrades_sdc_to_feasible_dims() {
+        // bcc_fe(9) (25.8 Å) fits 2 subdomains per axis for range 5.97, so
+        // all SDC dims are feasible and no downgrade happens…
+        let sys = System::from_lattice(LatticeSpec::bcc_fe(9), FE_MASS);
+        let pot = PotentialChoice::Eam(Arc::new(AnalyticEam::fe()));
+        let eng =
+            ForceEngine::with_fallback(&sys, pot.clone(), StrategyKind::Sdc { dims: 3 }, 2, 0.3)
+                .unwrap();
+        assert_eq!(eng.strategy(), StrategyKind::Sdc { dims: 3 });
+        assert!(eng.downgrades().is_empty());
+
+        // …while bcc_fe(6) (17.2 Å) can host no axis split at all: the chain
+        // walks 3 → 2 → 1 → Locks, recording every step.
+        let sys = System::from_lattice(LatticeSpec::bcc_fe(6), FE_MASS);
+        let eng =
+            ForceEngine::with_fallback(&sys, pot, StrategyKind::Sdc { dims: 3 }, 2, 0.3).unwrap();
+        assert_eq!(eng.strategy(), StrategyKind::Locks);
+        let steps: Vec<(StrategyKind, StrategyKind)> = eng
+            .downgrades()
+            .iter()
+            .map(|e| (e.from, e.to))
+            .collect();
+        assert_eq!(
+            steps,
+            vec![
+                (StrategyKind::Sdc { dims: 3 }, StrategyKind::Sdc { dims: 2 }),
+                (StrategyKind::Sdc { dims: 2 }, StrategyKind::Sdc { dims: 1 }),
+                (StrategyKind::Sdc { dims: 1 }, StrategyKind::Locks),
+            ]
+        );
+        assert!(eng.downgrades()[0].reason.contains("axis"));
+    }
+
+    #[test]
+    fn fallback_keeps_non_strategy_errors() {
+        // A box below 2·reach fails minimum-image validation — no strategy
+        // change can fix that, so the error must surface.
+        let sys = System::from_lattice(LatticeSpec::bcc_fe(3), FE_MASS);
+        let pot = PotentialChoice::Eam(Arc::new(AnalyticEam::fe()));
+        let err = ForceEngine::with_fallback(&sys, pot, StrategyKind::Sdc { dims: 3 }, 1, 0.3)
+            .err()
+            .expect("8.6 Å box cannot satisfy minimum image for reach 5.97");
+        assert!(matches!(err, EngineError::BoxTooSmall(_)));
+    }
+
+    #[test]
+    fn mid_run_rebuild_downgrades_when_box_shrinks() {
+        // Feasible at construction (25.8 Å per axis, 1-D split OK)…
+        let mut sys = System::from_lattice(LatticeSpec::bcc_fe(9), FE_MASS);
+        let pot = PotentialChoice::Eam(Arc::new(AnalyticEam::fe()));
+        let mut eng =
+            ForceEngine::new(&sys, pot, StrategyKind::Sdc { dims: 1 }, 2, 0.3).unwrap();
+        assert!(eng.plan().is_some());
+        // …then the box shrinks below the 2·(2·range) rule along x.
+        sys.deform(md_geometry::Vec3::new(0.6, 1.0, 1.0));
+        eng.rebuild(&sys);
+        assert_eq!(eng.strategy(), StrategyKind::Locks);
+        assert!(eng.plan().is_none());
+        assert_eq!(eng.downgrades().len(), 1);
+        assert_eq!(eng.downgrades()[0].from, StrategyKind::Sdc { dims: 1 });
+        // The engine still computes correct forces with the downgraded
+        // strategy.
+        eng.compute(&mut sys);
+        assert!(sys.forces().iter().all(|f| f.norm().is_finite()));
     }
 
     #[test]

@@ -1,0 +1,672 @@
+//! Simulation guardrails: fault detection, injection, and recovery policy.
+//!
+//! Long MD runs fail in recognizable ways — a too-large time-step makes an
+//! atom pair overlap and the forces explode into NaN, a bad potential table
+//! poisons energies, an open (non-periodic) boundary lets atoms fly off into
+//! vacuum. The stock response in most codes is a panic deep inside the force
+//! loop or, worse, hours of silently garbage trajectory. This module gives
+//! the driver a structured alternative:
+//!
+//! * [`SimFault`] — a taxonomy of detectable failures, carried as a value
+//!   instead of a panic;
+//! * [`Watchdog`] — a cheap per-step monitor that turns state corruption
+//!   into a [`SimFault`] as soon as it appears;
+//! * [`RecoveryConfig`] / [`RecoveryReport`] / [`RecoveryError`] — the
+//!   policy and outcome types for
+//!   [`Simulation::run_with_recovery`](crate::sim::Simulation::run_with_recovery),
+//!   which rolls back to the last good checkpoint and retries with a smaller
+//!   time-step;
+//! * [`FaultInjector`] — a deterministic fault source for tests, so the
+//!   recovery path is exercised on purpose instead of waiting for luck.
+
+use crate::checkpoint::CheckpointError;
+use crate::forces::ForceEngine;
+use crate::system::System;
+use crate::thermo::Thermo;
+use md_geometry::Vec3;
+use std::path::PathBuf;
+
+/// A detected simulation fault.
+///
+/// Faults are ordinary values: the watchdog returns them, the recovery loop
+/// records and reacts to them, and callers can match on them. None of them
+/// panic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimFault {
+    /// An atom's position became NaN or infinite.
+    NonFinitePosition {
+        /// Index of the offending atom.
+        atom: usize,
+        /// Step at which the fault was detected.
+        step: usize,
+    },
+    /// An atom's velocity became NaN or infinite.
+    NonFiniteVelocity {
+        /// Index of the offending atom.
+        atom: usize,
+        /// Step at which the fault was detected.
+        step: usize,
+    },
+    /// An atom's force became NaN or infinite.
+    NonFiniteForce {
+        /// Index of the offending atom.
+        atom: usize,
+        /// Step at which the fault was detected.
+        step: usize,
+    },
+    /// Total energy drifted from the armed baseline beyond tolerance — the
+    /// NVE invariant is broken (usually a too-large `dt`).
+    EnergyDrift {
+        /// Step at which the fault was detected.
+        step: usize,
+        /// Total energy when the watchdog was armed (eV).
+        baseline: f64,
+        /// Current total energy (eV).
+        current: f64,
+        /// `|current - baseline| / max(|baseline|, 1)`.
+        relative: f64,
+        /// Configured tolerance the drift exceeded.
+        tolerance: f64,
+    },
+    /// Instantaneous temperature exceeded the configured ceiling.
+    TemperatureBlowup {
+        /// Step at which the fault was detected.
+        step: usize,
+        /// Measured temperature (K).
+        temperature: f64,
+        /// Configured ceiling (K).
+        limit: f64,
+    },
+    /// An atom left the box along a non-periodic axis by more than the
+    /// escape margin. (Periodic axes wrap and can never escape.)
+    AtomEscaped {
+        /// Index of the offending atom.
+        atom: usize,
+        /// Step at which the fault was detected.
+        step: usize,
+        /// The atom's position when caught.
+        position: Vec3,
+        /// The non-periodic axis (0/1/2) it escaped along.
+        axis: usize,
+    },
+}
+
+impl SimFault {
+    /// Step at which the fault was detected.
+    pub fn step(&self) -> usize {
+        match self {
+            SimFault::NonFinitePosition { step, .. }
+            | SimFault::NonFiniteVelocity { step, .. }
+            | SimFault::NonFiniteForce { step, .. }
+            | SimFault::EnergyDrift { step, .. }
+            | SimFault::TemperatureBlowup { step, .. }
+            | SimFault::AtomEscaped { step, .. } => *step,
+        }
+    }
+}
+
+impl std::fmt::Display for SimFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimFault::NonFinitePosition { atom, step } => {
+                write!(f, "step {step}: atom {atom} has a non-finite position")
+            }
+            SimFault::NonFiniteVelocity { atom, step } => {
+                write!(f, "step {step}: atom {atom} has a non-finite velocity")
+            }
+            SimFault::NonFiniteForce { atom, step } => {
+                write!(f, "step {step}: atom {atom} has a non-finite force")
+            }
+            SimFault::EnergyDrift {
+                step,
+                baseline,
+                current,
+                relative,
+                tolerance,
+            } => write!(
+                f,
+                "step {step}: total energy drifted {relative:.3e} (baseline {baseline:.6} eV, now {current:.6} eV, tolerance {tolerance:.1e})"
+            ),
+            SimFault::TemperatureBlowup {
+                step,
+                temperature,
+                limit,
+            } => write!(
+                f,
+                "step {step}: temperature {temperature:.1} K exceeds the {limit:.1} K ceiling"
+            ),
+            SimFault::AtomEscaped {
+                atom,
+                step,
+                position,
+                axis,
+            } => write!(
+                f,
+                "step {step}: atom {atom} at {position} escaped the box along non-periodic axis {axis}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimFault {}
+
+/// Configuration for the per-step [`Watchdog`].
+#[derive(Debug, Clone)]
+pub struct WatchdogConfig {
+    /// Run the checks every this many steps (default 1: every step).
+    pub check_every: usize,
+    /// Fault when `|E_total - baseline| / max(|baseline|, 1)` exceeds this
+    /// (default `None`: energy drift is not monitored).
+    pub energy_drift_tol: Option<f64>,
+    /// Fault when the instantaneous temperature exceeds this many kelvin
+    /// (default `None`: unmonitored).
+    pub max_temperature: Option<f64>,
+    /// How far (Å) past a non-periodic face an atom may sit before it counts
+    /// as escaped (default 10 Å — room for surface relaxation, not for
+    /// ejecta).
+    pub escape_margin: f64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> WatchdogConfig {
+        WatchdogConfig {
+            check_every: 1,
+            energy_drift_tol: None,
+            max_temperature: None,
+            escape_margin: 10.0,
+        }
+    }
+}
+
+/// Per-step state monitor.
+///
+/// Finiteness and escape checks are always on; energy-drift and temperature
+/// checks activate when their thresholds are configured. Energy drift is
+/// measured against a baseline captured by [`Watchdog::arm`] — the recovery
+/// loop re-arms after every rollback so the (intentionally changed) energy
+/// of the restored state becomes the new reference.
+#[derive(Debug, Clone)]
+pub struct Watchdog {
+    config: WatchdogConfig,
+    baseline_total: Option<f64>,
+}
+
+impl Watchdog {
+    /// Creates a watchdog; call [`Watchdog::arm`] before the first check if
+    /// energy-drift monitoring is enabled.
+    pub fn new(config: WatchdogConfig) -> Watchdog {
+        Watchdog {
+            config,
+            baseline_total: None,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &WatchdogConfig {
+        &self.config
+    }
+
+    /// Captures the current total energy as the drift baseline.
+    pub fn arm(&mut self, system: &System, engine: &ForceEngine) {
+        self.baseline_total = Some(Thermo::measure(system, engine, 0).total);
+    }
+
+    /// Checks the system, returning the first fault found. Cheap checks
+    /// (finiteness, escape — one pass over the arrays) run before energy
+    /// measurement. Returns `Ok(())` without any work on off-cadence steps.
+    pub fn check(
+        &mut self,
+        system: &System,
+        engine: &ForceEngine,
+        step: usize,
+    ) -> Result<(), SimFault> {
+        if !step.is_multiple_of(self.config.check_every.max(1)) {
+            return Ok(());
+        }
+        let periodic = system.sim_box().periodicity();
+        let lengths = system.sim_box().lengths();
+        let open_axes: Vec<usize> = (0..3).filter(|&d| !periodic[d]).collect();
+        for (atom, ((p, v), f)) in system
+            .positions()
+            .iter()
+            .zip(system.velocities())
+            .zip(system.forces())
+            .enumerate()
+        {
+            if !p.is_finite() {
+                return Err(SimFault::NonFinitePosition { atom, step });
+            }
+            if !v.is_finite() {
+                return Err(SimFault::NonFiniteVelocity { atom, step });
+            }
+            if !f.is_finite() {
+                return Err(SimFault::NonFiniteForce { atom, step });
+            }
+            for &axis in &open_axes {
+                if p[axis] < -self.config.escape_margin
+                    || p[axis] > lengths[axis] + self.config.escape_margin
+                {
+                    return Err(SimFault::AtomEscaped {
+                        atom,
+                        step,
+                        position: *p,
+                        axis,
+                    });
+                }
+            }
+        }
+        if self.config.energy_drift_tol.is_none() && self.config.max_temperature.is_none() {
+            return Ok(());
+        }
+        let thermo = Thermo::measure(system, engine, step);
+        if let Some(limit) = self.config.max_temperature {
+            if thermo.temperature > limit {
+                return Err(SimFault::TemperatureBlowup {
+                    step,
+                    temperature: thermo.temperature,
+                    limit,
+                });
+            }
+        }
+        if let Some(tolerance) = self.config.energy_drift_tol {
+            let baseline = *self.baseline_total.get_or_insert(thermo.total);
+            let relative = (thermo.total - baseline).abs() / baseline.abs().max(1.0);
+            if relative > tolerance {
+                return Err(SimFault::EnergyDrift {
+                    step,
+                    baseline,
+                    current: thermo.total,
+                    relative,
+                    tolerance,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Policy for [`Simulation::run_with_recovery`](crate::sim::Simulation::run_with_recovery).
+#[derive(Debug, Clone)]
+pub struct RecoveryConfig {
+    /// Watchdog thresholds.
+    pub watchdog: WatchdogConfig,
+    /// Capture a rollback snapshot every this many steps (default 50).
+    pub checkpoint_every: usize,
+    /// Also persist each snapshot to this path (atomic write), making the
+    /// run restartable across process crashes. `None`: in-memory only.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Give up after this many consecutive faults without completing a
+    /// checkpoint interval (default 3).
+    pub max_retries: usize,
+    /// Multiply `dt` by this after each rollback (default 0.5).
+    pub dt_backoff: f64,
+    /// Never shrink `dt` below this (ps; default 1e-5 = 0.01 fs).
+    pub min_dt: f64,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> RecoveryConfig {
+        RecoveryConfig {
+            watchdog: WatchdogConfig::default(),
+            checkpoint_every: 50,
+            checkpoint_path: None,
+            max_retries: 3,
+            dt_backoff: 0.5,
+            min_dt: 1e-5,
+        }
+    }
+}
+
+/// One fault handled (or not) by the recovery loop.
+#[derive(Debug, Clone)]
+pub struct FaultRecord {
+    /// Step at which the fault was detected.
+    pub step: usize,
+    /// Which consecutive retry this was (1-based).
+    pub retry: usize,
+    /// The fault itself.
+    pub fault: SimFault,
+}
+
+/// Outcome of a successful [`run_with_recovery`](crate::sim::Simulation::run_with_recovery).
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Steps the trajectory actually advanced (equals the requested count).
+    pub steps_completed: usize,
+    /// Rollback snapshots captured.
+    pub checkpoints_taken: usize,
+    /// Times the state was rolled back to a snapshot.
+    pub rollbacks: usize,
+    /// Every fault encountered along the way.
+    pub faults: Vec<FaultRecord>,
+    /// Time-step at the end of the run (smaller than the initial `dt` if
+    /// backoff was applied).
+    pub final_dt: f64,
+}
+
+/// Terminal failure of the recovery loop.
+#[derive(Debug)]
+pub enum RecoveryError {
+    /// The same checkpoint interval faulted more than `max_retries` times
+    /// in a row; the last fault is attached.
+    RetriesExhausted {
+        /// The fault that exhausted the budget.
+        fault: SimFault,
+        /// How many retries were attempted.
+        retries: usize,
+    },
+    /// Persisting a checkpoint to disk failed.
+    Checkpoint(CheckpointError),
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::RetriesExhausted { fault, retries } => write!(
+                f,
+                "recovery gave up after {retries} retries; last fault: {fault}"
+            ),
+            RecoveryError::Checkpoint(e) => write!(f, "checkpoint failure during recovery: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+impl From<CheckpointError> for RecoveryError {
+    fn from(e: CheckpointError) -> RecoveryError {
+        RecoveryError::Checkpoint(e)
+    }
+}
+
+/// What a [`FaultInjector`] does to the state when it fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InjectedFault {
+    /// Sets one component of `atom`'s force to NaN.
+    NanForce {
+        /// Target atom index.
+        atom: usize,
+    },
+    /// Adds a huge spike to `atom`'s force (finite, but physically absurd —
+    /// caught later as temperature blowup or energy drift).
+    ForceKick {
+        /// Target atom index.
+        atom: usize,
+        /// Spike magnitude (eV/Å).
+        magnitude: f64,
+    },
+    /// Multiplies `atom`'s velocity by a large factor.
+    VelocityBlowup {
+        /// Target atom index.
+        atom: usize,
+        /// Multiplier.
+        factor: f64,
+    },
+}
+
+/// Deterministic test-only fault source: fires its fault exactly once, the
+/// first time it observes the trigger step. Re-firing after a rollback is
+/// intentionally suppressed — otherwise the injected fault would recur
+/// forever and no retry policy could succeed.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    at_step: usize,
+    fault: InjectedFault,
+    fired: bool,
+}
+
+impl FaultInjector {
+    /// A fault that fires at `at_step`.
+    pub fn new(at_step: usize, fault: InjectedFault) -> FaultInjector {
+        FaultInjector {
+            at_step,
+            fault,
+            fired: false,
+        }
+    }
+
+    /// `true` once the fault has been applied.
+    pub fn fired(&self) -> bool {
+        self.fired
+    }
+
+    /// Applies the fault if `step` has reached the trigger and it has not
+    /// fired yet. Returns `true` when state was mutated.
+    pub fn poke(&mut self, system: &mut System, step: usize) -> bool {
+        if self.fired || step < self.at_step {
+            return false;
+        }
+        self.fired = true;
+        match self.fault {
+            InjectedFault::NanForce { atom } => {
+                system.forces_mut()[atom].x = f64::NAN;
+            }
+            InjectedFault::ForceKick { atom, magnitude } => {
+                system.forces_mut()[atom] += Vec3::new(magnitude, 0.0, 0.0);
+            }
+            InjectedFault::VelocityBlowup { atom, factor } => {
+                system.velocities_mut()[atom] *= factor;
+            }
+        }
+        true
+    }
+}
+
+/// Flips one byte of the file at `path` (test helper for checkpoint
+/// corruption scenarios). `offset` counts from the start of the file and is
+/// clamped to the last byte.
+pub fn corrupt_file_byte(path: impl AsRef<std::path::Path>, offset: usize) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let mut bytes = std::fs::read(path)?;
+    if bytes.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "cannot corrupt an empty file",
+        ));
+    }
+    let i = offset.min(bytes.len() - 1);
+    bytes[i] ^= 0x01;
+    std::fs::write(path, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forces::PotentialChoice;
+    use crate::units::FE_MASS;
+    use crate::velocity::init_velocities;
+    use md_geometry::{LatticeSpec, SimBox};
+    use md_potential::AnalyticEam;
+    use sdc_core::StrategyKind;
+    use std::sync::Arc;
+
+    fn rig(temperature: f64) -> (System, ForceEngine) {
+        let mut system = System::from_lattice(LatticeSpec::bcc_fe(5), FE_MASS);
+        if temperature > 0.0 {
+            init_velocities(&mut system, temperature, 5);
+        }
+        let mut engine = ForceEngine::new(
+            &system,
+            PotentialChoice::Eam(Arc::new(AnalyticEam::fe())),
+            StrategyKind::Serial,
+            1,
+            0.3,
+        )
+        .unwrap();
+        engine.compute(&mut system);
+        (system, engine)
+    }
+
+    #[test]
+    fn healthy_state_passes_all_checks() {
+        let (system, engine) = rig(300.0);
+        let mut dog = Watchdog::new(WatchdogConfig {
+            energy_drift_tol: Some(1e-4),
+            max_temperature: Some(5000.0),
+            ..WatchdogConfig::default()
+        });
+        dog.arm(&system, &engine);
+        assert!(dog.check(&system, &engine, 1).is_ok());
+    }
+
+    #[test]
+    fn nan_force_is_detected_with_the_culprit_atom() {
+        let (mut system, engine) = rig(300.0);
+        system.forces_mut()[17].y = f64::NAN;
+        let mut dog = Watchdog::new(WatchdogConfig::default());
+        match dog.check(&system, &engine, 3).unwrap_err() {
+            SimFault::NonFiniteForce { atom, step } => {
+                assert_eq!(atom, 17);
+                assert_eq!(step, 3);
+            }
+            other => panic!("expected NonFiniteForce, got {other}"),
+        }
+    }
+
+    #[test]
+    fn nan_position_and_velocity_are_detected() {
+        let (mut system, engine) = rig(300.0);
+        system.positions_mut()[2].x = f64::INFINITY;
+        let mut dog = Watchdog::new(WatchdogConfig::default());
+        assert!(matches!(
+            dog.check(&system, &engine, 1).unwrap_err(),
+            SimFault::NonFinitePosition { atom: 2, .. }
+        ));
+        let (mut system, engine) = rig(300.0);
+        system.velocities_mut()[4].z = f64::NAN;
+        assert!(matches!(
+            dog.check(&system, &engine, 1).unwrap_err(),
+            SimFault::NonFiniteVelocity { atom: 4, .. }
+        ));
+    }
+
+    #[test]
+    fn temperature_blowup_is_detected() {
+        let (mut system, engine) = rig(300.0);
+        for v in system.velocities_mut() {
+            *v *= 100.0; // T scales with v² → 3,000,000 K
+        }
+        let mut dog = Watchdog::new(WatchdogConfig {
+            max_temperature: Some(10_000.0),
+            ..WatchdogConfig::default()
+        });
+        match dog.check(&system, &engine, 8).unwrap_err() {
+            SimFault::TemperatureBlowup {
+                temperature, limit, ..
+            } => {
+                assert!(temperature > limit);
+            }
+            other => panic!("expected TemperatureBlowup, got {other}"),
+        }
+    }
+
+    #[test]
+    fn energy_drift_is_measured_against_the_armed_baseline() {
+        let (mut system, engine) = rig(300.0);
+        let mut dog = Watchdog::new(WatchdogConfig {
+            energy_drift_tol: Some(1e-6),
+            ..WatchdogConfig::default()
+        });
+        dog.arm(&system, &engine);
+        assert!(dog.check(&system, &engine, 1).is_ok());
+        // Pump kinetic energy without touching positions: pure drift.
+        for v in system.velocities_mut() {
+            *v *= 2.0;
+        }
+        match dog.check(&system, &engine, 2).unwrap_err() {
+            SimFault::EnergyDrift {
+                relative, tolerance, ..
+            } => assert!(relative > tolerance),
+            other => panic!("expected EnergyDrift, got {other}"),
+        }
+    }
+
+    #[test]
+    fn escape_is_only_checked_on_non_periodic_axes() {
+        let spec = LatticeSpec::bcc_fe(5);
+        let (bx, pos) = spec.build();
+        let open = SimBox::with_periodicity(bx.lengths(), [true, true, false]);
+        let mut system = System::new(open, pos, FE_MASS);
+        let engine = ForceEngine::new(
+            &system,
+            PotentialChoice::Eam(Arc::new(AnalyticEam::fe())),
+            StrategyKind::Serial,
+            1,
+            0.3,
+        )
+        .unwrap();
+        let mut dog = Watchdog::new(WatchdogConfig {
+            escape_margin: 5.0,
+            ..WatchdogConfig::default()
+        });
+        // Far outside along z (non-periodic): fault.
+        let escaped = system.sim_box().lengths().z + 6.0;
+        system.positions_mut()[0].z = escaped;
+        match dog.check(&system, &engine, 4).unwrap_err() {
+            SimFault::AtomEscaped { atom, axis, .. } => {
+                assert_eq!(atom, 0);
+                assert_eq!(axis, 2);
+            }
+            other => panic!("expected AtomEscaped, got {other}"),
+        }
+        // Same displacement along x (periodic): no fault, wrap handles it.
+        system.positions_mut()[0].z = 1.0;
+        system.positions_mut()[0].x = -4.0;
+        assert!(dog.check(&system, &engine, 5).is_ok());
+    }
+
+    #[test]
+    fn check_cadence_skips_off_steps() {
+        let (mut system, engine) = rig(300.0);
+        system.forces_mut()[0].x = f64::NAN;
+        let mut dog = Watchdog::new(WatchdogConfig {
+            check_every: 10,
+            ..WatchdogConfig::default()
+        });
+        assert!(dog.check(&system, &engine, 7).is_ok(), "off-cadence step");
+        assert!(dog.check(&system, &engine, 10).is_err(), "cadence step");
+    }
+
+    #[test]
+    fn injector_fires_exactly_once() {
+        let (mut system, _engine) = rig(0.0);
+        let mut inj = FaultInjector::new(5, InjectedFault::NanForce { atom: 3 });
+        assert!(!inj.poke(&mut system, 4));
+        assert!(system.forces()[3].x.is_finite());
+        assert!(inj.poke(&mut system, 5));
+        assert!(system.forces()[3].x.is_nan());
+        assert!(inj.fired());
+        // Re-poking (e.g. after a rollback re-ran step 5) is a no-op.
+        system.forces_mut()[3].x = 0.0;
+        assert!(!inj.poke(&mut system, 5));
+        assert!(system.forces()[3].x == 0.0);
+    }
+
+    #[test]
+    fn injected_kick_and_blowup_mutate_the_right_atom() {
+        let (mut system, _e) = rig(0.0);
+        let mut kick = FaultInjector::new(0, InjectedFault::ForceKick {
+            atom: 1,
+            magnitude: 1e6,
+        });
+        kick.poke(&mut system, 0);
+        assert!(system.forces()[1].x >= 1e6);
+        let mut blow = FaultInjector::new(0, InjectedFault::VelocityBlowup {
+            atom: 2,
+            factor: 1e3,
+        });
+        system.velocities_mut()[2] = Vec3::new(1.0, 0.0, 0.0);
+        blow.poke(&mut system, 0);
+        assert!((system.velocities()[2].x - 1e3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn corrupt_file_byte_flips_one_bit() {
+        let path = std::env::temp_dir().join("sdc_md_corrupt_test.bin");
+        std::fs::write(&path, b"hello").unwrap();
+        corrupt_file_byte(&path, 1).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes, b"hdllo"); // 'e' ^ 0x01 == 'd'
+        let _ = std::fs::remove_file(path);
+    }
+}

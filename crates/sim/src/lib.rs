@@ -22,6 +22,7 @@
 pub mod analysis;
 pub mod checkpoint;
 pub mod forces;
+pub mod health;
 pub mod integrate;
 pub mod output;
 pub mod sim;
@@ -34,8 +35,14 @@ pub mod units;
 pub mod velocity;
 
 pub use analysis::{Accumulator, MsdTracker, Rdf, ThermoAverager, Vacf};
-pub use checkpoint::{load_checkpoint, read_checkpoint, save_checkpoint, write_checkpoint};
-pub use forces::{ForceEngine, PotentialChoice};
+pub use checkpoint::{
+    load_checkpoint, read_checkpoint, save_checkpoint, write_checkpoint, CheckpointError,
+};
+pub use forces::{EngineError, ForceEngine, PotentialChoice};
+pub use health::{
+    FaultInjector, FaultRecord, InjectedFault, RecoveryConfig, RecoveryError, RecoveryReport,
+    SimFault, Watchdog, WatchdogConfig,
+};
 pub use output::{ThermoLog, XyzWriter};
 pub use stress::StressTensor;
 pub use sim::{Simulation, SimulationBuilder};
@@ -44,4 +51,4 @@ pub use thermo::Thermo;
 pub use thermostat::Thermostat;
 pub use timing::{Phase, PhaseTimers};
 
-pub use sdc_core::StrategyKind;
+pub use sdc_core::{DowngradeEvent, StrategyKind};

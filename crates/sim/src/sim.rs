@@ -5,7 +5,9 @@
 //! into a run loop; [`SimulationBuilder`] is the one-stop configuration
 //! surface used by the examples and the benchmark harness.
 
+use crate::checkpoint::save_checkpoint;
 use crate::forces::{EngineError, ForceEngine, PotentialChoice};
+use crate::health::{FaultRecord, RecoveryConfig, RecoveryError, RecoveryReport, Watchdog};
 use crate::integrate::velocity_verlet;
 use crate::system::System;
 use crate::thermo::Thermo;
@@ -16,7 +18,7 @@ use crate::velocity::init_velocities;
 use md_geometry::{LatticeSpec, Vec3};
 use md_neighbor::reorder::spatial_permutation;
 use md_potential::{EamPotential, PairPotential};
-use sdc_core::StrategyKind;
+use sdc_core::{DowngradeEvent, StrategyKind};
 use std::sync::Arc;
 
 /// A configured, running molecular-dynamics simulation.
@@ -88,6 +90,105 @@ impl Simulation {
                 report(self, snapshot);
             }
         }
+    }
+
+    /// Runs `steps` time-steps under fault supervision.
+    ///
+    /// A [`Watchdog`] checks the state after every step. On a fault, the
+    /// simulation rolls back to the last good snapshot (taken every
+    /// `cfg.checkpoint_every` steps, optionally persisted to
+    /// `cfg.checkpoint_path` with an atomic write), shrinks the time-step by
+    /// `cfg.dt_backoff`, and retries. More than `cfg.max_retries`
+    /// consecutive faults without completing a checkpoint interval aborts
+    /// with [`RecoveryError::RetriesExhausted`].
+    pub fn run_with_recovery(
+        &mut self,
+        steps: usize,
+        cfg: &RecoveryConfig,
+    ) -> Result<RecoveryReport, RecoveryError> {
+        self.run_with_recovery_observed(steps, cfg, |_, _| {})
+    }
+
+    /// [`Simulation::run_with_recovery`] with an observer hook invoked after
+    /// every step, before the watchdog check. The hook may mutate the
+    /// system — this is how tests inject faults
+    /// (see [`crate::health::FaultInjector`]).
+    pub fn run_with_recovery_observed(
+        &mut self,
+        steps: usize,
+        cfg: &RecoveryConfig,
+        mut observe: impl FnMut(&mut System, usize),
+    ) -> Result<RecoveryReport, RecoveryError> {
+        let mut report = RecoveryReport {
+            final_dt: self.dt,
+            ..RecoveryReport::default()
+        };
+        let mut watchdog = Watchdog::new(cfg.watchdog.clone());
+        watchdog.arm(&self.system, &self.engine);
+        let capture = |sim: &Simulation, done: usize| (sim.system.clone(), sim.step, done);
+        let mut snapshot = capture(self, 0);
+        if let Some(path) = &cfg.checkpoint_path {
+            save_checkpoint(path, &self.system, self.step)?;
+        }
+        report.checkpoints_taken = 1;
+        let every = cfg.checkpoint_every.max(1);
+        let mut retries = 0usize;
+        let mut done = 0usize;
+        while done < steps {
+            self.step();
+            observe(&mut self.system, self.step);
+            match watchdog.check(&self.system, &self.engine, self.step) {
+                Ok(()) => {
+                    done += 1;
+                    if done.is_multiple_of(every) && done < steps {
+                        snapshot = capture(self, done);
+                        if let Some(path) = &cfg.checkpoint_path {
+                            save_checkpoint(path, &self.system, self.step)?;
+                        }
+                        report.checkpoints_taken += 1;
+                        // A full clean interval proves the run is healthy
+                        // again; reset the retry budget.
+                        retries = 0;
+                        watchdog.arm(&self.system, &self.engine);
+                    }
+                }
+                Err(fault) => {
+                    retries += 1;
+                    report.faults.push(FaultRecord {
+                        step: fault.step(),
+                        retry: retries,
+                        fault: fault.clone(),
+                    });
+                    if retries > cfg.max_retries {
+                        return Err(RecoveryError::RetriesExhausted {
+                            fault,
+                            retries: retries - 1,
+                        });
+                    }
+                    // Roll back to the last good state and retry with a
+                    // smaller time-step. The backoff survives the rollback
+                    // on purpose: the old dt is what faulted.
+                    self.system = snapshot.0.clone();
+                    self.step = snapshot.1;
+                    done = snapshot.2;
+                    self.dt = (self.dt * cfg.dt_backoff).max(cfg.min_dt);
+                    self.engine.rebuild(&self.system);
+                    self.engine.compute(&mut self.system);
+                    watchdog.arm(&self.system, &self.engine);
+                    report.rollbacks += 1;
+                }
+            }
+        }
+        report.steps_completed = steps;
+        report.final_dt = self.dt;
+        Ok(report)
+    }
+
+    /// Strategy downgrades recorded by the engine (at construction with
+    /// fallback enabled, or mid-run when the box deforms under the SDC
+    /// feasibility threshold).
+    pub fn downgrades(&self) -> &[DowngradeEvent] {
+        self.engine.downgrades()
     }
 
     /// Current thermodynamic snapshot.
@@ -169,6 +270,7 @@ pub struct SimulationBuilder {
     seed: u64,
     thermostat: Thermostat,
     reorder: bool,
+    strategy_fallback: bool,
 }
 
 impl SimulationBuilder {
@@ -185,6 +287,7 @@ impl SimulationBuilder {
             seed: 0,
             thermostat: Thermostat::None,
             reorder: false,
+            strategy_fallback: true,
         }
     }
 
@@ -262,6 +365,17 @@ impl SimulationBuilder {
         self
     }
 
+    /// Controls graceful strategy degradation (default **on**): when the
+    /// requested `Sdc { dims }` decomposition is infeasible for the box,
+    /// the build downgrades `dims` 3 → 2 → 1 and finally falls back to
+    /// striped locks instead of failing, recording each step as a
+    /// [`DowngradeEvent`] (see [`Simulation::downgrades`]). Disable to make
+    /// an infeasible strategy a hard [`EngineError`] again.
+    pub fn strategy_fallback(mut self, on: bool) -> Self {
+        self.strategy_fallback = on;
+        self
+    }
+
     /// Builds the simulation: generates the system, initializes velocities,
     /// builds neighbor structures and computes the initial forces.
     pub fn build(self) -> Result<Simulation, EngineError> {
@@ -281,8 +395,11 @@ impl SimulationBuilder {
             );
             system.apply_permutation(&perm);
         }
-        let mut engine =
-            ForceEngine::new(&system, potential, self.strategy, self.threads, self.skin)?;
+        let mut engine = if self.strategy_fallback {
+            ForceEngine::with_fallback(&system, potential, self.strategy, self.threads, self.skin)?
+        } else {
+            ForceEngine::new(&system, potential, self.strategy, self.threads, self.skin)?
+        };
         engine.compute(&mut system);
         Ok(Simulation {
             system,
@@ -449,5 +566,167 @@ mod tests {
     #[should_panic(expected = "potential must be configured")]
     fn missing_potential_panics() {
         let _ = Simulation::builder(LatticeSpec::bcc_fe(5)).build();
+    }
+
+    #[test]
+    fn builder_degrades_infeasible_sdc_by_default() {
+        // bcc_fe(6) (17.2 Å edges) cannot host any SDC decomposition; the
+        // default fallback lands on striped locks and records the chain.
+        let sim = Simulation::builder(LatticeSpec::bcc_fe(6))
+            .potential(AnalyticEam::fe())
+            .strategy(StrategyKind::Sdc { dims: 3 })
+            .build()
+            .unwrap();
+        assert_eq!(sim.engine().strategy(), StrategyKind::Locks);
+        assert_eq!(sim.downgrades().len(), 3);
+    }
+
+    #[test]
+    fn builder_fallback_can_be_disabled() {
+        let result = Simulation::builder(LatticeSpec::bcc_fe(6))
+            .potential(AnalyticEam::fe())
+            .strategy(StrategyKind::Sdc { dims: 3 })
+            .strategy_fallback(false)
+            .build();
+        assert!(matches!(
+            result.err(),
+            Some(EngineError::Decomposition(_))
+        ));
+    }
+
+    mod recovery {
+        use super::*;
+        use crate::health::{
+            FaultInjector, InjectedFault, RecoveryConfig, RecoveryError, SimFault, WatchdogConfig,
+        };
+
+        fn cfg(every: usize) -> RecoveryConfig {
+            RecoveryConfig {
+                checkpoint_every: every,
+                ..RecoveryConfig::default()
+            }
+        }
+
+        #[test]
+        fn clean_run_reports_no_faults() {
+            let mut sim = fe_sim(StrategyKind::Serial);
+            let report = sim.run_with_recovery(20, &cfg(8)).unwrap();
+            assert_eq!(report.steps_completed, 20);
+            assert_eq!(report.rollbacks, 0);
+            assert!(report.faults.is_empty());
+            // Initial snapshot + captures at 8 and 16.
+            assert_eq!(report.checkpoints_taken, 3);
+            assert_eq!(sim.step_count(), 20);
+            assert_eq!(report.final_dt, sim.dt());
+        }
+
+        #[test]
+        fn injected_nan_force_rolls_back_and_completes() {
+            let mut reference = fe_sim(StrategyKind::Serial);
+            let mut sim = fe_sim(StrategyKind::Serial);
+            let dt0 = sim.dt();
+            let mut inj = FaultInjector::new(13, InjectedFault::NanForce { atom: 7 });
+            let report = sim
+                .run_with_recovery_observed(20, &cfg(10), |system, step| {
+                    inj.poke(system, step);
+                })
+                .unwrap();
+            assert!(inj.fired());
+            assert_eq!(report.steps_completed, 20);
+            assert_eq!(report.rollbacks, 1);
+            assert_eq!(report.faults.len(), 1);
+            assert!(matches!(
+                report.faults[0].fault,
+                SimFault::NonFiniteForce { atom: 7, step: 13 }
+            ));
+            assert!(report.final_dt < dt0, "backoff shrank dt");
+            assert_eq!(sim.step_count(), 20);
+            // The final state is healthy even though the run detoured.
+            reference.run(20);
+            let t = sim.thermo();
+            assert!(t.total.is_finite());
+            assert!(
+                (t.total - reference.thermo().total).abs() < 1.0,
+                "recovered run stays physically close to a clean one"
+            );
+        }
+
+        #[test]
+        fn persistent_fault_exhausts_retries() {
+            let mut sim = fe_sim(StrategyKind::Serial);
+            // Poison every step: no retry budget survives this.
+            let err = sim
+                .run_with_recovery_observed(20, &cfg(10), |system, _| {
+                    system.forces_mut()[0].x = f64::NAN;
+                })
+                .unwrap_err();
+            match err {
+                RecoveryError::RetriesExhausted { fault, retries } => {
+                    assert_eq!(retries, RecoveryConfig::default().max_retries);
+                    assert!(matches!(fault, SimFault::NonFiniteForce { .. }));
+                }
+                other => panic!("expected RetriesExhausted, got {other}"),
+            }
+        }
+
+        #[test]
+        fn retry_budget_resets_after_a_clean_interval() {
+            let mut sim = fe_sim(StrategyKind::Serial);
+            // Two separated faults, each within its own checkpoint interval;
+            // with max_retries = 1 the run still completes because the
+            // budget resets at the intervening checkpoint.
+            let mut a = FaultInjector::new(3, InjectedFault::NanForce { atom: 0 });
+            let mut b = FaultInjector::new(12, InjectedFault::NanForce { atom: 1 });
+            let mut config = cfg(5);
+            config.max_retries = 1;
+            let report = sim
+                .run_with_recovery_observed(20, &config, |system, step| {
+                    a.poke(system, step);
+                    b.poke(system, step);
+                })
+                .unwrap();
+            assert_eq!(report.rollbacks, 2);
+            assert_eq!(report.steps_completed, 20);
+        }
+
+        #[test]
+        fn disk_checkpoints_are_written_when_configured() {
+            let path = std::env::temp_dir().join("sdc_md_recovery_test.ckpt");
+            let _ = std::fs::remove_file(&path);
+            let mut sim = fe_sim(StrategyKind::Serial);
+            let mut config = cfg(6);
+            config.checkpoint_path = Some(path.clone());
+            let report = sim.run_with_recovery(12, &config).unwrap();
+            assert!(report.checkpoints_taken >= 2);
+            let (restored, step) = crate::checkpoint::load_checkpoint(&path).unwrap();
+            assert_eq!(step, 6, "last persisted snapshot is the step-6 one");
+            assert_eq!(restored.len(), sim.system().len());
+            let _ = std::fs::remove_file(path);
+        }
+
+        #[test]
+        fn watchdog_temperature_ceiling_trips_on_velocity_blowup() {
+            let mut sim = fe_sim(StrategyKind::Serial);
+            let mut inj = FaultInjector::new(4, InjectedFault::VelocityBlowup {
+                atom: 0,
+                factor: 1e4,
+            });
+            let mut config = cfg(10);
+            config.watchdog = WatchdogConfig {
+                max_temperature: Some(5_000.0),
+                ..WatchdogConfig::default()
+            };
+            let report = sim
+                .run_with_recovery_observed(8, &config, |system, step| {
+                    inj.poke(system, step);
+                })
+                .unwrap();
+            assert_eq!(report.rollbacks, 1);
+            assert!(matches!(
+                report.faults[0].fault,
+                SimFault::TemperatureBlowup { .. }
+            ));
+            assert!(sim.thermo().temperature < 5_000.0);
+        }
     }
 }

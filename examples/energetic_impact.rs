@@ -13,7 +13,7 @@
 use sdc_md::prelude::*;
 use sdc_md::sim::analysis::MsdTracker;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sim = Simulation::builder(LatticeSpec::bcc_fe(12))
         .potential(AnalyticEam::fe())
         .strategy(StrategyKind::Sdc { dims: 2 })
@@ -22,8 +22,7 @@ fn main() {
         .seed(99)
         .dt(2e-4) // short steps: fast projectiles
         .skin(0.8)
-        .build()
-        .expect("decomposable box");
+        .build()?;
     let n = sim.system().len();
 
     // Kick 8 "particular atoms" near the box center to ~25 eV each —
@@ -83,4 +82,5 @@ fn main() {
         msd.msd()
     );
     assert!(t1.temperature > 150.0, "crystal must have heated up");
+    Ok(())
 }

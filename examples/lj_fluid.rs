@@ -9,7 +9,7 @@
 
 use sdc_md::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // An FCC argon-like LJ crystal: ε = 0.0104 eV, σ = 3.4 Å, rc = 2.5 σ.
     let (eps, sigma) = (0.0104, 3.4);
     let a = 1.5496 * sigma; // FCC equilibrium lattice constant in σ units
@@ -28,16 +28,22 @@ fn main() {
         .temperature(30.0)
         .seed(77)
         .dt(5e-3)
-        .build()
-        .expect("decomposable LJ box");
+        .build()?;
 
-    let plan = sim.engine().plan().expect("SDC plan");
-    let d = plan.decomposition();
-    println!(
-        "SDC plan: {:?} subdomains, {} colors — same coloring machinery as EAM\n",
-        d.counts(),
-        d.color_count()
-    );
+    for event in sim.downgrades() {
+        println!("note: {event}");
+    }
+    match sim.engine().plan() {
+        Some(plan) => {
+            let d = plan.decomposition();
+            println!(
+                "SDC plan: {:?} subdomains, {} colors — same coloring machinery as EAM\n",
+                d.counts(),
+                d.color_count()
+            );
+        }
+        None => println!("running with {} (no SDC plan)\n", sim.engine().strategy()),
+    }
 
     println!("{}", Thermo::header());
     println!("{}", sim.thermo());
@@ -59,11 +65,11 @@ fn main() {
         .temperature(30.0)
         .seed(77)
         .dt(5e-3)
-        .build()
-        .unwrap();
+        .build()?;
     serial.run(200);
     let d_total = (serial.thermo().total - e1).abs();
     println!("serial-vs-SDC total-energy difference after 200 steps: {d_total:.2e} eV");
     assert!(d_total < 1e-6 * e1.abs());
     println!("SDC reproduces the serial LJ trajectory ✓");
+    Ok(())
 }

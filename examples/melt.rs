@@ -23,7 +23,7 @@ fn msd(reference: &[Vec3], sim: &Simulation) -> f64 {
         / reference.len() as f64
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = LatticeSpec::bcc_fe(10);
     let mut sim = Simulation::builder(spec)
         .potential(AnalyticEam::fe())
@@ -36,8 +36,7 @@ fn main() {
             target: 300.0,
             tau: 0.05,
         })
-        .build()
-        .expect("buildable");
+        .build()?;
 
     let reference = sim.system().positions().to_vec();
     println!(
@@ -76,4 +75,5 @@ fn main() {
             "still crystalline"
         }
     );
+    Ok(())
 }

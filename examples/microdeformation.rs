@@ -14,7 +14,7 @@ use sdc_md::prelude::*;
 use sdc_md::sim::units::EV_PER_A3_TO_GPA;
 use sdc_md::sim::StressTensor;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = LatticeSpec::bcc_fe(12);
     let mut sim = Simulation::builder(spec)
         .potential(AnalyticEam::fe())
@@ -26,8 +26,7 @@ fn main() {
             target: 50.0,
             tau: 0.05,
         })
-        .build()
-        .expect("decomposable box");
+        .build()?;
 
     println!("equilibrating {} atoms at 50 K…", sim.system().len());
     sim.run(100);
@@ -80,4 +79,5 @@ fn main() {
              (order of magnitude of iron's elastic moduli, ~100–240 GPa)"
         );
     }
+    Ok(())
 }

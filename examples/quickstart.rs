@@ -7,7 +7,7 @@
 
 use sdc_md::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 17³-cell BCC iron crystal: 9,826 atoms — big enough for a 3-D
     // decomposition, small enough to run in seconds.
     let spec = LatticeSpec::bcc_fe(17);
@@ -23,18 +23,25 @@ fn main() {
         .threads(4)
         .temperature(300.0)
         .seed(2009)
-        .build()
-        .expect("decomposable box");
+        .build()?;
 
-    // Show the coloring the engine built.
-    let plan = sim.engine().plan().expect("SDC strategy has a plan");
-    let d = plan.decomposition();
-    println!(
-        "decomposition: {:?} subdomains, {} colors, {} subdomains/color\n",
-        d.counts(),
-        d.color_count(),
-        d.subdomains_per_color()
-    );
+    // Show the coloring the engine built. On a box too small for 3-D SDC
+    // the builder degrades gracefully and there is no plan to show.
+    for event in sim.downgrades() {
+        println!("note: {event}");
+    }
+    match sim.engine().plan() {
+        Some(plan) => {
+            let d = plan.decomposition();
+            println!(
+                "decomposition: {:?} subdomains, {} colors, {} subdomains/color\n",
+                d.counts(),
+                d.color_count(),
+                d.subdomains_per_color()
+            );
+        }
+        None => println!("running with {} (no SDC plan)\n", sim.engine().strategy()),
+    }
 
     println!("{}", Thermo::header());
     println!("{}", sim.thermo());
@@ -45,4 +52,5 @@ fn main() {
 
     println!("\nphase timing (the paper times Density + Force only):");
     println!("{}", sim.timers());
+    Ok(())
 }

@@ -9,7 +9,7 @@
 use sdc_md::prelude::*;
 use std::time::Instant;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = LatticeSpec::bcc_fe(17);
     let threads = 4;
     let steps = 10;
@@ -45,8 +45,7 @@ fn main() {
             .threads(t)
             .temperature(300.0)
             .seed(42)
-            .build()
-            .expect("buildable");
+            .build()?;
         sim.run(2); // warm-up
         sim.reset_timers();
         let wall = Instant::now();
@@ -85,4 +84,5 @@ fn main() {
     println!("(on a single-core host the speedup column stays near 1; run on a");
     println!("multi-core machine — or use `cargo run -p sdc-bench --bin fig9` —");
     println!("to see the paper's ordering emerge)");
+    Ok(())
 }

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 verification: everything a change must pass before merging.
+#
+#   ./scripts/tier1.sh            # release build + tests + lint + debug job
+#
+# Jobs:
+#   1. release build              (the artifact we benchmark)
+#   2. full test suite            (unit + integration + doc tests)
+#   3. clippy, warnings are errors
+#   4. debug-assertions test job  (re-runs the suite with debug_assertions
+#      on, exercising the SDC footprint-disjointness checks and every
+#      debug-only invariant; `cargo test` default profile already enables
+#      them — this job pins that explicitly so a profile tweak cannot
+#      silently turn them off)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> [1/4] release build"
+cargo build --release --workspace
+
+echo "==> [2/4] test suite"
+cargo test --workspace -q
+
+echo "==> [3/4] clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> [4/4] debug-assertions test job"
+RUSTFLAGS="-C debug-assertions=on" cargo test --workspace -q --profile dev
+
+echo "tier-1: all green"

@@ -56,10 +56,12 @@ pub mod prelude {
         AnalyticEam, EamPotential, LennardJones, Morse, PairPotential, TabulatedEam,
     };
     pub use md_sim::{
-        ForceEngine, PotentialChoice, Simulation, SimulationBuilder, System, Thermo, Thermostat,
+        CheckpointError, EngineError, FaultInjector, ForceEngine, InjectedFault, PotentialChoice,
+        RecoveryConfig, RecoveryError, RecoveryReport, SimFault, Simulation, SimulationBuilder,
+        System, Thermo, Thermostat, Watchdog, WatchdogConfig,
     };
     pub use sdc_core::{
-        ColoredDecomposition, DecompositionConfig, ParallelContext, ScatterExec, SdcPlan,
-        StrategyKind,
+        ColoredDecomposition, DecompositionConfig, DowngradeEvent, ParallelContext, ScatterExec,
+        SdcPlan, StrategyKind,
     };
 }

@@ -114,14 +114,25 @@ fn strategies_work_with_tabulated_eam_too() {
 
 #[test]
 fn undecomposable_boxes_fail_loudly_not_wrongly() {
-    // A 6-cell box (17.2 Å) cannot host two 2·(5.67+0.3) subdomains.
+    // A 6-cell box (17.2 Å) cannot host two 2·(5.67+0.3) subdomains. With
+    // fallback disabled that is a hard, descriptive error…
     let err = Simulation::builder(LatticeSpec::bcc_fe(6))
         .potential(AnalyticEam::fe())
         .strategy(StrategyKind::Sdc { dims: 1 })
+        .strategy_fallback(false)
         .build()
         .err()
         .expect("must refuse to build");
     assert!(err.to_string().contains("decomposition"));
+    // …and with the default fallback it degrades to striped locks,
+    // recording the downgrade instead of failing.
+    let degraded = Simulation::builder(LatticeSpec::bcc_fe(6))
+        .potential(AnalyticEam::fe())
+        .strategy(StrategyKind::Sdc { dims: 1 })
+        .build()
+        .unwrap();
+    assert_eq!(degraded.engine().strategy(), StrategyKind::Locks);
+    assert_eq!(degraded.downgrades().len(), 1);
     // The same box runs fine with strategies that need no decomposition.
     let mut ok = Simulation::builder(LatticeSpec::bcc_fe(6))
         .potential(AnalyticEam::fe())

@@ -1,0 +1,190 @@
+//! End-to-end robustness: fault detection → rollback → completion, graceful
+//! strategy degradation, and crash-safe checkpointing through the public API.
+
+use sdc_md::prelude::*;
+use sdc_md::sim::checkpoint::{atomic_write, checkpoint_tmp_path, load_checkpoint, save_checkpoint};
+use sdc_md::sim::health::corrupt_file_byte;
+
+fn fe_sim(spec: LatticeSpec, strategy: StrategyKind) -> Simulation {
+    Simulation::builder(spec)
+        .potential(AnalyticEam::fe())
+        .strategy(strategy)
+        .threads(2)
+        .temperature(300.0)
+        .seed(11)
+        .build()
+        .expect("buildable")
+}
+
+#[test]
+fn injected_nan_force_rolls_back_to_last_checkpoint_and_completes() {
+    let mut sim = fe_sim(LatticeSpec::bcc_fe(7), StrategyKind::Privatized);
+    let dt0 = sim.dt();
+    let cfg = RecoveryConfig {
+        checkpoint_every: 10,
+        ..RecoveryConfig::default()
+    };
+    // NaN the forces at step 25 — between the checkpoints at 10 and 20.
+    let mut injector = FaultInjector::new(25, InjectedFault::NanForce { atom: 3 });
+    let report = sim
+        .run_with_recovery_observed(40, &cfg, |system, step| {
+            injector.poke(system, step);
+        })
+        .expect("run completes despite the fault");
+    assert!(injector.fired());
+    assert_eq!(report.steps_completed, 40);
+    assert_eq!(sim.step_count(), 40);
+    assert_eq!(report.rollbacks, 1);
+    assert_eq!(report.faults.len(), 1);
+    assert!(matches!(
+        report.faults[0].fault,
+        SimFault::NonFiniteForce { atom: 3, step: 25 }
+    ));
+    assert!(report.final_dt < dt0, "dt backoff applied");
+    // The final state is fully healthy.
+    let t = sim.thermo();
+    assert!(t.total.is_finite());
+    assert!(sim.system().positions().iter().all(|p| p.is_finite()));
+}
+
+#[test]
+fn recovery_persists_checkpoints_a_new_process_can_resume_from() {
+    let path = std::env::temp_dir().join("sdc_md_robustness_resume.ckpt");
+    let _ = std::fs::remove_file(&path);
+    let mut sim = fe_sim(LatticeSpec::bcc_fe(7), StrategyKind::Privatized);
+    let cfg = RecoveryConfig {
+        checkpoint_every: 15,
+        checkpoint_path: Some(path.clone()),
+        ..RecoveryConfig::default()
+    };
+    sim.run_with_recovery(30, &cfg).unwrap();
+    // "Crash" here: a fresh simulation resumes from the persisted file.
+    let (system, step) = load_checkpoint(&path).expect("persisted checkpoint is valid");
+    assert_eq!(step, 15, "last mid-run snapshot");
+    let mut resumed = Simulation::from_system(system)
+        .potential(AnalyticEam::fe())
+        .strategy(StrategyKind::Privatized)
+        .threads(2)
+        .build()
+        .unwrap();
+    resumed.run(5);
+    assert!(resumed.thermo().total.is_finite());
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn sdc3_degrades_to_the_only_feasible_dims_with_recorded_events() {
+    // 25.8 × 17.2 × 17.2 Å: only the x axis can host two ≥ 2·range
+    // subdomains, so of the SDC variants only dims = 1 is feasible.
+    let spec = LatticeSpec::new(Lattice::Bcc, 2.8665, [9, 6, 6]);
+    let sim = fe_sim(spec, StrategyKind::Sdc { dims: 3 });
+    assert_eq!(sim.engine().strategy(), StrategyKind::Sdc { dims: 1 });
+    let events = sim.downgrades();
+    assert_eq!(events.len(), 2, "3 → 2 → 1");
+    assert_eq!(events[0].from, StrategyKind::Sdc { dims: 3 });
+    assert_eq!(events[0].to, StrategyKind::Sdc { dims: 2 });
+    assert_eq!(events[1].from, StrategyKind::Sdc { dims: 2 });
+    assert_eq!(events[1].to, StrategyKind::Sdc { dims: 1 });
+    assert!(sim.engine().plan().is_some(), "dims = 1 really runs SDC");
+    // And the degraded simulation does real physics.
+    let mut sim = sim;
+    let e0 = sim.thermo().total;
+    sim.run(20);
+    let e1 = sim.thermo().total;
+    assert!(((e1 - e0) / e0).abs() < 1e-4, "NVE holds after degradation");
+}
+
+#[test]
+fn fully_infeasible_sdc_lands_on_locks_and_matches_serial_physics() {
+    // 17.2 Å on every axis: no SDC variant fits; chain ends at Locks.
+    let sdc = fe_sim(LatticeSpec::bcc_fe(6), StrategyKind::Sdc { dims: 3 });
+    assert_eq!(sdc.engine().strategy(), StrategyKind::Locks);
+    assert_eq!(sdc.downgrades().len(), 3);
+    assert!(sdc.engine().plan().is_none());
+    let mut sdc = sdc;
+    let mut serial = fe_sim(LatticeSpec::bcc_fe(6), StrategyKind::Serial);
+    sdc.run(10);
+    serial.run(10);
+    let (a, b) = (sdc.thermo().total, serial.thermo().total);
+    assert!((a - b).abs() < 1e-6 * b.abs(), "{a} vs {b}");
+}
+
+#[test]
+fn interrupted_checkpoint_write_never_corrupts_the_previous_one() {
+    let path = std::env::temp_dir().join("sdc_md_robustness_atomic.ckpt");
+    let _ = std::fs::remove_file(&path);
+    let sim = fe_sim(LatticeSpec::bcc_fe(5), StrategyKind::Serial);
+    save_checkpoint(&path, sim.system(), 100).unwrap();
+    let before = std::fs::read(&path).unwrap();
+    // Simulate a kill between the temp-file write and the rename: the
+    // writer starts emitting bytes, then dies.
+    let result = atomic_write(&path, |f| {
+        use std::io::Write;
+        f.write_all(b"sdc-md-checkpoint v2\nstep 999\nbox 1 1 ")?;
+        Err(CheckpointError::Malformed("killed mid-write".into()))
+    });
+    assert!(result.is_err());
+    // Target file is byte-identical to the pre-crash checkpoint, the temp
+    // sibling is gone, and the file still loads.
+    assert_eq!(std::fs::read(&path).unwrap(), before);
+    assert!(!checkpoint_tmp_path(&path).exists());
+    let (_, step) = load_checkpoint(&path).unwrap();
+    assert_eq!(step, 100);
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn corrupted_checkpoint_is_detected_not_loaded() {
+    let path = std::env::temp_dir().join("sdc_md_robustness_corrupt.ckpt");
+    let sim = fe_sim(LatticeSpec::bcc_fe(5), StrategyKind::Serial);
+    save_checkpoint(&path, sim.system(), 7).unwrap();
+    // Flip one byte in the middle of the atom table.
+    let size = std::fs::metadata(&path).unwrap().len() as usize;
+    corrupt_file_byte(&path, size / 2).unwrap();
+    match load_checkpoint(&path) {
+        Err(CheckpointError::ChecksumMismatch { stored, computed }) => {
+            assert_ne!(stored, computed);
+        }
+        other => panic!("expected ChecksumMismatch, got {other:?}"),
+    }
+    // Truncation is also caught.
+    save_checkpoint(&path, sim.system(), 7).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+    assert!(load_checkpoint(&path).is_err());
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn watchdog_catches_escape_from_an_open_box() {
+    // A slab open along z: give one surface atom a huge outward velocity
+    // and the watchdog must report the escape instead of running on.
+    let spec = LatticeSpec::bcc_fe(7);
+    let (bx, pos) = spec.build();
+    let open = SimBox::with_periodicity(bx.lengths(), [true, true, false]);
+    let system = System::new(open, pos, 55.845);
+    let mut sim = Simulation::from_system(system)
+        .potential(AnalyticEam::fe())
+        .strategy(StrategyKind::Serial)
+        .temperature(100.0)
+        .seed(4)
+        .build()
+        .unwrap();
+    let n = sim.system().len();
+    sim.system_mut().velocities_mut()[n - 1] = Vec3::new(0.0, 0.0, 4000.0);
+    let cfg = RecoveryConfig {
+        checkpoint_every: 1000,
+        max_retries: 0, // no retry: surface the fault
+        ..RecoveryConfig::default()
+    };
+    let err = sim.run_with_recovery(200, &cfg).unwrap_err();
+    match err {
+        RecoveryError::RetriesExhausted { fault, .. } => {
+            assert!(
+                matches!(fault, SimFault::AtomEscaped { axis: 2, .. }),
+                "expected escape along z, got {fault}"
+            );
+        }
+        other => panic!("expected RetriesExhausted, got {other}"),
+    }
+}
