@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-80b22dac7f40880a.d: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-80b22dac7f40880a.rlib: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-80b22dac7f40880a.rmeta: /tmp/stubs/criterion/src/lib.rs
+
+/tmp/stubs/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-d13ec594d8d3e60a.d: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-d13ec594d8d3e60a.rmeta: /tmp/stubs/criterion/src/lib.rs
+
+/tmp/stubs/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_strategy-5e80567f38269e1b.d: tests/cross_strategy.rs
+
+/root/repo/target/debug/deps/cross_strategy-5e80567f38269e1b: tests/cross_strategy.rs
+
+tests/cross_strategy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-a5762abd28ea752e.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-a5762abd28ea752e: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/md_geometry-2429b17e94b2a9a7.d: crates/geometry/src/lib.rs crates/geometry/src/aabb.rs crates/geometry/src/lattice.rs crates/geometry/src/simbox.rs crates/geometry/src/vec3.rs
+
+/root/repo/target/debug/deps/libmd_geometry-2429b17e94b2a9a7.rlib: crates/geometry/src/lib.rs crates/geometry/src/aabb.rs crates/geometry/src/lattice.rs crates/geometry/src/simbox.rs crates/geometry/src/vec3.rs
+
+/root/repo/target/debug/deps/libmd_geometry-2429b17e94b2a9a7.rmeta: crates/geometry/src/lib.rs crates/geometry/src/aabb.rs crates/geometry/src/lattice.rs crates/geometry/src/simbox.rs crates/geometry/src/vec3.rs
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/aabb.rs:
+crates/geometry/src/lattice.rs:
+crates/geometry/src/simbox.rs:
+crates/geometry/src/vec3.rs:

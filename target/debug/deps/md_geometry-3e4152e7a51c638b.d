@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/md_geometry-3e4152e7a51c638b.d: crates/geometry/src/lib.rs crates/geometry/src/aabb.rs crates/geometry/src/lattice.rs crates/geometry/src/simbox.rs crates/geometry/src/vec3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmd_geometry-3e4152e7a51c638b.rmeta: crates/geometry/src/lib.rs crates/geometry/src/aabb.rs crates/geometry/src/lattice.rs crates/geometry/src/simbox.rs crates/geometry/src/vec3.rs Cargo.toml
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/aabb.rs:
+crates/geometry/src/lattice.rs:
+crates/geometry/src/simbox.rs:
+crates/geometry/src/vec3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/md_geometry-f4fcae5ea4af07c4.d: crates/geometry/src/lib.rs crates/geometry/src/aabb.rs crates/geometry/src/lattice.rs crates/geometry/src/simbox.rs crates/geometry/src/vec3.rs
+
+/root/repo/target/debug/deps/md_geometry-f4fcae5ea4af07c4: crates/geometry/src/lib.rs crates/geometry/src/aabb.rs crates/geometry/src/lattice.rs crates/geometry/src/simbox.rs crates/geometry/src/vec3.rs
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/aabb.rs:
+crates/geometry/src/lattice.rs:
+crates/geometry/src/simbox.rs:
+crates/geometry/src/vec3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/md_geometry-ffea360e9fb47589.d: crates/geometry/src/lib.rs crates/geometry/src/aabb.rs crates/geometry/src/lattice.rs crates/geometry/src/simbox.rs crates/geometry/src/vec3.rs
+
+/root/repo/target/debug/deps/libmd_geometry-ffea360e9fb47589.rmeta: crates/geometry/src/lib.rs crates/geometry/src/aabb.rs crates/geometry/src/lattice.rs crates/geometry/src/simbox.rs crates/geometry/src/vec3.rs
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/aabb.rs:
+crates/geometry/src/lattice.rs:
+crates/geometry/src/simbox.rs:
+crates/geometry/src/vec3.rs:

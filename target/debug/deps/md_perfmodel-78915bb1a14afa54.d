@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/md_perfmodel-78915bb1a14afa54.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/case.rs crates/perfmodel/src/machine.rs crates/perfmodel/src/model.rs crates/perfmodel/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmd_perfmodel-78915bb1a14afa54.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/case.rs crates/perfmodel/src/machine.rs crates/perfmodel/src/model.rs crates/perfmodel/src/table.rs Cargo.toml
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/case.rs:
+crates/perfmodel/src/machine.rs:
+crates/perfmodel/src/model.rs:
+crates/perfmodel/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

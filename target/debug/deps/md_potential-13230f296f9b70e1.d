@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/md_potential-13230f296f9b70e1.d: crates/potential/src/lib.rs crates/potential/src/cutoff.rs crates/potential/src/eam/mod.rs crates/potential/src/eam/analytic.rs crates/potential/src/eam/file.rs crates/potential/src/eam/tabulated.rs crates/potential/src/pair/mod.rs crates/potential/src/pair/lj.rs crates/potential/src/pair/morse.rs crates/potential/src/spline.rs crates/potential/src/traits.rs
+
+/root/repo/target/debug/deps/libmd_potential-13230f296f9b70e1.rmeta: crates/potential/src/lib.rs crates/potential/src/cutoff.rs crates/potential/src/eam/mod.rs crates/potential/src/eam/analytic.rs crates/potential/src/eam/file.rs crates/potential/src/eam/tabulated.rs crates/potential/src/pair/mod.rs crates/potential/src/pair/lj.rs crates/potential/src/pair/morse.rs crates/potential/src/spline.rs crates/potential/src/traits.rs
+
+crates/potential/src/lib.rs:
+crates/potential/src/cutoff.rs:
+crates/potential/src/eam/mod.rs:
+crates/potential/src/eam/analytic.rs:
+crates/potential/src/eam/file.rs:
+crates/potential/src/eam/tabulated.rs:
+crates/potential/src/pair/mod.rs:
+crates/potential/src/pair/lj.rs:
+crates/potential/src/pair/morse.rs:
+crates/potential/src/spline.rs:
+crates/potential/src/traits.rs:

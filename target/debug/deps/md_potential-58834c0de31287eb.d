@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/md_potential-58834c0de31287eb.d: crates/potential/src/lib.rs crates/potential/src/cutoff.rs crates/potential/src/eam/mod.rs crates/potential/src/eam/analytic.rs crates/potential/src/eam/file.rs crates/potential/src/eam/tabulated.rs crates/potential/src/pair/mod.rs crates/potential/src/pair/lj.rs crates/potential/src/pair/morse.rs crates/potential/src/spline.rs crates/potential/src/traits.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmd_potential-58834c0de31287eb.rmeta: crates/potential/src/lib.rs crates/potential/src/cutoff.rs crates/potential/src/eam/mod.rs crates/potential/src/eam/analytic.rs crates/potential/src/eam/file.rs crates/potential/src/eam/tabulated.rs crates/potential/src/pair/mod.rs crates/potential/src/pair/lj.rs crates/potential/src/pair/morse.rs crates/potential/src/spline.rs crates/potential/src/traits.rs Cargo.toml
+
+crates/potential/src/lib.rs:
+crates/potential/src/cutoff.rs:
+crates/potential/src/eam/mod.rs:
+crates/potential/src/eam/analytic.rs:
+crates/potential/src/eam/file.rs:
+crates/potential/src/eam/tabulated.rs:
+crates/potential/src/pair/mod.rs:
+crates/potential/src/pair/lj.rs:
+crates/potential/src/pair/morse.rs:
+crates/potential/src/spline.rs:
+crates/potential/src/traits.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mdrun-212734e464d186eb.d: crates/bench/src/bin/mdrun.rs
+
+/root/repo/target/debug/deps/mdrun-212734e464d186eb: crates/bench/src/bin/mdrun.rs
+
+crates/bench/src/bin/mdrun.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mdrun-35547191375c04c3.d: crates/bench/src/bin/mdrun.rs
+
+/root/repo/target/debug/deps/mdrun-35547191375c04c3: crates/bench/src/bin/mdrun.rs
+
+crates/bench/src/bin/mdrun.rs:

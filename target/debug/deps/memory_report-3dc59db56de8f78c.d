@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/memory_report-3dc59db56de8f78c.d: crates/bench/src/bin/memory_report.rs
+
+/root/repo/target/debug/deps/memory_report-3dc59db56de8f78c: crates/bench/src/bin/memory_report.rs
+
+crates/bench/src/bin/memory_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/numa_ablation-f7b09e2d7e3aac85.d: crates/bench/src/bin/numa_ablation.rs
+
+/root/repo/target/debug/deps/numa_ablation-f7b09e2d7e3aac85: crates/bench/src/bin/numa_ablation.rs
+
+crates/bench/src/bin/numa_ablation.rs:

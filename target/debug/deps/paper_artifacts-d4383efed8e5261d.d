@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_artifacts-d4383efed8e5261d.d: tests/paper_artifacts.rs
+
+/root/repo/target/debug/deps/paper_artifacts-d4383efed8e5261d: tests/paper_artifacts.rs
+
+tests/paper_artifacts.rs:

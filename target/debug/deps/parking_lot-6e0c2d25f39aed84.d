@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-6e0c2d25f39aed84.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-6e0c2d25f39aed84.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

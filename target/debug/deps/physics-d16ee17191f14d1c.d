@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/physics-d16ee17191f14d1c.d: tests/physics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphysics-d16ee17191f14d1c.rmeta: tests/physics.rs Cargo.toml
+
+tests/physics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

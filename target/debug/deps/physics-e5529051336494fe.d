@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/physics-e5529051336494fe.d: tests/physics.rs
+
+/root/repo/target/debug/deps/physics-e5529051336494fe: tests/physics.rs
+
+tests/physics.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-e138705065049f8c.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-e138705065049f8c.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-e138705065049f8c.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-ea090faf8fea1a52.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-ea090faf8fea1a52.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-e41442527586b0b4.d: /tmp/stubs/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-e41442527586b0b4.rmeta: /tmp/stubs/rayon/src/lib.rs
+
+/tmp/stubs/rayon/src/lib.rs:

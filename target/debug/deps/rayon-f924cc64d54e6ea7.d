@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-f924cc64d54e6ea7.d: /tmp/stubs/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-f924cc64d54e6ea7.rlib: /tmp/stubs/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-f924cc64d54e6ea7.rmeta: /tmp/stubs/rayon/src/lib.rs
+
+/tmp/stubs/rayon/src/lib.rs:

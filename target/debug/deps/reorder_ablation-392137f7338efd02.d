@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reorder_ablation-392137f7338efd02.d: crates/bench/src/bin/reorder_ablation.rs
+
+/root/repo/target/debug/deps/reorder_ablation-392137f7338efd02: crates/bench/src/bin/reorder_ablation.rs
+
+crates/bench/src/bin/reorder_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reorder_integration-ba91b8f6ddd1675d.d: tests/reorder_integration.rs
+
+/root/repo/target/debug/deps/reorder_integration-ba91b8f6ddd1675d: tests/reorder_integration.rs
+
+tests/reorder_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-597703af9e2a9776.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-597703af9e2a9776: tests/robustness.rs
+
+tests/robustness.rs:

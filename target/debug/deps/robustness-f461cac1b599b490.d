@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness-f461cac1b599b490.d: tests/robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness-f461cac1b599b490.rmeta: tests/robustness.rs Cargo.toml
+
+tests/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

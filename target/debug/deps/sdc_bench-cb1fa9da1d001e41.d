@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sdc_bench-cb1fa9da1d001e41.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsdc_bench-cb1fa9da1d001e41.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsdc_bench-cb1fa9da1d001e41.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdc_bench-ee396ef6330d4877.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/sdc_bench-ee396ef6330d4877: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sdc_dims-c5e5f1322ccf5351.d: crates/bench/benches/sdc_dims.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsdc_dims-c5e5f1322ccf5351.rmeta: crates/bench/benches/sdc_dims.rs Cargo.toml
+
+crates/bench/benches/sdc_dims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

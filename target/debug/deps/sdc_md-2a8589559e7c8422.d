@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sdc_md-2a8589559e7c8422.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsdc_md-2a8589559e7c8422.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sdc_md-307fc695cecc16de.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsdc_md-307fc695cecc16de.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsdc_md-307fc695cecc16de.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdc_md-c621d0f80ab31e32.d: src/lib.rs
+
+/root/repo/target/debug/deps/sdc_md-c621d0f80ab31e32: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/setfl_end_to_end-43a13d18a0f35a71.d: tests/setfl_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsetfl_end_to_end-43a13d18a0f35a71.rmeta: tests/setfl_end_to_end.rs Cargo.toml
+
+tests/setfl_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

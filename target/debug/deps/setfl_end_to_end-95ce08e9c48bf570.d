@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/setfl_end_to_end-95ce08e9c48bf570.d: tests/setfl_end_to_end.rs
+
+/root/repo/target/debug/deps/setfl_end_to_end-95ce08e9c48bf570: tests/setfl_end_to_end.rs
+
+tests/setfl_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-01443b572a2e11df.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-01443b572a2e11df: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dump_model-e5e0b1d9a8198e15.d: crates/perfmodel/examples/dump_model.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdump_model-e5e0b1d9a8198e15.rmeta: crates/perfmodel/examples/dump_model.rs Cargo.toml
+
+crates/perfmodel/examples/dump_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/energetic_impact-21fc73c5aad3848f.d: examples/energetic_impact.rs Cargo.toml
+
+/root/repo/target/debug/examples/libenergetic_impact-21fc73c5aad3848f.rmeta: examples/energetic_impact.rs Cargo.toml
+
+examples/energetic_impact.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

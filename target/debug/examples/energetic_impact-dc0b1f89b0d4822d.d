@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/energetic_impact-dc0b1f89b0d4822d.d: examples/energetic_impact.rs
+
+/root/repo/target/debug/examples/energetic_impact-dc0b1f89b0d4822d: examples/energetic_impact.rs
+
+examples/energetic_impact.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lj_fluid-9b0fd64213e9e1c4.d: examples/lj_fluid.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblj_fluid-9b0fd64213e9e1c4.rmeta: examples/lj_fluid.rs Cargo.toml
+
+examples/lj_fluid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lj_fluid-d272b8be041a726c.d: examples/lj_fluid.rs
+
+/root/repo/target/debug/examples/lj_fluid-d272b8be041a726c: examples/lj_fluid.rs
+
+examples/lj_fluid.rs:

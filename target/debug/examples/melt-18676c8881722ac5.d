@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/melt-18676c8881722ac5.d: examples/melt.rs
+
+/root/repo/target/debug/examples/melt-18676c8881722ac5: examples/melt.rs
+
+examples/melt.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/melt-41823f7acc29bbdd.d: examples/melt.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmelt-41823f7acc29bbdd.rmeta: examples/melt.rs Cargo.toml
+
+examples/melt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

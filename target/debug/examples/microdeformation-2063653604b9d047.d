@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/microdeformation-2063653604b9d047.d: examples/microdeformation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmicrodeformation-2063653604b9d047.rmeta: examples/microdeformation.rs Cargo.toml
+
+examples/microdeformation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

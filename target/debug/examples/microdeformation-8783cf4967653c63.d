@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/microdeformation-8783cf4967653c63.d: examples/microdeformation.rs
+
+/root/repo/target/debug/examples/microdeformation-8783cf4967653c63: examples/microdeformation.rs
+
+examples/microdeformation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-8163cd9925442054.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-8163cd9925442054: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/strategy_showdown-3e81111fd957c29c.d: examples/strategy_showdown.rs
+
+/root/repo/target/debug/examples/strategy_showdown-3e81111fd957c29c: examples/strategy_showdown.rs
+
+examples/strategy_showdown.rs:

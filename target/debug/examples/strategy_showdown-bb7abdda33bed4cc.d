@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/strategy_showdown-bb7abdda33bed4cc.d: examples/strategy_showdown.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstrategy_showdown-bb7abdda33bed4cc.rmeta: examples/strategy_showdown.rs Cargo.toml
+
+examples/strategy_showdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trajectory_analysis-429856b66d21bedd.d: examples/trajectory_analysis.rs
+
+/root/repo/target/debug/examples/trajectory_analysis-429856b66d21bedd: examples/trajectory_analysis.rs
+
+examples/trajectory_analysis.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trajectory_analysis-8a0bcd00bc0fd914.d: examples/trajectory_analysis.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrajectory_analysis-8a0bcd00bc0fd914.rmeta: examples/trajectory_analysis.rs Cargo.toml
+
+examples/trajectory_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

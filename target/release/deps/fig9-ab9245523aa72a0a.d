@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-ab9245523aa72a0a.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-ab9245523aa72a0a: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

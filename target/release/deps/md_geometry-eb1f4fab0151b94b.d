@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/md_geometry-eb1f4fab0151b94b.d: crates/geometry/src/lib.rs crates/geometry/src/aabb.rs crates/geometry/src/lattice.rs crates/geometry/src/simbox.rs crates/geometry/src/vec3.rs
+
+/root/repo/target/release/deps/libmd_geometry-eb1f4fab0151b94b.rlib: crates/geometry/src/lib.rs crates/geometry/src/aabb.rs crates/geometry/src/lattice.rs crates/geometry/src/simbox.rs crates/geometry/src/vec3.rs
+
+/root/repo/target/release/deps/libmd_geometry-eb1f4fab0151b94b.rmeta: crates/geometry/src/lib.rs crates/geometry/src/aabb.rs crates/geometry/src/lattice.rs crates/geometry/src/simbox.rs crates/geometry/src/vec3.rs
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/aabb.rs:
+crates/geometry/src/lattice.rs:
+crates/geometry/src/simbox.rs:
+crates/geometry/src/vec3.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/md_perfmodel-0c9c2ff734767155.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/case.rs crates/perfmodel/src/machine.rs crates/perfmodel/src/model.rs crates/perfmodel/src/table.rs
+
+/root/repo/target/release/deps/libmd_perfmodel-0c9c2ff734767155.rlib: crates/perfmodel/src/lib.rs crates/perfmodel/src/case.rs crates/perfmodel/src/machine.rs crates/perfmodel/src/model.rs crates/perfmodel/src/table.rs
+
+/root/repo/target/release/deps/libmd_perfmodel-0c9c2ff734767155.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/case.rs crates/perfmodel/src/machine.rs crates/perfmodel/src/model.rs crates/perfmodel/src/table.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/case.rs:
+crates/perfmodel/src/machine.rs:
+crates/perfmodel/src/model.rs:
+crates/perfmodel/src/table.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/md_potential-76769e9796ba241b.d: crates/potential/src/lib.rs crates/potential/src/cutoff.rs crates/potential/src/eam/mod.rs crates/potential/src/eam/analytic.rs crates/potential/src/eam/file.rs crates/potential/src/eam/tabulated.rs crates/potential/src/pair/mod.rs crates/potential/src/pair/lj.rs crates/potential/src/pair/morse.rs crates/potential/src/spline.rs crates/potential/src/traits.rs
+
+/root/repo/target/release/deps/libmd_potential-76769e9796ba241b.rlib: crates/potential/src/lib.rs crates/potential/src/cutoff.rs crates/potential/src/eam/mod.rs crates/potential/src/eam/analytic.rs crates/potential/src/eam/file.rs crates/potential/src/eam/tabulated.rs crates/potential/src/pair/mod.rs crates/potential/src/pair/lj.rs crates/potential/src/pair/morse.rs crates/potential/src/spline.rs crates/potential/src/traits.rs
+
+/root/repo/target/release/deps/libmd_potential-76769e9796ba241b.rmeta: crates/potential/src/lib.rs crates/potential/src/cutoff.rs crates/potential/src/eam/mod.rs crates/potential/src/eam/analytic.rs crates/potential/src/eam/file.rs crates/potential/src/eam/tabulated.rs crates/potential/src/pair/mod.rs crates/potential/src/pair/lj.rs crates/potential/src/pair/morse.rs crates/potential/src/spline.rs crates/potential/src/traits.rs
+
+crates/potential/src/lib.rs:
+crates/potential/src/cutoff.rs:
+crates/potential/src/eam/mod.rs:
+crates/potential/src/eam/analytic.rs:
+crates/potential/src/eam/file.rs:
+crates/potential/src/eam/tabulated.rs:
+crates/potential/src/pair/mod.rs:
+crates/potential/src/pair/lj.rs:
+crates/potential/src/pair/morse.rs:
+crates/potential/src/spline.rs:
+crates/potential/src/traits.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mdrun-8a974b129b1c8400.d: crates/bench/src/bin/mdrun.rs
+
+/root/repo/target/release/deps/mdrun-8a974b129b1c8400: crates/bench/src/bin/mdrun.rs
+
+crates/bench/src/bin/mdrun.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/memory_report-eba3da699f68bae8.d: crates/bench/src/bin/memory_report.rs
+
+/root/repo/target/release/deps/memory_report-eba3da699f68bae8: crates/bench/src/bin/memory_report.rs
+
+crates/bench/src/bin/memory_report.rs:

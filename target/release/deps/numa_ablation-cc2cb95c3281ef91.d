@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/numa_ablation-cc2cb95c3281ef91.d: crates/bench/src/bin/numa_ablation.rs
+
+/root/repo/target/release/deps/numa_ablation-cc2cb95c3281ef91: crates/bench/src/bin/numa_ablation.rs
+
+crates/bench/src/bin/numa_ablation.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-18f51ebe241992ac.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-18f51ebe241992ac.rlib: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-18f51ebe241992ac.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

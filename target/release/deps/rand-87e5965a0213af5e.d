@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-87e5965a0213af5e.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-87e5965a0213af5e.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-87e5965a0213af5e.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-0c645ba8adefc918.d: /tmp/stubs/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-0c645ba8adefc918.rlib: /tmp/stubs/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-0c645ba8adefc918.rmeta: /tmp/stubs/rayon/src/lib.rs
+
+/tmp/stubs/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reorder_ablation-acb35c3046eb77ba.d: crates/bench/src/bin/reorder_ablation.rs
+
+/root/repo/target/release/deps/reorder_ablation-acb35c3046eb77ba: crates/bench/src/bin/reorder_ablation.rs
+
+crates/bench/src/bin/reorder_ablation.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sdc_bench-79ee8503e6b2887f.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsdc_bench-79ee8503e6b2887f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsdc_bench-79ee8503e6b2887f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

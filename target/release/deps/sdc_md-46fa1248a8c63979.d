@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sdc_md-46fa1248a8c63979.d: src/lib.rs
+
+/root/repo/target/release/deps/libsdc_md-46fa1248a8c63979.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsdc_md-46fa1248a8c63979.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep-55792df174bd3fcb.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/release/deps/sweep-55792df174bd3fcb: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

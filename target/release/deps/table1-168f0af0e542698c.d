@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-168f0af0e542698c.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-168f0af0e542698c: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:
