@@ -1,6 +1,8 @@
 //! Criterion bench: linked-cell binning and Verlet list construction —
 //! the half list (SDC/CS/SAP input) vs the full list (the RC baseline's
-//! doubled structure, paper §I memory argument).
+//! doubled structure, paper §I memory argument), plus the rayon-parallel
+//! build (`build_parallel`, bitwise-identical output) against the serial
+//! one at two system sizes and several worker counts.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use md_geometry::LatticeSpec;
@@ -23,5 +25,30 @@ fn bench_builds(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_builds);
+/// Serial vs parallel list build. Run on a 1-core host these numbers only
+/// show the parallel path's bookkeeping overhead; on a real multicore they
+/// are the rebuild-phase speedup the `md-perfmodel` rebuild module predicts.
+fn bench_parallel_builds(c: &mut Criterion) {
+    let cfg = VerletConfig::half(5.67, 0.3);
+    for cells in [12usize, 18] {
+        let (bx, pos) = LatticeSpec::bcc_fe(cells).build();
+        let mut group = c.benchmark_group(format!("neighbor_build_par/{}atoms", pos.len()));
+        group.sample_size(10).measurement_time(Duration::from_secs(4));
+        group.bench_function(BenchmarkId::from_parameter("serial"), |b| {
+            b.iter(|| NeighborList::build(&bx, &pos, cfg));
+        });
+        for threads in [2usize, 4, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("thread pool");
+            group.bench_function(BenchmarkId::from_parameter(format!("par{threads}")), |b| {
+                b.iter(|| pool.install(|| NeighborList::build_parallel(&bx, &pos, cfg)));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_builds, bench_parallel_builds);
 criterion_main!(benches);

@@ -5,6 +5,7 @@
 //! cargo run -p sdc-bench --release --bin table1                  # modeled (calibrated)
 //! cargo run -p sdc-bench --release --bin table1 -- --measured    # real threaded runs
 //! cargo run -p sdc-bench --release --bin table1 -- --geometry    # subdomain counts (§II.B)
+//! cargo run -p sdc-bench --release --bin table1 -- --rebuild     # amortized rebuild cost
 //! cargo run -p sdc-bench --release --bin table1 -- --measured --scale 6 --steps 10
 //! ```
 //!
@@ -13,7 +14,7 @@
 //! the real decomposition geometry of the full-size cases. Measured mode
 //! runs the real rayon engine on (optionally scaled-down) cases.
 
-use md_perfmodel::{speedup, CaseGeometry, MachineParams, THREAD_SWEEP};
+use md_perfmodel::{speedup, speedup_with_rebuild, CaseGeometry, MachineParams, THREAD_SWEEP};
 use md_sim::StrategyKind;
 use sdc_bench::{
     calibrate, case_lattice, measure_paper_seconds, Args, PAPER_TABLE1,
@@ -62,6 +63,11 @@ fn main() {
         return;
     }
 
+    if args.flag("--rebuild") {
+        run_rebuild(&case_names);
+        return;
+    }
+
     // Modeled mode (default): calibrate the pair cost on this host.
     let quick = args.flag("--quick");
     let machine = if quick {
@@ -102,6 +108,42 @@ fn main() {
     println!("note: modeled cells derive from the real decomposition geometry plus");
     println!("a host-calibrated kernel cost; see EXPERIMENTS.md for the comparison");
     println!("protocol and deviations.");
+}
+
+/// End-to-end SDC speedup with the amortized neighbor-rebuild cost: the
+/// serial list build is an Amdahl term that caps every column; the parallel
+/// build (`NeighborList::build_parallel`) removes the cap.
+fn run_rebuild(case_names: &[&str; 4]) {
+    let machine = MachineParams::default();
+    println!("TABLE 1 with amortized neighbor rebuild (modeled; every {} steps)", machine.rebuild_every);
+    println!("per cell: sweep-only | serial rebuild | parallel rebuild");
+    println!();
+    for (ci, name) in case_names.iter().enumerate() {
+        let case = CaseGeometry::paper_case(ci + 1);
+        println!("{name} — {} atoms", case.n_atoms);
+        print!("{:<24}", "threads");
+        for p in THREAD_SWEEP {
+            print!("{p:>20}");
+        }
+        println!();
+        for dims in 1..=3 {
+            print!("{:<24}", format!("SDC ({dims}-dimensional)"));
+            for &p in THREAD_SWEEP.iter() {
+                let kind = StrategyKind::Sdc { dims };
+                let pure = speedup(&machine, &case, kind, p);
+                let capped = speedup_with_rebuild(&machine, &case, kind, p, false);
+                let restored = speedup_with_rebuild(&machine, &case, kind, p, true);
+                print!(
+                    "{:>6}|{:>6}|{:>6}",
+                    cell(pure).trim(),
+                    cell(capped).trim(),
+                    cell(restored).trim()
+                );
+            }
+            println!();
+        }
+        println!();
+    }
 }
 
 fn run_measured(args: &Args, case_names: &[&str; 4]) {

@@ -255,12 +255,11 @@ impl ColoredDecomposition {
     /// `pstart[]`/`partindex[]` pair (Fig. 7) — row `s` lists the atoms of
     /// subdomain `s`.
     pub fn assign_atoms(&self, positions: &[Vec3]) -> Csr {
-        let pairs: Vec<(u32, u32)> = positions
+        let keys: Vec<u32> = positions
             .iter()
-            .enumerate()
-            .map(|(a, &p)| (self.subdomain_of(p) as u32, a as u32))
+            .map(|&p| self.subdomain_of(p) as u32)
             .collect();
-        Csr::from_pairs(self.subdomain_count(), &pairs)
+        Csr::group_by_key(self.subdomain_count(), &keys)
     }
 
     /// Exhaustively checks the two coloring invariants (used by tests and

@@ -4,10 +4,14 @@
 //! interaction range, so all neighbors of an atom lie in its own cell or the
 //! 26 surrounding cells. Construction is a counting sort (O(N)); the cell
 //! contents are stored in CSR form, so a build performs exactly three passes
-//! over the atoms and two allocations.
+//! over the atoms and two allocations. [`CellGrid::build_parallel`] runs the
+//! same counting sort chunked over rayon workers with prefix-summed write
+//! windows, producing bytes identical to the serial build at any thread
+//! count.
 
-use crate::csr::Csr;
+use crate::csr::{Csr, PAR_MIN_CHUNK};
 use md_geometry::{SimBox, Vec3};
+use rayon::prelude::*;
 
 /// A regular grid of cells over a periodic simulation box, with atoms binned
 /// into cells.
@@ -32,44 +36,44 @@ impl CellGrid {
     /// Panics if `min_cell` is not positive, exceeds any box edge, or if
     /// any position lies outside the primary image along a periodic axis.
     pub fn build(sim_box: &SimBox, positions: &[Vec3], min_cell: f64) -> CellGrid {
-        assert!(min_cell > 0.0 && min_cell.is_finite(), "min_cell must be positive");
-        let l = sim_box.lengths();
-        let mut dims = [0usize; 3];
-        for d in 0..3 {
-            let n = (l[d] / min_cell).floor() as usize;
-            assert!(n >= 1, "cell size {min_cell} exceeds box edge {}", l[d]);
-            dims[d] = n;
-        }
-        let inv_cell = Vec3::new(
-            dims[0] as f64 / l.x,
-            dims[1] as f64 / l.y,
-            dims[2] as f64 / l.z,
-        );
-        let n_cells = dims[0] * dims[1] * dims[2];
-        let mut pairs = Vec::with_capacity(positions.len());
-        let mut atom_cell = Vec::with_capacity(positions.len());
-        for (a, &p) in positions.iter().enumerate() {
-            let mut q = p;
-            for (d, axis) in md_geometry::Axis::ALL.into_iter().enumerate() {
-                if sim_box.is_periodic(axis) {
-                    assert!(
-                        p[d] >= 0.0 && p[d] < l[d],
-                        "atom {a} at {p} outside primary image of box {l}"
-                    );
-                } else {
-                    // Open boundary: atoms may legitimately drift past the
-                    // face. Bin them into the boundary cell; the simulation
-                    // watchdog decides when drift has become an escape.
-                    q[d] = p[d].clamp(0.0, l[d]);
-                }
-            }
-            let c = cell_of(q, inv_cell, dims);
-            pairs.push((c as u32, a as u32));
-            atom_cell.push(c as u32);
-        }
-        let cells = Csr::from_pairs(n_cells, &pairs);
+        let geo = GridGeometry::of(sim_box, min_cell);
+        let atom_cell: Vec<u32> = positions
+            .iter()
+            .enumerate()
+            .map(|(a, &p)| geo.bin_atom(sim_box, a, p))
+            .collect();
+        let cells = Csr::group_by_key(geo.cell_count(), &atom_cell);
         CellGrid {
-            dims,
+            dims: geo.dims,
+            cells,
+            atom_cell,
+        }
+    }
+
+    /// [`CellGrid::build`] with rayon-parallel binning, bitwise-identical
+    /// to the serial build for every thread count.
+    ///
+    /// Cell assignment is a pure per-atom map (order-preserving parallel
+    /// collect), and the CSR scatter is the deterministic chunked counting
+    /// sort of [`Csr::group_by_key_par`]. Runs on the current rayon pool —
+    /// call it inside `ThreadPool::install`; on a one-worker pool (or a
+    /// small system) it takes the serial path.
+    ///
+    /// # Panics
+    /// As [`CellGrid::build`].
+    pub fn build_parallel(sim_box: &SimBox, positions: &[Vec3], min_cell: f64) -> CellGrid {
+        let geo = GridGeometry::of(sim_box, min_cell);
+        if rayon::current_num_threads() <= 1 || positions.len() < 2 * PAR_MIN_CHUNK {
+            return CellGrid::build(sim_box, positions, min_cell);
+        }
+        let atom_cell: Vec<u32> = positions
+            .par_iter()
+            .enumerate()
+            .map(|(a, &p)| geo.bin_atom(sim_box, a, p))
+            .collect();
+        let cells = Csr::group_by_key_par(geo.cell_count(), &atom_cell);
+        CellGrid {
+            dims: geo.dims,
             cells,
             atom_cell,
         }
@@ -147,6 +151,65 @@ impl CellGrid {
     }
 }
 
+/// Grid dimensions and the cell-index map, shared by the serial and the
+/// parallel builder so the two can never diverge in how they bin an atom.
+#[derive(Debug, Clone, Copy)]
+struct GridGeometry {
+    dims: [usize; 3],
+    inv_cell: Vec3,
+    lengths: Vec3,
+}
+
+impl GridGeometry {
+    fn of(sim_box: &SimBox, min_cell: f64) -> GridGeometry {
+        assert!(min_cell > 0.0 && min_cell.is_finite(), "min_cell must be positive");
+        let l = sim_box.lengths();
+        let mut dims = [0usize; 3];
+        for d in 0..3 {
+            let n = (l[d] / min_cell).floor() as usize;
+            assert!(n >= 1, "cell size {min_cell} exceeds box edge {}", l[d]);
+            dims[d] = n;
+        }
+        let inv_cell = Vec3::new(
+            dims[0] as f64 / l.x,
+            dims[1] as f64 / l.y,
+            dims[2] as f64 / l.z,
+        );
+        GridGeometry {
+            dims,
+            inv_cell,
+            lengths: l,
+        }
+    }
+
+    #[inline]
+    fn cell_count(&self) -> usize {
+        self.dims[0] * self.dims[1] * self.dims[2]
+    }
+
+    /// Cell id of atom `a` at position `p`, with the periodic-image check
+    /// and the open-boundary clamp.
+    #[inline]
+    fn bin_atom(&self, sim_box: &SimBox, a: usize, p: Vec3) -> u32 {
+        let l = self.lengths;
+        let mut q = p;
+        for (d, axis) in md_geometry::Axis::ALL.into_iter().enumerate() {
+            if sim_box.is_periodic(axis) {
+                assert!(
+                    p[d] >= 0.0 && p[d] < l[d],
+                    "atom {a} at {p} outside primary image of box {l}"
+                );
+            } else {
+                // Open boundary: atoms may legitimately drift past the
+                // face. Bin them into the boundary cell; the simulation
+                // watchdog decides when drift has become an escape.
+                q[d] = p[d].clamp(0.0, l[d]);
+            }
+        }
+        cell_of(q, self.inv_cell, self.dims) as u32
+    }
+}
+
 #[inline]
 fn wrap(i: i64, n: usize) -> usize {
     let n = n as i64;
@@ -178,6 +241,23 @@ mod tests {
         for a in 0..pos.len() {
             let c = g.cell_of_atom(a);
             assert!(g.cell_atoms(c).contains(&(a as u32)));
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_serial_bitwise() {
+        // bcc_fe(11) = 2662 atoms > 2 * PAR_MIN_CHUNK, so the chunked
+        // counting sort actually runs rather than falling back.
+        let (bx, pos) = LatticeSpec::bcc_fe(11).build();
+        let serial = CellGrid::build(&bx, &pos, 2.87);
+        for threads in [2usize, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            let parallel = pool.install(|| CellGrid::build_parallel(&bx, &pos, 2.87));
+            assert_eq!(serial.dims(), parallel.dims());
+            assert_eq!(serial.cells, parallel.cells);
         }
     }
 

@@ -8,6 +8,47 @@
 //! (monotone, so `offsets[i+1] - offsets[i]` *is* `neighlen[i]`) plus one
 //! contiguous `indices` array.
 
+use rayon::prelude::*;
+
+/// Below this many elements a parallel build is all overhead; the parallel
+/// entry points fall back to their serial twins (which produce identical
+/// bytes, so the cutover is invisible to callers).
+pub(crate) const PAR_MIN_CHUNK: usize = 1024;
+
+/// A `&mut [u32]` that can be scattered into from several rayon workers at
+/// once. Soundness is the *caller's* obligation: every slot must be written
+/// by at most one worker (the deterministic counting-sort window argument).
+pub(crate) struct SharedSlots<'a> {
+    ptr: *mut u32,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [u32]>,
+}
+
+// SAFETY: the raw pointer is only dereferenced through `write`, whose
+// contract requires disjoint slots across workers.
+unsafe impl Sync for SharedSlots<'_> {}
+unsafe impl Send for SharedSlots<'_> {}
+
+impl<'a> SharedSlots<'a> {
+    pub(crate) fn new(data: &'a mut [u32]) -> SharedSlots<'a> {
+        SharedSlots {
+            ptr: data.as_mut_ptr(),
+            len: data.len(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Writes `v` into slot `at`.
+    ///
+    /// # Safety
+    /// `at` must be in bounds and no other worker may ever write (or read)
+    /// the same slot while this `SharedSlots` is alive.
+    pub(crate) unsafe fn write(&self, at: usize, v: u32) {
+        debug_assert!(at < self.len, "slot {at} out of bounds ({})", self.len);
+        unsafe { *self.ptr.add(at) = v };
+    }
+}
+
 /// CSR adjacency: `indices[offsets[i] .. offsets[i+1]]` are the neighbors of
 /// row `i`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,13 +84,39 @@ impl Csr {
         Csr { offsets, indices }
     }
 
-    /// Builds a CSR with `rows` rows from `(row, value)` pairs in any order,
-    /// by counting sort. Within each row, values keep their input order
-    /// (the sort is stable).
+    /// Builds a *square* CSR adjacency with `rows` rows from `(row, value)`
+    /// pairs in any order, by counting sort. Within each row, values keep
+    /// their input order (the sort is stable).
+    ///
+    /// Both the row and the value of every pair are validated against
+    /// `rows`: a neighbor index pointing past the atom count is a
+    /// correctness bug in the producer, and letting it through would only
+    /// surface later as an out-of-bounds panic (or silent garbage) deep in
+    /// a force kernel. Use [`Csr::from_pairs_rect`] for non-square maps
+    /// (e.g. cells × atoms).
+    ///
+    /// # Panics
+    /// Panics if any row or value is `≥ rows`.
     pub fn from_pairs(rows: usize, pairs: &[(u32, u32)]) -> Csr {
+        for &(_, v) in pairs {
+            assert!(
+                (v as usize) < rows,
+                "value {v} out of range for square adjacency (rows = {rows})"
+            );
+        }
+        Csr::from_pairs_rect(rows, rows, pairs)
+    }
+
+    /// Builds a *rectangular* CSR with `rows` rows from `(row, value)`
+    /// pairs, by stable counting sort; values are validated against `cols`.
+    ///
+    /// # Panics
+    /// Panics if any row is `≥ rows` or any value is `≥ cols`.
+    pub fn from_pairs_rect(rows: usize, cols: usize, pairs: &[(u32, u32)]) -> Csr {
         let mut counts = vec![0u32; rows + 1];
-        for &(r, _) in pairs {
+        for &(r, v) in pairs {
             assert!((r as usize) < rows, "row {r} out of range (rows = {rows})");
+            assert!((v as usize) < cols, "value {v} out of range (cols = {cols})");
             counts[r as usize + 1] += 1;
         }
         for i in 0..rows {
@@ -62,6 +129,106 @@ impl Csr {
             let at = cursor[r as usize];
             indices[at as usize] = v;
             cursor[r as usize] += 1;
+        }
+        Csr { offsets, indices }
+    }
+
+    /// Groups the value `i` under row `keys[i]` for every `i`: the CSR whose
+    /// row `r` lists, in ascending order, the positions where `keys` equals
+    /// `r`. Equivalent to `from_pairs_rect(rows, keys.len(), [(keys[i], i)])`
+    /// — the one-pass stable counting sort linked-cell binning uses.
+    ///
+    /// # Panics
+    /// Panics if any key is `≥ rows`.
+    pub fn group_by_key(rows: usize, keys: &[u32]) -> Csr {
+        let mut counts = vec![0u32; rows + 1];
+        for &k in keys {
+            assert!((k as usize) < rows, "key {k} out of range (rows = {rows})");
+            counts[k as usize + 1] += 1;
+        }
+        for i in 0..rows {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut indices = vec![0u32; keys.len()];
+        for (i, &k) in keys.iter().enumerate() {
+            let at = cursor[k as usize];
+            indices[at as usize] = i as u32;
+            cursor[k as usize] += 1;
+        }
+        Csr { offsets, indices }
+    }
+
+    /// Parallel [`Csr::group_by_key`], bitwise-identical to the serial form
+    /// for every thread count.
+    ///
+    /// The input is split into one contiguous chunk per worker; each worker
+    /// counts its keys privately, a column-wise exclusive prefix over
+    /// `(chunk, row)` turns the private counts into disjoint write windows,
+    /// and every worker then scatters its values into its own windows. The
+    /// windows partition `0..keys.len()` exactly as the serial stable
+    /// counting sort fills it, so the offsets *and* the indices come out
+    /// byte-identical regardless of how many workers ran. Runs on the
+    /// current rayon pool; with one worker (or a small input) it falls back
+    /// to the serial code path.
+    ///
+    /// # Panics
+    /// Panics if any key is `≥ rows`.
+    pub fn group_by_key_par(rows: usize, keys: &[u32]) -> Csr {
+        let workers = rayon::current_num_threads();
+        if workers <= 1 || keys.len() < 2 * PAR_MIN_CHUNK {
+            return Csr::group_by_key(rows, keys);
+        }
+        let chunk = keys.len().div_ceil(workers).max(PAR_MIN_CHUNK);
+        let n_chunks = keys.len().div_ceil(chunk);
+        let chunk_of = |t: usize| &keys[t * chunk..((t + 1) * chunk).min(keys.len())];
+        // Per-chunk private histograms (validated in parallel).
+        let locals: Vec<Vec<u32>> = (0..n_chunks)
+            .into_par_iter()
+            .map(|t| {
+                let mut counts = vec![0u32; rows];
+                for &k in chunk_of(t) {
+                    assert!((k as usize) < rows, "key {k} out of range (rows = {rows})");
+                    counts[k as usize] += 1;
+                }
+                counts
+            })
+            .collect();
+        // Global offsets, then per-(chunk, row) start cursors: chunk t's
+        // window in row r begins after every earlier chunk's keys for r.
+        let mut offsets = vec![0u32; rows + 1];
+        for r in 0..rows {
+            let total: u32 = locals.iter().map(|l| l[r]).sum();
+            offsets[r + 1] = offsets[r] + total;
+        }
+        let mut starts: Vec<Vec<u32>> = Vec::with_capacity(n_chunks);
+        let mut cursor = offsets[..rows].to_vec();
+        for local in &locals {
+            starts.push(cursor.clone());
+            for r in 0..rows {
+                cursor[r] += local[r];
+            }
+        }
+        let mut indices = vec![0u32; keys.len()];
+        {
+            let slots = SharedSlots::new(&mut indices);
+            let slots = &slots;
+            starts
+                .into_par_iter()
+                .enumerate()
+                .for_each(|(t, mut cur)| {
+                    let base = t * chunk;
+                    for (i, &k) in chunk_of(t).iter().enumerate() {
+                        let at = cur[k as usize];
+                        cur[k as usize] += 1;
+                        // SAFETY: `at` lies in chunk t's private window of
+                        // row k — windows are disjoint across chunks and
+                        // rows and partition 0..keys.len(), so no two
+                        // workers ever write the same slot.
+                        unsafe { slots.write(at as usize, (base + i) as u32) };
+                    }
+                });
         }
         Csr { offsets, indices }
     }
@@ -231,8 +398,42 @@ mod tests {
     #[test]
     fn from_pairs_is_stable_within_rows() {
         let pairs = [(0, 5), (0, 3), (0, 4)];
-        let c = Csr::from_pairs(1, &pairs);
+        let c = Csr::from_pairs_rect(1, 6, &pairs);
         assert_eq!(c.row(0), &[5, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range for square adjacency")]
+    fn from_pairs_rejects_out_of_range_value() {
+        // Row index fits but the stored value 7 names a nonexistent column.
+        let _ = Csr::from_pairs(4, &[(0, 1), (2, 7)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_pairs_rect_rejects_out_of_range_value() {
+        let _ = Csr::from_pairs_rect(2, 3, &[(1, 3)]);
+    }
+
+    #[test]
+    fn group_by_key_groups_stably() {
+        let keys = [2u32, 0, 2, 1, 0];
+        let c = Csr::group_by_key(3, &keys);
+        assert_eq!(c.row(0), &[1, 4]);
+        assert_eq!(c.row(1), &[3]);
+        assert_eq!(c.row(2), &[0, 2]);
+    }
+
+    #[test]
+    fn group_by_key_par_matches_serial() {
+        // Large enough to clear the 2 * PAR_MIN_CHUNK serial-fallback gate.
+        let n = 3 * PAR_MIN_CHUNK;
+        let rows = 17;
+        let keys: Vec<u32> = (0..n).map(|i| ((i * 7 + 3) % rows) as u32).collect();
+        let serial = Csr::group_by_key(rows, &keys);
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().expect("pool");
+        let parallel = pool.install(|| Csr::group_by_key_par(rows, &keys));
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -15,9 +15,10 @@
 //! The permutation type is explicit about direction: `new_to_old[new] = old`.
 
 use crate::cell_grid::CellGrid;
-use crate::csr::Csr;
+use crate::csr::{Csr, PAR_MIN_CHUNK};
 use crate::verlet::{NeighborList, NeighborListKind};
 use md_geometry::{SimBox, Vec3};
+use rayon::prelude::*;
 
 /// A relabeling of `n` atoms: `new_to_old[new_index] = old_index`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -96,6 +97,28 @@ impl Permutation {
         *data = out;
     }
 
+    /// Parallel [`Permutation::apply`]: `out[new] = data[old]`, gathered with
+    /// rayon. Each output slot is written by exactly one task, and the gather
+    /// order has no effect on the result, so this is bitwise identical to the
+    /// serial path. Falls back to the serial gather for small inputs or a
+    /// single-thread pool.
+    pub fn apply_par<T: Clone + Send + Sync>(&self, data: &[T]) -> Vec<T> {
+        assert_eq!(data.len(), self.len(), "data length != permutation length");
+        if rayon::current_num_threads() <= 1 || data.len() < PAR_MIN_CHUNK {
+            return self.apply(data);
+        }
+        self.new_to_old
+            .par_iter()
+            .map(|&old| data[old as usize].clone())
+            .collect()
+    }
+
+    /// Parallel [`Permutation::apply_in_place`].
+    pub fn apply_in_place_par<T: Clone + Send + Sync>(&self, data: &mut Vec<T>) {
+        let out = self.apply_par(data);
+        *data = out;
+    }
+
     /// Composition `self ∘ other`: applying the result equals applying
     /// `other` first, then `self`.
     pub fn compose(&self, other: &Permutation) -> Permutation {
@@ -120,6 +143,22 @@ pub fn spatial_permutation(sim_box: &SimBox, positions: &[Vec3], cell_size: f64)
         return Permutation::identity(0);
     }
     let grid = CellGrid::build(sim_box, positions, cell_size);
+    let order: Vec<u32> = grid.atoms_in_cell_order().collect();
+    Permutation::from_new_to_old(order)
+}
+
+/// Parallel [`spatial_permutation`]: bins atoms with
+/// [`CellGrid::build_parallel`], whose CSR is bitwise identical to the serial
+/// grid, so the resulting permutation is too.
+pub fn spatial_permutation_parallel(
+    sim_box: &SimBox,
+    positions: &[Vec3],
+    cell_size: f64,
+) -> Permutation {
+    if positions.is_empty() {
+        return Permutation::identity(0);
+    }
+    let grid = CellGrid::build_parallel(sim_box, positions, cell_size);
     let order: Vec<u32> = grid.atoms_in_cell_order().collect();
     Permutation::from_new_to_old(order)
 }
@@ -247,6 +286,24 @@ mod tests {
         sorted.sort_unstable();
         let expect: Vec<u32> = (0..pos.len() as u32).collect();
         assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn apply_par_matches_serial_apply() {
+        let (bx, pos) = LatticeSpec::bcc_fe(6).build();
+        let p = spatial_permutation(&bx, &pos, 2.9);
+        assert_eq!(p.apply_par(&pos), p.apply(&pos));
+        let mut in_place = pos.clone();
+        p.apply_in_place_par(&mut in_place);
+        assert_eq!(in_place, p.apply(&pos));
+    }
+
+    #[test]
+    fn parallel_spatial_permutation_matches_serial() {
+        let (bx, pos) = LatticeSpec::bcc_fe(6).build();
+        let serial = spatial_permutation(&bx, &pos, 2.9);
+        let parallel = spatial_permutation_parallel(&bx, &pos, 2.9);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -18,9 +18,10 @@
 //!   *Redundant Computation* (RC) baseline.
 
 use crate::cell_grid::CellGrid;
-use crate::csr::Csr;
+use crate::csr::{Csr, PAR_MIN_CHUNK};
 use crate::stats::NeighborStats;
 use md_geometry::{SimBox, Vec3};
+use rayon::prelude::*;
 
 /// Whether each pair is stored once (half) or twice (full).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -154,6 +155,122 @@ impl NeighborList {
         NeighborList {
             config,
             csr,
+            ref_positions: positions.to_vec(),
+        }
+    }
+
+    /// [`NeighborList::build`] with rayon-parallel binning and pair
+    /// generation, **bitwise-identical** to the serial build (same `offsets`,
+    /// same `indices`) for every thread count.
+    ///
+    /// Works per cell: each rayon task owns one cell and emits, for every
+    /// atom `i` in it, atom `i`'s complete neighbor row — `{j > i}` for the
+    /// half list, `{j ≠ i}` for the full list — sorted ascending. Row
+    /// contents are *sets* selected by a symmetric predicate (minimum-image
+    /// distance, evaluated in canonical `(min, max)` index order so both
+    /// sides of a pair see the exact same floating-point value), so neither
+    /// the cell schedule nor the thread count can change a row; the CSR
+    /// offsets are prefix sums of row lengths and inherit that invariance.
+    /// The serial build stores the same sets sorted ascending, hence
+    /// byte-for-byte equality.
+    ///
+    /// Runs on the current rayon pool — call inside `ThreadPool::install`.
+    /// On a one-worker pool or a small system it delegates to the serial
+    /// builder outright.
+    ///
+    /// # Panics
+    /// As [`NeighborList::build`].
+    pub fn build_parallel(
+        sim_box: &SimBox,
+        positions: &[Vec3],
+        config: VerletConfig,
+    ) -> NeighborList {
+        config.validate();
+        sim_box
+            .validate_cutoff(config.reach())
+            .expect("box too small for cutoff + skin");
+        if rayon::current_num_threads() <= 1 || positions.len() < PAR_MIN_CHUNK {
+            return NeighborList::build(sim_box, positions, config);
+        }
+        let reach_sq = config.reach() * config.reach();
+        let grid = CellGrid::build_parallel(sim_box, positions, config.reach());
+        let n = positions.len();
+        let n_cells = grid.cell_count();
+        let half = config.kind == NeighborListKind::Half;
+
+        // One task per cell: gather the rows of the cell's own atoms. The
+        // stencil is computed once per cell and its atom slices stay hot in
+        // cache across the cell's atoms (same locality the serial cell-pair
+        // walk enjoys).
+        let per_cell: Vec<Vec<(u32, Vec<u32>)>> = (0..n_cells)
+            .into_par_iter()
+            .map(|c| {
+                let atoms_c = grid.cell_atoms(c);
+                if atoms_c.is_empty() {
+                    return Vec::new();
+                }
+                let stencil = grid.stencil(c);
+                let mut out = Vec::with_capacity(atoms_c.len());
+                for &ia in atoms_c {
+                    let mut row: Vec<u32> = Vec::with_capacity(32);
+                    for &nc in &stencil {
+                        for &ja in grid.cell_atoms(nc) {
+                            let skip = if half { ja <= ia } else { ja == ia };
+                            if skip {
+                                continue;
+                            }
+                            // Canonical order: the serial build evaluates
+                            // every pair as (min, max); do the same so the
+                            // accept/reject decision is the identical FP
+                            // comparison.
+                            let (a, b) = if ia < ja { (ia, ja) } else { (ja, ia) };
+                            let d = sim_box
+                                .min_image(positions[a as usize], positions[b as usize]);
+                            if d.norm_sq() < reach_sq {
+                                row.push(ja);
+                            }
+                        }
+                    }
+                    row.sort_unstable();
+                    out.push((ia, row));
+                }
+                out
+            })
+            .collect();
+
+        // Re-index rows by atom id (cells partition the atoms, so this
+        // moves each row exactly once), then assemble the CSR with one
+        // prefix sum and a parallel per-row copy into disjoint slices.
+        let mut rows: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for cell_rows in per_cell {
+            for (ia, row) in cell_rows {
+                rows[ia as usize] = row;
+            }
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut total = 0u32;
+        offsets.push(0u32);
+        for r in &rows {
+            total = total
+                .checked_add(r.len() as u32)
+                .expect("CSR entry count overflows u32");
+            offsets.push(total);
+        }
+        let mut indices = vec![0u32; total as usize];
+        let mut slices: Vec<&mut [u32]> = Vec::with_capacity(n);
+        let mut rest = indices.as_mut_slice();
+        for r in &rows {
+            let (head, tail) = rest.split_at_mut(r.len());
+            slices.push(head);
+            rest = tail;
+        }
+        slices
+            .into_par_iter()
+            .zip(rows.par_iter())
+            .for_each(|(dst, src)| dst.copy_from_slice(src));
+        NeighborList {
+            config,
+            csr: Csr::from_raw(offsets, indices),
             ref_positions: positions.to_vec(),
         }
     }
@@ -340,6 +457,39 @@ mod tests {
         let fast = NeighborList::build(&bx, &pos, cfg);
         let slow = NeighborList::build_brute_force(&bx, &pos, cfg);
         assert_eq!(pair_set(&fast), pair_set(&slow));
+    }
+
+    #[test]
+    fn parallel_build_is_bitwise_identical_to_serial() {
+        // bcc_fe(9) = 1458 atoms > PAR_MIN_CHUNK, so the parallel path
+        // actually runs instead of delegating to the serial builder.
+        let (bx, pos) = LatticeSpec::bcc_fe(9).build();
+        for threads in [2usize, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            for cfg in [
+                VerletConfig::half(FE_CUTOFF, 0.3),
+                VerletConfig::full(FE_CUTOFF, 0.3),
+            ] {
+                let serial = NeighborList::build(&bx, &pos, cfg);
+                let parallel = pool.install(|| NeighborList::build_parallel(&bx, &pos, cfg));
+                assert_eq!(serial.csr().offsets(), parallel.csr().offsets());
+                assert_eq!(serial.csr().indices(), parallel.csr().indices());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_small_system_delegates_to_serial() {
+        let (bx, pos) = LatticeSpec::bcc_fe(5).build();
+        let cfg = VerletConfig::half(FE_CUTOFF, 0.3);
+        let serial = NeighborList::build(&bx, &pos, cfg);
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().expect("pool");
+        let parallel = pool.install(|| NeighborList::build_parallel(&bx, &pos, cfg));
+        assert_eq!(serial.csr().offsets(), parallel.csr().offsets());
+        assert_eq!(serial.csr().indices(), parallel.csr().indices());
     }
 
     #[test]

@@ -46,9 +46,14 @@
 pub mod case;
 pub mod machine;
 pub mod model;
+pub mod rebuild;
 pub mod table;
 
 pub use case::CaseGeometry;
 pub use machine::MachineParams;
 pub use model::{predict_seconds, speedup};
-pub use table::{fig9_rows, table1_rows, Fig9Row, Table1Row, FIG9_STRATEGIES, THREAD_SWEEP};
+pub use rebuild::{predict_step_with_rebuild, rebuild_seconds, speedup_with_rebuild};
+pub use table::{
+    fig9_rows, table1_rows, table1_rows_with_rebuild, Fig9Row, Table1Row, FIG9_STRATEGIES,
+    THREAD_SWEEP,
+};

@@ -62,6 +62,23 @@ pub struct MachineParams {
     /// costs `(1 + numa_penalty)` per access. 0 disables NUMA modeling
     /// (the paper's implicit flat-memory assumption).
     pub numa_penalty: f64,
+    /// Neighbor rebuild: per-atom cell-binning cost (one coordinate → cell
+    /// map plus a counting-sort pass).
+    pub bin_cost: f64,
+    /// Neighbor rebuild: cost of *examining* one candidate pair in the
+    /// stencil walk (distance check; cheaper than `pair_cost`, which also
+    /// evaluates the potential kernel).
+    pub pair_gen_cost: f64,
+    /// Neighbor rebuild: candidate pairs examined per stored half-pair. For
+    /// a 27-cell stencil with `cell ≈ r_c` this is the ratio of the stencil
+    /// volume to the cutoff-sphere volume, ≈ 27/(4π/3) ≈ 6.4.
+    pub candidate_ratio: f64,
+    /// Steps between list rebuilds (skin-triggered; ≈ 10 for the paper's
+    /// 0.3 Å skin at melt temperatures).
+    pub rebuild_every: f64,
+    /// Fork-join barriers per parallel rebuild (bin, scatter, pair
+    /// generation).
+    pub rebuild_barriers: f64,
 }
 
 impl Default for MachineParams {
@@ -85,6 +102,11 @@ impl Default for MachineParams {
             sweeps: 2,
             cores_per_socket: 4,
             numa_penalty: 0.0,
+            bin_cost: 5e-9,
+            pair_gen_cost: 25e-9,
+            candidate_ratio: 6.4,
+            rebuild_every: 10.0,
+            rebuild_barriers: 3.0,
         }
     }
 }

@@ -63,6 +63,35 @@ pub fn table1_rows(m: &MachineParams) -> Vec<Table1Row> {
     rows
 }
 
+/// [`table1_rows`] with the amortized neighbor-rebuild cost folded into
+/// every cell (see [`crate::rebuild`]): `parallel_rebuild = false` shows the
+/// Amdahl cap of a serial list build, `true` the recovered trajectory with
+/// the parallel build.
+pub fn table1_rows_with_rebuild(m: &MachineParams, parallel_rebuild: bool) -> Vec<Table1Row> {
+    let mut rows = Vec::with_capacity(12);
+    for case_id in 1..=4 {
+        let case = CaseGeometry::paper_case(case_id);
+        for dims in 1..=3 {
+            let mut speedups = [None; 6];
+            for (k, &p) in THREAD_SWEEP.iter().enumerate() {
+                speedups[k] = crate::rebuild::speedup_with_rebuild(
+                    m,
+                    &case,
+                    StrategyKind::Sdc { dims },
+                    p,
+                    parallel_rebuild,
+                );
+            }
+            rows.push(Table1Row {
+                case: case.name.clone(),
+                dims,
+                speedups,
+            });
+        }
+    }
+    rows
+}
+
 /// Generates every series of Fig. 9 (4 cases × 4 strategies).
 pub fn fig9_rows(m: &MachineParams) -> Vec<Fig9Row> {
     let mut rows = Vec::with_capacity(16);
@@ -161,6 +190,28 @@ mod tests {
                             THREAD_SWEEP[k]
                         );
                     }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_table_shows_cap_and_recovery() {
+        let m = MachineParams::default();
+        let pure = table1_rows(&m);
+        let capped = table1_rows_with_rebuild(&m, false);
+        let recovered = table1_rows_with_rebuild(&m, true);
+        assert_eq!(capped.len(), 12);
+        assert_eq!(recovered.len(), 12);
+        for ((p, c), r) in pure.iter().zip(&capped).zip(&recovered) {
+            for k in 0..6 {
+                match (p.speedups[k], c.speedups[k], r.speedups[k]) {
+                    (Some(pv), Some(cv), Some(rv)) => {
+                        assert!(cv < pv, "{}/{}D: serial rebuild must cost", p.case, p.dims);
+                        assert!(rv > cv, "{}/{}D: parallel rebuild must help", p.case, p.dims);
+                    }
+                    (None, None, None) => {}
+                    other => panic!("blank-cell pattern diverged: {other:?}"),
                 }
             }
         }

@@ -99,6 +99,7 @@ pub struct ForceEngine {
     strategy: StrategyKind,
     ctx: ParallelContext,
     verlet: VerletConfig,
+    parallel_list: bool,
     half: NeighborList,
     full: Option<NeighborList>,
     plan: Option<SdcPlan>,
@@ -106,6 +107,22 @@ pub struct ForceEngine {
     timers: PhaseTimers,
     rebuilds: usize,
     downgrades: Vec<DowngradeEvent>,
+}
+
+/// Builds the half list on `ctx`'s pool when `parallel` is set, serially
+/// otherwise. [`NeighborList::build_parallel`] is bitwise-identical to the
+/// serial build, so the choice never changes a trajectory.
+fn build_half_list(
+    ctx: &ParallelContext,
+    parallel: bool,
+    system: &System,
+    verlet: VerletConfig,
+) -> NeighborList {
+    if parallel && ctx.threads() > 1 {
+        ctx.install(|| NeighborList::build_parallel(system.sim_box(), system.positions(), verlet))
+    } else {
+        NeighborList::build(system.sim_box(), system.positions(), verlet)
+    }
 }
 
 impl ForceEngine {
@@ -133,7 +150,9 @@ impl ForceEngine {
             )?),
             _ => None,
         };
-        let half = NeighborList::build(system.sim_box(), system.positions(), verlet);
+        let ctx = ParallelContext::new(threads);
+        let parallel_list = threads > 1;
+        let half = build_half_list(&ctx, parallel_list, system, verlet);
         let full = strategy.needs_full_list().then(|| half.to_full());
         let localwrite = strategy
             .needs_localwrite_plan()
@@ -141,8 +160,9 @@ impl ForceEngine {
         Ok(ForceEngine {
             potential,
             strategy,
-            ctx: ParallelContext::new(threads),
+            ctx,
             verlet,
+            parallel_list,
             half,
             full,
             plan,
@@ -231,6 +251,18 @@ impl ForceEngine {
         self.rebuilds
     }
 
+    /// Whether neighbor-list rebuilds run on the thread pool. Defaults to
+    /// `threads > 1`; the output is identical either way.
+    #[inline]
+    pub fn parallel_list(&self) -> bool {
+        self.parallel_list
+    }
+
+    /// Forces neighbor-list rebuilds onto the serial (or parallel) path.
+    pub fn set_parallel_list(&mut self, parallel: bool) {
+        self.parallel_list = parallel;
+    }
+
     /// Every strategy downgrade recorded so far — at construction (via
     /// [`ForceEngine::with_fallback`]) or mid-run when a rebuild found the
     /// configured decomposition no longer feasible. Empty in the common case.
@@ -265,9 +297,15 @@ impl ForceEngine {
         let verlet = self.verlet;
         let mut strategy = self.strategy;
         let threads = self.ctx.threads();
+        let parallel_list = self.parallel_list;
         let mut events = Vec::new();
-        let (half, full, plan, localwrite) = self.timers.time(Phase::Neighbor, || {
-            let half = NeighborList::build(system.sim_box(), system.positions(), verlet);
+        let ForceEngine {
+            ref ctx,
+            ref mut timers,
+            ..
+        } = *self;
+        let (half, full, plan, localwrite) = timers.time(Phase::Neighbor, || {
+            let half = build_half_list(ctx, parallel_list, system, verlet);
             let plan = loop {
                 let StrategyKind::Sdc { dims } = strategy else {
                     break None;

@@ -16,7 +16,7 @@ use crate::timing::PhaseTimers;
 use crate::units::FE_MASS;
 use crate::velocity::init_velocities;
 use md_geometry::{LatticeSpec, Vec3};
-use md_neighbor::reorder::spatial_permutation;
+use md_neighbor::reorder::{spatial_permutation, spatial_permutation_parallel};
 use md_potential::{EamPotential, PairPotential};
 use sdc_core::{DowngradeEvent, StrategyKind};
 use std::sync::Arc;
@@ -53,12 +53,19 @@ impl Simulation {
                 .neighbor_list()
                 .needs_rebuild(self.system.sim_box(), self.system.positions())
         {
-            let perm = spatial_permutation(
-                self.system.sim_box(),
-                self.system.positions(),
-                self.engine.neighbor_list().config().reach(),
-            );
-            self.system.apply_permutation(&perm);
+            let reach = self.engine.neighbor_list().config().reach();
+            if self.engine.parallel_list() && self.engine.threads() > 1 {
+                let (system, engine) = (&mut self.system, &self.engine);
+                engine.ctx().install(|| {
+                    let perm =
+                        spatial_permutation_parallel(system.sim_box(), system.positions(), reach);
+                    system.apply_permutation_par(&perm);
+                });
+            } else {
+                let perm =
+                    spatial_permutation(self.system.sim_box(), self.system.positions(), reach);
+                self.system.apply_permutation(&perm);
+            }
             self.engine.rebuild(&self.system);
         }
         velocity_verlet(&mut self.system, &mut self.engine, self.dt);
@@ -271,6 +278,7 @@ pub struct SimulationBuilder {
     thermostat: Thermostat,
     reorder: bool,
     strategy_fallback: bool,
+    parallel_neighbor: Option<bool>,
 }
 
 impl SimulationBuilder {
@@ -288,6 +296,7 @@ impl SimulationBuilder {
             thermostat: Thermostat::None,
             reorder: false,
             strategy_fallback: true,
+            parallel_neighbor: None,
         }
     }
 
@@ -376,6 +385,15 @@ impl SimulationBuilder {
         self
     }
 
+    /// Overrides whether neighbor-list rebuilds run on the thread pool
+    /// (default: parallel iff `threads > 1`). The parallel build is bitwise
+    /// identical to the serial one, so this is a performance knob only —
+    /// trajectories never depend on it.
+    pub fn parallel_neighbor(mut self, on: bool) -> Self {
+        self.parallel_neighbor = Some(on);
+        self
+    }
+
     /// Builds the simulation: generates the system, initializes velocities,
     /// builds neighbor structures and computes the initial forces.
     pub fn build(self) -> Result<Simulation, EngineError> {
@@ -400,6 +418,9 @@ impl SimulationBuilder {
         } else {
             ForceEngine::new(&system, potential, self.strategy, self.threads, self.skin)?
         };
+        if let Some(on) = self.parallel_neighbor {
+            engine.set_parallel_list(on);
+        }
         engine.compute(&mut system);
         Ok(Simulation {
             system,

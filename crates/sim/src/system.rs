@@ -229,6 +229,18 @@ impl System {
         perm.apply_in_place(&mut self.fp);
     }
 
+    /// [`System::apply_permutation`] with rayon-parallel gathers (bitwise
+    /// identical — each output slot is written by one task). Run on the
+    /// engine's pool via `ParallelContext::install`.
+    pub fn apply_permutation_par(&mut self, perm: &Permutation) {
+        assert_eq!(perm.len(), self.len(), "permutation length mismatch");
+        perm.apply_in_place_par(&mut self.positions);
+        perm.apply_in_place_par(&mut self.velocities);
+        perm.apply_in_place_par(&mut self.forces);
+        perm.apply_in_place_par(&mut self.rho);
+        perm.apply_in_place_par(&mut self.fp);
+    }
+
     /// Uniformly rescales the box and all positions (affine deformation) —
     /// the paper's micro-deformation workload applies strain this way.
     pub fn deform(&mut self, factors: Vec3) {

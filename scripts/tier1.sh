@@ -12,19 +12,28 @@
 #      debug-only invariant; `cargo test` default profile already enables
 #      them — this job pins that explicitly so a profile tweak cannot
 #      silently turn them off)
+#   5. thread-matrix test job     (re-runs the determinism-sensitive crates
+#      under RAYON_NUM_THREADS=2 and =4, so the global-pool default thread
+#      count cannot mask a parallel neighbor-build or scatter divergence)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> [1/4] release build"
+echo "==> [1/5] release build"
 cargo build --release --workspace
 
-echo "==> [2/4] test suite"
+echo "==> [2/5] test suite"
 cargo test --workspace -q
 
-echo "==> [3/4] clippy (deny warnings)"
+echo "==> [3/5] clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> [4/4] debug-assertions test job"
+echo "==> [4/5] debug-assertions test job"
 RUSTFLAGS="-C debug-assertions=on" cargo test --workspace -q --profile dev
+
+echo "==> [5/5] thread-matrix test job"
+for t in 2 4; do
+  echo "    RAYON_NUM_THREADS=$t"
+  RAYON_NUM_THREADS="$t" cargo test -q -p md-neighbor -p sdc-core -p sdc-md
+done
 
 echo "tier-1: all green"

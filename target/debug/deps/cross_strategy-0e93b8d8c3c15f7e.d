@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_strategy-0e93b8d8c3c15f7e.d: tests/cross_strategy.rs
+
+/root/repo/target/debug/deps/cross_strategy-0e93b8d8c3c15f7e: tests/cross_strategy.rs
+
+tests/cross_strategy.rs:

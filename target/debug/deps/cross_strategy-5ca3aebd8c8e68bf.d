@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_strategy-5ca3aebd8c8e68bf.d: tests/cross_strategy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_strategy-5ca3aebd8c8e68bf.rmeta: tests/cross_strategy.rs Cargo.toml
+
+tests/cross_strategy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-098c5bab1e031e28.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/libfig9-098c5bab1e031e28.rmeta: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/md_neighbor-29add14d64144064.d: crates/neighbor/src/lib.rs crates/neighbor/src/cell_grid.rs crates/neighbor/src/csr.rs crates/neighbor/src/reorder.rs crates/neighbor/src/stats.rs crates/neighbor/src/verlet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmd_neighbor-29add14d64144064.rmeta: crates/neighbor/src/lib.rs crates/neighbor/src/cell_grid.rs crates/neighbor/src/csr.rs crates/neighbor/src/reorder.rs crates/neighbor/src/stats.rs crates/neighbor/src/verlet.rs Cargo.toml
+
+crates/neighbor/src/lib.rs:
+crates/neighbor/src/cell_grid.rs:
+crates/neighbor/src/csr.rs:
+crates/neighbor/src/reorder.rs:
+crates/neighbor/src/stats.rs:
+crates/neighbor/src/verlet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

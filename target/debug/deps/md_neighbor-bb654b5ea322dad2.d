@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/md_neighbor-bb654b5ea322dad2.d: crates/neighbor/src/lib.rs crates/neighbor/src/cell_grid.rs crates/neighbor/src/csr.rs crates/neighbor/src/reorder.rs crates/neighbor/src/stats.rs crates/neighbor/src/verlet.rs
+
+/root/repo/target/debug/deps/libmd_neighbor-bb654b5ea322dad2.rmeta: crates/neighbor/src/lib.rs crates/neighbor/src/cell_grid.rs crates/neighbor/src/csr.rs crates/neighbor/src/reorder.rs crates/neighbor/src/stats.rs crates/neighbor/src/verlet.rs
+
+crates/neighbor/src/lib.rs:
+crates/neighbor/src/cell_grid.rs:
+crates/neighbor/src/csr.rs:
+crates/neighbor/src/reorder.rs:
+crates/neighbor/src/stats.rs:
+crates/neighbor/src/verlet.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/md_neighbor-bf7975f94d606338.d: crates/neighbor/src/lib.rs crates/neighbor/src/cell_grid.rs crates/neighbor/src/csr.rs crates/neighbor/src/reorder.rs crates/neighbor/src/stats.rs crates/neighbor/src/verlet.rs
+
+/root/repo/target/debug/deps/md_neighbor-bf7975f94d606338: crates/neighbor/src/lib.rs crates/neighbor/src/cell_grid.rs crates/neighbor/src/csr.rs crates/neighbor/src/reorder.rs crates/neighbor/src/stats.rs crates/neighbor/src/verlet.rs
+
+crates/neighbor/src/lib.rs:
+crates/neighbor/src/cell_grid.rs:
+crates/neighbor/src/csr.rs:
+crates/neighbor/src/reorder.rs:
+crates/neighbor/src/stats.rs:
+crates/neighbor/src/verlet.rs:

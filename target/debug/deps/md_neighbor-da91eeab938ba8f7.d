@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/md_neighbor-da91eeab938ba8f7.d: crates/neighbor/src/lib.rs crates/neighbor/src/cell_grid.rs crates/neighbor/src/csr.rs crates/neighbor/src/reorder.rs crates/neighbor/src/stats.rs crates/neighbor/src/verlet.rs
+
+/root/repo/target/debug/deps/libmd_neighbor-da91eeab938ba8f7.rlib: crates/neighbor/src/lib.rs crates/neighbor/src/cell_grid.rs crates/neighbor/src/csr.rs crates/neighbor/src/reorder.rs crates/neighbor/src/stats.rs crates/neighbor/src/verlet.rs
+
+/root/repo/target/debug/deps/libmd_neighbor-da91eeab938ba8f7.rmeta: crates/neighbor/src/lib.rs crates/neighbor/src/cell_grid.rs crates/neighbor/src/csr.rs crates/neighbor/src/reorder.rs crates/neighbor/src/stats.rs crates/neighbor/src/verlet.rs
+
+crates/neighbor/src/lib.rs:
+crates/neighbor/src/cell_grid.rs:
+crates/neighbor/src/csr.rs:
+crates/neighbor/src/reorder.rs:
+crates/neighbor/src/stats.rs:
+crates/neighbor/src/verlet.rs:

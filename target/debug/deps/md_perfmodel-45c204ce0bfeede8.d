@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/md_perfmodel-45c204ce0bfeede8.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/case.rs crates/perfmodel/src/machine.rs crates/perfmodel/src/model.rs crates/perfmodel/src/rebuild.rs crates/perfmodel/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmd_perfmodel-45c204ce0bfeede8.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/case.rs crates/perfmodel/src/machine.rs crates/perfmodel/src/model.rs crates/perfmodel/src/rebuild.rs crates/perfmodel/src/table.rs Cargo.toml
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/case.rs:
+crates/perfmodel/src/machine.rs:
+crates/perfmodel/src/model.rs:
+crates/perfmodel/src/rebuild.rs:
+crates/perfmodel/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/md_perfmodel-53534a193fded445.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/case.rs crates/perfmodel/src/machine.rs crates/perfmodel/src/model.rs crates/perfmodel/src/rebuild.rs crates/perfmodel/src/table.rs
+
+/root/repo/target/debug/deps/libmd_perfmodel-53534a193fded445.rlib: crates/perfmodel/src/lib.rs crates/perfmodel/src/case.rs crates/perfmodel/src/machine.rs crates/perfmodel/src/model.rs crates/perfmodel/src/rebuild.rs crates/perfmodel/src/table.rs
+
+/root/repo/target/debug/deps/libmd_perfmodel-53534a193fded445.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/case.rs crates/perfmodel/src/machine.rs crates/perfmodel/src/model.rs crates/perfmodel/src/rebuild.rs crates/perfmodel/src/table.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/case.rs:
+crates/perfmodel/src/machine.rs:
+crates/perfmodel/src/model.rs:
+crates/perfmodel/src/rebuild.rs:
+crates/perfmodel/src/table.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/md_perfmodel-7ab6d415724a54fd.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/case.rs crates/perfmodel/src/machine.rs crates/perfmodel/src/model.rs crates/perfmodel/src/rebuild.rs crates/perfmodel/src/table.rs
+
+/root/repo/target/debug/deps/libmd_perfmodel-7ab6d415724a54fd.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/case.rs crates/perfmodel/src/machine.rs crates/perfmodel/src/model.rs crates/perfmodel/src/rebuild.rs crates/perfmodel/src/table.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/case.rs:
+crates/perfmodel/src/machine.rs:
+crates/perfmodel/src/model.rs:
+crates/perfmodel/src/rebuild.rs:
+crates/perfmodel/src/table.rs:

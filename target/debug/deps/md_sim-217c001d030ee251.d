@@ -1,0 +1,29 @@
+/root/repo/target/debug/deps/md_sim-217c001d030ee251.d: crates/sim/src/lib.rs crates/sim/src/analysis/mod.rs crates/sim/src/analysis/averager.rs crates/sim/src/analysis/msd.rs crates/sim/src/analysis/rdf.rs crates/sim/src/analysis/vacf.rs crates/sim/src/checkpoint.rs crates/sim/src/forces/mod.rs crates/sim/src/forces/eam.rs crates/sim/src/forces/pair.rs crates/sim/src/health.rs crates/sim/src/integrate.rs crates/sim/src/output.rs crates/sim/src/sim.rs crates/sim/src/stress.rs crates/sim/src/system.rs crates/sim/src/thermo.rs crates/sim/src/thermostat.rs crates/sim/src/timing.rs crates/sim/src/units.rs crates/sim/src/velocity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmd_sim-217c001d030ee251.rmeta: crates/sim/src/lib.rs crates/sim/src/analysis/mod.rs crates/sim/src/analysis/averager.rs crates/sim/src/analysis/msd.rs crates/sim/src/analysis/rdf.rs crates/sim/src/analysis/vacf.rs crates/sim/src/checkpoint.rs crates/sim/src/forces/mod.rs crates/sim/src/forces/eam.rs crates/sim/src/forces/pair.rs crates/sim/src/health.rs crates/sim/src/integrate.rs crates/sim/src/output.rs crates/sim/src/sim.rs crates/sim/src/stress.rs crates/sim/src/system.rs crates/sim/src/thermo.rs crates/sim/src/thermostat.rs crates/sim/src/timing.rs crates/sim/src/units.rs crates/sim/src/velocity.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/analysis/mod.rs:
+crates/sim/src/analysis/averager.rs:
+crates/sim/src/analysis/msd.rs:
+crates/sim/src/analysis/rdf.rs:
+crates/sim/src/analysis/vacf.rs:
+crates/sim/src/checkpoint.rs:
+crates/sim/src/forces/mod.rs:
+crates/sim/src/forces/eam.rs:
+crates/sim/src/forces/pair.rs:
+crates/sim/src/health.rs:
+crates/sim/src/integrate.rs:
+crates/sim/src/output.rs:
+crates/sim/src/sim.rs:
+crates/sim/src/stress.rs:
+crates/sim/src/system.rs:
+crates/sim/src/thermo.rs:
+crates/sim/src/thermostat.rs:
+crates/sim/src/timing.rs:
+crates/sim/src/units.rs:
+crates/sim/src/velocity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

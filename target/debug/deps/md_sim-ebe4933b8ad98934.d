@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/md_sim-ebe4933b8ad98934.d: crates/sim/src/lib.rs crates/sim/src/analysis/mod.rs crates/sim/src/analysis/averager.rs crates/sim/src/analysis/msd.rs crates/sim/src/analysis/rdf.rs crates/sim/src/analysis/vacf.rs crates/sim/src/checkpoint.rs crates/sim/src/forces/mod.rs crates/sim/src/forces/eam.rs crates/sim/src/forces/pair.rs crates/sim/src/health.rs crates/sim/src/integrate.rs crates/sim/src/output.rs crates/sim/src/sim.rs crates/sim/src/stress.rs crates/sim/src/system.rs crates/sim/src/thermo.rs crates/sim/src/thermostat.rs crates/sim/src/timing.rs crates/sim/src/units.rs crates/sim/src/velocity.rs
+
+/root/repo/target/debug/deps/libmd_sim-ebe4933b8ad98934.rmeta: crates/sim/src/lib.rs crates/sim/src/analysis/mod.rs crates/sim/src/analysis/averager.rs crates/sim/src/analysis/msd.rs crates/sim/src/analysis/rdf.rs crates/sim/src/analysis/vacf.rs crates/sim/src/checkpoint.rs crates/sim/src/forces/mod.rs crates/sim/src/forces/eam.rs crates/sim/src/forces/pair.rs crates/sim/src/health.rs crates/sim/src/integrate.rs crates/sim/src/output.rs crates/sim/src/sim.rs crates/sim/src/stress.rs crates/sim/src/system.rs crates/sim/src/thermo.rs crates/sim/src/thermostat.rs crates/sim/src/timing.rs crates/sim/src/units.rs crates/sim/src/velocity.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/analysis/mod.rs:
+crates/sim/src/analysis/averager.rs:
+crates/sim/src/analysis/msd.rs:
+crates/sim/src/analysis/rdf.rs:
+crates/sim/src/analysis/vacf.rs:
+crates/sim/src/checkpoint.rs:
+crates/sim/src/forces/mod.rs:
+crates/sim/src/forces/eam.rs:
+crates/sim/src/forces/pair.rs:
+crates/sim/src/health.rs:
+crates/sim/src/integrate.rs:
+crates/sim/src/output.rs:
+crates/sim/src/sim.rs:
+crates/sim/src/stress.rs:
+crates/sim/src/system.rs:
+crates/sim/src/thermo.rs:
+crates/sim/src/thermostat.rs:
+crates/sim/src/timing.rs:
+crates/sim/src/units.rs:
+crates/sim/src/velocity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mdrun-1a33b6de68247342.d: crates/bench/src/bin/mdrun.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmdrun-1a33b6de68247342.rmeta: crates/bench/src/bin/mdrun.rs Cargo.toml
+
+crates/bench/src/bin/mdrun.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

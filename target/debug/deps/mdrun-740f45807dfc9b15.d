@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mdrun-740f45807dfc9b15.d: crates/bench/src/bin/mdrun.rs
+
+/root/repo/target/debug/deps/mdrun-740f45807dfc9b15: crates/bench/src/bin/mdrun.rs
+
+crates/bench/src/bin/mdrun.rs:

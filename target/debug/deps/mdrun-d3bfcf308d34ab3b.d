@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mdrun-d3bfcf308d34ab3b.d: crates/bench/src/bin/mdrun.rs
+
+/root/repo/target/debug/deps/libmdrun-d3bfcf308d34ab3b.rmeta: crates/bench/src/bin/mdrun.rs
+
+crates/bench/src/bin/mdrun.rs:

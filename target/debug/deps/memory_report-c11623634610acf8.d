@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/memory_report-c11623634610acf8.d: crates/bench/src/bin/memory_report.rs
+
+/root/repo/target/debug/deps/libmemory_report-c11623634610acf8.rmeta: crates/bench/src/bin/memory_report.rs
+
+crates/bench/src/bin/memory_report.rs:

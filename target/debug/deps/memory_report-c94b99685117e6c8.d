@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/memory_report-c94b99685117e6c8.d: crates/bench/src/bin/memory_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemory_report-c94b99685117e6c8.rmeta: crates/bench/src/bin/memory_report.rs Cargo.toml
+
+crates/bench/src/bin/memory_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/memory_report-e152c9b652951bde.d: crates/bench/src/bin/memory_report.rs
+
+/root/repo/target/debug/deps/memory_report-e152c9b652951bde: crates/bench/src/bin/memory_report.rs
+
+crates/bench/src/bin/memory_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/numa_ablation-027a7aea5a43b76f.d: crates/bench/src/bin/numa_ablation.rs
+
+/root/repo/target/debug/deps/numa_ablation-027a7aea5a43b76f: crates/bench/src/bin/numa_ablation.rs
+
+crates/bench/src/bin/numa_ablation.rs:

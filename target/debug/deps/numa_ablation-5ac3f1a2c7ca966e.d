@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/numa_ablation-5ac3f1a2c7ca966e.d: crates/bench/src/bin/numa_ablation.rs
+
+/root/repo/target/debug/deps/libnuma_ablation-5ac3f1a2c7ca966e.rmeta: crates/bench/src/bin/numa_ablation.rs
+
+crates/bench/src/bin/numa_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/numa_ablation-638aa3772195e5ba.d: crates/bench/src/bin/numa_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnuma_ablation-638aa3772195e5ba.rmeta: crates/bench/src/bin/numa_ablation.rs Cargo.toml
+
+crates/bench/src/bin/numa_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_artifacts-007469d76c958552.d: tests/paper_artifacts.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_artifacts-007469d76c958552.rmeta: tests/paper_artifacts.rs Cargo.toml
+
+tests/paper_artifacts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/physics-3c32659d37afca8c.d: tests/physics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphysics-3c32659d37afca8c.rmeta: tests/physics.rs Cargo.toml
+
+tests/physics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

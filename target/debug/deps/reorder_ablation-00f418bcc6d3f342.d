@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reorder_ablation-00f418bcc6d3f342.d: crates/bench/src/bin/reorder_ablation.rs
+
+/root/repo/target/debug/deps/libreorder_ablation-00f418bcc6d3f342.rmeta: crates/bench/src/bin/reorder_ablation.rs
+
+crates/bench/src/bin/reorder_ablation.rs:

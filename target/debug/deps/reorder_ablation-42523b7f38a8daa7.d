@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reorder_ablation-42523b7f38a8daa7.d: crates/bench/src/bin/reorder_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreorder_ablation-42523b7f38a8daa7.rmeta: crates/bench/src/bin/reorder_ablation.rs Cargo.toml
+
+crates/bench/src/bin/reorder_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

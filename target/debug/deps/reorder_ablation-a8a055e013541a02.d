@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reorder_ablation-a8a055e013541a02.d: crates/bench/src/bin/reorder_ablation.rs
+
+/root/repo/target/debug/deps/reorder_ablation-a8a055e013541a02: crates/bench/src/bin/reorder_ablation.rs
+
+crates/bench/src/bin/reorder_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reorder_integration-244d1cffbb585e7b.d: tests/reorder_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreorder_integration-244d1cffbb585e7b.rmeta: tests/reorder_integration.rs Cargo.toml
+
+tests/reorder_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness-340942900468815e.d: tests/robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness-340942900468815e.rmeta: tests/robustness.rs Cargo.toml
+
+tests/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdc_bench-5cf4dba4cb71e099.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsdc_bench-5cf4dba4cb71e099.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

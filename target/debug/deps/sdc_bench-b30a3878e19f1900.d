@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sdc_bench-b30a3878e19f1900.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsdc_bench-b30a3878e19f1900.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdc_bench-c44e44031c1561ad.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/sdc_bench-c44e44031c1561ad: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sdc_bench-e61b7135a339409d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsdc_bench-e61b7135a339409d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsdc_bench-e61b7135a339409d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

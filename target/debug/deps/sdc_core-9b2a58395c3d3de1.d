@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/sdc_core-9b2a58395c3d3de1.d: crates/core/src/lib.rs crates/core/src/context.rs crates/core/src/decomposition.rs crates/core/src/plan.rs crates/core/src/scatter.rs crates/core/src/shared.rs crates/core/src/strategies/mod.rs crates/core/src/strategies/atomic.rs crates/core/src/strategies/critical.rs crates/core/src/strategies/localwrite.rs crates/core/src/strategies/locked.rs crates/core/src/strategies/privatized.rs crates/core/src/strategies/redundant.rs crates/core/src/strategies/sdc.rs crates/core/src/strategies/serial.rs
+
+/root/repo/target/debug/deps/sdc_core-9b2a58395c3d3de1: crates/core/src/lib.rs crates/core/src/context.rs crates/core/src/decomposition.rs crates/core/src/plan.rs crates/core/src/scatter.rs crates/core/src/shared.rs crates/core/src/strategies/mod.rs crates/core/src/strategies/atomic.rs crates/core/src/strategies/critical.rs crates/core/src/strategies/localwrite.rs crates/core/src/strategies/locked.rs crates/core/src/strategies/privatized.rs crates/core/src/strategies/redundant.rs crates/core/src/strategies/sdc.rs crates/core/src/strategies/serial.rs
+
+crates/core/src/lib.rs:
+crates/core/src/context.rs:
+crates/core/src/decomposition.rs:
+crates/core/src/plan.rs:
+crates/core/src/scatter.rs:
+crates/core/src/shared.rs:
+crates/core/src/strategies/mod.rs:
+crates/core/src/strategies/atomic.rs:
+crates/core/src/strategies/critical.rs:
+crates/core/src/strategies/localwrite.rs:
+crates/core/src/strategies/locked.rs:
+crates/core/src/strategies/privatized.rs:
+crates/core/src/strategies/redundant.rs:
+crates/core/src/strategies/sdc.rs:
+crates/core/src/strategies/serial.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/sdc_core-cd6edc617f67dd40.d: crates/core/src/lib.rs crates/core/src/context.rs crates/core/src/decomposition.rs crates/core/src/plan.rs crates/core/src/scatter.rs crates/core/src/shared.rs crates/core/src/strategies/mod.rs crates/core/src/strategies/atomic.rs crates/core/src/strategies/critical.rs crates/core/src/strategies/localwrite.rs crates/core/src/strategies/locked.rs crates/core/src/strategies/privatized.rs crates/core/src/strategies/redundant.rs crates/core/src/strategies/sdc.rs crates/core/src/strategies/serial.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsdc_core-cd6edc617f67dd40.rmeta: crates/core/src/lib.rs crates/core/src/context.rs crates/core/src/decomposition.rs crates/core/src/plan.rs crates/core/src/scatter.rs crates/core/src/shared.rs crates/core/src/strategies/mod.rs crates/core/src/strategies/atomic.rs crates/core/src/strategies/critical.rs crates/core/src/strategies/localwrite.rs crates/core/src/strategies/locked.rs crates/core/src/strategies/privatized.rs crates/core/src/strategies/redundant.rs crates/core/src/strategies/sdc.rs crates/core/src/strategies/serial.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/context.rs:
+crates/core/src/decomposition.rs:
+crates/core/src/plan.rs:
+crates/core/src/scatter.rs:
+crates/core/src/shared.rs:
+crates/core/src/strategies/mod.rs:
+crates/core/src/strategies/atomic.rs:
+crates/core/src/strategies/critical.rs:
+crates/core/src/strategies/localwrite.rs:
+crates/core/src/strategies/locked.rs:
+crates/core/src/strategies/privatized.rs:
+crates/core/src/strategies/redundant.rs:
+crates/core/src/strategies/sdc.rs:
+crates/core/src/strategies/serial.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

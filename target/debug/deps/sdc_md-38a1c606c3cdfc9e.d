@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdc_md-38a1c606c3cdfc9e.d: src/lib.rs
+
+/root/repo/target/debug/deps/sdc_md-38a1c606c3cdfc9e: src/lib.rs
+
+src/lib.rs:

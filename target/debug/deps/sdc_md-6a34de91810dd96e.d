@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sdc_md-6a34de91810dd96e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsdc_md-6a34de91810dd96e.rmeta: src/lib.rs
+
+src/lib.rs:

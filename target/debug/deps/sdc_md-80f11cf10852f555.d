@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sdc_md-80f11cf10852f555.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsdc_md-80f11cf10852f555.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsdc_md-80f11cf10852f555.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sdc_md-a847f901a4b927f1.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsdc_md-a847f901a4b927f1.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

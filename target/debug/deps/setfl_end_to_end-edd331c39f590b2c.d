@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/setfl_end_to_end-edd331c39f590b2c.d: tests/setfl_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsetfl_end_to_end-edd331c39f590b2c.rmeta: tests/setfl_end_to_end.rs Cargo.toml
+
+tests/setfl_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

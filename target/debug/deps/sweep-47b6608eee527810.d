@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-47b6608eee527810.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/libsweep-47b6608eee527810.rmeta: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-ad3fee3414b5c3fa.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-ad3fee3414b5c3fa: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-60c47cd252085c9d.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-60c47cd252085c9d: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-a01ca68a236ca289.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-a01ca68a236ca289: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

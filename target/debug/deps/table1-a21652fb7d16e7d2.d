@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-a21652fb7d16e7d2.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-a21652fb7d16e7d2.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zz_tmp_conformance_check-dfae69cb4004fb56.d: tests/zz_tmp_conformance_check.rs
+
+/root/repo/target/debug/deps/libzz_tmp_conformance_check-dfae69cb4004fb56.rmeta: tests/zz_tmp_conformance_check.rs
+
+tests/zz_tmp_conformance_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dump_model-388d4bb24a755826.d: crates/perfmodel/examples/dump_model.rs
+
+/root/repo/target/debug/examples/dump_model-388d4bb24a755826: crates/perfmodel/examples/dump_model.rs
+
+crates/perfmodel/examples/dump_model.rs:

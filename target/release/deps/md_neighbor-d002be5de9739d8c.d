@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/md_neighbor-d002be5de9739d8c.d: crates/neighbor/src/lib.rs crates/neighbor/src/cell_grid.rs crates/neighbor/src/csr.rs crates/neighbor/src/reorder.rs crates/neighbor/src/stats.rs crates/neighbor/src/verlet.rs
+
+/root/repo/target/release/deps/libmd_neighbor-d002be5de9739d8c.rlib: crates/neighbor/src/lib.rs crates/neighbor/src/cell_grid.rs crates/neighbor/src/csr.rs crates/neighbor/src/reorder.rs crates/neighbor/src/stats.rs crates/neighbor/src/verlet.rs
+
+/root/repo/target/release/deps/libmd_neighbor-d002be5de9739d8c.rmeta: crates/neighbor/src/lib.rs crates/neighbor/src/cell_grid.rs crates/neighbor/src/csr.rs crates/neighbor/src/reorder.rs crates/neighbor/src/stats.rs crates/neighbor/src/verlet.rs
+
+crates/neighbor/src/lib.rs:
+crates/neighbor/src/cell_grid.rs:
+crates/neighbor/src/csr.rs:
+crates/neighbor/src/reorder.rs:
+crates/neighbor/src/stats.rs:
+crates/neighbor/src/verlet.rs:

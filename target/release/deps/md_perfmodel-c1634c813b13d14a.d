@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/md_perfmodel-c1634c813b13d14a.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/case.rs crates/perfmodel/src/machine.rs crates/perfmodel/src/model.rs crates/perfmodel/src/rebuild.rs crates/perfmodel/src/table.rs
+
+/root/repo/target/release/deps/libmd_perfmodel-c1634c813b13d14a.rlib: crates/perfmodel/src/lib.rs crates/perfmodel/src/case.rs crates/perfmodel/src/machine.rs crates/perfmodel/src/model.rs crates/perfmodel/src/rebuild.rs crates/perfmodel/src/table.rs
+
+/root/repo/target/release/deps/libmd_perfmodel-c1634c813b13d14a.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/case.rs crates/perfmodel/src/machine.rs crates/perfmodel/src/model.rs crates/perfmodel/src/rebuild.rs crates/perfmodel/src/table.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/case.rs:
+crates/perfmodel/src/machine.rs:
+crates/perfmodel/src/model.rs:
+crates/perfmodel/src/rebuild.rs:
+crates/perfmodel/src/table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_artifacts-ad715a175dc5a62c.d: tests/paper_artifacts.rs
+
+/root/repo/target/release/deps/paper_artifacts-ad715a175dc5a62c: tests/paper_artifacts.rs
+
+tests/paper_artifacts.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/physics-e1f0b3b1aed173a8.d: tests/physics.rs
+
+/root/repo/target/release/deps/physics-e1f0b3b1aed173a8: tests/physics.rs
+
+tests/physics.rs:

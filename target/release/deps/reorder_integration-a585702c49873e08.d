@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reorder_integration-a585702c49873e08.d: tests/reorder_integration.rs
+
+/root/repo/target/release/deps/reorder_integration-a585702c49873e08: tests/reorder_integration.rs
+
+tests/reorder_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robustness-97312e8557e8c36b.d: tests/robustness.rs
+
+/root/repo/target/release/deps/robustness-97312e8557e8c36b: tests/robustness.rs
+
+tests/robustness.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/sdc_core-f1ff90a7f7d15650.d: crates/core/src/lib.rs crates/core/src/context.rs crates/core/src/decomposition.rs crates/core/src/plan.rs crates/core/src/scatter.rs crates/core/src/shared.rs crates/core/src/strategies/mod.rs crates/core/src/strategies/atomic.rs crates/core/src/strategies/critical.rs crates/core/src/strategies/localwrite.rs crates/core/src/strategies/locked.rs crates/core/src/strategies/privatized.rs crates/core/src/strategies/redundant.rs crates/core/src/strategies/sdc.rs crates/core/src/strategies/serial.rs
+
+/root/repo/target/release/deps/libsdc_core-f1ff90a7f7d15650.rlib: crates/core/src/lib.rs crates/core/src/context.rs crates/core/src/decomposition.rs crates/core/src/plan.rs crates/core/src/scatter.rs crates/core/src/shared.rs crates/core/src/strategies/mod.rs crates/core/src/strategies/atomic.rs crates/core/src/strategies/critical.rs crates/core/src/strategies/localwrite.rs crates/core/src/strategies/locked.rs crates/core/src/strategies/privatized.rs crates/core/src/strategies/redundant.rs crates/core/src/strategies/sdc.rs crates/core/src/strategies/serial.rs
+
+/root/repo/target/release/deps/libsdc_core-f1ff90a7f7d15650.rmeta: crates/core/src/lib.rs crates/core/src/context.rs crates/core/src/decomposition.rs crates/core/src/plan.rs crates/core/src/scatter.rs crates/core/src/shared.rs crates/core/src/strategies/mod.rs crates/core/src/strategies/atomic.rs crates/core/src/strategies/critical.rs crates/core/src/strategies/localwrite.rs crates/core/src/strategies/locked.rs crates/core/src/strategies/privatized.rs crates/core/src/strategies/redundant.rs crates/core/src/strategies/sdc.rs crates/core/src/strategies/serial.rs
+
+crates/core/src/lib.rs:
+crates/core/src/context.rs:
+crates/core/src/decomposition.rs:
+crates/core/src/plan.rs:
+crates/core/src/scatter.rs:
+crates/core/src/shared.rs:
+crates/core/src/strategies/mod.rs:
+crates/core/src/strategies/atomic.rs:
+crates/core/src/strategies/critical.rs:
+crates/core/src/strategies/localwrite.rs:
+crates/core/src/strategies/locked.rs:
+crates/core/src/strategies/privatized.rs:
+crates/core/src/strategies/redundant.rs:
+crates/core/src/strategies/sdc.rs:
+crates/core/src/strategies/serial.rs:

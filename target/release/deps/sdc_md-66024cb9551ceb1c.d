@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sdc_md-66024cb9551ceb1c.d: src/lib.rs
+
+/root/repo/target/release/deps/libsdc_md-66024cb9551ceb1c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsdc_md-66024cb9551ceb1c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/setfl_end_to_end-cfeccf583b0741e7.d: tests/setfl_end_to_end.rs
+
+/root/repo/target/release/deps/setfl_end_to_end-cfeccf583b0741e7: tests/setfl_end_to_end.rs
+
+tests/setfl_end_to_end.rs:

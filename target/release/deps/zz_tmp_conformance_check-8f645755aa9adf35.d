@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/zz_tmp_conformance_check-8f645755aa9adf35.d: tests/zz_tmp_conformance_check.rs
+
+/root/repo/target/release/deps/zz_tmp_conformance_check-8f645755aa9adf35: tests/zz_tmp_conformance_check.rs
+
+tests/zz_tmp_conformance_check.rs:

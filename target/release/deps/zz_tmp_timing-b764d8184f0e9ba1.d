@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/zz_tmp_timing-b764d8184f0e9ba1.d: tests/zz_tmp_timing.rs
+
+/root/repo/target/release/deps/zz_tmp_timing-b764d8184f0e9ba1: tests/zz_tmp_timing.rs
+
+tests/zz_tmp_timing.rs:

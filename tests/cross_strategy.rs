@@ -53,6 +53,9 @@ fn deterministic_strategies_reproduce_trajectories_across_thread_counts() {
         StrategyKind::Privatized,
         StrategyKind::Redundant,
     ] {
+        // 1 thread takes the serial list-build path, 4 threads the parallel
+        // one (the builder default) — so this also pins that the parallel
+        // list build never perturbs a trajectory.
         let mut one = fe_sim(strategy, 1, 17);
         let mut four = fe_sim(strategy, 4, 17);
         one.run(5);
@@ -71,7 +74,67 @@ fn deterministic_strategies_reproduce_trajectories_across_thread_counts() {
                 "{strategy} not thread-count invariant"
             );
         }
+        // The active neighbor CSR must be bitwise identical regardless of
+        // thread count or list-build path.
+        assert_eq!(
+            one.engine().neighbor_list().csr().offsets(),
+            four.engine().neighbor_list().csr().offsets(),
+            "{strategy}: neighbor offsets diverged across thread counts"
+        );
+        assert_eq!(
+            one.engine().neighbor_list().csr().indices(),
+            four.engine().neighbor_list().csr().indices(),
+            "{strategy}: neighbor indices diverged across thread counts"
+        );
     }
+}
+
+#[test]
+fn parallel_and_serial_list_builds_give_identical_trajectories() {
+    // Same seed, same thread count, same strategy — only the list-build
+    // path differs. A melt hot enough to force several rebuilds (and, with
+    // reorder on, several parallel permutation applications) must stay
+    // bitwise identical.
+    let build = |parallel: bool| {
+        Simulation::builder(LatticeSpec::bcc_fe(17))
+            .potential(AnalyticEam::fe())
+            .strategy(StrategyKind::Sdc { dims: 2 })
+            .threads(4)
+            .temperature(1200.0)
+            .seed(99)
+            .reorder(true)
+            .parallel_neighbor(parallel)
+            .build()
+            .expect("buildable configuration")
+    };
+    let mut serial_list = build(false);
+    let mut parallel_list = build(true);
+    assert!(!serial_list.engine().parallel_list());
+    assert!(parallel_list.engine().parallel_list());
+    serial_list.run(40);
+    parallel_list.run(40);
+    assert!(
+        parallel_list.engine().rebuilds() > 0,
+        "melt never rebuilt; the parallel path went unexercised"
+    );
+    assert_eq!(
+        serial_list.engine().rebuilds(),
+        parallel_list.engine().rebuilds(),
+        "rebuild cadence must not depend on the build path"
+    );
+    assert_eq!(
+        serial_list.system().positions(),
+        parallel_list.system().positions(),
+        "trajectories diverged between serial and parallel list builds"
+    );
+    assert_eq!(
+        serial_list.engine().neighbor_list().csr().offsets(),
+        parallel_list.engine().neighbor_list().csr().offsets()
+    );
+    assert_eq!(
+        serial_list.engine().neighbor_list().csr().indices(),
+        parallel_list.engine().neighbor_list().csr().indices()
+    );
 }
 
 #[test]
