@@ -31,9 +31,11 @@ use md_sim::analysis::ThermoAverager;
 use md_sim::checkpoint::{load_checkpoint, save_checkpoint};
 use md_sim::health::RecoveryConfig;
 use md_sim::output::{ThermoLog, XyzWriter};
+use md_perfmodel::{MachineParams, ObservedImbalance};
+use md_sim::metrics::report::{RunInfo, RunReport};
 use md_sim::{Simulation, StrategyKind, Thermo, Thermostat};
 use sdc_bench::Args;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 const USAGE: &str = "\
 usage: mdrun [options]
@@ -56,6 +58,8 @@ usage: mdrun [options]
   --checkpoint PATH         checkpoint file (final state; with
                             --checkpoint-every/--recover also periodic)
   --checkpoint-every N      save a checkpoint every N steps (atomic write)
+  --metrics-out PATH        record per-color/per-thread metrics and write a
+                            machine-readable JSON run report
   --recover                 run under fault supervision: roll back to the
                             last checkpoint and retry with a smaller dt
   --max-retries N           fault retries before giving up (default 3)";
@@ -77,6 +81,7 @@ const KNOWN_FLAGS: &[&str] = &[
     "--log",
     "--checkpoint",
     "--checkpoint-every",
+    "--metrics-out",
     "--recover",
     "--max-retries",
 ];
@@ -132,6 +137,7 @@ fn run(args: &Args) -> Result<(), String> {
     let thermostat = parse_thermostat(args.get_str("--thermostat").unwrap_or("none"))?;
     let reorder = args.flag("--reorder");
     let checkpoint_every: usize = args.try_get_or("--checkpoint-every", 0)?;
+    let metrics_out: Option<PathBuf> = args.get_str("--metrics-out").map(PathBuf::from);
     let recover = args.flag("--recover");
     let max_retries: usize = args.try_get_or("--max-retries", 3)?;
     let checkpoint_path: Option<PathBuf> = args
@@ -182,6 +188,7 @@ fn run(args: &Args) -> Result<(), String> {
         .seed(seed)
         .thermostat(thermostat)
         .reorder(reorder)
+        .metrics(metrics_out.is_some())
         .build()
         .map_err(|e| format!("cannot build simulation: {e}"))?;
     for event in sim.downgrades() {
@@ -259,10 +266,59 @@ fn run(args: &Args) -> Result<(), String> {
     println!("\n{averages}");
     println!("\nphase timing:\n{}", sim.timers());
 
+    if let Some(path) = &metrics_out {
+        emit_metrics_report(&sim, path, dt)?;
+    }
+
     if let Some(path) = &checkpoint_path {
         save_checkpoint(path, sim.system(), sim.step_count())
             .map_err(|e| format!("checkpoint write failed: {e}"))?;
         println!("checkpoint saved to '{}'", path.display());
+    }
+    Ok(())
+}
+
+/// Writes the JSON run report and prints the observed-vs-modeled imbalance
+/// summary (per-color walls, per-thread busy/wait, barrier-wait comparison
+/// against the Table-1 machine constants).
+fn emit_metrics_report(sim: &Simulation, path: &Path, dt: f64) -> Result<(), String> {
+    let metrics = sim
+        .metrics()
+        .ok_or_else(|| "metrics layer was not enabled".to_string())?;
+    let engine = sim.engine();
+    let info = RunInfo {
+        atoms: sim.system().len(),
+        steps: sim.step_count(),
+        threads: engine.threads(),
+        strategy: engine.strategy().name().to_string(),
+        dt_ps: dt,
+    };
+    let report = RunReport::collect(&info, sim.timers(), metrics);
+    report
+        .write_to(path)
+        .map_err(|e| format!("cannot write metrics report '{}': {e}", path.display()))?;
+    println!("metrics report written to '{}'", path.display());
+
+    let scatter = &metrics.scatter;
+    let busy: Vec<u64> = scatter.thread_busy_ns.iter().map(|c| c.get()).collect();
+    let observed = ObservedImbalance::new(
+        busy,
+        scatter.total_color_wall_ns(),
+        scatter.color_barriers.get(),
+    );
+    if observed.barriers > 0 {
+        let machine = MachineParams::default();
+        println!(
+            "color regions: imbalance factor {:.3}, efficiency {:.1}%",
+            observed.imbalance_factor(),
+            100.0 * observed.efficiency()
+        );
+        println!(
+            "barrier wait: observed {:.2} us/barrier vs model {:.2} us (ratio {:.2})",
+            1e6 * observed.mean_barrier_wait_seconds(),
+            1e6 * observed.predicted_barrier_wait_seconds(&machine),
+            observed.barrier_wait_ratio(&machine)
+        );
     }
     Ok(())
 }

@@ -197,6 +197,26 @@ impl Args {
         Ok(self.try_get(name)?.unwrap_or(default))
     }
 
+    /// Positional arguments: tokens that are neither a flag nor the token
+    /// immediately following one. Only valid for CLIs whose flags all take
+    /// a value (every `--…` consumes its successor).
+    pub fn positional(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        let mut skip = false;
+        for a in &self.raw {
+            if skip {
+                skip = false;
+                continue;
+            }
+            if a.starts_with("--") {
+                skip = true;
+                continue;
+            }
+            out.push(a.as_str());
+        }
+        out
+    }
+
     /// Tokens that look like flags (`--…`) but are not in `known` — typos
     /// a strict CLI should reject instead of silently ignoring.
     pub fn unknown_flags(&self, known: &[&str]) -> Vec<String> {
@@ -246,6 +266,18 @@ mod tests {
         assert_eq!(args.try_get::<usize>("--steps").unwrap(), Some(7));
         assert_eq!(args.try_get::<usize>("--cells").unwrap(), None);
         assert_eq!(args.try_get_or("--cells", 10).unwrap(), 10);
+    }
+
+    #[test]
+    fn positional_skips_flags_and_their_values() {
+        let args = Args::from_vec(vec![
+            "base.json".into(),
+            "--tol".into(),
+            "1.5".into(),
+            "cand.json".into(),
+        ]);
+        assert_eq!(args.positional(), vec!["base.json", "cand.json"]);
+        assert!(Args::from_vec(vec!["--tol".into(), "2".into()]).positional().is_empty());
     }
 
     #[test]

@@ -38,6 +38,7 @@
 
 pub mod context;
 pub mod decomposition;
+pub mod metrics;
 pub mod plan;
 pub mod scatter;
 pub mod shared;
@@ -45,6 +46,7 @@ pub mod strategies;
 
 pub use context::ParallelContext;
 pub use decomposition::{ColoredDecomposition, DecompositionConfig, DecompositionError};
+pub use metrics::{Counter, DurationHistogram, Gauge, ScatterMetrics};
 pub use plan::SdcPlan;
 pub use scatter::{PairTerm, ScatterValue};
 pub use strategies::{DowngradeEvent, ScatterExec, StrategyKind};

@@ -9,6 +9,7 @@
 //! every core count; so do we.
 
 use crate::context::ParallelContext;
+use crate::metrics::ScatterMetrics;
 use crate::scatter::{PairTerm, ScatterValue};
 use crate::shared::SharedSlice;
 use md_neighbor::Csr;
@@ -22,13 +23,30 @@ pub fn scatter_critical<V: ScatterValue>(
     out: &mut [V],
     kernel: &(impl Fn(usize, usize) -> Option<PairTerm<V>> + Sync),
 ) {
+    scatter_critical_metered(ctx, half, out, kernel, None);
+}
+
+/// [`scatter_critical`] with optional instrumentation: every acquisition of
+/// the global lock is counted (one per contributing pair — exactly the
+/// serialized traffic the paper blames for CS's flat speedup). Counts
+/// accumulate in a per-row local and flush with one atomic add per row, so
+/// the pair loop itself gains no atomic traffic.
+pub fn scatter_critical_metered<V: ScatterValue>(
+    ctx: &ParallelContext,
+    half: &Csr,
+    out: &mut [V],
+    kernel: &(impl Fn(usize, usize) -> Option<PairTerm<V>> + Sync),
+    metrics: Option<&ScatterMetrics>,
+) {
     let lock = Mutex::new(());
     let shared = SharedSlice::new(out);
     ctx.install(|| {
         (0..half.rows()).into_par_iter().for_each(|i| {
+            let mut acquisitions = 0u64;
             for &j in half.row(i) {
                 if let Some(t) = kernel(i, j as usize) {
                     let _guard = lock.lock();
+                    acquisitions += 1;
                     // SAFETY: the global mutex serializes every access to the
                     // shared array; the mutex's acquire/release ordering
                     // makes the updates visible across threads.
@@ -37,6 +55,9 @@ pub fn scatter_critical<V: ScatterValue>(
                         shared.get_mut(j as usize).add(t.to_j);
                     }
                 }
+            }
+            if let Some(m) = metrics {
+                m.lock_acquisitions.add(acquisitions);
             }
         });
     });

@@ -16,6 +16,7 @@ pub mod sdc;
 pub mod serial;
 
 use crate::context::ParallelContext;
+use crate::metrics::ScatterMetrics;
 use crate::plan::SdcPlan;
 use crate::scatter::{PairTerm, ScatterValue};
 use md_neighbor::Csr;
@@ -182,6 +183,9 @@ pub struct ScatterExec<'a> {
     pub plan: Option<&'a SdcPlan>,
     /// LOCALWRITE inspector plan (`LocalWrite` only).
     pub localwrite: Option<&'a localwrite::LocalWritePlan>,
+    /// Instrumentation sink ([`crate::metrics`]); `None` disables all
+    /// recording at zero cost in the pair loops.
+    pub metrics: Option<&'a ScatterMetrics>,
 }
 
 impl ScatterExec<'_> {
@@ -215,23 +219,31 @@ impl ScatterExec<'_> {
                     dims,
                     "plan dimensionality does not match StrategyKind::Sdc"
                 );
-                sdc::scatter_sdc(self.ctx, plan, self.half, out, kernel);
+                sdc::scatter_sdc_metered(self.ctx, plan, self.half, out, kernel, self.metrics);
             }
-            StrategyKind::Critical => critical::scatter_critical(self.ctx, self.half, out, kernel),
+            StrategyKind::Critical => {
+                critical::scatter_critical_metered(self.ctx, self.half, out, kernel, self.metrics)
+            }
             StrategyKind::Atomic => atomic::scatter_atomic(self.ctx, self.half, out, kernel),
-            StrategyKind::Locks => locked::scatter_locked(self.ctx, self.half, out, kernel),
+            StrategyKind::Locks => {
+                locked::scatter_locked_metered(self.ctx, self.half, out, kernel, self.metrics)
+            }
             StrategyKind::LocalWrite => {
                 let plan = self
                     .localwrite
                     .expect("LocalWrite strategy requires an inspector plan");
                 localwrite::scatter_localwrite(self.ctx, plan, out, kernel);
             }
-            StrategyKind::Privatized => {
-                privatized::scatter_privatized(self.ctx, self.half, out, kernel)
-            }
+            StrategyKind::Privatized => privatized::scatter_privatized_metered(
+                self.ctx,
+                self.half,
+                out,
+                kernel,
+                self.metrics,
+            ),
             StrategyKind::Redundant => {
                 let full = self.full.expect("Redundant strategy requires a full list");
-                redundant::scatter_redundant(self.ctx, full, out, kernel);
+                redundant::scatter_redundant_metered(self.ctx, full, out, kernel, self.metrics);
             }
         }
     }
@@ -289,6 +301,7 @@ mod tests {
             full: Some(&f.full),
             plan,
             localwrite: Some(&f.lw),
+            metrics: None,
         };
         let pos = &f.pos;
         let sim_box = &f.sim_box;
@@ -318,6 +331,7 @@ mod tests {
             full: Some(&f.full),
             plan,
             localwrite: Some(&f.lw),
+            metrics: None,
         };
         let pos = &f.pos;
         let sim_box = &f.sim_box;
@@ -468,6 +482,7 @@ mod tests {
             full: None,
             plan: None,
             localwrite: None,
+            metrics: None,
         };
         let mut out = vec![0.0f64; f.pos.len()];
         exec.run(StrategyKind::Sdc { dims: 2 }, &mut out, &|_, _| {
@@ -486,6 +501,7 @@ mod tests {
             full: None,
             plan: None,
             localwrite: None,
+            metrics: None,
         };
         let mut out = vec![0.0f64; f.pos.len()];
         exec.run(StrategyKind::Redundant, &mut out, &|_, _| {
@@ -504,6 +520,7 @@ mod tests {
             full: None,
             plan: None,
             localwrite: None,
+            metrics: None,
         };
         let mut out = vec![0.0f64; 3];
         exec.run(StrategyKind::Serial, &mut out, &|_, _| {

@@ -11,9 +11,11 @@
 //!   scalability beyond ~8 cores in the paper's measurements.
 
 use crate::context::ParallelContext;
+use crate::metrics::ScatterMetrics;
 use crate::scatter::{PairTerm, ScatterValue};
 use md_neighbor::Csr;
 use rayon::prelude::*;
+use std::time::Instant;
 
 /// Parallel scatter via thread-private copies and a serialized merge.
 ///
@@ -26,6 +28,20 @@ pub fn scatter_privatized<V: ScatterValue>(
     half: &Csr,
     out: &mut [V],
     kernel: &(impl Fn(usize, usize) -> Option<PairTerm<V>> + Sync),
+) {
+    scatter_privatized_metered(ctx, half, out, kernel, None);
+}
+
+/// [`scatter_privatized`] with optional instrumentation: the serialized
+/// merge — the paper's `O(threads × N)` sequential tail — is timed per
+/// sweep, and the private-copy heap high-water mark is recorded, making
+/// SAP's two scaling limits directly observable in run reports.
+pub fn scatter_privatized_metered<V: ScatterValue>(
+    ctx: &ParallelContext,
+    half: &Csr,
+    out: &mut [V],
+    kernel: &(impl Fn(usize, usize) -> Option<PairTerm<V>> + Sync),
+    metrics: Option<&ScatterMetrics>,
 ) {
     let n = half.rows();
     let threads = ctx.threads();
@@ -49,12 +65,19 @@ pub fn scatter_privatized<V: ScatterValue>(
             })
             .collect()
     });
+    let merge_start = metrics.map(|_| Instant::now());
     // The paper's serialized merge: private copies folded into the shared
     // array one after another.
     for local in &privates {
         for (o, l) in out.iter_mut().zip(local) {
             o.add(*l);
         }
+    }
+    if let (Some(m), Some(start)) = (metrics, merge_start) {
+        m.merge_ns.add(start.elapsed().as_nanos() as u64);
+        m.merges.inc();
+        m.private_bytes
+            .set_max(privatized_bytes::<V>(n, threads) as f64);
     }
 }
 

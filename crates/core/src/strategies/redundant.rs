@@ -12,6 +12,7 @@
 //! [`crate::scatter::PairKernel`].
 
 use crate::context::ParallelContext;
+use crate::metrics::ScatterMetrics;
 use crate::scatter::{PairTerm, ScatterValue};
 use md_neighbor::Csr;
 use rayon::prelude::*;
@@ -23,12 +24,32 @@ pub fn scatter_redundant<V: ScatterValue>(
     out: &mut [V],
     kernel: &(impl Fn(usize, usize) -> Option<PairTerm<V>> + Sync),
 ) {
+    scatter_redundant_metered(ctx, full, out, kernel, None);
+}
+
+/// [`scatter_redundant`] with optional instrumentation: counts the
+/// *duplicate* kernel evaluations — the second visit of each stored pair,
+/// identified as the `j < i` traversal of the full list — i.e. exactly the
+/// extra compute the paper charges RC with. Tallies accumulate in a per-row
+/// local and flush with one atomic add per row.
+pub fn scatter_redundant_metered<V: ScatterValue>(
+    ctx: &ParallelContext,
+    full: &Csr,
+    out: &mut [V],
+    kernel: &(impl Fn(usize, usize) -> Option<PairTerm<V>> + Sync),
+    metrics: Option<&ScatterMetrics>,
+) {
     ctx.install(|| {
         out.par_iter_mut().enumerate().for_each(|(i, o)| {
+            let mut duplicates = 0u64;
             for &j in full.row(i) {
                 if let Some(t) = kernel(i, j as usize) {
+                    duplicates += ((j as usize) < i) as u64;
                     o.add(t.to_i);
                 }
+            }
+            if let Some(m) = metrics {
+                m.duplicate_pairs.add(duplicates);
             }
         });
     });

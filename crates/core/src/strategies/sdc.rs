@@ -29,11 +29,13 @@
 //! for the paper's near-linear speedup.
 
 use crate::context::ParallelContext;
+use crate::metrics::{ScatterMetrics, MAX_COLORS};
 use crate::plan::SdcPlan;
 use crate::scatter::{PairTerm, ScatterValue};
 use crate::shared::SharedSlice;
 use md_neighbor::Csr;
 use rayon::prelude::*;
+use std::time::Instant;
 
 /// Color-parallel scatter over a half list (see module docs).
 pub fn scatter_sdc<V: ScatterValue>(
@@ -43,6 +45,23 @@ pub fn scatter_sdc<V: ScatterValue>(
     out: &mut [V],
     kernel: &(impl Fn(usize, usize) -> Option<PairTerm<V>> + Sync),
 ) {
+    scatter_sdc_metered(ctx, plan, half, out, kernel, None);
+}
+
+/// [`scatter_sdc`] with optional instrumentation: per-color wall time (the
+/// span of each color's parallel region, whose join is the barrier) and
+/// per-worker busy time (attributed via `rayon::current_thread_index`, so a
+/// worker's barrier wait is `Σ color walls − busy`). Timing is taken once
+/// per color / per subdomain task — never inside the pair loop — keeping the
+/// enabled-path overhead within the ≤ 1% budget (DESIGN.md §10).
+pub fn scatter_sdc_metered<V: ScatterValue>(
+    ctx: &ParallelContext,
+    plan: &SdcPlan,
+    half: &Csr,
+    out: &mut [V],
+    kernel: &(impl Fn(usize, usize) -> Option<PairTerm<V>> + Sync),
+    metrics: Option<&ScatterMetrics>,
+) {
     debug_assert!(
         plan.validate_footprints(half).is_ok(),
         "SDC plan footprints overlap; decomposition range too small for this list"
@@ -51,9 +70,11 @@ pub fn scatter_sdc<V: ScatterValue>(
     let shared = SharedSlice::new(out);
     ctx.install(|| {
         for color in 0..decomp.color_count() {
+            let color_start = metrics.map(|_| Instant::now());
             // Parallel over same-color subdomains; the par_iter join is the
             // paper's implicit barrier before the next color starts.
             decomp.of_color(color).par_iter().for_each(|&s| {
+                let task_start = metrics.map(|_| Instant::now());
                 let sh = &shared;
                 for &i in plan.atoms_of(s as usize) {
                     let i = i as usize;
@@ -70,7 +91,15 @@ pub fn scatter_sdc<V: ScatterValue>(
                         }
                     }
                 }
+                if let (Some(m), Some(start)) = (metrics, task_start) {
+                    let worker = rayon::current_thread_index().unwrap_or(0);
+                    m.add_busy_ns(worker, start.elapsed().as_nanos() as u64);
+                }
             });
+            if let (Some(m), Some(start)) = (metrics, color_start) {
+                m.color_wall[color.min(MAX_COLORS - 1)].record(start.elapsed());
+                m.color_barriers.inc();
+            }
         }
     });
 }

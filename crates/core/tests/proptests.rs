@@ -62,7 +62,8 @@ proptest! {
                 half: &half,
                 full: Some(&full),
                 plan: None,
-            localwrite: None,
+                localwrite: None,
+                metrics: None,
             };
             let mut out = vec![0.0f64; n];
             exec.run(kind, &mut out, &kernel);
@@ -91,6 +92,7 @@ proptest! {
             full: Some(&full),
             plan: None,
             localwrite: None,
+            metrics: None,
         };
         let mut gather = vec![0.0f64; n];
         exec.run(StrategyKind::Redundant, &mut gather, &kernel);

@@ -46,11 +46,13 @@
 pub mod case;
 pub mod machine;
 pub mod model;
+pub mod observed;
 pub mod rebuild;
 pub mod table;
 
 pub use case::CaseGeometry;
 pub use machine::MachineParams;
+pub use observed::ObservedImbalance;
 pub use model::{predict_seconds, speedup};
 pub use rebuild::{predict_step_with_rebuild, rebuild_seconds, speedup_with_rebuild};
 pub use table::{

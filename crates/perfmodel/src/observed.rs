@@ -1,0 +1,153 @@
+//! Observed (measured) load imbalance, bridging the metrics layer to the
+//! analytic model.
+//!
+//! The model side of Table 1 predicts SDC's per-sweep barrier cost as
+//! `colors × barrier(P)` ([`crate::MachineParams::barrier`]) on top of a
+//! *perfectly balanced* round-based makespan. The observability layer
+//! (`md-sim::metrics`) measures the real thing: per-color wall times and
+//! per-thread busy times, whose difference is what threads actually spent
+//! waiting at color barriers. [`ObservedImbalance`] holds those measured
+//! numbers — extracted from a `ScatterMetrics` bundle or a run report — and
+//! compares them against the model, closing the predicted-vs-observed loop
+//! that makes perf PRs verifiable instead of anecdotal.
+
+use crate::machine::MachineParams;
+
+/// Measured per-thread busy/wall data for the color regions of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservedImbalance {
+    /// Busy nanoseconds per worker thread inside subdomain tasks.
+    pub thread_busy_ns: Vec<u64>,
+    /// Total wall nanoseconds across all color parallel regions.
+    pub color_wall_ns: u64,
+    /// Number of color barriers executed (colors × sweeps).
+    pub barriers: u64,
+}
+
+impl ObservedImbalance {
+    /// Builds from raw measurements. `thread_busy_ns` must have one entry
+    /// per worker.
+    pub fn new(thread_busy_ns: Vec<u64>, color_wall_ns: u64, barriers: u64) -> ObservedImbalance {
+        ObservedImbalance {
+            thread_busy_ns,
+            color_wall_ns,
+            barriers,
+        }
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.thread_busy_ns.len()
+    }
+
+    /// Load-imbalance factor: busiest worker over the mean (≥ 1.0; exactly
+    /// 1.0 when perfectly balanced or when nothing was measured).
+    pub fn imbalance_factor(&self) -> f64 {
+        let n = self.thread_busy_ns.len();
+        if n == 0 {
+            return 1.0;
+        }
+        let sum: u64 = self.thread_busy_ns.iter().sum();
+        if sum == 0 {
+            return 1.0;
+        }
+        let max = *self.thread_busy_ns.iter().max().unwrap() as f64;
+        max / (sum as f64 / n as f64)
+    }
+
+    /// Parallel efficiency inside the color regions: useful busy work over
+    /// `threads × wall` (1.0 = no idle time at barriers).
+    pub fn efficiency(&self) -> f64 {
+        let n = self.thread_busy_ns.len();
+        if n == 0 || self.color_wall_ns == 0 {
+            return 1.0;
+        }
+        let sum: u64 = self.thread_busy_ns.iter().sum();
+        (sum as f64 / (n as f64 * self.color_wall_ns as f64)).min(1.0)
+    }
+
+    /// Total measured wait: `threads × wall − Σ busy`, in seconds — the
+    /// aggregate time workers spent idle at color barriers.
+    pub fn total_wait_seconds(&self) -> f64 {
+        let n = self.thread_busy_ns.len() as f64;
+        let busy: u64 = self.thread_busy_ns.iter().sum();
+        ((n * self.color_wall_ns as f64) - busy as f64).max(0.0) * 1e-9
+    }
+
+    /// Mean measured wait per barrier per thread, seconds. This is the
+    /// quantity the model's [`MachineParams::barrier`] term predicts.
+    pub fn mean_barrier_wait_seconds(&self) -> f64 {
+        let events = self.barriers as f64 * self.thread_busy_ns.len() as f64;
+        if events == 0.0 {
+            return 0.0;
+        }
+        self.total_wait_seconds() / events
+    }
+
+    /// The model's prediction for the same quantity at this thread count.
+    pub fn predicted_barrier_wait_seconds(&self, machine: &MachineParams) -> f64 {
+        machine.barrier(self.threads().max(1))
+    }
+
+    /// Observed-over-predicted barrier wait. Near 1 means Table 1's barrier
+    /// constants describe this host; ≫ 1 means real imbalance (or a loaded
+    /// machine) exceeds the modeled fork-join cost, and the *measured*
+    /// number is the one to trust.
+    pub fn barrier_wait_ratio(&self, machine: &MachineParams) -> f64 {
+        let predicted = self.predicted_barrier_wait_seconds(machine);
+        if predicted <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.mean_barrier_wait_seconds() / predicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_threads_have_factor_one_and_full_efficiency() {
+        let o = ObservedImbalance::new(vec![1_000, 1_000], 1_000, 2);
+        assert_eq!(o.imbalance_factor(), 1.0);
+        assert_eq!(o.efficiency(), 1.0);
+        assert_eq!(o.total_wait_seconds(), 0.0);
+        assert_eq!(o.mean_barrier_wait_seconds(), 0.0);
+    }
+
+    #[test]
+    fn skewed_threads_show_imbalance_and_wait() {
+        // Wall 1000 ns over 2 colors; thread 0 busy 900, thread 1 busy 300.
+        let o = ObservedImbalance::new(vec![900, 300], 1_000, 2);
+        assert!((o.imbalance_factor() - 1.5).abs() < 1e-12);
+        assert!((o.efficiency() - 0.6).abs() < 1e-12);
+        // Total wait = 2×1000 − 1200 = 800 ns over 2 barriers × 2 threads.
+        assert!((o.total_wait_seconds() - 800e-9).abs() < 1e-18);
+        assert!((o.mean_barrier_wait_seconds() - 200e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn empty_measurements_degrade_gracefully() {
+        let o = ObservedImbalance::new(vec![], 0, 0);
+        assert_eq!(o.imbalance_factor(), 1.0);
+        assert_eq!(o.efficiency(), 1.0);
+        assert_eq!(o.mean_barrier_wait_seconds(), 0.0);
+    }
+
+    #[test]
+    fn comparison_against_the_model_barrier_term() {
+        let machine = MachineParams::default();
+        // Make the observed wait exactly the model's barrier(2) per event.
+        let predicted = machine.barrier(2);
+        let wall = 1_000_000u64;
+        let barriers = 4u64;
+        // wait/event = (2·wall − Σbusy)/(barriers·2) = predicted
+        // ⇒ Σbusy = 2·wall − predicted·barriers·2 (in ns).
+        let total_busy = 2.0 * wall as f64 - predicted * 1e9 * barriers as f64 * 2.0;
+        let per_thread = (total_busy / 2.0) as u64;
+        let o = ObservedImbalance::new(vec![per_thread, per_thread], wall, barriers);
+        let ratio = o.barrier_wait_ratio(&machine);
+        assert!((ratio - 1.0).abs() < 1e-3, "ratio = {ratio}");
+        assert_eq!(o.predicted_barrier_wait_seconds(&machine), predicted);
+    }
+}

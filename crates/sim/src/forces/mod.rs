@@ -16,6 +16,7 @@
 pub mod eam;
 pub mod pair;
 
+use crate::metrics::SimMetrics;
 use crate::system::System;
 use crate::timing::{Phase, PhaseTimers};
 use md_neighbor::{NeighborList, VerletConfig};
@@ -107,6 +108,7 @@ pub struct ForceEngine {
     timers: PhaseTimers,
     rebuilds: usize,
     downgrades: Vec<DowngradeEvent>,
+    metrics: Option<Arc<SimMetrics>>,
 }
 
 /// Builds the half list on `ctx`'s pool when `parallel` is set, serially
@@ -170,6 +172,7 @@ impl ForceEngine {
             timers: PhaseTimers::new(),
             rebuilds: 0,
             downgrades: Vec::new(),
+            metrics: None,
         })
     }
 
@@ -245,6 +248,28 @@ impl ForceEngine {
         self.timers.reset();
     }
 
+    /// Turns the observability layer on: allocates a [`SimMetrics`] bundle
+    /// sized for this engine's thread count and routes every subsequent
+    /// scatter sweep, rebuild and force computation through it. Idempotent.
+    pub fn enable_metrics(&mut self) {
+        if self.metrics.is_none() {
+            self.metrics = Some(Arc::new(SimMetrics::new(self.ctx.threads())));
+        }
+    }
+
+    /// The metrics bundle, when [`ForceEngine::enable_metrics`] was called.
+    #[inline]
+    pub fn metrics(&self) -> Option<&SimMetrics> {
+        self.metrics.as_deref()
+    }
+
+    /// Shared handle to the metrics bundle (for drivers that outlive
+    /// engine borrows).
+    #[inline]
+    pub fn metrics_handle(&self) -> Option<Arc<SimMetrics>> {
+        self.metrics.clone()
+    }
+
     /// Number of neighbor-list rebuilds performed so far.
     #[inline]
     pub fn rebuilds(&self) -> usize {
@@ -299,12 +324,13 @@ impl ForceEngine {
         let threads = self.ctx.threads();
         let parallel_list = self.parallel_list;
         let mut events = Vec::new();
+        let metrics = self.metrics.clone();
         let ForceEngine {
             ref ctx,
             ref mut timers,
             ..
         } = *self;
-        let (half, full, plan, localwrite) = timers.time(Phase::Neighbor, || {
+        let ((half, full, plan, localwrite), took) = timers.time_measured(Phase::Neighbor, || {
             let half = build_half_list(ctx, parallel_list, system, verlet);
             let plan = loop {
                 let StrategyKind::Sdc { dims } = strategy else {
@@ -335,6 +361,9 @@ impl ForceEngine {
                 .then(|| LocalWritePlan::build(half.csr(), localwrite_partitions(threads)));
             (half, full, plan, localwrite)
         });
+        if let Some(m) = &metrics {
+            m.rebuild.record(took);
+        }
         self.strategy = strategy;
         self.downgrades.extend(events);
         self.half = half;
@@ -348,9 +377,13 @@ impl ForceEngine {
     /// into the system's arrays. Does *not* check for rebuilds — drivers
     /// call [`ForceEngine::maybe_rebuild`] after moving atoms.
     pub fn compute(&mut self, system: &mut System) {
+        let start = self.metrics.is_some().then(std::time::Instant::now);
         match self.potential.clone() {
             PotentialChoice::Eam(p) => self.compute_eam(system, p.as_ref()),
             PotentialChoice::Pair(p) => self.compute_pair(system, p.as_ref()),
+        }
+        if let (Some(m), Some(start)) = (&self.metrics, start) {
+            m.force.record(start.elapsed());
         }
     }
 
@@ -402,6 +435,7 @@ impl ForceEngine {
             full: self.full.as_ref().map(|f| f.csr()),
             plan: self.plan.as_ref(),
             localwrite: self.localwrite.as_ref(),
+            metrics: self.metrics.as_deref().map(|m| &m.scatter),
         }
     }
 

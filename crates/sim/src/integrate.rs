@@ -24,6 +24,11 @@ use crate::units::FORCE2ACCEL;
 pub fn velocity_verlet(system: &mut System, engine: &mut ForceEngine, dt: f64) {
     debug_assert!(dt > 0.0 && dt.is_finite(), "bad time-step {dt}");
     let kick = 0.5 * dt * FORCE2ACCEL / system.mass();
+    // When the observability layer is on, the integrator's own work —
+    // kicks, drift, wrapping — is recorded as the "integrate" span (one
+    // sample per step); rebuild and force time are charged by the engine.
+    let metered = engine.metrics().is_some();
+    let start = metered.then(std::time::Instant::now);
 
     // First half-kick.
     {
@@ -40,16 +45,23 @@ pub fn velocity_verlet(system: &mut System, engine: &mut ForceEngine, dt: f64) {
         }
     }
     system.wrap();
+    let pre = start.map(|s| s.elapsed()).unwrap_or_default();
 
     // New forces (with a list/decomposition rebuild if atoms drifted far).
     engine.maybe_rebuild(system);
     engine.compute(system);
 
     // Second half-kick.
+    let start = metered.then(std::time::Instant::now);
     {
         let (vel, force) = system.kick_buffers();
         for (v, f) in vel.iter_mut().zip(force) {
             *v += *f * kick;
+        }
+    }
+    if let Some(start) = start {
+        if let Some(m) = engine.metrics() {
+            m.integrate.record(pre + start.elapsed());
         }
     }
 }

@@ -24,6 +24,7 @@ pub mod checkpoint;
 pub mod forces;
 pub mod health;
 pub mod integrate;
+pub mod metrics;
 pub mod output;
 pub mod sim;
 pub mod stress;
@@ -43,6 +44,7 @@ pub use health::{
     FaultInjector, FaultRecord, InjectedFault, RecoveryConfig, RecoveryError, RecoveryReport,
     SimFault, Watchdog, WatchdogConfig,
 };
+pub use metrics::{JsonValue, RunReport, SimMetrics};
 pub use output::{ThermoLog, XyzWriter};
 pub use stress::StressTensor;
 pub use sim::{Simulation, SimulationBuilder};

@@ -1,0 +1,464 @@
+//! A minimal, dependency-free JSON value: ordered objects, a stable pretty
+//! writer, and a strict recursive-descent parser.
+//!
+//! The run-report pipeline (`mdrun --metrics-out` → `metrics_diff`) needs a
+//! machine-readable format without pulling serde into an offline build.
+//! This covers exactly what that pipeline needs:
+//!
+//! * **Ordered objects** — keys serialize in insertion order, so report
+//!   output is deterministic and the golden schema test can rely on it.
+//! * **Round-trip numbers** — numbers print via Rust's shortest-round-trip
+//!   `f64` formatting (integers without a fraction part), and parse back
+//!   with `f64::from_str`.
+//! * **Strict parsing** — trailing garbage, unterminated strings and bad
+//!   escapes are errors with a byte offset, so a truncated report file is
+//!   rejected loudly rather than half-read.
+
+use std::fmt;
+
+/// A JSON document node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (JSON has only doubles).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object; insertion-ordered, duplicate keys are not rejected (last
+    /// one wins on lookup is *not* implemented — [`JsonValue::get`] returns
+    /// the first).
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object field lookup (None for non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Dotted-path lookup: `report.path("scatter.lock_acquisitions")`.
+    pub fn path(&self, dotted: &str) -> Option<&JsonValue> {
+        dotted.split('.').try_fold(self, |node, key| node.get(key))
+    }
+
+    /// Numeric value, if this node is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String value, if this node is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array elements, if this node is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Object fields, if this node is an object.
+    pub fn as_obj(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Convenience constructor for an object node.
+    pub fn obj(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+        JsonValue::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Convenience constructor for a number node.
+    pub fn num(n: impl Into<f64>) -> JsonValue {
+        JsonValue::Num(n.into())
+    }
+
+    /// Convenience constructor for a string node.
+    pub fn str(s: impl Into<String>) -> JsonValue {
+        JsonValue::Str(s.into())
+    }
+
+    /// Parses a complete JSON document (trailing non-whitespace is an
+    /// error). Errors carry the byte offset where parsing failed.
+    pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(value)
+    }
+}
+
+/// A parse failure: what went wrong and the byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+fn write_num(f: &mut fmt::Formatter<'_>, n: f64) -> fmt::Result {
+    if !n.is_finite() {
+        // JSON has no NaN/Inf; null is the conventional stand-in.
+        return f.write_str("null");
+    }
+    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        write!(f, "{}", n as i64)
+    } else {
+        // `{:?}` on f64 is Rust's shortest round-trip representation.
+        write!(f, "{n:?}")
+    }
+}
+
+fn write_value(f: &mut fmt::Formatter<'_>, v: &JsonValue, indent: usize) -> fmt::Result {
+    const PAD: &str = "  ";
+    match v {
+        JsonValue::Null => f.write_str("null"),
+        JsonValue::Bool(b) => write!(f, "{b}"),
+        JsonValue::Num(n) => write_num(f, *n),
+        JsonValue::Str(s) => write_escaped(f, s),
+        JsonValue::Arr(items) if items.is_empty() => f.write_str("[]"),
+        JsonValue::Arr(items) => {
+            f.write_str("[\n")?;
+            for (i, item) in items.iter().enumerate() {
+                for _ in 0..=indent {
+                    f.write_str(PAD)?;
+                }
+                write_value(f, item, indent + 1)?;
+                f.write_str(if i + 1 < items.len() { ",\n" } else { "\n" })?;
+            }
+            for _ in 0..indent {
+                f.write_str(PAD)?;
+            }
+            f.write_str("]")
+        }
+        JsonValue::Obj(fields) if fields.is_empty() => f.write_str("{}"),
+        JsonValue::Obj(fields) => {
+            f.write_str("{\n")?;
+            for (i, (k, val)) in fields.iter().enumerate() {
+                for _ in 0..=indent {
+                    f.write_str(PAD)?;
+                }
+                write_escaped(f, k)?;
+                f.write_str(": ")?;
+                write_value(f, val, indent + 1)?;
+                f.write_str(if i + 1 < fields.len() { ",\n" } else { "\n" })?;
+            }
+            for _ in 0..indent {
+                f.write_str(PAD)?;
+            }
+            f.write_str("}")
+        }
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_value(f, self, 0)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed for our reports;
+                            // unpaired surrogates map to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point (input is a &str, so the
+                    // bytes are valid UTF-8 by construction).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_nested_document() {
+        let doc = JsonValue::obj(vec![
+            ("name", JsonValue::str("run \"A\"\n")),
+            ("count", JsonValue::num(42.0)),
+            ("mean", JsonValue::num(1.5e-9)),
+            ("ok", JsonValue::Bool(true)),
+            ("none", JsonValue::Null),
+            (
+                "items",
+                JsonValue::Arr(vec![JsonValue::num(1.0), JsonValue::num(-2.25)]),
+            ),
+            ("empty_obj", JsonValue::Obj(vec![])),
+            ("empty_arr", JsonValue::Arr(vec![])),
+        ]);
+        let text = doc.to_string();
+        let back = JsonValue::parse(&text).unwrap();
+        assert_eq!(doc, back);
+    }
+
+    #[test]
+    fn integers_print_without_fraction() {
+        assert_eq!(JsonValue::num(42.0).to_string(), "42");
+        assert_eq!(JsonValue::num(-7.0).to_string(), "-7");
+        assert_eq!(JsonValue::num(0.5).to_string(), "0.5");
+    }
+
+    #[test]
+    fn path_navigates_nested_objects() {
+        let doc = JsonValue::obj(vec![(
+            "scatter",
+            JsonValue::obj(vec![("lock_acquisitions", JsonValue::num(99.0))]),
+        )]);
+        assert_eq!(
+            doc.path("scatter.lock_acquisitions").and_then(|v| v.as_f64()),
+            Some(99.0)
+        );
+        assert!(doc.path("scatter.missing").is_none());
+        assert!(doc.path("nope.lock_acquisitions").is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1, 2",
+            "\"unterminated",
+            "{\"a\": }",
+            "{\"a\": 1} garbage",
+            "nul",
+            "{\"a\" 1}",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parses_standard_escapes_and_unicode() {
+        let v = JsonValue::parse(r#""a\"b\\c\ndA""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\ndA"));
+        let u = JsonValue::parse(r#""Aé""#).unwrap();
+        assert_eq!(u.as_str(), Some("Aé"));
+        let esc = JsonValue::parse("\"\\u0041x\"").unwrap();
+        assert_eq!(esc.as_str(), Some("Ax"));
+    }
+
+    #[test]
+    fn output_is_deterministic_and_ordered() {
+        let doc = JsonValue::obj(vec![
+            ("zebra", JsonValue::num(1.0)),
+            ("apple", JsonValue::num(2.0)),
+        ]);
+        let text = doc.to_string();
+        // Insertion order, not alphabetical.
+        assert!(text.find("zebra").unwrap() < text.find("apple").unwrap());
+        assert_eq!(text, doc.to_string());
+    }
+}

@@ -1,0 +1,89 @@
+//! The observability layer (DESIGN.md §10).
+//!
+//! `sdc-core::metrics` provides the primitives (counters, gauges, streaming
+//! histograms) and the strategy-level [`ScatterMetrics`]; this module adds
+//! the simulation-level bundle [`SimMetrics`] — per-step / per-phase span
+//! histograms recorded by the engine and integrator — plus the
+//! machine-readable [`RunReport`] emitted by `mdrun --metrics-out` and
+//! consumed by the `metrics_diff` regression gate.
+//!
+//! The layer is strictly opt-in: a [`crate::Simulation`] built without
+//! [`crate::SimulationBuilder::metrics`] carries `None` and the hot paths
+//! skip every `Instant::now()`. With the layer enabled, timing is taken at
+//! span granularity only (per step, per color, per subdomain task — never
+//! per pair), keeping the overhead within the documented ≤ 1% budget.
+
+pub mod json;
+pub mod report;
+
+pub use json::{JsonError, JsonValue};
+pub use report::RunReport;
+pub use sdc_core::metrics::{Counter, DurationHistogram, Gauge, ScatterMetrics};
+
+/// The simulation-level instrumentation bundle: the strategy-level
+/// [`ScatterMetrics`] plus span histograms fed by the engine, the
+/// integrator and the run loop.
+///
+/// All recording is lock-free ([`sdc_core::metrics`]); one instance is
+/// shared by the engine and the driver through an `Arc`.
+#[derive(Debug)]
+pub struct SimMetrics {
+    /// Strategy-level counters and per-color / per-thread timings.
+    pub scatter: ScatterMetrics,
+    /// Wall time of each full time-step (reorder + integrate + forces).
+    pub step: DurationHistogram,
+    /// Wall time of each force computation (all EAM phases of one call).
+    pub force: DurationHistogram,
+    /// Wall time of each neighbor-list / decomposition rebuild.
+    pub rebuild: DurationHistogram,
+    /// Wall time of the integrator's non-force work per step (half-kicks,
+    /// drift, wrapping).
+    pub integrate: DurationHistogram,
+}
+
+impl SimMetrics {
+    /// Creates a bundle sized for `threads` workers.
+    pub fn new(threads: usize) -> SimMetrics {
+        SimMetrics {
+            scatter: ScatterMetrics::new(threads),
+            step: DurationHistogram::new(),
+            force: DurationHistogram::new(),
+            rebuild: DurationHistogram::new(),
+            integrate: DurationHistogram::new(),
+        }
+    }
+
+    /// Resets every histogram and counter (e.g. after warm-up steps).
+    pub fn reset(&self) {
+        self.scatter.reset();
+        self.step.reset();
+        self.force.reset();
+        self.rebuild.reset();
+        self.integrate.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn reset_clears_scatter_and_spans() {
+        let m = SimMetrics::new(2);
+        m.step.record(Duration::from_micros(10));
+        m.scatter.lock_acquisitions.add(5);
+        m.scatter.add_busy_ns(1, 100);
+        m.reset();
+        assert_eq!(m.step.count(), 0);
+        assert_eq!(m.scatter.lock_acquisitions.get(), 0);
+        assert_eq!(m.scatter.thread_busy_ns[1].get(), 0);
+    }
+
+    #[test]
+    fn bundle_is_sized_for_the_thread_count() {
+        assert_eq!(SimMetrics::new(4).scatter.threads(), 4);
+        // Degenerate sizes clamp to one slot rather than panicking.
+        assert_eq!(SimMetrics::new(0).scatter.threads(), 1);
+    }
+}

@@ -1,0 +1,311 @@
+//! Machine-readable run reports.
+//!
+//! A [`RunReport`] snapshots everything the observability layer measured —
+//! phase timers, span histograms, strategy counters, per-color walls and
+//! per-thread busy/wait — into one ordered JSON document with a versioned
+//! schema. `mdrun --metrics-out <path>` writes it; `metrics_diff` compares
+//! two of them; `tests/metrics_report.rs` pins the schema.
+
+use super::json::JsonValue;
+use super::SimMetrics;
+use crate::timing::{Phase, PhaseTimers};
+use sdc_core::metrics::DurationHistogram;
+use std::io::Write;
+use std::path::Path;
+
+/// Version stamp of the report layout. Bump when renaming or removing
+/// fields; adding fields is backward-compatible for `metrics_diff`.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Identifying metadata of the run the report describes.
+#[derive(Debug, Clone)]
+pub struct RunInfo {
+    /// Atom count.
+    pub atoms: usize,
+    /// Measured time-steps.
+    pub steps: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Strategy name (after any downgrade), as [`sdc_core::StrategyKind::name`].
+    pub strategy: String,
+    /// Time-step size, ps.
+    pub dt_ps: f64,
+}
+
+/// A complete metrics snapshot of one run, held as an ordered JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    doc: JsonValue,
+}
+
+fn seconds(ns: u64) -> f64 {
+    ns as f64 * 1e-9
+}
+
+fn histogram_json(h: &DurationHistogram) -> JsonValue {
+    JsonValue::obj(vec![
+        ("count", JsonValue::num(h.count() as f64)),
+        ("total_seconds", JsonValue::num(seconds(h.sum_ns()))),
+        ("mean_ns", JsonValue::num(h.mean_ns())),
+        ("min_ns", JsonValue::num(h.min_ns() as f64)),
+        ("max_ns", JsonValue::num(h.max_ns() as f64)),
+        ("p50_ns", JsonValue::num(h.quantile_ns(0.5) as f64)),
+        ("p99_ns", JsonValue::num(h.quantile_ns(0.99) as f64)),
+    ])
+}
+
+fn phase_json(timers: &PhaseTimers, phase: Phase) -> JsonValue {
+    JsonValue::obj(vec![
+        (
+            "seconds",
+            JsonValue::num(timers.elapsed(phase).as_secs_f64()),
+        ),
+        ("calls", JsonValue::num(timers.count(phase) as f64)),
+    ])
+}
+
+impl RunReport {
+    /// Assembles a report from the run metadata, the engine's phase timers
+    /// and the metrics bundle.
+    pub fn collect(info: &RunInfo, timers: &PhaseTimers, metrics: &SimMetrics) -> RunReport {
+        let scatter = &metrics.scatter;
+
+        let colors: Vec<JsonValue> = scatter
+            .color_wall
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.count() > 0)
+            .map(|(color, h)| {
+                JsonValue::obj(vec![
+                    ("color", JsonValue::num(color as f64)),
+                    ("sweeps", JsonValue::num(h.count() as f64)),
+                    ("total_seconds", JsonValue::num(seconds(h.sum_ns()))),
+                    ("mean_ns", JsonValue::num(h.mean_ns())),
+                    ("min_ns", JsonValue::num(h.min_ns() as f64)),
+                    ("max_ns", JsonValue::num(h.max_ns() as f64)),
+                    ("p50_ns", JsonValue::num(h.quantile_ns(0.5) as f64)),
+                    ("p99_ns", JsonValue::num(h.quantile_ns(0.99) as f64)),
+                ])
+            })
+            .collect();
+
+        let threads_json: Vec<JsonValue> = scatter
+            .thread_busy_ns
+            .iter()
+            .enumerate()
+            .map(|(t, busy)| {
+                JsonValue::obj(vec![
+                    ("thread", JsonValue::num(t as f64)),
+                    ("busy_seconds", JsonValue::num(seconds(busy.get()))),
+                    (
+                        "wait_seconds",
+                        JsonValue::num(seconds(scatter.thread_wait_ns(t))),
+                    ),
+                ])
+            })
+            .collect();
+
+        let busy: Vec<u64> = scatter.thread_busy_ns.iter().map(|c| c.get()).collect();
+        let max_busy = busy.iter().copied().max().unwrap_or(0);
+        let mean_busy = if busy.is_empty() {
+            0.0
+        } else {
+            busy.iter().sum::<u64>() as f64 / busy.len() as f64
+        };
+        // Load-imbalance factor: slowest worker over the average (1.0 is
+        // perfectly balanced); parallel efficiency: useful work over
+        // threads × wall inside the color regions.
+        let factor = if mean_busy > 0.0 {
+            max_busy as f64 / mean_busy
+        } else {
+            1.0
+        };
+        let wall = scatter.total_color_wall_ns();
+        let efficiency = if wall > 0 && !busy.is_empty() {
+            (busy.iter().sum::<u64>() as f64) / (busy.len() as f64 * wall as f64)
+        } else {
+            1.0
+        };
+
+        let doc = JsonValue::obj(vec![
+            ("schema", JsonValue::num(SCHEMA_VERSION as f64)),
+            (
+                "case",
+                JsonValue::obj(vec![
+                    ("atoms", JsonValue::num(info.atoms as f64)),
+                    ("steps", JsonValue::num(info.steps as f64)),
+                    ("threads", JsonValue::num(info.threads as f64)),
+                    ("strategy", JsonValue::str(info.strategy.clone())),
+                    ("dt_ps", JsonValue::num(info.dt_ps)),
+                ]),
+            ),
+            (
+                "phases",
+                JsonValue::obj(vec![
+                    ("density", phase_json(timers, Phase::Density)),
+                    ("embedding", phase_json(timers, Phase::Embedding)),
+                    ("force", phase_json(timers, Phase::Force)),
+                    ("neighbor", phase_json(timers, Phase::Neighbor)),
+                    ("other", phase_json(timers, Phase::Other)),
+                    (
+                        "paper_seconds",
+                        JsonValue::num(timers.paper_time().as_secs_f64()),
+                    ),
+                ]),
+            ),
+            (
+                "spans",
+                JsonValue::obj(vec![
+                    ("step", histogram_json(&metrics.step)),
+                    ("force_compute", histogram_json(&metrics.force)),
+                    ("rebuild", histogram_json(&metrics.rebuild)),
+                    ("integrate", histogram_json(&metrics.integrate)),
+                ]),
+            ),
+            (
+                "scatter",
+                JsonValue::obj(vec![
+                    (
+                        "lock_acquisitions",
+                        JsonValue::num(scatter.lock_acquisitions.get() as f64),
+                    ),
+                    (
+                        "lock_crossings",
+                        JsonValue::num(scatter.lock_crossings.get() as f64),
+                    ),
+                    ("merges", JsonValue::num(scatter.merges.get() as f64)),
+                    (
+                        "merge_seconds",
+                        JsonValue::num(seconds(scatter.merge_ns.get())),
+                    ),
+                    ("private_bytes", JsonValue::num(scatter.private_bytes.get())),
+                    (
+                        "duplicate_pairs",
+                        JsonValue::num(scatter.duplicate_pairs.get() as f64),
+                    ),
+                    (
+                        "color_barriers",
+                        JsonValue::num(scatter.color_barriers.get() as f64),
+                    ),
+                    ("colors", JsonValue::Arr(colors)),
+                    ("threads", JsonValue::Arr(threads_json)),
+                    (
+                        "imbalance",
+                        JsonValue::obj(vec![
+                            ("factor", JsonValue::num(factor)),
+                            ("efficiency", JsonValue::num(efficiency)),
+                        ]),
+                    ),
+                ]),
+            ),
+        ]);
+        RunReport { doc }
+    }
+
+    /// The underlying JSON document.
+    pub fn json(&self) -> &JsonValue {
+        &self.doc
+    }
+
+    /// Parses a report back from its JSON text, validating the schema
+    /// version.
+    pub fn parse(text: &str) -> Result<RunReport, String> {
+        let doc = JsonValue::parse(text).map_err(|e| e.to_string())?;
+        match doc.get("schema").and_then(|v| v.as_f64()) {
+            Some(v) if v == SCHEMA_VERSION as f64 => Ok(RunReport { doc }),
+            Some(v) => Err(format!(
+                "unsupported report schema {v} (expected {SCHEMA_VERSION})"
+            )),
+            None => Err("not a run report: missing \"schema\" field".to_string()),
+        }
+    }
+
+    /// Writes the report to `path` (pretty-printed, trailing newline).
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "{}", self.doc)
+    }
+}
+
+impl std::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.doc.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn sample() -> RunReport {
+        let info = RunInfo {
+            atoms: 1024,
+            steps: 10,
+            threads: 2,
+            strategy: "sdc2d".to_string(),
+            dt_ps: 1e-3,
+        };
+        let mut timers = PhaseTimers::new();
+        timers.add(Phase::Density, Duration::from_millis(3));
+        timers.add(Phase::Force, Duration::from_millis(5));
+        let metrics = SimMetrics::new(2);
+        metrics.step.record(Duration::from_millis(1));
+        metrics.scatter.color_wall[0].record_ns(1_000_000);
+        metrics.scatter.color_wall[1].record_ns(500_000);
+        metrics.scatter.add_busy_ns(0, 900_000);
+        metrics.scatter.add_busy_ns(1, 400_000);
+        metrics.scatter.color_barriers.add(2);
+        RunReport::collect(&info, &timers, &metrics)
+    }
+
+    #[test]
+    fn report_round_trips_through_text() {
+        let report = sample();
+        let text = report.to_string();
+        let back = RunReport::parse(&text).unwrap();
+        assert_eq!(report.json(), back.json());
+    }
+
+    #[test]
+    fn report_exposes_the_documented_paths() {
+        let report = sample();
+        let doc = report.json();
+        assert_eq!(doc.path("schema").and_then(|v| v.as_f64()), Some(1.0));
+        assert_eq!(doc.path("case.atoms").and_then(|v| v.as_f64()), Some(1024.0));
+        assert_eq!(
+            doc.path("case.strategy").and_then(|v| v.as_str()),
+            Some("sdc2d")
+        );
+        assert_eq!(
+            doc.path("phases.paper_seconds").and_then(|v| v.as_f64()),
+            Some(0.008)
+        );
+        assert_eq!(
+            doc.path("scatter.color_barriers").and_then(|v| v.as_f64()),
+            Some(2.0)
+        );
+        let colors = doc.path("scatter.colors").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(colors.len(), 2, "only colors with sweeps are listed");
+        assert_eq!(colors[0].path("color").and_then(|v| v.as_f64()), Some(0.0));
+        assert_eq!(colors[0].path("sweeps").and_then(|v| v.as_f64()), Some(1.0));
+        let threads = doc.path("scatter.threads").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(threads.len(), 2);
+        // wait = total wall (1.5 ms) − busy.
+        let wait0 = threads[0].path("wait_seconds").and_then(|v| v.as_f64()).unwrap();
+        assert!((wait0 - 0.0006).abs() < 1e-12, "wait0 = {wait0}");
+        let factor = doc
+            .path("scatter.imbalance.factor")
+            .and_then(|v| v.as_f64())
+            .unwrap();
+        assert!((factor - 900_000.0 / 650_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let err = RunReport::parse("{\"schema\": 999}").unwrap_err();
+        assert!(err.contains("unsupported report schema"));
+        let err = RunReport::parse("{}").unwrap_err();
+        assert!(err.contains("missing"));
+    }
+}

@@ -9,6 +9,7 @@ use crate::checkpoint::save_checkpoint;
 use crate::forces::{EngineError, ForceEngine, PotentialChoice};
 use crate::health::{FaultRecord, RecoveryConfig, RecoveryError, RecoveryReport, Watchdog};
 use crate::integrate::velocity_verlet;
+use crate::metrics::SimMetrics;
 use crate::system::System;
 use crate::thermo::Thermo;
 use crate::thermostat::Thermostat;
@@ -44,6 +45,11 @@ impl Simulation {
 
     /// Advances one time-step (velocity Verlet + thermostat).
     pub fn step(&mut self) {
+        let start = self
+            .engine
+            .metrics()
+            .is_some()
+            .then(std::time::Instant::now);
         // The §II.D spatial reorder rides along with list rebuilds: relabel
         // atoms by cell *before* the rebuild the integrator is about to do,
         // so the fresh list is built on the improved layout.
@@ -72,6 +78,9 @@ impl Simulation {
         self.step += 1;
         self.thermostat
             .apply(&mut self.system, self.step, self.dt);
+        if let (Some(start), Some(m)) = (start, self.engine.metrics()) {
+            m.step.record(start.elapsed());
+        }
     }
 
     /// Runs `steps` time-steps.
@@ -224,6 +233,12 @@ impl Simulation {
         self.engine.timers()
     }
 
+    /// The metrics bundle, when the observability layer was enabled with
+    /// [`SimulationBuilder::metrics`].
+    pub fn metrics(&self) -> Option<&SimMetrics> {
+        self.engine.metrics()
+    }
+
     /// Resets phase timers (e.g. after warm-up).
     pub fn reset_timers(&mut self) {
         self.engine.reset_timers();
@@ -279,6 +294,7 @@ pub struct SimulationBuilder {
     reorder: bool,
     strategy_fallback: bool,
     parallel_neighbor: Option<bool>,
+    metrics: bool,
 }
 
 impl SimulationBuilder {
@@ -297,6 +313,7 @@ impl SimulationBuilder {
             reorder: false,
             strategy_fallback: true,
             parallel_neighbor: None,
+            metrics: false,
         }
     }
 
@@ -385,6 +402,16 @@ impl SimulationBuilder {
         self
     }
 
+    /// Enables the observability layer (default **off**): per-step /
+    /// per-phase span histograms, strategy counters, per-color walls and
+    /// per-thread busy times, readable via [`Simulation::metrics`] and
+    /// exportable as a [`crate::metrics::RunReport`]. The overhead budget
+    /// is ≤ 1% of mean step time (DESIGN.md §10).
+    pub fn metrics(mut self, on: bool) -> Self {
+        self.metrics = on;
+        self
+    }
+
     /// Overrides whether neighbor-list rebuilds run on the thread pool
     /// (default: parallel iff `threads > 1`). The parallel build is bitwise
     /// identical to the serial one, so this is a performance knob only —
@@ -420,6 +447,9 @@ impl SimulationBuilder {
         };
         if let Some(on) = self.parallel_neighbor {
             engine.set_parallel_list(on);
+        }
+        if self.metrics {
+            engine.enable_metrics();
         }
         engine.compute(&mut system);
         Ok(Simulation {
@@ -587,6 +617,75 @@ mod tests {
     #[should_panic(expected = "potential must be configured")]
     fn missing_potential_panics() {
         let _ = Simulation::builder(LatticeSpec::bcc_fe(5)).build();
+    }
+
+    #[test]
+    fn metrics_layer_records_spans_and_color_timings() {
+        // bcc_fe(9) hosts every SDC dimensionality (no downgrade).
+        let mut sim = Simulation::builder(LatticeSpec::bcc_fe(9))
+            .potential(AnalyticEam::fe())
+            .strategy(StrategyKind::Sdc { dims: 2 })
+            .threads(2)
+            .temperature(300.0)
+            .seed(7)
+            .metrics(true)
+            .build()
+            .unwrap();
+        assert_eq!(sim.engine().strategy(), StrategyKind::Sdc { dims: 2 });
+        sim.run(3);
+        let m = sim.metrics().expect("metrics were enabled");
+        assert_eq!(m.step.count(), 3);
+        assert_eq!(m.integrate.count(), 3);
+        // build() computes once, then one compute per step.
+        assert_eq!(m.force.count(), 4);
+        // 2-D SDC has 4 colors; EAM runs 2 scatter sweeps per compute.
+        assert_eq!(m.scatter.color_barriers.get(), 4 * 2 * 4);
+        for color in 0..4 {
+            assert_eq!(m.scatter.color_wall[color].count(), 2 * 4, "color {color}");
+        }
+        for color in 4..8 {
+            assert_eq!(m.scatter.color_wall[color].count(), 0, "color {color}");
+        }
+        let busy: u64 = m.scatter.thread_busy_ns.iter().map(|c| c.get()).sum();
+        assert!(busy > 0, "workers recorded busy time");
+        // Metrics stay off unless requested.
+        assert!(fe_sim(StrategyKind::Serial).metrics().is_none());
+    }
+
+    #[test]
+    fn strategy_counters_agree_on_the_contributing_pair_count() {
+        // One initial force computation (2 sweeps), atoms at rest, so every
+        // strategy sees the identical set of contributing pairs:
+        // CS locks once per pair, RC revisits each pair once, and striped
+        // locks take one base acquisition per pair plus one per crossing.
+        let build = |strategy| {
+            Simulation::builder(LatticeSpec::bcc_fe(5))
+                .potential(AnalyticEam::fe())
+                .strategy(strategy)
+                .threads(2)
+                .metrics(true)
+                .build()
+                .unwrap()
+        };
+        let cs = build(StrategyKind::Critical);
+        let pairs = cs.metrics().unwrap().scatter.lock_acquisitions.get();
+        assert!(pairs > 0);
+
+        let rc = build(StrategyKind::Redundant);
+        assert_eq!(rc.metrics().unwrap().scatter.duplicate_pairs.get(), pairs);
+
+        let locks = build(StrategyKind::Locks);
+        let sc = &locks.metrics().unwrap().scatter;
+        assert_eq!(
+            sc.lock_acquisitions.get(),
+            pairs + sc.lock_crossings.get()
+        );
+
+        let sap = build(StrategyKind::Privatized);
+        let sc = &sap.metrics().unwrap().scatter;
+        assert_eq!(sc.merges.get(), 2, "one merge per sweep");
+        assert!(sc.merge_ns.get() > 0);
+        assert!(sc.private_bytes.get() > 0.0);
     }
 
     #[test]

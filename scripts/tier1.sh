@@ -15,25 +15,37 @@
 #   5. thread-matrix test job     (re-runs the determinism-sensitive crates
 #      under RAYON_NUM_THREADS=2 and =4, so the global-pool default thread
 #      count cannot mask a parallel neighbor-build or scatter divergence)
+#   6. metrics regression gate    (short metered mdrun, diffed against the
+#      checked-in golden report; counters must match, timings may only
+#      grow within a deliberately generous tolerance)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> [1/5] release build"
+echo "==> [1/6] release build"
 cargo build --release --workspace
 
-echo "==> [2/5] test suite"
+echo "==> [2/6] test suite"
 cargo test --workspace -q
 
-echo "==> [3/5] clippy (deny warnings)"
+echo "==> [3/6] clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> [4/5] debug-assertions test job"
+echo "==> [4/6] debug-assertions test job"
 RUSTFLAGS="-C debug-assertions=on" cargo test --workspace -q --profile dev
 
-echo "==> [5/5] thread-matrix test job"
+echo "==> [5/6] thread-matrix test job"
 for t in 2 4; do
   echo "    RAYON_NUM_THREADS=$t"
   RAYON_NUM_THREADS="$t" cargo test -q -p md-neighbor -p sdc-core -p sdc-md
 done
+
+echo "==> [6/6] metrics regression gate"
+report="$(mktemp /tmp/tier1_metrics.XXXXXX.json)"
+cargo run -q -p sdc-bench --release --bin mdrun -- \
+  --cells 9 --strategy sdc2d --threads 2 --steps 20 --report 20 \
+  --metrics-out "$report" > /dev/null
+cargo run -q -p sdc-bench --release --bin metrics_diff -- \
+  scripts/metrics_baseline.json "$report" --tol 1.10 --time-tol 50
+rm -f "$report"
 
 echo "tier-1: all green"

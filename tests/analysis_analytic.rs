@@ -1,0 +1,123 @@
+//! Analytic ground-truth tests for the trajectory-analysis observables:
+//! cases with closed-form answers (force-free drift, frozen velocities,
+//! an ideal gas) that the estimators must reproduce exactly or to
+//! statistical accuracy.
+
+use md_geometry::{LatticeSpec, SimBox, Vec3};
+use md_sim::analysis::{MsdTracker, Rdf, Vacf};
+use md_sim::velocity::init_velocities;
+use md_sim::System;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const FE_MASS: f64 = 55.845;
+
+/// Advances a force-free system: straight-line drift plus wrapping.
+fn drift(system: &mut System, dt: f64) {
+    let velocities = system.velocities().to_vec();
+    for (p, v) in system.positions_mut().iter_mut().zip(&velocities) {
+        *p += *v * dt;
+    }
+    system.wrap();
+}
+
+#[test]
+fn ballistic_msd_grows_as_velocity_times_time_squared() {
+    // Without forces every atom moves in a straight line, so
+    // MSD(t) = ⟨|v|²⟩ · t² exactly — including through periodic wraps,
+    // which is precisely what the tracker's minimum-image unwrapping must
+    // see through.
+    let mut system = System::from_lattice(LatticeSpec::bcc_fe(4), FE_MASS);
+    init_velocities(&mut system, 600.0, 99);
+    let v_sq: f64 = system.velocities().iter().map(|v| v.norm_sq()).sum::<f64>()
+        / system.len() as f64;
+
+    let mut tracker = MsdTracker::new(&system);
+    let dt = 0.05; // ps — large enough to force boundary crossings
+    for k in 1..=40 {
+        drift(&mut system, dt);
+        tracker.sample(&system);
+        let t = k as f64 * dt;
+        let expect = v_sq * t * t;
+        let got = tracker.msd();
+        assert!(
+            (got - expect).abs() <= 1e-9 * expect.max(1.0),
+            "step {k}: MSD {got} != ⟨v²⟩t² = {expect}"
+        );
+    }
+}
+
+#[test]
+fn frozen_velocities_keep_the_vacf_at_one() {
+    // If velocities never change, C(t) = ⟨v(0)·v(t)⟩/⟨v²⟩ is identically 1
+    // and the Green–Kubo integral is just the elapsed time.
+    let mut system = System::from_lattice(LatticeSpec::bcc_fe(4), FE_MASS);
+    init_velocities(&mut system, 300.0, 7);
+    let mut vacf = Vacf::new(&system);
+    let dt = 0.01;
+    for _ in 0..21 {
+        drift(&mut system, dt); // positions move; velocities are frozen
+        let c = vacf.sample(&system);
+        assert!((c - 1.0).abs() < 1e-12, "C = {c}");
+    }
+    // 20 trapezoidal intervals of a constant 1.
+    let integral = vacf.integral(dt);
+    assert!((integral - 20.0 * dt).abs() < 1e-12, "∫C dt = {integral}");
+}
+
+#[test]
+fn ideal_gas_rdf_is_flat_and_integrates_to_n_minus_one() {
+    // Uncorrelated uniform positions: g(r) = (N−1)/N ≈ 1 at every r, and
+    // ∫₀^{r_max} ρ g 4πr² dr — the expected neighbor count within r_max —
+    // is (N−1) times the ball/box volume fraction; extrapolating the flat
+    // g over the whole box recovers N−1, the total number of neighbors.
+    let edge = 21.0;
+    let n = 600;
+    let frames = 8;
+    let r_max = 7.0;
+    let n_bins = 70;
+
+    let mut rng = SmallRng::seed_from_u64(20090924);
+    let mut rdf = Rdf::new(r_max, n_bins);
+    for _ in 0..frames {
+        let positions: Vec<Vec3> = (0..n)
+            .map(|_| {
+                Vec3::new(
+                    rng.gen::<f64>() * edge,
+                    rng.gen::<f64>() * edge,
+                    rng.gen::<f64>() * edge,
+                )
+            })
+            .collect();
+        let system = System::new(SimBox::cubic(edge), positions, 39.948);
+        rdf.sample(&system);
+    }
+    let g = rdf.finish();
+    let density = n as f64 / edge.powi(3);
+    let dr = r_max / n_bins as f64;
+
+    // Flatness: beyond the first few (low-statistics) bins the ideal gas
+    // has no structure. 8 frames × 600 atoms gives ~1% shell statistics.
+    for (r, v) in g.iter().filter(|(r, _)| *r > 2.0) {
+        assert!(
+            (*v - 1.0).abs() < 0.15,
+            "ideal gas g({r}) = {v}, expected ≈ 1"
+        );
+    }
+
+    // Integral: Σ ρ g(r) 4πr² dr over [0, r_max) counts each atom's
+    // expected neighbors inside the sphere; scaled by the box/ball volume
+    // ratio it must recover all N−1 neighbors.
+    let count: f64 = g
+        .iter()
+        .map(|(r, v)| density * v * 4.0 * std::f64::consts::PI * r * r * dr)
+        .sum();
+    let ball = 4.0 / 3.0 * std::f64::consts::PI * r_max.powi(3);
+    let implied_total = count * edge.powi(3) / ball;
+    let expect = n as f64 - 1.0;
+    let rel = (implied_total - expect).abs() / expect;
+    assert!(
+        rel < 0.03,
+        "implied neighbor total {implied_total}, expected N−1 = {expect} (rel err {rel})"
+    );
+}

@@ -1,8 +1,12 @@
 //! End-to-end robustness: fault detection → rollback → completion, graceful
 //! strategy degradation, and crash-safe checkpointing through the public API.
 
+use proptest::prelude::*;
 use sdc_md::prelude::*;
-use sdc_md::sim::checkpoint::{atomic_write, checkpoint_tmp_path, load_checkpoint, save_checkpoint};
+use sdc_md::sim::checkpoint::{
+    atomic_write, checkpoint_tmp_path, load_checkpoint, read_checkpoint, save_checkpoint,
+    write_checkpoint,
+};
 use sdc_md::sim::health::corrupt_file_byte;
 
 fn fe_sim(spec: LatticeSpec, strategy: StrategyKind) -> Simulation {
@@ -153,6 +157,100 @@ fn corrupted_checkpoint_is_detected_not_loaded() {
     std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
     assert!(load_checkpoint(&path).is_err());
     let _ = std::fs::remove_file(path);
+}
+
+/// An arbitrary dynamic state: random box (with random periodicity),
+/// mass, and per-atom positions/velocities.
+fn arb_state() -> impl Strategy<Value = System> {
+    (
+        (10.0..40.0f64, 10.0..40.0f64, 10.0..40.0f64),
+        [any::<bool>(), any::<bool>(), any::<bool>()],
+        0.5..250.0f64,
+        proptest::collection::vec(
+            (
+                (0.0..1.0f64, 0.0..1.0f64, 0.0..1.0f64),
+                (-80.0..80.0f64, -80.0..80.0f64, -80.0..80.0f64),
+            ),
+            1..40,
+        ),
+    )
+        .prop_map(|(lengths, periodic, mass, atoms)| {
+            let lengths = Vec3::new(lengths.0, lengths.1, lengths.2);
+            let sim_box = SimBox::with_periodicity(lengths, periodic);
+            let positions = atoms
+                .iter()
+                .map(|((fx, fy, fz), _)| {
+                    Vec3::new(fx * lengths.x, fy * lengths.y, fz * lengths.z)
+                })
+                .collect();
+            let mut system = System::new(sim_box, positions, mass);
+            for (v, (_, (vx, vy, vz))) in system.velocities_mut().iter_mut().zip(&atoms) {
+                *v = Vec3::new(*vx, *vy, *vz);
+            }
+            system
+        })
+}
+
+fn bits(vs: &[Vec3]) -> Vec<[u64; 3]> {
+    vs.iter()
+        .map(|v| [v.x.to_bits(), v.y.to_bits(), v.z.to_bits()])
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn checkpoint_v2_round_trips_arbitrary_states_bitwise(
+        system in arb_state(),
+        step in any::<usize>(),
+    ) {
+        let mut buf = Vec::new();
+        write_checkpoint(&mut buf, &system, step).unwrap();
+        let (restored, restored_step) = read_checkpoint(&buf[..]).unwrap();
+        prop_assert_eq!(restored_step, step);
+        prop_assert_eq!(restored.mass().to_bits(), system.mass().to_bits());
+        prop_assert_eq!(
+            bits(&[restored.sim_box().lengths()]),
+            bits(&[system.sim_box().lengths()])
+        );
+        prop_assert_eq!(
+            restored.sim_box().periodicity(),
+            system.sim_box().periodicity()
+        );
+        prop_assert_eq!(bits(restored.positions()), bits(system.positions()));
+        prop_assert_eq!(bits(restored.velocities()), bits(system.velocities()));
+    }
+
+    #[test]
+    fn corrupted_footer_digit_is_always_rejected(
+        system in arb_state(),
+        digit in 0usize..16,
+    ) {
+        let mut buf = Vec::new();
+        write_checkpoint(&mut buf, &system, 1).unwrap();
+        // The footer line is "checksum <16 hex digits>\n"; replace one
+        // digit with a different hex digit.
+        let hex_start = buf.len() - 17;
+        let i = hex_start + digit;
+        buf[i] = if buf[i] == b'0' { b'1' } else { b'0' };
+        prop_assert!(matches!(
+            read_checkpoint(&buf[..]).unwrap_err(),
+            CheckpointError::ChecksumMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn truncation_at_any_point_is_always_rejected(
+        system in arb_state(),
+        frac in 0.0..1.0f64,
+    ) {
+        let mut buf = Vec::new();
+        write_checkpoint(&mut buf, &system, 2).unwrap();
+        let cut = ((buf.len() - 1) as f64 * frac) as usize;
+        buf.truncate(cut);
+        prop_assert!(read_checkpoint(&buf[..]).is_err());
+    }
 }
 
 #[test]
