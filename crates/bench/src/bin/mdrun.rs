@@ -26,7 +26,7 @@
 //! flag, shows the usage summary, and exits with status 2.
 
 use md_geometry::{Lattice, LatticeSpec};
-use md_potential::{AnalyticEam, LennardJones};
+use md_potential::{AnalyticEam, LennardJones, TabulatedEam};
 use md_sim::analysis::ThermoAverager;
 use md_sim::checkpoint::{load_checkpoint, save_checkpoint};
 use md_sim::health::RecoveryConfig;
@@ -52,6 +52,10 @@ usage: mdrun [options]
   --seed N                  velocity RNG seed (default 42)
   --thermostat SPEC         none|rescale:T:N|berendsen:T:tau|langevin:T:tau
   --reorder                 enable spatial data reordering
+  --tabulated               evaluate the EAM through cubic-spline tables
+                            instead of the analytic forms (fe/cu only)
+  --no-fused                use the reference (per-pair dyn-dispatched) EAM
+                            path instead of the fused monomorphized one
   --restart PATH            continue from a checkpoint file
   --dump PATH               write an .xyz trajectory
   --log PATH                write a thermo CSV
@@ -76,6 +80,8 @@ const KNOWN_FLAGS: &[&str] = &[
     "--seed",
     "--thermostat",
     "--reorder",
+    "--tabulated",
+    "--no-fused",
     "--restart",
     "--dump",
     "--log",
@@ -136,6 +142,8 @@ fn run(args: &Args) -> Result<(), String> {
     let seed: u64 = args.try_get_or("--seed", 42)?;
     let thermostat = parse_thermostat(args.get_str("--thermostat").unwrap_or("none"))?;
     let reorder = args.flag("--reorder");
+    let tabulated = args.flag("--tabulated");
+    let no_fused = args.flag("--no-fused");
     let checkpoint_every: usize = args.try_get_or("--checkpoint-every", 0)?;
     let metrics_out: Option<PathBuf> = args.get_str("--metrics-out").map(PathBuf::from);
     let recover = args.flag("--recover");
@@ -175,14 +183,22 @@ fn run(args: &Args) -> Result<(), String> {
         Simulation::builder(spec).mass(mass).temperature(temperature)
     };
 
-    let builder = match potential.as_str() {
-        "fe" => builder.potential(AnalyticEam::fe()),
-        "cu" => builder.potential(AnalyticEam::cu()),
-        "lj" => builder.pair_potential(LennardJones::new(0.0104, 3.4, 8.5)),
+    let builder = match (potential.as_str(), tabulated) {
+        ("fe", false) => builder.potential(AnalyticEam::fe()),
+        ("cu", false) => builder.potential(AnalyticEam::cu()),
+        ("fe", true) | ("cu", true) => {
+            let src = if potential == "fe" { AnalyticEam::fe() } else { AnalyticEam::cu() };
+            builder.potential(TabulatedEam::standard(&src, src.rho_e()))
+        }
+        ("lj", false) => builder.pair_potential(LennardJones::new(0.0104, 3.4, 8.5)),
+        ("lj", true) => {
+            return Err("--tabulated requires an EAM potential (fe | cu)".to_string())
+        }
         _ => unreachable!(),
     };
     let mut sim = builder
         .strategy(strategy)
+        .fused(!no_fused)
         .threads(threads)
         .dt(dt)
         .seed(seed)

@@ -48,5 +48,5 @@ pub use context::ParallelContext;
 pub use decomposition::{ColoredDecomposition, DecompositionConfig, DecompositionError};
 pub use metrics::{Counter, DurationHistogram, Gauge, ScatterMetrics};
 pub use plan::SdcPlan;
-pub use scatter::{PairTerm, ScatterValue};
+pub use scatter::{PairTerm, ScatterValue, NO_SLOT};
 pub use strategies::{DowngradeEvent, ScatterExec, StrategyKind};

@@ -130,6 +130,13 @@ impl PairTerm<Vec3> {
 pub trait PairKernel<V: ScatterValue>: Fn(usize, usize) -> Option<PairTerm<V>> + Sync {}
 impl<V: ScatterValue, K: Fn(usize, usize) -> Option<PairTerm<V>> + Sync> PairKernel<V> for K {}
 
+/// Slot sentinel handed to indexed kernels by strategies whose sweep carries
+/// no usable per-pair storage index (the gather, lock and privatized
+/// baselines, which may visit a pair from both endpoints or without a stable
+/// half-list position). On seeing `NO_SLOT` a kernel must fall back to
+/// recomputing the pair instead of touching per-pair scratch.
+pub const NO_SLOT: usize = usize::MAX;
+
 #[cfg(test)]
 mod tests {
     use super::*;

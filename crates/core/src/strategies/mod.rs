@@ -18,7 +18,7 @@ pub mod serial;
 use crate::context::ParallelContext;
 use crate::metrics::ScatterMetrics;
 use crate::plan::SdcPlan;
-use crate::scatter::{PairTerm, ScatterValue};
+use crate::scatter::{PairTerm, ScatterValue, NO_SLOT};
 use md_neighbor::Csr;
 
 /// Selects an irregular-reduction parallelization strategy (paper §I
@@ -247,6 +247,55 @@ impl ScatterExec<'_> {
             }
         }
     }
+
+    /// [`ScatterExec::run`] for **indexed** kernels: the kernel additionally
+    /// receives each stored pair's slot — its storage index in the half list
+    /// (`offsets[i] + k` for the `k`-th neighbor of `i`).
+    ///
+    /// `Serial` and `Sdc` hand out real slots, each visited exactly once per
+    /// sweep by exactly one task, so kernels may keep disjoint per-pair
+    /// scratch addressed by slot. Every other strategy routes through its
+    /// plain sweep and passes [`NO_SLOT`](crate::scatter::NO_SLOT); the
+    /// kernel must then recompute the pair instead of touching scratch.
+    pub fn run_indexed<V: ScatterValue>(
+        &self,
+        kind: StrategyKind,
+        out: &mut [V],
+        kernel: &(impl Fn(usize, usize, usize) -> Option<PairTerm<V>> + Sync),
+    ) {
+        match kind {
+            StrategyKind::Serial => {
+                assert_eq!(
+                    out.len(),
+                    self.half.rows(),
+                    "output length must match atom count"
+                );
+                serial::scatter_serial_indexed(self.half, out, kernel);
+            }
+            StrategyKind::Sdc { dims } => {
+                assert_eq!(
+                    out.len(),
+                    self.half.rows(),
+                    "output length must match atom count"
+                );
+                let plan = self.plan.expect("SDC strategy requires a plan");
+                assert_eq!(
+                    plan.decomposition().dims(),
+                    dims,
+                    "plan dimensionality does not match StrategyKind::Sdc"
+                );
+                sdc::scatter_sdc_indexed_metered(
+                    self.ctx,
+                    plan,
+                    self.half,
+                    out,
+                    kernel,
+                    self.metrics,
+                );
+            }
+            _ => self.run(kind, out, &|i, j| kernel(NO_SLOT, i, j)),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -414,6 +463,52 @@ mod tests {
             let a = run_density(&f, kind, 4);
             let b = run_density(&f, kind, 4);
             assert_eq!(a, b, "{kind} not reproducible");
+        }
+    }
+
+    #[test]
+    fn run_indexed_matches_plain_and_slots_address_the_half_list() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let f = fixture();
+        let reference = run_density(&f, StrategyKind::Serial, 1);
+        for kind in StrategyKind::all() {
+            let ctx = ParallelContext::new(4);
+            let plan = match kind {
+                StrategyKind::Sdc { dims } => Some(&f.plans[dims - 1]),
+                _ => None,
+            };
+            let exec = ScatterExec {
+                ctx: &ctx,
+                half: &f.half,
+                full: Some(&f.full),
+                plan,
+                localwrite: Some(&f.lw),
+                metrics: None,
+            };
+            let expects_slots = matches!(kind, StrategyKind::Serial | StrategyKind::Sdc { .. });
+            let hits: Vec<AtomicU32> = (0..f.half.entries()).map(|_| AtomicU32::new(0)).collect();
+            let (pos, sim_box, half) = (&f.pos, &f.sim_box, &f.half);
+            let mut rho = vec![0.0f64; pos.len()];
+            exec.run_indexed(kind, &mut rho, &|slot, i, j| {
+                if expects_slots {
+                    // A real slot must name exactly this pair's storage cell.
+                    assert_eq!(half.indices()[slot], j as u32, "{kind}: slot names wrong pair");
+                    let base = half.offsets()[i] as usize;
+                    assert!(slot >= base && slot < base + half.row_len(i), "{kind}: slot off-row");
+                    hits[slot].fetch_add(1, Ordering::Relaxed);
+                } else {
+                    assert_eq!(slot, crate::scatter::NO_SLOT, "{kind}: expected NO_SLOT");
+                }
+                let r2 = sim_box.distance_sq(pos[i], pos[j]);
+                (r2 < CUTOFF * CUTOFF).then(|| PairTerm::symmetric((-r2).exp() + 0.01))
+            });
+            assert_close_f64(&reference, &rho, 1e-12, &format!("indexed {kind}"));
+            if expects_slots {
+                assert!(
+                    hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                    "{kind}: every slot must be visited exactly once per sweep"
+                );
+            }
         }
     }
 

@@ -62,11 +62,29 @@ pub fn scatter_sdc_metered<V: ScatterValue>(
     kernel: &(impl Fn(usize, usize) -> Option<PairTerm<V>> + Sync),
     metrics: Option<&ScatterMetrics>,
 ) {
+    scatter_sdc_indexed_metered(ctx, plan, half, out, &|_, i, j| kernel(i, j), metrics);
+}
+
+/// [`scatter_sdc_metered`] whose kernel also receives each pair's **slot** —
+/// its storage index in the half list (`offsets[i] + k`). Within one sweep
+/// every stored pair is visited exactly once and by exactly one task, so an
+/// indexed kernel may write disjoint per-pair scratch entries through a
+/// [`SharedSlice`] (the fused EAM path's phase-1 record store) under the same
+/// footprint-disjointness argument that covers `out`.
+pub fn scatter_sdc_indexed_metered<V: ScatterValue>(
+    ctx: &ParallelContext,
+    plan: &SdcPlan,
+    half: &Csr,
+    out: &mut [V],
+    kernel: &(impl Fn(usize, usize, usize) -> Option<PairTerm<V>> + Sync),
+    metrics: Option<&ScatterMetrics>,
+) {
     debug_assert!(
         plan.validate_footprints(half).is_ok(),
         "SDC plan footprints overlap; decomposition range too small for this list"
     );
     let decomp = plan.decomposition();
+    let offsets = half.offsets();
     let shared = SharedSlice::new(out);
     ctx.install(|| {
         for color in 0..decomp.color_count() {
@@ -78,8 +96,9 @@ pub fn scatter_sdc_metered<V: ScatterValue>(
                 let sh = &shared;
                 for &i in plan.atoms_of(s as usize) {
                     let i = i as usize;
-                    for &j in half.row(i) {
-                        if let Some(t) = kernel(i, j as usize) {
+                    let base = offsets[i] as usize;
+                    for (k, &j) in half.row(i).iter().enumerate() {
+                        if let Some(t) = kernel(base + k, i, j as usize) {
                             // SAFETY: i is owned by subdomain s; j is a list
                             // neighbor of i, hence inside s's halo. Same-color
                             // footprints are disjoint (checked above), so no

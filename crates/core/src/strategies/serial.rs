@@ -25,6 +25,28 @@ pub fn scatter_serial<V: ScatterValue>(
     }
 }
 
+/// [`scatter_serial`] variant whose kernel also receives each pair's **slot**
+/// — its storage index in the half list (`offsets[i] + k` for the `k`-th
+/// neighbor of `i`). Every stored pair is visited exactly once per sweep, so
+/// a kernel may address disjoint per-pair scratch entries by slot (the fused
+/// EAM path's phase-1 record store).
+pub fn scatter_serial_indexed<V: ScatterValue>(
+    half: &Csr,
+    out: &mut [V],
+    kernel: &(impl Fn(usize, usize, usize) -> Option<PairTerm<V>> + Sync),
+) {
+    let offsets = half.offsets();
+    for (i, row) in half.iter_rows() {
+        let base = offsets[i] as usize;
+        for (k, &j) in row.iter().enumerate() {
+            if let Some(t) = kernel(base + k, i, j as usize) {
+                out[i].add(t.to_i);
+                out[j as usize].add(t.to_j);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,8 +9,16 @@
 /// engine) when absolute times matter.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MachineParams {
-    /// Serial cost of one stored half-pair in one sweep (density or force).
+    /// Serial cost of one stored half-pair in one sweep (density or force)
+    /// on the reference (per-pair dyn-dispatched) evaluation path.
     pub pair_cost: f64,
+    /// Serial cost of one stored half-pair under the fused path (§II.D):
+    /// monomorphized dispatch, Horner-form spline segments, the interleaved
+    /// φ/f table, and the phase-1 scratch that spares phase 3 the
+    /// min_image/sqrt/spline recomputation. Default is `pair_cost / 1.25`,
+    /// the measured single-thread gain on the tabulated iron case
+    /// (EXPERIMENTS.md §fused).
+    pub fused_pair_cost: f64,
     /// Shared-bandwidth degradation μ: work cost scales by `1 + μ·ln P`.
     pub mem_contention: f64,
     /// Fixed cost of one fork-join barrier.
@@ -85,6 +93,7 @@ impl Default for MachineParams {
     fn default() -> MachineParams {
         MachineParams {
             pair_cost: 60e-9,
+            fused_pair_cost: 48e-9,
             mem_contention: 0.05,
             barrier_base: 4e-6,
             barrier_log: 1.5e-6,
@@ -120,8 +129,19 @@ impl MachineParams {
         );
         MachineParams {
             pair_cost,
+            // Keep the measured fused/reference ratio of the defaults.
+            fused_pair_cost: pair_cost * 0.8,
             ..MachineParams::default()
         }
+    }
+
+    /// Constants for predicting the fused evaluation path: the per-pair
+    /// sweep cost drops to [`MachineParams::fused_pair_cost`]; every
+    /// synchronization, bandwidth, and rebuild constant is unchanged (the
+    /// fused path keeps the same strategy-routed scatter).
+    pub fn fused(mut self) -> MachineParams {
+        self.pair_cost = self.fused_pair_cost;
+        self
     }
 
     /// The work-scaling overhead `(1 + μ·ln P) · numa(P)`.
@@ -189,6 +209,18 @@ mod tests {
         let m = MachineParams::calibrated(123e-9);
         assert_eq!(m.pair_cost, 123e-9);
         assert_eq!(m.lock_cost, MachineParams::default().lock_cost);
+    }
+
+    #[test]
+    fn fused_view_swaps_in_the_cheaper_pair_cost() {
+        let m = MachineParams::default();
+        let f = m.fused();
+        assert_eq!(f.pair_cost, m.fused_pair_cost);
+        assert!(f.pair_cost < m.pair_cost, "fused must be cheaper");
+        assert_eq!(f.barrier_base, m.barrier_base, "sync costs unchanged");
+        // Calibration preserves the fused/reference ratio.
+        let c = MachineParams::calibrated(100e-9);
+        assert!((c.fused_pair_cost / c.pair_cost - 0.8).abs() < 1e-12);
     }
 
     #[test]

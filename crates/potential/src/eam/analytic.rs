@@ -242,6 +242,10 @@ impl EamPotential for AnalyticEam {
         let df = 2.0 * self.e0 * x / self.rho_e;
         (f, df)
     }
+
+    fn as_analytic(&self) -> Option<&AnalyticEam> {
+        Some(self)
+    }
 }
 
 #[cfg(test)]

@@ -13,12 +13,75 @@
 use crate::spline::UniformSpline;
 use crate::traits::EamPotential;
 
+/// Interleaved per-segment φ/f Horner coefficients: segment `i` holds
+/// `[φc0, φc1, φc2, φc3, fc0, fc1, fc2, fc3]`, so the fused force kernels
+/// pay **one** segment-index computation per pair and read both radial
+/// functions' value + slope from the same cache lines (paper §II.D
+/// interpolation optimization; both splines share the same uniform grid).
+///
+/// The coefficients are copied verbatim from the two [`UniformSpline`]s and
+/// evaluated with the identical index computation and Horner chains, so
+/// [`TabulatedEam::pair_density`] is bitwise identical to separate
+/// [`TabulatedEam::pair`] + [`TabulatedEam::density`] calls.
+#[derive(Debug, Clone)]
+struct InterleavedRadial {
+    a: f64,
+    h: f64,
+    inv_h: f64,
+    coeff: Vec<[f64; 8]>,
+}
+
+impl InterleavedRadial {
+    /// Zips two splines into one interleaved table. Returns `None` when the
+    /// grids differ (e.g. *setfl* files whose density table starts at `r = 0`
+    /// while the pair table starts at `dr`); the fused evaluation then falls
+    /// back to two separate spline lookups.
+    fn build(pair: &UniformSpline, density: &UniformSpline) -> Option<InterleavedRadial> {
+        if pair.a() != density.a()
+            || pair.knots() != density.knots()
+            || pair.spacing() != density.spacing()
+        {
+            return None;
+        }
+        let coeff = pair
+            .segments()
+            .iter()
+            .zip(density.segments())
+            .map(|(p, d)| [p[0], p[1], p[2], p[3], d[0], d[1], d[2], d[3]])
+            .collect();
+        Some(InterleavedRadial {
+            a: pair.a(),
+            h: pair.spacing(),
+            inv_h: 1.0 / pair.spacing(),
+            coeff,
+        })
+    }
+
+    /// Fused `(φ, dφ/dr, f, df/dr)` — one index computation, two Horner
+    /// chains over one 64-byte coefficient row.
+    #[inline]
+    fn eval(&self, r: f64) -> (f64, f64, f64, f64) {
+        debug_assert!(r.is_finite(), "non-finite spline argument {r}");
+        let t = (r - self.a) * self.inv_h;
+        let i = (t.floor() as isize).clamp(0, self.coeff.len() as isize - 1) as usize;
+        let xl = self.a + self.h * i as f64;
+        let u = (r - xl) * self.inv_h;
+        let [p0, p1, p2, p3, f0, f1, f2, f3] = self.coeff[i];
+        let phi = p0 + u * (p1 + u * (p2 + u * p3));
+        let dphi = (p1 + u * (2.0 * p2 + u * (3.0 * p3))) * self.inv_h;
+        let f = f0 + u * (f1 + u * (f2 + u * f3));
+        let df = (f1 + u * (2.0 * f2 + u * (3.0 * f3))) * self.inv_h;
+        (phi, dphi, f, df)
+    }
+}
+
 /// An EAM potential backed by cubic-spline tables.
 #[derive(Debug, Clone)]
 pub struct TabulatedEam {
     pair: UniformSpline,
     density: UniformSpline,
     embedding: UniformSpline,
+    radial: Option<InterleavedRadial>,
     r_min: f64,
     rc: f64,
     rho_max: f64,
@@ -48,6 +111,7 @@ impl TabulatedEam {
         let density = UniformSpline::from_fn(r_min, rc, n_r, |r| source.density(r).0);
         let embedding = UniformSpline::from_fn(0.0, rho_max, n_rho, |rho| source.embedding(rho).0);
         TabulatedEam {
+            radial: InterleavedRadial::build(&pair, &density),
             pair,
             density,
             embedding,
@@ -70,6 +134,7 @@ impl TabulatedEam {
         TabulatedEam {
             r_min: pair.a(),
             rho_max: embedding.b(),
+            radial: InterleavedRadial::build(&pair, &density),
             pair,
             density,
             embedding,
@@ -117,14 +182,49 @@ impl EamPotential for TabulatedEam {
         self.density.eval(r)
     }
 
+    /// Embedding energy and derivative.
+    ///
+    /// Host densities beyond the table edge `rho_max` return `(NaN, NaN)`
+    /// **in every build profile** — never a silent linear extrapolation of
+    /// the end segment. A density that far out means the simulation is
+    /// blowing up (overlapping atoms), exactly when extrapolated garbage
+    /// forces would mask the failure; the poisoned value propagates to the
+    /// watchdog, which reports a structured `DensityOutOfRange` fault with
+    /// the culprit atom. (Drivers detect the condition *before* evaluation
+    /// via [`EamPotential::max_density`].)
     #[inline]
     fn embedding(&self, rho: f64) -> (f64, f64) {
-        debug_assert!(
-            rho <= self.rho_max,
-            "host density {rho} beyond table edge {}; enlarge rho_max",
-            self.rho_max
-        );
+        // Negated on purpose: `rho > rho_max` *and* `rho == NaN` must both
+        // take the poisoned branch, which `rho > self.rho_max` alone or a
+        // `partial_cmp` rewrite would not express as directly.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(rho <= self.rho_max) {
+            return (f64::NAN, f64::NAN);
+        }
         self.embedding.eval(rho)
+    }
+
+    #[inline]
+    fn pair_density(&self, r: f64) -> (f64, f64, f64, f64) {
+        if r >= self.rc {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        match &self.radial {
+            Some(t) => t.eval(r),
+            None => {
+                let (phi, dphi) = self.pair.eval(r);
+                let (f, df) = self.density.eval(r);
+                (phi, dphi, f, df)
+            }
+        }
+    }
+
+    fn max_density(&self) -> Option<f64> {
+        Some(self.rho_max)
+    }
+
+    fn as_tabulated(&self) -> Option<&TabulatedEam> {
+        Some(self)
     }
 }
 
@@ -183,9 +283,51 @@ mod tests {
             check_derivative(|x| tab.pair(x), r, 1e-6, 1e-5);
             check_derivative(|x| tab.density(x), r, 1e-6, 1e-5);
         }
-        for rho in [1.0, 10.0, 25.0] {
+        let near_edge = 0.9 * tab.rho_max();
+        for rho in [1.0, 10.0, near_edge] {
             check_derivative(|x| tab.embedding(x), rho, 1e-6, 1e-5);
         }
+    }
+
+    #[test]
+    fn fused_pair_density_is_bitwise_identical_to_separate_calls() {
+        let (_, tab) = tables();
+        for k in 0..4000 {
+            // Sweep across the table including the sub-r_min extrapolation
+            // region and beyond-cutoff zeros.
+            let r = 0.3 + (6.0 - 0.3) * k as f64 / 3999.0;
+            let (phi, dphi) = tab.pair(r);
+            let (f, df) = tab.density(r);
+            let fused = tab.pair_density(r);
+            assert_eq!(fused, (phi, dphi, f, df), "divergence at r = {r}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_embedding_is_poisoned_in_all_builds() {
+        let (_, tab) = tables();
+        let (f, df) = tab.embedding(tab.rho_max() * 1.01);
+        assert!(f.is_nan() && df.is_nan(), "beyond-edge density must poison");
+        // NaN densities are also out of domain, never routed into the table.
+        let (f, df) = tab.embedding(f64::NAN);
+        assert!(f.is_nan() && df.is_nan());
+        // The edge itself is still inside the domain.
+        let (f, _) = tab.embedding(tab.rho_max());
+        assert!(f.is_finite());
+    }
+
+    #[test]
+    fn concrete_dispatch_hooks_and_density_ceiling() {
+        let (src, tab) = tables();
+        assert!(tab.as_tabulated().is_some());
+        assert!(tab.as_analytic().is_none());
+        assert_eq!(tab.max_density(), Some(tab.rho_max()));
+        assert!(src.as_analytic().is_some());
+        assert!(src.as_tabulated().is_none());
+        assert_eq!(src.max_density(), None);
+        // The hooks survive dyn erasure — that is their whole point.
+        let erased: &dyn EamPotential = &tab;
+        assert!(erased.as_tabulated().is_some());
     }
 
     #[test]

@@ -6,17 +6,46 @@
 //! multiply — no binary search in the force inner loop.
 //!
 //! The second derivatives are obtained with the Thomas tridiagonal solve for
-//! the natural spline system (`y'' = 0` at both ends).
+//! the natural spline system (`y'' = 0` at both ends), then folded into
+//! **per-segment cubic coefficients** evaluated by Horner's rule (the paper's
+//! §II.D interpolation optimization): on segment `i` with the normalized
+//! local coordinate `u = (x − x_i)/h`,
+//!
+//! ```text
+//! S(x)  = c0 + u·(c1 + u·(c2 + u·c3))
+//! S'(x) = (c1 + u·(2·c2 + u·3·c3)) / h
+//! ```
+//!
+//! so an evaluation is one segment-index computation plus two short Horner
+//! chains over four contiguous coefficients — no re-derivation of the
+//! `(1−u)³` basis products per call, and value + slope read the same cache
+//! line.
 
-/// A natural cubic spline over a uniform grid on `[a, b]`.
+/// A natural cubic spline over a uniform grid on `[a, b]`, stored as
+/// per-segment Horner coefficients (see module docs).
 #[derive(Debug, Clone)]
 pub struct UniformSpline {
     a: f64,
     h: f64,
-    /// knot values y_i
-    y: Vec<f64>,
-    /// knot second derivatives y''_i
-    y2: Vec<f64>,
+    inv_h: f64,
+    /// `coeff[i] = [c0, c1, c2, c3]` for segment `[x_i, x_{i+1}]`.
+    coeff: Vec<[f64; 4]>,
+}
+
+/// Converts knot values + second derivatives of one segment into the Horner
+/// coefficients of the module docs. Derivation: substituting `a = 1 − u`,
+/// `b = u` into the classic natural-spline segment form
+/// `a·yl + b·yr + ((a³−a)·y2l + (b³−b)·y2r)·h²/6` and collecting powers
+/// of `u`.
+#[inline]
+fn segment_coefficients(h: f64, yl: f64, yr: f64, y2l: f64, y2r: f64) -> [f64; 4] {
+    let h2_6 = h * h / 6.0;
+    [
+        yl,
+        (yr - yl) - h2_6 * (2.0 * y2l + y2r),
+        3.0 * h2_6 * y2l,
+        h2_6 * (y2r - y2l),
+    ]
 }
 
 impl UniformSpline {
@@ -52,7 +81,15 @@ impl UniformSpline {
         }
         y2[0] = 0.0;
 
-        UniformSpline { a, h, y, y2 }
+        let coeff = (0..n - 1)
+            .map(|i| segment_coefficients(h, y[i], y[i + 1], y2[i], y2[i + 1]))
+            .collect();
+        UniformSpline {
+            a,
+            h,
+            inv_h: 1.0 / h,
+            coeff,
+        }
     }
 
     /// Builds a spline by sampling `f` at `n` uniform points on `[a, b]`.
@@ -72,35 +109,54 @@ impl UniformSpline {
     /// Upper bound of the domain.
     #[inline]
     pub fn b(&self) -> f64 {
-        self.a + self.h * (self.y.len() - 1) as f64
+        self.a + self.h * self.coeff.len() as f64
     }
 
     /// Number of knots.
     #[inline]
     pub fn knots(&self) -> usize {
-        self.y.len()
+        self.coeff.len() + 1
+    }
+
+    /// Knot spacing `h`.
+    #[inline]
+    pub fn spacing(&self) -> f64 {
+        self.h
+    }
+
+    /// The per-segment Horner coefficients (one `[c0, c1, c2, c3]` row per
+    /// segment) — read by [`crate::TabulatedEam`] to assemble interleaved
+    /// multi-function tables that share one segment-index computation.
+    #[inline]
+    pub fn segments(&self) -> &[[f64; 4]] {
+        &self.coeff
+    }
+
+    /// Segment index and normalized local coordinate `u` for argument `x`
+    /// (clamped to the boundary segments; see [`UniformSpline::eval`]).
+    #[inline]
+    pub(crate) fn locate(&self, x: f64) -> (usize, f64) {
+        debug_assert!(x.is_finite(), "non-finite spline argument {x}");
+        let t = (x - self.a) * self.inv_h;
+        let i = (t.floor() as isize).clamp(0, self.coeff.len() as isize - 1) as usize;
+        let xl = self.a + self.h * i as f64;
+        (i, (x - xl) * self.inv_h)
     }
 
     /// Evaluates `(S(x), S'(x))`.
     ///
     /// Arguments outside `[a, b]` are clamped to the boundary knot interval
-    /// (linear extrapolation of the end segment); potentials guard their own
-    /// domains before calling.
+    /// (cubic extrapolation of the end segment); potentials guard their own
+    /// domains before calling. Non-finite arguments are a caller bug: they
+    /// would silently land in segment 0 via the clamp, so debug builds
+    /// reject them here — at the spline — instead of letting NaN propagate
+    /// into forces.
     #[inline]
     pub fn eval(&self, x: f64) -> (f64, f64) {
-        let n = self.y.len();
-        let t = (x - self.a) / self.h;
-        let i = (t.floor() as isize).clamp(0, n as isize - 2) as usize;
-        let xl = self.a + self.h * i as f64;
-        // Normalized coordinates within segment i.
-        let bb = (x - xl) / self.h;
-        let aa = 1.0 - bb;
-        let (yl, yr) = (self.y[i], self.y[i + 1]);
-        let (dl, dr) = (self.y2[i], self.y2[i + 1]);
-        let h2_6 = self.h * self.h / 6.0;
-        let value = aa * yl + bb * yr + ((aa * aa * aa - aa) * dl + (bb * bb * bb - bb) * dr) * h2_6;
-        let deriv = (yr - yl) / self.h
-            + (-(3.0 * aa * aa - 1.0) * dl + (3.0 * bb * bb - 1.0) * dr) * self.h / 6.0;
+        let (i, u) = self.locate(x);
+        let [c0, c1, c2, c3] = self.coeff[i];
+        let value = c0 + u * (c1 + u * (c2 + u * c3));
+        let deriv = (c1 + u * (2.0 * c2 + u * (3.0 * c3))) * self.inv_h;
         (value, deriv)
     }
 
@@ -199,6 +255,33 @@ mod tests {
         assert_eq!(s.a(), 2.0);
         assert!((s.b() - 4.0).abs() < 1e-12);
         assert_eq!(s.knots(), 9);
+        assert_eq!(s.segments().len(), 8);
+        assert!((s.spacing() - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn horner_segments_match_eval() {
+        // The exported coefficient rows must reproduce eval() bit-for-bit —
+        // the interleaved EAM tables rely on it.
+        let s = UniformSpline::from_fn(0.0, 2.0, 33, |x| (x * 1.7).cos() + x);
+        for k in 0..200 {
+            let x = 2.0 * k as f64 / 199.0;
+            let (i, u) = s.locate(x);
+            let [c0, c1, c2, c3] = s.segments()[i];
+            let value = c0 + u * (c1 + u * (c2 + u * c3));
+            let deriv = (c1 + u * (2.0 * c2 + u * (3.0 * c3))) * (1.0 / s.spacing());
+            let (v, d) = s.eval(x);
+            assert_eq!(value, v, "value bits differ at x = {x}");
+            assert_eq!(deriv, d, "deriv bits differ at x = {x}");
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "non-finite spline argument")]
+    fn non_finite_argument_fails_loudly_in_debug() {
+        let s = UniformSpline::from_fn(0.0, 1.0, 11, |x| x);
+        let _ = s.eval(f64::NAN);
     }
 
     #[test]

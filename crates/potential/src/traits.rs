@@ -43,6 +43,41 @@ pub trait EamPotential: Send + Sync {
     /// Returns `(F(ρ), dF/dρ)` — the embedding energy of an atom sitting in
     /// host electron density `ρ`.
     fn embedding(&self, rho: f64) -> (f64, f64);
+
+    /// Fused radial evaluation `(φ, dφ/dr, f, df/dr)` at one separation —
+    /// the paper's §II.D interpolation optimization. The default simply
+    /// calls [`EamPotential::pair`] and [`EamPotential::density`];
+    /// tabulated backends override it with a single segment-index
+    /// computation into an interleaved coefficient table so both functions
+    /// read from the same cache lines. Implementations must be bitwise
+    /// identical to the two separate calls.
+    #[inline]
+    fn pair_density(&self, r: f64) -> (f64, f64, f64, f64) {
+        let (phi, dphi) = self.pair(r);
+        let (f, df) = self.density(r);
+        (phi, dphi, f, df)
+    }
+
+    /// Largest host density the embedding function is defined for, or
+    /// `None` when the domain is unbounded (closed-form potentials).
+    /// Tabulated backends report their table edge so drivers can surface
+    /// out-of-range densities as a structured fault instead of silently
+    /// extrapolating.
+    fn max_density(&self) -> Option<f64> {
+        None
+    }
+
+    /// Concrete-type hook for monomorphized dispatch: the force engine
+    /// matches on these once per time-step to instantiate its inner loops
+    /// statically instead of paying two virtual calls per pair.
+    fn as_analytic(&self) -> Option<&crate::AnalyticEam> {
+        None
+    }
+
+    /// See [`EamPotential::as_analytic`].
+    fn as_tabulated(&self) -> Option<&crate::TabulatedEam> {
+        None
+    }
 }
 
 /// Blanket implementations for references, so engines can take `&P` or
@@ -68,6 +103,18 @@ impl<P: EamPotential + ?Sized> EamPotential for &P {
     }
     fn embedding(&self, rho: f64) -> (f64, f64) {
         (**self).embedding(rho)
+    }
+    fn pair_density(&self, r: f64) -> (f64, f64, f64, f64) {
+        (**self).pair_density(r)
+    }
+    fn max_density(&self) -> Option<f64> {
+        (**self).max_density()
+    }
+    fn as_analytic(&self) -> Option<&crate::AnalyticEam> {
+        (**self).as_analytic()
+    }
+    fn as_tabulated(&self) -> Option<&crate::TabulatedEam> {
+        (**self).as_tabulated()
     }
 }
 

@@ -21,7 +21,33 @@ use md_geometry::Vec3;
 use md_neighbor::NeighborList;
 use md_potential::EamPotential;
 use rayon::prelude::*;
-use sdc_core::PairTerm;
+use sdc_core::shared::SharedSlice;
+use sdc_core::{PairTerm, NO_SLOT};
+
+/// Phase-1 record for one stored half-list pair, addressed by its slot
+/// (`offsets[i] + k`): the minimum-image displacement, the separation and
+/// both radial derivatives. Phase 3 of the fused path reads this instead of
+/// re-deriving it, so `min_image`, `sqrt` and the pair/density spline
+/// evaluations are paid once per pair per step — the paper's §II.D
+/// interpolation optimization.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PairRecord {
+    d: Vec3,
+    r: f64,
+    dphi: f64,
+    df: f64,
+}
+
+impl PairRecord {
+    /// Sentinel for "outside the true cutoff this step" (a Verlet skin
+    /// pair): `r < 0` is unreachable for a real separation.
+    pub(crate) const EMPTY: PairRecord = PairRecord {
+        d: Vec3::ZERO,
+        r: -1.0,
+        dphi: 0.0,
+        df: 0.0,
+    };
+}
 
 impl ForceEngine {
     pub(crate) fn compute_eam(&mut self, system: &mut System, pot: &dyn EamPotential) {
@@ -80,6 +106,103 @@ impl ForceEngine {
         }
         *self.timers_mut() = timers;
     }
+
+    /// The fused §II.D variant of [`ForceEngine::compute_eam`],
+    /// monomorphized over the concrete potential `P` (resolved once per step
+    /// in [`ForceEngine::compute`], so the pair loops pay no virtual calls).
+    ///
+    /// Arithmetic is identical to the reference path expression for
+    /// expression — bitwise under every deterministic strategy — but phase 1
+    /// evaluates φ and f through [`EamPotential::pair_density`] (one segment
+    /// index into interleaved coefficients for tabulated potentials) and
+    /// stores each in-cutoff pair's [`PairRecord`] in slot-addressed
+    /// scratch; phase 3 reads the record back. Strategies without stable
+    /// slots (everything but Serial/SDC) receive [`NO_SLOT`] and recompute
+    /// in phase 3, exactly like the reference path.
+    pub(crate) fn compute_eam_fused<P: EamPotential>(&mut self, system: &mut System, pot: &P) {
+        let rc2 = pot.cutoff() * pot.cutoff();
+        let strategy = self.strategy();
+        let entries = self.neighbor_list().csr().entries();
+        // Timers and scratch are detached so `exec` (borrowing `self`) can
+        // coexist with both.
+        let mut timers = std::mem::take(self.timers_mut());
+        let mut scratch = std::mem::take(self.scratch_mut());
+        if scratch.len() != entries {
+            scratch.clear();
+            scratch.resize(entries, PairRecord::EMPTY);
+        }
+        {
+            let exec = self.exec();
+            let ctx = self.ctx();
+            let (sim_box, pos, rho, fp, forces) = system.eam_split_mut();
+
+            // Phase 1: densities, recording each pair as a side effect.
+            timers.time(Phase::Density, || {
+                rho.fill(0.0);
+                let records = SharedSlice::new(&mut scratch);
+                let kernel = |slot: usize, i: usize, j: usize| {
+                    let d = sim_box.min_image(pos[i], pos[j]);
+                    let r2 = d.norm_sq();
+                    if r2 >= rc2 {
+                        if slot != NO_SLOT {
+                            // SAFETY: run_indexed visits each real slot
+                            // exactly once per sweep, from one task.
+                            unsafe { records.get_mut(slot).r = -1.0 };
+                        }
+                        return None;
+                    }
+                    let r = r2.sqrt();
+                    let (_, dphi, f, df) = pot.pair_density(r);
+                    if slot != NO_SLOT {
+                        // SAFETY: as above — slot writes are disjoint.
+                        unsafe { *records.get_mut(slot) = PairRecord { d, r, dphi, df } };
+                    }
+                    Some(PairTerm::symmetric(f))
+                };
+                exec.run_indexed(strategy, rho, &kernel);
+            });
+
+            // Phase 2: embedding derivatives (no dependences).
+            timers.time(Phase::Embedding, || {
+                ctx.install(|| {
+                    fp.par_iter_mut()
+                        .zip(rho.par_iter())
+                        .for_each(|(f, &r)| *f = pot.embedding(r).1);
+                });
+            });
+
+            // Phase 3: forces, replaying the phase-1 records.
+            timers.time(Phase::Force, || {
+                forces.fill(Vec3::ZERO);
+                let fp_ro: &[f64] = fp;
+                let records: &[PairRecord] = &scratch;
+                let kernel = |slot: usize, i: usize, j: usize| {
+                    let (d, r, dphi, df) = if slot == NO_SLOT {
+                        let d = sim_box.min_image(pos[i], pos[j]);
+                        let r2 = d.norm_sq();
+                        if r2 >= rc2 {
+                            return None;
+                        }
+                        let r = r2.sqrt();
+                        let (_, dphi, _, df) = pot.pair_density(r);
+                        (d, r, dphi, df)
+                    } else {
+                        let rec = records[slot];
+                        if rec.r < 0.0 {
+                            return None;
+                        }
+                        (rec.d, rec.r, rec.dphi, rec.df)
+                    };
+                    let scalar = dphi + (fp_ro[i] + fp_ro[j]) * df;
+                    // F_i = −dE/dr · r̂, r̂ = (r_i − r_j)/r; Newton gives −F to j.
+                    Some(PairTerm::newton(d * (-scalar / r)))
+                };
+                exec.run_indexed(strategy, forces, &kernel);
+            });
+        }
+        *self.scratch_mut() = scratch;
+        *self.timers_mut() = timers;
+    }
 }
 
 /// Total EAM potential energy `Σ_i F(ρ_i) + Σ_pairs φ(r)`, using the
@@ -134,25 +257,13 @@ pub fn eam_stress(
 
 /// Pair virial `W = Σ_pairs r⃗·f⃗ = −Σ_pairs (dE/dr)·r`, using the stored
 /// embedding derivatives.
+///
+/// Derived as `tr(σ_config)·V` from [`eam_stress`]: the trace of the dyadic
+/// sum `Σ d ⊗ f` is exactly `Σ d·f`. This used to be a third hand-copy of
+/// the pair kernel (which had already drifted to `distance_sq` where the
+/// stress used `min_image`); sharing the tensor makes drift impossible.
 pub fn eam_virial(half: &NeighborList, system: &System, pot: &dyn EamPotential) -> f64 {
-    let rc2 = pot.cutoff() * pot.cutoff();
-    let pos = system.positions();
-    let fp = system.fp();
-    let sim_box = system.sim_box();
-    let mut w = 0.0;
-    for (i, row) in half.csr().iter_rows() {
-        for &j in row {
-            let j = j as usize;
-            let r2 = sim_box.distance_sq(pos[i], pos[j]);
-            if r2 < rc2 {
-                let r = r2.sqrt();
-                let (_, dphi) = pot.pair(r);
-                let (_, df) = pot.density(r);
-                w -= (dphi + (fp[i] + fp[j]) * df) * r;
-            }
-        }
-    }
-    w
+    eam_stress(half, system, pot).trace() * system.sim_box().volume()
 }
 
 #[cfg(test)]
@@ -161,7 +272,7 @@ mod tests {
     use crate::system::System;
     use crate::units::FE_MASS;
     use md_geometry::{LatticeSpec, Vec3};
-    use md_potential::{AnalyticEam, TabulatedEam};
+    use md_potential::{AnalyticEam, EamPotential, TabulatedEam};
     use sdc_core::StrategyKind;
     use std::sync::Arc;
 
@@ -400,6 +511,107 @@ mod tests {
         assert!((yy - zz).abs() < 1e-9, "transverse symmetry");
         assert!((xx - yy).abs() > 1e-4, "xx = {xx}, yy = {yy}");
         assert!(t.von_mises() > 1e-4);
+    }
+
+    #[test]
+    fn fused_path_is_bitwise_identical_to_reference_under_serial() {
+        let src = AnalyticEam::fe();
+        let pots: [Arc<dyn md_potential::EamPotential>; 2] = [
+            Arc::new(AnalyticEam::fe()),
+            Arc::new(TabulatedEam::standard(&src, src.rho_e())),
+        ];
+        for pot in pots {
+            let mut sys_f = System::from_lattice(LatticeSpec::bcc_fe(5), FE_MASS);
+            rattle(&mut sys_f, 0.05);
+            let mut sys_r = sys_f.clone();
+            let mut eng_f = ForceEngine::new(
+                &sys_f,
+                PotentialChoice::Eam(pot.clone()),
+                StrategyKind::Serial,
+                1,
+                0.3,
+            )
+            .unwrap();
+            let mut eng_r = ForceEngine::new(
+                &sys_r,
+                PotentialChoice::Eam(pot),
+                StrategyKind::Serial,
+                1,
+                0.3,
+            )
+            .unwrap();
+            assert!(eng_f.fused());
+            eng_r.set_fused(false);
+            // Two steps, so the second replays a warm scratch.
+            for _ in 0..2 {
+                eng_f.compute(&mut sys_f);
+                eng_r.compute(&mut sys_r);
+                assert_eq!(sys_f.rho(), sys_r.rho(), "densities must be bitwise equal");
+                assert_eq!(sys_f.fp(), sys_r.fp(), "embedding derivs must be bitwise equal");
+                assert_eq!(sys_f.forces(), sys_r.forces(), "forces must be bitwise equal");
+            }
+            let ef = eng_f.potential_energy(&sys_f);
+            let er = eng_r.potential_energy(&sys_r);
+            assert_eq!(ef, er, "energies must be bitwise equal");
+        }
+    }
+
+    #[test]
+    fn fused_path_matches_reference_under_every_strategy() {
+        for strategy in StrategyKind::all() {
+            let (mut sys_f, mut eng_f) = fe_engine(9, strategy, 3);
+            rattle(&mut sys_f, 0.05);
+            let mut sys_r = sys_f.clone();
+            let (_, mut eng_r) = fe_engine(9, strategy, 3);
+            eng_r.set_fused(false);
+            eng_f.rebuild(&sys_f);
+            eng_r.rebuild(&sys_r);
+            eng_f.compute(&mut sys_f);
+            eng_r.compute(&mut sys_r);
+            for (k, (a, b)) in sys_r.forces().iter().zip(sys_f.forces()).enumerate() {
+                assert!(
+                    (*a - *b).norm() < 1e-10,
+                    "{strategy}: force[{k}] {a} vs {b}"
+                );
+            }
+            let ef = eng_f.potential_energy(&sys_f);
+            let er = eng_r.potential_energy(&sys_r);
+            assert!(
+                (ef - er).abs() <= 1e-12 * er.abs(),
+                "{strategy}: energy {ef} vs {er}"
+            );
+        }
+    }
+
+    #[test]
+    fn virial_equals_stress_trace_times_volume() {
+        let (mut system, mut eng) = fe_engine(5, StrategyKind::Serial, 1);
+        rattle(&mut system, 0.05);
+        eng.rebuild(&system);
+        eng.compute(&mut system);
+        let pot = AnalyticEam::fe();
+        let w = super::eam_virial(eng.neighbor_list(), &system, &pot);
+        // Independent oracle: the scalar sum −Σ (dE/dr)·r coded directly,
+        // as eam_virial used to be implemented.
+        let rc2 = pot.cutoff() * pot.cutoff();
+        let (pos, fp, sim_box) = (system.positions(), system.fp(), system.sim_box());
+        let mut expect = 0.0;
+        for (i, row) in eng.neighbor_list().csr().iter_rows() {
+            for &j in row {
+                let j = j as usize;
+                let r2 = sim_box.distance_sq(pos[i], pos[j]);
+                if r2 < rc2 {
+                    let r = r2.sqrt();
+                    let (_, dphi) = pot.pair(r);
+                    let (_, df) = pot.density(r);
+                    expect -= (dphi + (fp[i] + fp[j]) * df) * r;
+                }
+            }
+        }
+        assert!(
+            (w - expect).abs() <= 1e-12 * expect.abs().max(1.0),
+            "tr(σ)·V = {w}, direct sum = {expect}"
+        );
     }
 
     #[test]

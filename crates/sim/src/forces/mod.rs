@@ -109,6 +109,8 @@ pub struct ForceEngine {
     rebuilds: usize,
     downgrades: Vec<DowngradeEvent>,
     metrics: Option<Arc<SimMetrics>>,
+    fused: bool,
+    scratch: Vec<eam::PairRecord>,
 }
 
 /// Builds the half list on `ctx`'s pool when `parallel` is set, serially
@@ -173,6 +175,8 @@ impl ForceEngine {
             rebuilds: 0,
             downgrades: Vec::new(),
             metrics: None,
+            fused: true,
+            scratch: Vec::new(),
         })
     }
 
@@ -379,11 +383,52 @@ impl ForceEngine {
     pub fn compute(&mut self, system: &mut System) {
         let start = self.metrics.is_some().then(std::time::Instant::now);
         match self.potential.clone() {
-            PotentialChoice::Eam(p) => self.compute_eam(system, p.as_ref()),
+            PotentialChoice::Eam(p) => {
+                // Devirtualization happens here, once per step: resolve the
+                // concrete potential and monomorphize the fused kernels over
+                // it, instead of paying two virtual calls per pair. Unknown
+                // implementations keep the dyn-dispatched reference path.
+                if self.fused {
+                    if let Some(a) = p.as_analytic() {
+                        self.compute_eam_fused(system, a);
+                    } else if let Some(t) = p.as_tabulated() {
+                        self.compute_eam_fused(system, t);
+                    } else {
+                        self.compute_eam(system, p.as_ref());
+                    }
+                } else {
+                    self.compute_eam(system, p.as_ref());
+                }
+            }
             PotentialChoice::Pair(p) => self.compute_pair(system, p.as_ref()),
         }
         if let (Some(m), Some(start)) = (&self.metrics, start) {
             m.force.record(start.elapsed());
+        }
+    }
+
+    /// Whether EAM computations take the fused §II.D path (the default).
+    #[inline]
+    pub fn fused(&self) -> bool {
+        self.fused
+    }
+
+    /// Selects the fused (default) or reference EAM path. Both produce
+    /// identical physics — bitwise under deterministic strategies; the
+    /// reference path is kept for A/B benchmarking and as the oracle for
+    /// the conformance tests.
+    pub fn set_fused(&mut self, fused: bool) {
+        self.fused = fused;
+    }
+
+    /// Largest embedding density the potential defines, when its domain is
+    /// bounded (tabulated potentials). The watchdog compares per-atom
+    /// densities against this to report out-of-table extrapolation as a
+    /// structured fault.
+    pub fn density_limit(&self) -> Option<f64> {
+        match &self.potential {
+            PotentialChoice::Eam(p) => p.max_density(),
+            PotentialChoice::Pair(_) => None,
         }
     }
 
@@ -441,6 +486,10 @@ impl ForceEngine {
 
     pub(crate) fn timers_mut(&mut self) -> &mut PhaseTimers {
         &mut self.timers
+    }
+
+    pub(crate) fn scratch_mut(&mut self) -> &mut Vec<eam::PairRecord> {
+        &mut self.scratch
     }
 
     pub(crate) fn ctx(&self) -> &ParallelContext {

@@ -54,6 +54,21 @@ pub enum SimFault {
         /// Step at which the fault was detected.
         step: usize,
     },
+    /// An atom's host electron density exceeded the potential's tabulated
+    /// embedding domain. The embedding evaluation is poisoned (NaN) past the
+    /// table edge instead of silently extrapolating, so this is the *root
+    /// cause* behind the non-finite forces that follow — the watchdog checks
+    /// it first and reports it instead of the symptom.
+    DensityOutOfRange {
+        /// Index of the offending atom.
+        atom: usize,
+        /// Step at which the fault was detected.
+        step: usize,
+        /// The measured host density.
+        rho: f64,
+        /// The table's upper edge `ρ_max`.
+        limit: f64,
+    },
     /// Total energy drifted from the armed baseline beyond tolerance — the
     /// NVE invariant is broken (usually a too-large `dt`).
     EnergyDrift {
@@ -98,6 +113,7 @@ impl SimFault {
             SimFault::NonFinitePosition { step, .. }
             | SimFault::NonFiniteVelocity { step, .. }
             | SimFault::NonFiniteForce { step, .. }
+            | SimFault::DensityOutOfRange { step, .. }
             | SimFault::EnergyDrift { step, .. }
             | SimFault::TemperatureBlowup { step, .. }
             | SimFault::AtomEscaped { step, .. } => *step,
@@ -117,6 +133,15 @@ impl std::fmt::Display for SimFault {
             SimFault::NonFiniteForce { atom, step } => {
                 write!(f, "step {step}: atom {atom} has a non-finite force")
             }
+            SimFault::DensityOutOfRange {
+                atom,
+                step,
+                rho,
+                limit,
+            } => write!(
+                f,
+                "step {step}: atom {atom} host density {rho:.6} exceeds the embedding table edge ρ_max = {limit:.6}"
+            ),
             SimFault::EnergyDrift {
                 step,
                 baseline,
@@ -222,6 +247,23 @@ impl Watchdog {
     ) -> Result<(), SimFault> {
         if !step.is_multiple_of(self.config.check_every.max(1)) {
             return Ok(());
+        }
+        // Bounded-domain potentials: a host density past the table edge is
+        // the root cause of the NaN forces the finiteness loop below would
+        // otherwise report — check it first so the fault names the cause,
+        // not the symptom. (NaN densities fail the `>` comparison and fall
+        // through to the finiteness checks, which identify their source.)
+        if let Some(limit) = engine.density_limit() {
+            for (atom, &rho) in system.rho().iter().enumerate() {
+                if rho > limit {
+                    return Err(SimFault::DensityOutOfRange {
+                        atom,
+                        step,
+                        rho,
+                        limit,
+                    });
+                }
+            }
         }
         let periodic = system.sim_box().periodicity();
         let lengths = system.sim_box().lengths();
@@ -538,6 +580,54 @@ mod tests {
             dog.check(&system, &engine, 1).unwrap_err(),
             SimFault::NonFiniteVelocity { atom: 4, .. }
         ));
+    }
+
+    #[test]
+    fn out_of_table_density_reports_the_root_cause_not_the_nan_forces() {
+        // Squeeze one atom into another's core so the host density shoots
+        // past the tabulated embedding domain. The embedding is poisoned
+        // (NaN — in release builds too, not just under debug_assert), so
+        // forces are also non-finite; the watchdog must name the root cause
+        // instead of the NonFiniteForce symptom.
+        let src = AnalyticEam::fe();
+        let tab = md_potential::TabulatedEam::standard(&src, src.rho_e());
+        let limit = tab.rho_max();
+        let mut system = System::from_lattice(LatticeSpec::bcc_fe(5), FE_MASS);
+        let p0 = system.positions()[0];
+        system.positions_mut()[1] = p0 + Vec3::new(0.6, 0.0, 0.0);
+        let mut engine = ForceEngine::new(
+            &system,
+            PotentialChoice::Eam(Arc::new(tab)),
+            StrategyKind::Serial,
+            1,
+            0.3,
+        )
+        .unwrap();
+        engine.compute(&mut system);
+        assert_eq!(engine.density_limit(), Some(limit));
+        assert!(
+            system.forces().iter().any(|f| !f.is_finite()),
+            "poisoned embedding must not produce plausible-looking forces"
+        );
+        let mut dog = Watchdog::new(WatchdogConfig::default());
+        match dog.check(&system, &engine, 1).unwrap_err() {
+            SimFault::DensityOutOfRange { rho, limit: l, .. } => {
+                assert_eq!(l, limit);
+                assert!(rho > limit, "rho = {rho} must exceed ρ_max = {limit}");
+            }
+            other => panic!("expected DensityOutOfRange, got {other}"),
+        }
+        // Unbounded (analytic) potentials have no table edge: the same
+        // squeezed geometry stays a plain force/energy question.
+        let engine2 = ForceEngine::new(
+            &system,
+            PotentialChoice::Eam(Arc::new(AnalyticEam::fe())),
+            StrategyKind::Serial,
+            1,
+            0.3,
+        )
+        .unwrap();
+        assert_eq!(engine2.density_limit(), None);
     }
 
     #[test]

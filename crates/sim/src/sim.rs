@@ -295,6 +295,7 @@ pub struct SimulationBuilder {
     strategy_fallback: bool,
     parallel_neighbor: Option<bool>,
     metrics: bool,
+    fused: bool,
 }
 
 impl SimulationBuilder {
@@ -314,6 +315,7 @@ impl SimulationBuilder {
             strategy_fallback: true,
             parallel_neighbor: None,
             metrics: false,
+            fused: true,
         }
     }
 
@@ -412,6 +414,16 @@ impl SimulationBuilder {
         self
     }
 
+    /// Selects the fused §II.D EAM evaluation path (default **on**):
+    /// devirtualized kernels, one interleaved φ/f table lookup per pair and
+    /// a phase-1 pair-record scratch that phase 3 replays. Physics is
+    /// identical to the reference path (bitwise under deterministic
+    /// strategies); turn it off for A/B benchmarking.
+    pub fn fused(mut self, on: bool) -> Self {
+        self.fused = on;
+        self
+    }
+
     /// Overrides whether neighbor-list rebuilds run on the thread pool
     /// (default: parallel iff `threads > 1`). The parallel build is bitwise
     /// identical to the serial one, so this is a performance knob only —
@@ -451,6 +463,7 @@ impl SimulationBuilder {
         if self.metrics {
             engine.enable_metrics();
         }
+        engine.set_fused(self.fused);
         engine.compute(&mut system);
         Ok(Simulation {
             system,

@@ -58,9 +58,17 @@ impl StressTensor {
         self
     }
 
+    /// Sum of the diagonal components. For the configurational stress this
+    /// is `W/V` — the virial over the volume — which is how
+    /// [`crate::forces::eam::eam_virial`] derives the scalar virial instead
+    /// of keeping a third hand-copy of the pair kernel.
+    pub fn trace(&self) -> f64 {
+        self.components[0] + self.components[1] + self.components[2]
+    }
+
     /// `(trace)/3` — the scalar pressure.
     pub fn pressure(&self) -> f64 {
-        (self.components[0] + self.components[1] + self.components[2]) / 3.0
+        self.trace() / 3.0
     }
 
     /// The von Mises equivalent (deviatoric) stress — the standard scalar

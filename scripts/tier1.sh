@@ -18,28 +18,33 @@
 #   6. metrics regression gate    (short metered mdrun, diffed against the
 #      checked-in golden report; counters must match, timings may only
 #      grow within a deliberately generous tolerance)
+#   7. fused-path conformance     (the same short metered mdrun on the
+#      reference and the fused EAM paths; every counter must match
+#      *exactly* — the fused path may only change how fast the physics
+#      runs, never what it does — plus the force-consistency suite under
+#      RAYON_NUM_THREADS=2 and =4)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> [1/6] release build"
+echo "==> [1/7] release build"
 cargo build --release --workspace
 
-echo "==> [2/6] test suite"
+echo "==> [2/7] test suite"
 cargo test --workspace -q
 
-echo "==> [3/6] clippy (deny warnings)"
+echo "==> [3/7] clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> [4/6] debug-assertions test job"
+echo "==> [4/7] debug-assertions test job"
 RUSTFLAGS="-C debug-assertions=on" cargo test --workspace -q --profile dev
 
-echo "==> [5/6] thread-matrix test job"
+echo "==> [5/7] thread-matrix test job"
 for t in 2 4; do
   echo "    RAYON_NUM_THREADS=$t"
   RAYON_NUM_THREADS="$t" cargo test -q -p md-neighbor -p sdc-core -p sdc-md
 done
 
-echo "==> [6/6] metrics regression gate"
+echo "==> [6/7] metrics regression gate"
 report="$(mktemp /tmp/tier1_metrics.XXXXXX.json)"
 cargo run -q -p sdc-bench --release --bin mdrun -- \
   --cells 9 --strategy sdc2d --threads 2 --steps 20 --report 20 \
@@ -47,5 +52,22 @@ cargo run -q -p sdc-bench --release --bin mdrun -- \
 cargo run -q -p sdc-bench --release --bin metrics_diff -- \
   scripts/metrics_baseline.json "$report" --tol 1.10 --time-tol 50
 rm -f "$report"
+
+echo "==> [7/7] fused-path conformance gate"
+ref="$(mktemp /tmp/tier1_ref.XXXXXX.json)"
+fus="$(mktemp /tmp/tier1_fused.XXXXXX.json)"
+cargo run -q -p sdc-bench --release --bin mdrun -- \
+  --cells 9 --strategy sdc2d --threads 2 --steps 20 --report 20 \
+  --no-fused --metrics-out "$ref" > /dev/null
+cargo run -q -p sdc-bench --release --bin mdrun -- \
+  --cells 9 --strategy sdc2d --threads 2 --steps 20 --report 20 \
+  --metrics-out "$fus" > /dev/null
+cargo run -q -p sdc-bench --release --bin metrics_diff -- \
+  "$ref" "$fus" --tol 1.0 --time-tol 50
+rm -f "$ref" "$fus"
+for t in 2 4; do
+  echo "    force-consistency suite, RAYON_NUM_THREADS=$t"
+  RAYON_NUM_THREADS="$t" cargo test -q --test force_consistency
+done
 
 echo "tier-1: all green"
