@@ -1,0 +1,51 @@
+//! Criterion bench: cost-guided load balancing on a half-void box.
+//!
+//! A bcc iron crystal with a spherical void carved out of one octant gives
+//! the SDC subdomains wildly different pair counts; the color barriers then
+//! wait on the slowest task. This bench A/Bs the default (unbalanced)
+//! decomposition against the balanced engine — LPT task order plus the
+//! makespan-guided plan search — over the full EAM force computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use md_geometry::{LatticeSpec, Vec3};
+use md_potential::AnalyticEam;
+use md_sim::{BalanceConfig, PotentialChoice, StrategyKind, System};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn half_void_system(cells: usize) -> System {
+    let (bx, pos) = LatticeSpec::bcc_fe(cells).build();
+    let l = bx.lengths();
+    let center = Vec3::new(l.x * 0.25, l.y * 0.25, l.z * 0.25);
+    let radius = l.x * 0.2;
+    let kept: Vec<Vec3> = pos
+        .into_iter()
+        .filter(|p| (*p - center).norm() > radius)
+        .collect();
+    System::new(bx, kept, md_sim::units::FE_MASS)
+}
+
+fn bench_balance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("load_balance");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    let threads = 4;
+    for balanced in [false, true] {
+        let system = half_void_system(17);
+        let pot = PotentialChoice::Eam(Arc::new(AnalyticEam::fe()));
+        let mut engine =
+            md_sim::ForceEngine::new(&system, pot, StrategyKind::Sdc { dims: 3 }, threads, 0.3)
+                .expect("engine");
+        if balanced {
+            assert!(engine.enable_balance(&system, BalanceConfig::default()));
+        }
+        let mut system = system;
+        let label = if balanced { "balanced" } else { "default" };
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| engine.compute(&mut system));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_balance);
+criterion_main!(benches);

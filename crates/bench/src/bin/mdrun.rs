@@ -31,7 +31,7 @@ use md_sim::analysis::ThermoAverager;
 use md_sim::checkpoint::{load_checkpoint, save_checkpoint};
 use md_sim::health::RecoveryConfig;
 use md_sim::output::{ThermoLog, XyzWriter};
-use md_perfmodel::{MachineParams, ObservedImbalance};
+use md_perfmodel::{MachineParams, ObservedImbalance, ObservedMakespan};
 use md_sim::metrics::report::{RunInfo, RunReport};
 use md_sim::{Simulation, StrategyKind, Thermo, Thermostat};
 use sdc_bench::Args;
@@ -64,6 +64,9 @@ usage: mdrun [options]
   --checkpoint-every N      save a checkpoint every N steps (atomic write)
   --metrics-out PATH        record per-color/per-thread metrics and write a
                             machine-readable JSON run report
+  --balance                 cost-guided SDC load balancing: LPT task order,
+                            plan search over dims/caps, mid-run re-planning
+                            (SDC strategies only)
   --recover                 run under fault supervision: roll back to the
                             last checkpoint and retry with a smaller dt
   --max-retries N           fault retries before giving up (default 3)";
@@ -88,6 +91,7 @@ const KNOWN_FLAGS: &[&str] = &[
     "--checkpoint",
     "--checkpoint-every",
     "--metrics-out",
+    "--balance",
     "--recover",
     "--max-retries",
 ];
@@ -146,6 +150,7 @@ fn run(args: &Args) -> Result<(), String> {
     let no_fused = args.flag("--no-fused");
     let checkpoint_every: usize = args.try_get_or("--checkpoint-every", 0)?;
     let metrics_out: Option<PathBuf> = args.get_str("--metrics-out").map(PathBuf::from);
+    let balance = args.flag("--balance");
     let recover = args.flag("--recover");
     let max_retries: usize = args.try_get_or("--max-retries", 3)?;
     let checkpoint_path: Option<PathBuf> = args
@@ -205,10 +210,30 @@ fn run(args: &Args) -> Result<(), String> {
         .thermostat(thermostat)
         .reorder(reorder)
         .metrics(metrics_out.is_some())
+        .balance(balance)
         .build()
         .map_err(|e| format!("cannot build simulation: {e}"))?;
     for event in sim.downgrades() {
         println!("warning: {event}");
+    }
+    if balance {
+        match sim.engine().plan_choice() {
+            Some(choice) => println!(
+                "balance: {} subdomains {:?}{}, predicted {:.3e} s/step, imbalance {:.3}",
+                sim.engine().strategy(),
+                choice.counts,
+                match choice.max_per_axis {
+                    Some(cap) => format!(" (cap {cap}/axis)"),
+                    None => String::new(),
+                },
+                choice.predicted_seconds,
+                choice.predicted_imbalance
+            ),
+            None => println!(
+                "balance: inactive ({} is not an SDC strategy)",
+                sim.engine().strategy()
+            ),
+        }
     }
 
     let mut traj = match args.get_str("--dump") {
@@ -281,6 +306,9 @@ fn run(args: &Args) -> Result<(), String> {
     }
     println!("\n{averages}");
     println!("\nphase timing:\n{}", sim.timers());
+    for event in sim.rebalances() {
+        println!("balance: {event}");
+    }
 
     if let Some(path) = &metrics_out {
         emit_metrics_report(&sim, path, dt)?;
@@ -308,6 +336,7 @@ fn emit_metrics_report(sim: &Simulation, path: &Path, dt: f64) -> Result<(), Str
         threads: engine.threads(),
         strategy: engine.strategy().name().to_string(),
         dt_ps: dt,
+        balance: engine.plan_choice().map(Into::into),
     };
     let report = RunReport::collect(&info, sim.timers(), metrics);
     report
@@ -335,6 +364,25 @@ fn emit_metrics_report(sim: &Simulation, path: &Path, dt: f64) -> Result<(), Str
             1e6 * observed.predicted_barrier_wait_seconds(&machine),
             observed.barrier_wait_ratio(&machine)
         );
+        if let Some(choice) = engine.plan_choice() {
+            let walls: Vec<u64> = scatter
+                .color_wall
+                .iter()
+                .filter(|h| h.count() > 0)
+                .map(|h| h.sum_ns())
+                .collect();
+            let colors = walls.len() as u64;
+            let sweeps = observed.barriers.checked_div(colors).unwrap_or(0);
+            let makespan = ObservedMakespan::new(walls, sweeps);
+            println!(
+                "balance: busiest color observed {:.2} us/sweep (full sweep {:.2} us); \
+                 predicted {:.3e} s/step, {} rebalances",
+                1e6 * makespan.busiest_color_seconds(),
+                1e6 * makespan.sweep_seconds(),
+                choice.predicted_seconds,
+                scatter.rebalances.get()
+            );
+        }
     }
     Ok(())
 }

@@ -41,6 +41,7 @@ pub mod decomposition;
 pub mod metrics;
 pub mod plan;
 pub mod scatter;
+pub mod schedule;
 pub mod shared;
 pub mod strategies;
 
@@ -49,4 +50,5 @@ pub use decomposition::{ColoredDecomposition, DecompositionConfig, Decomposition
 pub use metrics::{Counter, DurationHistogram, Gauge, ScatterMetrics};
 pub use plan::SdcPlan;
 pub use scatter::{PairTerm, ScatterValue, NO_SLOT};
+pub use schedule::{BalancedPlan, ColorSchedule, MakespanParams, PlanChoice};
 pub use strategies::{DowngradeEvent, ScatterExec, StrategyKind};

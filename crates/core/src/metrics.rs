@@ -295,6 +295,12 @@ pub struct ScatterMetrics {
     /// Per-worker-thread busy nanoseconds inside SDC subdomain tasks.
     /// Indexed by the rayon worker index of the strategy's dedicated pool.
     pub thread_busy_ns: Vec<Counter>,
+    /// Mid-run plan changes made by the cost-guided balancer (plan search
+    /// re-runs that adopted a different decomposition).
+    pub rebalances: Counter,
+    /// Predicted thread-aware imbalance (`max bin / mean bin` under LPT
+    /// packing) of the currently active plan; 0.0 until a balancer sets it.
+    pub planned_imbalance: Gauge,
 }
 
 impl ScatterMetrics {
@@ -310,6 +316,8 @@ impl ScatterMetrics {
             color_barriers: Counter::new(),
             color_wall: (0..MAX_COLORS).map(|_| DurationHistogram::new()).collect(),
             thread_busy_ns: (0..threads.max(1)).map(|_| Counter::new()).collect(),
+            rebalances: Counter::new(),
+            planned_imbalance: Gauge::new(),
         }
     }
 
@@ -358,6 +366,8 @@ impl ScatterMetrics {
         for c in &self.thread_busy_ns {
             c.reset();
         }
+        self.rebalances.reset();
+        self.planned_imbalance.set(0.0);
     }
 }
 
@@ -494,9 +504,13 @@ mod tests {
         assert_eq!(m.thread_wait_ns(1), 1_600);
         // Out-of-range thread: full wall charged as wait.
         assert_eq!(m.thread_wait_ns(9), 2_000);
+        m.rebalances.inc();
+        m.planned_imbalance.set(1.4);
         m.reset();
         assert_eq!(m.total_color_wall_ns(), 0);
         assert_eq!(m.thread_busy_ns[0].get(), 0);
+        assert_eq!(m.rebalances.get(), 0);
+        assert_eq!(m.planned_imbalance.get(), 0.0);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! lifetime of the list no matter how atoms drift between rebuilds.
 
 use crate::decomposition::{ColoredDecomposition, DecompositionConfig, DecompositionError};
+use crate::schedule::{self, ColorSchedule};
 use md_geometry::{SimBox, Vec3};
 use md_neighbor::Csr;
 
@@ -17,10 +18,14 @@ pub struct SdcPlan {
     decomp: ColoredDecomposition,
     /// Row `s` = atoms of subdomain `s` (the paper's `pstart`/`partindex`).
     atoms: Csr,
+    /// Optional cost-guided execution schedule (LPT within each color).
+    /// `None` means CSR order — the paper's default.
+    schedule: Option<ColorSchedule>,
 }
 
 impl SdcPlan {
     /// Builds decomposition and atom binning from one position snapshot.
+    /// The plan starts unscheduled; see [`SdcPlan::set_schedule`].
     pub fn build(
         sim_box: &SimBox,
         positions: &[Vec3],
@@ -28,7 +33,7 @@ impl SdcPlan {
     ) -> Result<SdcPlan, DecompositionError> {
         let decomp = ColoredDecomposition::new(sim_box, config)?;
         let atoms = decomp.assign_atoms(positions);
-        Ok(SdcPlan { decomp, atoms })
+        Ok(SdcPlan { decomp, atoms, schedule: None })
     }
 
     /// The underlying decomposition.
@@ -55,6 +60,48 @@ impl SdcPlan {
         self.atoms.entries()
     }
 
+    /// Attaches a cost-guided execution schedule. Reordering subdomains
+    /// within a color is result-neutral (footprints stay disjoint), so the
+    /// schedule only changes *when* tasks start, never what they compute.
+    ///
+    /// # Panics
+    /// Panics if the schedule's color count does not match the
+    /// decomposition's; debug builds additionally verify each color's order
+    /// is a permutation of that color's subdomains.
+    pub fn set_schedule(&mut self, schedule: ColorSchedule) {
+        assert_eq!(
+            schedule.color_count(),
+            self.decomp.color_count(),
+            "schedule colors must match the decomposition"
+        );
+        #[cfg(debug_assertions)]
+        for color in 0..self.decomp.color_count() {
+            let mut expect: Vec<u32> = self.decomp.of_color(color).to_vec();
+            let mut got: Vec<u32> = schedule.order_of(color).to_vec();
+            expect.sort_unstable();
+            got.sort_unstable();
+            debug_assert_eq!(expect, got, "schedule color {color} is not a permutation");
+        }
+        self.schedule = Some(schedule);
+    }
+
+    /// The attached schedule, if any.
+    #[inline]
+    pub fn schedule(&self) -> Option<&ColorSchedule> {
+        self.schedule.as_ref()
+    }
+
+    /// The subdomains of `color` in execution order: the schedule's LPT
+    /// order when one is attached, CSR order otherwise. The scatter engine
+    /// iterates this.
+    #[inline]
+    pub fn ordered_of_color(&self, color: usize) -> &[u32] {
+        match &self.schedule {
+            Some(s) => s.order_of(color),
+            None => self.decomp.of_color(color),
+        }
+    }
+
     /// Per-subdomain stored-pair counts for a half list: the work estimate
     /// used for load statistics and by the performance model.
     pub fn pair_counts(&self, half: &Csr) -> Vec<u64> {
@@ -72,6 +119,12 @@ impl SdcPlan {
     /// over subdomains within each color, maximized over colors. 1.0 is
     /// perfectly balanced; the paper relies on density uniformity for this
     /// to stay near 1.
+    ///
+    /// This is a *per-task* statistic: with many more subdomains than
+    /// threads it overstates the barrier wait, because several small tasks
+    /// share one thread while the max is a single task. Use
+    /// [`SdcPlan::imbalance_threaded`] when comparing against observed
+    /// per-thread busy times.
     pub fn imbalance(&self, half: &Csr) -> f64 {
         let pairs = self.pair_counts(half);
         let mut worst: f64 = 1.0;
@@ -84,6 +137,24 @@ impl SdcPlan {
             let mean = total as f64 / subs.len() as f64;
             let max = subs.iter().map(|&s| pairs[s as usize]).max().unwrap_or(0) as f64;
             worst = worst.max(max / mean);
+        }
+        worst
+    }
+
+    /// Thread-aware imbalance: per color, pack the subdomain pair counts
+    /// onto `threads` bins with LPT and take `max bin / mean bin`; report
+    /// the worst color. This is the quantity an observed `max busy / mean
+    /// busy` over *threads* (md-perfmodel's `ObservedImbalance`) should be
+    /// compared against — unlike [`SdcPlan::imbalance`] it is exactly 1.0
+    /// at one thread and does not grow just because the decomposition is
+    /// fine-grained.
+    pub fn imbalance_threaded(&self, half: &Csr, threads: usize) -> f64 {
+        let costs: Vec<f64> = self.pair_counts(half).iter().map(|&c| c as f64).collect();
+        let mut worst: f64 = 1.0;
+        for color in 0..self.decomp.color_count() {
+            let order = schedule::lpt_order(self.decomp.of_color(color), &costs);
+            let loads = schedule::packed_loads(&order, &costs, threads);
+            worst = worst.max(schedule::imbalance_of(&loads));
         }
         worst
     }
@@ -199,5 +270,45 @@ mod tests {
     fn imbalance_is_at_least_one() {
         let (_, _, nl, plan) = fe_case(9, 1);
         assert!(plan.imbalance(nl.csr()) >= 1.0);
+    }
+
+    #[test]
+    fn threaded_imbalance_is_one_on_a_single_thread() {
+        // The per-task statistic can exceed 1 even on one thread — the very
+        // overstatement this variant exists to fix.
+        let (_, _, nl, plan) = fe_case(17, 3);
+        assert_eq!(plan.imbalance_threaded(nl.csr(), 1), 1.0);
+        let t4 = plan.imbalance_threaded(nl.csr(), 4);
+        assert!(t4 >= 1.0);
+        // LPT packing onto fewer bins can only smooth, never worsen, the
+        // per-task spread.
+        assert!(t4 <= plan.imbalance(nl.csr()) + 1e-12);
+    }
+
+    #[test]
+    fn unscheduled_plan_iterates_csr_order() {
+        let (_, _, _, plan) = fe_case(17, 2);
+        let d = plan.decomposition();
+        for color in 0..d.color_count() {
+            assert_eq!(plan.ordered_of_color(color), d.of_color(color));
+        }
+        assert!(plan.schedule().is_none());
+    }
+
+    #[test]
+    fn scheduled_plan_iterates_lpt_order() {
+        use crate::schedule::ColorSchedule;
+        let (_, _, nl, mut plan) = fe_case(17, 2);
+        let costs: Vec<f64> = plan.pair_counts(nl.csr()).iter().map(|&c| c as f64).collect();
+        let sched = ColorSchedule::lpt(plan.decomposition(), &costs, 2);
+        plan.set_schedule(sched.clone());
+        assert_eq!(plan.schedule(), Some(&sched));
+        for color in 0..plan.decomposition().color_count() {
+            assert_eq!(plan.ordered_of_color(color), sched.order_of(color));
+            let o = plan.ordered_of_color(color);
+            for w in o.windows(2) {
+                assert!(costs[w[0] as usize] >= costs[w[1] as usize]);
+            }
+        }
     }
 }

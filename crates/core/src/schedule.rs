@@ -1,0 +1,470 @@
+//! Cost-guided scheduling of SDC subdomain tasks — closing the paper's
+//! measure → act loop.
+//!
+//! The paper's near-linear SDC speedup (§III) leans on *density uniformity*:
+//! every same-color subdomain carries roughly the same number of stored
+//! pairs, so the barrier at the end of each color waits on nobody in
+//! particular. Non-uniform workloads (a carved void, an impact-heated
+//! cluster) break that assumption — pair counts per subdomain skew, and each
+//! color barrier waits for its slowest task. This module *acts* on the
+//! per-subdomain cost estimates that [`SdcPlan::pair_counts`] already
+//! measures:
+//!
+//! * [`lpt_order`] / [`ColorSchedule`] — **LPT** (longest processing time
+//!   first) ordering of the subdomains inside each color, so the work-stealing
+//!   scheduler starts heavy tasks first instead of following CSR order. The
+//!   greedy LPT bound guarantees a per-color makespan within 4/3 of optimal.
+//! * [`packed_loads`] / [`chunked_loads`] — per-thread bin loads under LPT
+//!   packing and under the contiguous in-order split (the OpenMP-static
+//!   proxy the unbalanced path behaves like), from which thread-aware
+//!   imbalance factors are derived (`max bin / mean bin`).
+//! * [`search_plans`] — a deterministic plan search over decomposition
+//!   dimensionality × per-axis subdomain caps
+//!   ([`DecompositionConfig::max_per_axis`]), scoring each candidate by the
+//!   predicted makespan `Σ_colors max-thread-bin·task + barrier` per sweep
+//!   ([`MakespanParams`], derived from `md-perfmodel::MachineParams` by the
+//!   engine layer) and keeping the paper's even-count and ≥ 2·range
+//!   constraints.
+//!
+//! **Why reordering is free:** within one color, every output element is
+//! written by exactly one task (the footprint-disjointness invariant checked
+//! by [`SdcPlan::validate_footprints`]), atom order *inside* a task is
+//! untouched, and colors still run serially — so any permutation of the
+//! same-color task list produces bitwise-identical results. The schedule is
+//! purely a performance decision.
+
+use crate::decomposition::{ColoredDecomposition, DecompositionConfig, DecompositionError};
+use crate::plan::SdcPlan;
+use md_geometry::{SimBox, Vec3};
+use md_neighbor::Csr;
+use std::cmp::Ordering;
+
+/// Cost constants for predicting a schedule's wall time, in seconds.
+///
+/// These are distilled from `md-perfmodel::MachineParams` at a fixed thread
+/// count (the perfmodel crate depends on this one, so the conversion lives
+/// there); [`MakespanParams::units`] gives the dimensionless variant used
+/// when only *relative* makespans matter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MakespanParams {
+    /// Cost of one unit of task work (one stored half-pair), including the
+    /// thread-count-dependent bandwidth overhead.
+    pub task_unit_seconds: f64,
+    /// Cost of one color barrier at the configured thread count.
+    pub barrier_seconds: f64,
+    /// Timed sweeps per step (density + force = 2 for EAM).
+    pub sweeps: f64,
+}
+
+impl MakespanParams {
+    /// Dimensionless parameters: unit task cost, free barriers, one sweep.
+    /// [`ColorSchedule::predicted_seconds`] then returns plain work units.
+    pub fn units() -> MakespanParams {
+        MakespanParams {
+            task_unit_seconds: 1.0,
+            barrier_seconds: 0.0,
+            sweeps: 1.0,
+        }
+    }
+}
+
+/// The task ids sorted for LPT execution: descending cost, ties broken by
+/// ascending id so the order is total and deterministic.
+pub fn lpt_order(ids: &[u32], costs: &[f64]) -> Vec<u32> {
+    let mut sorted = ids.to_vec();
+    sorted.sort_by(|&a, &b| {
+        costs[b as usize]
+            .partial_cmp(&costs[a as usize])
+            .unwrap_or(Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    sorted
+}
+
+/// Greedy bin loads: tasks are taken in the given order and each is placed
+/// on the currently least-loaded of `bins` bins (first bin wins ties). With
+/// `ids` in LPT order this is the classic LPT packing whose `max` is the
+/// predicted per-color makespan.
+pub fn packed_loads(ids_in_order: &[u32], costs: &[f64], bins: usize) -> Vec<f64> {
+    let bins = bins.max(1);
+    let mut loads = vec![0.0f64; bins];
+    for &id in ids_in_order {
+        let mut best = 0usize;
+        for (k, &load) in loads.iter().enumerate().skip(1) {
+            if load < loads[best] {
+                best = k;
+            }
+        }
+        loads[best] += costs[id as usize];
+    }
+    loads
+}
+
+/// Bin loads of the contiguous in-order split (`ceil(len/bins)` tasks per
+/// bin) — the static-schedule proxy for the unbalanced path, used as the
+/// baseline LPT is compared against.
+pub fn chunked_loads(ids: &[u32], costs: &[f64], bins: usize) -> Vec<f64> {
+    let bins = bins.max(1);
+    let chunk = ids.len().div_ceil(bins).max(1);
+    let mut loads = vec![0.0f64; bins];
+    for (k, &id) in ids.iter().enumerate() {
+        loads[(k / chunk).min(bins - 1)] += costs[id as usize];
+    }
+    loads
+}
+
+/// Thread-aware imbalance of a set of bin loads: `max / mean` (≥ 1.0;
+/// exactly 1.0 for an empty or zero-load set). The mean runs over *all*
+/// bins — an idle thread is barrier wait, which is precisely what the factor
+/// is meant to expose.
+pub fn imbalance_of(loads: &[f64]) -> f64 {
+    if loads.is_empty() {
+        return 1.0;
+    }
+    let total: f64 = loads.iter().sum();
+    if total <= 0.0 {
+        return 1.0;
+    }
+    let max = loads.iter().cloned().fold(0.0f64, f64::max);
+    max / (total / loads.len() as f64)
+}
+
+/// An LPT execution schedule for one colored decomposition: per color, the
+/// subdomains in descending-cost order plus the per-thread bin loads the
+/// greedy packing predicts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColorSchedule {
+    threads: usize,
+    /// Per color: subdomain ids, heaviest first.
+    order: Vec<Vec<u32>>,
+    /// Per color: predicted load per thread bin under LPT packing.
+    loads: Vec<Vec<f64>>,
+}
+
+impl ColorSchedule {
+    /// Builds the LPT schedule for `decomp` from per-subdomain costs
+    /// (indexed by global subdomain id; typically
+    /// [`SdcPlan::pair_counts`] as `f64`).
+    ///
+    /// # Panics
+    /// Panics if `costs` is shorter than the subdomain count.
+    pub fn lpt(decomp: &ColoredDecomposition, costs: &[f64], threads: usize) -> ColorSchedule {
+        assert!(
+            costs.len() >= decomp.subdomain_count(),
+            "need one cost per subdomain: {} < {}",
+            costs.len(),
+            decomp.subdomain_count()
+        );
+        let threads = threads.max(1);
+        let mut order = Vec::with_capacity(decomp.color_count());
+        let mut loads = Vec::with_capacity(decomp.color_count());
+        for color in 0..decomp.color_count() {
+            let ids = lpt_order(decomp.of_color(color), costs);
+            loads.push(packed_loads(&ids, costs, threads));
+            order.push(ids);
+        }
+        ColorSchedule { threads, order, loads }
+    }
+
+    /// Thread-bin count the schedule was packed for.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of colors.
+    #[inline]
+    pub fn color_count(&self) -> usize {
+        self.order.len()
+    }
+
+    /// The subdomains of `color` in execution (LPT) order.
+    #[inline]
+    pub fn order_of(&self, color: usize) -> &[u32] {
+        &self.order[color]
+    }
+
+    /// Predicted makespan of one color in cost units: the heaviest thread
+    /// bin (the barrier waits for it).
+    pub fn color_makespan_units(&self, color: usize) -> f64 {
+        self.loads[color].iter().cloned().fold(0.0f64, f64::max)
+    }
+
+    /// Predicted per-sweep makespan in cost units: colors run serially, so
+    /// the per-color maxima add.
+    pub fn makespan_units(&self) -> f64 {
+        (0..self.color_count())
+            .map(|c| self.color_makespan_units(c))
+            .sum()
+    }
+
+    /// Worst-color thread-aware imbalance factor (`max bin / mean bin`,
+    /// ≥ 1.0).
+    pub fn imbalance(&self) -> f64 {
+        self.loads
+            .iter()
+            .map(|l| imbalance_of(l))
+            .fold(1.0f64, f64::max)
+    }
+
+    /// Predicted wall seconds per step:
+    /// `sweeps · Σ_colors (max-thread-bin · task + barrier)`.
+    pub fn predicted_seconds(&self, p: &MakespanParams) -> f64 {
+        let per_sweep: f64 = (0..self.color_count())
+            .map(|c| self.color_makespan_units(c) * p.task_unit_seconds + p.barrier_seconds)
+            .sum();
+        p.sweeps * per_sweep
+    }
+}
+
+/// The decomposition the plan search settled on, with its predicted score —
+/// recorded in run reports so a plan choice is auditable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanChoice {
+    /// Decomposed axes of the winning plan.
+    pub dims: usize,
+    /// Per-axis cap that produced it (`None` = the paper's maximal split).
+    pub max_per_axis: Option<usize>,
+    /// Resulting subdomain counts per axis.
+    pub counts: [usize; 3],
+    /// Predicted wall seconds per step under the LPT schedule.
+    pub predicted_seconds: f64,
+    /// Predicted thread-aware imbalance (worst color, `max/mean` bin).
+    pub predicted_imbalance: f64,
+}
+
+/// A plan search result: the winning [`SdcPlan`] with its LPT schedule
+/// attached, plus the [`PlanChoice`] describing it.
+#[derive(Debug, Clone)]
+pub struct BalancedPlan {
+    /// The winning plan; [`SdcPlan::ordered_of_color`] follows the schedule.
+    pub plan: SdcPlan,
+    /// What was chosen and what the model predicts for it.
+    pub choice: PlanChoice,
+}
+
+/// Per-axis cap candidates for a maximal count of `m`: the uncapped plan
+/// plus a geometric ladder of even caps below it (2, 4, 8, …). Coarser
+/// splits trade parallelism for fewer barriers — exactly the trade the
+/// makespan model arbitrates.
+fn cap_candidates(m: usize) -> Vec<Option<usize>> {
+    let mut caps = vec![None];
+    let mut c = 2usize;
+    while c < m {
+        caps.push(Some(c));
+        c *= 2;
+    }
+    caps
+}
+
+/// Searches decompositions over `dims_options` × per-axis caps, scoring each
+/// feasible candidate by [`ColorSchedule::predicted_seconds`] and returning
+/// the minimizer (first-seen wins ties, so the search is deterministic).
+///
+/// Candidates keep the paper's constraints by construction — they are built
+/// through [`ColoredDecomposition::new`], which enforces even counts and the
+/// ≥ 2·range subdomain edge. Costs are the half-list pair counts of the
+/// candidate's own atom binning, so a denser region prices every plan that
+/// fails to split it.
+///
+/// Errors with the last [`DecompositionError`] only when *no* candidate is
+/// feasible.
+pub fn search_plans(
+    sim_box: &SimBox,
+    positions: &[Vec3],
+    half: &Csr,
+    range: f64,
+    dims_options: &[usize],
+    threads: usize,
+    params: &MakespanParams,
+) -> Result<BalancedPlan, DecompositionError> {
+    let mut best: Option<BalancedPlan> = None;
+    let mut last_err = DecompositionError::BadDims(0);
+    for &dims in dims_options {
+        // The uncapped decomposition bounds the cap ladder for this dims.
+        let max_counts = match ColoredDecomposition::new(sim_box, DecompositionConfig::new(dims, range)) {
+            Ok(d) => d.counts(),
+            Err(e) => {
+                last_err = e;
+                continue;
+            }
+        };
+        let m = (0..dims).map(|d| max_counts[d]).max().unwrap_or(2);
+        for cap in cap_candidates(m) {
+            let config = DecompositionConfig { dims, range, max_per_axis: cap };
+            let Ok(mut plan) = SdcPlan::build(sim_box, positions, config) else {
+                continue; // a cap below feasibility on some axis
+            };
+            let costs: Vec<f64> = plan.pair_counts(half).iter().map(|&c| c as f64).collect();
+            let schedule = ColorSchedule::lpt(plan.decomposition(), &costs, threads);
+            let predicted = schedule.predicted_seconds(params);
+            if best
+                .as_ref()
+                .is_none_or(|b| predicted < b.choice.predicted_seconds)
+            {
+                let choice = PlanChoice {
+                    dims,
+                    max_per_axis: cap,
+                    counts: plan.decomposition().counts(),
+                    predicted_seconds: predicted,
+                    predicted_imbalance: schedule.imbalance(),
+                };
+                plan.set_schedule(schedule);
+                best = Some(BalancedPlan { plan, choice });
+            }
+        }
+    }
+    best.ok_or(last_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use md_geometry::LatticeSpec;
+    use md_neighbor::{NeighborList, VerletConfig};
+
+    const CUTOFF: f64 = 5.67;
+    const SKIN: f64 = 0.3;
+    const RANGE: f64 = CUTOFF + SKIN;
+
+    #[test]
+    fn lpt_order_is_descending_with_stable_ties() {
+        let costs = [5.0, 9.0, 1.0, 9.0];
+        assert_eq!(lpt_order(&[0, 1, 2, 3], &costs), vec![1, 3, 0, 2]);
+        // Subsets keep their own order.
+        assert_eq!(lpt_order(&[2, 0], &costs), vec![0, 2]);
+    }
+
+    #[test]
+    fn lpt_packing_beats_in_order_chunking_on_skewed_costs() {
+        // One giant task first would pin a whole chunk; LPT spreads it.
+        let costs = [10.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let ids: Vec<u32> = (0..8).collect();
+        let ordered = lpt_order(&ids, &costs);
+        let lpt = packed_loads(&ordered, &costs, 2);
+        let chunked = chunked_loads(&ids, &costs, 2);
+        let max = |l: &[f64]| l.iter().cloned().fold(0.0f64, f64::max);
+        // In-order: [10+1+1+1, 1+1+1+1] = [13, 4]; LPT: [10, 7].
+        assert_eq!(max(&chunked), 13.0);
+        assert_eq!(max(&lpt), 10.0);
+        assert!(imbalance_of(&lpt) < imbalance_of(&chunked));
+    }
+
+    #[test]
+    fn packing_degenerate_inputs() {
+        assert_eq!(imbalance_of(&[]), 1.0);
+        assert_eq!(imbalance_of(&[0.0, 0.0]), 1.0);
+        assert_eq!(packed_loads(&[], &[], 4), vec![0.0; 4]);
+        // One bin: everything lands in it, imbalance is exactly 1.
+        let loads = packed_loads(&[0, 1], &[3.0, 4.0], 1);
+        assert_eq!(loads, vec![7.0]);
+        assert_eq!(imbalance_of(&loads), 1.0);
+        // Bins never exceed the task list under chunking either.
+        assert_eq!(chunked_loads(&[0], &[2.0], 4), vec![2.0, 0.0, 0.0, 0.0]);
+    }
+
+    fn fe_plan(cells: usize, dims: usize) -> (SimBox, Vec<Vec3>, NeighborList, SdcPlan) {
+        let (bx, pos) = LatticeSpec::bcc_fe(cells).build();
+        let nl = NeighborList::build(&bx, &pos, VerletConfig::half(CUTOFF, SKIN));
+        let plan = SdcPlan::build(&bx, &pos, DecompositionConfig::new(dims, RANGE)).unwrap();
+        (bx, pos, nl, plan)
+    }
+
+    #[test]
+    fn color_schedule_is_a_permutation_of_each_color() {
+        let (_, _, nl, plan) = fe_plan(17, 2);
+        let costs: Vec<f64> = plan.pair_counts(nl.csr()).iter().map(|&c| c as f64).collect();
+        let decomp = plan.decomposition();
+        let s = ColorSchedule::lpt(decomp, &costs, 3);
+        assert_eq!(s.color_count(), decomp.color_count());
+        assert_eq!(s.threads(), 3);
+        for color in 0..decomp.color_count() {
+            let mut expect: Vec<u32> = decomp.of_color(color).to_vec();
+            let mut got: Vec<u32> = s.order_of(color).to_vec();
+            expect.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(expect, got, "color {color} not a permutation");
+            // Execution order is genuinely descending in cost.
+            let o = s.order_of(color);
+            for w in o.windows(2) {
+                assert!(
+                    costs[w[0] as usize] >= costs[w[1] as usize],
+                    "color {color}: not LPT-ordered"
+                );
+            }
+        }
+        // Makespan bookkeeping: per-color maxima add up.
+        let sum: f64 = (0..s.color_count()).map(|c| s.color_makespan_units(c)).sum();
+        assert_eq!(sum, s.makespan_units());
+        assert!(s.imbalance() >= 1.0);
+        // Units params give back plain work units.
+        assert!((s.predicted_seconds(&MakespanParams::units()) - s.makespan_units()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_thread_schedule_has_no_imbalance() {
+        let (_, _, nl, plan) = fe_plan(17, 2);
+        let costs: Vec<f64> = plan.pair_counts(nl.csr()).iter().map(|&c| c as f64).collect();
+        let s = ColorSchedule::lpt(plan.decomposition(), &costs, 1);
+        assert_eq!(s.imbalance(), 1.0, "one bin can never be imbalanced");
+    }
+
+    #[test]
+    fn cap_ladder_is_even_and_bounded() {
+        assert_eq!(cap_candidates(2), vec![None]);
+        assert_eq!(cap_candidates(4), vec![None, Some(2)]);
+        assert_eq!(cap_candidates(12), vec![None, Some(2), Some(4), Some(8)]);
+    }
+
+    #[test]
+    fn search_prefers_fewer_barriers_when_parallelism_cannot_help() {
+        // bcc_fe(9): 2 subdomains per axis at most — one task per color in
+        // every dims, so extra colors only add barriers. The search must
+        // pick 1-D.
+        let (bx, pos) = LatticeSpec::bcc_fe(9).build();
+        let nl = NeighborList::build(&bx, &pos, VerletConfig::half(CUTOFF, SKIN));
+        let params = MakespanParams {
+            task_unit_seconds: 60e-9,
+            barrier_seconds: 4e-6,
+            sweeps: 2.0,
+        };
+        let best = search_plans(&bx, &pos, nl.csr(), RANGE, &[1, 2, 3], 2, &params).unwrap();
+        assert_eq!(best.choice.dims, 1);
+        assert!(best.choice.predicted_seconds > 0.0);
+        assert!(best.plan.schedule().is_some(), "winner carries its schedule");
+    }
+
+    #[test]
+    fn search_scales_dims_up_when_threads_demand_parallelism() {
+        // bcc_fe(17): 4 subdomains per axis. At 8 threads, 1-D SDC offers
+        // only 2 tasks per color — the model must prefer a deeper split.
+        let (bx, pos) = LatticeSpec::bcc_fe(17).build();
+        let nl = NeighborList::build(&bx, &pos, VerletConfig::half(CUTOFF, SKIN));
+        let params = MakespanParams {
+            task_unit_seconds: 60e-9,
+            barrier_seconds: 4e-6,
+            sweeps: 2.0,
+        };
+        let best = search_plans(&bx, &pos, nl.csr(), RANGE, &[1, 2, 3], 8, &params).unwrap();
+        assert!(best.choice.dims >= 2, "picked {:?}", best.choice);
+        // The choice reports the real resulting geometry.
+        assert_eq!(best.choice.counts, best.plan.decomposition().counts());
+    }
+
+    #[test]
+    fn search_with_no_feasible_dims_reports_the_error() {
+        let (bx, pos) = LatticeSpec::bcc_fe(6).build();
+        let nl = NeighborList::build(&bx, &pos, VerletConfig::half(CUTOFF, SKIN));
+        let err = search_plans(
+            &bx,
+            &pos,
+            nl.csr(),
+            RANGE,
+            &[1, 2, 3],
+            2,
+            &MakespanParams::units(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, DecompositionError::AxisTooSmall { .. }));
+    }
+}

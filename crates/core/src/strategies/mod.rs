@@ -186,6 +186,9 @@ pub struct ScatterExec<'a> {
     /// Instrumentation sink ([`crate::metrics`]); `None` disables all
     /// recording at zero cost in the pair loops.
     pub metrics: Option<&'a ScatterMetrics>,
+    /// Reusable SAP private-copy buffers (`Privatized` only); `None` falls
+    /// back to per-sweep allocation.
+    pub sap: Option<&'a privatized::SapBuffers>,
 }
 
 impl ScatterExec<'_> {
@@ -234,12 +237,13 @@ impl ScatterExec<'_> {
                     .expect("LocalWrite strategy requires an inspector plan");
                 localwrite::scatter_localwrite(self.ctx, plan, out, kernel);
             }
-            StrategyKind::Privatized => privatized::scatter_privatized_metered(
+            StrategyKind::Privatized => privatized::scatter_privatized_pooled(
                 self.ctx,
                 self.half,
                 out,
                 kernel,
                 self.metrics,
+                self.sap,
             ),
             StrategyKind::Redundant => {
                 let full = self.full.expect("Redundant strategy requires a full list");
@@ -351,6 +355,7 @@ mod tests {
             plan,
             localwrite: Some(&f.lw),
             metrics: None,
+            sap: None,
         };
         let pos = &f.pos;
         let sim_box = &f.sim_box;
@@ -381,6 +386,7 @@ mod tests {
             plan,
             localwrite: Some(&f.lw),
             metrics: None,
+            sap: None,
         };
         let pos = &f.pos;
         let sim_box = &f.sim_box;
@@ -484,6 +490,7 @@ mod tests {
                 plan,
                 localwrite: Some(&f.lw),
                 metrics: None,
+            sap: None,
             };
             let expects_slots = matches!(kind, StrategyKind::Serial | StrategyKind::Sdc { .. });
             let hits: Vec<AtomicU32> = (0..f.half.entries()).map(|_| AtomicU32::new(0)).collect();
@@ -578,6 +585,7 @@ mod tests {
             plan: None,
             localwrite: None,
             metrics: None,
+            sap: None,
         };
         let mut out = vec![0.0f64; f.pos.len()];
         exec.run(StrategyKind::Sdc { dims: 2 }, &mut out, &|_, _| {
@@ -597,6 +605,7 @@ mod tests {
             plan: None,
             localwrite: None,
             metrics: None,
+            sap: None,
         };
         let mut out = vec![0.0f64; f.pos.len()];
         exec.run(StrategyKind::Redundant, &mut out, &|_, _| {
@@ -616,6 +625,7 @@ mod tests {
             plan: None,
             localwrite: None,
             metrics: None,
+            sap: None,
         };
         let mut out = vec![0.0f64; 3];
         exec.run(StrategyKind::Serial, &mut out, &|_, _| {

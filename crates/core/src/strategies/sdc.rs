@@ -90,8 +90,12 @@ pub fn scatter_sdc_indexed_metered<V: ScatterValue>(
         for color in 0..decomp.color_count() {
             let color_start = metrics.map(|_| Instant::now());
             // Parallel over same-color subdomains; the par_iter join is the
-            // paper's implicit barrier before the next color starts.
-            decomp.of_color(color).par_iter().for_each(|&s| {
+            // paper's implicit barrier before the next color starts. The
+            // iteration order is the plan's schedule (LPT when balancing is
+            // on, CSR otherwise) — within a color any order is
+            // result-identical, because each output element has exactly one
+            // writer per color.
+            plan.ordered_of_color(color).par_iter().for_each(|&s| {
                 let task_start = metrics.map(|_| Instant::now());
                 let sh = &shared;
                 for &i in plan.atoms_of(s as usize) {
@@ -177,6 +181,36 @@ mod tests {
         scatter_sdc(&ctx, &plan, nl.csr(), &mut got, &kernel);
         for (a, b) in expect.iter().zip(&got) {
             assert!((*a - *b).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lpt_schedule_is_bitwise_identical_to_csr_order() {
+        // Reordering tasks within a color must not change a single bit:
+        // every output element has exactly one writer per color, so the
+        // floating-point accumulation order per element is unchanged.
+        use crate::schedule::ColorSchedule;
+        let (bx, pos) = LatticeSpec::bcc_fe(17).build();
+        let nl = NeighborList::build(&bx, &pos, VerletConfig::half(CUTOFF, SKIN));
+        let kernel = |i: usize, j: usize| {
+            let r2 = bx.distance_sq(pos[i], pos[j]);
+            (r2 < CUTOFF * CUTOFF).then(|| PairTerm::symmetric(1.0 / (1.0 + r2)))
+        };
+        for dims in 1..=3 {
+            let plan =
+                SdcPlan::build(&bx, &pos, DecompositionConfig::new(dims, CUTOFF + SKIN)).unwrap();
+            let costs: Vec<f64> =
+                plan.pair_counts(nl.csr()).iter().map(|&c| c as f64).collect();
+            let mut scheduled = plan.clone();
+            scheduled.set_schedule(ColorSchedule::lpt(plan.decomposition(), &costs, 4));
+            for threads in [1, 4] {
+                let ctx = ParallelContext::new(threads);
+                let mut plain = vec![0.0f64; pos.len()];
+                let mut lpt = vec![0.0f64; pos.len()];
+                scatter_sdc(&ctx, &plan, nl.csr(), &mut plain, &kernel);
+                scatter_sdc(&ctx, &scheduled, nl.csr(), &mut lpt, &kernel);
+                assert_eq!(plain, lpt, "dims {dims} threads {threads}: LPT changed a bit");
+            }
         }
     }
 

@@ -64,6 +64,7 @@ proptest! {
                 plan: None,
                 localwrite: None,
                 metrics: None,
+            sap: None,
             };
             let mut out = vec![0.0f64; n];
             exec.run(kind, &mut out, &kernel);
@@ -93,6 +94,7 @@ proptest! {
             plan: None,
             localwrite: None,
             metrics: None,
+            sap: None,
         };
         let mut gather = vec![0.0f64; n];
         exec.run(StrategyKind::Redundant, &mut gather, &kernel);

@@ -43,6 +43,7 @@
 
 #![warn(missing_docs)]
 
+pub mod balance;
 pub mod case;
 pub mod machine;
 pub mod model;
@@ -50,6 +51,7 @@ pub mod observed;
 pub mod rebuild;
 pub mod table;
 
+pub use balance::{makespan_params, predicted_schedule_seconds, ObservedMakespan};
 pub use case::CaseGeometry;
 pub use machine::MachineParams;
 pub use observed::ObservedImbalance;

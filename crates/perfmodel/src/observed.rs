@@ -100,6 +100,22 @@ impl ObservedImbalance {
         }
         self.mean_barrier_wait_seconds() / predicted
     }
+
+    /// Observed imbalance relative to what the active plan *predicts*:
+    /// [`ObservedImbalance::imbalance_factor`] over the plan's thread-aware
+    /// imbalance (`SdcPlan::imbalance_threaded`, `max thread-bin / mean
+    /// thread-bin` under LPT packing — **not** the per-subdomain
+    /// `SdcPlan::imbalance`, which overstates barrier wait whenever
+    /// subdomains outnumber threads).
+    ///
+    /// Near 1 means threads wait exactly as much as the pair-count skew
+    /// forces them to — re-planning cannot help. Substantially above 1 means
+    /// the load moved since the plan was costed (atoms drifted, a cluster
+    /// heated up) and a re-plan is worth its cost; the balancer's mid-run
+    /// trigger compares this ratio against its threshold.
+    pub fn excess_over_plan(&self, planned_imbalance: f64) -> f64 {
+        self.imbalance_factor() / planned_imbalance.max(1.0)
+    }
 }
 
 #[cfg(test)]
@@ -124,6 +140,17 @@ mod tests {
         // Total wait = 2×1000 − 1200 = 800 ns over 2 barriers × 2 threads.
         assert!((o.total_wait_seconds() - 800e-9).abs() < 1e-18);
         assert!((o.mean_barrier_wait_seconds() - 200e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn excess_over_plan_normalizes_by_the_predicted_imbalance() {
+        let o = ObservedImbalance::new(vec![900, 300], 1_000, 2);
+        // Observed factor 1.5; a plan that already predicted 1.5 explains
+        // all of it, a perfectly balanced plan none of it.
+        assert!((o.excess_over_plan(1.5) - 1.0).abs() < 1e-12);
+        assert!((o.excess_over_plan(1.0) - 1.5).abs() < 1e-12);
+        // Degenerate planned values clamp to 1 instead of dividing by < 1.
+        assert!((o.excess_over_plan(0.0) - 1.5).abs() < 1e-12);
     }
 
     #[test]

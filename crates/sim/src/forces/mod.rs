@@ -16,15 +16,19 @@
 pub mod eam;
 pub mod pair;
 
+use crate::balance::{BalanceConfig, BalanceState, RebalanceEvent};
 use crate::metrics::SimMetrics;
 use crate::system::System;
 use crate::timing::{Phase, PhaseTimers};
 use md_neighbor::{NeighborList, VerletConfig};
+use md_perfmodel::ObservedImbalance;
 use md_potential::{EamPotential, PairPotential};
+use sdc_core::schedule::{self, PlanChoice};
 use sdc_core::strategies::localwrite::LocalWritePlan;
+use sdc_core::strategies::privatized::SapBuffers;
 use sdc_core::{
-    DecompositionConfig, DecompositionError, DowngradeEvent, ParallelContext, ScatterExec,
-    SdcPlan, StrategyKind,
+    ColorSchedule, DecompositionConfig, DecompositionError, DowngradeEvent, ParallelContext,
+    ScatterExec, SdcPlan, StrategyKind,
 };
 use std::sync::Arc;
 
@@ -111,6 +115,8 @@ pub struct ForceEngine {
     metrics: Option<Arc<SimMetrics>>,
     fused: bool,
     scratch: Vec<eam::PairRecord>,
+    sap: SapBuffers,
+    balance: Option<BalanceState>,
 }
 
 /// Builds the half list on `ctx`'s pool when `parallel` is set, serially
@@ -177,6 +183,8 @@ impl ForceEngine {
             metrics: None,
             fused: true,
             scratch: Vec::new(),
+            sap: SapBuffers::new(),
+            balance: None,
         })
     }
 
@@ -300,6 +308,212 @@ impl ForceEngine {
         &self.downgrades
     }
 
+    /// Turns the cost-guided balancer on (see [`crate::balance`]). Runs the
+    /// plan search over the current positions and pair counts, adopts the
+    /// best decomposition (dims may change when `config.search_dims`), and
+    /// arms the mid-run re-plan trigger at every subsequent rebuild.
+    ///
+    /// Returns `false` — and stays off — when the active strategy is not
+    /// SDC (nothing to schedule) or no feasible decomposition exists.
+    /// Results are bitwise-identical to the unbalanced path for the same
+    /// decomposition; changing dims changes nothing but task grouping.
+    pub fn enable_balance(&mut self, system: &System, config: BalanceConfig) -> bool {
+        let StrategyKind::Sdc { dims } = self.strategy else {
+            return false;
+        };
+        let threads = self.ctx.threads();
+        let params = md_perfmodel::makespan_params(&config.machine, threads);
+        let dims_options: Vec<usize> = if config.search_dims {
+            vec![1, 2, 3]
+        } else {
+            vec![dims]
+        };
+        let Ok(best) = schedule::search_plans(
+            system.sim_box(),
+            system.positions(),
+            self.half.csr(),
+            self.verlet.reach(),
+            &dims_options,
+            threads,
+            &params,
+        ) else {
+            return false;
+        };
+        self.strategy = StrategyKind::Sdc {
+            dims: best.choice.dims,
+        };
+        let (mut last_busy_ns, mut last_barriers) = (0, 0);
+        if let Some(m) = &self.metrics {
+            m.scatter.planned_imbalance.set(best.choice.predicted_imbalance);
+            last_busy_ns = m.scatter.thread_busy_ns.iter().map(|c| c.get()).sum();
+            last_barriers = m.scatter.color_barriers.get();
+        }
+        self.plan = Some(best.plan);
+        self.balance = Some(BalanceState {
+            pair_cost: config.machine.pair_cost,
+            config,
+            choice: best.choice,
+            events: Vec::new(),
+            last_busy_ns,
+            last_barriers,
+        });
+        true
+    }
+
+    /// Whether the cost-guided balancer is active.
+    #[inline]
+    pub fn balance_enabled(&self) -> bool {
+        self.balance.is_some()
+    }
+
+    /// The balancer's current plan choice (dims, per-axis cap, counts and
+    /// predicted makespan/imbalance), when balancing is on.
+    #[inline]
+    pub fn plan_choice(&self) -> Option<PlanChoice> {
+        self.balance.as_ref().map(|b| b.choice)
+    }
+
+    /// Every mid-run plan change the balancer adopted — the load-balancing
+    /// analogue of [`ForceEngine::downgrades`].
+    #[inline]
+    pub fn rebalance_events(&self) -> &[RebalanceEvent] {
+        self.balance.as_ref().map_or(&[], |b| &b.events)
+    }
+
+    /// The balancer's EWMA-calibrated per-pair cost, seconds. Starts at the
+    /// configured machine constant; updated from measured busy times at
+    /// every rebuild when metrics are on.
+    #[inline]
+    pub fn calibrated_pair_cost(&self) -> Option<f64> {
+        self.balance.as_ref().map(|b| b.pair_cost)
+    }
+
+    /// EWMA-blends the measured per-pair cost (Δ busy ns over pair visits
+    /// since the last calibration) into the balancer's machine model. A
+    /// no-op without metrics or when nothing ran since the last rebuild.
+    fn calibrate_balance(&mut self) {
+        let Some(state) = &mut self.balance else {
+            return;
+        };
+        let Some(m) = &self.metrics else {
+            return;
+        };
+        let Some(plan) = &self.plan else {
+            return;
+        };
+        let busy: u64 = m.scatter.thread_busy_ns.iter().map(|c| c.get()).sum();
+        let barriers = m.scatter.color_barriers.get();
+        let delta_busy = busy.saturating_sub(state.last_busy_ns);
+        let delta_barriers = barriers.saturating_sub(state.last_barriers);
+        state.last_busy_ns = busy;
+        state.last_barriers = barriers;
+        let colors = plan.decomposition().color_count() as u64;
+        if colors == 0 || delta_busy == 0 {
+            return;
+        }
+        let sweeps = delta_barriers / colors;
+        let pair_visits = sweeps * self.half.entries() as u64;
+        if pair_visits == 0 {
+            return;
+        }
+        let measured = delta_busy as f64 * 1e-9 / pair_visits as f64;
+        let alpha = state.config.ewma_alpha.clamp(0.0, 1.0);
+        state.pair_cost = alpha * measured + (1.0 - alpha) * state.pair_cost;
+    }
+
+    /// Post-rebuild balancer pass: LPT-schedules the fresh plan from its new
+    /// pair counts, and re-runs the full plan search when the observed
+    /// imbalance exceeds what the outgoing plan predicted by the configured
+    /// threshold. An adopted change is recorded as a [`RebalanceEvent`].
+    fn apply_balance(&mut self, system: &System) {
+        if self.balance.is_none() {
+            return;
+        }
+        // A mid-run downgrade may have left SDC entirely; the balancer then
+        // has nothing to schedule (it re-arms if a later rebuild restores a
+        // plan — it never does today, but the guard keeps this total).
+        let StrategyKind::Sdc { dims } = self.strategy else {
+            return;
+        };
+        let Some(plan) = &mut self.plan else {
+            return;
+        };
+        let state = self.balance.as_mut().expect("checked above");
+        let threads = self.ctx.threads();
+        let params = md_perfmodel::makespan_params(&state.machine(), threads);
+        let costs: Vec<f64> = plan
+            .pair_counts(self.half.csr())
+            .iter()
+            .map(|&c| c as f64)
+            .collect();
+        let schedule = ColorSchedule::lpt(plan.decomposition(), &costs, threads);
+
+        // Trigger measurement: observed excess over the outgoing plan's
+        // prediction when metrics are on, the fresh predicted imbalance
+        // itself otherwise.
+        let trigger = if let Some(m) = &self.metrics {
+            let busy: Vec<u64> = m.scatter.thread_busy_ns.iter().map(|c| c.get()).collect();
+            ObservedImbalance::new(busy, m.scatter.total_color_wall_ns(), m.scatter.color_barriers.get())
+                .excess_over_plan(state.choice.predicted_imbalance)
+        } else {
+            schedule.imbalance()
+        };
+
+        let mut replanned = false;
+        if trigger > state.config.replan_threshold {
+            let dims_options: Vec<usize> = if state.config.search_dims {
+                vec![1, 2, 3]
+            } else {
+                vec![dims]
+            };
+            if let Ok(best) = schedule::search_plans(
+                system.sim_box(),
+                system.positions(),
+                self.half.csr(),
+                self.verlet.reach(),
+                &dims_options,
+                threads,
+                &params,
+            ) {
+                let adopted = best.choice.dims != dims
+                    || best.choice.counts != plan.decomposition().counts();
+                if adopted {
+                    state.events.push(RebalanceEvent {
+                        rebuild: self.rebuilds,
+                        observed_imbalance: trigger,
+                        from: StrategyKind::Sdc { dims },
+                        to: StrategyKind::Sdc {
+                            dims: best.choice.dims,
+                        },
+                        from_counts: plan.decomposition().counts(),
+                        to_counts: best.choice.counts,
+                        predicted_seconds: best.choice.predicted_seconds,
+                    });
+                    self.strategy = StrategyKind::Sdc {
+                        dims: best.choice.dims,
+                    };
+                    *plan = best.plan;
+                    state.choice = best.choice;
+                    replanned = true;
+                    if let Some(m) = &self.metrics {
+                        m.scatter.rebalances.inc();
+                    }
+                }
+            }
+        }
+        if !replanned {
+            // Same decomposition, fresh pair counts: keep the choice's shape
+            // but refresh its predictions, and attach the new LPT schedule.
+            state.choice.counts = plan.decomposition().counts();
+            state.choice.predicted_seconds = schedule.predicted_seconds(&params);
+            state.choice.predicted_imbalance = schedule.imbalance();
+            plan.set_schedule(schedule);
+        }
+        if let Some(m) = &self.metrics {
+            m.scatter.planned_imbalance.set(state.choice.predicted_imbalance);
+        }
+    }
+
     /// Rebuilds list, full list and plan if any atom drifted more than
     /// half the skin. Returns `true` if a rebuild happened.
     pub fn maybe_rebuild(&mut self, system: &System) -> bool {
@@ -323,6 +537,9 @@ impl ForceEngine {
     /// 2·range rule); instead of dying, the engine walks the degradation
     /// chain and records the downgrade (see [`ForceEngine::downgrades`]).
     pub fn rebuild(&mut self, system: &System) {
+        // Calibrate the balancer's per-pair cost against the *outgoing* list
+        // (the busy time accumulated since the last rebuild was spent on it).
+        self.calibrate_balance();
         let verlet = self.verlet;
         let mut strategy = self.strategy;
         let threads = self.ctx.threads();
@@ -375,6 +592,8 @@ impl ForceEngine {
         self.plan = plan;
         self.localwrite = localwrite;
         self.rebuilds += 1;
+        // Re-schedule (and possibly re-plan) the fresh decomposition.
+        self.apply_balance(system);
     }
 
     /// Computes forces (and, for EAM, densities and embedding derivatives)
@@ -481,6 +700,7 @@ impl ForceEngine {
             plan: self.plan.as_ref(),
             localwrite: self.localwrite.as_ref(),
             metrics: self.metrics.as_deref().map(|m| &m.scatter),
+            sap: Some(&self.sap),
         }
     }
 
@@ -613,6 +833,75 @@ mod tests {
         // strategy.
         eng.compute(&mut sys);
         assert!(sys.forces().iter().all(|f| f.norm().is_finite()));
+    }
+
+    #[test]
+    fn balance_requires_an_sdc_strategy() {
+        let (system, mut eng) = engine(StrategyKind::Serial);
+        assert!(!eng.enable_balance(&system, crate::BalanceConfig::default()));
+        assert!(!eng.balance_enabled());
+        assert!(eng.plan_choice().is_none());
+        assert!(eng.rebalance_events().is_empty());
+    }
+
+    #[test]
+    fn balance_adopts_the_searched_plan_and_schedules_it() {
+        let sys = System::from_lattice(LatticeSpec::bcc_fe(9), FE_MASS);
+        let pot = PotentialChoice::Eam(Arc::new(AnalyticEam::fe()));
+        let mut eng =
+            ForceEngine::new(&sys, pot, StrategyKind::Sdc { dims: 3 }, 2, 0.3).unwrap();
+        assert!(eng.enable_balance(&sys, crate::BalanceConfig::default()));
+        let choice = eng.plan_choice().expect("balance is on");
+        // bcc_fe(9) fits at most 2 subdomains per axis, so every dims yields
+        // one task per color and parallelism cannot help — the search picks
+        // 1-D for its lower barrier count, and the strategy follows.
+        assert_eq!(choice.dims, 1);
+        assert_eq!(eng.strategy(), StrategyKind::Sdc { dims: 1 });
+        assert!(eng.plan().unwrap().schedule().is_some());
+        assert!(choice.predicted_seconds > 0.0);
+        assert!(choice.predicted_imbalance >= 1.0);
+        assert_eq!(eng.calibrated_pair_cost(), Some(crate::BalanceConfig::default().machine.pair_cost));
+    }
+
+    #[test]
+    fn balanced_rebuild_reschedules_and_keeps_forces_identical() {
+        let sys = System::from_lattice(LatticeSpec::bcc_fe(9), FE_MASS);
+        let pot = PotentialChoice::Eam(Arc::new(AnalyticEam::fe()));
+        let mut plain = ForceEngine::new(
+            &sys,
+            pot.clone(),
+            StrategyKind::Sdc { dims: 1 },
+            2,
+            0.3,
+        )
+        .unwrap();
+        let mut balanced =
+            ForceEngine::new(&sys, pot, StrategyKind::Sdc { dims: 3 }, 2, 0.3).unwrap();
+        balanced.enable_metrics();
+        // Pin dims so the metrics gate elsewhere can rely on a fixed color
+        // count; here it exercises the caps-only search path.
+        assert!(balanced
+            .enable_balance(&sys, crate::BalanceConfig::default().pinned_dims()));
+        assert_eq!(balanced.strategy(), StrategyKind::Sdc { dims: 3 });
+
+        let mut sys_a = sys.clone();
+        let mut sys_b = sys.clone();
+        plain.compute(&mut sys_a);
+        balanced.compute(&mut sys_b);
+        assert_eq!(sys_a.forces().len(), sys_b.forces().len());
+        for (a, b) in sys_a.forces().iter().zip(sys_b.forces()) {
+            assert!((a.x - b.x).abs() <= 1e-10, "{a:?} vs {b:?}");
+            assert!((a.y - b.y).abs() <= 1e-10);
+            assert!((a.z - b.z).abs() <= 1e-10);
+        }
+
+        // A rebuild re-runs the balancer pass: the fresh plan is scheduled
+        // again and the choice's predictions are refreshed, not dropped.
+        balanced.rebuild(&sys_b);
+        assert!(balanced.plan().unwrap().schedule().is_some());
+        assert!(balanced.plan_choice().unwrap().predicted_seconds > 0.0);
+        let m = balanced.metrics().unwrap();
+        assert!(m.scatter.planned_imbalance.get() >= 1.0);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod balance;
 pub mod checkpoint;
 pub mod forces;
 pub mod health;
@@ -36,6 +37,7 @@ pub mod units;
 pub mod velocity;
 
 pub use analysis::{Accumulator, MsdTracker, Rdf, ThermoAverager, Vacf};
+pub use balance::{BalanceConfig, RebalanceEvent};
 pub use checkpoint::{
     load_checkpoint, read_checkpoint, save_checkpoint, write_checkpoint, CheckpointError,
 };
@@ -53,4 +55,4 @@ pub use thermo::Thermo;
 pub use thermostat::Thermostat;
 pub use timing::{Phase, PhaseTimers};
 
-pub use sdc_core::{DowngradeEvent, StrategyKind};
+pub use sdc_core::{DowngradeEvent, PlanChoice, StrategyKind};

@@ -30,6 +30,36 @@ pub struct RunInfo {
     pub strategy: String,
     /// Time-step size, ps.
     pub dt_ps: f64,
+    /// The cost-guided balancer's plan choice, when balancing was on.
+    pub balance: Option<BalanceInfo>,
+}
+
+/// The balancer's plan choice, as recorded in a run report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BalanceInfo {
+    /// Decomposition dimensionality the search picked.
+    pub dims: usize,
+    /// Subdomain counts per axis.
+    pub counts: [usize; 3],
+    /// Per-axis subdomain cap (0 = uncapped — the decomposition's natural
+    /// maximum; JSON has no natural `None` in this writer).
+    pub max_per_axis: usize,
+    /// Predicted wall seconds per step of the chosen plan.
+    pub predicted_seconds: f64,
+    /// Predicted thread-aware imbalance (`max bin / mean bin` under LPT).
+    pub predicted_imbalance: f64,
+}
+
+impl From<sdc_core::PlanChoice> for BalanceInfo {
+    fn from(choice: sdc_core::PlanChoice) -> BalanceInfo {
+        BalanceInfo {
+            dims: choice.dims,
+            counts: choice.counts,
+            max_per_axis: choice.max_per_axis.unwrap_or(0),
+            predicted_seconds: choice.predicted_seconds,
+            predicted_imbalance: choice.predicted_imbalance,
+        }
+    }
 }
 
 /// A complete metrics snapshot of one run, held as an ordered JSON document.
@@ -127,7 +157,7 @@ impl RunReport {
             1.0
         };
 
-        let doc = JsonValue::obj(vec![
+        let mut fields = vec![
             ("schema", JsonValue::num(SCHEMA_VERSION as f64)),
             (
                 "case",
@@ -187,6 +217,14 @@ impl RunReport {
                         "color_barriers",
                         JsonValue::num(scatter.color_barriers.get() as f64),
                     ),
+                    (
+                        "rebalances",
+                        JsonValue::num(scatter.rebalances.get() as f64),
+                    ),
+                    (
+                        "planned_imbalance",
+                        JsonValue::num(scatter.planned_imbalance.get()),
+                    ),
                     ("colors", JsonValue::Arr(colors)),
                     ("threads", JsonValue::Arr(threads_json)),
                     (
@@ -198,8 +236,30 @@ impl RunReport {
                     ),
                 ]),
             ),
-        ]);
-        RunReport { doc }
+        ];
+        if let Some(b) = &info.balance {
+            fields.push((
+                "balance",
+                JsonValue::obj(vec![
+                    ("dims", JsonValue::num(b.dims as f64)),
+                    (
+                        "counts",
+                        JsonValue::Arr(
+                            b.counts.iter().map(|&c| JsonValue::num(c as f64)).collect(),
+                        ),
+                    ),
+                    ("max_per_axis", JsonValue::num(b.max_per_axis as f64)),
+                    ("predicted_seconds", JsonValue::num(b.predicted_seconds)),
+                    (
+                        "predicted_imbalance",
+                        JsonValue::num(b.predicted_imbalance),
+                    ),
+                ]),
+            ));
+        }
+        RunReport {
+            doc: JsonValue::obj(fields),
+        }
     }
 
     /// The underlying JSON document.
@@ -245,6 +305,7 @@ mod tests {
             threads: 2,
             strategy: "sdc2d".to_string(),
             dt_ps: 1e-3,
+            balance: None,
         };
         let mut timers = PhaseTimers::new();
         timers.add(Phase::Density, Duration::from_millis(3));
@@ -299,6 +360,58 @@ mod tests {
             .and_then(|v| v.as_f64())
             .unwrap();
         assert!((factor - 900_000.0 / 650_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn balance_section_appears_only_when_the_balancer_ran() {
+        let report = sample();
+        assert!(report.json().path("balance").is_none());
+        assert_eq!(
+            report
+                .json()
+                .path("scatter.rebalances")
+                .and_then(|v| v.as_f64()),
+            Some(0.0)
+        );
+        assert_eq!(
+            report
+                .json()
+                .path("scatter.planned_imbalance")
+                .and_then(|v| v.as_f64()),
+            Some(0.0)
+        );
+
+        let info = RunInfo {
+            atoms: 1024,
+            steps: 10,
+            threads: 2,
+            strategy: "sdc1d".to_string(),
+            dt_ps: 1e-3,
+            balance: Some(BalanceInfo {
+                dims: 1,
+                counts: [4, 1, 1],
+                max_per_axis: 0,
+                predicted_seconds: 2.5e-3,
+                predicted_imbalance: 1.25,
+            }),
+        };
+        let report = RunReport::collect(&info, &PhaseTimers::new(), &SimMetrics::new(2));
+        let text = report.to_string();
+        let back = RunReport::parse(&text).unwrap();
+        let doc = back.json();
+        assert_eq!(doc.path("balance.dims").and_then(|v| v.as_f64()), Some(1.0));
+        let counts = doc.path("balance.counts").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(counts.len(), 3);
+        assert_eq!(counts[0].as_f64(), Some(4.0));
+        assert_eq!(
+            doc.path("balance.max_per_axis").and_then(|v| v.as_f64()),
+            Some(0.0)
+        );
+        assert_eq!(
+            doc.path("balance.predicted_imbalance")
+                .and_then(|v| v.as_f64()),
+            Some(1.25)
+        );
     }
 
     #[test]

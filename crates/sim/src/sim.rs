@@ -5,6 +5,7 @@
 //! into a run loop; [`SimulationBuilder`] is the one-stop configuration
 //! surface used by the examples and the benchmark harness.
 
+use crate::balance::{BalanceConfig, RebalanceEvent};
 use crate::checkpoint::save_checkpoint;
 use crate::forces::{EngineError, ForceEngine, PotentialChoice};
 use crate::health::{FaultRecord, RecoveryConfig, RecoveryError, RecoveryReport, Watchdog};
@@ -207,6 +208,12 @@ impl Simulation {
         self.engine.downgrades()
     }
 
+    /// Mid-run plan changes adopted by the cost-guided balancer (empty when
+    /// balancing is off — see [`SimulationBuilder::balance`]).
+    pub fn rebalances(&self) -> &[RebalanceEvent] {
+        self.engine.rebalance_events()
+    }
+
     /// Current thermodynamic snapshot.
     pub fn thermo(&self) -> Thermo {
         Thermo::measure(&self.system, &self.engine, self.step)
@@ -296,6 +303,7 @@ pub struct SimulationBuilder {
     parallel_neighbor: Option<bool>,
     metrics: bool,
     fused: bool,
+    balance: Option<BalanceConfig>,
 }
 
 impl SimulationBuilder {
@@ -316,6 +324,7 @@ impl SimulationBuilder {
             parallel_neighbor: None,
             metrics: false,
             fused: true,
+            balance: None,
         }
     }
 
@@ -424,6 +433,24 @@ impl SimulationBuilder {
         self
     }
 
+    /// Enables the cost-guided SDC load balancer (default **off**): LPT
+    /// task ordering within colors, a decomposition search minimizing the
+    /// predicted makespan, and mid-run re-planning at neighbor-list rebuilds
+    /// when the observed imbalance exceeds the plan's prediction (see
+    /// [`crate::balance`]). Only affects `Sdc` strategies; results are
+    /// bitwise-identical to the unbalanced path for a fixed decomposition
+    /// and agree to FP-roundoff across decompositions.
+    pub fn balance(mut self, on: bool) -> Self {
+        self.balance = on.then(BalanceConfig::default);
+        self
+    }
+
+    /// Like [`SimulationBuilder::balance`], but with explicit tuning.
+    pub fn balance_config(mut self, config: BalanceConfig) -> Self {
+        self.balance = Some(config);
+        self
+    }
+
     /// Overrides whether neighbor-list rebuilds run on the thread pool
     /// (default: parallel iff `threads > 1`). The parallel build is bitwise
     /// identical to the serial one, so this is a performance knob only —
@@ -464,6 +491,9 @@ impl SimulationBuilder {
             engine.enable_metrics();
         }
         engine.set_fused(self.fused);
+        if let Some(config) = self.balance {
+            engine.enable_balance(&system, config);
+        }
         engine.compute(&mut system);
         Ok(Simulation {
             system,
@@ -699,6 +729,51 @@ mod tests {
         assert_eq!(sc.merges.get(), 2, "one merge per sweep");
         assert!(sc.merge_ns.get() > 0);
         assert!(sc.private_bytes.get() > 0.0);
+    }
+
+    #[test]
+    fn balanced_sdc_matches_serial_and_reports_its_choice() {
+        let serial = || {
+            let mut sim = Simulation::builder(LatticeSpec::bcc_fe(9))
+                .potential(AnalyticEam::fe())
+                .temperature(300.0)
+                .seed(11)
+                .build()
+                .unwrap();
+            sim.run(5);
+            sim
+        };
+        let mut balanced = Simulation::builder(LatticeSpec::bcc_fe(9))
+            .potential(AnalyticEam::fe())
+            .strategy(StrategyKind::Sdc { dims: 3 })
+            .threads(2)
+            .temperature(300.0)
+            .seed(11)
+            .metrics(true)
+            .balance(true)
+            .build()
+            .unwrap();
+        let choice = balanced.engine().plan_choice().expect("balancer is on");
+        // The search may legitimately change dims; the strategy follows it.
+        assert_eq!(
+            balanced.engine().strategy(),
+            StrategyKind::Sdc { dims: choice.dims }
+        );
+        balanced.run(5);
+        let reference = serial();
+        for (a, b) in reference
+            .system()
+            .positions()
+            .iter()
+            .zip(balanced.system().positions())
+        {
+            assert!((*a - *b).norm() <= 1e-10, "{a} vs {b}");
+        }
+        // The initial search already adopted the optimum; a uniform crystal
+        // gives any re-search no better plan, so no rebalance is recorded.
+        assert!(balanced.rebalances().is_empty());
+        let m = balanced.metrics().unwrap();
+        assert!(m.scatter.planned_imbalance.get() >= 1.0);
     }
 
     #[test]

@@ -63,9 +63,21 @@ impl Thermostat {
                 let t = system.temperature();
                 if t > 0.0 {
                     let lambda2 = 1.0 + (dt / tau) * (target / t - 1.0);
-                    let lambda = lambda2.max(0.0).sqrt();
-                    for v in system.velocities_mut() {
-                        *v *= lambda;
+                    if lambda2 > 0.0 {
+                        let lambda = lambda2.sqrt();
+                        for v in system.velocities_mut() {
+                            *v *= lambda;
+                        }
+                    } else {
+                        // Overshoot regime: `(dt/tau)·(target/T − 1) ≤ −1`
+                        // happens when T ≫ target with dt comparable to tau.
+                        // Clamping λ² at 0 would freeze every velocity and —
+                        // because a 0 K system never re-enters the `t > 0`
+                        // branch — leave the thermostat permanently inert.
+                        // The weak-coupling form is simply invalid past its
+                        // stability limit, so take the strong-coupling limit
+                        // instead: an exact rescale to the target.
+                        scale_to(system, target);
                     }
                 }
             }
@@ -207,6 +219,36 @@ mod tests {
         let mut c = hot_system();
         Thermostat::Langevin { target: 300.0, tau: 0.05, seed: 10 }.apply(&mut c, 3, 1e-3);
         assert_ne!(a.velocities(), c.velocities());
+    }
+
+    #[test]
+    fn berendsen_overshoot_falls_back_to_exact_rescale_and_stays_active() {
+        // 600 K → 300 K with dt = tau: (dt/tau)·(target/T − 1) = −0.5, fine.
+        // 6000 K → 300 K with dt = tau: factor = −0.95, fine. But dt > tau
+        // (or T/target large enough) pushes λ² below zero; the old clamp
+        // zeroed every velocity and the thermostat never acted again.
+        let mut s = hot_system(); // 600 K
+        let th = Thermostat::Berendsen {
+            target: 300.0,
+            tau: 1e-4,
+        };
+        // dt/tau = 10 ⇒ λ² = 1 + 10·(0.5 − 1) = −4 < 0.
+        th.apply(&mut s, 0, 1e-3);
+        let t = s.temperature();
+        assert!(t > 0.0, "velocities must not be zeroed, got {t} K");
+        assert!(
+            (t - 300.0).abs() < 1e-9,
+            "overshoot falls back to exact rescale, got {t} K"
+        );
+        // The thermostat stays live: heat the system again and it still
+        // responds (the 0 K dead-state of the old clamp cannot recur).
+        for v in s.velocities_mut() {
+            *v *= 2.0;
+        }
+        let reheated = s.temperature();
+        th.apply(&mut s, 1, 1e-3);
+        assert!(s.temperature() < reheated);
+        assert!(s.temperature() > 0.0);
     }
 
     #[test]

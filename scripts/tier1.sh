@@ -23,28 +23,35 @@
 #      *exactly* — the fused path may only change how fast the physics
 #      runs, never what it does — plus the force-consistency suite under
 #      RAYON_NUM_THREADS=2 and =4)
+#   8. load-balance gate          (a balanced metered mdrun against the
+#      plain run of the plan the search deterministically picks for the
+#      gate case — sdc1d on the 9³ box, fewest barriers wins — with every
+#      counter matching *exactly*: the balancer may only reorder and
+#      re-split, never change the physics or the scatter bookkeeping;
+#      plus the non-uniform-density conformance suite under
+#      RAYON_NUM_THREADS=2 and =4)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> [1/7] release build"
+echo "==> [1/8] release build"
 cargo build --release --workspace
 
-echo "==> [2/7] test suite"
+echo "==> [2/8] test suite"
 cargo test --workspace -q
 
-echo "==> [3/7] clippy (deny warnings)"
+echo "==> [3/8] clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> [4/7] debug-assertions test job"
+echo "==> [4/8] debug-assertions test job"
 RUSTFLAGS="-C debug-assertions=on" cargo test --workspace -q --profile dev
 
-echo "==> [5/7] thread-matrix test job"
+echo "==> [5/8] thread-matrix test job"
 for t in 2 4; do
   echo "    RAYON_NUM_THREADS=$t"
   RAYON_NUM_THREADS="$t" cargo test -q -p md-neighbor -p sdc-core -p sdc-md
 done
 
-echo "==> [6/7] metrics regression gate"
+echo "==> [6/8] metrics regression gate"
 report="$(mktemp /tmp/tier1_metrics.XXXXXX.json)"
 cargo run -q -p sdc-bench --release --bin mdrun -- \
   --cells 9 --strategy sdc2d --threads 2 --steps 20 --report 20 \
@@ -53,7 +60,7 @@ cargo run -q -p sdc-bench --release --bin metrics_diff -- \
   scripts/metrics_baseline.json "$report" --tol 1.10 --time-tol 50
 rm -f "$report"
 
-echo "==> [7/7] fused-path conformance gate"
+echo "==> [7/8] fused-path conformance gate"
 ref="$(mktemp /tmp/tier1_ref.XXXXXX.json)"
 fus="$(mktemp /tmp/tier1_fused.XXXXXX.json)"
 cargo run -q -p sdc-bench --release --bin mdrun -- \
@@ -68,6 +75,23 @@ rm -f "$ref" "$fus"
 for t in 2 4; do
   echo "    force-consistency suite, RAYON_NUM_THREADS=$t"
   RAYON_NUM_THREADS="$t" cargo test -q --test force_consistency
+done
+
+echo "==> [8/8] load-balance gate"
+def="$(mktemp /tmp/tier1_default.XXXXXX.json)"
+bal="$(mktemp /tmp/tier1_balanced.XXXXXX.json)"
+cargo run -q -p sdc-bench --release --bin mdrun -- \
+  --cells 9 --strategy sdc1d --threads 2 --steps 20 --report 20 \
+  --metrics-out "$def" > /dev/null
+cargo run -q -p sdc-bench --release --bin mdrun -- \
+  --cells 9 --strategy sdc3d --threads 2 --steps 20 --report 20 \
+  --balance --metrics-out "$bal" > /dev/null
+cargo run -q -p sdc-bench --release --bin metrics_diff -- \
+  "$def" "$bal" --tol 1.0 --time-tol 50
+rm -f "$def" "$bal"
+for t in 2 4; do
+  echo "    load-balance suite, RAYON_NUM_THREADS=$t"
+  RAYON_NUM_THREADS="$t" cargo test -q --test load_balance
 done
 
 echo "tier-1: all green"

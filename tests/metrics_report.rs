@@ -30,6 +30,7 @@ fn run_metered(steps: usize) -> (Simulation, RunReport) {
         threads: sim.engine().threads(),
         strategy: sim.engine().strategy().name().to_string(),
         dt_ps: 1e-3,
+        balance: sim.engine().plan_choice().map(Into::into),
     };
     let report = RunReport::collect(&info, sim.timers(), sim.metrics().expect("metrics on"));
     (sim, report)
@@ -76,6 +77,8 @@ fn report_schema_is_golden() {
             "private_bytes",
             "duplicate_pairs",
             "color_barriers",
+            "rebalances",
+            "planned_imbalance",
             "colors",
             "threads",
             "imbalance"
@@ -96,6 +99,60 @@ fn report_schema_is_golden() {
     );
 
     // And the text form round-trips losslessly through the parser.
+    let back = RunReport::parse(&report.to_string()).expect("parse back");
+    assert_eq!(report.json(), back.json());
+}
+
+#[test]
+fn balanced_run_report_pins_the_balance_section() {
+    let mut sim = Simulation::builder(LatticeSpec::bcc_fe(9))
+        .potential_choice(PotentialChoice::Eam(Arc::new(AnalyticEam::fe())))
+        .strategy(StrategyKind::Sdc { dims: 3 })
+        .threads(2)
+        .temperature(300.0)
+        .seed(7)
+        .metrics(true)
+        .balance(true)
+        .build()
+        .expect("build");
+    sim.run(2);
+    let info = RunInfo {
+        atoms: sim.system().len(),
+        steps: sim.step_count(),
+        threads: sim.engine().threads(),
+        strategy: sim.engine().strategy().name().to_string(),
+        dt_ps: 1e-3,
+        balance: sim.engine().plan_choice().map(Into::into),
+    };
+    let report = RunReport::collect(&info, sim.timers(), sim.metrics().expect("metrics on"));
+    let doc = report.json();
+    assert_eq!(
+        keys(doc),
+        ["schema", "case", "phases", "spans", "scatter", "balance"]
+    );
+    assert_eq!(
+        keys(doc.path("balance").unwrap()),
+        [
+            "dims",
+            "counts",
+            "max_per_axis",
+            "predicted_seconds",
+            "predicted_imbalance"
+        ]
+    );
+    let dims = doc.path("balance.dims").and_then(|v| v.as_f64()).unwrap();
+    assert_eq!(info.strategy, format!("sdc{dims}d"));
+    let planned = doc
+        .path("scatter.planned_imbalance")
+        .and_then(|v| v.as_f64())
+        .unwrap();
+    assert!(planned >= 1.0, "planned imbalance {planned}");
+    let predicted = doc
+        .path("balance.predicted_seconds")
+        .and_then(|v| v.as_f64())
+        .unwrap();
+    assert!(predicted > 0.0);
+    // Round-trips like everything else.
     let back = RunReport::parse(&report.to_string()).expect("parse back");
     assert_eq!(report.json(), back.json());
 }
