@@ -28,7 +28,7 @@
 use md_geometry::{Lattice, LatticeSpec};
 use md_potential::{AnalyticEam, LennardJones, TabulatedEam};
 use md_sim::analysis::ThermoAverager;
-use md_sim::checkpoint::{load_checkpoint, save_checkpoint};
+use md_sim::checkpoint::{load_checkpoint, save_checkpoint, sweep_stale_tmp};
 use md_sim::health::RecoveryConfig;
 use md_sim::output::{ThermoLog, XyzWriter};
 use md_perfmodel::{MachineParams, ObservedImbalance, ObservedMakespan};
@@ -160,6 +160,23 @@ fn run(args: &Args) -> Result<(), String> {
             // Supervised or periodic checkpointing needs *somewhere* to write.
             (recover || checkpoint_every > 0).then(|| PathBuf::from("mdrun.ckpt"))
         });
+    // Supervised / periodic checkpointing without a resolvable path is a
+    // usage error, reported here once instead of trusted deep in the run
+    // loop (the default above makes this unreachable today, but the run
+    // loop must not have to rely on that).
+    if (recover || checkpoint_every > 0) && checkpoint_path.is_none() {
+        return Err(
+            "--recover/--checkpoint-every need a checkpoint path (--checkpoint PATH)".to_string(),
+        );
+    }
+    // A crash during a previous run's atomic checkpoint write can leave a
+    // stale `*.tmp` sibling; it is never a valid checkpoint, so sweep it
+    // before any recovery machinery could be confused by it.
+    if let Some(path) = &checkpoint_path {
+        if sweep_stale_tmp(path).map_err(|e| format!("cannot sweep stale checkpoint: {e}"))? {
+            println!("swept stale checkpoint temp file next to '{}'", path.display());
+        }
+    }
 
     // Assemble the builder from either a restart file or a fresh lattice.
     let element;
@@ -291,7 +308,9 @@ fn run(args: &Args) -> Result<(), String> {
                 }
             }
             if checkpoint_every > 0 && k % checkpoint_every == 0 {
-                let path = checkpoint_path.as_deref().expect("path defaulted above");
+                let path = checkpoint_path.as_deref().ok_or(
+                    "--checkpoint-every needs a checkpoint path (--checkpoint PATH)",
+                )?;
                 save_checkpoint(path, sim.system(), sim.step_count())
                     .map_err(|e| format!("checkpoint write failed: {e}"))?;
             }

@@ -1,0 +1,55 @@
+//! `mdserve` — the fault-tolerant MD job server.
+//!
+//!     mdserve --dir /var/lib/mdserve --port 7171 --workers 4
+//!
+//! Accepts newline-delimited JSON requests on 127.0.0.1 (see the README's
+//! "Serving jobs" section for the protocol), journals every queue
+//! transition, and resumes interrupted jobs from their checkpoints after a
+//! crash or restart. Runs until a client sends `{"cmd":"shutdown"}`.
+
+use md_serve::{Server, ServerConfig};
+use sdc_bench::Args;
+use std::io::Write;
+
+const USAGE: &str = "\
+usage: mdserve [options]
+  --dir PATH        state directory: journal + checkpoints (default ./mdserve-state)
+  --port N          listen port on 127.0.0.1 (default 0 = ephemeral)
+  --port-file PATH  write the bound port to this file once listening
+  --workers N       worker pool size (default 2)
+  --queue-cap N     queued-job capacity before backpressure (default 64)";
+
+const KNOWN_FLAGS: &[&str] = &["--dir", "--port", "--port-file", "--workers", "--queue-cap"];
+
+fn run(args: &Args) -> Result<(), String> {
+    let unknown = args.unknown_flags(KNOWN_FLAGS);
+    if !unknown.is_empty() {
+        return Err(format!("unknown flag '{}'", unknown[0]));
+    }
+    let mut cfg = ServerConfig::new(args.get_str("--dir").unwrap_or("mdserve-state"));
+    cfg.port = args.try_get_or("--port", 0u16)?;
+    cfg.workers = args.try_get_or("--workers", 2usize)?;
+    cfg.queue_capacity = args.try_get_or("--queue-cap", 64usize)?;
+    let dir = cfg.dir.clone();
+
+    let handle = Server::start(cfg).map_err(|e| format!("cannot start server: {e}"))?;
+    let addr = handle.addr();
+    println!("mdserve: listening on {addr} (state in {})", dir.display());
+    if let Some(port_file) = args.get_str("--port-file") {
+        // Written atomically-enough for scripts polling for it: the port
+        // only appears once the listener is live.
+        let write = std::fs::File::create(port_file)
+            .and_then(|mut f| writeln!(f, "{}", addr.port()).and(f.sync_all()));
+        write.map_err(|e| format!("cannot write port file: {e}"))?;
+    }
+    handle.wait_shutdown();
+    println!("mdserve: stopped");
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run(&Args::parse()) {
+        eprintln!("mdserve: {e}\n\n{USAGE}");
+        std::process::exit(2);
+    }
+}

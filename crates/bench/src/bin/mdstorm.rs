@@ -1,0 +1,180 @@
+//! `mdstorm` — client-storm load generator for `mdserve`.
+//!
+//! Hammers a running server with concurrent clients, each submitting a
+//! batch of jobs and waiting for every one of them, then reports the
+//! jobs/hour throughput. `--await-only` instead waits for whatever jobs
+//! the server already has pending (used after a kill-and-restart to prove
+//! zero accepted jobs were lost); `--no-await` submits and exits (used to
+//! leave work in flight before the kill).
+
+use md_serve::{Client, JobSpec};
+use md_sim::JsonValue;
+use sdc_bench::Args;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "\
+usage: mdstorm [options]
+  --port N          server port on 127.0.0.1
+  --port-file PATH  read the port from this file (written by mdserve)
+  --clients N       concurrent client connections (default 4)
+  --jobs M          jobs submitted per client (default 4)
+  --potential P     fe | cu | lj for the submitted jobs (default lj)
+  --cells N         lattice cells per edge (default 4)
+  --steps N         time-steps per job (default 80)
+  --no-await        submit and exit without waiting
+  --await-only      submit nothing; wait for every pending job on the server
+  --shutdown MODE   send a shutdown (drain | now) after the storm";
+
+const KNOWN_FLAGS: &[&str] = &[
+    "--port",
+    "--port-file",
+    "--clients",
+    "--jobs",
+    "--potential",
+    "--cells",
+    "--steps",
+    "--no-await",
+    "--await-only",
+    "--shutdown",
+];
+
+const WAIT: Duration = Duration::from_secs(600);
+
+fn port(args: &Args) -> Result<u16, String> {
+    if let Some(p) = args.try_get::<u16>("--port")? {
+        return Ok(p);
+    }
+    let path = args
+        .get_str("--port-file")
+        .ok_or("need --port or --port-file")?;
+    std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read port file {path}: {e}"))?
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad port file {path}: {e}"))
+}
+
+fn job_status(job: &JsonValue) -> &str {
+    job.get("status").and_then(JsonValue::as_str).unwrap_or("?")
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let unknown = args.unknown_flags(KNOWN_FLAGS);
+    if !unknown.is_empty() {
+        return Err(format!("unknown flag '{}'", unknown[0]));
+    }
+    let addr = format!("127.0.0.1:{}", port(args)?);
+    let clients: u64 = args.try_get_or("--clients", 4)?;
+    let jobs_per_client: u64 = args.try_get_or("--jobs", 4)?;
+    let template = JobSpec {
+        potential: args.get_str("--potential").unwrap_or("lj").to_string(),
+        cells: args.try_get_or("--cells", 4)?,
+        steps: args.try_get_or("--steps", 80)?,
+        temperature: 80.0,
+        checkpoint_every: 20,
+        ..JobSpec::default()
+    };
+    let start = Instant::now();
+    let mut completed = 0u64;
+    let mut failed = 0u64;
+
+    if args.flag("--await-only") {
+        let mut client = Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        let pending: Vec<u64> = client
+            .jobs()?
+            .iter()
+            .filter(|j| matches!(job_status(j), "queued" | "running"))
+            .filter_map(|j| j.get("id").and_then(JsonValue::as_f64))
+            .map(|id| id as u64)
+            .collect();
+        println!("mdstorm: awaiting {} pending job(s)", pending.len());
+        for id in pending {
+            let job = client.wait(id, WAIT)?;
+            match job_status(&job) {
+                "completed" => completed += 1,
+                other => {
+                    failed += 1;
+                    eprintln!("mdstorm: job {id} ended {other}: {job}");
+                }
+            }
+        }
+    } else {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let addr = addr.clone();
+                let template = template.clone();
+                let no_await = args.flag("--no-await");
+                std::thread::spawn(move || -> Result<(u64, u64), String> {
+                    let mut client =
+                        Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+                    let mut ids = Vec::new();
+                    for j in 0..jobs_per_client {
+                        let mut spec = template.clone();
+                        spec.name = format!("storm-{c}-{j}");
+                        spec.seed = 1 + c * 1000 + j;
+                        // Backpressure is an expected answer under a storm:
+                        // back off briefly and retry instead of giving up.
+                        loop {
+                            match client.submit(&spec) {
+                                Ok(id) => break ids.push(id),
+                                Err(e) if e.contains("backpressure") => {
+                                    std::thread::sleep(Duration::from_millis(50));
+                                }
+                                Err(e) => return Err(format!("submit: {e}")),
+                            }
+                        }
+                    }
+                    if no_await {
+                        return Ok((0, 0));
+                    }
+                    let (mut done, mut bad) = (0, 0);
+                    for id in ids {
+                        let job = client.wait(id, WAIT)?;
+                        match job_status(&job) {
+                            "completed" => done += 1,
+                            other => {
+                                bad += 1;
+                                eprintln!("mdstorm: job {id} ended {other}: {job}");
+                            }
+                        }
+                    }
+                    Ok((done, bad))
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (done, bad) = handle
+                .join()
+                .map_err(|_| "client thread panicked".to_string())??;
+            completed += done;
+            failed += bad;
+        }
+        if args.flag("--no-await") {
+            println!("mdstorm: submitted {} job(s), not awaiting", clients * jobs_per_client);
+        }
+    }
+
+    let elapsed = start.elapsed().as_secs_f64();
+    if completed + failed > 0 {
+        println!(
+            "mdstorm: {completed} completed, {failed} failed in {elapsed:.2} s ({:.0} jobs/hour)",
+            completed as f64 / elapsed * 3600.0
+        );
+    }
+    if let Some(mode) = args.get_str("--shutdown") {
+        let mut client = Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        client.shutdown(mode)?;
+        println!("mdstorm: sent shutdown ({mode})");
+    }
+    if failed > 0 {
+        return Err(format!("{failed} job(s) did not complete"));
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run(&Args::parse()) {
+        eprintln!("mdstorm: {e}\n\n{USAGE}");
+        std::process::exit(1);
+    }
+}

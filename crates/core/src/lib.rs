@@ -47,7 +47,7 @@ pub mod strategies;
 
 pub use context::ParallelContext;
 pub use decomposition::{ColoredDecomposition, DecompositionConfig, DecompositionError};
-pub use metrics::{Counter, DurationHistogram, Gauge, ScatterMetrics};
+pub use metrics::{Counter, DurationHistogram, Gauge, QueueMetrics, ScatterMetrics};
 pub use plan::SdcPlan;
 pub use scatter::{PairTerm, ScatterValue, NO_SLOT};
 pub use schedule::{BalancedPlan, ColorSchedule, MakespanParams, PlanChoice};

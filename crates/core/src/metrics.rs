@@ -371,9 +371,83 @@ impl ScatterMetrics {
     }
 }
 
+/// Counters for a job-queue service layer (the `mdserve` server): every
+/// queue transition, retry and checkpoint-backed resume is tallied here so
+/// the `stats` endpoint and the storm harness can assert liveness without
+/// scraping logs. Same recording rules as [`ScatterMetrics`]: relaxed
+/// atomics, read after the region of interest has quiesced.
+#[derive(Debug, Default)]
+pub struct QueueMetrics {
+    /// Jobs offered by clients (accepted + rejected).
+    pub submitted: Counter,
+    /// Jobs accepted into the queue (journaled before the accept reply).
+    pub accepted: Counter,
+    /// Jobs refused with an explicit backpressure response (bounded queue
+    /// full, or the server was draining).
+    pub rejected: Counter,
+    /// Job executions started (first attempts and retries alike).
+    pub started: Counter,
+    /// Jobs that reached the `completed` terminal state.
+    pub completed: Counter,
+    /// Jobs that reached the `failed` terminal state.
+    pub failed: Counter,
+    /// Server-level retry attempts (re-runs after a faulted attempt, with
+    /// exponential backoff applied).
+    pub retries: Counter,
+    /// Executions that resumed from a durable checkpoint instead of
+    /// starting at step 0.
+    pub resumes: Counter,
+    /// Executions interrupted resumably (worker death, shutdown).
+    pub interrupted: Counter,
+    /// Current queue depth (queued, not yet running).
+    pub depth: Gauge,
+}
+
+impl QueueMetrics {
+    /// A fresh all-zero bundle.
+    pub fn new() -> QueueMetrics {
+        QueueMetrics::default()
+    }
+
+    /// Resets every counter and the depth gauge.
+    pub fn reset(&self) {
+        self.submitted.reset();
+        self.accepted.reset();
+        self.rejected.reset();
+        self.started.reset();
+        self.completed.reset();
+        self.failed.reset();
+        self.retries.reset();
+        self.resumes.reset();
+        self.interrupted.reset();
+        self.depth.set(0.0);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn queue_metrics_tally_and_reset() {
+        let q = QueueMetrics::new();
+        q.submitted.add(5);
+        q.accepted.add(4);
+        q.rejected.inc();
+        q.completed.add(3);
+        q.retries.add(2);
+        q.resumes.inc();
+        q.depth.set(4.0);
+        assert_eq!(q.submitted.get(), 5);
+        assert_eq!(q.accepted.get() + q.rejected.get(), q.submitted.get());
+        assert_eq!(q.completed.get(), 3);
+        assert_eq!(q.retries.get(), 2);
+        assert_eq!(q.resumes.get(), 1);
+        assert_eq!(q.depth.get(), 4.0);
+        q.reset();
+        assert_eq!(q.submitted.get(), 0);
+        assert_eq!(q.depth.get(), 0.0);
+    }
 
     #[test]
     fn counter_add_get_reset() {
@@ -415,7 +489,7 @@ mod tests {
             prev = idx.max(prev);
             let lo = bucket_lower(idx);
             assert!(lo <= v, "lower bound {lo} exceeds value {v}");
-            if v >= SUBS && v < 1 << (MAX_OCTAVE - 1) {
+            if (SUBS..1 << (MAX_OCTAVE - 1)).contains(&v) {
                 // Within range, the bucket width is ≤ v / 16.
                 let hi = bucket_lower(idx + 1);
                 assert!(hi > v, "value {v} not inside [{lo}, {hi})");

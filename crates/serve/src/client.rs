@@ -1,0 +1,125 @@
+//! Minimal blocking client for the `mdserve` line protocol.
+
+use crate::spec::JobSpec;
+use crate::wire;
+use md_sim::JsonValue;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One connection to an `mdserve` server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to the server at `addr` (e.g. `127.0.0.1:7171`).
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let read_half = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request object and reads one response object.
+    /// `Err` covers transport failures and protocol-level `"ok": false`.
+    pub fn request(&mut self, request: &JsonValue) -> Result<JsonValue, String> {
+        wire::write_line(&mut self.writer, request).map_err(|e| format!("send failed: {e}"))?;
+        self.read_response()
+    }
+
+    /// Sends a raw line (not necessarily valid JSON) and reads one
+    /// response. Used by the chaos harness to poke the server with
+    /// malformed input.
+    pub fn raw_line(&mut self, line: &str) -> Result<JsonValue, String> {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|_| self.writer.write_all(b"\n"))
+            .and_then(|_| self.writer.flush())
+            .map_err(|e| format!("send failed: {e}"))?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> Result<JsonValue, String> {
+        match wire::read_line(&mut self.reader) {
+            Ok(Some(Ok(v))) => {
+                if matches!(v.get("ok"), Some(JsonValue::Bool(true))) {
+                    Ok(v)
+                } else {
+                    Err(v
+                        .get("error")
+                        .and_then(JsonValue::as_str)
+                        .unwrap_or("malformed error response")
+                        .to_string())
+                }
+            }
+            Ok(Some(Err(e))) => Err(format!("unparseable response: {e}")),
+            Ok(None) => Err("server closed the connection".to_string()),
+            Err(e) => Err(format!("receive failed: {e}")),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), String> {
+        self.request(&JsonValue::obj(vec![("cmd", JsonValue::str("ping"))]))
+            .map(|_| ())
+    }
+
+    /// Submits a job; returns its server-assigned id. An `Err` is either a
+    /// validation rejection or backpressure — the job was NOT accepted.
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<u64, String> {
+        let resp = self.request(&JsonValue::obj(vec![
+            ("cmd", JsonValue::str("submit")),
+            ("spec", spec.to_json()),
+        ]))?;
+        wire::get_u64(&resp, "job").ok_or_else(|| "response missing job id".to_string())
+    }
+
+    /// Current job record (the `job` object of the response).
+    pub fn status(&mut self, job: u64) -> Result<JsonValue, String> {
+        let resp = self.request(&JsonValue::obj(vec![
+            ("cmd", JsonValue::str("status")),
+            ("job", JsonValue::num(job as f64)),
+        ]))?;
+        resp.get("job").cloned().ok_or_else(|| "response missing job".to_string())
+    }
+
+    /// Blocks until the job is terminal (completed or failed) or the
+    /// timeout elapses; returns the terminal job record.
+    pub fn wait(&mut self, job: u64, timeout: Duration) -> Result<JsonValue, String> {
+        let resp = self.request(&JsonValue::obj(vec![
+            ("cmd", JsonValue::str("wait")),
+            ("job", JsonValue::num(job as f64)),
+            ("timeout_ms", JsonValue::num(timeout.as_millis() as f64)),
+        ]))?;
+        resp.get("job").cloned().ok_or_else(|| "response missing job".to_string())
+    }
+
+    /// Server counters (the `stats` object of the response).
+    pub fn stats(&mut self) -> Result<JsonValue, String> {
+        let resp = self.request(&JsonValue::obj(vec![("cmd", JsonValue::str("stats"))]))?;
+        resp.get("stats").cloned().ok_or_else(|| "response missing stats".to_string())
+    }
+
+    /// All job records.
+    pub fn jobs(&mut self) -> Result<Vec<JsonValue>, String> {
+        let resp = self.request(&JsonValue::obj(vec![("cmd", JsonValue::str("jobs"))]))?;
+        resp.get("jobs")
+            .and_then(JsonValue::as_arr)
+            .map(|a| a.to_vec())
+            .ok_or_else(|| "response missing jobs".to_string())
+    }
+
+    /// Asks the server to stop (`"drain"` or `"now"`).
+    pub fn shutdown(&mut self, mode: &str) -> Result<(), String> {
+        self.request(&JsonValue::obj(vec![
+            ("cmd", JsonValue::str("shutdown")),
+            ("mode", JsonValue::str(mode)),
+        ]))
+        .map(|_| ())
+    }
+}

@@ -1,0 +1,371 @@
+//! The append-only job journal: the server's source of truth.
+//!
+//! One event per line, formatted as
+//!
+//! ```text
+//! {"ev":"submit","job":3,"spec":{...}} fnv:a1b2c3d4e5f60718
+//! ```
+//!
+//! where the footer is the FNV-1a64 checksum (the checkpoint-v2 digest,
+//! [`md_sim::fnv1a64`]) of the JSON bytes. Every append is flushed and
+//! fsynced *before* the caller acts on it — a submit is acknowledged to the
+//! client only after its record is durable, which is what makes the
+//! "zero accepted jobs lost across a kill -9" guarantee honest.
+//!
+//! Replay tolerates a torn tail: a crash mid-append leaves at most one
+//! partial line, which fails its checksum; [`Journal::replay`] truncates
+//! the file at the first bad line and reports how many bytes were dropped.
+//! Corruption *before* the tail (disk damage) is also cut there — events
+//! after a bad record could contradict the lost one, so the safe reading
+//! is the clean prefix.
+
+use crate::spec::JobSpec;
+use crate::wire;
+use md_sim::{fnv1a64, JsonValue};
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+/// A queue transition worth surviving a crash.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalEvent {
+    /// A job was accepted into the queue.
+    Submitted {
+        /// Job id (server-assigned, monotonically increasing).
+        job: u64,
+        /// The full spec, so replay can re-queue without any other state.
+        spec: JobSpec,
+    },
+    /// An execution attempt began.
+    Started {
+        /// Job id.
+        job: u64,
+        /// 1-based attempt counter.
+        attempt: usize,
+    },
+    /// An execution stopped resumably (worker death, shutdown) — the job
+    /// is still pending and will resume from its checkpoint.
+    Interrupted {
+        /// Job id.
+        job: u64,
+        /// Attempt that was interrupted.
+        attempt: usize,
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// Terminal success.
+    Completed {
+        /// Job id.
+        job: u64,
+        /// Steps integrated over the job's lifetime.
+        steps: usize,
+        /// Rollbacks absorbed along the way.
+        rollbacks: usize,
+        /// Step the final execution resumed from (0 = ran from scratch).
+        resumed_from: usize,
+    },
+    /// Terminal failure with the root cause named.
+    Failed {
+        /// Job id.
+        job: u64,
+        /// Root-cause fault kind (e.g. `NonFiniteForce`, `DeadlineExceeded`).
+        fault: String,
+        /// Full diagnostic message.
+        message: String,
+    },
+}
+
+impl JournalEvent {
+    /// The job this event belongs to.
+    pub fn job(&self) -> u64 {
+        match self {
+            JournalEvent::Submitted { job, .. }
+            | JournalEvent::Started { job, .. }
+            | JournalEvent::Interrupted { job, .. }
+            | JournalEvent::Completed { job, .. }
+            | JournalEvent::Failed { job, .. } => *job,
+        }
+    }
+
+    fn to_json(&self) -> JsonValue {
+        match self {
+            JournalEvent::Submitted { job, spec } => JsonValue::obj(vec![
+                ("ev", JsonValue::str("submit")),
+                ("job", JsonValue::num(*job as f64)),
+                ("spec", spec.to_json()),
+            ]),
+            JournalEvent::Started { job, attempt } => JsonValue::obj(vec![
+                ("ev", JsonValue::str("start")),
+                ("job", JsonValue::num(*job as f64)),
+                ("attempt", JsonValue::num(*attempt as f64)),
+            ]),
+            JournalEvent::Interrupted { job, attempt, reason } => JsonValue::obj(vec![
+                ("ev", JsonValue::str("interrupt")),
+                ("job", JsonValue::num(*job as f64)),
+                ("attempt", JsonValue::num(*attempt as f64)),
+                ("reason", JsonValue::str(reason.clone())),
+            ]),
+            JournalEvent::Completed { job, steps, rollbacks, resumed_from } => JsonValue::obj(vec![
+                ("ev", JsonValue::str("complete")),
+                ("job", JsonValue::num(*job as f64)),
+                ("steps", JsonValue::num(*steps as f64)),
+                ("rollbacks", JsonValue::num(*rollbacks as f64)),
+                ("resumed_from", JsonValue::num(*resumed_from as f64)),
+            ]),
+            JournalEvent::Failed { job, fault, message } => JsonValue::obj(vec![
+                ("ev", JsonValue::str("fail")),
+                ("job", JsonValue::num(*job as f64)),
+                ("fault", JsonValue::str(fault.clone())),
+                ("message", JsonValue::str(message.clone())),
+            ]),
+        }
+    }
+
+    fn from_json(value: &JsonValue) -> Result<JournalEvent, String> {
+        let ev = value
+            .get("ev")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing 'ev' discriminant")?;
+        let job = wire::get_u64(value, "job").ok_or("missing 'job' id")?;
+        match ev {
+            "submit" => Ok(JournalEvent::Submitted {
+                job,
+                spec: JobSpec::from_json(value.get("spec").ok_or("missing 'spec'")?)?,
+            }),
+            "start" => Ok(JournalEvent::Started {
+                job,
+                attempt: wire::get_usize(value, "attempt").ok_or("missing 'attempt'")?,
+            }),
+            "interrupt" => Ok(JournalEvent::Interrupted {
+                job,
+                attempt: wire::get_usize(value, "attempt").ok_or("missing 'attempt'")?,
+                reason: value
+                    .get("reason")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("missing 'reason'")?
+                    .to_string(),
+            }),
+            "complete" => Ok(JournalEvent::Completed {
+                job,
+                steps: wire::get_usize(value, "steps").ok_or("missing 'steps'")?,
+                rollbacks: wire::get_usize(value, "rollbacks").ok_or("missing 'rollbacks'")?,
+                resumed_from: wire::get_usize(value, "resumed_from").unwrap_or(0),
+            }),
+            "fail" => Ok(JournalEvent::Failed {
+                job,
+                fault: value
+                    .get("fault")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("missing 'fault'")?
+                    .to_string(),
+                message: value
+                    .get("message")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+            }),
+            other => Err(format!("unknown event kind '{other}'")),
+        }
+    }
+}
+
+/// What [`Journal::replay`] recovered.
+#[derive(Debug)]
+pub struct JournalReplay {
+    /// Every intact event, in append order.
+    pub events: Vec<JournalEvent>,
+    /// Bytes cut from the tail (0 = the journal was clean).
+    pub truncated_bytes: u64,
+}
+
+/// An open journal file, append-only.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Opens (creating if absent) for appending.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<Journal> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Journal { file, path })
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one event, flushes, and fsyncs. Returns only after the
+    /// record is durable.
+    pub fn append(&mut self, event: &JournalEvent) -> std::io::Result<()> {
+        let json = wire::compact(&event.to_json());
+        let line = format!("{json} fnv:{:016x}\n", fnv1a64(json.as_bytes()));
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()?;
+        self.file.sync_data()
+    }
+
+    /// Reads every intact event from a journal file, truncating the file
+    /// at the first corrupt or torn line. A missing file is an empty
+    /// journal.
+    pub fn replay(path: impl AsRef<Path>) -> std::io::Result<JournalReplay> {
+        let path = path.as_ref();
+        let file = match File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(JournalReplay { events: Vec::new(), truncated_bytes: 0 });
+            }
+            Err(e) => return Err(e),
+        };
+        let total = file.metadata()?.len();
+        let mut reader = BufReader::new(file);
+        let mut events = Vec::new();
+        let mut good_end: u64 = 0;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = reader.read_line(&mut line)?;
+            if n == 0 {
+                break;
+            }
+            match parse_line(line.trim_end_matches(['\n', '\r'])) {
+                Some(event) if line.ends_with('\n') => {
+                    events.push(event);
+                    good_end += n as u64;
+                }
+                // A bad (or unterminated final) line ends the trusted
+                // prefix; everything after it is cut.
+                _ => break,
+            }
+        }
+        let truncated_bytes = total - good_end;
+        if truncated_bytes > 0 {
+            let file = OpenOptions::new().write(true).open(path)?;
+            file.set_len(good_end)?;
+            file.sync_data()?;
+        }
+        Ok(JournalReplay { events, truncated_bytes })
+    }
+}
+
+fn parse_line(line: &str) -> Option<JournalEvent> {
+    // "<json> fnv:<16 hex>"
+    let (json, footer) = line.rsplit_once(" fnv:")?;
+    if footer.len() != 16 {
+        return None;
+    }
+    let stored = u64::from_str_radix(footer, 16).ok()?;
+    if stored != fnv1a64(json.as_bytes()) {
+        return None;
+    }
+    JournalEvent::from_json(&JsonValue::parse(json).ok()?).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("md-serve-journal-{tag}-{}.log", std::process::id()));
+        p
+    }
+
+    fn sample_events() -> Vec<JournalEvent> {
+        vec![
+            JournalEvent::Submitted { job: 1, spec: JobSpec::default() },
+            JournalEvent::Started { job: 1, attempt: 1 },
+            JournalEvent::Interrupted {
+                job: 1,
+                attempt: 1,
+                reason: "worker panicked: chaos".to_string(),
+            },
+            JournalEvent::Started { job: 1, attempt: 2 },
+            JournalEvent::Completed { job: 1, steps: 200, rollbacks: 1, resumed_from: 100 },
+            JournalEvent::Submitted { job: 2, spec: JobSpec::default() },
+            JournalEvent::Failed {
+                job: 2,
+                fault: "NonFiniteForce".to_string(),
+                message: "non-finite force on atom 3".to_string(),
+            },
+        ]
+    }
+
+    #[test]
+    fn events_round_trip_through_append_and_replay() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let mut journal = Journal::open(&path).unwrap();
+        for event in &sample_events() {
+            journal.append(event).unwrap();
+        }
+        drop(journal);
+        let replay = Journal::replay(&path).unwrap();
+        assert_eq!(replay.events, sample_events());
+        assert_eq!(replay.truncated_bytes, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_prefix_survives() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        let mut journal = Journal::open(&path).unwrap();
+        for event in &sample_events() {
+            journal.append(event).unwrap();
+        }
+        drop(journal);
+        // Simulate a crash mid-append: cut the file mid-way through the
+        // final line.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+        let replay = Journal::replay(&path).unwrap();
+        let all = sample_events();
+        assert_eq!(replay.events, all[..all.len() - 1]);
+        assert!(replay.truncated_bytes > 0);
+        // The file itself was repaired: a second replay is clean and an
+        // append after replay extends the trusted prefix.
+        let mut journal = Journal::open(&path).unwrap();
+        journal.append(all.last().unwrap()).unwrap();
+        drop(journal);
+        let replay = Journal::replay(&path).unwrap();
+        assert_eq!(replay.events, all);
+        assert_eq!(replay.truncated_bytes, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupted_checksum_cuts_the_journal_there() {
+        let path = temp_path("corrupt");
+        let _ = std::fs::remove_file(&path);
+        let mut journal = Journal::open(&path).unwrap();
+        for event in &sample_events() {
+            journal.append(event).unwrap();
+        }
+        drop(journal);
+        // Flip a byte inside the *third* line's JSON.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let third_start: usize = text
+            .lines()
+            .take(2)
+            .map(|l| l.len() + 1)
+            .sum();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[third_start + 10] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let replay = Journal::replay(&path).unwrap();
+        assert_eq!(replay.events, sample_events()[..2]);
+        assert!(replay.truncated_bytes > 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_journal_is_empty() {
+        let replay = Journal::replay(temp_path("missing-never-created")).unwrap();
+        assert!(replay.events.is_empty());
+        assert_eq!(replay.truncated_bytes, 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! # md-serve
+//!
+//! A fault-tolerant molecular-dynamics job server (`mdserve`): accepts
+//! simulation job specs over a localhost TCP line protocol, persists every
+//! queue transition to an append-only checksummed [`journal`], and runs jobs
+//! on a bounded pool of supervised workers.
+//!
+//! Robustness model — every accepted job either **completes** (possibly
+//! resumed from a durable checkpoint after a crash) or **fails cleanly**
+//! with the root-cause fault named in its report; accepted jobs are never
+//! lost and the server never hangs on a faulty job:
+//!
+//! * **Durability** — a submit is acknowledged only after its journal
+//!   record (FNV-1a64 footer per line, same checksum as checkpoint v2) is
+//!   fsynced. On startup the journal is replayed (tolerating a torn tail),
+//!   stale checkpoint temp files are swept, and every non-terminal job is
+//!   re-queued; partially-run jobs resume from their last checkpoint via
+//!   the recovery machinery of `md-sim`.
+//! * **Supervision** — each execution runs under `catch_unwind`; a worker
+//!   death (panic) is journaled as an interruption and the job is re-queued
+//!   to resume from its checkpoint. Simulation faults go through
+//!   [`md_sim::Simulation::run_with_recovery`] (rollback + dt backoff);
+//!   exhausted recovery triggers server-level retries with exponential
+//!   backoff and deterministic jitter, capped by the job's retry budget.
+//! * **Bounded everything** — the queue has a capacity and refuses further
+//!   submits with an explicit backpressure error; per-job deadlines are
+//!   enforced between checkpoint chunks; shutdown either drains (running
+//!   jobs finish, queued jobs stay journaled for the next start) or stops
+//!   at the next chunk boundary with checkpoints flushed.
+//! * **Cost-guided scheduling** — queued jobs are ordered by predicted cost
+//!   from the PR-5 machine model (`md-perfmodel`), shortest-job-first with
+//!   an aging guard against starvation.
+//!
+//! The crate is std-only; the wire format is newline-delimited JSON
+//! rendered with the dependency-free [`md_sim::JsonValue`].
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod journal;
+pub mod schedule;
+pub mod server;
+pub mod spec;
+pub mod wire;
+
+pub use client::Client;
+pub use journal::{Journal, JournalEvent, JournalReplay};
+pub use server::{Server, ServerConfig, ServerHandle, ShutdownMode};
+pub use spec::{ChaosSpec, JobSpec};

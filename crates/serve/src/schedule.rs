@@ -1,0 +1,106 @@
+//! Cost-guided queue ordering: shortest-predicted-job-first with aging.
+//!
+//! The predicted cost comes from the PR-5 machine model
+//! ([`crate::spec::JobSpec::predicted_cost`]); short jobs jump the queue
+//! (minimizing mean turnaround, the classic SJF argument), but any job that
+//! has been passed over [`AGE_LIMIT`] times is served immediately, so a
+//! stream of small jobs cannot starve a big one. Entries carrying a retry
+//! backoff (`not_before`) are invisible until their delay expires.
+
+use std::time::Instant;
+
+/// After this many pops have happened since a job was enqueued, it is
+/// scheduled regardless of cost (starvation guard).
+pub const AGE_LIMIT: u64 = 8;
+
+/// A queued job reference: id plus the bookkeeping the policy needs.
+#[derive(Debug, Clone)]
+pub struct QueueEntry {
+    /// Job id (key into the server's job table).
+    pub id: u64,
+    /// Predicted serial cost (seconds) of the job, fixed at submit.
+    pub cost: f64,
+    /// Value of the server's pop counter when this entry was enqueued.
+    pub enqueued_at_pop: u64,
+    /// Retry backoff: ineligible until this instant.
+    pub not_before: Option<Instant>,
+}
+
+/// Picks the index of the next entry to run, or `None` if nothing is
+/// eligible (empty queue, or every entry is inside its backoff window).
+pub fn pick(queue: &[QueueEntry], now: Instant, pops: u64) -> Option<usize> {
+    let eligible = |e: &QueueEntry| e.not_before.is_none_or(|t| t <= now);
+    // Starvation guard first: the oldest over-aged entry wins outright.
+    if let Some((idx, _)) = queue
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| eligible(e) && pops.saturating_sub(e.enqueued_at_pop) >= AGE_LIMIT)
+        .min_by_key(|(_, e)| (e.enqueued_at_pop, e.id))
+    {
+        return Some(idx);
+    }
+    // Otherwise cheapest predicted cost, ties to the older (smaller id) job.
+    queue
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| eligible(e))
+        .min_by(|(_, a), (_, b)| {
+            a.cost
+                .partial_cmp(&b.cost)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        })
+        .map(|(idx, _)| idx)
+}
+
+/// Earliest `not_before` among currently-ineligible entries — how long a
+/// worker may sleep before something could become runnable.
+pub fn next_wakeup(queue: &[QueueEntry], now: Instant) -> Option<Instant> {
+    queue
+        .iter()
+        .filter_map(|e| e.not_before.filter(|t| *t > now))
+        .min()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn entry(id: u64, cost: f64, enqueued_at_pop: u64) -> QueueEntry {
+        QueueEntry { id, cost, enqueued_at_pop, not_before: None }
+    }
+
+    #[test]
+    fn cheapest_job_runs_first() {
+        let queue = vec![entry(1, 9.0, 0), entry(2, 1.0, 0), entry(3, 5.0, 0)];
+        assert_eq!(pick(&queue, Instant::now(), 0), Some(1));
+    }
+
+    #[test]
+    fn equal_costs_fall_back_to_fifo() {
+        let queue = vec![entry(7, 2.0, 0), entry(3, 2.0, 0)];
+        assert_eq!(pick(&queue, Instant::now(), 0), Some(1), "smaller id wins");
+    }
+
+    #[test]
+    fn aged_job_preempts_cheaper_newcomers() {
+        let queue = vec![entry(1, 100.0, 0), entry(2, 0.1, AGE_LIMIT + 3)];
+        // Job 1 has waited AGE_LIMIT pops: it runs before the cheap job.
+        assert_eq!(pick(&queue, Instant::now(), AGE_LIMIT), Some(0));
+        // Before the limit, SJF still applies.
+        assert_eq!(pick(&queue, Instant::now(), AGE_LIMIT - 1), Some(1));
+    }
+
+    #[test]
+    fn backoff_hides_entries_until_expiry() {
+        let now = Instant::now();
+        let mut queue = vec![entry(1, 1.0, 0)];
+        queue[0].not_before = Some(now + Duration::from_millis(50));
+        assert_eq!(pick(&queue, now, 0), None);
+        assert_eq!(next_wakeup(&queue, now), queue[0].not_before);
+        let later = now + Duration::from_millis(51);
+        assert_eq!(pick(&queue, later, 0), Some(0));
+        assert_eq!(next_wakeup(&queue, later), None);
+    }
+}

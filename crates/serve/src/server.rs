@@ -1,0 +1,1010 @@
+//! The `mdserve` job server: bounded journaled queue + supervised workers.
+//!
+//! Life of a job:
+//!
+//! ```text
+//! submit ──journal──▶ queued ──pick──▶ running ──┬─▶ completed
+//!    ▲                  ▲                        ├─▶ failed (root cause named)
+//!    │ backpressure     │ retry (backoff+jitter) │
+//!    └── rejected       └────────────────────────┘
+//!                       ▲ requeue (resume from checkpoint)
+//!                       └── worker death / shutdown / restart replay
+//! ```
+//!
+//! Every transition is journaled before the client is told about it; see
+//! [`crate::journal`] for the durability argument.
+
+use crate::journal::{Journal, JournalEvent};
+use crate::schedule::{self, QueueEntry};
+use crate::spec::JobSpec;
+use crate::wire;
+use md_perfmodel::MachineParams;
+use md_potential::{AnalyticEam, LennardJones};
+use md_sim::{
+    load_checkpoint, save_checkpoint, sweep_stale_tmp_dir, FaultInjector, InjectedFault,
+    JsonValue, RecoveryConfig, RecoveryError, Simulation, StrategyKind, System,
+};
+use sdc_core::QueueMetrics;
+use std::collections::BTreeMap;
+use std::io::{BufReader, BufWriter};
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// State directory: journal (`queue.journal`) and per-job checkpoints
+    /// (`job-<id>.ckpt`). Created if absent.
+    pub dir: PathBuf,
+    /// TCP port on 127.0.0.1 (0 = ephemeral; read the bound port from
+    /// [`ServerHandle::addr`]).
+    pub port: u16,
+    /// Worker pool size (each worker runs one job at a time with the serial
+    /// strategy — parallelism comes from running jobs side by side).
+    pub workers: usize,
+    /// Maximum *queued* (not running) jobs before submits are refused
+    /// with a backpressure error.
+    pub queue_capacity: usize,
+    /// Machine model for predicted job costs (queue ordering).
+    pub machine: MachineParams,
+    /// Base of the exponential retry backoff (ms).
+    pub retry_base_ms: u64,
+    /// Backoff cap (ms).
+    pub retry_cap_ms: u64,
+}
+
+impl ServerConfig {
+    /// Defaults rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> ServerConfig {
+        ServerConfig {
+            dir: dir.into(),
+            port: 0,
+            workers: 2,
+            queue_capacity: 64,
+            machine: MachineParams::default(),
+            retry_base_ms: 20,
+            retry_cap_ms: 1000,
+        }
+    }
+}
+
+/// How to stop the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShutdownMode {
+    /// Stop accepting; running jobs finish (checkpointing as they go);
+    /// queued jobs stay journaled and resume on the next start.
+    Drain,
+    /// Stop accepting; running jobs are interrupted at the next checkpoint
+    /// chunk boundary with their state flushed, and journaled as
+    /// interrupted so the next start resumes them.
+    Now,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Running,
+    Draining,
+    Stopping,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobStatus {
+    Queued,
+    Running,
+    Completed,
+    Failed,
+}
+
+impl JobStatus {
+    fn name(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Completed => "completed",
+            JobStatus::Failed => "failed",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Job {
+    spec: JobSpec,
+    status: JobStatus,
+    /// Executions started (1-based, across server restarts).
+    attempt: usize,
+    /// Step the most recent execution resumed from, if it resumed.
+    resumed_from: Option<usize>,
+    rollbacks: usize,
+    fault: Option<String>,
+    message: String,
+    wall_ms: u64,
+    accepted_at: Instant,
+    /// True if this job was rebuilt from the journal at startup.
+    recovered: bool,
+}
+
+struct State {
+    jobs: BTreeMap<u64, Job>,
+    queue: Vec<QueueEntry>,
+    journal: Journal,
+    next_id: u64,
+    phase: Phase,
+    running: usize,
+    pops: u64,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    state: Mutex<State>,
+    /// Workers wait here for work; submitters and shutdown notify.
+    work_cv: Condvar,
+    /// `wait` requests and `wait_shutdown` block here; notified on every
+    /// terminal job transition and on phase changes.
+    done_cv: Condvar,
+    metrics: QueueMetrics,
+}
+
+impl Shared {
+    fn ckpt_path(&self, job: u64) -> PathBuf {
+        self.cfg.dir.join(format!("job-{job}.ckpt"))
+    }
+}
+
+/// Entry point: [`Server::start`].
+pub struct Server;
+
+impl Server {
+    /// Creates the state directory, sweeps stale checkpoint temp files,
+    /// replays the journal (re-queueing every non-terminal job), binds the
+    /// listener, and spawns the worker pool.
+    pub fn start(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+        std::fs::create_dir_all(&cfg.dir)?;
+        for path in sweep_stale_tmp_dir(&cfg.dir)? {
+            eprintln!("mdserve: swept stale checkpoint temp file {}", path.display());
+        }
+        let journal_path = cfg.dir.join("queue.journal");
+        let replay = Journal::replay(&journal_path)?;
+        if replay.truncated_bytes > 0 {
+            eprintln!(
+                "mdserve: journal had a torn tail; truncated {} bytes",
+                replay.truncated_bytes
+            );
+        }
+        let mut jobs: BTreeMap<u64, Job> = BTreeMap::new();
+        let now = Instant::now();
+        for event in &replay.events {
+            let id = event.job();
+            match event {
+                JournalEvent::Submitted { spec, .. } => {
+                    jobs.insert(
+                        id,
+                        Job {
+                            spec: spec.clone(),
+                            status: JobStatus::Queued,
+                            attempt: 0,
+                            resumed_from: None,
+                            rollbacks: 0,
+                            fault: None,
+                            message: String::new(),
+                            wall_ms: 0,
+                            accepted_at: now,
+                            recovered: true,
+                        },
+                    );
+                }
+                JournalEvent::Started { attempt, .. } => {
+                    if let Some(job) = jobs.get_mut(&id) {
+                        job.attempt = *attempt;
+                    }
+                }
+                JournalEvent::Interrupted { reason, .. } => {
+                    if let Some(job) = jobs.get_mut(&id) {
+                        job.message = format!("interrupted: {reason}");
+                    }
+                }
+                JournalEvent::Completed { steps, rollbacks, resumed_from, .. } => {
+                    if let Some(job) = jobs.get_mut(&id) {
+                        job.status = JobStatus::Completed;
+                        job.rollbacks = *rollbacks;
+                        job.resumed_from = (*resumed_from > 0).then_some(*resumed_from);
+                        job.message = format!("{steps} steps");
+                    }
+                }
+                JournalEvent::Failed { fault, message, .. } => {
+                    if let Some(job) = jobs.get_mut(&id) {
+                        job.status = JobStatus::Failed;
+                        job.fault = Some(fault.clone());
+                        job.message = message.clone();
+                    }
+                }
+            }
+        }
+        let queue: Vec<QueueEntry> = jobs
+            .iter()
+            .filter(|(_, job)| job.status == JobStatus::Queued)
+            .map(|(id, job)| QueueEntry {
+                id: *id,
+                cost: job.spec.predicted_cost(&cfg.machine),
+                enqueued_at_pop: 0,
+                not_before: None,
+            })
+            .collect();
+        if !queue.is_empty() {
+            eprintln!("mdserve: re-queued {} pending job(s) from the journal", queue.len());
+        }
+        let next_id = jobs.keys().max().map_or(1, |m| m + 1);
+        let journal = Journal::open(&journal_path)?;
+
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, cfg.port))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let workers = cfg.workers.max(1);
+        let metrics = QueueMetrics::new();
+        metrics.depth.set(queue.len() as f64);
+        let shared = Arc::new(Shared {
+            cfg,
+            state: Mutex::new(State {
+                jobs,
+                queue,
+                journal,
+                next_id,
+                phase: Phase::Running,
+                running: 0,
+                pops: 0,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            metrics,
+        });
+
+        let mut threads = Vec::new();
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("mdserve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))?,
+            );
+        }
+        let clients: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        {
+            let shared = Arc::clone(&shared);
+            let clients = Arc::clone(&clients);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("mdserve-accept".to_string())
+                    .spawn(move || accept_loop(&shared, &listener, &clients))?,
+            );
+        }
+        Ok(ServerHandle { shared, addr, threads, clients, joined: false })
+    }
+}
+
+/// Control handle for a started server. Dropping it without an explicit
+/// shutdown stops the server as if by [`ShutdownMode::Now`].
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    threads: Vec<JoinHandle<()>>,
+    clients: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    joined: bool,
+}
+
+impl ServerHandle {
+    /// The bound listen address (`127.0.0.1:<port>`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the server and joins every thread.
+    pub fn shutdown(mut self, mode: ShutdownMode) {
+        self.begin_shutdown(mode);
+        self.join_all();
+    }
+
+    /// Blocks until a client issues a `shutdown` command, then joins every
+    /// thread. Used by the `mdserve` binary.
+    pub fn wait_shutdown(mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            while st.phase == Phase::Running {
+                st = self.shared.done_cv.wait(st).unwrap();
+            }
+        }
+        self.join_all();
+    }
+
+    fn begin_shutdown(&self, mode: ShutdownMode) {
+        let mut st = self.shared.state.lock().unwrap();
+        match mode {
+            ShutdownMode::Drain => {
+                if st.phase == Phase::Running {
+                    st.phase = Phase::Draining;
+                }
+            }
+            ShutdownMode::Now => st.phase = Phase::Stopping,
+        }
+        drop(st);
+        self.shared.work_cv.notify_all();
+        self.shared.done_cv.notify_all();
+    }
+
+    fn join_all(&mut self) {
+        if self.joined {
+            return;
+        }
+        self.joined = true;
+        // Workers (and the acceptor) first: during a drain they finish the
+        // running jobs while client connections stay usable for `wait`.
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        // Then force the terminal phase so client threads exit within one
+        // read-timeout tick, making the whole shutdown bounded.
+        self.shared.state.lock().unwrap().phase = Phase::Stopping;
+        self.shared.done_cv.notify_all();
+        let handles: Vec<_> = self.clients.lock().unwrap().drain(..).collect();
+        for t in handles {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if !self.joined {
+            self.begin_shutdown(ShutdownMode::Now);
+            self.join_all();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workers
+// ---------------------------------------------------------------------------
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        // Pick a job, or exit when the server is draining/stopping.
+        let picked = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.phase != Phase::Running {
+                    break None;
+                }
+                let now = Instant::now();
+                if let Some(idx) = schedule::pick(&st.queue, now, st.pops) {
+                    let entry = st.queue.remove(idx);
+                    st.pops += 1;
+                    shared.metrics.depth.set(st.queue.len() as f64);
+                    let State { jobs, journal, running, .. } = &mut *st;
+                    let job = jobs.get_mut(&entry.id).expect("queued job must exist");
+                    // A deadline can expire while the job sits in the queue.
+                    if deadline_over(job, now) {
+                        finish_failed(
+                            job,
+                            journal,
+                            entry.id,
+                            "DeadlineExceeded",
+                            "deadline expired while queued".to_string(),
+                        );
+                        shared.metrics.failed.inc();
+                        shared.done_cv.notify_all();
+                        continue;
+                    }
+                    job.status = JobStatus::Running;
+                    job.attempt += 1;
+                    *running += 1;
+                    let attempt = job.attempt;
+                    journal_append(journal, &JournalEvent::Started { job: entry.id, attempt });
+                    shared.metrics.started.inc();
+                    break Some((entry.id, job.spec.clone(), attempt, job.accepted_at));
+                }
+                let timeout = schedule::next_wakeup(&st.queue, now)
+                    .map(|t| t.saturating_duration_since(now))
+                    .unwrap_or(Duration::from_millis(200))
+                    .max(Duration::from_millis(1));
+                let (guard, _) = shared.work_cv.wait_timeout(st, timeout).unwrap();
+                st = guard;
+            }
+        };
+        let Some((id, spec, attempt, accepted_at)) = picked else {
+            return;
+        };
+
+        // Execute outside the lock, supervised: a panic is a worker death,
+        // not a server death.
+        let started = Instant::now();
+        let result =
+            catch_unwind(AssertUnwindSafe(|| execute(shared, id, &spec, attempt, accepted_at)));
+        let wall_ms = started.elapsed().as_millis() as u64;
+
+        let mut st = shared.state.lock().unwrap();
+        st.running -= 1;
+        let State { jobs, queue, journal, pops, .. } = &mut *st;
+        let job = jobs.get_mut(&id).expect("running job must exist");
+        job.wall_ms += wall_ms;
+        match result {
+            Ok(Ok(outcome)) => {
+                job.status = JobStatus::Completed;
+                job.resumed_from = outcome.resumed_from;
+                job.rollbacks += outcome.rollbacks;
+                job.message = format!(
+                    "{} steps, final T {:.1} K{}",
+                    spec.steps,
+                    outcome.final_temperature,
+                    if outcome.corrupt_checkpoint_discarded {
+                        " (corrupt checkpoint discarded, reran from scratch)"
+                    } else {
+                        ""
+                    }
+                );
+                journal_append(
+                    journal,
+                    &JournalEvent::Completed {
+                        job: id,
+                        steps: spec.steps,
+                        rollbacks: job.rollbacks,
+                        resumed_from: outcome.resumed_from.unwrap_or(0),
+                    },
+                );
+                shared.metrics.completed.inc();
+                if outcome.resumed_from.is_some() {
+                    shared.metrics.resumes.inc();
+                }
+                let _ = std::fs::remove_file(shared.ckpt_path(id));
+            }
+            Ok(Err(ExecStop::Fault { kind, message })) => {
+                retry_or_fail(shared, job, queue, journal, *pops, id, kind, message);
+            }
+            Ok(Err(ExecStop::Deadline)) => {
+                finish_failed(
+                    job,
+                    journal,
+                    id,
+                    "DeadlineExceeded",
+                    format!("deadline of {} ms exceeded", spec.deadline_ms.unwrap_or(0)),
+                );
+                shared.metrics.failed.inc();
+            }
+            Ok(Err(ExecStop::Interrupted { at_step })) => {
+                // Shutdown caught the job between chunks; its checkpoint is
+                // flushed and the journal shows it non-terminal, so the
+                // next server start resumes it.
+                job.status = JobStatus::Queued;
+                job.message = format!("interrupted by shutdown at step {at_step}");
+                journal_append(
+                    journal,
+                    &JournalEvent::Interrupted {
+                        job: id,
+                        attempt,
+                        reason: format!("shutdown at step {at_step}"),
+                    },
+                );
+                shared.metrics.interrupted.inc();
+            }
+            Ok(Err(ExecStop::Io(message))) => {
+                finish_failed(job, journal, id, "Io", message);
+                shared.metrics.failed.inc();
+            }
+            Err(panic) => {
+                // Worker death. Journal the interruption, then retry from
+                // the durable checkpoint (the whole point of this server).
+                let reason = panic_message(panic.as_ref());
+                journal_append(
+                    journal,
+                    &JournalEvent::Interrupted {
+                        job: id,
+                        attempt,
+                        reason: format!("worker panicked: {reason}"),
+                    },
+                );
+                shared.metrics.interrupted.inc();
+                retry_or_fail(
+                    shared,
+                    job,
+                    queue,
+                    journal,
+                    *pops,
+                    id,
+                    "WorkerPanic",
+                    format!("worker panicked: {reason}"),
+                );
+            }
+        }
+        drop(st);
+        shared.done_cv.notify_all();
+        shared.work_cv.notify_all();
+    }
+}
+
+fn deadline_over(job: &Job, now: Instant) -> bool {
+    job.spec
+        .deadline_ms
+        .is_some_and(|ms| now.saturating_duration_since(job.accepted_at).as_millis() as u64 >= ms)
+}
+
+fn finish_failed(job: &mut Job, journal: &mut Journal, id: u64, kind: &str, message: String) {
+    job.status = JobStatus::Failed;
+    job.fault = Some(kind.to_string());
+    job.message = message.clone();
+    journal_append(journal, &JournalEvent::Failed { job: id, fault: kind.to_string(), message });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn retry_or_fail(
+    shared: &Shared,
+    job: &mut Job,
+    queue: &mut Vec<QueueEntry>,
+    journal: &mut Journal,
+    pops: u64,
+    id: u64,
+    kind: &str,
+    message: String,
+) {
+    if job.attempt > job.spec.max_job_retries {
+        finish_failed(
+            job,
+            journal,
+            id,
+            kind,
+            format!("{message} (after {} attempt(s))", job.attempt),
+        );
+        shared.metrics.failed.inc();
+        return;
+    }
+    // Exponential backoff with deterministic jitter: base·2^(attempt−1)
+    // plus up to one extra base, capped.
+    let base = shared.cfg.retry_base_ms.max(1);
+    let backoff = base.saturating_mul(1 << (job.attempt - 1).min(16)).min(shared.cfg.retry_cap_ms);
+    let jitter = splitmix(id ^ ((job.attempt as u64) << 32)) % base;
+    job.status = JobStatus::Queued;
+    job.message = format!("retrying after: {message}");
+    queue.push(QueueEntry {
+        id,
+        cost: job.spec.predicted_cost(&shared.cfg.machine),
+        enqueued_at_pop: pops,
+        not_before: Some(Instant::now() + Duration::from_millis(backoff + jitter)),
+    });
+    shared.metrics.retries.inc();
+    shared.metrics.depth.set(queue.len() as f64);
+}
+
+fn journal_append(journal: &mut Journal, event: &JournalEvent) {
+    // A journal write failure must not take the worker down mid-job; the
+    // event is lost but in-memory state stays consistent and the operator
+    // is told.
+    if let Err(e) = journal.append(event) {
+        eprintln!("mdserve: journal append failed: {e}");
+    }
+}
+
+fn splitmix(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Job execution
+// ---------------------------------------------------------------------------
+
+struct ExecOutcome {
+    resumed_from: Option<usize>,
+    rollbacks: usize,
+    corrupt_checkpoint_discarded: bool,
+    final_temperature: f64,
+}
+
+enum ExecStop {
+    /// Recovery exhausted its rollback budget; retryable at server level.
+    Fault { kind: &'static str, message: String },
+    Deadline,
+    /// Shutdown between chunks; checkpoint flushed, job still pending.
+    Interrupted { at_step: usize },
+    Io(String),
+}
+
+fn execute(
+    shared: &Shared,
+    id: u64,
+    spec: &JobSpec,
+    attempt: usize,
+    accepted_at: Instant,
+) -> Result<ExecOutcome, ExecStop> {
+    let ckpt = shared.ckpt_path(id);
+    // Resume from the durable checkpoint if one exists. A checkpoint that
+    // fails its checksum (torn write, disk corruption) is discarded — the
+    // job degrades to running from scratch rather than failing.
+    let mut corrupt_checkpoint_discarded = false;
+    let resume = if ckpt.exists() {
+        match load_checkpoint(&ckpt) {
+            Ok((system, step)) => Some((system, step)),
+            Err(e) => {
+                eprintln!(
+                    "mdserve: job {id}: checkpoint {} unreadable ({e}); starting from scratch",
+                    ckpt.display()
+                );
+                corrupt_checkpoint_discarded = true;
+                let _ = std::fs::remove_file(&ckpt);
+                None
+            }
+        }
+    } else {
+        None
+    };
+    let resumed_from = resume.as_ref().map(|(_, step)| *step);
+
+    let (lattice, _, mass) = spec.lattice().map_err(ExecStop::Io)?;
+    // A resumed run keeps the checkpointed velocities — no re-thermalizing.
+    let builder = match resume {
+        Some((system, _)) => Simulation::from_system(system),
+        None => Simulation::builder(lattice).mass(mass).temperature(spec.temperature),
+    };
+    let builder = match spec.potential.as_str() {
+        "fe" => builder.potential(AnalyticEam::fe()),
+        "cu" => builder.potential(AnalyticEam::cu()),
+        _ => builder.pair_potential(LennardJones::new(0.0104, 3.4, 8.5)),
+    };
+    let mut sim = builder
+        .strategy(StrategyKind::Serial)
+        .threads(1)
+        .dt(spec.dt)
+        .seed(spec.seed)
+        .build()
+        .map_err(|e| ExecStop::Io(format!("cannot build simulation: {e}")))?;
+
+    // Chaos hooks (all no-ops for production jobs).
+    let kill_at = spec.chaos.kill_at_step;
+    let nan_every = spec.chaos.nan_every;
+    let mut injector =
+        spec.chaos.nan_at_step.map(|s| FaultInjector::new(s, InjectedFault::NanForce { atom: 0 }));
+    let mut observe = move |system: &mut System, step: usize| {
+        if attempt == 1 && kill_at == Some(step) {
+            panic!("chaos: worker killed at step {step}");
+        }
+        if let Some(inj) = injector.as_mut() {
+            inj.poke(system, step);
+        }
+        if let Some(k) = nan_every {
+            if k > 0 && step > 0 && step.is_multiple_of(k) {
+                system.velocities_mut()[0].x = f64::NAN;
+            }
+        }
+    };
+
+    let mut done = sim.step_count();
+    let total = spec.steps;
+    let mut rollbacks = 0usize;
+    while done < total {
+        // Between chunks: honor shutdown and the wall-clock deadline.
+        let phase = shared.state.lock().unwrap().phase;
+        if phase == Phase::Stopping {
+            save_checkpoint(&ckpt, sim.system(), sim.step_count())
+                .map_err(|e| ExecStop::Io(format!("cannot flush checkpoint: {e}")))?;
+            return Err(ExecStop::Interrupted { at_step: done });
+        }
+        if spec.deadline_ms.is_some_and(|ms| {
+            Instant::now().saturating_duration_since(accepted_at).as_millis() as u64 >= ms
+        }) {
+            return Err(ExecStop::Deadline);
+        }
+        let chunk = (total - done).min(spec.checkpoint_every);
+        let cfg = RecoveryConfig {
+            checkpoint_every: chunk,
+            checkpoint_path: Some(ckpt.clone()),
+            max_retries: spec.max_retries,
+            ..RecoveryConfig::default()
+        };
+        match sim.run_with_recovery_observed(chunk, &cfg, &mut observe) {
+            Ok(report) => {
+                rollbacks += report.rollbacks;
+                done += chunk;
+            }
+            Err(RecoveryError::RetriesExhausted { fault, retries }) => {
+                return Err(ExecStop::Fault {
+                    kind: fault.kind(),
+                    message: format!("recovery exhausted after {retries} retries: {fault}"),
+                });
+            }
+            Err(RecoveryError::Checkpoint(e)) => {
+                return Err(ExecStop::Io(format!("checkpoint write failed: {e}")));
+            }
+        }
+    }
+    Ok(ExecOutcome {
+        resumed_from,
+        rollbacks,
+        corrupt_checkpoint_discarded,
+        final_temperature: sim.thermo().temperature,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Protocol
+// ---------------------------------------------------------------------------
+
+fn accept_loop(
+    shared: &Arc<Shared>,
+    listener: &TcpListener,
+    clients: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        if shared.state.lock().unwrap().phase != Phase::Running {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                match std::thread::Builder::new()
+                    .name("mdserve-client".to_string())
+                    .spawn(move || handle_client(&shared, stream))
+                {
+                    Ok(handle) => clients.lock().unwrap().push(handle),
+                    Err(e) => eprintln!("mdserve: cannot spawn client thread: {e}"),
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => {
+                eprintln!("mdserve: accept failed: {e}");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+fn handle_client(shared: &Shared, stream: TcpStream) {
+    // The read timeout doubles as the shutdown poll interval.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        if shared.state.lock().unwrap().phase == Phase::Stopping {
+            return;
+        }
+        let request = match wire::read_line(&mut reader) {
+            Ok(Some(Ok(v))) => v,
+            Ok(Some(Err(parse_err))) => {
+                // Malformed JSON: answer with an error and keep the
+                // connection — one bad request must not kill a session.
+                let _ = wire::write_line(&mut writer, &err_with(format!("bad request: {parse_err}")));
+                continue;
+            }
+            Ok(None) => return, // clean EOF: client dropped
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return, // client dropped mid-request
+        };
+        let response = dispatch(shared, &request);
+        if wire::write_line(&mut writer, &response).is_err() {
+            return;
+        }
+    }
+}
+
+fn ok_with(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+    let mut all = vec![("ok", JsonValue::Bool(true))];
+    all.extend(fields);
+    JsonValue::obj(all)
+}
+
+fn err_with(message: String) -> JsonValue {
+    JsonValue::obj(vec![("ok", JsonValue::Bool(false)), ("error", JsonValue::Str(message))])
+}
+
+fn dispatch(shared: &Shared, request: &JsonValue) -> JsonValue {
+    let Some(cmd) = request.get("cmd").and_then(JsonValue::as_str) else {
+        return err_with("missing 'cmd'".to_string());
+    };
+    match cmd {
+        "ping" => ok_with(vec![("pong", JsonValue::Bool(true))]),
+        "submit" => {
+            let Some(spec_json) = request.get("spec") else {
+                return err_with("submit needs a 'spec' object".to_string());
+            };
+            let spec = match JobSpec::from_json(spec_json) {
+                Ok(s) => s,
+                Err(e) => return err_with(format!("invalid spec: {e}")),
+            };
+            if let Err(e) = spec.validate() {
+                return err_with(format!("invalid spec: {e}"));
+            }
+            shared.metrics.submitted.inc();
+            let mut st = shared.state.lock().unwrap();
+            if st.phase != Phase::Running {
+                shared.metrics.rejected.inc();
+                return err_with("server is shutting down".to_string());
+            }
+            if st.queue.len() >= shared.cfg.queue_capacity {
+                shared.metrics.rejected.inc();
+                return err_with(format!(
+                    "backpressure: queue full ({} queued, capacity {})",
+                    st.queue.len(),
+                    shared.cfg.queue_capacity
+                ));
+            }
+            let id = st.next_id;
+            st.next_id += 1;
+            // Durability before acknowledgement: the submit record must be
+            // fsynced before the client hears "accepted".
+            if let Err(e) =
+                st.journal.append(&JournalEvent::Submitted { job: id, spec: spec.clone() })
+            {
+                shared.metrics.rejected.inc();
+                return err_with(format!("cannot journal submit: {e}"));
+            }
+            let cost = spec.predicted_cost(&shared.cfg.machine);
+            let pops = st.pops;
+            st.jobs.insert(
+                id,
+                Job {
+                    spec,
+                    status: JobStatus::Queued,
+                    attempt: 0,
+                    resumed_from: None,
+                    rollbacks: 0,
+                    fault: None,
+                    message: String::new(),
+                    wall_ms: 0,
+                    accepted_at: Instant::now(),
+                    recovered: false,
+                },
+            );
+            st.queue.push(QueueEntry { id, cost, enqueued_at_pop: pops, not_before: None });
+            shared.metrics.accepted.inc();
+            shared.metrics.depth.set(st.queue.len() as f64);
+            drop(st);
+            shared.work_cv.notify_all();
+            ok_with(vec![("job", JsonValue::num(id as f64))])
+        }
+        "status" => {
+            let Some(id) = wire::get_u64(request, "job") else {
+                return err_with("status needs a 'job' id".to_string());
+            };
+            let st = shared.state.lock().unwrap();
+            match st.jobs.get(&id) {
+                Some(job) => ok_with(vec![("job", job_json(id, job))]),
+                None => err_with(format!("unknown job {id}")),
+            }
+        }
+        "wait" => {
+            let Some(id) = wire::get_u64(request, "job") else {
+                return err_with("wait needs a 'job' id".to_string());
+            };
+            let timeout =
+                Duration::from_millis(wire::get_u64(request, "timeout_ms").unwrap_or(60_000));
+            let deadline = Instant::now() + timeout;
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                match st.jobs.get(&id) {
+                    None => return err_with(format!("unknown job {id}")),
+                    Some(job)
+                        if matches!(job.status, JobStatus::Completed | JobStatus::Failed) =>
+                    {
+                        return ok_with(vec![("job", job_json(id, job))]);
+                    }
+                    Some(_) => {}
+                }
+                if st.phase == Phase::Stopping {
+                    return err_with("server is shutting down".to_string());
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    let job = &st.jobs[&id];
+                    return err_with(format!("timeout: job {id} still {}", job.status.name()));
+                }
+                let (guard, _) = shared
+                    .done_cv
+                    .wait_timeout(st, (deadline - now).min(Duration::from_millis(200)))
+                    .unwrap();
+                st = guard;
+            }
+        }
+        "jobs" => {
+            let st = shared.state.lock().unwrap();
+            let list: Vec<JsonValue> = st.jobs.iter().map(|(id, job)| job_json(*id, job)).collect();
+            ok_with(vec![("jobs", JsonValue::Arr(list))])
+        }
+        "stats" => {
+            let st = shared.state.lock().unwrap();
+            let m = &shared.metrics;
+            let count =
+                |s: JobStatus| st.jobs.values().filter(|j| j.status == s).count() as f64;
+            ok_with(vec![(
+                "stats",
+                JsonValue::obj(vec![
+                    ("submitted", JsonValue::num(m.submitted.get() as f64)),
+                    ("accepted", JsonValue::num(m.accepted.get() as f64)),
+                    ("rejected", JsonValue::num(m.rejected.get() as f64)),
+                    ("started", JsonValue::num(m.started.get() as f64)),
+                    ("completed", JsonValue::num(m.completed.get() as f64)),
+                    ("failed", JsonValue::num(m.failed.get() as f64)),
+                    ("retries", JsonValue::num(m.retries.get() as f64)),
+                    ("resumes", JsonValue::num(m.resumes.get() as f64)),
+                    ("interrupted", JsonValue::num(m.interrupted.get() as f64)),
+                    ("depth", JsonValue::num(st.queue.len() as f64)),
+                    ("running", JsonValue::num(st.running as f64)),
+                    ("jobs_total", JsonValue::num(st.jobs.len() as f64)),
+                    ("jobs_completed", JsonValue::num(count(JobStatus::Completed))),
+                    ("jobs_failed", JsonValue::num(count(JobStatus::Failed))),
+                    (
+                        "jobs_pending",
+                        JsonValue::num(count(JobStatus::Queued) + count(JobStatus::Running)),
+                    ),
+                ]),
+            )])
+        }
+        "shutdown" => {
+            let mode = match request.get("mode").and_then(JsonValue::as_str) {
+                Some("drain") | None => ShutdownMode::Drain,
+                Some("now") => ShutdownMode::Now,
+                Some(other) => return err_with(format!("unknown shutdown mode '{other}'")),
+            };
+            let mut st = shared.state.lock().unwrap();
+            match mode {
+                ShutdownMode::Drain => {
+                    if st.phase == Phase::Running {
+                        st.phase = Phase::Draining;
+                    }
+                }
+                ShutdownMode::Now => st.phase = Phase::Stopping,
+            }
+            drop(st);
+            shared.work_cv.notify_all();
+            shared.done_cv.notify_all();
+            ok_with(vec![("stopping", JsonValue::Bool(true))])
+        }
+        other => err_with(format!("unknown command '{other}'")),
+    }
+}
+
+fn job_json(id: u64, job: &Job) -> JsonValue {
+    JsonValue::obj(vec![
+        ("id", JsonValue::num(id as f64)),
+        ("name", JsonValue::str(job.spec.name.clone())),
+        ("status", JsonValue::str(job.status.name())),
+        ("attempt", JsonValue::num(job.attempt as f64)),
+        (
+            "resumed_from_checkpoint",
+            match job.resumed_from {
+                Some(step) => JsonValue::num(step as f64),
+                None => JsonValue::Null,
+            },
+        ),
+        ("rollbacks", JsonValue::num(job.rollbacks as f64)),
+        (
+            "fault",
+            match &job.fault {
+                Some(f) => JsonValue::str(f.clone()),
+                None => JsonValue::Null,
+            },
+        ),
+        ("message", JsonValue::str(job.message.clone())),
+        ("steps", JsonValue::num(job.spec.steps as f64)),
+        ("wall_ms", JsonValue::num(job.wall_ms as f64)),
+        ("recovered", JsonValue::Bool(job.recovered)),
+    ])
+}

@@ -1,0 +1,290 @@
+//! Job specifications: what a client asks the server to simulate.
+
+use md_geometry::{Lattice, LatticeSpec};
+use md_perfmodel::MachineParams;
+use md_sim::JsonValue;
+
+/// Chaos-injection knobs, used by the fault-tolerance harness to prove the
+/// supervision machinery works. All default to off; production clients
+/// simply omit the `chaos` object.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChaosSpec {
+    /// Panic the executing worker when the simulation reaches this step —
+    /// only on the job's *first* attempt, so the retry can prove
+    /// checkpoint-backed resume.
+    pub kill_at_step: Option<usize>,
+    /// Inject a single non-finite force at this step (recoverable: the
+    /// watchdog trips, the run rolls back and retries with a smaller dt).
+    pub nan_at_step: Option<usize>,
+    /// Inject a non-finite force at *every* multiple of this step count —
+    /// an unrecoverable persistent fault; the job must fail cleanly with
+    /// `NonFiniteForce` as the root cause.
+    pub nan_every: Option<usize>,
+}
+
+impl ChaosSpec {
+    fn is_off(&self) -> bool {
+        *self == ChaosSpec::default()
+    }
+}
+
+/// A simulation job: lattice, potential, run length, and supervision
+/// policy. Parsed from the `spec` object of a `submit` request and stored
+/// verbatim in the journal so that replay can re-queue it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Client-chosen label (shows up in listings; not unique).
+    pub name: String,
+    /// Potential / material: `fe` (bcc iron EAM), `cu` (fcc copper EAM),
+    /// or `lj` (fcc argon Lennard-Jones).
+    pub potential: String,
+    /// Lattice cells per edge.
+    pub cells: usize,
+    /// Total time-steps to integrate.
+    pub steps: usize,
+    /// Time-step (ps).
+    pub dt: f64,
+    /// Initial temperature (K).
+    pub temperature: f64,
+    /// Velocity seed.
+    pub seed: u64,
+    /// Checkpoint (and supervision chunk) interval in steps.
+    pub checkpoint_every: usize,
+    /// Rollback budget per checkpoint interval
+    /// (see [`md_sim::RecoveryConfig::max_retries`]).
+    pub max_retries: usize,
+    /// Server-level retry budget: how many times a faulted or killed
+    /// execution may be re-queued before the job is declared failed.
+    pub max_job_retries: usize,
+    /// Wall-clock deadline from acceptance (ms); checked between chunks.
+    pub deadline_ms: Option<u64>,
+    /// Fault-injection knobs for the chaos harness.
+    pub chaos: ChaosSpec,
+}
+
+impl Default for JobSpec {
+    fn default() -> JobSpec {
+        JobSpec {
+            name: String::new(),
+            potential: "fe".to_string(),
+            cells: 5,
+            steps: 200,
+            dt: 0.002,
+            temperature: 300.0,
+            seed: 1,
+            checkpoint_every: 50,
+            max_retries: 3,
+            max_job_retries: 2,
+            deadline_ms: None,
+            chaos: ChaosSpec::default(),
+        }
+    }
+}
+
+impl JobSpec {
+    /// The lattice, element symbol, and atomic mass for this spec.
+    pub fn lattice(&self) -> Result<(LatticeSpec, &'static str, f64), String> {
+        match self.potential.as_str() {
+            "fe" => Ok((LatticeSpec::bcc_fe(self.cells), "Fe", 55.845)),
+            "cu" => Ok((
+                LatticeSpec::new(Lattice::Fcc, 3.615, [self.cells; 3]),
+                "Cu",
+                63.546,
+            )),
+            "lj" => Ok((
+                LatticeSpec::new(Lattice::Fcc, 5.27, [self.cells; 3]),
+                "Ar",
+                39.948,
+            )),
+            other => Err(format!("unknown potential '{other}' (fe | cu | lj)")),
+        }
+    }
+
+    /// Atom count implied by the lattice.
+    pub fn atoms(&self) -> usize {
+        self.lattice().map(|(spec, _, _)| spec.atom_count()).unwrap_or(0)
+    }
+
+    /// Predicted serial cost (seconds) of the whole job under the PR-5
+    /// machine model: two sweeps (density + force) over ~29 stored pairs
+    /// per atom per step. Used for shortest-job-first queue ordering.
+    pub fn predicted_cost(&self, machine: &MachineParams) -> f64 {
+        2.0 * self.atoms() as f64 * 29.0 * machine.pair_cost * self.steps as f64
+    }
+
+    /// Rejects specs the server is unwilling to run (unknown potential,
+    /// degenerate or unreasonably large geometry, nonsense numerics).
+    pub fn validate(&self) -> Result<(), String> {
+        self.lattice()?;
+        if !(3..=24).contains(&self.cells) {
+            return Err(format!("cells {} out of range 3..=24", self.cells));
+        }
+        if self.steps == 0 || self.steps > 1_000_000 {
+            return Err(format!("steps {} out of range 1..=1000000", self.steps));
+        }
+        if !(self.dt.is_finite() && self.dt > 0.0 && self.dt <= 0.1) {
+            return Err(format!("dt {} must be finite in (0, 0.1] ps", self.dt));
+        }
+        if !(self.temperature.is_finite() && (0.0..=1.0e5).contains(&self.temperature)) {
+            return Err(format!("temperature {} out of range", self.temperature));
+        }
+        if self.checkpoint_every == 0 {
+            return Err("checkpoint_every must be >= 1".to_string());
+        }
+        if self.max_job_retries > 16 {
+            return Err(format!("max_job_retries {} > 16", self.max_job_retries));
+        }
+        Ok(())
+    }
+
+    /// Serializes to the wire/journal JSON object (defaults included, so
+    /// journal replay is insensitive to future default changes).
+    pub fn to_json(&self) -> JsonValue {
+        let mut fields = vec![
+            ("name", JsonValue::str(self.name.clone())),
+            ("potential", JsonValue::str(self.potential.clone())),
+            ("cells", JsonValue::num(self.cells as f64)),
+            ("steps", JsonValue::num(self.steps as f64)),
+            ("dt", JsonValue::num(self.dt)),
+            ("temperature", JsonValue::num(self.temperature)),
+            ("seed", JsonValue::num(self.seed as f64)),
+            ("checkpoint_every", JsonValue::num(self.checkpoint_every as f64)),
+            ("max_retries", JsonValue::num(self.max_retries as f64)),
+            ("max_job_retries", JsonValue::num(self.max_job_retries as f64)),
+        ];
+        if let Some(ms) = self.deadline_ms {
+            fields.push(("deadline_ms", JsonValue::num(ms as f64)));
+        }
+        if !self.chaos.is_off() {
+            let mut chaos = Vec::new();
+            if let Some(s) = self.chaos.kill_at_step {
+                chaos.push(("kill_at_step", JsonValue::num(s as f64)));
+            }
+            if let Some(s) = self.chaos.nan_at_step {
+                chaos.push(("nan_at_step", JsonValue::num(s as f64)));
+            }
+            if let Some(s) = self.chaos.nan_every {
+                chaos.push(("nan_every", JsonValue::num(s as f64)));
+            }
+            fields.push(("chaos", JsonValue::obj(chaos)));
+        }
+        JsonValue::obj(fields)
+    }
+
+    /// Parses a spec object. Unknown keys are rejected (a typo in a field
+    /// name must not silently fall back to a default), absent keys take
+    /// the documented defaults.
+    pub fn from_json(value: &JsonValue) -> Result<JobSpec, String> {
+        let fields = value.as_obj().ok_or("spec must be a JSON object")?;
+        let mut spec = JobSpec::default();
+        for (key, v) in fields {
+            match key.as_str() {
+                "name" => spec.name = v.as_str().ok_or("name must be a string")?.to_string(),
+                "potential" => {
+                    spec.potential = v.as_str().ok_or("potential must be a string")?.to_string()
+                }
+                "cells" => spec.cells = int_field(v, "cells")?,
+                "steps" => spec.steps = int_field(v, "steps")?,
+                "dt" => spec.dt = v.as_f64().ok_or("dt must be a number")?,
+                "temperature" => {
+                    spec.temperature = v.as_f64().ok_or("temperature must be a number")?
+                }
+                "seed" => spec.seed = int_field(v, "seed")? as u64,
+                "checkpoint_every" => spec.checkpoint_every = int_field(v, "checkpoint_every")?,
+                "max_retries" => spec.max_retries = int_field(v, "max_retries")?,
+                "max_job_retries" => spec.max_job_retries = int_field(v, "max_job_retries")?,
+                "deadline_ms" => spec.deadline_ms = Some(int_field(v, "deadline_ms")? as u64),
+                "chaos" => spec.chaos = chaos_from_json(v)?,
+                other => return Err(format!("unknown spec field '{other}'")),
+            }
+        }
+        Ok(spec)
+    }
+}
+
+fn int_field(v: &JsonValue, name: &str) -> Result<usize, String> {
+    let n = v
+        .as_f64()
+        .ok_or_else(|| format!("{name} must be a number"))?;
+    if n < 0.0 || n.fract() != 0.0 || n > 9.0e15 {
+        return Err(format!("{name} must be a non-negative integer, got {n}"));
+    }
+    Ok(n as usize)
+}
+
+fn chaos_from_json(value: &JsonValue) -> Result<ChaosSpec, String> {
+    let fields = value.as_obj().ok_or("chaos must be a JSON object")?;
+    let mut chaos = ChaosSpec::default();
+    for (key, v) in fields {
+        match key.as_str() {
+            "kill_at_step" => chaos.kill_at_step = Some(int_field(v, "kill_at_step")?),
+            "nan_at_step" => chaos.nan_at_step = Some(int_field(v, "nan_at_step")?),
+            "nan_every" => chaos.nan_every = Some(int_field(v, "nan_every")?),
+            other => return Err(format!("unknown chaos field '{other}'")),
+        }
+    }
+    Ok(chaos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_json_round_trips() {
+        let spec = JobSpec {
+            name: "storm-3".to_string(),
+            potential: "cu".to_string(),
+            cells: 4,
+            steps: 120,
+            dt: 0.001,
+            temperature: 150.0,
+            seed: 9,
+            checkpoint_every: 40,
+            max_retries: 2,
+            max_job_retries: 1,
+            deadline_ms: Some(5000),
+            chaos: ChaosSpec {
+                kill_at_step: Some(60),
+                nan_at_step: None,
+                nan_every: Some(10),
+            },
+        };
+        let back = JobSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected_not_defaulted() {
+        let v = JsonValue::parse(r#"{"stepz": 100}"#).unwrap();
+        let err = JobSpec::from_json(&v).unwrap_err();
+        assert!(err.contains("stepz"), "error should name the typo: {err}");
+    }
+
+    #[test]
+    fn validation_bounds_geometry_and_numerics() {
+        assert!(JobSpec::default().validate().is_ok());
+        let bad = |f: fn(&mut JobSpec)| {
+            let mut s = JobSpec::default();
+            f(&mut s);
+            s.validate().unwrap_err()
+        };
+        bad(|s| s.potential = "xx".to_string());
+        bad(|s| s.cells = 2);
+        bad(|s| s.cells = 100);
+        bad(|s| s.steps = 0);
+        bad(|s| s.dt = f64::NAN);
+        bad(|s| s.dt = -1.0);
+        bad(|s| s.checkpoint_every = 0);
+    }
+
+    #[test]
+    fn predicted_cost_orders_by_work() {
+        let machine = MachineParams::default();
+        let small = JobSpec { cells: 4, steps: 100, ..JobSpec::default() };
+        let big = JobSpec { cells: 8, steps: 100, ..JobSpec::default() };
+        let long = JobSpec { cells: 4, steps: 1000, ..JobSpec::default() };
+        assert!(small.predicted_cost(&machine) < big.predicted_cost(&machine));
+        assert!(small.predicted_cost(&machine) < long.predicted_cost(&machine));
+    }
+}

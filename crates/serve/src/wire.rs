@@ -1,0 +1,139 @@
+//! Wire helpers: compact (single-line) JSON rendering and line-framed IO.
+//!
+//! [`md_sim::JsonValue`]'s `Display` is a pretty multi-line writer for
+//! report files; the journal and the TCP protocol both need one record per
+//! line, so this module provides a compact writer producing output the
+//! strict `JsonValue::parse` round-trips.
+
+use md_sim::JsonValue;
+use std::io::{BufRead, Write};
+
+/// Renders a value as single-line JSON (no interior newlines).
+pub fn compact(value: &JsonValue) -> String {
+    let mut out = String::new();
+    write_compact(&mut out, value);
+    out
+}
+
+fn write_compact(out: &mut String, value: &JsonValue) {
+    match value {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        JsonValue::Num(n) => {
+            if !n.is_finite() {
+                out.push_str("null");
+            } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                out.push_str(&format!("{}", *n as i64));
+            } else {
+                out.push_str(&format!("{n:?}"));
+            }
+        }
+        JsonValue::Str(s) => write_escaped(out, s),
+        JsonValue::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(out, item);
+            }
+            out.push(']');
+        }
+        JsonValue::Obj(fields) => {
+            out.push('{');
+            for (i, (k, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, k);
+                out.push(':');
+                write_compact(out, v);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Writes one compact JSON line (value + `\n`) and flushes.
+pub fn write_line(w: &mut impl Write, value: &JsonValue) -> std::io::Result<()> {
+    let mut line = compact(value);
+    line.push('\n');
+    w.write_all(line.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one line and parses it. `Ok(None)` on clean EOF.
+pub fn read_line(r: &mut impl BufRead) -> std::io::Result<Option<Result<JsonValue, String>>> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return Ok(Some(Err("empty line".to_string())));
+    }
+    Ok(Some(JsonValue::parse(trimmed).map_err(|e| e.to_string())))
+}
+
+/// Object field as u64 (JSON numbers are doubles; values must be integral
+/// and non-negative).
+pub fn get_u64(obj: &JsonValue, key: &str) -> Option<u64> {
+    let n = obj.get(key)?.as_f64()?;
+    (n >= 0.0 && n.fract() == 0.0 && n <= 9.0e15).then_some(n as u64)
+}
+
+/// Object field as usize.
+pub fn get_usize(obj: &JsonValue, key: &str) -> Option<usize> {
+    get_u64(obj, key).map(|n| n as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_round_trips_through_strict_parser() {
+        let v = JsonValue::obj(vec![
+            ("s", JsonValue::str("a\"b\\c\nd")),
+            ("n", JsonValue::num(1.5)),
+            ("i", JsonValue::num(42)),
+            ("b", JsonValue::Bool(true)),
+            ("z", JsonValue::Null),
+            (
+                "arr",
+                JsonValue::Arr(vec![JsonValue::num(1), JsonValue::str("x")]),
+            ),
+            ("empty", JsonValue::Obj(vec![])),
+        ]);
+        let line = compact(&v);
+        assert!(!line.contains('\n'), "compact output must be single-line");
+        assert_eq!(JsonValue::parse(&line).unwrap(), v);
+    }
+
+    #[test]
+    fn line_io_round_trips() {
+        let v = JsonValue::obj(vec![("cmd", JsonValue::str("ping"))]);
+        let mut buf = Vec::new();
+        write_line(&mut buf, &v).unwrap();
+        let mut r = std::io::BufReader::new(&buf[..]);
+        let got = read_line(&mut r).unwrap().unwrap().unwrap();
+        assert_eq!(got, v);
+        assert!(read_line(&mut r).unwrap().is_none(), "EOF after one line");
+    }
+}

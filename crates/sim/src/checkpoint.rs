@@ -75,8 +75,9 @@ impl From<std::io::Error> for CheckpointError {
     }
 }
 
-/// FNV-1a 64-bit hash — dependency-free integrity check for the v2 footer.
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// FNV-1a 64-bit hash — dependency-free integrity check used by the v2
+/// checkpoint footer and the `md-serve` journal's per-record footers.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
     for &b in bytes {
         h ^= b as u64;
@@ -152,6 +153,41 @@ pub fn atomic_write(
         let _ = std::fs::remove_file(&tmp);
     }
     result
+}
+
+/// Removes a stale temporary sibling of `path` left behind by a crash that
+/// struck between [`atomic_write`]'s create and rename. A `*.tmp` file is
+/// never a valid checkpoint — the rename is what commits it — so recovery
+/// must discard it rather than ever consider reading it. Returns `true`
+/// when a stale file was found and removed.
+pub fn sweep_stale_tmp(path: impl AsRef<Path>) -> std::io::Result<bool> {
+    let tmp = checkpoint_tmp_path(path.as_ref());
+    match std::fs::remove_file(&tmp) {
+        Ok(()) => Ok(true),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+        Err(e) => Err(e),
+    }
+}
+
+/// Sweeps every stale `*.tmp` file in `dir` (see [`sweep_stale_tmp`]) —
+/// the state-directory variant used by `mdserve` on startup, where crashed
+/// workers may have left temp siblings for any number of job checkpoints.
+/// Returns the paths removed.
+pub fn sweep_stale_tmp_dir(dir: impl AsRef<Path>) -> std::io::Result<Vec<PathBuf>> {
+    let mut swept = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let is_tmp = path
+            .extension()
+            .is_some_and(|e| e == "tmp")
+            && path.is_file();
+        if is_tmp {
+            std::fs::remove_file(&path)?;
+            swept.push(path);
+        }
+    }
+    swept.sort();
+    Ok(swept)
 }
 
 /// Saves a checkpoint to `path` atomically (temp file + rename; see
@@ -440,6 +476,33 @@ mod tests {
         assert_eq!(restored.positions(), original.positions());
         assert!(!checkpoint_tmp_path(&path).exists());
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn stale_tmp_files_are_swept_not_considered() {
+        let dir = std::env::temp_dir().join("sdc_md_sweep_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("run.ckpt");
+        let original = state();
+        save_checkpoint(&ckpt, &original, 7).unwrap();
+        // A crash mid-atomic-write leaves a half-written temp sibling.
+        let tmp = checkpoint_tmp_path(&ckpt);
+        std::fs::write(&tmp, b"sdc-md-checkpoint v2\nstep 99\nhalf-writt").unwrap();
+        // Single-path sweep: the temp file goes, the real checkpoint stays.
+        assert!(sweep_stale_tmp(&ckpt).unwrap());
+        assert!(!tmp.exists());
+        let (_, step) = load_checkpoint(&ckpt).unwrap();
+        assert_eq!(step, 7, "the committed checkpoint is untouched");
+        // Sweeping again is a no-op, not an error.
+        assert!(!sweep_stale_tmp(&ckpt).unwrap());
+        // Directory sweep: only *.tmp files are removed.
+        std::fs::write(dir.join("a.ckpt.tmp"), b"garbage").unwrap();
+        std::fs::write(dir.join("b.ckpt.tmp"), b"garbage").unwrap();
+        let swept = sweep_stale_tmp_dir(&dir).unwrap();
+        assert_eq!(swept.len(), 2);
+        assert!(ckpt.exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

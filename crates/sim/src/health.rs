@@ -107,6 +107,21 @@ pub enum SimFault {
 }
 
 impl SimFault {
+    /// A stable machine-readable name for the fault variant, used by the
+    /// `md-serve` journal and job reports (the human-readable detail is the
+    /// [`Display`](std::fmt::Display) form).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimFault::NonFinitePosition { .. } => "NonFinitePosition",
+            SimFault::NonFiniteVelocity { .. } => "NonFiniteVelocity",
+            SimFault::NonFiniteForce { .. } => "NonFiniteForce",
+            SimFault::DensityOutOfRange { .. } => "DensityOutOfRange",
+            SimFault::EnergyDrift { .. } => "EnergyDrift",
+            SimFault::TemperatureBlowup { .. } => "TemperatureBlowup",
+            SimFault::AtomEscaped { .. } => "AtomEscaped",
+        }
+    }
+
     /// Step at which the fault was detected.
     pub fn step(&self) -> usize {
         match self {
@@ -390,9 +405,10 @@ pub struct RecoveryReport {
 #[derive(Debug)]
 pub enum RecoveryError {
     /// The same checkpoint interval faulted more than `max_retries` times
-    /// in a row; the last fault is attached.
+    /// in a row; the *root-cause* fault — the first of the streak, not the
+    /// last rollback artifact — is attached.
     RetriesExhausted {
-        /// The fault that exhausted the budget.
+        /// The first fault of the streak that exhausted the budget.
         fault: SimFault,
         /// How many retries were attempted.
         retries: usize,
@@ -406,7 +422,7 @@ impl std::fmt::Display for RecoveryError {
         match self {
             RecoveryError::RetriesExhausted { fault, retries } => write!(
                 f,
-                "recovery gave up after {retries} retries; last fault: {fault}"
+                "recovery gave up after {retries} retries; root-cause fault: {fault}"
             ),
             RecoveryError::Checkpoint(e) => write!(f, "checkpoint failure during recovery: {e}"),
         }

@@ -39,7 +39,8 @@ pub mod velocity;
 pub use analysis::{Accumulator, MsdTracker, Rdf, ThermoAverager, Vacf};
 pub use balance::{BalanceConfig, RebalanceEvent};
 pub use checkpoint::{
-    load_checkpoint, read_checkpoint, save_checkpoint, write_checkpoint, CheckpointError,
+    fnv1a64, load_checkpoint, read_checkpoint, save_checkpoint, sweep_stale_tmp,
+    sweep_stale_tmp_dir, write_checkpoint, CheckpointError,
 };
 pub use forces::{EngineError, ForceEngine, PotentialChoice};
 pub use health::{

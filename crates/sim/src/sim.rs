@@ -150,6 +150,11 @@ impl Simulation {
         report.checkpoints_taken = 1;
         let every = cfg.checkpoint_every.max(1);
         let mut retries = 0usize;
+        // First fault of the current retry streak: the *root cause*. Later
+        // faults in the same streak are often artifacts of the rollback
+        // (e.g. a drift check tripping on the replayed interval), so when
+        // the budget runs out it is the first fault that gets surfaced.
+        let mut streak_root: Option<crate::health::SimFault> = None;
         let mut done = 0usize;
         while done < steps {
             self.step();
@@ -166,6 +171,7 @@ impl Simulation {
                         // A full clean interval proves the run is healthy
                         // again; reset the retry budget.
                         retries = 0;
+                        streak_root = None;
                         watchdog.arm(&self.system, &self.engine);
                     }
                 }
@@ -176,9 +182,10 @@ impl Simulation {
                         retry: retries,
                         fault: fault.clone(),
                     });
+                    let root = streak_root.get_or_insert_with(|| fault.clone());
                     if retries > cfg.max_retries {
                         return Err(RecoveryError::RetriesExhausted {
-                            fault,
+                            fault: root.clone(),
                             retries: retries - 1,
                         });
                     }

@@ -30,28 +30,33 @@
 #      re-split, never change the physics or the scatter bookkeeping;
 #      plus the non-uniform-density conformance suite under
 #      RAYON_NUM_THREADS=2 and =4)
+#   9. mdserve chaos gate         (boots the job server, hammers it with a
+#      concurrent client storm, then kill -9s it with jobs in flight and
+#      restarts it on the same state directory: the journal replay must
+#      re-queue the interrupted work and every job accepted before the
+#      kill must complete from its checkpoint — zero accepted jobs lost)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> [1/8] release build"
+echo "==> [1/9] release build"
 cargo build --release --workspace
 
-echo "==> [2/8] test suite"
+echo "==> [2/9] test suite"
 cargo test --workspace -q
 
-echo "==> [3/8] clippy (deny warnings)"
+echo "==> [3/9] clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> [4/8] debug-assertions test job"
+echo "==> [4/9] debug-assertions test job"
 RUSTFLAGS="-C debug-assertions=on" cargo test --workspace -q --profile dev
 
-echo "==> [5/8] thread-matrix test job"
+echo "==> [5/9] thread-matrix test job"
 for t in 2 4; do
   echo "    RAYON_NUM_THREADS=$t"
   RAYON_NUM_THREADS="$t" cargo test -q -p md-neighbor -p sdc-core -p sdc-md
 done
 
-echo "==> [6/8] metrics regression gate"
+echo "==> [6/9] metrics regression gate"
 report="$(mktemp /tmp/tier1_metrics.XXXXXX.json)"
 cargo run -q -p sdc-bench --release --bin mdrun -- \
   --cells 9 --strategy sdc2d --threads 2 --steps 20 --report 20 \
@@ -60,7 +65,7 @@ cargo run -q -p sdc-bench --release --bin metrics_diff -- \
   scripts/metrics_baseline.json "$report" --tol 1.10 --time-tol 50
 rm -f "$report"
 
-echo "==> [7/8] fused-path conformance gate"
+echo "==> [7/9] fused-path conformance gate"
 ref="$(mktemp /tmp/tier1_ref.XXXXXX.json)"
 fus="$(mktemp /tmp/tier1_fused.XXXXXX.json)"
 cargo run -q -p sdc-bench --release --bin mdrun -- \
@@ -77,7 +82,7 @@ for t in 2 4; do
   RAYON_NUM_THREADS="$t" cargo test -q --test force_consistency
 done
 
-echo "==> [8/8] load-balance gate"
+echo "==> [8/9] load-balance gate"
 def="$(mktemp /tmp/tier1_default.XXXXXX.json)"
 bal="$(mktemp /tmp/tier1_balanced.XXXXXX.json)"
 cargo run -q -p sdc-bench --release --bin mdrun -- \
@@ -93,5 +98,33 @@ for t in 2 4; do
   echo "    load-balance suite, RAYON_NUM_THREADS=$t"
   RAYON_NUM_THREADS="$t" cargo test -q --test load_balance
 done
+
+echo "==> [9/9] mdserve chaos gate (client storm + kill-and-restart resume)"
+sd="$(mktemp -d /tmp/tier1_mdserve.XXXXXX)"
+timeout 180 cargo run -q -p sdc-bench --release --bin mdserve -- \
+  --dir "$sd/state" --port-file "$sd/port" --workers 2 > "$sd/serve1.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do [ -s "$sd/port" ] && break; sleep 0.1; done
+[ -s "$sd/port" ] || { echo "mdserve never wrote its port file"; cat "$sd/serve1.log"; exit 1; }
+echo "    client storm (4 clients x 3 jobs)"
+timeout 120 cargo run -q -p sdc-bench --release --bin mdstorm -- \
+  --port-file "$sd/port" --clients 4 --jobs 3 --steps 80
+echo "    kill -9 with jobs in flight, restart, resume"
+timeout 60 cargo run -q -p sdc-bench --release --bin mdstorm -- \
+  --port-file "$sd/port" --clients 2 --jobs 2 --steps 2000 --no-await
+kill -9 "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+rm -f "$sd/port"
+timeout 180 cargo run -q -p sdc-bench --release --bin mdserve -- \
+  --dir "$sd/state" --port-file "$sd/port" --workers 2 > "$sd/serve2.log" 2>&1 &
+serve2_pid=$!
+for _ in $(seq 1 100); do [ -s "$sd/port" ] && break; sleep 0.1; done
+[ -s "$sd/port" ] || { echo "restarted mdserve never wrote its port file"; cat "$sd/serve2.log"; exit 1; }
+# Every job accepted before the kill must complete after the restart.
+timeout 120 cargo run -q -p sdc-bench --release --bin mdstorm -- \
+  --port-file "$sd/port" --await-only --shutdown drain
+wait "$serve2_pid"
+grep -q "re-queued" "$sd/serve2.log" || { echo "restart did not replay the journal"; cat "$sd/serve2.log"; exit 1; }
+rm -rf "$sd"
 
 echo "tier-1: all green"

@@ -286,3 +286,72 @@ fn watchdog_catches_escape_from_an_open_box() {
         other => panic!("expected RetriesExhausted, got {other}"),
     }
 }
+
+#[test]
+fn retry_exhaustion_surfaces_the_root_cause_not_a_rollback_artifact() {
+    // A persistent fault at step 25: the first hit NaNs a force, every
+    // replay after a rollback NaNs a velocity instead. When the retry
+    // budget runs out, the error must carry the FIRST fault of the streak
+    // (the root cause), not whichever artifact tripped the watchdog last.
+    let mut sim = fe_sim(LatticeSpec::bcc_fe(7), StrategyKind::Serial);
+    let cfg = RecoveryConfig {
+        checkpoint_every: 10,
+        max_retries: 2,
+        ..RecoveryConfig::default()
+    };
+    let mut hits = 0usize;
+    let err = sim
+        .run_with_recovery_observed(40, &cfg, |system, step| {
+            if step == 25 {
+                hits += 1;
+                if hits == 1 {
+                    system.forces_mut()[3].x = f64::NAN;
+                } else {
+                    system.velocities_mut()[3].x = f64::NAN;
+                }
+            }
+        })
+        .unwrap_err();
+    assert!(hits > 1, "the fault must persist across rollbacks (hits = {hits})");
+    match err {
+        RecoveryError::RetriesExhausted { fault, retries } => {
+            assert_eq!(retries, 2);
+            assert!(
+                matches!(fault, SimFault::NonFiniteForce { atom: 3, step: 25 }),
+                "root cause must be the first fault of the streak, got {fault}"
+            );
+            assert_eq!(fault.kind(), "NonFiniteForce");
+        }
+        other => panic!("expected RetriesExhausted, got {other}"),
+    }
+}
+
+#[test]
+fn dt_backoff_state_is_consistent_between_report_and_simulation() {
+    // After a recovered fault the shrunken dt persists (the old dt is what
+    // faulted) and the report and the simulation must agree on it, so a
+    // caller chaining further runs keeps integrating at the safe step.
+    let mut sim = fe_sim(LatticeSpec::bcc_fe(7), StrategyKind::Serial);
+    let dt0 = sim.dt();
+    let cfg = RecoveryConfig {
+        checkpoint_every: 10,
+        ..RecoveryConfig::default()
+    };
+    let mut injector = FaultInjector::new(25, InjectedFault::NanForce { atom: 1 });
+    let report = sim
+        .run_with_recovery_observed(40, &cfg, |system, step| {
+            injector.poke(system, step);
+        })
+        .expect("one transient fault is recoverable");
+    assert_eq!(report.rollbacks, 1);
+    assert!(report.final_dt < dt0, "dt backoff applied");
+    assert_eq!(
+        sim.dt(),
+        report.final_dt,
+        "simulation and report disagree on the post-recovery dt"
+    );
+    // A follow-up run starts from the consistent state and stays clean.
+    let follow_up = sim.run_with_recovery(20, &cfg).expect("clean follow-up");
+    assert_eq!(follow_up.rollbacks, 0);
+    assert_eq!(sim.dt(), follow_up.final_dt);
+}
