@@ -35,6 +35,10 @@ pub enum JournalEvent {
         job: u64,
         /// The full spec, so replay can re-queue without any other state.
         spec: JobSpec,
+        /// Acceptance wall-clock time (unix millis), so a `deadline_ms`
+        /// measured from acceptance survives server restarts instead of
+        /// silently restarting. 0 = unknown (pre-timestamp journals).
+        at_unix_ms: u64,
     },
     /// An execution attempt began.
     Started {
@@ -89,9 +93,10 @@ impl JournalEvent {
 
     fn to_json(&self) -> JsonValue {
         match self {
-            JournalEvent::Submitted { job, spec } => JsonValue::obj(vec![
+            JournalEvent::Submitted { job, spec, at_unix_ms } => JsonValue::obj(vec![
                 ("ev", JsonValue::str("submit")),
                 ("job", JsonValue::num(*job as f64)),
+                ("at", JsonValue::num(*at_unix_ms as f64)),
                 ("spec", spec.to_json()),
             ]),
             JournalEvent::Started { job, attempt } => JsonValue::obj(vec![
@@ -131,6 +136,7 @@ impl JournalEvent {
             "submit" => Ok(JournalEvent::Submitted {
                 job,
                 spec: JobSpec::from_json(value.get("spec").ok_or("missing 'spec'")?)?,
+                at_unix_ms: wire::get_u64(value, "at").unwrap_or(0),
             }),
             "start" => Ok(JournalEvent::Started {
                 job,
@@ -183,6 +189,14 @@ pub struct JournalReplay {
 pub struct Journal {
     file: File,
     path: PathBuf,
+}
+
+/// Milliseconds since the unix epoch (0 if the clock predates it).
+pub fn unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
 }
 
 impl Journal {
@@ -276,7 +290,11 @@ mod tests {
 
     fn sample_events() -> Vec<JournalEvent> {
         vec![
-            JournalEvent::Submitted { job: 1, spec: JobSpec::default() },
+            JournalEvent::Submitted {
+                job: 1,
+                spec: JobSpec::default(),
+                at_unix_ms: 1_700_000_000_000,
+            },
             JournalEvent::Started { job: 1, attempt: 1 },
             JournalEvent::Interrupted {
                 job: 1,
@@ -285,7 +303,11 @@ mod tests {
             },
             JournalEvent::Started { job: 1, attempt: 2 },
             JournalEvent::Completed { job: 1, steps: 200, rollbacks: 1, resumed_from: 100 },
-            JournalEvent::Submitted { job: 2, spec: JobSpec::default() },
+            JournalEvent::Submitted {
+                job: 2,
+                spec: JobSpec::default(),
+                at_unix_ms: 1_700_000_000_500,
+            },
             JournalEvent::Failed {
                 job: 2,
                 fault: "NonFiniteForce".to_string(),
@@ -359,6 +381,30 @@ mod tests {
         let replay = Journal::replay(&path).unwrap();
         assert_eq!(replay.events, sample_events()[..2]);
         assert!(replay.truncated_bytes > 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn pre_timestamp_submit_records_still_parse() {
+        // Journals written before the acceptance timestamp existed have no
+        // "at" field; replay must read them with at_unix_ms = 0 (deadline
+        // restarts, the old behavior) instead of rejecting the record.
+        let path = temp_path("old-format");
+        let _ = std::fs::remove_file(&path);
+        let spec = JobSpec::default();
+        let json = wire::compact(&JsonValue::obj(vec![
+            ("ev", JsonValue::str("submit")),
+            ("job", JsonValue::num(4.0)),
+            ("spec", spec.to_json()),
+        ]));
+        let line = format!("{json} fnv:{:016x}\n", fnv1a64(json.as_bytes()));
+        std::fs::write(&path, line).unwrap();
+        let replay = Journal::replay(&path).unwrap();
+        assert_eq!(
+            replay.events,
+            vec![JournalEvent::Submitted { job: 4, spec, at_unix_ms: 0 }]
+        );
+        assert_eq!(replay.truncated_bytes, 0);
         let _ = std::fs::remove_file(&path);
     }
 

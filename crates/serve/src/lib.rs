@@ -44,6 +44,6 @@ pub mod spec;
 pub mod wire;
 
 pub use client::Client;
-pub use journal::{Journal, JournalEvent, JournalReplay};
+pub use journal::{unix_ms, Journal, JournalEvent, JournalReplay};
 pub use server::{Server, ServerConfig, ServerHandle, ShutdownMode};
 pub use spec::{ChaosSpec, JobSpec};

@@ -14,7 +14,7 @@
 //! Every transition is journaled before the client is told about it; see
 //! [`crate::journal`] for the durability argument.
 
-use crate::journal::{Journal, JournalEvent};
+use crate::journal::{unix_ms, Journal, JournalEvent};
 use crate::schedule::{self, QueueEntry};
 use crate::spec::JobSpec;
 use crate::wire;
@@ -123,8 +123,24 @@ struct Job {
     message: String,
     wall_ms: u64,
     accepted_at: Instant,
+    /// Wall-clock milliseconds the job had already lived (since acceptance)
+    /// when `accepted_at` was (re)stamped — nonzero only for jobs rebuilt
+    /// from the journal, where it carries the pre-restart elapsed time so
+    /// deadlines are not silently extended by a recovery.
+    prior_elapsed_ms: u64,
     /// True if this job was rebuilt from the journal at startup.
     recovered: bool,
+}
+
+impl Job {
+    /// Absolute deadline instant, honoring time spent in previous server
+    /// lives (including downtime): the deadline is `deadline_ms` of
+    /// wall-clock time from original acceptance, not from the last restart.
+    fn deadline(&self) -> Option<Instant> {
+        self.spec.deadline_ms.map(|ms| {
+            self.accepted_at + Duration::from_millis(ms.saturating_sub(self.prior_elapsed_ms))
+        })
+    }
 }
 
 struct State {
@@ -176,10 +192,11 @@ impl Server {
         }
         let mut jobs: BTreeMap<u64, Job> = BTreeMap::new();
         let now = Instant::now();
+        let now_unix = unix_ms();
         for event in &replay.events {
             let id = event.job();
             match event {
-                JournalEvent::Submitted { spec, .. } => {
+                JournalEvent::Submitted { spec, at_unix_ms, .. } => {
                     jobs.insert(
                         id,
                         Job {
@@ -192,6 +209,14 @@ impl Server {
                             message: String::new(),
                             wall_ms: 0,
                             accepted_at: now,
+                            // 0 = pre-timestamp journal: the original
+                            // acceptance time is unknown, so the deadline
+                            // restarts (old behavior) rather than expiring
+                            // every recovered job outright.
+                            prior_elapsed_ms: match at_unix_ms {
+                                0 => 0,
+                                at => now_unix.saturating_sub(*at),
+                            },
                             recovered: true,
                         },
                     );
@@ -221,6 +246,24 @@ impl Server {
                         job.message = message.clone();
                     }
                 }
+            }
+        }
+        // Sweep checkpoints that no pending job owns. These are dangerous,
+        // not just untidy: journal truncation can forget a job whose id is
+        // later reissued, and the fresh job would silently resume from the
+        // stale file's unrelated system. Terminal jobs' leftovers (e.g. a
+        // checkpoint orphaned by a crash between the Failed record and the
+        // file removal) go the same way.
+        for entry in std::fs::read_dir(&cfg.dir)? {
+            let path = entry?.path();
+            let owner = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .and_then(|n| n.strip_prefix("job-")?.strip_suffix(".ckpt")?.parse::<u64>().ok());
+            let Some(id) = owner else { continue };
+            if !jobs.get(&id).is_some_and(|job| job.status == JobStatus::Queued) {
+                eprintln!("mdserve: removing orphaned checkpoint {}", path.display());
+                let _ = std::fs::remove_file(&path);
             }
         }
         let queue: Vec<QueueEntry> = jobs
@@ -387,6 +430,7 @@ fn worker_loop(shared: &Shared) {
                     // A deadline can expire while the job sits in the queue.
                     if deadline_over(job, now) {
                         finish_failed(
+                            shared,
                             job,
                             journal,
                             entry.id,
@@ -403,7 +447,7 @@ fn worker_loop(shared: &Shared) {
                     let attempt = job.attempt;
                     journal_append(journal, &JournalEvent::Started { job: entry.id, attempt });
                     shared.metrics.started.inc();
-                    break Some((entry.id, job.spec.clone(), attempt, job.accepted_at));
+                    break Some((entry.id, job.spec.clone(), attempt, job.deadline()));
                 }
                 let timeout = schedule::next_wakeup(&st.queue, now)
                     .map(|t| t.saturating_duration_since(now))
@@ -413,7 +457,7 @@ fn worker_loop(shared: &Shared) {
                 st = guard;
             }
         };
-        let Some((id, spec, attempt, accepted_at)) = picked else {
+        let Some((id, spec, attempt, deadline)) = picked else {
             return;
         };
 
@@ -421,7 +465,7 @@ fn worker_loop(shared: &Shared) {
         // not a server death.
         let started = Instant::now();
         let result =
-            catch_unwind(AssertUnwindSafe(|| execute(shared, id, &spec, attempt, accepted_at)));
+            catch_unwind(AssertUnwindSafe(|| execute(shared, id, &spec, attempt, deadline)));
         let wall_ms = started.elapsed().as_millis() as u64;
 
         let mut st = shared.state.lock().unwrap();
@@ -435,8 +479,9 @@ fn worker_loop(shared: &Shared) {
                 job.resumed_from = outcome.resumed_from;
                 job.rollbacks += outcome.rollbacks;
                 job.message = format!(
-                    "{} steps, final T {:.1} K{}",
+                    "{} steps ({} on final attempt), final T {:.1} K{}",
                     spec.steps,
+                    outcome.steps_this_attempt,
                     outcome.final_temperature,
                     if outcome.corrupt_checkpoint_discarded {
                         " (corrupt checkpoint discarded, reran from scratch)"
@@ -464,6 +509,7 @@ fn worker_loop(shared: &Shared) {
             }
             Ok(Err(ExecStop::Deadline)) => {
                 finish_failed(
+                    shared,
                     job,
                     journal,
                     id,
@@ -489,7 +535,7 @@ fn worker_loop(shared: &Shared) {
                 shared.metrics.interrupted.inc();
             }
             Ok(Err(ExecStop::Io(message))) => {
-                finish_failed(job, journal, id, "Io", message);
+                finish_failed(shared, job, journal, id, "Io", message);
                 shared.metrics.failed.inc();
             }
             Err(panic) => {
@@ -524,16 +570,24 @@ fn worker_loop(shared: &Shared) {
 }
 
 fn deadline_over(job: &Job, now: Instant) -> bool {
-    job.spec
-        .deadline_ms
-        .is_some_and(|ms| now.saturating_duration_since(job.accepted_at).as_millis() as u64 >= ms)
+    job.deadline().is_some_and(|d| now >= d)
 }
 
-fn finish_failed(job: &mut Job, journal: &mut Journal, id: u64, kind: &str, message: String) {
+fn finish_failed(
+    shared: &Shared,
+    job: &mut Job,
+    journal: &mut Journal,
+    id: u64,
+    kind: &str,
+    message: String,
+) {
     job.status = JobStatus::Failed;
     job.fault = Some(kind.to_string());
     job.message = message.clone();
     journal_append(journal, &JournalEvent::Failed { job: id, fault: kind.to_string(), message });
+    // Failed is terminal: drop the checkpoint like the completed path does,
+    // or the state directory leaks one .ckpt per failed job forever.
+    let _ = std::fs::remove_file(shared.ckpt_path(id));
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -549,6 +603,7 @@ fn retry_or_fail(
 ) {
     if job.attempt > job.spec.max_job_retries {
         finish_failed(
+            shared,
             job,
             journal,
             id,
@@ -607,6 +662,10 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
 
 struct ExecOutcome {
     resumed_from: Option<usize>,
+    /// Steps actually integrated by this execution (total minus the
+    /// checkpointed resume step) — the evidence that a resume did not
+    /// re-run work already done.
+    steps_this_attempt: usize,
     rollbacks: usize,
     corrupt_checkpoint_discarded: bool,
     final_temperature: f64,
@@ -626,7 +685,7 @@ fn execute(
     id: u64,
     spec: &JobSpec,
     attempt: usize,
-    accepted_at: Instant,
+    deadline: Option<Instant>,
 ) -> Result<ExecOutcome, ExecStop> {
     let ckpt = shared.ckpt_path(id);
     // Resume from the durable checkpoint if one exists. A checkpoint that
@@ -652,9 +711,12 @@ fn execute(
     let resumed_from = resume.as_ref().map(|(_, step)| *step);
 
     let (lattice, _, mass) = spec.lattice().map_err(ExecStop::Io)?;
-    // A resumed run keeps the checkpointed velocities — no re-thermalizing.
+    // A resumed run keeps the checkpointed velocities — no re-thermalizing —
+    // and seeds the step counter with the checkpoint's absolute step, so
+    // the remaining-work computation below, thermostat schedules, and every
+    // checkpoint written from here on stay in absolute job steps.
     let builder = match resume {
-        Some((system, _)) => Simulation::from_system(system),
+        Some((system, step)) => Simulation::from_system(system).start_step(step),
         None => Simulation::builder(lattice).mass(mass).temperature(spec.temperature),
     };
     let builder = match spec.potential.as_str() {
@@ -700,9 +762,7 @@ fn execute(
                 .map_err(|e| ExecStop::Io(format!("cannot flush checkpoint: {e}")))?;
             return Err(ExecStop::Interrupted { at_step: done });
         }
-        if spec.deadline_ms.is_some_and(|ms| {
-            Instant::now().saturating_duration_since(accepted_at).as_millis() as u64 >= ms
-        }) {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
             return Err(ExecStop::Deadline);
         }
         let chunk = (total - done).min(spec.checkpoint_every);
@@ -730,6 +790,7 @@ fn execute(
     }
     Ok(ExecOutcome {
         resumed_from,
+        steps_this_attempt: total.saturating_sub(resumed_from.unwrap_or(0)),
         rollbacks,
         corrupt_checkpoint_discarded,
         final_temperature: sim.thermo().temperature,
@@ -777,11 +838,14 @@ fn handle_client(shared: &Shared, stream: TcpStream) {
     let Ok(read_half) = stream.try_clone() else { return };
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
+    // Persistent across timeout ticks: a request line that spans the read
+    // timeout stays buffered instead of being torn into two garbage halves.
+    let mut lines = wire::LineReader::new();
     loop {
         if shared.state.lock().unwrap().phase == Phase::Stopping {
             return;
         }
-        let request = match wire::read_line(&mut reader) {
+        let request = match lines.read_line(&mut reader) {
             Ok(Some(Ok(v))) => v,
             Ok(Some(Err(parse_err))) => {
                 // Malformed JSON: answer with an error and keep the
@@ -850,9 +914,11 @@ fn dispatch(shared: &Shared, request: &JsonValue) -> JsonValue {
             st.next_id += 1;
             // Durability before acknowledgement: the submit record must be
             // fsynced before the client hears "accepted".
-            if let Err(e) =
-                st.journal.append(&JournalEvent::Submitted { job: id, spec: spec.clone() })
-            {
+            if let Err(e) = st.journal.append(&JournalEvent::Submitted {
+                job: id,
+                spec: spec.clone(),
+                at_unix_ms: unix_ms(),
+            }) {
                 shared.metrics.rejected.inc();
                 return err_with(format!("cannot journal submit: {e}"));
             }
@@ -870,6 +936,7 @@ fn dispatch(shared: &Shared, request: &JsonValue) -> JsonValue {
                     message: String::new(),
                     wall_ms: 0,
                     accepted_at: Instant::now(),
+                    prior_elapsed_ms: 0,
                     recovered: false,
                 },
             );

@@ -84,11 +84,75 @@ pub fn read_line(r: &mut impl BufRead) -> std::io::Result<Option<Result<JsonValu
     if r.read_line(&mut line)? == 0 {
         return Ok(None);
     }
-    let trimmed = line.trim();
+    Ok(Some(parse_trimmed(line.trim())))
+}
+
+fn parse_trimmed(trimmed: &str) -> Result<JsonValue, String> {
     if trimmed.is_empty() {
-        return Ok(Some(Err("empty line".to_string())));
+        return Err("empty line".to_string());
     }
-    Ok(Some(JsonValue::parse(trimmed).map_err(|e| e.to_string())))
+    JsonValue::parse(trimmed).map_err(|e| e.to_string())
+}
+
+/// Incremental line reader for sockets with a read timeout.
+///
+/// `BufRead::read_line` into a fresh `String` loses the bytes already
+/// consumed when the read times out mid-line, so a request spanning a
+/// timeout tick would be torn in two and both halves mis-parsed. This
+/// reader keeps the partial line buffered across `WouldBlock`/`TimedOut`
+/// errors and only yields once a full `\n`-terminated line has arrived.
+#[derive(Debug, Default)]
+pub struct LineReader {
+    partial: Vec<u8>,
+}
+
+impl LineReader {
+    /// An empty reader.
+    pub fn new() -> LineReader {
+        LineReader::default()
+    }
+
+    /// Reads until the buffered line is complete, then parses it.
+    /// `Ok(None)` on EOF (a partial line cut off by EOF is dropped — the
+    /// client is gone and the request was never framed). Timeout errors
+    /// (`WouldBlock`/`TimedOut`) are returned to the caller with the
+    /// partial line still buffered for the next call.
+    pub fn read_line(
+        &mut self,
+        r: &mut impl BufRead,
+    ) -> std::io::Result<Option<Result<JsonValue, String>>> {
+        loop {
+            let (consumed, complete) = {
+                let available = match r.fill_buf() {
+                    Ok(buf) => buf,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                };
+                if available.is_empty() {
+                    self.partial.clear();
+                    return Ok(None);
+                }
+                match available.iter().position(|&b| b == b'\n') {
+                    Some(pos) => {
+                        self.partial.extend_from_slice(&available[..pos]);
+                        (pos + 1, true)
+                    }
+                    None => {
+                        self.partial.extend_from_slice(available);
+                        (available.len(), false)
+                    }
+                }
+            };
+            r.consume(consumed);
+            if complete {
+                let line = std::mem::take(&mut self.partial);
+                return Ok(Some(match String::from_utf8(line) {
+                    Ok(text) => parse_trimmed(text.trim()),
+                    Err(_) => Err("request line is not valid UTF-8".to_string()),
+                }));
+            }
+        }
+    }
 }
 
 /// Object field as u64 (JSON numbers are doubles; values must be integral
@@ -124,6 +188,65 @@ mod tests {
         let line = compact(&v);
         assert!(!line.contains('\n'), "compact output must be single-line");
         assert_eq!(JsonValue::parse(&line).unwrap(), v);
+    }
+
+    /// Yields its chunks one `read` at a time, interleaving `WouldBlock`
+    /// errors — the shape of a socket whose read timeout fires mid-line.
+    struct ChoppyReader {
+        chunks: std::collections::VecDeque<Result<Vec<u8>, std::io::ErrorKind>>,
+    }
+
+    impl std::io::Read for ChoppyReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            match self.chunks.pop_front() {
+                Some(Ok(bytes)) => {
+                    buf[..bytes.len()].copy_from_slice(&bytes);
+                    Ok(bytes.len())
+                }
+                Some(Err(kind)) => Err(kind.into()),
+                None => Ok(0),
+            }
+        }
+    }
+
+    #[test]
+    fn line_reader_reassembles_a_request_split_by_read_timeouts() {
+        let v = JsonValue::obj(vec![("cmd", JsonValue::str("submit")), ("n", JsonValue::num(7))]);
+        let mut framed = compact(&v);
+        framed.push('\n');
+        let bytes = framed.as_bytes();
+        let mid = bytes.len() / 2;
+        let mut r = std::io::BufReader::new(ChoppyReader {
+            chunks: [
+                Ok(bytes[..mid].to_vec()),
+                Err(std::io::ErrorKind::WouldBlock),
+                Err(std::io::ErrorKind::TimedOut),
+                Ok(bytes[mid..].to_vec()),
+            ]
+            .into_iter()
+            .collect(),
+        });
+        let mut lines = LineReader::new();
+        // Two timeout ticks fire mid-line; the partial bytes must survive.
+        for _ in 0..2 {
+            let err = lines.read_line(&mut r).unwrap_err();
+            assert!(matches!(
+                err.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ));
+        }
+        let got = lines.read_line(&mut r).unwrap().unwrap().unwrap();
+        assert_eq!(got, v, "request spanning timeout ticks must reassemble");
+        assert!(lines.read_line(&mut r).unwrap().is_none(), "EOF after the line");
+    }
+
+    #[test]
+    fn line_reader_drops_a_line_cut_off_by_eof() {
+        let mut r = std::io::BufReader::new(ChoppyReader {
+            chunks: [Ok(b"{\"cmd\":\"sub".to_vec())].into_iter().collect(),
+        });
+        let mut lines = LineReader::new();
+        assert!(lines.read_line(&mut r).unwrap().is_none());
     }
 
     #[test]

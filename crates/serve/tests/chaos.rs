@@ -103,6 +103,13 @@ fn killed_worker_resumes_job_from_checkpoint() {
         Some(50.0),
         "job record: {job}"
     );
+    // Resume must integrate only the remaining 50 steps, not re-run the
+    // full 100 from the checkpointed state.
+    let message = field(&job, "message").as_str().unwrap_or("");
+    assert!(
+        message.contains("(50 on final attempt)"),
+        "resume must not re-run completed steps: {message}"
+    );
     let stats = client.stats().unwrap();
     assert_eq!(field(&stats, "interrupted").as_f64(), Some(1.0), "stats: {stats}");
     assert_eq!(field(&stats, "resumes").as_f64(), Some(1.0), "stats: {stats}");
@@ -132,6 +139,10 @@ fn persistent_fault_fails_cleanly_with_root_cause() {
     let message = field(&job, "message").as_str().unwrap_or("");
     assert!(message.contains("recovery exhausted"), "message: {message}");
     handle.shutdown(ShutdownMode::Drain);
+    assert!(
+        !dir.join(format!("job-{id}.ckpt")).exists(),
+        "a failed job must not leak its checkpoint file"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -249,7 +260,11 @@ fn corrupt_checkpoint_is_discarded_and_job_reruns_from_scratch() {
     {
         let mut journal = md_serve::Journal::open(dir.join("queue.journal")).unwrap();
         journal
-            .append(&md_serve::JournalEvent::Submitted { job: 1, spec: spec.clone() })
+            .append(&md_serve::JournalEvent::Submitted {
+                job: 1,
+                spec: spec.clone(),
+                at_unix_ms: md_serve::unix_ms(),
+            })
             .unwrap();
     }
     let ckpt = dir.join("job-1.ckpt");
@@ -279,6 +294,103 @@ fn corrupt_checkpoint_is_discarded_and_job_reruns_from_scratch() {
     );
     let message = field(&job, "message").as_str().unwrap_or("");
     assert!(message.contains("corrupt checkpoint discarded"), "message: {message}");
+    handle.shutdown(ShutdownMode::Drain);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn orphaned_checkpoints_are_swept_so_reissued_ids_start_fresh() {
+    let dir = chaos_dir("orphan");
+    std::fs::create_dir_all(&dir).unwrap();
+    // Life 1's leftovers: job 1 is terminal in the journal, so next_id will
+    // be 2 — and a *valid* job-2.ckpt survives from a journal-truncation
+    // victim. Without the startup sweep, the first new submit would reuse
+    // id 2 and silently resume from this unrelated checkpoint.
+    {
+        let mut journal = md_serve::Journal::open(dir.join("queue.journal")).unwrap();
+        journal
+            .append(&md_serve::JournalEvent::Submitted {
+                job: 1,
+                spec: small_job("earlier", 60),
+                at_unix_ms: md_serve::unix_ms(),
+            })
+            .unwrap();
+        journal
+            .append(&md_serve::JournalEvent::Completed {
+                job: 1,
+                steps: 60,
+                rollbacks: 0,
+                resumed_from: 0,
+            })
+            .unwrap();
+    }
+    let bait = dir.join("job-2.ckpt");
+    {
+        let spec = small_job("bait", 60);
+        let (lattice, _, mass) = spec.lattice().unwrap();
+        let sim = md_sim::Simulation::builder(lattice)
+            .mass(mass)
+            .temperature(spec.temperature)
+            .pair_potential(md_potential::LennardJones::new(0.0104, 3.4, 8.5))
+            .strategy(md_sim::StrategyKind::Serial)
+            .threads(1)
+            .build()
+            .unwrap();
+        md_sim::save_checkpoint(&bait, sim.system(), 40).unwrap();
+    }
+    let stale = dir.join("job-9.ckpt");
+    std::fs::write(&stale, b"not even a checkpoint").unwrap();
+
+    let handle = start(&dir, 1, 8);
+    assert!(!bait.exists(), "checkpoint with a reissuable id must be swept at startup");
+    assert!(!stale.exists(), "unknown-id checkpoint must be swept at startup");
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let id = client.submit(&small_job("fresh", 60)).unwrap();
+    assert_eq!(id, 2, "the reissued id is exactly the hazardous one");
+    let job = client.wait(id, WAIT).unwrap();
+    assert_eq!(status_of(&job), "completed", "job record: {job}");
+    assert_eq!(
+        field(&job, "resumed_from_checkpoint"),
+        &JsonValue::Null,
+        "a fresh job must not resume from a stale stranger's checkpoint: {job}"
+    );
+    handle.shutdown(ShutdownMode::Drain);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn deadline_keeps_counting_across_a_restart() {
+    let dir = chaos_dir("deadline-restart");
+    // Life 1: a job with a wall-clock deadline gets interrupted mid-run.
+    let handle = start(&dir, 1, 8);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let mut spec = small_job("mortal", 100_000);
+    spec.deadline_ms = Some(1_500);
+    let id = client.submit(&spec).unwrap();
+    let t0 = Instant::now();
+    loop {
+        if status_of(&client.status(id).unwrap()) == "running" {
+            break;
+        }
+        assert!(t0.elapsed() < WAIT, "job never started");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    drop(client);
+    handle.shutdown(ShutdownMode::Now);
+
+    // Downtime pushes the job past its deadline; the journaled acceptance
+    // timestamp must keep counting while the server is gone.
+    std::thread::sleep(Duration::from_millis(1_700));
+
+    let handle = start(&dir, 1, 8);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let job = client.wait(id, WAIT).unwrap();
+    assert_eq!(
+        status_of(&job),
+        "failed",
+        "deadline must not restart with the server: {job}"
+    );
+    assert_eq!(field(&job, "fault").as_str(), Some("DeadlineExceeded"), "job record: {job}");
     handle.shutdown(ShutdownMode::Drain);
     let _ = std::fs::remove_dir_all(&dir);
 }

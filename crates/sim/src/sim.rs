@@ -311,6 +311,7 @@ pub struct SimulationBuilder {
     metrics: bool,
     fused: bool,
     balance: Option<BalanceConfig>,
+    start_step: usize,
 }
 
 impl SimulationBuilder {
@@ -332,6 +333,7 @@ impl SimulationBuilder {
             metrics: false,
             fused: true,
             balance: None,
+            start_step: 0,
         }
     }
 
@@ -393,6 +395,15 @@ impl SimulationBuilder {
     /// RNG seed for velocity initialization (default 0).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Seeds the step counter (default 0). A run resumed from a checkpoint
+    /// must pass the checkpointed step here so that
+    /// [`Simulation::step_count`], thermostat schedules, and any checkpoints
+    /// written later stay absolute instead of restarting from zero.
+    pub fn start_step(mut self, step: usize) -> Self {
+        self.start_step = step;
         self
     }
 
@@ -508,7 +519,7 @@ impl SimulationBuilder {
             dt: self.dt,
             thermostat: self.thermostat,
             reorder: self.reorder,
-            step: 0,
+            step: self.start_step,
         })
     }
 }
@@ -538,6 +549,20 @@ mod tests {
         assert!(t.temperature > 0.0);
         assert!(t.potential_energy < 0.0);
         assert!(t.total.is_finite());
+    }
+
+    #[test]
+    fn start_step_seeds_the_step_counter_for_resumed_runs() {
+        let mut sim = fe_sim(StrategyKind::Serial);
+        sim.run(7);
+        let mut resumed = Simulation::from_system(sim.system().clone())
+            .potential(AnalyticEam::fe())
+            .start_step(sim.step_count())
+            .build()
+            .unwrap();
+        assert_eq!(resumed.step_count(), 7, "resume must keep the absolute step");
+        resumed.run(3);
+        assert_eq!(resumed.step_count(), 10);
     }
 
     #[test]
