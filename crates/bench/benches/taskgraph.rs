@@ -1,0 +1,53 @@
+//! Criterion bench: barriered SDC vs the task-graph scatter on a void box.
+//!
+//! On the carved-void workload the subdomains overlapping the void finish
+//! early and the per-color barrier makes every thread wait for the slowest
+//! task of each color. The task-graph engine releases a subdomain as soon
+//! as its halo-overlapping neighbors finish, so the fast tasks of the next
+//! "color" start while the slow ones of the previous are still running.
+//! This bench A/Bs the two regimes over the full EAM force computation at
+//! several thread counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use md_geometry::{LatticeSpec, Vec3};
+use md_potential::AnalyticEam;
+use md_sim::{PotentialChoice, StrategyKind, System};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn void_system(cells: usize) -> System {
+    let (bx, pos) = LatticeSpec::bcc_fe(cells).build();
+    let l = bx.lengths();
+    let center = Vec3::new(l.x * 0.25, l.y * 0.25, l.z * 0.25);
+    let radius = l.x * 0.2;
+    let kept: Vec<Vec3> = pos
+        .into_iter()
+        .filter(|p| (*p - center).norm() > radius)
+        .collect();
+    System::new(bx, kept, md_sim::units::FE_MASS)
+}
+
+fn bench_taskgraph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("taskgraph");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for threads in [2usize, 4, 8] {
+        for strategy in [
+            StrategyKind::Sdc { dims: 3 },
+            StrategyKind::TaskGraph { dims: 3 },
+        ] {
+            let system = void_system(17);
+            let pot = PotentialChoice::Eam(Arc::new(AnalyticEam::fe()));
+            let mut engine =
+                md_sim::ForceEngine::new(&system, pot, strategy, threads, 0.3).expect("engine");
+            assert_eq!(engine.strategy(), strategy, "unexpected downgrade");
+            let mut system = system;
+            group.bench_function(BenchmarkId::new(format!("{strategy}"), threads), |b| {
+                b.iter(|| engine.compute(&mut system));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_taskgraph);
+criterion_main!(benches);

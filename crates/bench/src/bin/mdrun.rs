@@ -18,9 +18,10 @@
 //! ```
 //!
 //! Potentials: `fe` (BCC iron EAM), `cu` (FCC copper EAM), `lj` (argon).
-//! Strategies: serial, sdc1d, sdc2d, sdc3d, cs, atomic, locks, localwrite,
-//! sap, rc. Thermostats: `none`, `rescale:T:N`, `berendsen:T:tau`,
-//! `langevin:T:tau`.
+//! Strategies: serial, sdc1d, sdc2d, sdc3d, taskgraph1d, taskgraph2d,
+//! taskgraph3d, cs, atomic, locks, localwrite, sap, rc (`--taskgraph` maps
+//! an SDC strategy onto the dependency-graph scheduler). Thermostats:
+//! `none`, `rescale:T:N`, `berendsen:T:tau`, `langevin:T:tau`.
 //!
 //! Bad arguments never panic: the process prints what was wrong with which
 //! flag, shows the usage summary, and exits with status 2.
@@ -41,9 +42,15 @@ const USAGE: &str = "\
 usage: mdrun [options]
   --potential fe|cu|lj      material (default fe)
   --cells N                 lattice cells per edge (default 10)
-  --strategy NAME           serial|sdc1d|sdc2d|sdc3d|cs|atomic|locks|
+  --strategy NAME           serial|sdc1d|sdc2d|sdc3d|taskgraph1d|
+                            taskgraph2d|taskgraph3d|cs|atomic|locks|
                             localwrite|sap|rc (default sdc3d; infeasible
                             SDC degrades automatically)
+  --taskgraph               run the SDC plan through the dependency-graph
+                            work-stealing scheduler instead of the per-color
+                            barriers (same dims as the chosen SDC strategy)
+  --void                    carve a spherical void out of the fresh lattice
+                            (the non-uniform-density benchmark workload)
   --threads N               worker threads (default 4)
   --temperature T           initial temperature, K (default 300)
   --steps N                 time-steps (default 100)
@@ -75,6 +82,8 @@ const KNOWN_FLAGS: &[&str] = &[
     "--potential",
     "--cells",
     "--strategy",
+    "--taskgraph",
+    "--void",
     "--threads",
     "--temperature",
     "--steps",
@@ -134,9 +143,23 @@ fn run(args: &Args) -> Result<(), String> {
     let cells: usize = args.try_get_or("--cells", 10)?;
     let strategy = match args.get_str("--strategy") {
         Some(s) => StrategyKind::parse(s).ok_or_else(|| {
-            format!("unknown strategy '{s}' for flag '--strategy' (serial|sdc1d|sdc2d|sdc3d|cs|atomic|locks|localwrite|sap|rc)")
+            format!("unknown strategy '{s}' for flag '--strategy' (serial|sdc1d|sdc2d|sdc3d|taskgraph1d|taskgraph2d|taskgraph3d|cs|atomic|locks|localwrite|sap|rc)")
         })?,
         None => StrategyKind::Sdc { dims: 3 },
+    };
+    let strategy = if args.flag("--taskgraph") {
+        match strategy {
+            StrategyKind::Sdc { dims } | StrategyKind::TaskGraph { dims } => {
+                StrategyKind::TaskGraph { dims }
+            }
+            other => {
+                return Err(format!(
+                    "--taskgraph needs an SDC-family strategy to derive the plan from, got '{other}'"
+                ))
+            }
+        }
+    } else {
+        strategy
     };
     let threads: usize = args.try_get_or("--threads", 4)?;
     let temperature: f64 = args.try_get_or("--temperature", 300.0)?;
@@ -198,11 +221,30 @@ fn run(args: &Args) -> Result<(), String> {
             other => return Err(format!("unknown potential '{other}' for flag '--potential' (fe | cu | lj)")),
         };
         element = elem;
-        println!(
-            "{element}: {} atoms ({cells}³ cells), strategy {strategy}, {threads} threads",
-            spec.atom_count()
-        );
-        Simulation::builder(spec).mass(mass).temperature(temperature)
+        if args.flag("--void") {
+            // The carved-void workload of the load-balance suite: remove a
+            // sphere of radius 0.2·L centred in one octant so per-subdomain
+            // pair counts skew.
+            let (bx, pos) = spec.build();
+            let l = bx.lengths();
+            let center = md_geometry::Vec3::new(l.x * 0.25, l.y * 0.25, l.z * 0.25);
+            let radius = l.x * 0.2;
+            let kept: Vec<md_geometry::Vec3> = pos
+                .into_iter()
+                .filter(|p| (*p - center).norm() > radius)
+                .collect();
+            println!(
+                "{element}: {} atoms ({cells}³ cells, carved void), strategy {strategy}, {threads} threads",
+                kept.len()
+            );
+            Simulation::from_system(md_sim::System::new(bx, kept, mass)).temperature(temperature)
+        } else {
+            println!(
+                "{element}: {} atoms ({cells}³ cells), strategy {strategy}, {threads} threads",
+                spec.atom_count()
+            );
+            Simulation::builder(spec).mass(mass).temperature(temperature)
+        }
     };
 
     let builder = match (potential.as_str(), tabulated) {
@@ -370,6 +412,21 @@ fn emit_metrics_report(sim: &Simulation, path: &Path, dt: f64) -> Result<(), Str
         scatter.total_color_wall_ns(),
         scatter.color_barriers.get(),
     );
+    if scatter.tasks.get() > 0 {
+        let h = &scatter.ready_latency;
+        println!(
+            "taskgraph: {} task completions, {} steals; ready latency mean {:.2} us, p50 {:.2} us, p99 {:.2} us",
+            scatter.tasks.get(),
+            scatter.steals.get(),
+            h.mean_ns() * 1e-3,
+            h.quantile_ns(0.5) as f64 * 1e-3,
+            h.quantile_ns(0.99) as f64 * 1e-3,
+        );
+        println!(
+            "graph regions: imbalance factor {:.3} (no color barriers under taskgraph)",
+            observed.imbalance_factor()
+        );
+    }
     if observed.barriers > 0 {
         let machine = MachineParams::default();
         println!(

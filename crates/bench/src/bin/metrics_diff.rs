@@ -7,7 +7,11 @@
 //! ```
 //!
 //! The two reports must describe the same case (atoms, threads, strategy) —
-//! comparing different cases is an error, not a regression. Two kinds of
+//! comparing different cases is an error, not a regression. `--ab` relaxes
+//! that for strategy A/B comparisons (e.g. taskgraph vs barriered SDC on
+//! the same workload): the strategy may differ, and synchronization-regime
+//! counters under `scatter.` (color barriers vs task/steal counts) are
+//! skipped since the two regimes count different events by design. Two kinds of
 //! quantities are watched:
 //!
 //! * **counters** (lock acquisitions, duplicate pairs, color barriers, span
@@ -30,9 +34,11 @@ usage: metrics_diff BASELINE.json CANDIDATE.json [options]
   --tol F        max allowed ratio for counters, both directions
                  (default 1.25)
   --time-tol F   max allowed candidate/baseline ratio for timings,
-                 increases only (default 3.0)";
+                 increases only (default 3.0)
+  --ab           A/B mode: allow the two reports to use different
+                 strategies and skip the scatter.* regime counters";
 
-const KNOWN_FLAGS: &[&str] = &["--tol", "--time-tol"];
+const KNOWN_FLAGS: &[&str] = &["--tol", "--time-tol", "--ab"];
 
 /// What kind of quantity a watched path holds, which decides how it is
 /// compared.
@@ -69,8 +75,13 @@ fn load(path: &str) -> Result<RunReport, String> {
     RunReport::parse(&text).map_err(|e| format!("'{path}': {e}"))
 }
 
-fn same_case(base: &JsonValue, cand: &JsonValue) -> Result<(), String> {
-    for key in ["case.atoms", "case.threads", "case.strategy"] {
+fn same_case(base: &JsonValue, cand: &JsonValue, ab: bool) -> Result<(), String> {
+    let keys: &[&str] = if ab {
+        &["case.atoms", "case.threads"]
+    } else {
+        &["case.atoms", "case.threads", "case.strategy"]
+    };
+    for &key in keys {
         let b = base.path(key);
         let c = cand.path(key);
         if b != c {
@@ -97,7 +108,7 @@ fn run(args: &Args) -> Result<i32, String> {
     if !unknown.is_empty() {
         return Err(format!("unknown flag '{}'", unknown[0]));
     }
-    let pos = args.positional();
+    let pos = args.positional_with_switches(&["--ab"]);
     let [base_path, cand_path] = pos.as_slice() else {
         return Err(format!(
             "expected exactly two report paths, got {}",
@@ -110,12 +121,19 @@ fn run(args: &Args) -> Result<i32, String> {
         return Err("tolerances are ratios and must be >= 1.0".to_string());
     }
 
+    let ab = args.flag("--ab");
     let base = load(base_path)?;
     let cand = load(cand_path)?;
-    same_case(base.json(), cand.json())?;
+    same_case(base.json(), cand.json(), ab)?;
 
     let mut regressions = 0usize;
     for &(path, kind) in WATCHED {
+        // Different strategies count different synchronization events
+        // (color barriers vs tasks/steals); in A/B mode only the physics
+        // spans and timings are comparable.
+        if ab && kind == Kind::Count && path.starts_with("scatter.") {
+            continue;
+        }
         let b = base.json().path(path).and_then(|v| v.as_f64());
         let c = cand.json().path(path).and_then(|v| v.as_f64());
         let (b, c) = match (b, c) {

@@ -201,6 +201,12 @@ impl Args {
     /// immediately following one. Only valid for CLIs whose flags all take
     /// a value (every `--…` consumes its successor).
     pub fn positional(&self) -> Vec<&str> {
+        self.positional_with_switches(&[])
+    }
+
+    /// Like [`Args::positional`], but flags listed in `switches` are
+    /// boolean and do not consume the following token.
+    pub fn positional_with_switches(&self, switches: &[&str]) -> Vec<&str> {
         let mut out = Vec::new();
         let mut skip = false;
         for a in &self.raw {
@@ -209,7 +215,7 @@ impl Args {
                 continue;
             }
             if a.starts_with("--") {
-                skip = true;
+                skip = !switches.contains(&a.as_str());
                 continue;
             }
             out.push(a.as_str());

@@ -44,6 +44,7 @@ pub mod scatter;
 pub mod schedule;
 pub mod shared;
 pub mod strategies;
+pub mod taskgraph;
 
 pub use context::ParallelContext;
 pub use decomposition::{ColoredDecomposition, DecompositionConfig, DecompositionError};
@@ -52,3 +53,4 @@ pub use plan::SdcPlan;
 pub use scatter::{PairTerm, ScatterValue, NO_SLOT};
 pub use schedule::{BalancedPlan, ColorSchedule, MakespanParams, PlanChoice};
 pub use strategies::{DowngradeEvent, ScatterExec, StrategyKind};
+pub use taskgraph::{PoolBuildError, TaskGraph, TaskGraphRunner, TaskPool};

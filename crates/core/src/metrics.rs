@@ -301,6 +301,16 @@ pub struct ScatterMetrics {
     /// Predicted thread-aware imbalance (`max bin / mean bin` under LPT
     /// packing) of the currently active plan; 0.0 until a balancer sets it.
     pub planned_imbalance: Gauge,
+    /// Subdomain task completions executed by the taskgraph scheduler (one
+    /// per task per sweep — the taskgraph analogue of `color_barriers` for
+    /// liveness accounting).
+    pub tasks: Counter,
+    /// Tasks a taskgraph worker stole from another worker's deque.
+    pub steals: Counter,
+    /// Per-task ready→start latency under the taskgraph scheduler: how long
+    /// a runnable task sat in a deque before a worker picked it up — the
+    /// dependency-driven replacement for the per-color barrier walls.
+    pub ready_latency: DurationHistogram,
 }
 
 impl ScatterMetrics {
@@ -318,6 +328,9 @@ impl ScatterMetrics {
             thread_busy_ns: (0..threads.max(1)).map(|_| Counter::new()).collect(),
             rebalances: Counter::new(),
             planned_imbalance: Gauge::new(),
+            tasks: Counter::new(),
+            steals: Counter::new(),
+            ready_latency: DurationHistogram::new(),
         }
     }
 
@@ -368,6 +381,9 @@ impl ScatterMetrics {
         }
         self.rebalances.reset();
         self.planned_imbalance.set(0.0);
+        self.tasks.reset();
+        self.steals.reset();
+        self.ready_latency.reset();
     }
 }
 

@@ -19,6 +19,7 @@ use crate::context::ParallelContext;
 use crate::metrics::ScatterMetrics;
 use crate::plan::SdcPlan;
 use crate::scatter::{PairTerm, ScatterValue, NO_SLOT};
+use crate::taskgraph::{self, TaskGraphRunner};
 use md_neighbor::Csr;
 
 /// Selects an irregular-reduction parallelization strategy (paper §I
@@ -51,6 +52,14 @@ pub enum StrategyKind {
     /// Redundant Computation over a full neighbor list (paper's RC
     /// baseline): gather-only, 2× pair computations.
     Redundant,
+    /// Dependency-graph scheduling of the SDC subdomain tasks: the per-color
+    /// barrier replaced by conflict edges and a work-stealing pool
+    /// ([`crate::taskgraph`]); `dims` selects the decomposition like
+    /// [`StrategyKind::Sdc`].
+    TaskGraph {
+        /// Number of decomposed axes (1, 2 or 3).
+        dims: usize,
+    },
 }
 
 impl StrategyKind {
@@ -68,6 +77,10 @@ impl StrategyKind {
             StrategyKind::LocalWrite => "localwrite",
             StrategyKind::Privatized => "sap",
             StrategyKind::Redundant => "rc",
+            StrategyKind::TaskGraph { dims: 1 } => "taskgraph1d",
+            StrategyKind::TaskGraph { dims: 2 } => "taskgraph2d",
+            StrategyKind::TaskGraph { dims: 3 } => "taskgraph3d",
+            StrategyKind::TaskGraph { .. } => "taskgraph",
         }
     }
 
@@ -84,13 +97,16 @@ impl StrategyKind {
             "localwrite" | "lw" => StrategyKind::LocalWrite,
             "sap" | "privatized" => StrategyKind::Privatized,
             "rc" | "redundant" => StrategyKind::Redundant,
+            "taskgraph1d" => StrategyKind::TaskGraph { dims: 1 },
+            "taskgraph2d" | "taskgraph" => StrategyKind::TaskGraph { dims: 2 },
+            "taskgraph3d" => StrategyKind::TaskGraph { dims: 3 },
             _ => return None,
         })
     }
 
     /// Every concrete strategy (the paper's Fig. 9 set plus the remaining
-    /// class-1 variants).
-    pub fn all() -> [StrategyKind; 10] {
+    /// class-1 variants and the taskgraph scheduler).
+    pub fn all() -> [StrategyKind; 13] {
         [
             StrategyKind::Serial,
             StrategyKind::Sdc { dims: 1 },
@@ -102,6 +118,9 @@ impl StrategyKind {
             StrategyKind::LocalWrite,
             StrategyKind::Privatized,
             StrategyKind::Redundant,
+            StrategyKind::TaskGraph { dims: 1 },
+            StrategyKind::TaskGraph { dims: 2 },
+            StrategyKind::TaskGraph { dims: 3 },
         ]
     }
 
@@ -121,7 +140,19 @@ impl StrategyKind {
 
     /// `true` if the strategy needs an [`SdcPlan`].
     pub fn needs_plan(&self) -> bool {
-        matches!(self, StrategyKind::Sdc { .. })
+        matches!(
+            self,
+            StrategyKind::Sdc { .. } | StrategyKind::TaskGraph { .. }
+        )
+    }
+
+    /// The decomposition dimensionality for plan-backed strategies
+    /// (`Sdc`/`TaskGraph`), `None` otherwise.
+    pub fn plan_dims(&self) -> Option<usize> {
+        match self {
+            StrategyKind::Sdc { dims } | StrategyKind::TaskGraph { dims } => Some(*dims),
+            _ => None,
+        }
     }
 
     /// `true` if the strategy needs a LOCALWRITE inspector plan.
@@ -139,6 +170,10 @@ impl StrategyKind {
         match self {
             StrategyKind::Sdc { dims } if *dims > 1 => Some(StrategyKind::Sdc { dims: dims - 1 }),
             StrategyKind::Sdc { .. } => Some(StrategyKind::Locks),
+            // The taskgraph scheduler's safe harbor is the barriered SDC
+            // reference at the same decomposition (same plan, coarser
+            // ordering) — used when the worker pool cannot be built.
+            StrategyKind::TaskGraph { dims } => Some(StrategyKind::Sdc { dims: *dims }),
             _ => None,
         }
     }
@@ -189,6 +224,9 @@ pub struct ScatterExec<'a> {
     /// Reusable SAP private-copy buffers (`Privatized` only); `None` falls
     /// back to per-sweep allocation.
     pub sap: Option<&'a privatized::SapBuffers>,
+    /// Task-graph runner — worker pool plus the current plan's conflict DAG
+    /// (`TaskGraph` only).
+    pub taskgraph: Option<&'a TaskGraphRunner>,
 }
 
 impl ScatterExec<'_> {
@@ -249,6 +287,25 @@ impl ScatterExec<'_> {
                 let full = self.full.expect("Redundant strategy requires a full list");
                 redundant::scatter_redundant_metered(self.ctx, full, out, kernel, self.metrics);
             }
+            StrategyKind::TaskGraph { dims } => {
+                let plan = self.plan.expect("TaskGraph strategy requires a plan");
+                assert_eq!(
+                    plan.decomposition().dims(),
+                    dims,
+                    "plan dimensionality does not match StrategyKind::TaskGraph"
+                );
+                let runner = self
+                    .taskgraph
+                    .expect("TaskGraph strategy requires a runner");
+                taskgraph::scatter_taskgraph_metered(
+                    runner,
+                    plan,
+                    self.half,
+                    out,
+                    kernel,
+                    self.metrics,
+                );
+            }
         }
     }
 
@@ -290,6 +347,30 @@ impl ScatterExec<'_> {
                 );
                 sdc::scatter_sdc_indexed_metered(
                     self.ctx,
+                    plan,
+                    self.half,
+                    out,
+                    kernel,
+                    self.metrics,
+                );
+            }
+            StrategyKind::TaskGraph { dims } => {
+                assert_eq!(
+                    out.len(),
+                    self.half.rows(),
+                    "output length must match atom count"
+                );
+                let plan = self.plan.expect("TaskGraph strategy requires a plan");
+                assert_eq!(
+                    plan.decomposition().dims(),
+                    dims,
+                    "plan dimensionality does not match StrategyKind::TaskGraph"
+                );
+                let runner = self
+                    .taskgraph
+                    .expect("TaskGraph strategy requires a runner");
+                taskgraph::scatter_taskgraph_indexed_metered(
+                    runner,
                     plan,
                     self.half,
                     out,
@@ -342,12 +423,21 @@ mod tests {
         }
     }
 
+    /// Runner for taskgraph kinds, `None` otherwise (built per call so the
+    /// pool width tracks `threads`).
+    fn runner_for(f: &Fixture, kind: StrategyKind, threads: usize) -> Option<TaskGraphRunner> {
+        match kind {
+            StrategyKind::TaskGraph { dims } => Some(
+                TaskGraphRunner::new(threads, &f.plans[dims - 1], &f.sim_box).unwrap(),
+            ),
+            _ => None,
+        }
+    }
+
     fn run_density(f: &Fixture, kind: StrategyKind, threads: usize) -> Vec<f64> {
         let ctx = ParallelContext::new(threads);
-        let plan = match kind {
-            StrategyKind::Sdc { dims } => Some(&f.plans[dims - 1]),
-            _ => None,
-        };
+        let plan = kind.plan_dims().map(|dims| &f.plans[dims - 1]);
+        let runner = runner_for(f, kind, threads);
         let exec = ScatterExec {
             ctx: &ctx,
             half: &f.half,
@@ -356,6 +446,7 @@ mod tests {
             localwrite: Some(&f.lw),
             metrics: None,
             sap: None,
+            taskgraph: runner.as_ref(),
         };
         let pos = &f.pos;
         let sim_box = &f.sim_box;
@@ -375,10 +466,8 @@ mod tests {
 
     fn run_force(f: &Fixture, kind: StrategyKind, threads: usize) -> Vec<Vec3> {
         let ctx = ParallelContext::new(threads);
-        let plan = match kind {
-            StrategyKind::Sdc { dims } => Some(&f.plans[dims - 1]),
-            _ => None,
-        };
+        let plan = kind.plan_dims().map(|dims| &f.plans[dims - 1]);
+        let runner = runner_for(f, kind, threads);
         let exec = ScatterExec {
             ctx: &ctx,
             half: &f.half,
@@ -387,6 +476,7 @@ mod tests {
             localwrite: Some(&f.lw),
             metrics: None,
             sap: None,
+            taskgraph: runner.as_ref(),
         };
         let pos = &f.pos;
         let sim_box = &f.sim_box;
@@ -479,10 +569,8 @@ mod tests {
         let reference = run_density(&f, StrategyKind::Serial, 1);
         for kind in StrategyKind::all() {
             let ctx = ParallelContext::new(4);
-            let plan = match kind {
-                StrategyKind::Sdc { dims } => Some(&f.plans[dims - 1]),
-                _ => None,
-            };
+            let plan = kind.plan_dims().map(|dims| &f.plans[dims - 1]);
+            let runner = runner_for(&f, kind, 4);
             let exec = ScatterExec {
                 ctx: &ctx,
                 half: &f.half,
@@ -490,9 +578,13 @@ mod tests {
                 plan,
                 localwrite: Some(&f.lw),
                 metrics: None,
-            sap: None,
+                sap: None,
+                taskgraph: runner.as_ref(),
             };
-            let expects_slots = matches!(kind, StrategyKind::Serial | StrategyKind::Sdc { .. });
+            let expects_slots = matches!(
+                kind,
+                StrategyKind::Serial | StrategyKind::Sdc { .. } | StrategyKind::TaskGraph { .. }
+            );
             let hits: Vec<AtomicU32> = (0..f.half.entries()).map(|_| AtomicU32::new(0)).collect();
             let (pos, sim_box, half) = (&f.pos, &f.sim_box, &f.half);
             let mut rho = vec![0.0f64; pos.len()];
@@ -537,6 +629,11 @@ mod tests {
         assert!(!StrategyKind::Critical.is_deterministic());
         assert!(!StrategyKind::Locks.is_deterministic());
         assert!(StrategyKind::Sdc { dims: 3 }.is_deterministic());
+        assert!(StrategyKind::TaskGraph { dims: 2 }.needs_plan());
+        assert!(StrategyKind::TaskGraph { dims: 2 }.is_deterministic());
+        assert_eq!(StrategyKind::TaskGraph { dims: 3 }.plan_dims(), Some(3));
+        assert_eq!(StrategyKind::Sdc { dims: 1 }.plan_dims(), Some(1));
+        assert_eq!(StrategyKind::Locks.plan_dims(), None);
     }
 
     #[test]
@@ -554,6 +651,14 @@ mod tests {
             StrategyKind::Sdc { dims: 1 }.downgrade(),
             Some(StrategyKind::Locks)
         );
+        // TaskGraph falls back to barriered SDC at the same decomposition,
+        // which then continues down the SDC chain.
+        for dims in 1..=3 {
+            assert_eq!(
+                StrategyKind::TaskGraph { dims }.downgrade(),
+                Some(StrategyKind::Sdc { dims })
+            );
+        }
         // Non-SDC strategies have no geometric precondition to relax.
         for kind in StrategyKind::all() {
             if !kind.needs_plan() {
@@ -586,6 +691,7 @@ mod tests {
             localwrite: None,
             metrics: None,
             sap: None,
+            taskgraph: None,
         };
         let mut out = vec![0.0f64; f.pos.len()];
         exec.run(StrategyKind::Sdc { dims: 2 }, &mut out, &|_, _| {
@@ -606,6 +712,7 @@ mod tests {
             localwrite: None,
             metrics: None,
             sap: None,
+            taskgraph: None,
         };
         let mut out = vec![0.0f64; f.pos.len()];
         exec.run(StrategyKind::Redundant, &mut out, &|_, _| {
@@ -626,6 +733,7 @@ mod tests {
             localwrite: None,
             metrics: None,
             sap: None,
+            taskgraph: None,
         };
         let mut out = vec![0.0f64; 3];
         exec.run(StrategyKind::Serial, &mut out, &|_, _| {

@@ -1,0 +1,661 @@
+//! Dependency-graph scatter — the per-color barrier replaced by a task DAG.
+//!
+//! The SDC strategy (see [`crate::strategies::sdc`]) orders conflicting
+//! subdomain tasks with *colors*: all tasks of color `k` run, a global
+//! barrier, then color `k+1`. The barrier waits for the slowest task of each
+//! color even when most of the box has long gone idle — the residual cost on
+//! non-uniform densities that the per-color wall metrics expose.
+//!
+//! This module derives a finer ordering from the same geometric invariant.
+//! Two subdomain tasks **conflict** exactly when their write footprints can
+//! share an atom: a task writes its own atoms plus their list neighbors, all
+//! of which lie inside the subdomain's AABB expanded by the interaction range
+//! (`cutoff + skin`, the list radius). So tasks `a` and `b` conflict iff
+//!
+//! ```text
+//! aabb(a).expanded(range)  intersects  aabb(b).expanded(range)   (periodic)
+//! ```
+//!
+//! — the identical predicate `ColoredDecomposition::validate` uses to prove
+//! the color scheme sound. Every conflicting pair gets a dependency edge
+//! directed from the lower to the higher subdomain id, which makes the graph
+//! acyclic by construction. A task becomes runnable the moment its last
+//! conflicting lower-id neighbor finishes; independent tasks never wait on
+//! each other at all. The only full join left is one per sweep.
+//!
+//! **Determinism.** The edge direction is the whole argument: every pair of
+//! tasks that write a common output element is ordered low-id → high-id, so
+//! the additions into each element arrive in ascending task-id order under
+//! *any* worker interleaving, at *any* thread count — the same fixed order a
+//! serial loop over tasks by id would produce. Together with the fixed atom
+//! and neighbor-row order inside each task, trajectories are bitwise
+//! reproducible (DESIGN.md §14). Note this fixed order is the *id* order,
+//! not the SDC *color* order, so taskgraph results agree with the barriered
+//! reference to floating-point reassociation (≤ 1e-10 in practice), not
+//! bitwise — the barriered path stays the deterministic reference.
+//!
+//! Execution is a small work-stealing pool on `std::thread` (the offline
+//! rayon stub is sequential and exposes no dependency hooks): one deque per
+//! worker, owners pop the front, thieves steal from the back, completions
+//! decrement dependent counters and push newly-ready tasks onto the
+//! completing worker's deque. Per-task ready-latency and steal counters
+//! replace the per-color wall histograms in [`ScatterMetrics`].
+
+use crate::metrics::ScatterMetrics;
+use crate::plan::SdcPlan;
+use crate::scatter::{PairTerm, ScatterValue};
+use crate::shared::SharedSlice;
+use md_geometry::SimBox;
+use md_neighbor::Csr;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The conflict DAG over one plan's subdomain tasks (see module docs).
+///
+/// Edges run from lower to higher subdomain id between every pair of tasks
+/// whose range-expanded AABBs intersect under periodic boundary conditions;
+/// stored as a dependents CSR plus per-task indegrees.
+#[derive(Debug, Clone)]
+pub struct TaskGraph {
+    /// CSR offsets into `dependents`, one slot per task plus a tail.
+    dep_offsets: Vec<u32>,
+    /// For task `t`: the higher-id tasks whose pending count drops when `t`
+    /// completes, ascending.
+    dependents: Vec<u32>,
+    /// Incoming-edge count per task (the initial pending count).
+    indegree: Vec<u32>,
+}
+
+impl TaskGraph {
+    /// Builds the conflict DAG for `decomp` inside `sim_box`.
+    ///
+    /// O(S²) in the subdomain count — S is small (the decomposition caps
+    /// counts per axis) and the graph is rebuilt only when the plan is.
+    pub fn build(decomp: &crate::decomposition::ColoredDecomposition, sim_box: &SimBox) -> TaskGraph {
+        let n = decomp.subdomain_count();
+        let range = decomp.range();
+        let mut indegree = vec![0u32; n];
+        let mut counts = vec![0u32; n];
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        let halos: Vec<_> = (0..n).map(|s| decomp.aabb(s).expanded(range)).collect();
+        for (a, halo_a) in halos.iter().enumerate() {
+            for (off, halo_b) in halos[a + 1..].iter().enumerate() {
+                let b = a + 1 + off;
+                if halo_a.intersects_periodic(halo_b, sim_box) {
+                    edges.push((a as u32, b as u32));
+                    counts[a] += 1;
+                    indegree[b] += 1;
+                }
+            }
+        }
+        let mut dep_offsets = vec![0u32; n + 1];
+        for t in 0..n {
+            dep_offsets[t + 1] = dep_offsets[t] + counts[t];
+        }
+        let mut dependents = vec![0u32; edges.len()];
+        let mut cursor = dep_offsets.clone();
+        // `edges` is generated in ascending (a, b) order, so each task's
+        // dependent list comes out ascending too.
+        for (a, b) in edges {
+            dependents[cursor[a as usize] as usize] = b;
+            cursor[a as usize] += 1;
+        }
+        TaskGraph { dep_offsets, dependents, indegree }
+    }
+
+    /// Number of tasks (subdomains).
+    #[inline]
+    pub fn task_count(&self) -> usize {
+        self.indegree.len()
+    }
+
+    /// Number of conflict edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.dependents.len()
+    }
+
+    /// The higher-id tasks depending on `t`, ascending.
+    #[inline]
+    pub fn dependents_of(&self, t: usize) -> &[u32] {
+        let lo = self.dep_offsets[t] as usize;
+        let hi = self.dep_offsets[t + 1] as usize;
+        &self.dependents[lo..hi]
+    }
+
+    /// Incoming-edge counts per task.
+    #[inline]
+    pub fn indegree(&self) -> &[u32] {
+        &self.indegree
+    }
+
+    /// True when the DAG orders `a` before `b` by a direct edge
+    /// (`a < b` and `b` in `a`'s dependent list).
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        a < b && self.dependents_of(a).binary_search(&(b as u32)).is_ok()
+    }
+
+    /// Longest path through the DAG in cost units — the makespan lower bound
+    /// no amount of parallelism can beat. `costs[t]` is task `t`'s work
+    /// (typically its stored-pair count).
+    ///
+    /// Edges run low id → high id, so ascending id order is topological and
+    /// a single forward DP pass suffices.
+    ///
+    /// # Panics
+    /// Panics if `costs` is shorter than the task count.
+    pub fn critical_path_units(&self, costs: &[f64]) -> f64 {
+        let n = self.task_count();
+        assert!(costs.len() >= n, "need one cost per task: {} < {n}", costs.len());
+        let mut longest_to = vec![0.0f64; n]; // longest path *into* t, excl. t
+        let mut cp = 0.0f64;
+        for t in 0..n {
+            let finish = longest_to[t] + costs[t];
+            cp = cp.max(finish);
+            for &d in self.dependents_of(t) {
+                let d = d as usize;
+                if finish > longest_to[d] {
+                    longest_to[d] = finish;
+                }
+            }
+        }
+        cp
+    }
+
+    /// Exhaustively verifies the safety contract against a real plan and
+    /// half list: any two tasks *not* ordered by an edge must have disjoint
+    /// write footprints (own atoms ∪ their list neighbors). Debug builds run
+    /// this on every scatter; release builds skip it.
+    pub fn validate_independence(&self, plan: &SdcPlan, half: &Csr) -> Result<(), String> {
+        let n = self.task_count();
+        if n != plan.decomposition().subdomain_count() {
+            return Err(format!(
+                "graph has {n} tasks but plan has {} subdomains",
+                plan.decomposition().subdomain_count()
+            ));
+        }
+        let atoms = half.rows();
+        let words = atoms.div_ceil(64);
+        let mut footprints: Vec<Vec<u64>> = Vec::with_capacity(n);
+        for s in 0..n {
+            let mut bits = vec![0u64; words];
+            for &i in plan.atoms_of(s) {
+                let i = i as usize;
+                bits[i / 64] |= 1 << (i % 64);
+                for &j in half.row(i) {
+                    let j = j as usize;
+                    bits[j / 64] |= 1 << (j % 64);
+                }
+            }
+            footprints.push(bits);
+        }
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if self.has_edge(a, b) {
+                    continue;
+                }
+                let overlap = footprints[a]
+                    .iter()
+                    .zip(&footprints[b])
+                    .any(|(&x, &y)| x & y != 0);
+                if overlap {
+                    return Err(format!(
+                        "tasks {a} and {b} are unordered but their write footprints overlap"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A failed [`TaskPool`] construction — the platform refused a worker
+/// thread, or a test injected a failure. The engine reacts by downgrading
+/// to the barriered SDC reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolBuildError(String);
+
+impl std::fmt::Display for PoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task pool construction failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for PoolBuildError {}
+
+static FAIL_NEXT_POOL: AtomicBool = AtomicBool::new(false);
+
+/// Test hook: make the next [`TaskPool::new`] fail, exercising the engine's
+/// `DowngradeEvent` fallback to barriered SDC without needing a platform
+/// that actually cannot spawn threads. Consumed by the next construction.
+pub fn inject_pool_failure(fail: bool) {
+    FAIL_NEXT_POOL.store(fail, Ordering::SeqCst);
+}
+
+/// A validated worker count for dependency-driven task execution.
+///
+/// Construction probes the platform by spawning and joining one thread, so a
+/// host that cannot run workers fails *here* — where the engine can still
+/// fall back to barriered SDC — rather than mid-sweep. The pool itself is
+/// scoped: workers live only for the duration of each [`TaskPool::run_metered`]
+/// call (`std::thread::scope`), so an idle pool holds no OS resources.
+#[derive(Debug)]
+pub struct TaskPool {
+    threads: usize,
+}
+
+impl TaskPool {
+    /// Validates a pool of `threads` workers.
+    ///
+    /// # Errors
+    /// Fails on `threads == 0`, when the platform refuses a probe thread, or
+    /// when a failure was injected via [`inject_pool_failure`].
+    pub fn new(threads: usize) -> Result<TaskPool, PoolBuildError> {
+        if threads == 0 {
+            return Err(PoolBuildError("worker count must be positive".into()));
+        }
+        if FAIL_NEXT_POOL.swap(false, Ordering::SeqCst) {
+            return Err(PoolBuildError("injected failure (test hook)".into()));
+        }
+        let probe = std::thread::Builder::new()
+            .name("taskgraph-probe".into())
+            .spawn(|| {});
+        match probe {
+            Ok(handle) => {
+                let _ = handle.join();
+                Ok(TaskPool { threads })
+            }
+            Err(e) => Err(PoolBuildError(format!("cannot spawn worker threads: {e}"))),
+        }
+    }
+
+    /// Worker count.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Executes every task of `graph` exactly once, respecting all edges:
+    /// `task(id, worker)` runs only after every task with an edge into `id`
+    /// has returned. Work-stealing: initially-ready tasks are dealt
+    /// round-robin across the per-worker deques in ascending id order, each
+    /// worker pops its own front and steals from others' backs, and a
+    /// completion pushes newly-ready dependents onto the completing worker's
+    /// deque.
+    ///
+    /// With metrics on, records per-task busy time (pool worker indices),
+    /// task and steal counts, and the ready→start latency histogram.
+    pub fn run_metered<F>(&self, graph: &TaskGraph, metrics: Option<&ScatterMetrics>, task: F)
+    where
+        F: Fn(u32, usize) + Sync,
+    {
+        let n = graph.task_count();
+        if n == 0 {
+            return;
+        }
+        let threads = self.threads.min(n);
+        let pending: Vec<AtomicU32> = graph
+            .indegree()
+            .iter()
+            .map(|&d| AtomicU32::new(d))
+            .collect();
+        let deques: Vec<Mutex<VecDeque<u32>>> =
+            (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+        let completed = AtomicUsize::new(0);
+        let epoch = Instant::now();
+        // Nanoseconds after `epoch` at which each task became ready; only
+        // allocated when metrics are on (zero cost otherwise).
+        let ready_at: Option<Vec<AtomicU64>> =
+            metrics.map(|_| (0..n).map(|_| AtomicU64::new(0)).collect());
+        {
+            let mut dealt = 0usize;
+            for t in 0..n {
+                if graph.indegree()[t] == 0 {
+                    deques[dealt % threads].lock().unwrap().push_back(t as u32);
+                    dealt += 1;
+                }
+            }
+            debug_assert!(dealt > 0, "a non-empty DAG must have a source task");
+        }
+        let worker = |w: usize| {
+            loop {
+                if completed.load(Ordering::Acquire) >= n {
+                    break;
+                }
+                let mut popped = deques[w].lock().unwrap().pop_front();
+                if popped.is_none() {
+                    for off in 1..threads {
+                        let victim = (w + off) % threads;
+                        if let Some(t) = deques[victim].lock().unwrap().pop_back() {
+                            if let Some(m) = metrics {
+                                m.steals.inc();
+                            }
+                            popped = Some(t);
+                            break;
+                        }
+                    }
+                }
+                let Some(t) = popped else {
+                    // Ready queues are dry but tasks are still pending on
+                    // running predecessors; let them finish.
+                    std::thread::yield_now();
+                    continue;
+                };
+                let start = metrics.map(|_| Instant::now());
+                if let (Some(m), Some(ready), Some(s)) = (metrics, ready_at.as_ref(), start) {
+                    let waited = (s - epoch)
+                        .as_nanos()
+                        .saturating_sub(ready[t as usize].load(Ordering::Relaxed).into());
+                    m.ready_latency.record_ns(waited as u64);
+                }
+                task(t, w);
+                if let (Some(m), Some(s)) = (metrics, start) {
+                    m.add_busy_ns(w, s.elapsed().as_nanos() as u64);
+                    m.tasks.inc();
+                }
+                for &d in graph.dependents_of(t as usize) {
+                    // AcqRel: the last decrement acquires every predecessor's
+                    // release, so the dependent observes all their writes.
+                    if pending[d as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                        if let Some(ready) = ready_at.as_ref() {
+                            ready[d as usize]
+                                .store(epoch.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        }
+                        deques[w].lock().unwrap().push_back(d);
+                    }
+                }
+                completed.fetch_add(1, Ordering::Release);
+            }
+        };
+        if threads == 1 {
+            worker(0);
+        } else {
+            std::thread::scope(|scope| {
+                for w in 1..threads {
+                    scope.spawn(move || worker(w));
+                }
+                worker(0);
+            });
+        }
+        debug_assert_eq!(completed.load(Ordering::Acquire), n, "lost task completions");
+    }
+}
+
+/// A [`TaskPool`] bundled with the conflict DAG of the current plan — what
+/// the force engine owns and rebuilds (the graph half) alongside the plan.
+#[derive(Debug)]
+pub struct TaskGraphRunner {
+    /// The validated worker pool; survives plan rebuilds.
+    pub pool: TaskPool,
+    /// The conflict DAG of the current plan; rebuilt with it.
+    pub graph: TaskGraph,
+}
+
+impl TaskGraphRunner {
+    /// Builds a runner for `plan`: validates a pool of `threads` workers and
+    /// derives the plan's conflict DAG.
+    ///
+    /// # Errors
+    /// Propagates [`TaskPool::new`] failures (the engine downgrades to
+    /// barriered SDC on them).
+    pub fn new(threads: usize, plan: &SdcPlan, sim_box: &SimBox) -> Result<TaskGraphRunner, PoolBuildError> {
+        let pool = TaskPool::new(threads)?;
+        let graph = TaskGraph::build(plan.decomposition(), sim_box);
+        Ok(TaskGraphRunner { pool, graph })
+    }
+
+    /// Re-derives the DAG for a rebuilt plan, keeping the pool.
+    pub fn rebuild(&mut self, plan: &SdcPlan, sim_box: &SimBox) {
+        self.graph = TaskGraph::build(plan.decomposition(), sim_box);
+    }
+}
+
+/// Dependency-driven scatter over a half list: the taskgraph analogue of
+/// `scatter_sdc_indexed_metered`, same kernel contract (each stored pair
+/// visited exactly once, slot = its half-list storage index).
+///
+/// Safety of the unsynchronized [`SharedSlice`] writes: unordered task pairs
+/// have disjoint write footprints (debug builds verify this exhaustively via
+/// [`TaskGraph::validate_independence`]); ordered pairs never run
+/// concurrently, and the completion protocol's release/acquire chain makes
+/// the earlier task's writes visible to the later one.
+pub fn scatter_taskgraph_indexed_metered<V: ScatterValue>(
+    runner: &TaskGraphRunner,
+    plan: &SdcPlan,
+    half: &Csr,
+    out: &mut [V],
+    kernel: &(impl Fn(usize, usize, usize) -> Option<PairTerm<V>> + Sync),
+    metrics: Option<&ScatterMetrics>,
+) {
+    debug_assert!(
+        runner.graph.validate_independence(plan, half).is_ok(),
+        "task graph out of sync with the plan: {:?}",
+        runner.graph.validate_independence(plan, half)
+    );
+    let offsets = half.offsets();
+    let shared = SharedSlice::new(out);
+    runner.pool.run_metered(&runner.graph, metrics, |s, _worker| {
+        let sh = &shared;
+        for &i in plan.atoms_of(s as usize) {
+            let i = i as usize;
+            let base = offsets[i] as usize;
+            for (k, &j) in half.row(i).iter().enumerate() {
+                if let Some(t) = kernel(base + k, i, j as usize) {
+                    // SAFETY: i is owned by task s; j is a list neighbor of
+                    // i, hence inside s's write footprint. Tasks whose
+                    // footprints can overlap are ordered by an edge (checked
+                    // above), so no concurrent task touches these elements.
+                    unsafe {
+                        sh.get_mut(i).add(t.to_i);
+                        sh.get_mut(j as usize).add(t.to_j);
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// [`scatter_taskgraph_indexed_metered`] with a plain (unindexed) kernel.
+pub fn scatter_taskgraph_metered<V: ScatterValue>(
+    runner: &TaskGraphRunner,
+    plan: &SdcPlan,
+    half: &Csr,
+    out: &mut [V],
+    kernel: &(impl Fn(usize, usize) -> Option<PairTerm<V>> + Sync),
+    metrics: Option<&ScatterMetrics>,
+) {
+    scatter_taskgraph_indexed_metered(runner, plan, half, out, &|_, i, j| kernel(i, j), metrics);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomposition::DecompositionConfig;
+    use md_geometry::LatticeSpec;
+    use md_neighbor::{NeighborList, VerletConfig};
+
+    const CUTOFF: f64 = 5.67;
+    const SKIN: f64 = 0.3;
+    const RANGE: f64 = CUTOFF + SKIN;
+
+    fn fixture(cells: usize, dims: usize) -> (md_geometry::SimBox, Vec<md_geometry::Vec3>, NeighborList, SdcPlan) {
+        let (bx, pos) = LatticeSpec::bcc_fe(cells).build();
+        let nl = NeighborList::build(&bx, &pos, VerletConfig::half(CUTOFF, SKIN));
+        let plan = SdcPlan::build(&bx, &pos, DecompositionConfig::new(dims, RANGE)).unwrap();
+        (bx, pos, nl, plan)
+    }
+
+    #[test]
+    fn edges_match_the_validate_predicate_and_point_upward() {
+        for dims in 1..=3 {
+            let (bx, _, _, plan) = fixture(17, dims);
+            let decomp = plan.decomposition();
+            let graph = TaskGraph::build(decomp, &bx);
+            let n = decomp.subdomain_count();
+            assert_eq!(graph.task_count(), n);
+            let mut expect = 0usize;
+            for a in 0..n {
+                let ha = decomp.aabb(a).expanded(decomp.range());
+                for b in (a + 1)..n {
+                    let hb = decomp.aabb(b).expanded(decomp.range());
+                    let conflict = ha.intersects_periodic(&hb, &bx);
+                    assert_eq!(
+                        graph.has_edge(a, b),
+                        conflict,
+                        "dims {dims}: edge ({a},{b})"
+                    );
+                    assert!(!graph.has_edge(b, a), "edge must point low → high");
+                    if conflict {
+                        expect += 1;
+                    }
+                }
+            }
+            assert_eq!(graph.edge_count(), expect, "dims {dims}");
+            // Indegrees are consistent with the dependent lists.
+            let mut indeg = vec![0u32; n];
+            for a in 0..n {
+                for &b in graph.dependents_of(a) {
+                    indeg[b as usize] += 1;
+                }
+            }
+            assert_eq!(indeg, graph.indegree(), "dims {dims}");
+        }
+    }
+
+    #[test]
+    fn independence_validates_against_real_footprints() {
+        for dims in 1..=3 {
+            let (bx, _, nl, plan) = fixture(17, dims);
+            let graph = TaskGraph::build(plan.decomposition(), &bx);
+            graph
+                .validate_independence(&plan, nl.csr())
+                .unwrap_or_else(|e| panic!("dims {dims}: {e}"));
+        }
+    }
+
+    #[test]
+    fn critical_path_bounds() {
+        let (bx, _, nl, plan) = fixture(17, 2);
+        let graph = TaskGraph::build(plan.decomposition(), &bx);
+        let costs: Vec<f64> = plan.pair_counts(nl.csr()).iter().map(|&c| c as f64).collect();
+        let cp = graph.critical_path_units(&costs);
+        let max = costs.iter().cloned().fold(0.0, f64::max);
+        let total: f64 = costs.iter().sum();
+        assert!(cp >= max, "critical path {cp} below heaviest task {max}");
+        assert!(cp <= total, "critical path {cp} above serial total {total}");
+        // A chain graph degenerates to the serial total.
+        let chain = TaskGraph {
+            dep_offsets: vec![0, 1, 2, 2],
+            dependents: vec![1, 2],
+            indegree: vec![0, 1, 1],
+        };
+        assert_eq!(chain.critical_path_units(&[1.0, 2.0, 4.0]), 7.0);
+        // Fully independent tasks: the heaviest one.
+        let free = TaskGraph {
+            dep_offsets: vec![0, 0, 0, 0],
+            dependents: vec![],
+            indegree: vec![0, 0, 0],
+        };
+        assert_eq!(free.critical_path_units(&[1.0, 2.0, 4.0]), 4.0);
+    }
+
+    #[test]
+    fn pool_runs_every_task_once_in_dependency_order() {
+        let (bx, _, _, plan) = fixture(17, 3);
+        let graph = TaskGraph::build(plan.decomposition(), &bx);
+        let n = graph.task_count();
+        for threads in [1usize, 2, 4, 7] {
+            let pool = TaskPool::new(threads).unwrap();
+            let runs: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+            let finish_order = Mutex::new(Vec::new());
+            pool.run_metered(&graph, None, |t, w| {
+                assert!(w < threads);
+                runs[t as usize].fetch_add(1, Ordering::SeqCst);
+                finish_order.lock().unwrap().push(t);
+            });
+            for (t, r) in runs.iter().enumerate() {
+                assert_eq!(r.load(Ordering::SeqCst), 1, "t{threads}: task {t}");
+            }
+            // Every edge respected: the source finished before the sink.
+            let order = finish_order.into_inner().unwrap();
+            let mut position = vec![0usize; n];
+            for (k, &t) in order.iter().enumerate() {
+                position[t as usize] = k;
+            }
+            for a in 0..n {
+                for &b in graph.dependents_of(a) {
+                    assert!(
+                        position[a] < position[b as usize],
+                        "t{threads}: edge {a}→{b} violated"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pool_construction_failures() {
+        assert!(TaskPool::new(0).is_err());
+        inject_pool_failure(true);
+        let err = TaskPool::new(2).unwrap_err();
+        assert!(err.to_string().contains("injected"), "{err}");
+        // The injection is consumed: the next build succeeds.
+        assert!(TaskPool::new(2).is_ok());
+    }
+
+    #[test]
+    fn scatter_matches_sdc_within_reassociation_and_is_bitwise_stable() {
+        let (bx, pos, nl, plan) = fixture(17, 2);
+        let kernel = |i: usize, j: usize| {
+            let r2 = bx.distance_sq(pos[i], pos[j]);
+            (r2 < CUTOFF * CUTOFF).then(|| PairTerm::symmetric(1.0 / (1.0 + r2)))
+        };
+        let mut reference = vec![0.0f64; pos.len()];
+        crate::strategies::serial::scatter_serial(nl.csr(), &mut reference, &kernel);
+        let mut baseline: Option<Vec<f64>> = None;
+        for threads in [1usize, 2, 4, 8] {
+            let runner = TaskGraphRunner::new(threads, &plan, &bx).unwrap();
+            for _ in 0..2 {
+                let mut got = vec![0.0f64; pos.len()];
+                scatter_taskgraph_metered(&runner, &plan, nl.csr(), &mut got, &kernel, None);
+                for (k, (a, b)) in reference.iter().zip(&got).enumerate() {
+                    assert!(
+                        (a - b).abs() < 1e-12,
+                        "t{threads}: atom {k}: {a} vs {b}"
+                    );
+                }
+                match &baseline {
+                    None => baseline = Some(got),
+                    Some(expect) => assert_eq!(
+                        expect, &got,
+                        "t{threads}: taskgraph scatter is not bitwise deterministic"
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn metered_scatter_counts_every_task() {
+        let (bx, pos, nl, plan) = fixture(17, 3);
+        let runner = TaskGraphRunner::new(4, &plan, &bx).unwrap();
+        let metrics = ScatterMetrics::new(4);
+        let mut out = vec![0.0f64; pos.len()];
+        scatter_taskgraph_metered(
+            &runner,
+            &plan,
+            nl.csr(),
+            &mut out,
+            &|_, _| Some(PairTerm::symmetric(1.0)),
+            Some(&metrics),
+        );
+        let n = plan.decomposition().subdomain_count() as u64;
+        assert_eq!(metrics.tasks.get(), n, "every task completion counted");
+        assert_eq!(metrics.ready_latency.count(), n);
+        assert_eq!(metrics.color_barriers.get(), 0, "no color barriers here");
+        let busy: u64 = (0..metrics.threads()).map(|w| metrics.thread_busy_ns[w].get()).sum();
+        assert!(busy > 0, "busy time attributed to pool workers");
+    }
+}

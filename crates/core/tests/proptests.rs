@@ -64,7 +64,8 @@ proptest! {
                 plan: None,
                 localwrite: None,
                 metrics: None,
-            sap: None,
+                sap: None,
+                taskgraph: None,
             };
             let mut out = vec![0.0f64; n];
             exec.run(kind, &mut out, &kernel);
@@ -95,6 +96,7 @@ proptest! {
             localwrite: None,
             metrics: None,
             sap: None,
+            taskgraph: None,
         };
         let mut gather = vec![0.0f64; n];
         exec.run(StrategyKind::Redundant, &mut gather, &kernel);

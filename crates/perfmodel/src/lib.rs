@@ -51,7 +51,9 @@ pub mod observed;
 pub mod rebuild;
 pub mod table;
 
-pub use balance::{makespan_params, predicted_schedule_seconds, ObservedMakespan};
+pub use balance::{
+    makespan_params, predicted_graph_seconds, predicted_schedule_seconds, ObservedMakespan,
+};
 pub use case::CaseGeometry;
 pub use machine::MachineParams;
 pub use observed::ObservedImbalance;

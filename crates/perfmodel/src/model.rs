@@ -51,6 +51,34 @@ pub fn predict_seconds(
             let per_sweep = colors as f64 * (rounds * task * ovh + m.barrier(threads));
             Some(sweeps * per_sweep)
         }
+        StrategyKind::TaskGraph { dims } => {
+            let decomp = case.decomposition(dims).ok()?;
+            let total = decomp.subdomain_count();
+            if total < threads {
+                return None; // the paper's blank-cell rule
+            }
+            // Same halo-locality factor as barriered SDC — the tasks are the
+            // same subdomains, only the synchronization changes.
+            let counts = decomp.counts();
+            let lengths = case.box_lengths();
+            let mut halo_ratio = 1.0;
+            for d in 0..dims {
+                let edge = lengths[d] / counts[d] as f64;
+                halo_ratio *= (edge + 2.0 * case.range()) / edge;
+            }
+            let locality = 1.0 + m.halo_kappa * (halo_ratio - 1.0);
+            let task = w_sweep / total as f64 * locality;
+            // Dependency-driven execution: no color serialization, so the
+            // round count is over *all* tasks, and the only synchronization
+            // is the final pool join (one barrier per sweep instead of one
+            // per color). Uniform crystal ⇒ the critical path is shorter
+            // than total/P whenever total ≥ P, so the work term dominates.
+            let frac = total as f64 / p;
+            let ceil = total.div_ceil(threads) as f64;
+            let rounds = (frac + m.round_overlap * (ceil - frac)).max(1.0);
+            let per_sweep = rounds * task * ovh + m.barrier(threads);
+            Some(sweeps * per_sweep)
+        }
         StrategyKind::Critical => {
             let locked = case.pairs * m.lock_cost * (1.0 + m.lock_contention * (p - 1.0));
             Some(sweeps * (w_sweep / p * ovh + locked))
@@ -185,6 +213,28 @@ mod tests {
         assert!((s16 - s12).abs() < 1.0, "saturated: {s12} vs {s16}");
         // And 2-D SDC clearly beats it at 16 threads (paper: 12.31 vs 9.59).
         assert!(sp(3, SDC2, 16).unwrap() > s16 + 1.0);
+    }
+
+    #[test]
+    fn taskgraph_never_loses_to_barriered_sdc_at_the_same_dims() {
+        // Same subdomain tasks, same locality — the graph drops the per-color
+        // serialization and all but one barrier per sweep, so its predicted
+        // time can only improve. Blank cells must also coincide.
+        for case in 1..=4 {
+            for dims in 1..=3 {
+                for p in [1, 2, 4, 8, 16] {
+                    let sdc = sp(case, StrategyKind::Sdc { dims }, p);
+                    let tg = sp(case, StrategyKind::TaskGraph { dims }, p);
+                    assert_eq!(sdc.is_some(), tg.is_some(), "case {case} d{dims} P={p}");
+                    if let (Some(sdc), Some(tg)) = (sdc, tg) {
+                        assert!(
+                            tg >= sdc - 1e-9,
+                            "case {case} d{dims} P={p}: graph speedup {tg} < barriered {sdc}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

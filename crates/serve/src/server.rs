@@ -155,6 +155,12 @@ struct State {
 
 struct Shared {
     cfg: ServerConfig,
+    /// Exclusive advisory lock on `<dir>/serve.lock`, held for the server's
+    /// lifetime. Two servers sharing a state directory would duplicate the
+    /// re-queued jobs and race each other's checkpoint temp files; the OS
+    /// releases the lock on any exit, including `kill -9`.
+    #[allow(dead_code)]
+    dir_lock: std::fs::File,
     state: Mutex<State>,
     /// Workers wait here for work; submitters and shutdown notify.
     work_cv: Condvar,
@@ -179,6 +185,17 @@ impl Server {
     /// listener, and spawns the worker pool.
     pub fn start(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
         std::fs::create_dir_all(&cfg.dir)?;
+        let dir_lock = std::fs::File::create(cfg.dir.join("serve.lock"))?;
+        match dir_lock.try_lock() {
+            Ok(()) => {}
+            Err(std::fs::TryLockError::WouldBlock) => {
+                return Err(std::io::Error::other(format!(
+                    "state directory {} is already served by another mdserve",
+                    cfg.dir.display()
+                )));
+            }
+            Err(std::fs::TryLockError::Error(e)) => return Err(e),
+        }
         for path in sweep_stale_tmp_dir(&cfg.dir)? {
             eprintln!("mdserve: swept stale checkpoint temp file {}", path.display());
         }
@@ -291,6 +308,7 @@ impl Server {
         metrics.depth.set(queue.len() as f64);
         let shared = Arc::new(Shared {
             cfg,
+            dir_lock,
             state: Mutex::new(State {
                 jobs,
                 queue,

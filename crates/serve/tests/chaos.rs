@@ -434,3 +434,33 @@ fn deadline_is_enforced_and_named() {
     handle.shutdown(ShutdownMode::Drain);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn second_server_on_the_same_state_dir_is_refused() {
+    // Two servers sharing a state directory would both replay the journal,
+    // run the re-queued jobs twice, and race each other's checkpoint temp
+    // files. The directory lock must refuse the second server outright —
+    // and release on shutdown so a successor can take over.
+    let dir = chaos_dir("dirlock");
+    let handle = start(&dir, 1, 8);
+    let mut cfg = ServerConfig::new(&dir);
+    cfg.workers = 1;
+    let err = match Server::start(cfg) {
+        Err(e) => e,
+        Ok(_) => panic!("second server must be refused"),
+    };
+    assert!(
+        err.to_string().contains("already served"),
+        "unexpected error: {err}"
+    );
+    // The refused attempt must not have perturbed the live server.
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let id = client.submit(&small_job("post-refusal", 40)).unwrap();
+    let job = client.wait(id, WAIT).unwrap();
+    assert_eq!(status_of(&job), "completed", "job record: {job}");
+    handle.shutdown(ShutdownMode::Drain);
+    // Lock released: a successor starts cleanly on the same directory.
+    let successor = start(&dir, 1, 8);
+    successor.shutdown(ShutdownMode::Drain);
+    let _ = std::fs::remove_dir_all(&dir);
+}

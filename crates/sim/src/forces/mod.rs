@@ -28,7 +28,7 @@ use sdc_core::strategies::localwrite::LocalWritePlan;
 use sdc_core::strategies::privatized::SapBuffers;
 use sdc_core::{
     ColorSchedule, DecompositionConfig, DecompositionError, DowngradeEvent, ParallelContext,
-    ScatterExec, SdcPlan, StrategyKind,
+    ScatterExec, SdcPlan, StrategyKind, TaskGraph, TaskGraphRunner,
 };
 use std::sync::Arc;
 
@@ -117,6 +117,39 @@ pub struct ForceEngine {
     scratch: Vec<eam::PairRecord>,
     sap: SapBuffers,
     balance: Option<BalanceState>,
+    taskgraph: Option<TaskGraphRunner>,
+    graph_requested: bool,
+}
+
+/// Graph-vs-barrier chooser, consulted only when the taskgraph strategy was
+/// requested: predicted makespan of a dependency-graph execution of `plan`
+/// (the Graham bound over its critical path, one pool join per sweep) vs the
+/// barriered LPT schedule's `barrier_seconds` prediction. The barriered
+/// reference wins ties, so on uniform crystals — where the color barriers are
+/// cheap — the deterministic reference stays in charge.
+#[allow(clippy::too_many_arguments)]
+fn choose_scatter_kind(
+    graph_requested: bool,
+    plan: &SdcPlan,
+    sim_box: &md_geometry::SimBox,
+    costs: &[f64],
+    dims: usize,
+    barrier_seconds: f64,
+    threads: usize,
+    params: &schedule::MakespanParams,
+) -> StrategyKind {
+    if !graph_requested {
+        return StrategyKind::Sdc { dims };
+    }
+    let graph = TaskGraph::build(plan.decomposition(), sim_box);
+    let cp = graph.critical_path_units(costs);
+    let total: f64 = costs.iter().sum();
+    let graph_seconds = md_perfmodel::predicted_graph_seconds(cp, total, threads, params);
+    if graph_seconds < barrier_seconds {
+        StrategyKind::TaskGraph { dims }
+    } else {
+        StrategyKind::Sdc { dims }
+    }
 }
 
 /// Builds the half list on `ctx`'s pool when `parallel` is set, serially
@@ -152,14 +185,38 @@ impl ForceEngine {
             .validate_cutoff(verlet.reach())
             .map_err(EngineError::BoxTooSmall)?;
         // Fail decomposition *before* paying for the neighbor build.
-        let plan = match strategy {
-            StrategyKind::Sdc { dims } => Some(SdcPlan::build(
+        let plan = match strategy.plan_dims() {
+            Some(dims) => Some(SdcPlan::build(
                 system.sim_box(),
                 system.positions(),
                 DecompositionConfig::new(dims, verlet.reach()),
             )?),
-            _ => None,
+            None => None,
         };
+        // The taskgraph strategy additionally needs a work-stealing pool; a
+        // pool that cannot be built is not fatal — the engine falls back to
+        // the barriered SDC reference on the same decomposition and records
+        // the downgrade.
+        let mut strategy = strategy;
+        let graph_requested = matches!(strategy, StrategyKind::TaskGraph { .. });
+        let mut downgrades = Vec::new();
+        let mut taskgraph = None;
+        if let StrategyKind::TaskGraph { dims } = strategy {
+            let p = plan.as_ref().expect("taskgraph strategy builds a plan");
+            match TaskGraphRunner::new(threads, p, system.sim_box()) {
+                Ok(runner) => taskgraph = Some(runner),
+                Err(err) => {
+                    let to = StrategyKind::Sdc { dims };
+                    downgrades.push(DowngradeEvent {
+                        from: strategy,
+                        to,
+                        reason: err.to_string(),
+                    });
+                    strategy = to;
+                }
+            }
+        }
+        let graph_requested = graph_requested && taskgraph.is_some();
         let ctx = ParallelContext::new(threads);
         let parallel_list = threads > 1;
         let half = build_half_list(&ctx, parallel_list, system, verlet);
@@ -179,12 +236,14 @@ impl ForceEngine {
             localwrite,
             timers: PhaseTimers::new(),
             rebuilds: 0,
-            downgrades: Vec::new(),
+            downgrades,
             metrics: None,
             fused: true,
             scratch: Vec::new(),
             sap: SapBuffers::new(),
             balance: None,
+            taskgraph,
+            graph_requested,
         })
     }
 
@@ -206,6 +265,9 @@ impl ForceEngine {
         loop {
             match ForceEngine::new(system, potential.clone(), kind, threads, skin) {
                 Ok(mut engine) => {
+                    // Keep downgrades new() itself recorded (e.g. taskgraph
+                    // pool-construction fallback) after the chain's steps.
+                    events.append(&mut engine.downgrades);
                     engine.downgrades = events;
                     return Ok(engine);
                 }
@@ -314,11 +376,14 @@ impl ForceEngine {
     /// arms the mid-run re-plan trigger at every subsequent rebuild.
     ///
     /// Returns `false` — and stays off — when the active strategy is not
-    /// SDC (nothing to schedule) or no feasible decomposition exists.
-    /// Results are bitwise-identical to the unbalanced path for the same
-    /// decomposition; changing dims changes nothing but task grouping.
+    /// plan-backed (SDC or taskgraph; nothing to schedule otherwise) or no
+    /// feasible decomposition exists. Results are bitwise-identical to the
+    /// unbalanced path for the same decomposition; changing dims changes
+    /// nothing but task grouping. When the taskgraph strategy was requested,
+    /// the balancer additionally chooses graph-vs-barrier per plan from the
+    /// critical-path makespan predictor.
     pub fn enable_balance(&mut self, system: &System, config: BalanceConfig) -> bool {
-        let StrategyKind::Sdc { dims } = self.strategy else {
+        let Some(dims) = self.strategy.plan_dims() else {
             return false;
         };
         let threads = self.ctx.threads();
@@ -339,9 +404,22 @@ impl ForceEngine {
         ) else {
             return false;
         };
-        self.strategy = StrategyKind::Sdc {
-            dims: best.choice.dims,
-        };
+        let costs: Vec<f64> = best
+            .plan
+            .pair_counts(self.half.csr())
+            .iter()
+            .map(|&c| c as f64)
+            .collect();
+        self.strategy = choose_scatter_kind(
+            self.graph_requested,
+            &best.plan,
+            system.sim_box(),
+            &costs,
+            best.choice.dims,
+            best.choice.predicted_seconds,
+            threads,
+            &params,
+        );
         let (mut last_busy_ns, mut last_barriers) = (0, 0);
         if let Some(m) = &self.metrics {
             m.scatter.planned_imbalance.set(best.choice.predicted_imbalance);
@@ -357,6 +435,7 @@ impl ForceEngine {
             last_busy_ns,
             last_barriers,
         });
+        self.sync_taskgraph(system);
         true
     }
 
@@ -429,10 +508,11 @@ impl ForceEngine {
         if self.balance.is_none() {
             return;
         }
-        // A mid-run downgrade may have left SDC entirely; the balancer then
-        // has nothing to schedule (it re-arms if a later rebuild restores a
-        // plan — it never does today, but the guard keeps this total).
-        let StrategyKind::Sdc { dims } = self.strategy else {
+        // A mid-run downgrade may have left the plan-backed strategies
+        // entirely; the balancer then has nothing to schedule (it re-arms if
+        // a later rebuild restores a plan — it never does today, but the
+        // guard keeps this total).
+        let Some(dims) = self.strategy.plan_dims() else {
             return;
         };
         let Some(plan) = &mut self.plan else {
@@ -478,20 +558,32 @@ impl ForceEngine {
                 let adopted = best.choice.dims != dims
                     || best.choice.counts != plan.decomposition().counts();
                 if adopted {
+                    let new_costs: Vec<f64> = best
+                        .plan
+                        .pair_counts(self.half.csr())
+                        .iter()
+                        .map(|&c| c as f64)
+                        .collect();
+                    let to = choose_scatter_kind(
+                        self.graph_requested,
+                        &best.plan,
+                        system.sim_box(),
+                        &new_costs,
+                        best.choice.dims,
+                        best.choice.predicted_seconds,
+                        threads,
+                        &params,
+                    );
                     state.events.push(RebalanceEvent {
                         rebuild: self.rebuilds,
                         observed_imbalance: trigger,
-                        from: StrategyKind::Sdc { dims },
-                        to: StrategyKind::Sdc {
-                            dims: best.choice.dims,
-                        },
+                        from: self.strategy,
+                        to,
                         from_counts: plan.decomposition().counts(),
                         to_counts: best.choice.counts,
                         predicted_seconds: best.choice.predicted_seconds,
                     });
-                    self.strategy = StrategyKind::Sdc {
-                        dims: best.choice.dims,
-                    };
+                    self.strategy = to;
                     *plan = best.plan;
                     state.choice = best.choice;
                     replanned = true;
@@ -508,6 +600,33 @@ impl ForceEngine {
             state.choice.predicted_seconds = schedule.predicted_seconds(&params);
             state.choice.predicted_imbalance = schedule.imbalance();
             plan.set_schedule(schedule);
+            // The fresh pair counts can still flip graph-vs-barrier for the
+            // unchanged decomposition; a flip is a rebalance event too.
+            let to = choose_scatter_kind(
+                self.graph_requested,
+                plan,
+                system.sim_box(),
+                &costs,
+                dims,
+                state.choice.predicted_seconds,
+                threads,
+                &params,
+            );
+            if to != self.strategy {
+                state.events.push(RebalanceEvent {
+                    rebuild: self.rebuilds,
+                    observed_imbalance: trigger,
+                    from: self.strategy,
+                    to,
+                    from_counts: plan.decomposition().counts(),
+                    to_counts: plan.decomposition().counts(),
+                    predicted_seconds: state.choice.predicted_seconds,
+                });
+                self.strategy = to;
+                if let Some(m) = &self.metrics {
+                    m.scatter.rebalances.inc();
+                }
+            }
         }
         if let Some(m) = &self.metrics {
             m.scatter.planned_imbalance.set(state.choice.predicted_imbalance);
@@ -554,7 +673,7 @@ impl ForceEngine {
         let ((half, full, plan, localwrite), took) = timers.time_measured(Phase::Neighbor, || {
             let half = build_half_list(ctx, parallel_list, system, verlet);
             let plan = loop {
-                let StrategyKind::Sdc { dims } = strategy else {
+                let Some(dims) = strategy.plan_dims() else {
                     break None;
                 };
                 match SdcPlan::build(
@@ -566,7 +685,7 @@ impl ForceEngine {
                     Err(err) => {
                         let next = strategy
                             .downgrade()
-                            .expect("every Sdc strategy has a downgrade");
+                            .expect("every plan-backed strategy has a downgrade");
                         events.push(DowngradeEvent {
                             from: strategy,
                             to: next,
@@ -592,8 +711,44 @@ impl ForceEngine {
         self.plan = plan;
         self.localwrite = localwrite;
         self.rebuilds += 1;
-        // Re-schedule (and possibly re-plan) the fresh decomposition.
+        // Re-schedule (and possibly re-plan) the fresh decomposition, then
+        // bring the task graph in line with whatever plan survived.
         self.apply_balance(system);
+        self.sync_taskgraph(system);
+    }
+
+    /// Re-derives the dependency graph from the current plan when the
+    /// taskgraph strategy is active, (re)building the work-stealing pool if
+    /// a rebalance just switched the engine onto the graph path. A pool that
+    /// cannot be built downgrades to barriered SDC on the same decomposition
+    /// — the same [`DowngradeEvent`] fallback as at construction — and stops
+    /// requesting the graph. When the strategy left the graph path, the
+    /// runner is dropped.
+    fn sync_taskgraph(&mut self, system: &System) {
+        if let StrategyKind::TaskGraph { dims } = self.strategy {
+            let plan = self
+                .plan
+                .as_ref()
+                .expect("taskgraph strategy keeps a plan");
+            match self.taskgraph.as_mut() {
+                Some(runner) => runner.rebuild(plan, system.sim_box()),
+                None => match TaskGraphRunner::new(self.ctx.threads(), plan, system.sim_box()) {
+                    Ok(runner) => self.taskgraph = Some(runner),
+                    Err(err) => {
+                        let to = StrategyKind::Sdc { dims };
+                        self.downgrades.push(DowngradeEvent {
+                            from: self.strategy,
+                            to,
+                            reason: err.to_string(),
+                        });
+                        self.strategy = to;
+                        self.graph_requested = false;
+                    }
+                },
+            }
+        } else {
+            self.taskgraph = None;
+        }
     }
 
     /// Computes forces (and, for EAM, densities and embedding derivatives)
@@ -701,6 +856,7 @@ impl ForceEngine {
             localwrite: self.localwrite.as_ref(),
             metrics: self.metrics.as_deref().map(|m| &m.scatter),
             sap: Some(&self.sap),
+            taskgraph: self.taskgraph.as_ref(),
         }
     }
 
@@ -723,6 +879,15 @@ mod tests {
     use crate::units::FE_MASS;
     use md_geometry::LatticeSpec;
     use md_potential::AnalyticEam;
+
+    /// `inject_pool_failure` is a process-global consumed-on-next-build
+    /// hook; serialize every test that constructs a taskgraph pool so the
+    /// injection cannot be consumed by an unrelated build.
+    static POOL_TESTS: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn pool_test_guard() -> std::sync::MutexGuard<'static, ()> {
+        POOL_TESTS.lock().unwrap_or_else(|e| e.into_inner())
+    }
 
     fn engine(strategy: StrategyKind) -> (System, ForceEngine) {
         let system = System::from_lattice(LatticeSpec::bcc_fe(6), FE_MASS);
@@ -902,6 +1067,84 @@ mod tests {
         assert!(balanced.plan_choice().unwrap().predicted_seconds > 0.0);
         let m = balanced.metrics().unwrap();
         assert!(m.scatter.planned_imbalance.get() >= 1.0);
+    }
+
+    #[test]
+    fn taskgraph_engine_builds_plan_and_runner_and_matches_sdc() {
+        let _g = pool_test_guard();
+        let mut sys = System::from_lattice(LatticeSpec::bcc_fe(9), FE_MASS);
+        let pot = PotentialChoice::Eam(Arc::new(AnalyticEam::fe()));
+        let mut eng =
+            ForceEngine::new(&sys, pot.clone(), StrategyKind::TaskGraph { dims: 2 }, 4, 0.3)
+                .unwrap();
+        assert_eq!(eng.strategy(), StrategyKind::TaskGraph { dims: 2 });
+        assert!(eng.plan().is_some());
+        assert!(eng.downgrades().is_empty());
+        eng.compute(&mut sys);
+        let mut reference = sys.clone();
+        let mut sdc =
+            ForceEngine::new(&reference.clone(), pot, StrategyKind::Sdc { dims: 2 }, 4, 0.3)
+                .unwrap();
+        sdc.compute(&mut reference);
+        for (a, b) in sys.forces().iter().zip(reference.forces()) {
+            assert!((a.x - b.x).abs() <= 1e-10, "{a:?} vs {b:?}");
+            assert!((a.y - b.y).abs() <= 1e-10);
+            assert!((a.z - b.z).abs() <= 1e-10);
+        }
+    }
+
+    #[test]
+    fn taskgraph_pool_failure_downgrades_to_barriered_sdc() {
+        let _g = pool_test_guard();
+        let mut sys = System::from_lattice(LatticeSpec::bcc_fe(9), FE_MASS);
+        let pot = PotentialChoice::Eam(Arc::new(AnalyticEam::fe()));
+        sdc_core::taskgraph::inject_pool_failure(true);
+        let mut eng =
+            ForceEngine::new(&sys, pot, StrategyKind::TaskGraph { dims: 1 }, 2, 0.3).unwrap();
+        assert_eq!(eng.strategy(), StrategyKind::Sdc { dims: 1 });
+        assert_eq!(eng.downgrades().len(), 1);
+        assert_eq!(eng.downgrades()[0].from, StrategyKind::TaskGraph { dims: 1 });
+        assert_eq!(eng.downgrades()[0].to, StrategyKind::Sdc { dims: 1 });
+        assert!(eng.downgrades()[0].reason.contains("pool"));
+        // The downgraded engine still computes, and a later rebuild does not
+        // resurrect the graph path (the downgrade is sticky).
+        eng.compute(&mut sys);
+        eng.rebuild(&sys);
+        assert_eq!(eng.strategy(), StrategyKind::Sdc { dims: 1 });
+        assert!(sys.forces().iter().all(|f| f.norm().is_finite()));
+    }
+
+    #[test]
+    fn taskgraph_mid_run_shrink_downgrades_through_sdc() {
+        let _g = pool_test_guard();
+        let mut sys = System::from_lattice(LatticeSpec::bcc_fe(9), FE_MASS);
+        let pot = PotentialChoice::Eam(Arc::new(AnalyticEam::fe()));
+        let mut eng =
+            ForceEngine::new(&sys, pot, StrategyKind::TaskGraph { dims: 1 }, 2, 0.3).unwrap();
+        sys.deform(md_geometry::Vec3::new(0.6, 1.0, 1.0));
+        eng.rebuild(&sys);
+        assert_eq!(eng.strategy(), StrategyKind::Locks);
+        assert!(eng.plan().is_none());
+        assert_eq!(eng.downgrades()[0].from, StrategyKind::TaskGraph { dims: 1 });
+        eng.compute(&mut sys);
+        assert!(sys.forces().iter().all(|f| f.norm().is_finite()));
+    }
+
+    #[test]
+    fn balance_accepts_the_taskgraph_strategy() {
+        let _g = pool_test_guard();
+        let sys = System::from_lattice(LatticeSpec::bcc_fe(9), FE_MASS);
+        let pot = PotentialChoice::Eam(Arc::new(AnalyticEam::fe()));
+        let mut eng =
+            ForceEngine::new(&sys, pot, StrategyKind::TaskGraph { dims: 3 }, 2, 0.3).unwrap();
+        assert!(eng.enable_balance(&sys, crate::BalanceConfig::default()));
+        // Whatever the chooser picked, it stays on the searched plan's dims
+        // and the engine remains computable with a consistent runner.
+        let choice = eng.plan_choice().expect("balance is on");
+        assert_eq!(eng.strategy().plan_dims(), Some(choice.dims));
+        let mut s = sys.clone();
+        eng.compute(&mut s);
+        assert!(s.forces().iter().all(|f| f.norm().is_finite()));
     }
 
     #[test]

@@ -225,6 +225,9 @@ impl RunReport {
                         "planned_imbalance",
                         JsonValue::num(scatter.planned_imbalance.get()),
                     ),
+                    ("tasks", JsonValue::num(scatter.tasks.get() as f64)),
+                    ("steals", JsonValue::num(scatter.steals.get() as f64)),
+                    ("ready_latency", histogram_json(&scatter.ready_latency)),
                     ("colors", JsonValue::Arr(colors)),
                     ("threads", JsonValue::Arr(threads_json)),
                     (

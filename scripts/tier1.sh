@@ -35,28 +35,33 @@
 #      restarts it on the same state directory: the journal replay must
 #      re-queue the interrupted work and every job accepted before the
 #      kill must complete from its checkpoint — zero accepted jobs lost)
+#  10. task-graph gate            (the barrier-free scatter: conformance +
+#      determinism battery under RAYON_NUM_THREADS=2 and =4, then an A/B
+#      metered mdrun of taskgraph-vs-barriered SDC on the carved-void case
+#      with every physics counter matching exactly — only the scheduling
+#      regime, and therefore the scatter.* counters, may differ)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> [1/9] release build"
+echo "==> [1/10] release build"
 cargo build --release --workspace
 
-echo "==> [2/9] test suite"
+echo "==> [2/10] test suite"
 cargo test --workspace -q
 
-echo "==> [3/9] clippy (deny warnings)"
+echo "==> [3/10] clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> [4/9] debug-assertions test job"
+echo "==> [4/10] debug-assertions test job"
 RUSTFLAGS="-C debug-assertions=on" cargo test --workspace -q --profile dev
 
-echo "==> [5/9] thread-matrix test job"
+echo "==> [5/10] thread-matrix test job"
 for t in 2 4; do
   echo "    RAYON_NUM_THREADS=$t"
   RAYON_NUM_THREADS="$t" cargo test -q -p md-neighbor -p sdc-core -p sdc-md
 done
 
-echo "==> [6/9] metrics regression gate"
+echo "==> [6/10] metrics regression gate"
 report="$(mktemp /tmp/tier1_metrics.XXXXXX.json)"
 cargo run -q -p sdc-bench --release --bin mdrun -- \
   --cells 9 --strategy sdc2d --threads 2 --steps 20 --report 20 \
@@ -65,7 +70,7 @@ cargo run -q -p sdc-bench --release --bin metrics_diff -- \
   scripts/metrics_baseline.json "$report" --tol 1.10 --time-tol 50
 rm -f "$report"
 
-echo "==> [7/9] fused-path conformance gate"
+echo "==> [7/10] fused-path conformance gate"
 ref="$(mktemp /tmp/tier1_ref.XXXXXX.json)"
 fus="$(mktemp /tmp/tier1_fused.XXXXXX.json)"
 cargo run -q -p sdc-bench --release --bin mdrun -- \
@@ -82,7 +87,7 @@ for t in 2 4; do
   RAYON_NUM_THREADS="$t" cargo test -q --test force_consistency
 done
 
-echo "==> [8/9] load-balance gate"
+echo "==> [8/10] load-balance gate"
 def="$(mktemp /tmp/tier1_default.XXXXXX.json)"
 bal="$(mktemp /tmp/tier1_balanced.XXXXXX.json)"
 cargo run -q -p sdc-bench --release --bin mdrun -- \
@@ -99,9 +104,13 @@ for t in 2 4; do
   RAYON_NUM_THREADS="$t" cargo test -q --test load_balance
 done
 
-echo "==> [9/9] mdserve chaos gate (client storm + kill-and-restart resume)"
+echo "==> [9/10] mdserve chaos gate (client storm + kill-and-restart resume)"
 sd="$(mktemp -d /tmp/tier1_mdserve.XXXXXX)"
-timeout 180 cargo run -q -p sdc-bench --release --bin mdserve -- \
+# The server runs in its own process group (setsid): `kill -9` must reach
+# the mdserve process itself, not just the timeout/cargo wrappers — SIGKILL
+# is never forwarded, and an orphaned first server racing the restarted one
+# on the same state directory makes resumed jobs fail intermittently.
+setsid timeout 180 cargo run -q -p sdc-bench --release --bin mdserve -- \
   --dir "$sd/state" --port-file "$sd/port" --workers 2 > "$sd/serve1.log" 2>&1 &
 serve_pid=$!
 for _ in $(seq 1 100); do [ -s "$sd/port" ] && break; sleep 0.1; done
@@ -112,7 +121,7 @@ timeout 120 cargo run -q -p sdc-bench --release --bin mdstorm -- \
 echo "    kill -9 with jobs in flight, restart, resume"
 timeout 60 cargo run -q -p sdc-bench --release --bin mdstorm -- \
   --port-file "$sd/port" --clients 2 --jobs 2 --steps 2000 --no-await
-kill -9 "$serve_pid" 2>/dev/null || true
+kill -9 -- "-$serve_pid" 2>/dev/null || true
 wait "$serve_pid" 2>/dev/null || true
 rm -f "$sd/port"
 timeout 180 cargo run -q -p sdc-bench --release --bin mdserve -- \
@@ -126,5 +135,22 @@ timeout 120 cargo run -q -p sdc-bench --release --bin mdstorm -- \
 wait "$serve2_pid"
 grep -q "re-queued" "$sd/serve2.log" || { echo "restart did not replay the journal"; cat "$sd/serve2.log"; exit 1; }
 rm -rf "$sd"
+
+echo "==> [10/10] task-graph gate (conformance + determinism + A/B vs barriered SDC)"
+for t in 2 4; do
+  echo "    taskgraph battery, RAYON_NUM_THREADS=$t"
+  RAYON_NUM_THREADS="$t" cargo test -q --test taskgraph_conformance
+done
+sdc="$(mktemp /tmp/tier1_sdc.XXXXXX.json)"
+tg="$(mktemp /tmp/tier1_taskgraph.XXXXXX.json)"
+cargo run -q -p sdc-bench --release --bin mdrun -- \
+  --cells 9 --void --strategy sdc2d --threads 2 --steps 20 --report 20 \
+  --metrics-out "$sdc" > /dev/null
+cargo run -q -p sdc-bench --release --bin mdrun -- \
+  --cells 9 --void --strategy sdc2d --taskgraph --threads 2 --steps 20 --report 20 \
+  --metrics-out "$tg" > /dev/null
+cargo run -q -p sdc-bench --release --bin metrics_diff -- \
+  "$sdc" "$tg" --ab --tol 1.0 --time-tol 50
+rm -f "$sdc" "$tg"
 
 echo "tier-1: all green"

@@ -73,6 +73,9 @@ fn every_strategy_matches_serial_on_the_carved_void() {
         StrategyKind::Sdc { dims: 1 },
         StrategyKind::Sdc { dims: 2 },
         StrategyKind::Sdc { dims: 3 },
+        StrategyKind::TaskGraph { dims: 1 },
+        StrategyKind::TaskGraph { dims: 2 },
+        StrategyKind::TaskGraph { dims: 3 },
         StrategyKind::Critical,
         StrategyKind::Atomic,
         StrategyKind::Locks,

@@ -79,6 +79,9 @@ fn report_schema_is_golden() {
             "color_barriers",
             "rebalances",
             "planned_imbalance",
+            "tasks",
+            "steals",
+            "ready_latency",
             "colors",
             "threads",
             "imbalance"
@@ -96,6 +99,10 @@ fn report_schema_is_golden() {
     assert_eq!(
         keys(doc.path("scatter.imbalance").unwrap()),
         ["factor", "efficiency"]
+    );
+    assert_eq!(
+        keys(doc.path("scatter.ready_latency").unwrap()),
+        ["count", "total_seconds", "mean_ns", "min_ns", "max_ns", "p50_ns", "p99_ns"]
     );
 
     // And the text form round-trips losslessly through the parser.
@@ -236,25 +243,82 @@ fn color_walls_are_consistent_with_the_paper_phases() {
 #[test]
 fn metered_and_unmetered_runs_agree_bitwise() {
     // The observability layer must be read-only: with identical seeds, a
-    // metered run and a plain run produce identical trajectories.
-    let build = |metrics: bool| {
-        Simulation::builder(LatticeSpec::bcc_fe(9))
-            .potential_choice(PotentialChoice::Eam(Arc::new(AnalyticEam::fe())))
-            .strategy(StrategyKind::Sdc { dims: 2 })
-            .threads(2)
-            .temperature(300.0)
-            .seed(7)
-            .metrics(metrics)
-            .build()
-            .expect("build")
-    };
-    let mut plain = build(false);
-    let mut metered = build(true);
-    for _ in 0..3 {
-        plain.step();
-        metered.step();
+    // metered run and a plain run produce identical trajectories — for the
+    // barriered reference and for the taskgraph strategy alike.
+    for strategy in [
+        StrategyKind::Sdc { dims: 2 },
+        StrategyKind::TaskGraph { dims: 2 },
+    ] {
+        let build = |metrics: bool| {
+            Simulation::builder(LatticeSpec::bcc_fe(9))
+                .potential_choice(PotentialChoice::Eam(Arc::new(AnalyticEam::fe())))
+                .strategy(strategy)
+                .threads(2)
+                .temperature(300.0)
+                .seed(7)
+                .metrics(metrics)
+                .build()
+                .expect("build")
+        };
+        let mut plain = build(false);
+        let mut metered = build(true);
+        for _ in 0..3 {
+            plain.step();
+            metered.step();
+        }
+        assert!(plain.metrics().is_none());
+        assert_eq!(plain.system().positions(), metered.system().positions());
+        assert_eq!(plain.system().velocities(), metered.system().velocities());
     }
-    assert!(plain.metrics().is_none());
-    assert_eq!(plain.system().positions(), metered.system().positions());
-    assert_eq!(plain.system().velocities(), metered.system().velocities());
+}
+
+#[test]
+fn taskgraph_report_counts_tasks_instead_of_barriers() {
+    let mut sim = Simulation::builder(LatticeSpec::bcc_fe(9))
+        .potential_choice(PotentialChoice::Eam(Arc::new(AnalyticEam::fe())))
+        .strategy(StrategyKind::TaskGraph { dims: 2 })
+        .threads(2)
+        .temperature(300.0)
+        .seed(7)
+        .metrics(true)
+        .build()
+        .expect("build");
+    sim.run(2);
+    assert_eq!(sim.engine().strategy(), StrategyKind::TaskGraph { dims: 2 });
+    let info = RunInfo {
+        atoms: sim.system().len(),
+        steps: sim.step_count(),
+        threads: sim.engine().threads(),
+        strategy: sim.engine().strategy().name().to_string(),
+        dt_ps: 1e-3,
+        balance: sim.engine().plan_choice().map(Into::into),
+    };
+    let report = RunReport::collect(&info, sim.timers(), sim.metrics().expect("metrics on"));
+    let doc = report.json();
+    assert_eq!(
+        doc.path("case.strategy").and_then(|v| v.as_str()),
+        Some("taskgraph2d")
+    );
+    // Every (subdomain × sweep × compute) becomes one task completion, and
+    // no color barrier ever runs; ready latency saw every task.
+    let tasks = doc.path("scatter.tasks").and_then(|v| v.as_f64()).unwrap();
+    let subdomains = sim.engine().plan().expect("plan").decomposition().subdomain_count() as f64;
+    let computes = (sim.step_count() + 1) as f64;
+    assert_eq!(tasks, subdomains * 2.0 * computes);
+    assert_eq!(
+        doc.path("scatter.color_barriers").and_then(|v| v.as_f64()),
+        Some(0.0)
+    );
+    let ready = doc
+        .path("scatter.ready_latency.count")
+        .and_then(|v| v.as_f64())
+        .unwrap();
+    assert_eq!(ready, tasks);
+    let colors = doc.path("scatter.colors").and_then(|v| v.as_arr()).unwrap();
+    assert!(colors.is_empty(), "no per-color walls under taskgraph");
+    // Busy time is attributed by pool workers, so imbalance stays defined.
+    let steals = doc.path("scatter.steals").and_then(|v| v.as_f64()).unwrap();
+    assert!(steals >= 0.0);
+    let back = RunReport::parse(&report.to_string()).expect("parse back");
+    assert_eq!(report.json(), back.json());
 }

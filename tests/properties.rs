@@ -146,12 +146,12 @@ proptest! {
         let mut serial = vec![0.0f64; n_atoms];
         let ctx1 = ParallelContext::new(1);
         ScatterExec { ctx: &ctx1, half: nl.csr(), full: None, plan: None,
-            localwrite: None, metrics: None, sap: None }
+            localwrite: None, metrics: None, sap: None, taskgraph: None }
             .run(StrategyKind::Serial, &mut serial, &kernel);
         let ctx = ParallelContext::new(4);
         let mut par = vec![0.0f64; n_atoms];
         ScatterExec { ctx: &ctx, half: nl.csr(), full: None, plan: Some(&plan),
-            localwrite: None, metrics: None, sap: None }
+            localwrite: None, metrics: None, sap: None, taskgraph: None }
             .run(StrategyKind::Sdc { dims: 3 }, &mut par, &kernel);
         for (k, (a, c)) in serial.iter().zip(&par).enumerate() {
             prop_assert!((a - c).abs() < 1e-12, "atom {k}: {a} vs {c}");
