@@ -34,6 +34,7 @@ use md_sim::health::RecoveryConfig;
 use md_sim::output::{ThermoLog, XyzWriter};
 use md_perfmodel::{MachineParams, ObservedImbalance, ObservedMakespan};
 use md_sim::metrics::report::{RunInfo, RunReport};
+use md_shard::{ProcessWorld, ShardFault, ShardWorld};
 use md_sim::{Simulation, StrategyKind, Thermo, Thermostat};
 use sdc_bench::Args;
 use std::path::{Path, PathBuf};
@@ -76,7 +77,12 @@ usage: mdrun [options]
                             (SDC strategies only)
   --recover                 run under fault supervision: roll back to the
                             last checkpoint and retry with a smaller dt
-  --max-retries N           fault retries before giving up (default 3)";
+  --max-retries N           fault retries before giving up (default 3)
+  --shards N                split the box into N slab shards running the
+                            halo-exchange protocol (NVE only; --checkpoint
+                            then names a directory of per-shard files)
+  --shard-backend MODE      virtual (in-process ranks, default) or process
+                            (one mdshard-worker per shard over sockets)";
 
 const KNOWN_FLAGS: &[&str] = &[
     "--potential",
@@ -103,6 +109,8 @@ const KNOWN_FLAGS: &[&str] = &[
     "--balance",
     "--recover",
     "--max-retries",
+    "--shards",
+    "--shard-backend",
 ];
 
 fn parse_thermostat(spec: &str) -> Result<Thermostat, String> {
@@ -176,6 +184,33 @@ fn run(args: &Args) -> Result<(), String> {
     let balance = args.flag("--balance");
     let recover = args.flag("--recover");
     let max_retries: usize = args.try_get_or("--max-retries", 3)?;
+    let shards: usize = args.try_get_or("--shards", 0)?;
+    let shard_backend = args.get_str("--shard-backend").unwrap_or("virtual");
+    if args.get_str("--shard-backend").is_some() && shards == 0 {
+        return Err("--shard-backend needs --shards N".to_string());
+    }
+    if shards > 0 {
+        if !matches!(shard_backend, "virtual" | "process") {
+            return Err(format!(
+                "unknown backend '{shard_backend}' for flag '--shard-backend' (virtual | process)"
+            ));
+        }
+        // The sharded driver runs plain NVE over its own protocol; the
+        // single-process conveniences that reach into the Simulation's
+        // internals do not apply.
+        for (on, flag) in [
+            (args.get_str("--restart").is_some(), "--restart"),
+            (recover, "--recover"),
+            (balance, "--balance"),
+            (reorder, "--reorder"),
+            (args.get_str("--log").is_some(), "--log"),
+            (!matches!(thermostat, Thermostat::None), "--thermostat"),
+        ] {
+            if on {
+                return Err(format!("{flag} is not supported with --shards"));
+            }
+        }
+    }
     let checkpoint_path: Option<PathBuf> = args
         .get_str("--checkpoint")
         .map(PathBuf::from)
@@ -194,8 +229,9 @@ fn run(args: &Args) -> Result<(), String> {
     }
     // A crash during a previous run's atomic checkpoint write can leave a
     // stale `*.tmp` sibling; it is never a valid checkpoint, so sweep it
-    // before any recovery machinery could be confused by it.
-    if let Some(path) = &checkpoint_path {
+    // before any recovery machinery could be confused by it. (Sharded
+    // checkpoints are directories that sweep their own stale temps.)
+    if let Some(path) = checkpoint_path.as_ref().filter(|_| shards == 0) {
         if sweep_stale_tmp(path).map_err(|e| format!("cannot sweep stale checkpoint: {e}"))? {
             println!("swept stale checkpoint temp file next to '{}'", path.display());
         }
@@ -274,6 +310,37 @@ fn run(args: &Args) -> Result<(), String> {
         .map_err(|e| format!("cannot build simulation: {e}"))?;
     for event in sim.downgrades() {
         println!("warning: {event}");
+    }
+    if shards > 0 {
+        // The builder above produced the exact initial state an unsharded
+        // run would start from (lattice, seeded velocities, void); the
+        // sharded driver takes it from here.
+        let spec = md_shard::WorldSpec {
+            potential: potential.clone(),
+            tabulated,
+            fused: !no_fused,
+            strategy: sim.engine().strategy().name().to_string(),
+            threads,
+            skin: 0.3,
+            dt,
+            mass: match potential.as_str() {
+                "cu" => 63.546,
+                "lj" => 39.948,
+                _ => 55.845,
+            },
+        };
+        return run_sharded(&sim, &ShardRun {
+            shards,
+            backend: shard_backend,
+            spec,
+            steps,
+            report,
+            dump: args.get_str("--dump"),
+            element,
+            checkpoint: checkpoint_path,
+            checkpoint_every,
+            metrics_out,
+        });
     }
     if balance {
         match sim.engine().plan_choice() {
@@ -383,6 +450,152 @@ fn run(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Configuration of the `--shards` driver path.
+struct ShardRun<'a> {
+    shards: usize,
+    backend: &'a str,
+    spec: md_shard::WorldSpec,
+    steps: usize,
+    report: usize,
+    dump: Option<&'a str>,
+    element: &'a str,
+    checkpoint: Option<PathBuf>,
+    checkpoint_every: usize,
+    metrics_out: Option<PathBuf>,
+}
+
+/// The two shard backends behind one stepping interface. The process
+/// variant keeps its socket rendezvous directory alive until shutdown.
+enum WorldHandle {
+    Virtual(ShardWorld),
+    Process(ProcessWorld, PathBuf),
+}
+
+impl WorldHandle {
+    fn world(&mut self) -> &mut ShardWorld {
+        match self {
+            WorldHandle::Virtual(w) => w,
+            WorldHandle::Process(p, _) => p.world(),
+        }
+    }
+
+    fn finish(self) {
+        match self {
+            WorldHandle::Virtual(mut w) => w.shutdown(),
+            WorldHandle::Process(p, dir) => {
+                p.shutdown();
+                let _ = std::fs::remove_dir_all(dir);
+            }
+        }
+    }
+}
+
+/// Runs the halo-exchange decomposition: `sim` provides the exact initial
+/// state an unsharded run would start from; the driver relays the shard
+/// protocol (see `md-shard`) for `steps` NVE steps.
+fn run_sharded(sim: &Simulation, cfg: &ShardRun) -> Result<(), String> {
+    let fail = |e: ShardFault| format!("sharded run failed: {e}");
+    let mut handle = match cfg.backend {
+        "process" => {
+            let worker = md_shard::proc::default_worker_path()?;
+            let sock_dir = std::env::temp_dir().join(format!("mdshard-{}", std::process::id()));
+            let world =
+                ProcessWorld::spawn(sim.system(), &cfg.spec, cfg.shards, &worker, &sock_dir)
+                    .map_err(fail)?;
+            WorldHandle::Process(world, sock_dir)
+        }
+        _ => WorldHandle::Virtual(
+            ShardWorld::virtual_world(sim.system(), &cfg.spec, cfg.shards).map_err(fail)?,
+        ),
+    };
+    let world = handle.world();
+    println!(
+        "sharded: {} slab{} along x ({} backend), skin {} Å",
+        world.shards(),
+        if world.shards() == 1 { "" } else { "s" },
+        cfg.backend,
+        cfg.spec.skin
+    );
+    if cfg.metrics_out.is_some() {
+        world.enable_metrics();
+    }
+    world.refresh_forces().map_err(fail)?;
+
+    let mut traj = match cfg.dump {
+        Some(p) => Some(
+            XyzWriter::create(p, cfg.element)
+                .map_err(|e| format!("cannot open trajectory '{p}': {e}"))?,
+        ),
+        None => None,
+    };
+    println!("{:>8} {:>12} {:>14}", "step", "T(K)", "KE(eV)");
+    let report_every = cfg.report.max(1);
+    for k in 1..=cfg.steps {
+        world.step().map_err(fail)?;
+        if k % report_every == 0 || k == cfg.steps {
+            let sys = world.gather_system().map_err(fail)?;
+            println!(
+                "{:>8} {:>12.2} {:>14.4}",
+                world.step_count(),
+                sys.temperature(),
+                sys.kinetic_energy()
+            );
+            if let Some(w) = traj.as_mut() {
+                w.write_frame(&sys, world.step_count() as usize)
+                    .map_err(|e| format!("trajectory write failed: {e}"))?;
+            }
+        }
+        if cfg.checkpoint_every > 0 && k % cfg.checkpoint_every == 0 {
+            let dir = cfg
+                .checkpoint
+                .as_deref()
+                .ok_or("--checkpoint-every needs a checkpoint path (--checkpoint PATH)")?;
+            world.save_checkpoint(dir).map_err(fail)?;
+        }
+    }
+    if let Some(mut w) = traj {
+        w.flush().map_err(|e| format!("trajectory flush failed: {e}"))?;
+        println!("wrote {} trajectory frames", w.frames());
+    }
+    let stats = world.stats().clone();
+    println!(
+        "halo: {} ghost exports shipped, {} atoms migrated, {} rebuilds, {:.3} ms driver relay",
+        stats.ghost_sent,
+        stats.migrated,
+        stats.rebuilds,
+        1e3 * stats.exchange_seconds
+    );
+    let timers = world.merged_timers().map_err(fail)?;
+    println!("\nphase timing (all shards):\n{timers}");
+
+    if let Some(path) = &cfg.metrics_out {
+        let metrics = world
+            .metrics()
+            .cloned()
+            .ok_or("metrics layer was not enabled")?;
+        let info = RunInfo {
+            atoms: world.n_atoms(),
+            steps: cfg.steps,
+            threads: cfg.spec.threads,
+            strategy: cfg.spec.strategy.clone(),
+            dt_ps: cfg.spec.dt,
+            balance: None,
+            shards: Some(world.shards_info(cfg.backend)),
+        };
+        let report = RunReport::collect(&info, &timers, &metrics);
+        report
+            .write_to(path)
+            .map_err(|e| format!("cannot write metrics report '{}': {e}", path.display()))?;
+        println!("metrics report written to '{}'", path.display());
+    }
+    if let Some(dir) = &cfg.checkpoint {
+        world.save_checkpoint(dir).map_err(fail)?;
+        println!("checkpoint saved to '{}'", dir.display());
+    }
+    handle.finish();
+    Ok(())
+}
+
 /// Writes the JSON run report and prints the observed-vs-modeled imbalance
 /// summary (per-color walls, per-thread busy/wait, barrier-wait comparison
 /// against the Table-1 machine constants).
@@ -398,6 +611,7 @@ fn emit_metrics_report(sim: &Simulation, path: &Path, dt: f64) -> Result<(), Str
         strategy: engine.strategy().name().to_string(),
         dt_ps: dt,
         balance: engine.plan_choice().map(Into::into),
+        shards: None,
     };
     let report = RunReport::collect(&info, sim.timers(), metrics);
     report

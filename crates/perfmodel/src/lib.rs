@@ -49,6 +49,7 @@ pub mod machine;
 pub mod model;
 pub mod observed;
 pub mod rebuild;
+pub mod shard;
 pub mod table;
 
 pub use balance::{
@@ -59,6 +60,7 @@ pub use machine::MachineParams;
 pub use observed::ObservedImbalance;
 pub use model::{predict_seconds, speedup};
 pub use rebuild::{predict_step_with_rebuild, rebuild_seconds, speedup_with_rebuild};
+pub use shard::{predict_shard_step, shard_speedup, ShardLinkParams};
 pub use table::{
     fig9_rows, table1_rows, table1_rows_with_rebuild, Fig9Row, Table1Row, FIG9_STRATEGIES,
     THREAD_SWEEP,

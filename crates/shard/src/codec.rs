@@ -1,0 +1,217 @@
+//! Length-prefixed, checksummed wire frames around compact JSON.
+//!
+//! Frame layout (little-endian):
+//!
+//! ```text
+//! [u32 payload length][payload: compact JSON, UTF-8][u64 fnv1a64(payload)]
+//! ```
+//!
+//! The payload rendering reuses [`md_serve::wire::compact`] and the
+//! checksum reuses [`md_sim::fnv1a64`] — the same journal-style framing the
+//! job server trusts for crash recovery. Every `f64` that must survive the
+//! trip bit-exactly (positions, velocities, embedding derivatives) is
+//! carried as a 16-digit hex encoding of its IEEE-754 bit pattern
+//! ([`f64_to_hex`] / [`hex_to_f64`]), so NaN payloads and signed zeros
+//! round-trip and a sharded trajectory is reproducible to the last ulp.
+//!
+//! Decoding is total: torn, truncated, oversized or corrupted frames come
+//! back as a typed [`CodecError`], never a panic.
+
+use md_sim::metrics::JsonValue;
+use md_sim::fnv1a64;
+use std::io::{Read, Write};
+
+/// Upper bound on a payload, to reject absurd length prefixes before
+/// allocating (a torn frame can make the length field garbage).
+pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+/// A wire decoding failure.
+#[derive(Debug)]
+pub enum CodecError {
+    /// The buffer/stream ended inside a frame.
+    Truncated,
+    /// The length prefix exceeds [`MAX_FRAME`].
+    Oversize(u32),
+    /// The checksum footer does not match the payload bytes.
+    BadChecksum {
+        /// Checksum computed over the received payload.
+        expected: u64,
+        /// Checksum carried in the frame footer.
+        found: u64,
+    },
+    /// The payload is not valid compact JSON (or not UTF-8).
+    BadJson(String),
+    /// The JSON is well-formed but a message field is missing or malformed.
+    BadField(String),
+    /// An underlying I/O error while reading or writing a stream.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "truncated frame"),
+            CodecError::Oversize(len) => write!(f, "frame length {len} exceeds {MAX_FRAME}"),
+            CodecError::BadChecksum { expected, found } => write!(
+                f,
+                "checksum mismatch: computed {expected:016x}, frame carries {found:016x}"
+            ),
+            CodecError::BadJson(e) => write!(f, "bad JSON payload: {e}"),
+            CodecError::BadField(e) => write!(f, "bad message field: {e}"),
+            CodecError::Io(e) => write!(f, "I/O: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<std::io::Error> for CodecError {
+    fn from(e: std::io::Error) -> CodecError {
+        CodecError::Io(e)
+    }
+}
+
+/// Encodes one value as a complete frame.
+pub fn encode_frame(payload: &JsonValue) -> Vec<u8> {
+    let body = md_serve::wire::compact(payload).into_bytes();
+    let mut out = Vec::with_capacity(body.len() + 12);
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    let sum = fnv1a64(&body);
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Decodes one frame from the front of `buf`, returning the payload and
+/// the number of bytes consumed.
+pub fn decode_frame(buf: &[u8]) -> Result<(JsonValue, usize), CodecError> {
+    if buf.len() < 4 {
+        return Err(CodecError::Truncated);
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().unwrap());
+    if len > MAX_FRAME {
+        return Err(CodecError::Oversize(len));
+    }
+    let need = 4 + len as usize + 8;
+    if buf.len() < need {
+        return Err(CodecError::Truncated);
+    }
+    let body = &buf[4..4 + len as usize];
+    let found = u64::from_le_bytes(buf[4 + len as usize..need].try_into().unwrap());
+    check_and_parse(body, found).map(|v| (v, need))
+}
+
+fn check_and_parse(body: &[u8], found: u64) -> Result<JsonValue, CodecError> {
+    let expected = fnv1a64(body);
+    if expected != found {
+        return Err(CodecError::BadChecksum { expected, found });
+    }
+    let text = std::str::from_utf8(body)
+        .map_err(|_| CodecError::BadJson("payload is not UTF-8".to_string()))?;
+    JsonValue::parse(text).map_err(|e| CodecError::BadJson(e.to_string()))
+}
+
+/// Reads one frame from a blocking stream. A stream that ends mid-frame
+/// (including before the length prefix) reports [`CodecError::Truncated`].
+pub fn read_frame(r: &mut impl Read) -> Result<JsonValue, CodecError> {
+    let mut head = [0u8; 4];
+    read_exact_or_truncated(r, &mut head)?;
+    let len = u32::from_le_bytes(head);
+    if len > MAX_FRAME {
+        return Err(CodecError::Oversize(len));
+    }
+    let mut body = vec![0u8; len as usize];
+    read_exact_or_truncated(r, &mut body)?;
+    let mut foot = [0u8; 8];
+    read_exact_or_truncated(r, &mut foot)?;
+    check_and_parse(&body, u64::from_le_bytes(foot))
+}
+
+fn read_exact_or_truncated(r: &mut impl Read, buf: &mut [u8]) -> Result<(), CodecError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            CodecError::Truncated
+        } else {
+            CodecError::Io(e)
+        }
+    })
+}
+
+/// Writes one frame to a stream and flushes it.
+pub fn write_frame(w: &mut impl Write, payload: &JsonValue) -> Result<(), CodecError> {
+    w.write_all(&encode_frame(payload))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Renders an `f64` as the 16 hex digits of its IEEE-754 bit pattern.
+pub fn f64_to_hex(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+/// Parses a bit pattern produced by [`f64_to_hex`].
+pub fn hex_to_f64(s: &str) -> Result<f64, CodecError> {
+    if s.len() != 16 {
+        return Err(CodecError::BadField(format!(
+            "f64 bit pattern must be 16 hex digits, got '{s}'"
+        )));
+    }
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|_| CodecError::BadField(format!("bad f64 bit pattern '{s}'")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let v = JsonValue::obj(vec![
+            ("t", JsonValue::str("ready")),
+            ("rank", JsonValue::num(3.0)),
+            ("x", JsonValue::str(f64_to_hex(-0.0))),
+        ]);
+        let bytes = encode_frame(&v);
+        let (back, used) = decode_frame(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(back, v);
+        // And through the stream reader.
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert_eq!(read_frame(&mut cursor).unwrap(), v);
+    }
+
+    #[test]
+    fn corrupted_payload_is_a_checksum_error() {
+        let mut bytes = encode_frame(&JsonValue::str("hello"));
+        bytes[6] ^= 0x40;
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(CodecError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn torn_and_oversized_frames_are_typed_errors() {
+        let bytes = encode_frame(&JsonValue::num(1.0));
+        for cut in 0..bytes.len() {
+            assert!(matches!(
+                decode_frame(&bytes[..cut]),
+                Err(CodecError::Truncated)
+            ));
+        }
+        let mut huge = bytes.clone();
+        huge[..4].copy_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        assert!(matches!(decode_frame(&huge), Err(CodecError::Oversize(_))));
+    }
+
+    #[test]
+    fn hex_preserves_every_bit_pattern() {
+        for x in [0.0, -0.0, 1.5, -1.0e-300, f64::INFINITY, f64::NAN, 5.67] {
+            let back = hex_to_f64(&f64_to_hex(x)).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits());
+        }
+        assert!(hex_to_f64("zz").is_err());
+        assert!(hex_to_f64("00000000000000000").is_err());
+    }
+}

@@ -1,0 +1,462 @@
+//! The per-shard state machine: owned atoms, ghost halo, and the local
+//! engine, driven entirely by protocol messages.
+//!
+//! One `ShardCore` is the *entire* worker logic. The virtual-rank backend
+//! embeds it behind [`crate::world::MemTransport`]; the `mdshard-worker`
+//! binary wraps it in a read-frame/handle/write-frame loop. Both therefore
+//! execute the same code on the same wire bytes.
+//!
+//! # Determinism
+//!
+//! * Owned atoms are kept sorted by global id; migration preserves the
+//!   order and arrivals are merge-sorted back in.
+//! * Ghosts are appended grouped by source rank (ascending), each group in
+//!   the owner's export order (ascending gid). The local system layout —
+//!   and with it the neighbor CSR and every scatter sweep — is therefore a
+//!   pure function of the owned state, and a fixed shard count replays
+//!   bitwise.
+//! * The integrator fragments replicate [`md_sim::integrate`]'s per-atom
+//!   arithmetic exactly (same kick constant, same operation order), so a
+//!   single serial shard is bitwise identical to the unsharded engine.
+
+use crate::ckpt;
+use crate::layout::ShardLayout;
+use crate::msg::{GhostExport, InitSpec, Msg, PhaseStat, ShardAtom};
+use md_geometry::{Axis, SimBox, Vec3};
+use md_sim::units::FORCE2ACCEL;
+use md_sim::{ForceEngine, Phase, PhaseTimers, PotentialChoice, System};
+use sdc_core::StrategyKind;
+
+/// A shard worker: uninitialized until it sees `Init`.
+#[derive(Default)]
+pub struct ShardCore {
+    state: Option<CoreState>,
+}
+
+struct CoreState {
+    rank: usize,
+    n_ranks: usize,
+    layout: ShardLayout,
+    axis: Axis,
+    sim_box: SimBox,
+    mass: f64,
+    dt: f64,
+    skin: f64,
+    reach: f64,
+    potential: PotentialChoice,
+    fused: bool,
+    strategy: StrategyKind,
+    threads: usize,
+    step: u64,
+    /// Global ids of owned atoms, ascending; parallel to the owned prefix
+    /// of `system` (or to `pend_pos`/`pend_vel` between evict and install).
+    gids: Vec<u64>,
+    pend_pos: Vec<Vec3>,
+    pend_vel: Vec<Vec3>,
+    system: Option<System>,
+    engine: Option<ForceEngine>,
+    n_owned: usize,
+    /// Owned positions at the last rebuild (displacement reference).
+    ref_pos: Vec<Vec3>,
+    /// Per target rank: owned indices exported as ghosts, ascending.
+    exports: Vec<Vec<usize>>,
+    /// Per source rank: number of ghosts installed from it.
+    ghost_counts: Vec<usize>,
+    /// Timers of engines retired by earlier rebuilds.
+    acc_timers: PhaseTimers,
+}
+
+impl ShardCore {
+    /// An empty core awaiting `Init`.
+    pub fn new() -> ShardCore {
+        ShardCore::default()
+    }
+
+    /// Processes one message; `Ok(None)` means shutdown was requested.
+    /// Errors are protocol violations the transport wraps into a
+    /// [`crate::ShardFault::Protocol`].
+    pub fn handle(&mut self, msg: Msg) -> Result<Option<Msg>, String> {
+        match msg {
+            Msg::Init(spec) => {
+                let state = CoreState::from_spec(*spec)?;
+                let rank = state.rank as u64;
+                self.state = Some(state);
+                Ok(Some(Msg::Ready { rank }))
+            }
+            Msg::Shutdown => Ok(None),
+            other => {
+                let state = self
+                    .state
+                    .as_mut()
+                    .ok_or_else(|| format!("message before init: {other:?}"))?;
+                state.handle(other).map(Some)
+            }
+        }
+    }
+}
+
+impl CoreState {
+    fn from_spec(spec: InitSpec) -> Result<CoreState, String> {
+        if spec.rank >= spec.n_ranks {
+            return Err(format!("rank {} out of {}", spec.rank, spec.n_ranks));
+        }
+        let axis = if spec.axis < 3 {
+            Axis::from_index(spec.axis)
+        } else {
+            return Err(format!("bad axis index {}", spec.axis));
+        };
+        let potential = crate::build_potential(&spec.potential, spec.tabulated)?;
+        let strategy = StrategyKind::parse(&spec.strategy)
+            .ok_or_else(|| format!("unknown strategy '{}'", spec.strategy))?;
+        let sim_box = SimBox::periodic(Vec3::from_array(spec.box_lengths));
+        let layout = ShardLayout::new(axis, sim_box.length(axis), spec.n_ranks);
+        let reach = potential.cutoff() + spec.skin;
+        let mut atoms = spec.atoms;
+        atoms.sort_by_key(|a| a.gid);
+        let n = spec.n_ranks;
+        Ok(CoreState {
+            rank: spec.rank,
+            n_ranks: n,
+            layout,
+            axis,
+            sim_box,
+            mass: spec.mass,
+            dt: spec.dt,
+            skin: spec.skin,
+            reach,
+            potential,
+            fused: spec.fused,
+            strategy,
+            threads: spec.threads,
+            step: spec.step,
+            gids: atoms.iter().map(|a| a.gid).collect(),
+            pend_pos: atoms.iter().map(|a| a.pos).collect(),
+            pend_vel: atoms.iter().map(|a| a.vel).collect(),
+            system: None,
+            engine: None,
+            n_owned: 0,
+            ref_pos: Vec::new(),
+            exports: vec![Vec::new(); n],
+            ghost_counts: vec![0; n],
+            acc_timers: PhaseTimers::new(),
+        })
+    }
+
+    fn handle(&mut self, msg: Msg) -> Result<Msg, String> {
+        match msg {
+            Msg::Begin => self.begin(),
+            Msg::Migrate => self.migrate(),
+            Msg::MigIn { atoms } => self.mig_in(atoms),
+            Msg::GhostIn { from } => self.ghost_in(from),
+            Msg::PosTick => self.pos_tick(),
+            Msg::PosIn { from } => self.pos_in(from),
+            Msg::FpIn { from, kick } => self.fp_in(from, kick),
+            Msg::Save { dir } => self.save(&dir),
+            Msg::Gather => Ok(Msg::State {
+                atoms: self.owned_atoms(),
+            }),
+            Msg::Stats => Ok(self.stats()),
+            other => Err(format!("unexpected request {other:?}")),
+        }
+    }
+
+    /// First half-kick + drift + wrap of the owned atoms, then the max
+    /// squared displacement since the last rebuild (driver ORs the rebuild
+    /// decision across shards). Matches `velocity_verlet`'s arithmetic.
+    fn begin(&mut self) -> Result<Msg, String> {
+        let n = self.n_owned;
+        let kick = 0.5 * self.dt * FORCE2ACCEL / self.mass;
+        let system = self.system.as_mut().ok_or("begin before forces ready")?;
+        {
+            let (vel, force) = system.kick_buffers();
+            for (v, f) in vel[..n].iter_mut().zip(&force[..n]) {
+                *v += *f * kick;
+            }
+        }
+        {
+            let dt = self.dt;
+            let (pos, vel) = system.drift_buffers();
+            for (p, v) in pos[..n].iter_mut().zip(&vel[..n]) {
+                *p += *v * dt;
+            }
+        }
+        let positions = system.positions_mut();
+        for p in positions[..n].iter_mut() {
+            *p = self.sim_box.wrap(*p);
+        }
+        let max_sq = positions[..n]
+            .iter()
+            .zip(&self.ref_pos)
+            .map(|(&p, &q)| self.sim_box.distance_sq(p, q))
+            .fold(0.0, f64::max);
+        Ok(Msg::DispOut { max_sq })
+    }
+
+    /// Moves the owned state out of the system (dropping ghosts and the
+    /// engine) back into the pending arrays, banking the engine's timers.
+    fn take_owned(&mut self) {
+        if let Some(engine) = self.engine.take() {
+            self.acc_timers.merge(engine.timers());
+        }
+        if let Some(system) = self.system.take() {
+            let n = self.n_owned;
+            self.pend_pos = system.positions()[..n].to_vec();
+            self.pend_vel = system.velocities()[..n].to_vec();
+        }
+        self.n_owned = 0;
+    }
+
+    fn migrate(&mut self) -> Result<Msg, String> {
+        if self.system.is_none() {
+            return Err("migrate before install".to_string());
+        }
+        self.take_owned();
+        let axis = self.axis.index();
+        let mut to: Vec<Vec<ShardAtom>> = vec![Vec::new(); self.n_ranks];
+        let mut keep_g = Vec::with_capacity(self.gids.len());
+        let mut keep_p = Vec::with_capacity(self.gids.len());
+        let mut keep_v = Vec::with_capacity(self.gids.len());
+        for i in 0..self.gids.len() {
+            let dest = self.layout.rank_of(self.pend_pos[i][axis]);
+            if dest == self.rank {
+                keep_g.push(self.gids[i]);
+                keep_p.push(self.pend_pos[i]);
+                keep_v.push(self.pend_vel[i]);
+            } else {
+                to[dest].push(ShardAtom {
+                    gid: self.gids[i],
+                    pos: self.pend_pos[i],
+                    vel: self.pend_vel[i],
+                });
+            }
+        }
+        self.gids = keep_g;
+        self.pend_pos = keep_p;
+        self.pend_vel = keep_v;
+        Ok(Msg::MigOut { to })
+    }
+
+    fn mig_in(&mut self, atoms: Vec<ShardAtom>) -> Result<Msg, String> {
+        // Tolerate a still-installed system so the initial force refresh
+        // (and a re-refresh after resume) can reuse this path directly.
+        if self.system.is_some() {
+            self.take_owned();
+        }
+        for a in atoms {
+            self.gids.push(a.gid);
+            self.pend_pos.push(a.pos);
+            self.pend_vel.push(a.vel);
+        }
+        // Re-establish the canonical ascending-gid order.
+        let mut order: Vec<usize> = (0..self.gids.len()).collect();
+        order.sort_by_key(|&i| self.gids[i]);
+        self.gids = order.iter().map(|&i| self.gids[i]).collect();
+        self.pend_pos = order.iter().map(|&i| self.pend_pos[i]).collect();
+        self.pend_vel = order.iter().map(|&i| self.pend_vel[i]).collect();
+
+        let axis = self.axis.index();
+        let mut to = Vec::with_capacity(self.n_ranks);
+        for t in 0..self.n_ranks {
+            let mut export = GhostExport::default();
+            let mut idx = Vec::new();
+            if t != self.rank {
+                for (i, &p) in self.pend_pos.iter().enumerate() {
+                    if self.layout.axis_dist(p[axis], t) <= self.reach {
+                        idx.push(i);
+                        export.gids.push(self.gids[i]);
+                        export.pos.push(p);
+                    }
+                }
+            }
+            self.exports[t] = idx;
+            to.push(export);
+        }
+        Ok(Msg::GhostOut { to })
+    }
+
+    fn ghost_in(&mut self, from: Vec<GhostExport>) -> Result<Msg, String> {
+        if from.len() != self.n_ranks {
+            return Err("ghost_in rank count mismatch".to_string());
+        }
+        let n_owned = self.pend_pos.len();
+        let mut positions = std::mem::take(&mut self.pend_pos);
+        for (s, batch) in from.iter().enumerate() {
+            self.ghost_counts[s] = if s == self.rank { 0 } else { batch.pos.len() };
+            if s != self.rank {
+                positions.extend_from_slice(&batch.pos);
+            }
+        }
+        let mut system = System::new(self.sim_box, positions, self.mass);
+        system.velocities_mut()[..n_owned].copy_from_slice(&self.pend_vel);
+        self.pend_vel.clear();
+        self.n_owned = n_owned;
+        self.ref_pos = system.positions()[..n_owned].to_vec();
+        // The halo path rebuilds by constructing a fresh engine, so the
+        // neighbor-list cost is banked here rather than by maybe_rebuild.
+        let rebuild_start = std::time::Instant::now();
+        let mut engine = ForceEngine::with_fallback(
+            &system,
+            self.potential.clone(),
+            self.strategy,
+            self.threads,
+            self.skin,
+        )
+        .map_err(|e| format!("engine rebuild failed: {e}"))?;
+        self.acc_timers
+            .add(Phase::Neighbor, rebuild_start.elapsed());
+        engine.set_fused(self.fused);
+        engine.compute_density_phase(&mut system);
+        self.system = Some(system);
+        self.engine = Some(engine);
+        Ok(self.fp_out())
+    }
+
+    fn pos_tick(&mut self) -> Result<Msg, String> {
+        let system = self.system.as_ref().ok_or("pos_tick before install")?;
+        let pos = system.positions();
+        let to = self
+            .exports
+            .iter()
+            .map(|idx| idx.iter().map(|&i| pos[i]).collect())
+            .collect();
+        Ok(Msg::PosOut { to })
+    }
+
+    fn pos_in(&mut self, from: Vec<Vec<Vec3>>) -> Result<Msg, String> {
+        if from.len() != self.n_ranks {
+            return Err("pos_in rank count mismatch".to_string());
+        }
+        {
+            let system = self.system.as_mut().ok_or("pos_in before install")?;
+            let positions = system.positions_mut();
+            let mut base = self.n_owned;
+            for (s, batch) in from.iter().enumerate() {
+                if s == self.rank {
+                    continue;
+                }
+                if batch.len() != self.ghost_counts[s] {
+                    return Err(format!(
+                        "pos_in ghost count mismatch from rank {s}: got {}, expected {}",
+                        batch.len(),
+                        self.ghost_counts[s]
+                    ));
+                }
+                positions[base..base + batch.len()].copy_from_slice(batch);
+                base += batch.len();
+            }
+        }
+        let (system, engine) = (self.system.as_mut().unwrap(), self.engine.as_mut().unwrap());
+        engine.compute_density_phase(system);
+        Ok(self.fp_out())
+    }
+
+    /// Embedding derivatives of this shard's exported atoms, in export
+    /// order, read back out of the just-finished density phase.
+    fn fp_out(&self) -> Msg {
+        let fp = self.system.as_ref().expect("density before fp_out").fp();
+        let to = self
+            .exports
+            .iter()
+            .map(|idx| idx.iter().map(|&i| fp[i]).collect())
+            .collect();
+        Msg::FpOut { to }
+    }
+
+    fn fp_in(&mut self, from: Vec<Vec<f64>>, kick: bool) -> Result<Msg, String> {
+        if from.len() != self.n_ranks {
+            return Err("fp_in rank count mismatch".to_string());
+        }
+        {
+            let system = self.system.as_mut().ok_or("fp_in before install")?;
+            let fp = system.fp_mut();
+            let mut base = self.n_owned;
+            for (s, batch) in from.iter().enumerate() {
+                if s == self.rank {
+                    continue;
+                }
+                if batch.len() != self.ghost_counts[s] {
+                    return Err(format!(
+                        "fp_in ghost count mismatch from rank {s}: got {}, expected {}",
+                        batch.len(),
+                        self.ghost_counts[s]
+                    ));
+                }
+                fp[base..base + batch.len()].copy_from_slice(batch);
+                base += batch.len();
+            }
+        }
+        let system = self.system.as_mut().unwrap();
+        self.engine.as_mut().unwrap().compute_force_phase(system);
+        if kick {
+            let n = self.n_owned;
+            let k = 0.5 * self.dt * FORCE2ACCEL / self.mass;
+            let (vel, force) = system.kick_buffers();
+            for (v, f) in vel[..n].iter_mut().zip(&force[..n]) {
+                *v += *f * k;
+            }
+            self.step += 1;
+        }
+        Ok(Msg::StepDone { step: self.step })
+    }
+
+    fn owned_atoms(&self) -> Vec<ShardAtom> {
+        let (pos, vel): (&[Vec3], &[Vec3]) = match &self.system {
+            Some(s) => (&s.positions()[..self.n_owned], &s.velocities()[..self.n_owned]),
+            None => (&self.pend_pos, &self.pend_vel),
+        };
+        self.gids
+            .iter()
+            .zip(pos.iter().zip(vel))
+            .map(|(&gid, (&pos, &vel))| ShardAtom { gid, pos, vel })
+            .collect()
+    }
+
+    fn save(&mut self, dir: &str) -> Result<Msg, String> {
+        let path = ckpt::save_shard(
+            std::path::Path::new(dir),
+            self.rank,
+            self.n_ranks,
+            self.step,
+            &self.owned_atoms(),
+        )
+        .map_err(|e| format!("checkpoint save failed: {e}"))?;
+        Ok(Msg::Saved {
+            path: path.to_string_lossy().into_owned(),
+        })
+    }
+
+    fn stats(&self) -> Msg {
+        let mut merged = PhaseTimers::new();
+        merged.merge(&self.acc_timers);
+        if let Some(engine) = &self.engine {
+            merged.merge(engine.timers());
+        }
+        let phases = [
+            (Phase::Density, "density"),
+            (Phase::Embedding, "embedding"),
+            (Phase::Force, "force"),
+            (Phase::Neighbor, "neighbor"),
+            (Phase::Other, "other"),
+        ]
+        .into_iter()
+        .map(|(phase, name)| PhaseStat {
+            name: name.to_string(),
+            seconds: merged.elapsed(phase).as_secs_f64(),
+            count: merged.count(phase),
+        })
+        .collect();
+        Msg::StatsOut { phases }
+    }
+}
+
+/// Maps a wire phase name back to the engine's [`Phase`].
+pub fn phase_by_name(name: &str) -> Option<Phase> {
+    Some(match name {
+        "density" => Phase::Density,
+        "embedding" => Phase::Embedding,
+        "force" => Phase::Force,
+        "neighbor" => Phase::Neighbor,
+        "other" => Phase::Other,
+        _ => return None,
+    })
+}

@@ -1,0 +1,613 @@
+//! The shard driver: a star relay running the velocity-Verlet protocol
+//! over N transports.
+//!
+//! The driver never touches atom physics — it partitions the initial
+//! system, relays per-rank payloads between shards, ORs the rebuild
+//! decision, and aggregates stats. Every step is a fixed round-trip
+//! schedule (see [`crate::msg`]); on a rebuild step the migrate + ghost
+//! re-selection legs are inserted, otherwise only positions and embedding
+//! derivatives flow.
+
+use crate::codec;
+use crate::core::{phase_by_name, ShardCore};
+use crate::layout::ShardLayout;
+use crate::msg::{GhostExport, InitSpec, Msg, ShardAtom};
+use crate::{ckpt, ShardFault};
+use md_geometry::{Axis, SimBox, Vec3};
+use md_sim::metrics::SimMetrics;
+use md_sim::metrics::report::ShardsInfo;
+use md_sim::{PhaseTimers, System};
+use std::collections::VecDeque;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One bidirectional driver ↔ shard link.
+pub trait Transport {
+    /// Delivers one request to the shard.
+    fn send(&mut self, msg: &Msg) -> Result<(), ShardFault>;
+    /// Receives the shard's next reply.
+    fn recv(&mut self) -> Result<Msg, ShardFault>;
+}
+
+/// The virtual-rank backend: the shard lives inside the driver process and
+/// requests are processed inline — but every message still passes through
+/// [`codec::encode_frame`]/[`codec::decode_frame`], so the conformance
+/// battery exercises the exact bytes the process backend puts on a socket.
+pub struct MemTransport {
+    rank: usize,
+    core: ShardCore,
+    replies: VecDeque<Vec<u8>>,
+}
+
+impl MemTransport {
+    /// A fresh in-process shard at `rank`.
+    pub fn new(rank: usize) -> MemTransport {
+        MemTransport {
+            rank,
+            core: ShardCore::new(),
+            replies: VecDeque::new(),
+        }
+    }
+}
+
+impl Transport for MemTransport {
+    fn send(&mut self, msg: &Msg) -> Result<(), ShardFault> {
+        let frame = codec::encode_frame(&msg.encode());
+        let (payload, _) = codec::decode_frame(&frame).map_err(|error| ShardFault::Codec {
+            rank: self.rank,
+            error,
+        })?;
+        let request = Msg::decode(&payload).map_err(|error| ShardFault::Codec {
+            rank: self.rank,
+            error,
+        })?;
+        match self.core.handle(request) {
+            Ok(Some(reply)) => {
+                self.replies.push_back(codec::encode_frame(&reply.encode()));
+                Ok(())
+            }
+            Ok(None) => Ok(()),
+            Err(detail) => Err(ShardFault::Protocol {
+                rank: self.rank,
+                detail,
+            }),
+        }
+    }
+
+    fn recv(&mut self) -> Result<Msg, ShardFault> {
+        let frame = self.replies.pop_front().ok_or_else(|| ShardFault::Protocol {
+            rank: self.rank,
+            detail: "no pending reply".to_string(),
+        })?;
+        let (payload, _) = codec::decode_frame(&frame).map_err(|error| ShardFault::Codec {
+            rank: self.rank,
+            error,
+        })?;
+        Msg::decode(&payload).map_err(|error| ShardFault::Codec {
+            rank: self.rank,
+            error,
+        })
+    }
+}
+
+/// Run configuration shared by every shard.
+#[derive(Debug, Clone)]
+pub struct WorldSpec {
+    /// Potential name (`fe`, `cu`, `lj`).
+    pub potential: String,
+    /// Use the tabulated EAM form.
+    pub tabulated: bool,
+    /// Use the fused EAM path.
+    pub fused: bool,
+    /// Scatter strategy name.
+    pub strategy: String,
+    /// Worker threads per shard.
+    pub threads: usize,
+    /// Verlet skin (Å).
+    pub skin: f64,
+    /// Time step (ps).
+    pub dt: f64,
+    /// Atomic mass (amu).
+    pub mass: f64,
+}
+
+/// Aggregate decomposition counters, driver-observed.
+#[derive(Debug, Clone, Default)]
+pub struct ShardStats {
+    /// Ghost atoms shipped shard→shard (position exports, summed over
+    /// steps; each refresh of an export counts once).
+    pub ghost_sent: u64,
+    /// Ghost atoms installed (equals `ghost_sent` under the star relay).
+    pub ghost_recv: u64,
+    /// Atoms that changed owner at rebuilds.
+    pub migrated: u64,
+    /// Neighbor-list rebuild rounds (world-wide, driver-ORed).
+    pub rebuilds: u64,
+    /// Driver wall time spent relaying halo payloads.
+    pub exchange_seconds: f64,
+}
+
+/// A sharded simulation: N shards behind transports, one driver.
+pub struct ShardWorld {
+    links: Vec<Box<dyn Transport>>,
+    spec: WorldSpec,
+    sim_box: SimBox,
+    n_atoms: usize,
+    step: u64,
+    limit_sq: f64,
+    stats: ShardStats,
+    metrics: Option<Arc<SimMetrics>>,
+}
+
+/// The decomposition axis every world uses (slabs along x).
+pub const SHARD_AXIS: Axis = Axis::X;
+
+impl ShardWorld {
+    /// Stands up a fully in-process world over [`MemTransport`]s.
+    pub fn virtual_world(
+        system: &System,
+        spec: &WorldSpec,
+        shards: usize,
+    ) -> Result<ShardWorld, ShardFault> {
+        let links = (0..shards)
+            .map(|r| Box::new(MemTransport::new(r)) as Box<dyn Transport>)
+            .collect();
+        ShardWorld::with_transports(system, spec, links)
+    }
+
+    /// Partitions `system` into slabs and boots one shard per transport at
+    /// step 0. Forces are *not* computed yet — call
+    /// [`ShardWorld::refresh_forces`] before stepping.
+    pub fn with_transports(
+        system: &System,
+        spec: &WorldSpec,
+        links: Vec<Box<dyn Transport>>,
+    ) -> Result<ShardWorld, ShardFault> {
+        let shards = links.len();
+        assert!(shards > 0, "a world needs at least one shard");
+        assert!(
+            system.sim_box().periodicity() == [true; 3],
+            "sharding requires a fully periodic box"
+        );
+        let layout = ShardLayout::new(
+            SHARD_AXIS,
+            system.sim_box().length(SHARD_AXIS),
+            shards,
+        );
+        let axis = SHARD_AXIS.index();
+        let mut per_rank: Vec<Vec<ShardAtom>> = vec![Vec::new(); shards];
+        for (gid, (&pos, &vel)) in system
+            .positions()
+            .iter()
+            .zip(system.velocities())
+            .enumerate()
+        {
+            per_rank[layout.rank_of(pos[axis])].push(ShardAtom {
+                gid: gid as u64,
+                pos,
+                vel,
+            });
+        }
+        ShardWorld::boot(*system.sim_box(), spec, links, per_rank, 0)
+    }
+
+    /// Boots a world from the committed checkpoint generation in `dir`,
+    /// resuming every shard at the manifest's step.
+    pub fn resume_with_transports(
+        dir: &Path,
+        sim_box: SimBox,
+        spec: &WorldSpec,
+        links: Vec<Box<dyn Transport>>,
+    ) -> Result<ShardWorld, ShardFault> {
+        let (step, per_rank) = ckpt::load_world(dir, links.len())?;
+        ShardWorld::boot(sim_box, spec, links, per_rank, step)
+    }
+
+    fn boot(
+        sim_box: SimBox,
+        spec: &WorldSpec,
+        mut links: Vec<Box<dyn Transport>>,
+        per_rank: Vec<Vec<ShardAtom>>,
+        step: u64,
+    ) -> Result<ShardWorld, ShardFault> {
+        let shards = links.len();
+        let n_atoms = per_rank.iter().map(Vec::len).sum();
+        for (rank, (link, atoms)) in links.iter_mut().zip(per_rank).enumerate() {
+            link.send(&Msg::Init(Box::new(InitSpec {
+                rank,
+                n_ranks: shards,
+                axis: SHARD_AXIS.index(),
+                box_lengths: sim_box.lengths().to_array(),
+                potential: spec.potential.clone(),
+                tabulated: spec.tabulated,
+                fused: spec.fused,
+                strategy: spec.strategy.clone(),
+                threads: spec.threads,
+                skin: spec.skin,
+                dt: spec.dt,
+                mass: spec.mass,
+                step,
+                atoms,
+            })))?;
+        }
+        let mut world = ShardWorld {
+            links,
+            spec: spec.clone(),
+            sim_box,
+            n_atoms,
+            step,
+            limit_sq: (spec.skin * 0.5) * (spec.skin * 0.5),
+            stats: ShardStats::default(),
+            metrics: None,
+        };
+        for (rank, reply) in world.recv_all()?.into_iter().enumerate() {
+            match reply {
+                Msg::Ready { rank: r } if r as usize == rank => {}
+                other => return Err(world.protocol(rank, format!("expected ready, got {other:?}"))),
+            }
+        }
+        Ok(world)
+    }
+
+    fn protocol(&self, rank: usize, detail: String) -> ShardFault {
+        ShardFault::Protocol { rank, detail }
+    }
+
+    fn send_all(&mut self, mut mk: impl FnMut(usize) -> Msg) -> Result<(), ShardFault> {
+        for (rank, link) in self.links.iter_mut().enumerate() {
+            link.send(&mk(rank))?;
+        }
+        Ok(())
+    }
+
+    fn recv_all(&mut self) -> Result<Vec<Msg>, ShardFault> {
+        self.links.iter_mut().map(|l| l.recv()).collect()
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Total atom count.
+    pub fn n_atoms(&self) -> usize {
+        self.n_atoms
+    }
+
+    /// Completed step count.
+    pub fn step_count(&self) -> u64 {
+        self.step
+    }
+
+    /// Driver-observed decomposition counters.
+    pub fn stats(&self) -> &ShardStats {
+        &self.stats
+    }
+
+    /// The global box.
+    pub fn sim_box(&self) -> &SimBox {
+        &self.sim_box
+    }
+
+    /// Turns on the driver-side observability bundle (span histograms for
+    /// the run report; the scatter section stays empty — per-shard scatter
+    /// counters live in the workers).
+    pub fn enable_metrics(&mut self) {
+        if self.metrics.is_none() {
+            self.metrics = Some(Arc::new(SimMetrics::new(self.spec.threads)));
+        }
+    }
+
+    /// The driver-side metrics bundle, when enabled.
+    pub fn metrics(&self) -> Option<&Arc<SimMetrics>> {
+        self.metrics.as_ref()
+    }
+
+    /// Full halo refresh and force computation without advancing time:
+    /// ghost re-selection, density, fp exchange, force phase. Required
+    /// once after boot (and exactly mirrors the rebuild leg of a step).
+    pub fn refresh_forces(&mut self) -> Result<(), ShardFault> {
+        let start = Instant::now();
+        self.exchange_and_force(Vec::new(), false)?;
+        if let Some(m) = &self.metrics {
+            m.force.record(start.elapsed());
+        }
+        Ok(())
+    }
+
+    /// The rebuild leg: (optional migration payload already routed by the
+    /// caller) → ghost exports → density → fp exchange → force phase.
+    /// `kick` selects whether the shards close the step with a half-kick.
+    fn exchange_and_force(
+        &mut self,
+        incoming: Vec<Vec<ShardAtom>>,
+        kick: bool,
+    ) -> Result<(), ShardFault> {
+        let shards = self.shards();
+        let mut incoming = incoming;
+        incoming.resize(shards, Vec::new());
+        for (rank, link) in self.links.iter_mut().enumerate() {
+            link.send(&Msg::MigIn {
+                atoms: std::mem::take(&mut incoming[rank]),
+            })?;
+        }
+        let exports = self.collect_ghost_exports()?;
+        let relay = Instant::now();
+        let ghost_in = route_exports(&exports, shards);
+        let shipped: u64 = ghost_in
+            .iter()
+            .flat_map(|per| per.iter().map(|e| e.gids.len() as u64))
+            .sum();
+        self.stats.ghost_sent += shipped;
+        self.stats.ghost_recv += shipped;
+        self.stats.exchange_seconds += relay.elapsed().as_secs_f64();
+        let mut ghost_in = ghost_in;
+        for (rank, link) in self.links.iter_mut().enumerate() {
+            link.send(&Msg::GhostIn {
+                from: std::mem::take(&mut ghost_in[rank]),
+            })?;
+        }
+        self.fp_exchange(kick)
+    }
+
+    fn collect_ghost_exports(&mut self) -> Result<Vec<Vec<GhostExport>>, ShardFault> {
+        self.recv_all()?
+            .into_iter()
+            .enumerate()
+            .map(|(rank, m)| match m {
+                Msg::GhostOut { to } if to.len() == self.shards() => Ok(to),
+                other => Err(self.protocol(rank, format!("expected ghost_out, got {other:?}"))),
+            })
+            .collect()
+    }
+
+    /// Relays the shards' `FpOut` replies and closes the force evaluation.
+    fn fp_exchange(&mut self, kick: bool) -> Result<(), ShardFault> {
+        let shards = self.shards();
+        let fp_out: Vec<Vec<Vec<f64>>> = self
+            .recv_all()?
+            .into_iter()
+            .enumerate()
+            .map(|(rank, m)| match m {
+                Msg::FpOut { to } if to.len() == shards => Ok(to),
+                other => Err(self.protocol(rank, format!("expected fp_out, got {other:?}"))),
+            })
+            .collect::<Result<_, _>>()?;
+        let relay = Instant::now();
+        let mut fp_in: Vec<Vec<Vec<f64>>> = (0..shards)
+            .map(|t| (0..shards).map(|s| fp_out[s][t].clone()).collect())
+            .collect();
+        self.stats.exchange_seconds += relay.elapsed().as_secs_f64();
+        for (rank, link) in self.links.iter_mut().enumerate() {
+            link.send(&Msg::FpIn {
+                from: std::mem::take(&mut fp_in[rank]),
+                kick,
+            })?;
+        }
+        let want = self.step + u64::from(kick);
+        for (rank, m) in self.recv_all()?.into_iter().enumerate() {
+            match m {
+                Msg::StepDone { step } if step == want => {}
+                other => {
+                    return Err(self.protocol(
+                        rank,
+                        format!("expected step_done at {want}, got {other:?}"),
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Advances the world one velocity-Verlet step.
+    pub fn step(&mut self) -> Result<(), ShardFault> {
+        let step_start = Instant::now();
+        self.send_all(|_| Msg::Begin)?;
+        let mut max_sq = 0.0f64;
+        for (rank, m) in self.recv_all()?.into_iter().enumerate() {
+            match m {
+                Msg::DispOut { max_sq: d } => max_sq = max_sq.max(d),
+                other => return Err(self.protocol(rank, format!("expected disp, got {other:?}"))),
+            }
+        }
+        let integrate_elapsed = step_start.elapsed();
+
+        if max_sq > self.limit_sq {
+            let rebuild_start = Instant::now();
+            self.send_all(|_| Msg::Migrate)?;
+            let shards = self.shards();
+            let outgoing: Vec<Vec<Vec<ShardAtom>>> = self
+                .recv_all()?
+                .into_iter()
+                .enumerate()
+                .map(|(rank, m)| match m {
+                    Msg::MigOut { to } if to.len() == shards => Ok(to),
+                    other => {
+                        Err(self.protocol(rank, format!("expected mig_out, got {other:?}")))
+                    }
+                })
+                .collect::<Result<_, _>>()?;
+            let mut incoming: Vec<Vec<ShardAtom>> = vec![Vec::new(); shards];
+            for per_target in outgoing {
+                for (t, atoms) in per_target.into_iter().enumerate() {
+                    self.stats.migrated += atoms.len() as u64;
+                    incoming[t].extend(atoms);
+                }
+            }
+            self.stats.rebuilds += 1;
+            if let Some(m) = &self.metrics {
+                m.rebuild.record(rebuild_start.elapsed());
+            }
+            let force_start = Instant::now();
+            self.exchange_and_force(incoming, true)?;
+            if let Some(m) = &self.metrics {
+                m.force.record(force_start.elapsed());
+            }
+        } else {
+            let force_start = Instant::now();
+            self.send_all(|_| Msg::PosTick)?;
+            let shards = self.shards();
+            let pos_out: Vec<Vec<Vec<Vec3>>> = self
+                .recv_all()?
+                .into_iter()
+                .enumerate()
+                .map(|(rank, m)| match m {
+                    Msg::PosOut { to } if to.len() == shards => Ok(to),
+                    other => {
+                        Err(self.protocol(rank, format!("expected pos_out, got {other:?}")))
+                    }
+                })
+                .collect::<Result<_, _>>()?;
+            let relay = Instant::now();
+            let mut pos_in: Vec<Vec<Vec<Vec3>>> = (0..shards)
+                .map(|t| (0..shards).map(|s| pos_out[s][t].clone()).collect())
+                .collect();
+            let shipped: u64 = pos_in
+                .iter()
+                .flat_map(|per| per.iter().map(|v| v.len() as u64))
+                .sum();
+            self.stats.ghost_sent += shipped;
+            self.stats.ghost_recv += shipped;
+            self.stats.exchange_seconds += relay.elapsed().as_secs_f64();
+            for (rank, link) in self.links.iter_mut().enumerate() {
+                link.send(&Msg::PosIn {
+                    from: std::mem::take(&mut pos_in[rank]),
+                })?;
+            }
+            self.fp_exchange(true)?;
+            if let Some(m) = &self.metrics {
+                m.force.record(force_start.elapsed());
+            }
+        }
+        self.step += 1;
+        if let Some(m) = &self.metrics {
+            m.integrate.record(integrate_elapsed);
+            m.step.record(step_start.elapsed());
+        }
+        Ok(())
+    }
+
+    /// Runs `n` steps.
+    pub fn run(&mut self, n: u64) -> Result<(), ShardFault> {
+        for _ in 0..n {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Collects the full system state (positions and velocities by global
+    /// id) from every shard.
+    pub fn gather(&mut self) -> Result<(Vec<Vec3>, Vec<Vec3>), ShardFault> {
+        self.send_all(|_| Msg::Gather)?;
+        let mut pos = vec![None; self.n_atoms];
+        let mut vel = vec![Vec3::ZERO; self.n_atoms];
+        for (rank, m) in self.recv_all()?.into_iter().enumerate() {
+            let atoms = match m {
+                Msg::State { atoms } => atoms,
+                other => return Err(self.protocol(rank, format!("expected state, got {other:?}"))),
+            };
+            for a in atoms {
+                let gid = a.gid as usize;
+                if gid >= self.n_atoms || pos[gid].is_some() {
+                    return Err(self.protocol(rank, format!("bad or duplicate gid {gid}")));
+                }
+                pos[gid] = Some(a.pos);
+                vel[gid] = a.vel;
+            }
+        }
+        let pos = pos
+            .into_iter()
+            .enumerate()
+            .map(|(gid, p)| p.ok_or_else(|| self.protocol(0, format!("atom {gid} lost"))))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok((pos, vel))
+    }
+
+    /// Gathers into a [`System`] (for thermo reporting).
+    pub fn gather_system(&mut self) -> Result<System, ShardFault> {
+        let (pos, vel) = self.gather()?;
+        let mut system = System::new(self.sim_box, pos, self.spec.mass);
+        system.velocities_mut().copy_from_slice(&vel);
+        Ok(system)
+    }
+
+    /// Saves a consistent world checkpoint generation into `dir`: every
+    /// shard writes its own file, then the manifest is committed and older
+    /// generations are pruned.
+    pub fn save_checkpoint(&mut self, dir: &Path) -> Result<(), ShardFault> {
+        std::fs::create_dir_all(dir).map_err(|error| ShardFault::Io { rank: 0, error })?;
+        let dir_str = dir.to_string_lossy().into_owned();
+        self.send_all(|_| Msg::Save {
+            dir: dir_str.clone(),
+        })?;
+        for (rank, m) in self.recv_all()?.into_iter().enumerate() {
+            match m {
+                Msg::Saved { .. } => {}
+                other => return Err(self.protocol(rank, format!("expected saved, got {other:?}"))),
+            }
+        }
+        ckpt::commit_meta(dir, self.step, self.shards())?;
+        ckpt::prune_old(dir, self.step).map_err(|error| ShardFault::Io { rank: 0, error })?;
+        Ok(())
+    }
+
+    /// Fetches and merges every shard's phase timers (for the run report's
+    /// `phases` section).
+    pub fn merged_timers(&mut self) -> Result<PhaseTimers, ShardFault> {
+        self.send_all(|_| Msg::Stats)?;
+        let mut merged = PhaseTimers::new();
+        for (rank, m) in self.recv_all()?.into_iter().enumerate() {
+            let phases = match m {
+                Msg::StatsOut { phases } => phases,
+                other => {
+                    return Err(self.protocol(rank, format!("expected stats_out, got {other:?}")))
+                }
+            };
+            let mut timers = PhaseTimers::new();
+            for stat in phases {
+                let phase = phase_by_name(&stat.name)
+                    .ok_or_else(|| self.protocol(rank, format!("unknown phase '{}'", stat.name)))?;
+                if stat.count > 0 {
+                    // One add carries the duration; the rest restore the
+                    // sample count without changing the total.
+                    timers.add(phase, Duration::from_secs_f64(stat.seconds));
+                    for _ in 1..stat.count {
+                        timers.add(phase, Duration::ZERO);
+                    }
+                }
+            }
+            merged.merge(&timers);
+        }
+        Ok(merged)
+    }
+
+    /// The run report's `shards` section for this world.
+    pub fn shards_info(&self, backend: &str) -> ShardsInfo {
+        ShardsInfo {
+            count: self.shards(),
+            backend: backend.to_string(),
+            ghost_sent: self.stats.ghost_sent,
+            ghost_recv: self.stats.ghost_recv,
+            migrated: self.stats.migrated,
+            rebuilds: self.stats.rebuilds,
+            exchange_seconds: self.stats.exchange_seconds,
+        }
+    }
+
+    /// Asks every shard to exit (errors ignored — a dead link is already
+    /// the outcome shutdown wants).
+    pub fn shutdown(&mut self) {
+        for link in &mut self.links {
+            let _ = link.send(&Msg::Shutdown);
+        }
+    }
+}
+
+/// Transposes per-source `GhostOut.to` matrices into per-target
+/// `GhostIn.from` payloads (`from[t][s] = to[s][t]`).
+fn route_exports(exports: &[Vec<GhostExport>], shards: usize) -> Vec<Vec<GhostExport>> {
+    (0..shards)
+        .map(|t| (0..shards).map(|s| exports[s][t].clone()).collect())
+        .collect()
+}

@@ -1,0 +1,193 @@
+//! Property fuzz of the shard wire codec: every f64 bit pattern must
+//! round-trip exactly, and torn / truncated / corrupted frames must come
+//! back as typed [`CodecError`]s — never a panic, never a silently wrong
+//! message.
+
+use md_geometry::Vec3;
+use md_serve::wire::compact;
+use md_shard::codec::{self, f64_to_hex, hex_to_f64, CodecError, MAX_FRAME};
+use md_shard::{GhostExport, Msg, ShardAtom};
+use proptest::collection;
+use proptest::prelude::*;
+
+/// Highest gid the wire carries as a plain JSON number (f64-exact).
+const MAX_GID: u64 = 1 << 53;
+
+fn vec3_of(bits: (u64, u64, u64)) -> Vec3 {
+    Vec3::new(
+        f64::from_bits(bits.0),
+        f64::from_bits(bits.1),
+        f64::from_bits(bits.2),
+    )
+}
+
+type AtomBits = (u64, (u64, u64, u64), (u64, u64, u64));
+
+fn atoms_of(raw: Vec<AtomBits>) -> Vec<ShardAtom> {
+    raw.into_iter()
+        .map(|(gid, pos, vel)| ShardAtom {
+            gid,
+            pos: vec3_of(pos),
+            vel: vec3_of(vel),
+        })
+        .collect()
+}
+
+/// The canonical comparison: NaN breaks `PartialEq`, compact re-encoding
+/// compares the exact wire bytes instead.
+fn wire_bytes(msg: &Msg) -> String {
+    compact(&msg.encode())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn every_f64_bit_pattern_survives_the_hex_trip(bits in any::<u64>()) {
+        let x = f64::from_bits(bits);
+        let back = hex_to_f64(&f64_to_hex(x)).unwrap();
+        prop_assert_eq!(back.to_bits(), bits);
+    }
+
+    #[test]
+    fn atom_payloads_round_trip_bit_exactly(
+        raw in collection::vec(
+            (0..MAX_GID, (any::<u64>(), any::<u64>(), any::<u64>()),
+             (any::<u64>(), any::<u64>(), any::<u64>())),
+            0..8,
+        ),
+    ) {
+        let msg = Msg::MigIn { atoms: atoms_of(raw) };
+        let frame = codec::encode_frame(&msg.encode());
+        let (payload, used) = codec::decode_frame(&frame).unwrap();
+        prop_assert_eq!(used, frame.len());
+        let back = Msg::decode(&payload).unwrap();
+        prop_assert_eq!(wire_bytes(&back), wire_bytes(&msg));
+    }
+
+    #[test]
+    fn ghost_and_fp_payloads_round_trip_bit_exactly(
+        entries in collection::vec(
+            (0..MAX_GID, (any::<u64>(), any::<u64>(), any::<u64>())),
+            0..6,
+        ),
+        fp_bits in collection::vec(any::<u64>(), 0..6),
+        kick in proptest::bool::ANY,
+    ) {
+        let ghost = Msg::GhostOut {
+            to: vec![GhostExport {
+                gids: entries.iter().map(|&(gid, _)| gid).collect(),
+                pos: entries.iter().map(|&(_, bits)| vec3_of(bits)).collect(),
+            }],
+        };
+        let fp = Msg::FpIn {
+            from: vec![fp_bits.iter().map(|&b| f64::from_bits(b)).collect()],
+            kick,
+        };
+        for msg in [ghost, fp] {
+            let frame = codec::encode_frame(&msg.encode());
+            let (payload, _) = codec::decode_frame(&frame).unwrap();
+            let back = Msg::decode(&payload).unwrap();
+            prop_assert_eq!(wire_bytes(&back), wire_bytes(&msg));
+        }
+    }
+
+    #[test]
+    fn torn_frames_are_truncated_errors_at_every_cut(
+        raw in collection::vec(
+            (0..MAX_GID, (any::<u64>(), any::<u64>(), any::<u64>()),
+             (any::<u64>(), any::<u64>(), any::<u64>())),
+            0..4,
+        ),
+        cut_seed in any::<u64>(),
+    ) {
+        let frame = codec::encode_frame(&Msg::MigIn { atoms: atoms_of(raw) }.encode());
+        let cut = (cut_seed % frame.len() as u64) as usize;
+        prop_assert!(matches!(
+            codec::decode_frame(&frame[..cut]),
+            Err(CodecError::Truncated)
+        ));
+        // The stream reader reports the same condition.
+        let mut stream = std::io::Cursor::new(frame[..cut].to_vec());
+        prop_assert!(matches!(
+            codec::read_frame(&mut stream),
+            Err(CodecError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn corrupted_frames_never_yield_a_different_message(
+        raw in collection::vec(
+            (0..MAX_GID, (any::<u64>(), any::<u64>(), any::<u64>()),
+             (any::<u64>(), any::<u64>(), any::<u64>())),
+            0..4,
+        ),
+        idx_seed in any::<u64>(),
+        bit in 0..8u32,
+    ) {
+        let msg = Msg::MigIn { atoms: atoms_of(raw) };
+        let mut frame = codec::encode_frame(&msg.encode());
+        let idx = (idx_seed % frame.len() as u64) as usize;
+        frame[idx] ^= 1 << bit;
+        match codec::decode_frame(&frame) {
+            // Typed rejection is the expected outcome for any single-bit
+            // corruption (checksum, framing or length damage).
+            Err(
+                CodecError::Truncated
+                | CodecError::Oversize(_)
+                | CodecError::BadChecksum { .. }
+                | CodecError::BadJson(_)
+                | CodecError::BadField(_)
+                | CodecError::Io(_),
+            ) => {}
+            // Acceptance is sound only if the bytes decode to the very
+            // same message (theoretically unreachable for a bit flip).
+            Ok((payload, _)) => {
+                let back = Msg::decode(&payload);
+                prop_assert!(back.is_ok());
+                prop_assert_eq!(wire_bytes(&back.unwrap()), wire_bytes(&msg));
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefixes_are_rejected_without_allocating(
+        excess in 1u32..=1024,
+        tail in collection::vec(any::<u8>(), 0..16),
+    ) {
+        let mut frame = (MAX_FRAME + excess).to_le_bytes().to_vec();
+        frame.extend(tail);
+        prop_assert!(matches!(
+            codec::decode_frame(&frame),
+            Err(CodecError::Oversize(_))
+        ));
+        let mut stream = std::io::Cursor::new(frame);
+        prop_assert!(matches!(
+            codec::read_frame(&mut stream),
+            Err(CodecError::Oversize(_))
+        ));
+    }
+
+    #[test]
+    fn garbage_byte_soup_never_panics(bytes in collection::vec(any::<u8>(), 0..64)) {
+        // Any outcome is fine; the property is the absence of a panic and
+        // of unbounded allocation.
+        let _ = codec::decode_frame(&bytes);
+        let mut stream = std::io::Cursor::new(bytes);
+        let _ = codec::read_frame(&mut stream);
+    }
+
+    #[test]
+    fn unknown_tags_and_missing_fields_are_bad_field_errors(
+        tag_bytes in collection::vec(97u8..=122, 1..8),
+    ) {
+        use md_sim::metrics::JsonValue;
+        // An "x"-prefixed lowercase tag collides with no real message tag.
+        let tag = format!("x{}", String::from_utf8(tag_bytes).unwrap());
+        let unknown = JsonValue::obj(vec![("t", JsonValue::str(&tag))]);
+        prop_assert!(matches!(Msg::decode(&unknown), Err(CodecError::BadField(_))));
+        // A real tag with its required fields missing is also typed.
+        let hollow = JsonValue::obj(vec![("t", JsonValue::str("fp_in"))]);
+        prop_assert!(matches!(Msg::decode(&hollow), Err(CodecError::BadField(_))));
+    }
+}

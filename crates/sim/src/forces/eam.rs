@@ -50,7 +50,10 @@ impl PairRecord {
 }
 
 impl ForceEngine {
-    pub(crate) fn compute_eam(&mut self, system: &mut System, pot: &dyn EamPotential) {
+    /// EAM phases 1–2 on the reference (dyn-dispatched) path: densities and
+    /// embedding derivatives. Split out so a halo-exchange driver can ship
+    /// ghost `F'(ρ)` values between the embedding and force phases.
+    pub(crate) fn eam_density_phase(&mut self, system: &mut System, pot: &dyn EamPotential) {
         let rc2 = pot.cutoff() * pot.cutoff();
         let strategy = self.strategy();
         // Timers are detached so `exec` (borrowing `self`) and timing
@@ -59,7 +62,7 @@ impl ForceEngine {
         {
             let exec = self.exec();
             let ctx = self.ctx();
-            let (sim_box, pos, rho, fp, forces) = system.eam_split_mut();
+            let (sim_box, pos, rho, fp, _forces) = system.eam_split_mut();
 
             // Phase 1: electron densities.
             timers.time(Phase::Density, || {
@@ -83,6 +86,20 @@ impl ForceEngine {
                         .for_each(|(f, &r)| *f = pot.embedding(r).1);
                 });
             });
+        }
+        *self.timers_mut() = timers;
+    }
+
+    /// EAM phase 3 on the reference path: forces from the `fp` currently in
+    /// the system (normally the output of [`ForceEngine::eam_density_phase`],
+    /// possibly with ghost entries overwritten by a halo exchange).
+    pub(crate) fn eam_force_phase(&mut self, system: &mut System, pot: &dyn EamPotential) {
+        let rc2 = pot.cutoff() * pot.cutoff();
+        let strategy = self.strategy();
+        let mut timers = std::mem::take(self.timers_mut());
+        {
+            let exec = self.exec();
+            let (sim_box, pos, _rho, fp, forces) = system.eam_split_mut();
 
             // Phase 3: forces.
             timers.time(Phase::Force, || {
@@ -107,19 +124,24 @@ impl ForceEngine {
         *self.timers_mut() = timers;
     }
 
-    /// The fused §II.D variant of [`ForceEngine::compute_eam`],
-    /// monomorphized over the concrete potential `P` (resolved once per step
-    /// in [`ForceEngine::compute`], so the pair loops pay no virtual calls).
+    /// Phases 1–2 of the fused §II.D variant, monomorphized over the
+    /// concrete potential `P` (resolved once per step in
+    /// [`ForceEngine::compute`], so the pair loops pay no virtual calls).
     ///
     /// Arithmetic is identical to the reference path expression for
     /// expression — bitwise under every deterministic strategy — but phase 1
     /// evaluates φ and f through [`EamPotential::pair_density`] (one segment
     /// index into interleaved coefficients for tabulated potentials) and
     /// stores each in-cutoff pair's [`PairRecord`] in slot-addressed
-    /// scratch; phase 3 reads the record back. Strategies without stable
-    /// slots (everything but Serial/SDC) receive [`NO_SLOT`] and recompute
-    /// in phase 3, exactly like the reference path.
-    pub(crate) fn compute_eam_fused<P: EamPotential>(&mut self, system: &mut System, pot: &P) {
+    /// scratch; [`ForceEngine::eam_force_phase_fused`] reads the record
+    /// back. Strategies without stable slots (everything but Serial/SDC)
+    /// receive [`NO_SLOT`] and recompute in phase 3, exactly like the
+    /// reference path.
+    pub(crate) fn eam_density_phase_fused<P: EamPotential>(
+        &mut self,
+        system: &mut System,
+        pot: &P,
+    ) {
         let rc2 = pot.cutoff() * pot.cutoff();
         let strategy = self.strategy();
         let entries = self.neighbor_list().csr().entries();
@@ -134,7 +156,7 @@ impl ForceEngine {
         {
             let exec = self.exec();
             let ctx = self.ctx();
-            let (sim_box, pos, rho, fp, forces) = system.eam_split_mut();
+            let (sim_box, pos, rho, fp, _forces) = system.eam_split_mut();
 
             // Phase 1: densities, recording each pair as a side effect.
             timers.time(Phase::Density, || {
@@ -170,6 +192,28 @@ impl ForceEngine {
                         .for_each(|(f, &r)| *f = pot.embedding(r).1);
                 });
             });
+        }
+        *self.scratch_mut() = scratch;
+        *self.timers_mut() = timers;
+    }
+
+    /// Phase 3 of the fused path: forces, replaying the records written by
+    /// [`ForceEngine::eam_density_phase_fused`] (which must run first on the
+    /// same neighbor list — [`ForceEngine::compute`] and the shard driver
+    /// both guarantee that ordering).
+    pub(crate) fn eam_force_phase_fused<P: EamPotential>(&mut self, system: &mut System, pot: &P) {
+        let rc2 = pot.cutoff() * pot.cutoff();
+        let strategy = self.strategy();
+        debug_assert_eq!(
+            self.scratch_mut().len(),
+            self.neighbor_list().csr().entries(),
+            "fused force phase without a preceding density phase"
+        );
+        let mut timers = std::mem::take(self.timers_mut());
+        let scratch = std::mem::take(self.scratch_mut());
+        {
+            let exec = self.exec();
+            let (sim_box, pos, _rho, fp, forces) = system.eam_split_mut();
 
             // Phase 3: forces, replaying the phase-1 records.
             timers.time(Phase::Force, || {

@@ -756,6 +756,24 @@ impl ForceEngine {
     /// call [`ForceEngine::maybe_rebuild`] after moving atoms.
     pub fn compute(&mut self, system: &mut System) {
         let start = self.metrics.is_some().then(std::time::Instant::now);
+        self.compute_density_phase(system);
+        self.compute_force_phase(system);
+        if let (Some(m), Some(start)) = (&self.metrics, start) {
+            m.force.record(start.elapsed());
+        }
+    }
+
+    /// The pre-exchange half of [`ForceEngine::compute`]: EAM phases 1–2
+    /// (electron densities and embedding derivatives `F'(ρ)` into the
+    /// system's `rho`/`fp` arrays). A no-op for single-phase pair
+    /// potentials.
+    ///
+    /// Split out for halo-exchange drivers (`md-shard`): a shard runs this,
+    /// overwrites its ghost atoms' `fp` with the owners' values, then calls
+    /// [`ForceEngine::compute_force_phase`]. Calling both back-to-back is
+    /// exactly [`ForceEngine::compute`] (which also records the metered
+    /// force span around the pair).
+    pub fn compute_density_phase(&mut self, system: &mut System) {
         match self.potential.clone() {
             PotentialChoice::Eam(p) => {
                 // Devirtualization happens here, once per step: resolve the
@@ -764,20 +782,40 @@ impl ForceEngine {
                 // implementations keep the dyn-dispatched reference path.
                 if self.fused {
                     if let Some(a) = p.as_analytic() {
-                        self.compute_eam_fused(system, a);
+                        self.eam_density_phase_fused(system, a);
                     } else if let Some(t) = p.as_tabulated() {
-                        self.compute_eam_fused(system, t);
+                        self.eam_density_phase_fused(system, t);
                     } else {
-                        self.compute_eam(system, p.as_ref());
+                        self.eam_density_phase(system, p.as_ref());
                     }
                 } else {
-                    self.compute_eam(system, p.as_ref());
+                    self.eam_density_phase(system, p.as_ref());
+                }
+            }
+            PotentialChoice::Pair(_) => {}
+        }
+    }
+
+    /// The post-exchange half of [`ForceEngine::compute`]: EAM phase 3
+    /// (forces from the `fp` currently in the system), or the single force
+    /// phase of a pair potential. For EAM the density phase must have run
+    /// first on the same neighbor list.
+    pub fn compute_force_phase(&mut self, system: &mut System) {
+        match self.potential.clone() {
+            PotentialChoice::Eam(p) => {
+                if self.fused {
+                    if let Some(a) = p.as_analytic() {
+                        self.eam_force_phase_fused(system, a);
+                    } else if let Some(t) = p.as_tabulated() {
+                        self.eam_force_phase_fused(system, t);
+                    } else {
+                        self.eam_force_phase(system, p.as_ref());
+                    }
+                } else {
+                    self.eam_force_phase(system, p.as_ref());
                 }
             }
             PotentialChoice::Pair(p) => self.compute_pair(system, p.as_ref()),
-        }
-        if let (Some(m), Some(start)) = (&self.metrics, start) {
-            m.force.record(start.elapsed());
         }
     }
 

@@ -17,7 +17,7 @@ pub mod json;
 pub mod report;
 
 pub use json::{JsonError, JsonValue};
-pub use report::RunReport;
+pub use report::{BalanceInfo, RunInfo, RunReport, ShardsInfo};
 pub use sdc_core::metrics::{Counter, DurationHistogram, Gauge, ScatterMetrics};
 
 /// The simulation-level instrumentation bundle: the strategy-level

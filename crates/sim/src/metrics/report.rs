@@ -32,6 +32,30 @@ pub struct RunInfo {
     pub dt_ps: f64,
     /// The cost-guided balancer's plan choice, when balancing was on.
     pub balance: Option<BalanceInfo>,
+    /// Halo-exchange totals, when the run was sharded (`mdrun --shards`).
+    pub shards: Option<ShardsInfo>,
+}
+
+/// Aggregated halo-exchange accounting of a sharded run, as recorded in a
+/// run report's `shards` section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardsInfo {
+    /// Number of shards (virtual ranks or worker processes).
+    pub count: usize,
+    /// Transport backend: `"virtual"` (in-memory) or `"process"`
+    /// (Unix-socket workers).
+    pub backend: String,
+    /// Ghost position/fp records sent across shard boundaries, summed over
+    /// shards and steps.
+    pub ghost_sent: u64,
+    /// Ghost records received (equals `ghost_sent` when no frame was lost).
+    pub ghost_recv: u64,
+    /// Atoms that changed owner at a neighbor-list rebuild.
+    pub migrated: u64,
+    /// Neighbor-list rebuild rounds (every shard rebuilds together).
+    pub rebuilds: u64,
+    /// Driver wall-clock spent routing ghost/migration exchanges, seconds.
+    pub exchange_seconds: f64,
 }
 
 /// The balancer's plan choice, as recorded in a run report.
@@ -260,6 +284,20 @@ impl RunReport {
                 ]),
             ));
         }
+        if let Some(s) = &info.shards {
+            fields.push((
+                "shards",
+                JsonValue::obj(vec![
+                    ("count", JsonValue::num(s.count as f64)),
+                    ("backend", JsonValue::str(s.backend.clone())),
+                    ("ghost_sent", JsonValue::num(s.ghost_sent as f64)),
+                    ("ghost_recv", JsonValue::num(s.ghost_recv as f64)),
+                    ("migrated", JsonValue::num(s.migrated as f64)),
+                    ("rebuilds", JsonValue::num(s.rebuilds as f64)),
+                    ("exchange_seconds", JsonValue::num(s.exchange_seconds)),
+                ]),
+            ));
+        }
         RunReport {
             doc: JsonValue::obj(fields),
         }
@@ -309,6 +347,7 @@ mod tests {
             strategy: "sdc2d".to_string(),
             dt_ps: 1e-3,
             balance: None,
+            shards: None,
         };
         let mut timers = PhaseTimers::new();
         timers.add(Phase::Density, Duration::from_millis(3));
@@ -397,6 +436,7 @@ mod tests {
                 predicted_seconds: 2.5e-3,
                 predicted_imbalance: 1.25,
             }),
+            shards: None,
         };
         let report = RunReport::collect(&info, &PhaseTimers::new(), &SimMetrics::new(2));
         let text = report.to_string();
@@ -414,6 +454,50 @@ mod tests {
             doc.path("balance.predicted_imbalance")
                 .and_then(|v| v.as_f64()),
             Some(1.25)
+        );
+    }
+
+    #[test]
+    fn shards_section_appears_only_for_sharded_runs() {
+        let report = sample();
+        assert!(report.json().path("shards").is_none());
+
+        let info = RunInfo {
+            atoms: 1024,
+            steps: 10,
+            threads: 2,
+            strategy: "serial".to_string(),
+            dt_ps: 1e-3,
+            balance: None,
+            shards: Some(ShardsInfo {
+                count: 2,
+                backend: "virtual".to_string(),
+                ghost_sent: 1200,
+                ghost_recv: 1200,
+                migrated: 7,
+                rebuilds: 3,
+                exchange_seconds: 0.25,
+            }),
+        };
+        let report = RunReport::collect(&info, &PhaseTimers::new(), &SimMetrics::new(2));
+        let back = RunReport::parse(&report.to_string()).unwrap();
+        let doc = back.json();
+        assert_eq!(doc.path("shards.count").and_then(|v| v.as_f64()), Some(2.0));
+        assert_eq!(
+            doc.path("shards.backend").and_then(|v| v.as_str()),
+            Some("virtual")
+        );
+        assert_eq!(
+            doc.path("shards.ghost_sent").and_then(|v| v.as_f64()),
+            Some(1200.0)
+        );
+        assert_eq!(
+            doc.path("shards.migrated").and_then(|v| v.as_f64()),
+            Some(7.0)
+        );
+        assert_eq!(
+            doc.path("shards.exchange_seconds").and_then(|v| v.as_f64()),
+            Some(0.25)
         );
     }
 

@@ -40,28 +40,34 @@
 #      metered mdrun of taskgraph-vs-barriered SDC on the carved-void case
 #      with every physics counter matching exactly — only the scheduling
 #      regime, and therefore the scatter.* counters, may differ)
+#  11. shard gate                 (the halo-exchange decomposition: the
+#      virtual-rank conformance battery plus the codec fuzz and the
+#      process-backend chaos/resume test under RAYON_NUM_THREADS=2 and
+#      =4, then an A/B metered mdrun of a 2-shard process-backend run
+#      against the unsharded engine — the physics counters must match
+#      exactly; slabbing may only change where the work runs)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> [1/10] release build"
+echo "==> [1/11] release build"
 cargo build --release --workspace
 
-echo "==> [2/10] test suite"
+echo "==> [2/11] test suite"
 cargo test --workspace -q
 
-echo "==> [3/10] clippy (deny warnings)"
+echo "==> [3/11] clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> [4/10] debug-assertions test job"
+echo "==> [4/11] debug-assertions test job"
 RUSTFLAGS="-C debug-assertions=on" cargo test --workspace -q --profile dev
 
-echo "==> [5/10] thread-matrix test job"
+echo "==> [5/11] thread-matrix test job"
 for t in 2 4; do
   echo "    RAYON_NUM_THREADS=$t"
   RAYON_NUM_THREADS="$t" cargo test -q -p md-neighbor -p sdc-core -p sdc-md
 done
 
-echo "==> [6/10] metrics regression gate"
+echo "==> [6/11] metrics regression gate"
 report="$(mktemp /tmp/tier1_metrics.XXXXXX.json)"
 cargo run -q -p sdc-bench --release --bin mdrun -- \
   --cells 9 --strategy sdc2d --threads 2 --steps 20 --report 20 \
@@ -70,7 +76,7 @@ cargo run -q -p sdc-bench --release --bin metrics_diff -- \
   scripts/metrics_baseline.json "$report" --tol 1.10 --time-tol 50
 rm -f "$report"
 
-echo "==> [7/10] fused-path conformance gate"
+echo "==> [7/11] fused-path conformance gate"
 ref="$(mktemp /tmp/tier1_ref.XXXXXX.json)"
 fus="$(mktemp /tmp/tier1_fused.XXXXXX.json)"
 cargo run -q -p sdc-bench --release --bin mdrun -- \
@@ -87,7 +93,7 @@ for t in 2 4; do
   RAYON_NUM_THREADS="$t" cargo test -q --test force_consistency
 done
 
-echo "==> [8/10] load-balance gate"
+echo "==> [8/11] load-balance gate"
 def="$(mktemp /tmp/tier1_default.XXXXXX.json)"
 bal="$(mktemp /tmp/tier1_balanced.XXXXXX.json)"
 cargo run -q -p sdc-bench --release --bin mdrun -- \
@@ -104,7 +110,7 @@ for t in 2 4; do
   RAYON_NUM_THREADS="$t" cargo test -q --test load_balance
 done
 
-echo "==> [9/10] mdserve chaos gate (client storm + kill-and-restart resume)"
+echo "==> [9/11] mdserve chaos gate (client storm + kill-and-restart resume)"
 sd="$(mktemp -d /tmp/tier1_mdserve.XXXXXX)"
 # The server runs in its own process group (setsid): `kill -9` must reach
 # the mdserve process itself, not just the timeout/cargo wrappers — SIGKILL
@@ -136,7 +142,7 @@ wait "$serve2_pid"
 grep -q "re-queued" "$sd/serve2.log" || { echo "restart did not replay the journal"; cat "$sd/serve2.log"; exit 1; }
 rm -rf "$sd"
 
-echo "==> [10/10] task-graph gate (conformance + determinism + A/B vs barriered SDC)"
+echo "==> [10/11] task-graph gate (conformance + determinism + A/B vs barriered SDC)"
 for t in 2 4; do
   echo "    taskgraph battery, RAYON_NUM_THREADS=$t"
   RAYON_NUM_THREADS="$t" cargo test -q --test taskgraph_conformance
@@ -152,5 +158,28 @@ cargo run -q -p sdc-bench --release --bin mdrun -- \
 cargo run -q -p sdc-bench --release --bin metrics_diff -- \
   "$sdc" "$tg" --ab --tol 1.0 --time-tol 50
 rm -f "$sdc" "$tg"
+
+echo "==> [11/11] shard gate (conformance battery + codec fuzz + chaos + A/B vs unsharded)"
+for t in 2 4; do
+  echo "    shard battery, RAYON_NUM_THREADS=$t"
+  RAYON_NUM_THREADS="$t" cargo test -q --test shard_conformance
+  RAYON_NUM_THREADS="$t" cargo test -q -p md-shard --test codec_fuzz --test process_chaos
+done
+# The process-backend smoke: mdrun needs the worker binary next to it.
+cargo build -q --release -p md-shard
+flat="$(mktemp /tmp/tier1_flat.XXXXXX.json)"
+shrd="$(mktemp /tmp/tier1_shard.XXXXXX.json)"
+cargo run -q -p sdc-bench --release --bin mdrun -- \
+  --cells 9 --strategy sdc2d --threads 2 --steps 20 --report 20 \
+  --metrics-out "$flat" > /dev/null
+cargo run -q -p sdc-bench --release --bin mdrun -- \
+  --cells 9 --strategy sdc2d --threads 2 --steps 20 --report 20 \
+  --shards 2 --shard-backend process --metrics-out "$shrd" > /dev/null
+# Counters must match exactly; the time tolerance is deliberately huge —
+# every step crosses the hex-f64 JSON wire twice, so sharded step *time*
+# is a different regime, not a regression signal.
+cargo run -q -p sdc-bench --release --bin metrics_diff -- \
+  "$flat" "$shrd" --ab --tol 1.0 --time-tol 500
+rm -f "$flat" "$shrd"
 
 echo "tier-1: all green"

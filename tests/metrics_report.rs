@@ -7,7 +7,7 @@
 
 use md_geometry::LatticeSpec;
 use md_potential::AnalyticEam;
-use md_sim::metrics::report::{RunInfo, RunReport};
+use md_sim::metrics::report::{RunInfo, RunReport, ShardsInfo};
 use md_sim::{JsonValue, PotentialChoice, Simulation, StrategyKind};
 use std::sync::Arc;
 
@@ -31,6 +31,7 @@ fn run_metered(steps: usize) -> (Simulation, RunReport) {
         strategy: sim.engine().strategy().name().to_string(),
         dt_ps: 1e-3,
         balance: sim.engine().plan_choice().map(Into::into),
+        shards: None,
     };
     let report = RunReport::collect(&info, sim.timers(), sim.metrics().expect("metrics on"));
     (sim, report)
@@ -130,6 +131,7 @@ fn balanced_run_report_pins_the_balance_section() {
         strategy: sim.engine().strategy().name().to_string(),
         dt_ps: 1e-3,
         balance: sim.engine().plan_choice().map(Into::into),
+        shards: None,
     };
     let report = RunReport::collect(&info, sim.timers(), sim.metrics().expect("metrics on"));
     let doc = report.json();
@@ -241,6 +243,56 @@ fn color_walls_are_consistent_with_the_paper_phases() {
 }
 
 #[test]
+fn sharded_run_report_pins_the_shards_section() {
+    // A sharded driver fills `RunInfo::shards` from its exchange stats;
+    // the section's key set is part of the golden schema.
+    let (sim, _) = run_metered(2);
+    let info = RunInfo {
+        atoms: sim.system().len(),
+        steps: sim.step_count(),
+        threads: sim.engine().threads(),
+        strategy: sim.engine().strategy().name().to_string(),
+        dt_ps: 1e-3,
+        balance: None,
+        shards: Some(ShardsInfo {
+            count: 2,
+            backend: "virtual".to_string(),
+            ghost_sent: 640,
+            ghost_recv: 640,
+            migrated: 3,
+            rebuilds: 2,
+            exchange_seconds: 0.125,
+        }),
+    };
+    let report = RunReport::collect(&info, sim.timers(), sim.metrics().expect("metrics on"));
+    let doc = report.json();
+    assert_eq!(
+        keys(doc),
+        ["schema", "case", "phases", "spans", "scatter", "shards"]
+    );
+    assert_eq!(
+        keys(doc.path("shards").unwrap()),
+        [
+            "count",
+            "backend",
+            "ghost_sent",
+            "ghost_recv",
+            "migrated",
+            "rebuilds",
+            "exchange_seconds"
+        ]
+    );
+    assert_eq!(doc.path("shards.count").and_then(|v| v.as_f64()), Some(2.0));
+    assert_eq!(
+        doc.path("shards.backend").and_then(|v| v.as_str()),
+        Some("virtual")
+    );
+    // Round-trips like everything else.
+    let back = RunReport::parse(&report.to_string()).expect("parse back");
+    assert_eq!(report.json(), back.json());
+}
+
+#[test]
 fn metered_and_unmetered_runs_agree_bitwise() {
     // The observability layer must be read-only: with identical seeds, a
     // metered run and a plain run produce identical trajectories — for the
@@ -292,6 +344,7 @@ fn taskgraph_report_counts_tasks_instead_of_barriers() {
         strategy: sim.engine().strategy().name().to_string(),
         dt_ps: 1e-3,
         balance: sim.engine().plan_choice().map(Into::into),
+        shards: None,
     };
     let report = RunReport::collect(&info, sim.timers(), sim.metrics().expect("metrics on"));
     let doc = report.json();
