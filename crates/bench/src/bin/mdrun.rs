@@ -82,7 +82,9 @@ usage: mdrun [options]
                             halo-exchange protocol (NVE only; --checkpoint
                             then names a directory of per-shard files)
   --shard-backend MODE      virtual (in-process ranks, default) or process
-                            (one mdshard-worker per shard over sockets)";
+                            (one mdshard-worker per shard over sockets)
+  --shard-codec NAME        wire codec for shard traffic: json (hex-f64
+                            text, default) or binary (raw LE frames)";
 
 const KNOWN_FLAGS: &[&str] = &[
     "--potential",
@@ -111,6 +113,7 @@ const KNOWN_FLAGS: &[&str] = &[
     "--max-retries",
     "--shards",
     "--shard-backend",
+    "--shard-codec",
 ];
 
 fn parse_thermostat(spec: &str) -> Result<Thermostat, String> {
@@ -189,6 +192,13 @@ fn run(args: &Args) -> Result<(), String> {
     if args.get_str("--shard-backend").is_some() && shards == 0 {
         return Err("--shard-backend needs --shards N".to_string());
     }
+    let shard_codec_name = args.get_str("--shard-codec").unwrap_or("json");
+    if args.get_str("--shard-codec").is_some() && shards == 0 {
+        return Err("--shard-codec needs --shards N".to_string());
+    }
+    let shard_codec = md_shard::Codec::parse(shard_codec_name).ok_or_else(|| {
+        format!("unknown codec '{shard_codec_name}' for flag '--shard-codec' (json | binary)")
+    })?;
     if shards > 0 {
         if !matches!(shard_backend, "virtual" | "process") {
             return Err(format!(
@@ -332,6 +342,7 @@ fn run(args: &Args) -> Result<(), String> {
         return run_sharded(&sim, &ShardRun {
             shards,
             backend: shard_backend,
+            codec: shard_codec,
             spec,
             steps,
             report,
@@ -454,6 +465,7 @@ fn run(args: &Args) -> Result<(), String> {
 struct ShardRun<'a> {
     shards: usize,
     backend: &'a str,
+    codec: md_shard::Codec,
     spec: md_shard::WorldSpec,
     steps: usize,
     report: usize,
@@ -499,21 +511,29 @@ fn run_sharded(sim: &Simulation, cfg: &ShardRun) -> Result<(), String> {
         "process" => {
             let worker = md_shard::proc::default_worker_path()?;
             let sock_dir = std::env::temp_dir().join(format!("mdshard-{}", std::process::id()));
-            let world =
-                ProcessWorld::spawn(sim.system(), &cfg.spec, cfg.shards, &worker, &sock_dir)
-                    .map_err(fail)?;
+            let world = ProcessWorld::spawn(
+                sim.system(),
+                &cfg.spec,
+                cfg.shards,
+                &worker,
+                &sock_dir,
+                cfg.codec,
+            )
+            .map_err(fail)?;
             WorldHandle::Process(world, sock_dir)
         }
         _ => WorldHandle::Virtual(
-            ShardWorld::virtual_world(sim.system(), &cfg.spec, cfg.shards).map_err(fail)?,
+            ShardWorld::virtual_world(sim.system(), &cfg.spec, cfg.shards, cfg.codec)
+                .map_err(fail)?,
         ),
     };
     let world = handle.world();
     println!(
-        "sharded: {} slab{} along x ({} backend), skin {} Å",
+        "sharded: {} slab{} along x ({} backend, {} codec), skin {} Å",
         world.shards(),
         if world.shards() == 1 { "" } else { "s" },
         cfg.backend,
+        cfg.codec.name(),
         cfg.spec.skin
     );
     if cfg.metrics_out.is_some() {
@@ -557,13 +577,17 @@ fn run_sharded(sim: &Simulation, cfg: &ShardRun) -> Result<(), String> {
         w.flush().map_err(|e| format!("trajectory flush failed: {e}"))?;
         println!("wrote {} trajectory frames", w.frames());
     }
-    let stats = world.stats().clone();
+    let stats = world.stats().map_err(fail)?;
     println!(
-        "halo: {} ghost exports shipped, {} atoms migrated, {} rebuilds, {:.3} ms driver relay",
-        stats.ghost_sent,
-        stats.migrated,
-        stats.rebuilds,
-        1e3 * stats.exchange_seconds
+        "halo: {} ghost exports shipped ({} installed), {} atoms migrated, {} rebuilds",
+        stats.ghost_sent, stats.ghost_installed, stats.migrated, stats.rebuilds
+    );
+    println!(
+        "wire: {} B sent / {} B received across peers, {:.3} ms on the wire, {:.3} ms compute wait",
+        stats.wire_bytes_sent,
+        stats.wire_bytes_recv,
+        1e3 * stats.wire_seconds,
+        1e3 * stats.compute_wait_seconds
     );
     let timers = world.merged_timers().map_err(fail)?;
     println!("\nphase timing (all shards):\n{timers}");
@@ -580,7 +604,7 @@ fn run_sharded(sim: &Simulation, cfg: &ShardRun) -> Result<(), String> {
             strategy: cfg.spec.strategy.clone(),
             dt_ps: cfg.spec.dt,
             balance: None,
-            shards: Some(world.shards_info(cfg.backend)),
+            shards: Some(world.shards_info(cfg.backend, cfg.codec).map_err(fail)?),
         };
         let report = RunReport::collect(&info, &timers, &metrics);
         report

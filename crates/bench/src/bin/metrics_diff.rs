@@ -62,6 +62,19 @@ const WATCHED: &[(&str, Kind)] = &[
     ("scatter.duplicate_pairs", Kind::Count),
     ("scatter.merges", Kind::Count),
     ("scatter.color_barriers", Kind::Count),
+    // Shard halo traffic: the physics counters are codec- and
+    // backend-independent (identical ghost selection and migration for a
+    // fixed workload), so they compare as strict counts even in A/B mode.
+    // Wire volume and wall-clock quantities legitimately shrink when the
+    // codec gets leaner, so only increases are flagged.
+    ("shards.ghost_sent", Kind::Count),
+    ("shards.ghost_installed", Kind::Count),
+    ("shards.migrated", Kind::Count),
+    ("shards.rebuilds", Kind::Count),
+    ("shards.wire_bytes_sent", Kind::Time),
+    ("shards.wire_bytes_recv", Kind::Time),
+    ("shards.wire_seconds", Kind::Time),
+    ("shards.compute_wait_seconds", Kind::Time),
     ("phases.paper_seconds", Kind::Time),
     ("spans.step.mean_ns", Kind::Time),
     ("spans.force_compute.mean_ns", Kind::Time),

@@ -1,24 +1,34 @@
-//! Length-prefixed, checksummed wire frames around compact JSON.
+//! Length-prefixed, checksummed wire frames, in two selectable payload
+//! encodings.
 //!
-//! Frame layout (little-endian):
+//! Frame layout (little-endian), identical for both codecs:
 //!
 //! ```text
-//! [u32 payload length][payload: compact JSON, UTF-8][u64 fnv1a64(payload)]
+//! [u32 payload length][payload bytes][u64 fnv1a64(payload)]
 //! ```
 //!
-//! The payload rendering reuses [`md_serve::wire::compact`] and the
-//! checksum reuses [`md_sim::fnv1a64`] — the same journal-style framing the
-//! job server trusts for crash recovery. Every `f64` that must survive the
-//! trip bit-exactly (positions, velocities, embedding derivatives) is
-//! carried as a 16-digit hex encoding of its IEEE-754 bit pattern
-//! ([`f64_to_hex`] / [`hex_to_f64`]), so NaN payloads and signed zeros
-//! round-trip and a sharded trajectory is reproducible to the last ulp.
+//! The checksum reuses [`md_sim::fnv1a64`] — the same journal-style framing
+//! the job server trusts for crash recovery. The payload is one protocol
+//! message ([`crate::msg::Msg`]) in one of two encodings, selected by
+//! [`Codec`]:
 //!
-//! Decoding is total: torn, truncated, oversized or corrupted frames come
-//! back as a typed [`CodecError`], never a panic.
+//! * [`Codec::Json`] — compact JSON (via [`md_serve::wire::compact`]).
+//!   Every `f64` that must survive the trip bit-exactly (positions,
+//!   velocities, embedding derivatives) is carried as a 16-digit lowercase
+//!   hex encoding of its IEEE-754 bit pattern ([`f64_to_hex`] /
+//!   [`hex_to_f64`]), so NaN payloads and signed zeros round-trip and a
+//!   sharded trajectory is reproducible to the last ulp.
+//! * [`Codec::Binary`] — a tag byte plus raw little-endian fields
+//!   (`f64::to_bits`, so the same bit-exactness holds at roughly a quarter
+//!   of the bytes; see `Msg::encode_binary`).
+//!
+//! Decoding is total: torn, truncated, oversized, corrupted or
+//! trailing-garbage frames come back as a typed [`CodecError`], never a
+//! panic, under either codec.
 
-use md_sim::metrics::JsonValue;
+use crate::msg::Msg;
 use md_sim::fnv1a64;
+use md_sim::metrics::JsonValue;
 use std::io::{Read, Write};
 
 /// Upper bound on a payload, to reject absurd length prefixes before
@@ -41,7 +51,8 @@ pub enum CodecError {
     },
     /// The payload is not valid compact JSON (or not UTF-8).
     BadJson(String),
-    /// The JSON is well-formed but a message field is missing or malformed.
+    /// The payload framing is intact but a message field is missing or
+    /// malformed (both codecs).
     BadField(String),
     /// An underlying I/O error while reading or writing a stream.
     Io(std::io::Error),
@@ -71,9 +82,81 @@ impl From<std::io::Error> for CodecError {
     }
 }
 
-/// Encodes one value as a complete frame.
-pub fn encode_frame(payload: &JsonValue) -> Vec<u8> {
-    let body = md_serve::wire::compact(payload).into_bytes();
+/// The selectable payload encoding (`mdrun --shard-codec json|binary`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Codec {
+    /// Compact JSON with hex-encoded f64 bit patterns.
+    Json,
+    /// Tagged raw little-endian fields.
+    Binary,
+}
+
+impl Codec {
+    /// Parses the `--shard-codec` spelling.
+    pub fn parse(s: &str) -> Option<Codec> {
+        match s {
+            "json" => Some(Codec::Json),
+            "binary" => Some(Codec::Binary),
+            _ => None,
+        }
+    }
+
+    /// The wire name (`json` / `binary`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Codec::Json => "json",
+            Codec::Binary => "binary",
+        }
+    }
+
+    /// Encodes one message as a complete frame.
+    pub fn encode(&self, msg: &Msg) -> Vec<u8> {
+        let body = match self {
+            Codec::Json => md_serve::wire::compact(&msg.encode()).into_bytes(),
+            Codec::Binary => msg.encode_binary(),
+        };
+        frame(body)
+    }
+
+    /// Decodes one message from the front of `buf`, returning it and the
+    /// number of bytes consumed. The whole payload must be one message:
+    /// trailing bytes inside the payload are a [`CodecError`], not silence.
+    pub fn decode(&self, buf: &[u8]) -> Result<(Msg, usize), CodecError> {
+        let (body, used) = unframe(buf)?;
+        self.decode_body(body).map(|m| (m, used))
+    }
+
+    fn decode_body(&self, body: &[u8]) -> Result<Msg, CodecError> {
+        match self {
+            Codec::Json => {
+                let text = std::str::from_utf8(body)
+                    .map_err(|_| CodecError::BadJson("payload is not UTF-8".to_string()))?;
+                let v = JsonValue::parse(text).map_err(|e| CodecError::BadJson(e.to_string()))?;
+                Msg::decode(&v)
+            }
+            Codec::Binary => Msg::decode_binary(body),
+        }
+    }
+
+    /// Reads one message from a blocking stream. A stream that ends
+    /// mid-frame reports [`CodecError::Truncated`].
+    pub fn read_msg(&self, r: &mut impl Read) -> Result<Msg, CodecError> {
+        let body = read_frame_body(r)?;
+        self.decode_body(&body)
+    }
+
+    /// Writes one message to a stream and flushes it; returns the frame
+    /// size in bytes.
+    pub fn write_msg(&self, w: &mut impl Write, msg: &Msg) -> Result<u64, CodecError> {
+        let bytes = self.encode(msg);
+        w.write_all(&bytes)?;
+        w.flush()?;
+        Ok(bytes.len() as u64)
+    }
+}
+
+/// Wraps a payload body into a complete frame.
+pub fn frame(body: Vec<u8>) -> Vec<u8> {
     let mut out = Vec::with_capacity(body.len() + 12);
     out.extend_from_slice(&(body.len() as u32).to_le_bytes());
     let sum = fnv1a64(&body);
@@ -82,9 +165,9 @@ pub fn encode_frame(payload: &JsonValue) -> Vec<u8> {
     out
 }
 
-/// Decodes one frame from the front of `buf`, returning the payload and
-/// the number of bytes consumed.
-pub fn decode_frame(buf: &[u8]) -> Result<(JsonValue, usize), CodecError> {
+/// Splits one checksum-verified payload off the front of `buf`, returning
+/// the body slice and the number of bytes consumed.
+pub fn unframe(buf: &[u8]) -> Result<(&[u8], usize), CodecError> {
     if buf.len() < 4 {
         return Err(CodecError::Truncated);
     }
@@ -98,22 +181,30 @@ pub fn decode_frame(buf: &[u8]) -> Result<(JsonValue, usize), CodecError> {
     }
     let body = &buf[4..4 + len as usize];
     let found = u64::from_le_bytes(buf[4 + len as usize..need].try_into().unwrap());
-    check_and_parse(body, found).map(|v| (v, need))
-}
-
-fn check_and_parse(body: &[u8], found: u64) -> Result<JsonValue, CodecError> {
     let expected = fnv1a64(body);
     if expected != found {
         return Err(CodecError::BadChecksum { expected, found });
     }
-    let text = std::str::from_utf8(body)
-        .map_err(|_| CodecError::BadJson("payload is not UTF-8".to_string()))?;
-    JsonValue::parse(text).map_err(|e| CodecError::BadJson(e.to_string()))
+    Ok((body, need))
 }
 
-/// Reads one frame from a blocking stream. A stream that ends mid-frame
-/// (including before the length prefix) reports [`CodecError::Truncated`].
-pub fn read_frame(r: &mut impl Read) -> Result<JsonValue, CodecError> {
+/// The length a full frame will occupy once `buf` holds at least its
+/// 4-byte prefix: `Some(Ok(total))`, `Some(Err(Oversize))` on an absurd
+/// prefix, or `None` while the prefix itself is still incomplete. Used by
+/// the nonblocking peer-mesh pump to know when a frame is whole.
+pub fn frame_len(buf: &[u8]) -> Option<Result<usize, CodecError>> {
+    if buf.len() < 4 {
+        return None;
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().unwrap());
+    if len > MAX_FRAME {
+        return Some(Err(CodecError::Oversize(len)));
+    }
+    Some(Ok(4 + len as usize + 8))
+}
+
+/// Reads one frame body from a blocking stream, verifying the checksum.
+pub fn read_frame_body(r: &mut impl Read) -> Result<Vec<u8>, CodecError> {
     let mut head = [0u8; 4];
     read_exact_or_truncated(r, &mut head)?;
     let len = u32::from_le_bytes(head);
@@ -124,7 +215,12 @@ pub fn read_frame(r: &mut impl Read) -> Result<JsonValue, CodecError> {
     read_exact_or_truncated(r, &mut body)?;
     let mut foot = [0u8; 8];
     read_exact_or_truncated(r, &mut foot)?;
-    check_and_parse(&body, u64::from_le_bytes(foot))
+    let found = u64::from_le_bytes(foot);
+    let expected = fnv1a64(&body);
+    if expected != found {
+        return Err(CodecError::BadChecksum { expected, found });
+    }
+    Ok(body)
 }
 
 fn read_exact_or_truncated(r: &mut impl Read, buf: &mut [u8]) -> Result<(), CodecError> {
@@ -137,23 +233,54 @@ fn read_exact_or_truncated(r: &mut impl Read, buf: &mut [u8]) -> Result<(), Code
     })
 }
 
-/// Writes one frame to a stream and flushes it.
+/// Encodes one JSON value as a complete frame (the JSON codec's framing,
+/// exposed for tests and tooling).
+pub fn encode_frame(payload: &JsonValue) -> Vec<u8> {
+    frame(md_serve::wire::compact(payload).into_bytes())
+}
+
+/// Decodes one JSON frame from the front of `buf`, returning the payload
+/// and the number of bytes consumed.
+pub fn decode_frame(buf: &[u8]) -> Result<(JsonValue, usize), CodecError> {
+    let (body, used) = unframe(buf)?;
+    let text = std::str::from_utf8(body)
+        .map_err(|_| CodecError::BadJson("payload is not UTF-8".to_string()))?;
+    let v = JsonValue::parse(text).map_err(|e| CodecError::BadJson(e.to_string()))?;
+    Ok((v, used))
+}
+
+/// Reads one JSON frame from a blocking stream.
+pub fn read_frame(r: &mut impl Read) -> Result<JsonValue, CodecError> {
+    let body = read_frame_body(r)?;
+    let text = std::str::from_utf8(&body)
+        .map_err(|_| CodecError::BadJson("payload is not UTF-8".to_string()))?;
+    JsonValue::parse(text).map_err(|e| CodecError::BadJson(e.to_string()))
+}
+
+/// Writes one JSON frame to a stream and flushes it.
 pub fn write_frame(w: &mut impl Write, payload: &JsonValue) -> Result<(), CodecError> {
     w.write_all(&encode_frame(payload))?;
     w.flush()?;
     Ok(())
 }
 
-/// Renders an `f64` as the 16 hex digits of its IEEE-754 bit pattern.
+/// Renders an `f64` as the 16 lowercase hex digits of its IEEE-754 bit
+/// pattern.
 pub fn f64_to_hex(x: f64) -> String {
     format!("{:016x}", x.to_bits())
 }
 
-/// Parses a bit pattern produced by [`f64_to_hex`].
+/// Parses a bit pattern produced by [`f64_to_hex`]: exactly 16 lowercase
+/// hex digits, nothing else. `u64::from_str_radix` alone is too lax here —
+/// it takes uppercase and a leading `+` — and a codec that emits only one
+/// canonical spelling must reject every other one.
 pub fn hex_to_f64(s: &str) -> Result<f64, CodecError> {
-    if s.len() != 16 {
+    let ok = s.len() == 16
+        && s.bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b));
+    if !ok {
         return Err(CodecError::BadField(format!(
-            "f64 bit pattern must be 16 hex digits, got '{s}'"
+            "f64 bit pattern must be exactly 16 lowercase hex digits, got '{s}'"
         )));
     }
     u64::from_str_radix(s, 16)
@@ -211,7 +338,42 @@ mod tests {
             let back = hex_to_f64(&f64_to_hex(x)).unwrap();
             assert_eq!(back.to_bits(), x.to_bits());
         }
-        assert!(hex_to_f64("zz").is_err());
-        assert!(hex_to_f64("00000000000000000").is_err());
+    }
+
+    #[test]
+    fn hex_rejects_everything_but_16_lowercase_digits() {
+        // The from_str_radix quirks the old decoder inherited: uppercase
+        // was rejected by accident of length only, and a leading '+'
+        // parsed. All of these must fail now, explicitly.
+        for bad in [
+            "zz",
+            "00000000000000000",  // 17 digits
+            "0000000000000000 ", // trailing space (17 long anyway)
+            "3FF0000000000000",  // uppercase
+            "+ff0000000000000",  // sign prefix, 16 long
+            "-ff0000000000000",
+            " ff0000000000000", // leading space, 16 long
+            "3ff000000000000",  // 15 digits
+            "3ff000000000000g",
+            "",
+        ] {
+            assert!(
+                matches!(hex_to_f64(bad), Err(CodecError::BadField(_))),
+                "'{bad}' must be rejected"
+            );
+        }
+        // The canonical spelling still parses.
+        assert_eq!(hex_to_f64("3ff0000000000000").unwrap(), 1.0);
+        assert_eq!(hex_to_f64(&f64_to_hex(-0.0)).unwrap().to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn frame_len_tracks_the_prefix() {
+        let bytes = Codec::Json.encode(&Msg::Begin);
+        assert!(frame_len(&bytes[..3]).is_none());
+        assert_eq!(frame_len(&bytes).unwrap().unwrap(), bytes.len());
+        let mut huge = bytes.clone();
+        huge[..4].copy_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        assert!(matches!(frame_len(&huge), Some(Err(CodecError::Oversize(_)))));
     }
 }

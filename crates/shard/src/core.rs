@@ -1,10 +1,30 @@
 //! The per-shard state machine: owned atoms, ghost halo, and the local
-//! engine, driven entirely by protocol messages.
+//! engine, driven by control messages and exchanging halos directly with
+//! its peers.
 //!
 //! One `ShardCore` is the *entire* worker logic. The virtual-rank backend
-//! embeds it behind [`crate::world::MemTransport`]; the `mdshard-worker`
-//! binary wraps it in a read-frame/handle/write-frame loop. Both therefore
-//! execute the same code on the same wire bytes.
+//! embeds it behind [`crate::world::MemTransport`] (with a
+//! [`crate::mesh::ChannelMesh`] for peer traffic); the `mdshard-worker`
+//! binary wraps it in a read-frame/handle/write-frame loop (with a
+//! [`crate::mesh::SocketMesh`]). Both therefore execute the same code on
+//! the same wire bytes.
+//!
+//! # Halo rounds
+//!
+//! Ghost traffic never touches the driver. A step's force evaluation is
+//! three control rounds, each of which triggers peer I/O here:
+//!
+//! 1. `MigIn` (rebuild leg) or `HaloPos` (plain leg): push this shard's
+//!    ghost exports — full `PeerGhosts` after a repartition, bare
+//!    `PeerPos` refreshes otherwise — to every peer. The frames ride the
+//!    kernel buffers while peers are still finishing the same round.
+//! 2. `HaloDensity`: pull the peers' exports in, install them, run the
+//!    density phase (EAM phases 1–2), and immediately push the exported
+//!    atoms' `F'(ρ)` as `PeerFp` frames — peers still inside their own
+//!    density pass receive them asynchronously, which is the overlap the
+//!    engine's density/force split makes possible.
+//! 3. `HaloForce`: pull the peers' `PeerFp` in, run the force phase, and
+//!    close the step with the second half-kick.
 //!
 //! # Determinism
 //!
@@ -21,15 +41,17 @@
 
 use crate::ckpt;
 use crate::layout::ShardLayout;
+use crate::mesh::{halo_counters, MeshProvider, PeerMesh};
 use crate::msg::{GhostExport, InitSpec, Msg, PhaseStat, ShardAtom};
 use md_geometry::{Axis, SimBox, Vec3};
 use md_sim::units::FORCE2ACCEL;
 use md_sim::{ForceEngine, Phase, PhaseTimers, PotentialChoice, System};
 use sdc_core::StrategyKind;
 
-/// A shard worker: uninitialized until it sees `Init`.
-#[derive(Default)]
+/// A shard worker: uninitialized until it sees `Init`, meshless until the
+/// driver brokers the peer links.
 pub struct ShardCore {
+    provider: Box<dyn MeshProvider>,
     state: Option<CoreState>,
 }
 
@@ -62,14 +84,27 @@ struct CoreState {
     exports: Vec<Vec<usize>>,
     /// Per source rank: number of ghosts installed from it.
     ghost_counts: Vec<usize>,
+    /// The peer mesh, once the driver has brokered it.
+    mesh: Option<Box<dyn PeerMesh>>,
+    /// The next `HaloDensity` installs full `PeerGhosts` (export sets just
+    /// changed) rather than `PeerPos` refreshes.
+    fresh_ghosts: bool,
+    /// Ghost position records sent to peers (cumulative).
+    ghost_sent: u64,
+    /// Ghost position records installed from peers (cumulative).
+    ghost_installed: u64,
     /// Timers of engines retired by earlier rebuilds.
     acc_timers: PhaseTimers,
 }
 
 impl ShardCore {
-    /// An empty core awaiting `Init`.
-    pub fn new() -> ShardCore {
-        ShardCore::default()
+    /// An empty core awaiting `Init`; `provider` supplies the peer mesh
+    /// when the driver brokers it.
+    pub fn new(provider: Box<dyn MeshProvider>) -> ShardCore {
+        ShardCore {
+            provider,
+            state: None,
+        }
     }
 
     /// Processes one message; `Ok(None)` means shutdown was requested.
@@ -84,6 +119,16 @@ impl ShardCore {
                 Ok(Some(Msg::Ready { rank }))
             }
             Msg::Shutdown => Ok(None),
+            Msg::PeerListen { dir } => {
+                let state = self.state.as_ref().ok_or("peer_listen before init")?;
+                self.provider.listen(state.rank, state.n_ranks, &dir)?;
+                Ok(Some(Msg::PeerBound))
+            }
+            Msg::PeerConnect => {
+                let state = self.state.as_mut().ok_or("peer_connect before init")?;
+                state.mesh = Some(self.provider.connect(state.rank, state.n_ranks)?);
+                Ok(Some(Msg::PeerReady))
+            }
             other => {
                 let state = self
                     .state
@@ -138,6 +183,10 @@ impl CoreState {
             ref_pos: Vec::new(),
             exports: vec![Vec::new(); n],
             ghost_counts: vec![0; n],
+            mesh: None,
+            fresh_ghosts: false,
+            ghost_sent: 0,
+            ghost_installed: 0,
             acc_timers: PhaseTimers::new(),
         })
     }
@@ -147,17 +196,27 @@ impl CoreState {
             Msg::Begin => self.begin(),
             Msg::Migrate => self.migrate(),
             Msg::MigIn { atoms } => self.mig_in(atoms),
-            Msg::GhostIn { from } => self.ghost_in(from),
-            Msg::PosTick => self.pos_tick(),
-            Msg::PosIn { from } => self.pos_in(from),
-            Msg::FpIn { from, kick } => self.fp_in(from, kick),
+            Msg::HaloPos => self.halo_pos(),
+            Msg::HaloDensity => self.halo_density(),
+            Msg::HaloForce { kick } => self.halo_force(kick),
             Msg::Save { dir } => self.save(&dir),
             Msg::Gather => Ok(Msg::State {
                 atoms: self.owned_atoms(),
             }),
             Msg::Stats => Ok(self.stats()),
+            Msg::Counters => Ok(Msg::CountersOut {
+                counters: halo_counters(
+                    self.mesh.as_deref(),
+                    self.ghost_sent,
+                    self.ghost_installed,
+                ),
+            }),
             other => Err(format!("unexpected request {other:?}")),
         }
+    }
+
+    fn mesh(&mut self) -> Result<&mut Box<dyn PeerMesh>, String> {
+        self.mesh.as_mut().ok_or_else(|| "peer mesh not connected".to_string())
     }
 
     /// First half-kick + drift + wrap of the owned atoms, then the max
@@ -236,6 +295,8 @@ impl CoreState {
         Ok(Msg::MigOut { to })
     }
 
+    /// Rebuild-leg halo send: adopt migrated arrivals, re-select the ghost
+    /// export sets, and push full `PeerGhosts` batches to every peer.
     fn mig_in(&mut self, atoms: Vec<ShardAtom>) -> Result<Msg, String> {
         // Tolerate a still-installed system so the initial force refresh
         // (and a re-refresh after resume) can reuse this path directly.
@@ -255,36 +316,119 @@ impl CoreState {
         self.pend_vel = order.iter().map(|&i| self.pend_vel[i]).collect();
 
         let axis = self.axis.index();
-        let mut to = Vec::with_capacity(self.n_ranks);
+        let mut out: Vec<Option<Msg>> = Vec::with_capacity(self.n_ranks);
         for t in 0..self.n_ranks {
+            if t == self.rank {
+                self.exports[t] = Vec::new();
+                out.push(None);
+                continue;
+            }
             let mut export = GhostExport::default();
             let mut idx = Vec::new();
-            if t != self.rank {
-                for (i, &p) in self.pend_pos.iter().enumerate() {
-                    if self.layout.axis_dist(p[axis], t) <= self.reach {
-                        idx.push(i);
-                        export.gids.push(self.gids[i]);
-                        export.pos.push(p);
-                    }
+            for (i, &p) in self.pend_pos.iter().enumerate() {
+                if self.layout.axis_dist(p[axis], t) <= self.reach {
+                    idx.push(i);
+                    export.gids.push(self.gids[i]);
+                    export.pos.push(p);
                 }
             }
             self.exports[t] = idx;
-            to.push(export);
+            self.ghost_sent += export.gids.len() as u64;
+            out.push(Some(Msg::PeerGhosts { export }));
         }
-        Ok(Msg::GhostOut { to })
+        if self.n_ranks > 1 {
+            self.mesh()?.send_peers(out)?;
+        }
+        self.fresh_ghosts = true;
+        Ok(Msg::HaloSent)
     }
 
-    fn ghost_in(&mut self, from: Vec<GhostExport>) -> Result<Msg, String> {
-        if from.len() != self.n_ranks {
-            return Err("ghost_in rank count mismatch".to_string());
+    /// Plain-leg halo send: current positions of the standing export sets
+    /// as bare `PeerPos` frames.
+    fn halo_pos(&mut self) -> Result<Msg, String> {
+        let out = {
+            let system = self.system.as_ref().ok_or("halo_pos before install")?;
+            let pos = system.positions();
+            let mut out: Vec<Option<Msg>> = Vec::with_capacity(self.n_ranks);
+            for (t, idx) in self.exports.iter().enumerate() {
+                if t == self.rank {
+                    out.push(None);
+                } else {
+                    out.push(Some(Msg::PeerPos {
+                        pos: idx.iter().map(|&i| pos[i]).collect(),
+                    }));
+                }
+            }
+            out
+        };
+        for m in out.iter().flatten() {
+            if let Msg::PeerPos { pos } = m {
+                self.ghost_sent += pos.len() as u64;
+            }
         }
+        if self.n_ranks > 1 {
+            self.mesh()?.send_peers(out)?;
+        }
+        Ok(Msg::HaloSent)
+    }
+
+    /// Pulls the peers' halo exports in, installs them, runs the density
+    /// phase, and pushes the exported atoms' `F'(ρ)` back out.
+    fn halo_density(&mut self) -> Result<Msg, String> {
+        let from = if self.n_ranks > 1 {
+            self.mesh()?.recv_peers()?
+        } else {
+            vec![None]
+        };
+        if from.len() != self.n_ranks {
+            return Err("halo_density rank count mismatch".to_string());
+        }
+        if self.fresh_ghosts {
+            self.install_fresh_ghosts(from)?;
+        } else {
+            self.refresh_ghost_positions(from)?;
+        }
+        let (system, engine) = match (self.system.as_mut(), self.engine.as_mut()) {
+            (Some(s), Some(e)) => (s, e),
+            _ => return Err("halo_density before install".to_string()),
+        };
+        engine.compute_density_phase(system);
+        // Push F'(ρ) of our exports right away: peers still in their
+        // density pass absorb the frames from their kernel buffers later.
+        let fp = system.fp();
+        let mut out: Vec<Option<Msg>> = Vec::with_capacity(self.n_ranks);
+        for (t, idx) in self.exports.iter().enumerate() {
+            if t == self.rank {
+                out.push(None);
+            } else {
+                out.push(Some(Msg::PeerFp {
+                    fp: idx.iter().map(|&i| fp[i]).collect(),
+                }));
+            }
+        }
+        if self.n_ranks > 1 {
+            self.mesh()?.send_peers(out)?;
+        }
+        Ok(Msg::DensityDone)
+    }
+
+    /// Installs full ghost batches after a repartition and rebuilds the
+    /// local system + engine around the new halo.
+    fn install_fresh_ghosts(&mut self, from: Vec<Option<Msg>>) -> Result<(), String> {
         let n_owned = self.pend_pos.len();
         let mut positions = std::mem::take(&mut self.pend_pos);
-        for (s, batch) in from.iter().enumerate() {
-            self.ghost_counts[s] = if s == self.rank { 0 } else { batch.pos.len() };
-            if s != self.rank {
-                positions.extend_from_slice(&batch.pos);
+        for (s, slot) in from.into_iter().enumerate() {
+            if s == self.rank {
+                self.ghost_counts[s] = 0;
+                continue;
             }
+            let export = match slot {
+                Some(Msg::PeerGhosts { export }) => export,
+                other => return Err(format!("expected peer_ghosts from rank {s}, got {other:?}")),
+            };
+            self.ghost_counts[s] = export.pos.len();
+            self.ghost_installed += export.pos.len() as u64;
+            positions.extend_from_slice(&export.pos);
         }
         let mut system = System::new(self.sim_box, positions, self.mass);
         system.velocities_mut()[..n_owned].copy_from_slice(&self.pend_vel);
@@ -305,83 +449,71 @@ impl CoreState {
         self.acc_timers
             .add(Phase::Neighbor, rebuild_start.elapsed());
         engine.set_fused(self.fused);
-        engine.compute_density_phase(&mut system);
         self.system = Some(system);
         self.engine = Some(engine);
-        Ok(self.fp_out())
+        self.fresh_ghosts = false;
+        Ok(())
     }
 
-    fn pos_tick(&mut self) -> Result<Msg, String> {
-        let system = self.system.as_ref().ok_or("pos_tick before install")?;
-        let pos = system.positions();
-        let to = self
-            .exports
-            .iter()
-            .map(|idx| idx.iter().map(|&i| pos[i]).collect())
-            .collect();
-        Ok(Msg::PosOut { to })
-    }
-
-    fn pos_in(&mut self, from: Vec<Vec<Vec3>>) -> Result<Msg, String> {
-        if from.len() != self.n_ranks {
-            return Err("pos_in rank count mismatch".to_string());
-        }
-        {
-            let system = self.system.as_mut().ok_or("pos_in before install")?;
-            let positions = system.positions_mut();
-            let mut base = self.n_owned;
-            for (s, batch) in from.iter().enumerate() {
-                if s == self.rank {
-                    continue;
-                }
-                if batch.len() != self.ghost_counts[s] {
-                    return Err(format!(
-                        "pos_in ghost count mismatch from rank {s}: got {}, expected {}",
-                        batch.len(),
-                        self.ghost_counts[s]
-                    ));
-                }
-                positions[base..base + batch.len()].copy_from_slice(batch);
-                base += batch.len();
+    /// Overwrites the standing ghost slots with the peers' refreshed
+    /// positions (plain leg: export sets unchanged since the last rebuild).
+    fn refresh_ghost_positions(&mut self, from: Vec<Option<Msg>>) -> Result<(), String> {
+        let system = self.system.as_mut().ok_or("halo_density before install")?;
+        let positions = system.positions_mut();
+        let mut base = self.n_owned;
+        for (s, slot) in from.into_iter().enumerate() {
+            if s == self.rank {
+                continue;
             }
+            let batch = match slot {
+                Some(Msg::PeerPos { pos }) => pos,
+                other => return Err(format!("expected peer_pos from rank {s}, got {other:?}")),
+            };
+            if batch.len() != self.ghost_counts[s] {
+                return Err(format!(
+                    "ghost count mismatch from rank {s}: got {}, expected {}",
+                    batch.len(),
+                    self.ghost_counts[s]
+                ));
+            }
+            positions[base..base + batch.len()].copy_from_slice(&batch);
+            self.ghost_installed += batch.len() as u64;
+            base += batch.len();
         }
-        let (system, engine) = (self.system.as_mut().unwrap(), self.engine.as_mut().unwrap());
-        engine.compute_density_phase(system);
-        Ok(self.fp_out())
+        Ok(())
     }
 
-    /// Embedding derivatives of this shard's exported atoms, in export
-    /// order, read back out of the just-finished density phase.
-    fn fp_out(&self) -> Msg {
-        let fp = self.system.as_ref().expect("density before fp_out").fp();
-        let to = self
-            .exports
-            .iter()
-            .map(|idx| idx.iter().map(|&i| fp[i]).collect())
-            .collect();
-        Msg::FpOut { to }
-    }
-
-    fn fp_in(&mut self, from: Vec<Vec<f64>>, kick: bool) -> Result<Msg, String> {
+    /// Pulls the peers' `F'(ρ)` in, runs the force phase, and (on a real
+    /// step) closes with the second half-kick.
+    fn halo_force(&mut self, kick: bool) -> Result<Msg, String> {
+        let from = if self.n_ranks > 1 {
+            self.mesh()?.recv_peers()?
+        } else {
+            vec![None]
+        };
         if from.len() != self.n_ranks {
-            return Err("fp_in rank count mismatch".to_string());
+            return Err("halo_force rank count mismatch".to_string());
         }
         {
-            let system = self.system.as_mut().ok_or("fp_in before install")?;
+            let system = self.system.as_mut().ok_or("halo_force before install")?;
             let fp = system.fp_mut();
             let mut base = self.n_owned;
-            for (s, batch) in from.iter().enumerate() {
+            for (s, slot) in from.into_iter().enumerate() {
                 if s == self.rank {
                     continue;
                 }
+                let batch = match slot {
+                    Some(Msg::PeerFp { fp }) => fp,
+                    other => return Err(format!("expected peer_fp from rank {s}, got {other:?}")),
+                };
                 if batch.len() != self.ghost_counts[s] {
                     return Err(format!(
-                        "fp_in ghost count mismatch from rank {s}: got {}, expected {}",
+                        "fp count mismatch from rank {s}: got {}, expected {}",
                         batch.len(),
                         self.ghost_counts[s]
                     ));
                 }
-                fp[base..base + batch.len()].copy_from_slice(batch);
+                fp[base..base + batch.len()].copy_from_slice(&batch);
                 base += batch.len();
             }
         }

@@ -15,30 +15,37 @@
 //! Forces computed on ghosts are discarded (no reverse communication), and
 //! owned atoms migrate to their new shard at every neighbor-list rebuild.
 //!
-//! The decomposition is driven through a message protocol ([`msg::Msg`])
-//! over an abstract [`world::Transport`], with two backends:
+//! The decomposition is driven through a *control* protocol ([`msg::Msg`])
+//! over an abstract [`world::Transport`], while halo payloads flow over a
+//! direct peer mesh ([`mesh::PeerMesh`]) the driver brokers at boot. Both
+//! planes speak the same selectable wire [`codec::Codec`] — hex-f64 JSON
+//! or length-prefixed binary frames. Two backends:
 //!
 //! * [`world::MemTransport`] — *virtual ranks*: every shard lives in the
-//!   driver process and messages are routed through the real wire codec,
-//!   so the conformance battery exercises the exact bytes the process
-//!   backend ships.
+//!   driver process, control messages are routed through the real wire
+//!   codec and halos through a [`mesh::ChannelMesh`] carrying codec
+//!   frames, so the conformance battery exercises the exact bytes the
+//!   process backend ships.
 //! * [`proc::ProcessWorld`] — one `mdshard-worker` process per shard over
-//!   Unix-domain sockets, with real inter-shard parallelism, per-shard
+//!   Unix-domain sockets, halos over a [`mesh::SocketMesh`] of direct
+//!   shard ↔ shard streams, with real inter-shard parallelism, per-shard
 //!   checkpoints and typed fault detection when a worker dies.
 
 pub mod ckpt;
 pub mod codec;
 pub mod core;
 pub mod layout;
+pub mod mesh;
 pub mod msg;
 pub mod proc;
 pub mod world;
 
 pub use ckpt::CkptError;
-pub use codec::CodecError;
+pub use codec::{Codec, CodecError};
 pub use core::ShardCore;
 pub use layout::ShardLayout;
-pub use msg::{GhostExport, InitSpec, Msg, PhaseStat, ShardAtom};
+pub use mesh::{ChannelMesh, MeshProvider, PeerMesh, SocketMesh};
+pub use msg::{GhostExport, HaloCounters, InitSpec, Msg, PhaseStat, ShardAtom};
 pub use proc::{ProcessWorld, SocketTransport};
 pub use world::{MemTransport, ShardStats, ShardWorld, Transport, WorldSpec};
 

@@ -1,0 +1,585 @@
+//! The peer mesh: direct shard ↔ shard halo links, brokered by the driver
+//! at boot and untouched by it afterwards.
+//!
+//! Halo rounds are phase-synchronous (the driver's control round-trips
+//! provide the barrier), so the mesh API is round-shaped: one frame to
+//! every peer ([`PeerMesh::send_peers`]), one frame from every peer
+//! ([`PeerMesh::recv_peers`]). Exactly one frame per directed pair per
+//! round — empty exports still ship a frame — keeps reception
+//! deterministic without any tagging.
+//!
+//! Two implementations:
+//!
+//! * [`ChannelMesh`] — virtual ranks: an mpsc channel per directed pair.
+//!   Frames still pass through the real [`Codec`], so the conformance
+//!   battery exercises the exact bytes the process backend ships.
+//! * [`SocketMesh`] — one Unix-domain stream per unordered pair. Sends
+//!   and receives are pumped through nonblocking I/O: while a shard
+//!   flushes its exports it also drains whatever peers have already
+//!   written, so two shards writing large frames at each other cannot
+//!   deadlock on full kernel buffers, and fp frames arriving early (peers
+//!   that finished their density pass first — the overlap the
+//!   density/force split enables) are absorbed instead of blocking the
+//!   sender.
+//!
+//! Construction is two-phase to dodge the connect/accept race: every rank
+//! binds its rendezvous endpoint first (`PeerListen` round), then every
+//! rank dials all lower ranks and accepts all higher ones (`PeerConnect`
+//! round). A dial lands in the listener's backlog even before the peer
+//! accepts, so the serial dial-then-accept order cannot deadlock.
+
+use crate::codec::{frame_len, Codec};
+use crate::msg::{HaloCounters, Msg};
+use std::io::{ErrorKind, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::time::{Duration, Instant};
+
+/// Direct links to every other shard, used inside the halo rounds.
+pub trait PeerMesh: Send {
+    /// Sends one message to every peer; `out[r]` is `None` exactly for
+    /// `r == self_rank`.
+    fn send_peers(&mut self, out: Vec<Option<Msg>>) -> Result<(), String>;
+    /// Receives one message from every peer, slot per rank (`None` at the
+    /// own rank).
+    fn recv_peers(&mut self) -> Result<Vec<Option<Msg>>, String>;
+    /// Cumulative wire counters (bytes both ways, wall seconds spent in
+    /// encode/ship/decode).
+    fn wire(&self) -> (u64, u64, f64);
+}
+
+/// Hands a [`PeerMesh`] to the shard core when the driver's brokering
+/// rounds arrive: `listen` on `PeerListen`, `connect` on `PeerConnect`.
+pub trait MeshProvider: Send {
+    /// Binds the rendezvous endpoint (no-op for virtual ranks).
+    fn listen(&mut self, rank: usize, n_ranks: usize, dir: &str) -> Result<(), String>;
+    /// Establishes every peer link and returns the mesh.
+    fn connect(&mut self, rank: usize, n_ranks: usize) -> Result<Box<dyn PeerMesh>, String>;
+}
+
+// ---------------------------------------------------------------------------
+// Virtual ranks: mpsc channels.
+// ---------------------------------------------------------------------------
+
+/// The virtual-rank mesh: one mpsc channel per directed pair, carrying
+/// fully framed codec bytes.
+pub struct ChannelMesh {
+    rank: usize,
+    codec: Codec,
+    tx: Vec<Option<Sender<Vec<u8>>>>,
+    rx: Vec<Option<Receiver<Vec<u8>>>>,
+    bytes_sent: u64,
+    bytes_recv: u64,
+    wire_seconds: f64,
+}
+
+/// Builds the fully wired mesh set for `n` virtual ranks.
+pub fn channel_mesh_set(n: usize, codec: Codec) -> Vec<ChannelMesh> {
+    let mut meshes: Vec<ChannelMesh> = (0..n)
+        .map(|rank| ChannelMesh {
+            rank,
+            codec,
+            tx: (0..n).map(|_| None).collect(),
+            rx: (0..n).map(|_| None).collect(),
+            bytes_sent: 0,
+            bytes_recv: 0,
+            wire_seconds: 0.0,
+        })
+        .collect();
+    for s in 0..n {
+        for t in 0..n {
+            if s == t {
+                continue;
+            }
+            let (tx, rx) = channel();
+            meshes[s].tx[t] = Some(tx);
+            meshes[t].rx[s] = Some(rx);
+        }
+    }
+    meshes
+}
+
+impl PeerMesh for ChannelMesh {
+    fn send_peers(&mut self, out: Vec<Option<Msg>>) -> Result<(), String> {
+        if out.len() != self.tx.len() {
+            return Err("peer send arity mismatch".to_string());
+        }
+        let start = Instant::now();
+        for (t, msg) in out.into_iter().enumerate() {
+            let Some(msg) = msg else { continue };
+            let tx = self.tx[t]
+                .as_ref()
+                .ok_or_else(|| format!("no peer link to rank {t}"))?;
+            let bytes = self.codec.encode(&msg);
+            self.bytes_sent += bytes.len() as u64;
+            tx.send(bytes)
+                .map_err(|_| format!("peer {t} hung up (channel closed)"))?;
+        }
+        self.wire_seconds += start.elapsed().as_secs_f64();
+        Ok(())
+    }
+
+    fn recv_peers(&mut self) -> Result<Vec<Option<Msg>>, String> {
+        let start = Instant::now();
+        let mut got = Vec::with_capacity(self.rx.len());
+        for (s, rx) in self.rx.iter().enumerate() {
+            let Some(rx) = rx else {
+                got.push(None);
+                continue;
+            };
+            // The driver's control round is the barrier: peers sent their
+            // frames before this shard was told to receive, so an empty
+            // channel is a protocol-phase violation, not a wait.
+            let bytes = match rx.try_recv() {
+                Ok(b) => b,
+                Err(TryRecvError::Empty) => {
+                    return Err(format!("no frame queued from rank {s} (phase violation)"))
+                }
+                Err(TryRecvError::Disconnected) => {
+                    return Err(format!("peer {s} hung up (channel closed)"))
+                }
+            };
+            self.bytes_recv += bytes.len() as u64;
+            let (msg, used) = self
+                .codec
+                .decode(&bytes)
+                .map_err(|e| format!("bad peer frame from rank {s}: {e}"))?;
+            if used != bytes.len() {
+                return Err(format!("peer frame from rank {s} has trailing bytes"));
+            }
+            got.push(Some(msg));
+        }
+        self.wire_seconds += start.elapsed().as_secs_f64();
+        Ok(got)
+    }
+
+    fn wire(&self) -> (u64, u64, f64) {
+        (self.bytes_sent, self.bytes_recv, self.wire_seconds)
+    }
+}
+
+/// The provider the virtual backend installs: the mesh is pre-wired by
+/// [`channel_mesh_set`], so `connect` just hands it over.
+pub struct ChannelMeshProvider {
+    mesh: Option<ChannelMesh>,
+}
+
+impl ChannelMeshProvider {
+    /// Wraps one pre-wired mesh.
+    pub fn new(mesh: ChannelMesh) -> ChannelMeshProvider {
+        ChannelMeshProvider { mesh: Some(mesh) }
+    }
+}
+
+impl MeshProvider for ChannelMeshProvider {
+    fn listen(&mut self, rank: usize, n_ranks: usize, _dir: &str) -> Result<(), String> {
+        let mesh = self.mesh.as_ref().ok_or("mesh already taken")?;
+        if mesh.rank != rank || mesh.tx.len() != n_ranks {
+            return Err(format!(
+                "mesh wired for rank {}/{}, asked for {rank}/{n_ranks}",
+                mesh.rank,
+                mesh.tx.len()
+            ));
+        }
+        Ok(())
+    }
+
+    fn connect(&mut self, _rank: usize, _n_ranks: usize) -> Result<Box<dyn PeerMesh>, String> {
+        self.mesh
+            .take()
+            .map(|m| Box::new(m) as Box<dyn PeerMesh>)
+            .ok_or_else(|| "mesh already taken".to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Process backend: Unix-domain streams with a nonblocking pump.
+// ---------------------------------------------------------------------------
+
+const PUMP_IDLE: Duration = Duration::from_micros(100);
+const MESH_DEADLINE: Duration = Duration::from_secs(30);
+
+struct PeerLink {
+    stream: UnixStream,
+    /// Bytes read off the stream but not yet consumed as frames.
+    inbox: Vec<u8>,
+}
+
+/// The process-backend mesh: one stream per unordered rank pair.
+pub struct SocketMesh {
+    codec: Codec,
+    links: Vec<Option<PeerLink>>,
+    bytes_sent: u64,
+    bytes_recv: u64,
+    wire_seconds: f64,
+}
+
+fn io_closed(kind: ErrorKind) -> bool {
+    matches!(
+        kind,
+        ErrorKind::UnexpectedEof
+            | ErrorKind::BrokenPipe
+            | ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::NotConnected
+    )
+}
+
+impl SocketMesh {
+    /// Drains whatever `link`'s stream has ready into its inbox without
+    /// blocking. Returns bytes read; `Err` on peer death.
+    fn drain(link: &mut PeerLink, from: usize) -> Result<u64, String> {
+        let mut buf = [0u8; 64 * 1024];
+        let mut total = 0u64;
+        loop {
+            match link.stream.read(&mut buf) {
+                Ok(0) => return Err(format!("peer {from} closed its link")),
+                Ok(n) => {
+                    link.inbox.extend_from_slice(&buf[..n]);
+                    total += n as u64;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(total),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if io_closed(e.kind()) => {
+                    return Err(format!("peer {from} link died: {e}"))
+                }
+                Err(e) => return Err(format!("peer {from} read error: {e}")),
+            }
+        }
+    }
+
+    /// Whether `link`'s inbox holds one complete frame.
+    fn has_frame(link: &PeerLink, from: usize) -> Result<bool, String> {
+        match frame_len(&link.inbox) {
+            None => Ok(false),
+            Some(Err(e)) => Err(format!("peer {from} sent a bad frame: {e}")),
+            Some(Ok(total)) => Ok(link.inbox.len() >= total),
+        }
+    }
+}
+
+impl PeerMesh for SocketMesh {
+    fn send_peers(&mut self, out: Vec<Option<Msg>>) -> Result<(), String> {
+        if out.len() != self.links.len() {
+            return Err("peer send arity mismatch".to_string());
+        }
+        let start = Instant::now();
+        // Encode everything up front, then pump: write what the kernel
+        // will take, read what peers have written (they are all in this
+        // same round, writing at us), never block on either.
+        let mut pending: Vec<(usize, Vec<u8>, usize)> = Vec::new();
+        for (t, msg) in out.into_iter().enumerate() {
+            let Some(msg) = msg else { continue };
+            if self.links[t].is_none() {
+                return Err(format!("no peer link to rank {t}"));
+            }
+            let bytes = self.codec.encode(&msg);
+            self.bytes_sent += bytes.len() as u64;
+            pending.push((t, bytes, 0));
+        }
+        let deadline = Instant::now() + MESH_DEADLINE;
+        while !pending.is_empty() {
+            let mut progressed = false;
+            pending.retain_mut(|(t, bytes, off)| {
+                if let Some(link) = self.links[*t].as_mut() {
+                    loop {
+                        match link.stream.write(&bytes[*off..]) {
+                            Ok(n) => {
+                                *off += n;
+                                progressed = true;
+                                if *off == bytes.len() {
+                                    return false;
+                                }
+                            }
+                            Err(e) if e.kind() == ErrorKind::WouldBlock => return true,
+                            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                            Err(_) => return true, // surfaced by the drain below
+                        }
+                    }
+                }
+                false
+            });
+            // Drain incoming bytes so a peer blocked writing at us can
+            // finish, which in turn unblocks our writes to it.
+            for (s, link) in self.links.iter_mut().enumerate() {
+                if let Some(link) = link {
+                    if Self::drain(link, s)? > 0 {
+                        progressed = true;
+                    }
+                }
+            }
+            if !pending.is_empty() && !progressed {
+                if Instant::now() > deadline {
+                    return Err("peer send stalled past deadline".to_string());
+                }
+                std::thread::sleep(PUMP_IDLE);
+            }
+        }
+        self.wire_seconds += start.elapsed().as_secs_f64();
+        Ok(())
+    }
+
+    fn recv_peers(&mut self) -> Result<Vec<Option<Msg>>, String> {
+        let start = Instant::now();
+        let deadline = Instant::now() + MESH_DEADLINE;
+        loop {
+            let mut all = true;
+            let mut progressed = false;
+            for (s, link) in self.links.iter_mut().enumerate() {
+                let Some(link) = link else { continue };
+                if Self::has_frame(link, s)? {
+                    continue;
+                }
+                if Self::drain(link, s)? > 0 {
+                    progressed = true;
+                }
+                if !Self::has_frame(link, s)? {
+                    all = false;
+                }
+            }
+            if all {
+                break;
+            }
+            if !progressed {
+                if Instant::now() > deadline {
+                    return Err("peer recv stalled past deadline".to_string());
+                }
+                std::thread::sleep(PUMP_IDLE);
+            }
+        }
+        let mut got = Vec::with_capacity(self.links.len());
+        for (s, link) in self.links.iter_mut().enumerate() {
+            let Some(link) = link else {
+                got.push(None);
+                continue;
+            };
+            let (msg, used) = self
+                .codec
+                .decode(&link.inbox)
+                .map_err(|e| format!("bad peer frame from rank {s}: {e}"))?;
+            link.inbox.drain(..used);
+            self.bytes_recv += used as u64;
+            got.push(Some(msg));
+        }
+        self.wire_seconds += start.elapsed().as_secs_f64();
+        Ok(got)
+    }
+
+    fn wire(&self) -> (u64, u64, f64) {
+        (self.bytes_sent, self.bytes_recv, self.wire_seconds)
+    }
+}
+
+/// Rendezvous path of one rank's peer listener inside the shared socket
+/// directory.
+pub fn peer_sock_path(dir: &str, rank: usize) -> PathBuf {
+    PathBuf::from(dir).join(format!("peer-{rank}.sock"))
+}
+
+/// The provider the `mdshard-worker` binary installs: binds a listener on
+/// `PeerListen`, dials lower ranks / accepts higher ranks on
+/// `PeerConnect`, identifying inbound streams by their `PeerHello`.
+pub struct SocketMeshProvider {
+    codec: Codec,
+    listener: Option<UnixListener>,
+    dir: Option<String>,
+}
+
+impl SocketMeshProvider {
+    /// A provider speaking `codec` on every peer link.
+    pub fn new(codec: Codec) -> SocketMeshProvider {
+        SocketMeshProvider {
+            codec,
+            listener: None,
+            dir: None,
+        }
+    }
+}
+
+impl MeshProvider for SocketMeshProvider {
+    fn listen(&mut self, rank: usize, _n_ranks: usize, dir: &str) -> Result<(), String> {
+        let path = peer_sock_path(dir, rank);
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)
+            .map_err(|e| format!("bind {}: {e}", path.display()))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("listener nonblocking: {e}"))?;
+        self.listener = Some(listener);
+        self.dir = Some(dir.to_string());
+        Ok(())
+    }
+
+    fn connect(&mut self, rank: usize, n_ranks: usize) -> Result<Box<dyn PeerMesh>, String> {
+        let listener = self.listener.take().ok_or("connect before listen")?;
+        let dir = self.dir.clone().ok_or("connect before listen")?;
+        let mut links: Vec<Option<PeerLink>> = (0..n_ranks).map(|_| None).collect();
+        // Dial every lower rank (their listeners are bound — the driver's
+        // PeerListen round completed) and introduce ourselves.
+        for (s, link) in links.iter_mut().enumerate().take(rank) {
+            let path = peer_sock_path(&dir, s);
+            let mut stream = UnixStream::connect(&path)
+                .map_err(|e| format!("dial rank {s} at {}: {e}", path.display()))?;
+            self.codec
+                .write_msg(&mut stream, &Msg::PeerHello { rank: rank as u64 })
+                .map_err(|e| format!("hello to rank {s}: {e}"))?;
+            stream
+                .set_nonblocking(true)
+                .map_err(|e| format!("peer stream nonblocking: {e}"))?;
+            *link = Some(PeerLink {
+                stream,
+                inbox: Vec::new(),
+            });
+        }
+        // Accept every higher rank, identified by its hello.
+        let expect = n_ranks - rank - 1;
+        let deadline = Instant::now() + MESH_DEADLINE;
+        let mut accepted = 0;
+        while accepted < expect {
+            match listener.accept() {
+                Ok((mut stream, _)) => {
+                    stream
+                        .set_nonblocking(false)
+                        .map_err(|e| format!("peer stream blocking: {e}"))?;
+                    let hello = self
+                        .codec
+                        .read_msg(&mut stream)
+                        .map_err(|e| format!("peer hello: {e}"))?;
+                    let from = match hello {
+                        Msg::PeerHello { rank: r } => r as usize,
+                        other => return Err(format!("expected peer hello, got {other:?}")),
+                    };
+                    if from <= rank || from >= n_ranks || links[from].is_some() {
+                        return Err(format!("bad or duplicate peer hello from rank {from}"));
+                    }
+                    stream
+                        .set_nonblocking(true)
+                        .map_err(|e| format!("peer stream nonblocking: {e}"))?;
+                    links[from] = Some(PeerLink {
+                        stream,
+                        inbox: Vec::new(),
+                    });
+                    accepted += 1;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    if Instant::now() > deadline {
+                        return Err(format!(
+                            "peer mesh rendezvous timed out ({accepted}/{expect} accepted)"
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => return Err(format!("peer accept: {e}")),
+            }
+        }
+        let _ = std::fs::remove_file(peer_sock_path(&dir, rank));
+        Ok(Box::new(SocketMesh {
+            codec: self.codec,
+            links,
+            bytes_sent: 0,
+            bytes_recv: 0,
+            wire_seconds: 0.0,
+        }))
+    }
+}
+
+/// Accumulates a mesh's wire counters plus the core's ghost tallies into
+/// the [`HaloCounters`] wire shape.
+pub fn halo_counters(
+    mesh: Option<&dyn PeerMesh>,
+    ghost_sent: u64,
+    ghost_installed: u64,
+) -> HaloCounters {
+    let (bytes_sent, bytes_recv, wire_seconds) = mesh.map_or((0, 0, 0.0), |m| m.wire());
+    HaloCounters {
+        ghost_sent,
+        ghost_installed,
+        bytes_sent,
+        bytes_recv,
+        wire_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use md_geometry::Vec3;
+
+    #[test]
+    fn channel_mesh_routes_frames_between_ranks() {
+        let mut set = channel_mesh_set(3, Codec::Binary);
+        let mut m2 = set.pop().unwrap();
+        let mut m1 = set.pop().unwrap();
+        let mut m0 = set.pop().unwrap();
+        m0.send_peers(vec![
+            None,
+            Some(Msg::PeerPos { pos: vec![Vec3::ONE] }),
+            Some(Msg::PeerPos { pos: vec![] }),
+        ])
+        .unwrap();
+        m1.send_peers(vec![Some(Msg::PeerFp { fp: vec![2.0] }), None, Some(Msg::PeerFp { fp: vec![] })])
+            .unwrap();
+        m2.send_peers(vec![
+            Some(Msg::PeerPos { pos: vec![] }),
+            Some(Msg::PeerPos { pos: vec![] }),
+            None,
+        ])
+        .unwrap();
+        let at0 = m0.recv_peers().unwrap();
+        assert!(at0[0].is_none());
+        assert_eq!(at0[1], Some(Msg::PeerFp { fp: vec![2.0] }));
+        assert_eq!(at0[2], Some(Msg::PeerPos { pos: vec![] }));
+        let at1 = m1.recv_peers().unwrap();
+        assert_eq!(at1[0], Some(Msg::PeerPos { pos: vec![Vec3::ONE] }));
+        let (sent, recvd, secs) = m0.wire();
+        assert!(sent > 0 && recvd > 0 && secs >= 0.0);
+    }
+
+    #[test]
+    fn empty_channel_is_a_phase_violation() {
+        let mut set = channel_mesh_set(2, Codec::Json);
+        let mut m0 = set.remove(0);
+        assert!(m0.recv_peers().is_err());
+    }
+
+    #[test]
+    fn socket_mesh_full_duplex_survives_large_frames() {
+        // Two ranks exchange frames far larger than a socket buffer in the
+        // same round; the pump must interleave reads and writes.
+        let dir = std::env::temp_dir().join(format!("mdshard-mesh-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dir_str = dir.to_string_lossy().into_owned();
+        let codec = Codec::Binary;
+        let big: Vec<Vec3> = (0..40_000).map(|i| Vec3::new(i as f64, 0.5, -1.0)).collect();
+        let mk_provider = || SocketMeshProvider::new(codec);
+        let mut p0 = mk_provider();
+        let mut p1 = mk_provider();
+        p0.listen(0, 2, &dir_str).unwrap();
+        p1.listen(1, 2, &dir_str).unwrap();
+        let d0 = dir_str.clone();
+        let big0 = big.clone();
+        let t = std::thread::spawn(move || {
+            let _ = d0;
+            let mut mesh = p0.connect(0, 2).unwrap();
+            mesh.send_peers(vec![None, Some(Msg::PeerPos { pos: big0.clone() })])
+                .unwrap();
+            let got = mesh.recv_peers().unwrap();
+            match &got[1] {
+                Some(Msg::PeerPos { pos }) => assert_eq!(pos.len(), big0.len()),
+                other => panic!("unexpected {other:?}"),
+            }
+        });
+        let mut mesh1 = p1.connect(1, 2).unwrap();
+        mesh1
+            .send_peers(vec![Some(Msg::PeerPos { pos: big.clone() }), None])
+            .unwrap();
+        let got = mesh1.recv_peers().unwrap();
+        match &got[0] {
+            Some(Msg::PeerPos { pos }) => assert_eq!(pos, &big),
+            other => panic!("unexpected {other:?}"),
+        }
+        t.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,26 +1,35 @@
-//! The driver ↔ shard message protocol.
+//! The shard message protocol: driver ↔ shard control plane plus the
+//! shard ↔ shard peer frames.
 //!
-//! Strict request/reply pairs, driver-initiated; the driver is a star
-//! relay, so "peer" payloads are per-rank vectors the driver reshuffles
-//! (`MigOut.to[t]` from every source becomes `MigIn.atoms` at target `t`,
-//! and likewise for ghost positions and embedding derivatives):
+//! The driver speaks strict request/reply pairs on the control links; halo
+//! payloads never touch it. After `Init`, the driver brokers the peer mesh
+//! (listen, then connect), and from then on every step is three halo
+//! rounds in which ghost data flows directly shard → shard:
 //!
-//! | request            | reply      | shard work |
-//! |--------------------|------------|------------|
-//! | `Init`             | `Ready`    | adopt owned atoms, build layout |
-//! | `Begin`            | `DispOut`  | half-kick, drift, wrap; report max displacement² |
-//! | `Migrate`          | `MigOut`   | evict atoms that left the slab |
-//! | `MigIn`            | `GhostOut` | adopt arrivals, pick ghost exports |
-//! | `GhostIn`          | `FpOut`    | install ghosts, rebuild engine, density phase |
-//! | `PosTick`          | `PosOut`   | read current export positions |
-//! | `PosIn`            | `FpOut`    | refresh ghost positions, density phase |
-//! | `FpIn`             | `StepDone` | install ghost `F'(ρ)`, force phase, (half-kick) |
-//! | `Save`             | `Saved`    | write the per-shard checkpoint |
-//! | `Gather`           | `State`    | report owned atoms |
-//! | `Stats`            | `StatsOut` | report accumulated phase timers |
-//! | `Shutdown`         | —          | exit |
+//! | request             | reply         | shard work |
+//! |---------------------|---------------|------------|
+//! | `Init`              | `Ready`       | adopt owned atoms, build layout |
+//! | `PeerListen`        | `PeerBound`   | bind the peer rendezvous endpoint |
+//! | `PeerConnect`       | `PeerReady`   | dial lower ranks, accept higher ranks |
+//! | `Begin`             | `DispOut`     | half-kick, drift, wrap; report max displacement² |
+//! | `Migrate`           | `MigOut`      | evict atoms that left the slab |
+//! | `MigIn`             | `HaloSent`    | adopt arrivals, pick exports, peer-send `PeerGhosts` |
+//! | `HaloPos`           | `HaloSent`    | peer-send `PeerPos` (current export positions) |
+//! | `HaloDensity`       | `DensityDone` | peer-recv ghosts, install, density phase, peer-send `PeerFp` |
+//! | `HaloForce`         | `StepDone`    | peer-recv `F'(ρ)`, force phase, (half-kick) |
+//! | `Save`              | `Saved`       | write the per-shard checkpoint |
+//! | `Gather`            | `State`       | report owned atoms |
+//! | `Stats`             | `StatsOut`    | report accumulated phase timers |
+//! | `Counters`          | `CountersOut` | report halo/wire counters |
+//! | `Shutdown`          | —             | exit |
 //!
-//! All floating-point state rides as hex bit patterns (see [`crate::codec`]).
+//! Peer frames (`PeerHello`, `PeerGhosts`, `PeerPos`, `PeerFp`) ride the
+//! mesh links; exactly one frame per directed pair per halo round, empty
+//! or not, so the rounds stay deterministic.
+//!
+//! Messages have two wire forms behind [`crate::codec::Codec`]: compact
+//! JSON (floats as hex bit patterns) and a tagged little-endian binary
+//! form (floats as raw `to_bits`). Both are bit-exact for every f64.
 
 use crate::codec::{f64_to_hex, hex_to_f64, CodecError};
 use md_geometry::Vec3;
@@ -56,6 +65,22 @@ pub struct PhaseStat {
     pub seconds: f64,
     /// Number of recorded samples.
     pub count: u64,
+}
+
+/// Cumulative halo counters of one shard (a `CountersOut` reply).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HaloCounters {
+    /// Ghost position records this shard sent to peers.
+    pub ghost_sent: u64,
+    /// Ghost position records this shard installed from peers.
+    pub ghost_installed: u64,
+    /// Bytes this shard wrote to peer links (all frame types).
+    pub bytes_sent: u64,
+    /// Bytes this shard read from peer links.
+    pub bytes_recv: u64,
+    /// Wall seconds this shard spent encoding/shipping/decoding peer
+    /// frames.
+    pub wire_seconds: f64,
 }
 
 /// Everything a shard needs to stand up its slab.
@@ -97,18 +122,20 @@ pub struct InitSpec {
 pub enum Msg {
     Init(Box<InitSpec>),
     Ready { rank: u64 },
+    PeerListen { dir: String },
+    PeerBound,
+    PeerConnect,
+    PeerReady,
     Begin,
     DispOut { max_sq: f64 },
     Migrate,
     MigOut { to: Vec<Vec<ShardAtom>> },
     MigIn { atoms: Vec<ShardAtom> },
-    GhostOut { to: Vec<GhostExport> },
-    GhostIn { from: Vec<GhostExport> },
-    PosTick,
-    PosOut { to: Vec<Vec<Vec3>> },
-    PosIn { from: Vec<Vec<Vec3>> },
-    FpOut { to: Vec<Vec<f64>> },
-    FpIn { from: Vec<Vec<f64>>, kick: bool },
+    HaloPos,
+    HaloSent,
+    HaloDensity,
+    DensityDone,
+    HaloForce { kick: bool },
     StepDone { step: u64 },
     Save { dir: String },
     Saved { path: String },
@@ -116,7 +143,14 @@ pub enum Msg {
     State { atoms: Vec<ShardAtom> },
     Stats,
     StatsOut { phases: Vec<PhaseStat> },
+    Counters,
+    CountersOut { counters: HaloCounters },
     Shutdown,
+    // Peer frames (shard ↔ shard, never on a control link).
+    PeerHello { rank: u64 },
+    PeerGhosts { export: GhostExport },
+    PeerPos { pos: Vec<Vec3> },
+    PeerFp { fp: Vec<f64> },
 }
 
 fn hx(x: f64) -> JsonValue {
@@ -288,6 +322,12 @@ impl Msg {
                 tag("ready"),
                 ("rank", JsonValue::num(*rank as f64)),
             ]),
+            Msg::PeerListen { dir } => {
+                JsonValue::obj(vec![tag("peer_listen"), ("dir", JsonValue::str(&**dir))])
+            }
+            Msg::PeerBound => JsonValue::obj(vec![tag("peer_bound")]),
+            Msg::PeerConnect => JsonValue::obj(vec![tag("peer_connect")]),
+            Msg::PeerReady => JsonValue::obj(vec![tag("peer_ready")]),
             Msg::Begin => JsonValue::obj(vec![tag("begin")]),
             Msg::DispOut { max_sq } => {
                 JsonValue::obj(vec![tag("disp"), ("max_sq", hx(*max_sq))])
@@ -303,38 +343,13 @@ impl Msg {
             Msg::MigIn { atoms } => {
                 JsonValue::obj(vec![tag("mig_in"), ("atoms", atoms_json(atoms))])
             }
-            Msg::GhostOut { to } => JsonValue::obj(vec![
-                tag("ghost_out"),
-                ("to", JsonValue::Arr(to.iter().map(export_json).collect())),
-            ]),
-            Msg::GhostIn { from } => JsonValue::obj(vec![
-                tag("ghost_in"),
-                ("from", JsonValue::Arr(from.iter().map(export_json).collect())),
-            ]),
-            Msg::PosTick => JsonValue::obj(vec![tag("pos_tick")]),
-            Msg::PosOut { to } => JsonValue::obj(vec![
-                tag("pos_out"),
-                ("to", JsonValue::Arr(to.iter().map(|v| vec3s_json(v)).collect())),
-            ]),
-            Msg::PosIn { from } => JsonValue::obj(vec![
-                tag("pos_in"),
-                (
-                    "from",
-                    JsonValue::Arr(from.iter().map(|v| vec3s_json(v)).collect()),
-                ),
-            ]),
-            Msg::FpOut { to } => JsonValue::obj(vec![
-                tag("fp_out"),
-                ("to", JsonValue::Arr(to.iter().map(|v| f64s_json(v)).collect())),
-            ]),
-            Msg::FpIn { from, kick } => JsonValue::obj(vec![
-                tag("fp_in"),
-                (
-                    "from",
-                    JsonValue::Arr(from.iter().map(|v| f64s_json(v)).collect()),
-                ),
-                ("kick", JsonValue::Bool(*kick)),
-            ]),
+            Msg::HaloPos => JsonValue::obj(vec![tag("halo_pos")]),
+            Msg::HaloSent => JsonValue::obj(vec![tag("halo_sent")]),
+            Msg::HaloDensity => JsonValue::obj(vec![tag("halo_density")]),
+            Msg::DensityDone => JsonValue::obj(vec![tag("density_done")]),
+            Msg::HaloForce { kick } => {
+                JsonValue::obj(vec![tag("halo_force"), ("kick", JsonValue::Bool(*kick))])
+            }
             Msg::StepDone { step } => JsonValue::obj(vec![
                 tag("step_done"),
                 ("step", JsonValue::num(*step as f64)),
@@ -368,7 +383,29 @@ impl Msg {
                     ),
                 ),
             ]),
+            Msg::Counters => JsonValue::obj(vec![tag("counters")]),
+            Msg::CountersOut { counters: c } => JsonValue::obj(vec![
+                tag("counters_out"),
+                ("ghost_sent", JsonValue::num(c.ghost_sent as f64)),
+                ("ghost_installed", JsonValue::num(c.ghost_installed as f64)),
+                ("bytes_sent", JsonValue::num(c.bytes_sent as f64)),
+                ("bytes_recv", JsonValue::num(c.bytes_recv as f64)),
+                ("wire_seconds", hx(c.wire_seconds)),
+            ]),
             Msg::Shutdown => JsonValue::obj(vec![tag("shutdown")]),
+            Msg::PeerHello { rank } => JsonValue::obj(vec![
+                tag("peer_hello"),
+                ("rank", JsonValue::num(*rank as f64)),
+            ]),
+            Msg::PeerGhosts { export } => {
+                JsonValue::obj(vec![tag("peer_ghosts"), ("export", export_json(export))])
+            }
+            Msg::PeerPos { pos } => {
+                JsonValue::obj(vec![tag("peer_pos"), ("pos", vec3s_json(pos))])
+            }
+            Msg::PeerFp { fp } => {
+                JsonValue::obj(vec![tag("peer_fp"), ("fp", f64s_json(fp))])
+            }
         }
     }
 
@@ -409,6 +446,12 @@ impl Msg {
             "ready" => Ok(Msg::Ready {
                 rank: get_u64(field(v, "rank")?)?,
             }),
+            "peer_listen" => Ok(Msg::PeerListen {
+                dir: get_str(field(v, "dir")?)?,
+            }),
+            "peer_bound" => Ok(Msg::PeerBound),
+            "peer_connect" => Ok(Msg::PeerConnect),
+            "peer_ready" => Ok(Msg::PeerReady),
             "begin" => Ok(Msg::Begin),
             "disp" => Ok(Msg::DispOut {
                 max_sq: get_f64(field(v, "max_sq")?)?,
@@ -420,24 +463,11 @@ impl Msg {
             "mig_in" => Ok(Msg::MigIn {
                 atoms: get_atoms(field(v, "atoms")?)?,
             }),
-            "ghost_out" => Ok(Msg::GhostOut {
-                to: per_rank(field(v, "to")?, get_export)?,
-            }),
-            "ghost_in" => Ok(Msg::GhostIn {
-                from: per_rank(field(v, "from")?, get_export)?,
-            }),
-            "pos_tick" => Ok(Msg::PosTick),
-            "pos_out" => Ok(Msg::PosOut {
-                to: per_rank(field(v, "to")?, get_vec3s)?,
-            }),
-            "pos_in" => Ok(Msg::PosIn {
-                from: per_rank(field(v, "from")?, get_vec3s)?,
-            }),
-            "fp_out" => Ok(Msg::FpOut {
-                to: per_rank(field(v, "to")?, get_f64s)?,
-            }),
-            "fp_in" => Ok(Msg::FpIn {
-                from: per_rank(field(v, "from")?, get_f64s)?,
+            "halo_pos" => Ok(Msg::HaloPos),
+            "halo_sent" => Ok(Msg::HaloSent),
+            "halo_density" => Ok(Msg::HaloDensity),
+            "density_done" => Ok(Msg::DensityDone),
+            "halo_force" => Ok(Msg::HaloForce {
                 kick: get_bool(field(v, "kick")?)?,
             }),
             "step_done" => Ok(Msg::StepDone {
@@ -463,16 +493,450 @@ impl Msg {
                     })
                 })?,
             }),
+            "counters" => Ok(Msg::Counters),
+            "counters_out" => Ok(Msg::CountersOut {
+                counters: HaloCounters {
+                    ghost_sent: get_u64(field(v, "ghost_sent")?)?,
+                    ghost_installed: get_u64(field(v, "ghost_installed")?)?,
+                    bytes_sent: get_u64(field(v, "bytes_sent")?)?,
+                    bytes_recv: get_u64(field(v, "bytes_recv")?)?,
+                    wire_seconds: get_f64(field(v, "wire_seconds")?)?,
+                },
+            }),
             "shutdown" => Ok(Msg::Shutdown),
+            "peer_hello" => Ok(Msg::PeerHello {
+                rank: get_u64(field(v, "rank")?)?,
+            }),
+            "peer_ghosts" => Ok(Msg::PeerGhosts {
+                export: get_export(field(v, "export")?)?,
+            }),
+            "peer_pos" => Ok(Msg::PeerPos {
+                pos: get_vec3s(field(v, "pos")?)?,
+            }),
+            "peer_fp" => Ok(Msg::PeerFp {
+                fp: get_f64s(field(v, "fp")?)?,
+            }),
             other => Err(bad(&format!("unknown message tag '{other}'"))),
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binary wire form: [u8 tag][fields], all integers and f64 bit patterns
+// little-endian, strings and vectors u32-length-prefixed. Decoding is a
+// cursor walk that must consume the payload exactly — trailing bytes are a
+// typed error, mirroring the JSON parser's trailing-character rejection.
+// ---------------------------------------------------------------------------
+
+mod tag {
+    pub const INIT: u8 = 1;
+    pub const READY: u8 = 2;
+    pub const PEER_LISTEN: u8 = 3;
+    pub const PEER_BOUND: u8 = 4;
+    pub const PEER_CONNECT: u8 = 5;
+    pub const PEER_READY: u8 = 6;
+    pub const BEGIN: u8 = 7;
+    pub const DISP_OUT: u8 = 8;
+    pub const MIGRATE: u8 = 9;
+    pub const MIG_OUT: u8 = 10;
+    pub const MIG_IN: u8 = 11;
+    pub const HALO_POS: u8 = 12;
+    pub const HALO_SENT: u8 = 13;
+    pub const HALO_DENSITY: u8 = 14;
+    pub const DENSITY_DONE: u8 = 15;
+    pub const HALO_FORCE: u8 = 16;
+    pub const STEP_DONE: u8 = 17;
+    pub const SAVE: u8 = 18;
+    pub const SAVED: u8 = 19;
+    pub const GATHER: u8 = 20;
+    pub const STATE: u8 = 21;
+    pub const STATS: u8 = 22;
+    pub const STATS_OUT: u8 = 23;
+    pub const COUNTERS: u8 = 24;
+    pub const COUNTERS_OUT: u8 = 25;
+    pub const SHUTDOWN: u8 = 26;
+    pub const PEER_HELLO: u8 = 27;
+    pub const PEER_GHOSTS: u8 = 28;
+    pub const PEER_POS: u8 = 29;
+    pub const PEER_FP: u8 = 30;
+}
+
+fn put_u64(out: &mut Vec<u8>, x: u64) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, x: f64) {
+    out.extend_from_slice(&x.to_bits().to_le_bytes());
+}
+
+fn put_len(out: &mut Vec<u8>, n: usize) {
+    out.extend_from_slice(&(n as u32).to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_len(out, s.len());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_vec3(out: &mut Vec<u8>, v: Vec3) {
+    put_f64(out, v.x);
+    put_f64(out, v.y);
+    put_f64(out, v.z);
+}
+
+fn put_vec3s(out: &mut Vec<u8>, vs: &[Vec3]) {
+    put_len(out, vs.len());
+    for &v in vs {
+        put_vec3(out, v);
+    }
+}
+
+fn put_f64s(out: &mut Vec<u8>, xs: &[f64]) {
+    put_len(out, xs.len());
+    for &x in xs {
+        put_f64(out, x);
+    }
+}
+
+fn put_atoms(out: &mut Vec<u8>, atoms: &[ShardAtom]) {
+    put_len(out, atoms.len());
+    for a in atoms {
+        put_u64(out, a.gid);
+        put_vec3(out, a.pos);
+        put_vec3(out, a.vel);
+    }
+}
+
+fn put_export(out: &mut Vec<u8>, e: &GhostExport) {
+    put_len(out, e.gids.len());
+    for &g in &e.gids {
+        put_u64(out, g);
+    }
+    put_vec3s(out, &e.pos);
+}
+
+/// Cursor over a binary payload; every read is bounds-checked and reports
+/// [`CodecError::BadField`] on underrun.
+struct Cur<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.buf.len() - self.at < n {
+            return Err(bad("binary payload ends mid-field"));
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn usize(&mut self) -> Result<usize, CodecError> {
+        let n = self.u64()?;
+        usize::try_from(n).map_err(|_| bad("integer too large for usize"))
+    }
+
+    fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn bool(&mut self) -> Result<bool, CodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(bad(&format!("bad bool byte {other}"))),
+        }
+    }
+
+    /// Reads a u32 length prefix, sanity-bounded by what the remaining
+    /// payload could possibly hold (`floor` bytes per element, minimum 1).
+    fn len(&mut self, per_elem: usize) -> Result<usize, CodecError> {
+        let n = u32::from_le_bytes(self.take(4)?.try_into().unwrap()) as usize;
+        let left = self.buf.len() - self.at;
+        if n.saturating_mul(per_elem.max(1)) > left {
+            return Err(bad("length prefix exceeds remaining payload"));
+        }
+        Ok(n)
+    }
+
+    fn str(&mut self) -> Result<String, CodecError> {
+        let n = self.len(1)?;
+        std::str::from_utf8(self.take(n)?)
+            .map(str::to_string)
+            .map_err(|_| bad("string field is not UTF-8"))
+    }
+
+    fn vec3(&mut self) -> Result<Vec3, CodecError> {
+        Ok(Vec3::new(self.f64()?, self.f64()?, self.f64()?))
+    }
+
+    fn vec3s(&mut self) -> Result<Vec<Vec3>, CodecError> {
+        let n = self.len(24)?;
+        (0..n).map(|_| self.vec3()).collect()
+    }
+
+    fn f64s(&mut self) -> Result<Vec<f64>, CodecError> {
+        let n = self.len(8)?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    fn atoms(&mut self) -> Result<Vec<ShardAtom>, CodecError> {
+        let n = self.len(56)?;
+        (0..n)
+            .map(|_| {
+                Ok(ShardAtom {
+                    gid: self.u64()?,
+                    pos: self.vec3()?,
+                    vel: self.vec3()?,
+                })
+            })
+            .collect()
+    }
+
+    fn export(&mut self) -> Result<GhostExport, CodecError> {
+        let n = self.len(8)?;
+        let gids = (0..n).map(|_| self.u64()).collect::<Result<Vec<_>, _>>()?;
+        let pos = self.vec3s()?;
+        if gids.len() != pos.len() {
+            return Err(bad("ghost export gid/pos length mismatch"));
+        }
+        Ok(GhostExport { gids, pos })
+    }
+}
+
+impl Msg {
+    /// Renders the message as its binary payload body (unframed).
+    pub fn encode_binary(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Msg::Init(s) => {
+                out.push(tag::INIT);
+                put_u64(&mut out, s.rank as u64);
+                put_u64(&mut out, s.n_ranks as u64);
+                put_u64(&mut out, s.axis as u64);
+                for &l in &s.box_lengths {
+                    put_f64(&mut out, l);
+                }
+                put_str(&mut out, &s.potential);
+                out.push(u8::from(s.tabulated));
+                out.push(u8::from(s.fused));
+                put_str(&mut out, &s.strategy);
+                put_u64(&mut out, s.threads as u64);
+                put_f64(&mut out, s.skin);
+                put_f64(&mut out, s.dt);
+                put_f64(&mut out, s.mass);
+                put_u64(&mut out, s.step);
+                put_atoms(&mut out, &s.atoms);
+            }
+            Msg::Ready { rank } => {
+                out.push(tag::READY);
+                put_u64(&mut out, *rank);
+            }
+            Msg::PeerListen { dir } => {
+                out.push(tag::PEER_LISTEN);
+                put_str(&mut out, dir);
+            }
+            Msg::PeerBound => out.push(tag::PEER_BOUND),
+            Msg::PeerConnect => out.push(tag::PEER_CONNECT),
+            Msg::PeerReady => out.push(tag::PEER_READY),
+            Msg::Begin => out.push(tag::BEGIN),
+            Msg::DispOut { max_sq } => {
+                out.push(tag::DISP_OUT);
+                put_f64(&mut out, *max_sq);
+            }
+            Msg::Migrate => out.push(tag::MIGRATE),
+            Msg::MigOut { to } => {
+                out.push(tag::MIG_OUT);
+                put_len(&mut out, to.len());
+                for atoms in to {
+                    put_atoms(&mut out, atoms);
+                }
+            }
+            Msg::MigIn { atoms } => {
+                out.push(tag::MIG_IN);
+                put_atoms(&mut out, atoms);
+            }
+            Msg::HaloPos => out.push(tag::HALO_POS),
+            Msg::HaloSent => out.push(tag::HALO_SENT),
+            Msg::HaloDensity => out.push(tag::HALO_DENSITY),
+            Msg::DensityDone => out.push(tag::DENSITY_DONE),
+            Msg::HaloForce { kick } => {
+                out.push(tag::HALO_FORCE);
+                out.push(u8::from(*kick));
+            }
+            Msg::StepDone { step } => {
+                out.push(tag::STEP_DONE);
+                put_u64(&mut out, *step);
+            }
+            Msg::Save { dir } => {
+                out.push(tag::SAVE);
+                put_str(&mut out, dir);
+            }
+            Msg::Saved { path } => {
+                out.push(tag::SAVED);
+                put_str(&mut out, path);
+            }
+            Msg::Gather => out.push(tag::GATHER),
+            Msg::State { atoms } => {
+                out.push(tag::STATE);
+                put_atoms(&mut out, atoms);
+            }
+            Msg::Stats => out.push(tag::STATS),
+            Msg::StatsOut { phases } => {
+                out.push(tag::STATS_OUT);
+                put_len(&mut out, phases.len());
+                for p in phases {
+                    put_str(&mut out, &p.name);
+                    put_f64(&mut out, p.seconds);
+                    put_u64(&mut out, p.count);
+                }
+            }
+            Msg::Counters => out.push(tag::COUNTERS),
+            Msg::CountersOut { counters: c } => {
+                out.push(tag::COUNTERS_OUT);
+                put_u64(&mut out, c.ghost_sent);
+                put_u64(&mut out, c.ghost_installed);
+                put_u64(&mut out, c.bytes_sent);
+                put_u64(&mut out, c.bytes_recv);
+                put_f64(&mut out, c.wire_seconds);
+            }
+            Msg::Shutdown => out.push(tag::SHUTDOWN),
+            Msg::PeerHello { rank } => {
+                out.push(tag::PEER_HELLO);
+                put_u64(&mut out, *rank);
+            }
+            Msg::PeerGhosts { export } => {
+                out.push(tag::PEER_GHOSTS);
+                put_export(&mut out, export);
+            }
+            Msg::PeerPos { pos } => {
+                out.push(tag::PEER_POS);
+                put_vec3s(&mut out, pos);
+            }
+            Msg::PeerFp { fp } => {
+                out.push(tag::PEER_FP);
+                put_f64s(&mut out, fp);
+            }
+        }
+        out
+    }
+
+    /// Parses a message from its binary payload body. The body must hold
+    /// exactly one message; leftover bytes are a [`CodecError::BadField`].
+    pub fn decode_binary(body: &[u8]) -> Result<Msg, CodecError> {
+        let mut c = Cur { buf: body, at: 0 };
+        let msg = match c.u8()? {
+            tag::INIT => {
+                let rank = c.usize()?;
+                let n_ranks = c.usize()?;
+                let axis = c.usize()?;
+                let box_lengths = [c.f64()?, c.f64()?, c.f64()?];
+                let potential = c.str()?;
+                let tabulated = c.bool()?;
+                let fused = c.bool()?;
+                let strategy = c.str()?;
+                let threads = c.usize()?;
+                let skin = c.f64()?;
+                let dt = c.f64()?;
+                let mass = c.f64()?;
+                let step = c.u64()?;
+                let atoms = c.atoms()?;
+                Msg::Init(Box::new(InitSpec {
+                    rank,
+                    n_ranks,
+                    axis,
+                    box_lengths,
+                    potential,
+                    tabulated,
+                    fused,
+                    strategy,
+                    threads,
+                    skin,
+                    dt,
+                    mass,
+                    step,
+                    atoms,
+                }))
+            }
+            tag::READY => Msg::Ready { rank: c.u64()? },
+            tag::PEER_LISTEN => Msg::PeerListen { dir: c.str()? },
+            tag::PEER_BOUND => Msg::PeerBound,
+            tag::PEER_CONNECT => Msg::PeerConnect,
+            tag::PEER_READY => Msg::PeerReady,
+            tag::BEGIN => Msg::Begin,
+            tag::DISP_OUT => Msg::DispOut { max_sq: c.f64()? },
+            tag::MIGRATE => Msg::Migrate,
+            tag::MIG_OUT => {
+                let n = c.len(4)?;
+                let to = (0..n).map(|_| c.atoms()).collect::<Result<Vec<_>, _>>()?;
+                Msg::MigOut { to }
+            }
+            tag::MIG_IN => Msg::MigIn { atoms: c.atoms()? },
+            tag::HALO_POS => Msg::HaloPos,
+            tag::HALO_SENT => Msg::HaloSent,
+            tag::HALO_DENSITY => Msg::HaloDensity,
+            tag::DENSITY_DONE => Msg::DensityDone,
+            tag::HALO_FORCE => Msg::HaloForce { kick: c.bool()? },
+            tag::STEP_DONE => Msg::StepDone { step: c.u64()? },
+            tag::SAVE => Msg::Save { dir: c.str()? },
+            tag::SAVED => Msg::Saved { path: c.str()? },
+            tag::GATHER => Msg::Gather,
+            tag::STATE => Msg::State { atoms: c.atoms()? },
+            tag::STATS => Msg::Stats,
+            tag::STATS_OUT => {
+                let n = c.len(17)?;
+                let phases = (0..n)
+                    .map(|_| {
+                        Ok(PhaseStat {
+                            name: c.str()?,
+                            seconds: c.f64()?,
+                            count: c.u64()?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, CodecError>>()?;
+                Msg::StatsOut { phases }
+            }
+            tag::COUNTERS => Msg::Counters,
+            tag::COUNTERS_OUT => Msg::CountersOut {
+                counters: HaloCounters {
+                    ghost_sent: c.u64()?,
+                    ghost_installed: c.u64()?,
+                    bytes_sent: c.u64()?,
+                    bytes_recv: c.u64()?,
+                    wire_seconds: c.f64()?,
+                },
+            },
+            tag::SHUTDOWN => Msg::Shutdown,
+            tag::PEER_HELLO => Msg::PeerHello { rank: c.u64()? },
+            tag::PEER_GHOSTS => Msg::PeerGhosts { export: c.export()? },
+            tag::PEER_POS => Msg::PeerPos { pos: c.vec3s()? },
+            tag::PEER_FP => Msg::PeerFp { fp: c.f64s()? },
+            other => return Err(bad(&format!("unknown binary message tag {other}"))),
+        };
+        if c.at != body.len() {
+            return Err(bad(&format!(
+                "trailing bytes after binary message ({} of {} consumed)",
+                c.at,
+                body.len()
+            )));
+        }
+        Ok(msg)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::codec::{decode_frame, encode_frame};
+    use crate::codec::Codec;
 
     fn atom(gid: u64) -> ShardAtom {
         ShardAtom {
@@ -482,9 +946,8 @@ mod tests {
         }
     }
 
-    #[test]
-    fn every_message_round_trips_through_the_frame_codec() {
-        let msgs = vec![
+    fn sample_msgs() -> Vec<Msg> {
+        vec![
             Msg::Init(Box::new(InitSpec {
                 rank: 1,
                 n_ranks: 2,
@@ -502,6 +965,10 @@ mod tests {
                 atoms: vec![atom(0), atom(5)],
             })),
             Msg::Ready { rank: 1 },
+            Msg::PeerListen { dir: "/tmp/mesh".to_string() },
+            Msg::PeerBound,
+            Msg::PeerConnect,
+            Msg::PeerReady,
             Msg::Begin,
             Msg::DispOut { max_sq: 0.015625 },
             Msg::Migrate,
@@ -509,28 +976,11 @@ mod tests {
                 to: vec![vec![], vec![atom(3)]],
             },
             Msg::MigIn { atoms: vec![atom(9)] },
-            Msg::GhostOut {
-                to: vec![
-                    GhostExport::default(),
-                    GhostExport {
-                        gids: vec![2, 4],
-                        pos: vec![Vec3::ONE, Vec3::ZERO],
-                    },
-                ],
-            },
-            Msg::GhostIn { from: vec![GhostExport::default()] },
-            Msg::PosTick,
-            Msg::PosOut {
-                to: vec![vec![Vec3::new(0.1, 0.2, 0.3)], vec![]],
-            },
-            Msg::PosIn { from: vec![vec![]] },
-            Msg::FpOut {
-                to: vec![vec![1.0, -2.5e-3]],
-            },
-            Msg::FpIn {
-                from: vec![vec![f64::NAN]],
-                kick: true,
-            },
+            Msg::HaloPos,
+            Msg::HaloSent,
+            Msg::HaloDensity,
+            Msg::DensityDone,
+            Msg::HaloForce { kick: true },
             Msg::StepDone { step: 8 },
             Msg::Save { dir: "/tmp/x".to_string() },
             Msg::Saved { path: "/tmp/x/shard-0@8.ckpt".to_string() },
@@ -544,19 +994,85 @@ mod tests {
                     count: 12,
                 }],
             },
+            Msg::Counters,
+            Msg::CountersOut {
+                counters: HaloCounters {
+                    ghost_sent: 10,
+                    ghost_installed: 10,
+                    bytes_sent: 4096,
+                    bytes_recv: 2048,
+                    wire_seconds: 0.125,
+                },
+            },
             Msg::Shutdown,
-        ];
-        for m in msgs {
-            let (payload, _) = decode_frame(&encode_frame(&m.encode())).unwrap();
-            let back = Msg::decode(&payload).unwrap();
-            // NaN breaks PartialEq; compare the re-encoded wire forms, which
-            // carry exact bit patterns.
+            Msg::PeerHello { rank: 3 },
+            Msg::PeerGhosts {
+                export: GhostExport {
+                    gids: vec![2, 4],
+                    pos: vec![Vec3::ONE, Vec3::ZERO],
+                },
+            },
+            Msg::PeerPos {
+                pos: vec![Vec3::new(0.1, 0.2, 0.3)],
+            },
+            Msg::PeerFp { fp: vec![1.0, -2.5e-3, f64::NAN] },
+        ]
+    }
+
+    #[test]
+    fn every_message_round_trips_through_both_codecs() {
+        for m in sample_msgs() {
+            for codec in [Codec::Json, Codec::Binary] {
+                let bytes = codec.encode(&m);
+                let (back, used) = codec.decode(&bytes).unwrap();
+                assert_eq!(used, bytes.len());
+                // NaN breaks PartialEq; compare the canonical binary wire
+                // forms, which carry exact bit patterns.
+                assert_eq!(
+                    back.encode_binary(),
+                    m.encode_binary(),
+                    "{codec:?} round trip failed for {m:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cross_codec_equivalence() {
+        // decode(encode_json(m)) ≡ decode(encode_binary(m)), field for
+        // field and bit for bit.
+        for m in sample_msgs() {
+            let via_json = Codec::Json.decode(&Codec::Json.encode(&m)).unwrap().0;
+            let via_bin = Codec::Binary.decode(&Codec::Binary.encode(&m)).unwrap().0;
             assert_eq!(
-                md_serve::wire::compact(&back.encode()),
-                md_serve::wire::compact(&m.encode()),
-                "round trip failed for {m:?}"
+                via_json.encode_binary(),
+                via_bin.encode_binary(),
+                "codecs disagree on {m:?}"
             );
         }
+    }
+
+    #[test]
+    fn binary_trailing_bytes_are_rejected() {
+        let mut body = Msg::Begin.encode_binary();
+        body.push(0);
+        assert!(matches!(
+            Msg::decode_binary(&body),
+            Err(CodecError::BadField(_))
+        ));
+    }
+
+    #[test]
+    fn binary_length_prefix_cannot_overrun() {
+        // A PeerFp claiming 2^32-1 floats in a 20-byte payload must be a
+        // typed error, not an allocation attempt.
+        let mut body = vec![30u8]; // PEER_FP
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        body.extend_from_slice(&[0u8; 15]);
+        assert!(matches!(
+            Msg::decode_binary(&body),
+            Err(CodecError::BadField(_))
+        ));
     }
 
     #[test]
@@ -567,6 +1083,14 @@ mod tests {
         assert!(matches!(Msg::decode(&v), Err(CodecError::BadField(_))));
         assert!(matches!(
             Msg::decode(&JsonValue::num(3.0)),
+            Err(CodecError::BadField(_))
+        ));
+        assert!(matches!(
+            Msg::decode_binary(&[200]),
+            Err(CodecError::BadField(_))
+        ));
+        assert!(matches!(
+            Msg::decode_binary(&[]),
             Err(CodecError::BadField(_))
         ));
     }

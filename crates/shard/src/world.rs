@@ -1,21 +1,25 @@
-//! The shard driver: a star relay running the velocity-Verlet protocol
+//! The shard driver: a control plane running the velocity-Verlet protocol
 //! over N transports.
 //!
-//! The driver never touches atom physics — it partitions the initial
-//! system, relays per-rank payloads between shards, ORs the rebuild
-//! decision, and aggregates stats. Every step is a fixed round-trip
-//! schedule (see [`crate::msg`]); on a rebuild step the migrate + ghost
-//! re-selection legs are inserted, otherwise only positions and embedding
-//! derivatives flow.
+//! The driver never touches atom physics — and since PR 9, never touches
+//! halo payloads either. At boot it brokers the peer mesh (every shard
+//! binds its rendezvous endpoint, then every shard dials/accepts its
+//! peers), after which ghost positions and embedding derivatives flow
+//! shard ↔ shard directly. What remains on the driver links is pure
+//! control: rebuild votes, migration manifests, checkpoint commands,
+//! stats polls, and fault propagation. Every step is a fixed round-trip
+//! schedule (see [`crate::msg`]); the control rounds double as the phase
+//! barrier the mesh relies on.
 
-use crate::codec;
+use crate::codec::Codec;
 use crate::core::{phase_by_name, ShardCore};
 use crate::layout::ShardLayout;
-use crate::msg::{GhostExport, InitSpec, Msg, ShardAtom};
+use crate::mesh::{channel_mesh_set, ChannelMesh, ChannelMeshProvider};
+use crate::msg::{HaloCounters, InitSpec, Msg, ShardAtom};
 use crate::{ckpt, ShardFault};
 use md_geometry::{Axis, SimBox, Vec3};
-use md_sim::metrics::SimMetrics;
 use md_sim::metrics::report::ShardsInfo;
+use md_sim::metrics::SimMetrics;
 use md_sim::{PhaseTimers, System};
 use std::collections::VecDeque;
 use std::path::Path;
@@ -31,21 +35,25 @@ pub trait Transport {
 }
 
 /// The virtual-rank backend: the shard lives inside the driver process and
-/// requests are processed inline — but every message still passes through
-/// [`codec::encode_frame`]/[`codec::decode_frame`], so the conformance
-/// battery exercises the exact bytes the process backend puts on a socket.
+/// requests are processed inline — but every control message still passes
+/// through the selected [`Codec`] (and peer traffic through a
+/// [`ChannelMesh`] carrying codec frames), so the conformance battery
+/// exercises the exact bytes the process backend puts on a socket.
 pub struct MemTransport {
     rank: usize,
+    codec: Codec,
     core: ShardCore,
     replies: VecDeque<Vec<u8>>,
 }
 
 impl MemTransport {
-    /// A fresh in-process shard at `rank`.
-    pub fn new(rank: usize) -> MemTransport {
+    /// A fresh in-process shard at `rank`, speaking `codec` and exchanging
+    /// halos over `mesh`.
+    pub fn new(rank: usize, codec: Codec, mesh: ChannelMesh) -> MemTransport {
         MemTransport {
             rank,
-            core: ShardCore::new(),
+            codec,
+            core: ShardCore::new(Box::new(ChannelMeshProvider::new(mesh))),
             replies: VecDeque::new(),
         }
     }
@@ -53,18 +61,14 @@ impl MemTransport {
 
 impl Transport for MemTransport {
     fn send(&mut self, msg: &Msg) -> Result<(), ShardFault> {
-        let frame = codec::encode_frame(&msg.encode());
-        let (payload, _) = codec::decode_frame(&frame).map_err(|error| ShardFault::Codec {
-            rank: self.rank,
-            error,
-        })?;
-        let request = Msg::decode(&payload).map_err(|error| ShardFault::Codec {
+        let frame = self.codec.encode(msg);
+        let (request, _) = self.codec.decode(&frame).map_err(|error| ShardFault::Codec {
             rank: self.rank,
             error,
         })?;
         match self.core.handle(request) {
             Ok(Some(reply)) => {
-                self.replies.push_back(codec::encode_frame(&reply.encode()));
+                self.replies.push_back(self.codec.encode(&reply));
                 Ok(())
             }
             Ok(None) => Ok(()),
@@ -80,14 +84,11 @@ impl Transport for MemTransport {
             rank: self.rank,
             detail: "no pending reply".to_string(),
         })?;
-        let (payload, _) = codec::decode_frame(&frame).map_err(|error| ShardFault::Codec {
+        let (msg, _) = self.codec.decode(&frame).map_err(|error| ShardFault::Codec {
             rank: self.rank,
             error,
         })?;
-        Msg::decode(&payload).map_err(|error| ShardFault::Codec {
-            rank: self.rank,
-            error,
-        })
+        Ok(msg)
     }
 }
 
@@ -112,20 +113,34 @@ pub struct WorldSpec {
     pub mass: f64,
 }
 
-/// Aggregate decomposition counters, driver-observed.
+/// Aggregate decomposition counters: migration/rebuild tallies observed by
+/// the driver, halo tallies polled from the shards (the driver never sees
+/// peer traffic itself).
 #[derive(Debug, Clone, Default)]
 pub struct ShardStats {
-    /// Ghost atoms shipped shard→shard (position exports, summed over
-    /// steps; each refresh of an export counts once).
+    /// Ghost position records shipped shard → shard (each refresh of an
+    /// export counts once), summed over shards.
     pub ghost_sent: u64,
-    /// Ghost atoms installed (equals `ghost_sent` under the star relay).
-    pub ghost_recv: u64,
+    /// Ghost position records installed at receiving shards. Conservation
+    /// law: after any completed step, `ghost_installed == ghost_sent`.
+    pub ghost_installed: u64,
     /// Atoms that changed owner at rebuilds.
     pub migrated: u64,
     /// Neighbor-list rebuild rounds (world-wide, driver-ORed).
     pub rebuilds: u64,
-    /// Driver wall time spent relaying halo payloads.
-    pub exchange_seconds: f64,
+    /// Bytes shards wrote to peer links, summed over shards (counts every
+    /// peer frame: ghosts, positions, F′(ρ)).
+    pub wire_bytes_sent: u64,
+    /// Bytes shards read from peer links, summed over shards.
+    pub wire_bytes_recv: u64,
+    /// Wall seconds shards spent encoding/shipping/decoding peer frames,
+    /// summed over shards.
+    pub wire_seconds: f64,
+    /// Driver wall seconds spent waiting on shard replies inside the halo
+    /// rounds — worker compute plus any straggler imbalance, kept separate
+    /// from `wire_seconds` so the cost model calibrates against actual
+    /// wire time.
+    pub compute_wait_seconds: f64,
 }
 
 /// A sharded simulation: N shards behind transports, one driver.
@@ -144,25 +159,32 @@ pub struct ShardWorld {
 pub const SHARD_AXIS: Axis = Axis::X;
 
 impl ShardWorld {
-    /// Stands up a fully in-process world over [`MemTransport`]s.
+    /// Stands up a fully in-process world over [`MemTransport`]s with a
+    /// pre-wired channel mesh.
     pub fn virtual_world(
         system: &System,
         spec: &WorldSpec,
         shards: usize,
+        codec: Codec,
     ) -> Result<ShardWorld, ShardFault> {
-        let links = (0..shards)
-            .map(|r| Box::new(MemTransport::new(r)) as Box<dyn Transport>)
+        let links = channel_mesh_set(shards, codec)
+            .into_iter()
+            .enumerate()
+            .map(|(r, mesh)| Box::new(MemTransport::new(r, codec, mesh)) as Box<dyn Transport>)
             .collect();
-        ShardWorld::with_transports(system, spec, links)
+        ShardWorld::with_transports(system, spec, links, "")
     }
 
     /// Partitions `system` into slabs and boots one shard per transport at
-    /// step 0. Forces are *not* computed yet — call
+    /// step 0. `mesh_dir` is the rendezvous directory for the peer mesh
+    /// (ignored by the channel mesh — pass `""` for virtual ranks).
+    /// Forces are *not* computed yet — call
     /// [`ShardWorld::refresh_forces`] before stepping.
     pub fn with_transports(
         system: &System,
         spec: &WorldSpec,
         links: Vec<Box<dyn Transport>>,
+        mesh_dir: &str,
     ) -> Result<ShardWorld, ShardFault> {
         let shards = links.len();
         assert!(shards > 0, "a world needs at least one shard");
@@ -189,7 +211,7 @@ impl ShardWorld {
                 vel,
             });
         }
-        ShardWorld::boot(*system.sim_box(), spec, links, per_rank, 0)
+        ShardWorld::boot(*system.sim_box(), spec, links, per_rank, 0, mesh_dir)
     }
 
     /// Boots a world from the committed checkpoint generation in `dir`,
@@ -199,9 +221,10 @@ impl ShardWorld {
         sim_box: SimBox,
         spec: &WorldSpec,
         links: Vec<Box<dyn Transport>>,
+        mesh_dir: &str,
     ) -> Result<ShardWorld, ShardFault> {
         let (step, per_rank) = ckpt::load_world(dir, links.len())?;
-        ShardWorld::boot(sim_box, spec, links, per_rank, step)
+        ShardWorld::boot(sim_box, spec, links, per_rank, step, mesh_dir)
     }
 
     fn boot(
@@ -210,6 +233,7 @@ impl ShardWorld {
         mut links: Vec<Box<dyn Transport>>,
         per_rank: Vec<Vec<ShardAtom>>,
         step: u64,
+        mesh_dir: &str,
     ) -> Result<ShardWorld, ShardFault> {
         let shards = links.len();
         let n_atoms = per_rank.iter().map(Vec::len).sum();
@@ -247,6 +271,13 @@ impl ShardWorld {
                 other => return Err(world.protocol(rank, format!("expected ready, got {other:?}"))),
             }
         }
+        // Broker the peer mesh in two phases so a dial can never race its
+        // target's bind: everyone listens, then everyone connects.
+        let dir = mesh_dir.to_string();
+        world.send_all(|_| Msg::PeerListen { dir: dir.clone() })?;
+        world.expect_all(|m| matches!(m, Msg::PeerBound), "peer_bound")?;
+        world.send_all(|_| Msg::PeerConnect)?;
+        world.expect_all(|m| matches!(m, Msg::PeerReady), "peer_ready")?;
         Ok(world)
     }
 
@@ -265,6 +296,27 @@ impl ShardWorld {
         self.links.iter_mut().map(|l| l.recv()).collect()
     }
 
+    fn expect_all(
+        &mut self,
+        ok: impl Fn(&Msg) -> bool,
+        what: &str,
+    ) -> Result<(), ShardFault> {
+        for (rank, m) in self.recv_all()?.into_iter().enumerate() {
+            if !ok(&m) {
+                return Err(self.protocol(rank, format!("expected {what}, got {m:?}")));
+            }
+        }
+        Ok(())
+    }
+
+    /// `recv_all` with the wait attributed to `compute_wait_seconds`.
+    fn recv_all_waiting(&mut self) -> Result<Vec<Msg>, ShardFault> {
+        let wait = Instant::now();
+        let replies = self.recv_all();
+        self.stats.compute_wait_seconds += wait.elapsed().as_secs_f64();
+        replies
+    }
+
     /// Number of shards.
     pub fn shards(&self) -> usize {
         self.links.len()
@@ -278,11 +330,6 @@ impl ShardWorld {
     /// Completed step count.
     pub fn step_count(&self) -> u64 {
         self.step
-    }
-
-    /// Driver-observed decomposition counters.
-    pub fn stats(&self) -> &ShardStats {
-        &self.stats
     }
 
     /// The global box.
@@ -309,84 +356,57 @@ impl ShardWorld {
     /// once after boot (and exactly mirrors the rebuild leg of a step).
     pub fn refresh_forces(&mut self) -> Result<(), ShardFault> {
         let start = Instant::now();
-        self.exchange_and_force(Vec::new(), false)?;
+        self.rebuild_halo(vec![Vec::new(); self.shards()], false)?;
         if let Some(m) = &self.metrics {
             m.force.record(start.elapsed());
         }
         Ok(())
     }
 
-    /// The rebuild leg: (optional migration payload already routed by the
-    /// caller) → ghost exports → density → fp exchange → force phase.
-    /// `kick` selects whether the shards close the step with a half-kick.
-    fn exchange_and_force(
+    /// The rebuild halo leg: deliver the routed migration manifests, let
+    /// the shards re-select and push full ghost exports over the mesh,
+    /// then run the density/force rounds.
+    fn rebuild_halo(
         &mut self,
-        incoming: Vec<Vec<ShardAtom>>,
+        mut incoming: Vec<Vec<ShardAtom>>,
         kick: bool,
     ) -> Result<(), ShardFault> {
-        let shards = self.shards();
-        let mut incoming = incoming;
-        incoming.resize(shards, Vec::new());
+        incoming.resize(self.shards(), Vec::new());
         for (rank, link) in self.links.iter_mut().enumerate() {
             link.send(&Msg::MigIn {
                 atoms: std::mem::take(&mut incoming[rank]),
             })?;
         }
-        let exports = self.collect_ghost_exports()?;
-        let relay = Instant::now();
-        let ghost_in = route_exports(&exports, shards);
-        let shipped: u64 = ghost_in
-            .iter()
-            .flat_map(|per| per.iter().map(|e| e.gids.len() as u64))
-            .sum();
-        self.stats.ghost_sent += shipped;
-        self.stats.ghost_recv += shipped;
-        self.stats.exchange_seconds += relay.elapsed().as_secs_f64();
-        let mut ghost_in = ghost_in;
-        for (rank, link) in self.links.iter_mut().enumerate() {
-            link.send(&Msg::GhostIn {
-                from: std::mem::take(&mut ghost_in[rank]),
-            })?;
-        }
-        self.fp_exchange(kick)
+        self.halo_rounds(kick)
     }
 
-    fn collect_ghost_exports(&mut self) -> Result<Vec<Vec<GhostExport>>, ShardFault> {
-        self.recv_all()?
-            .into_iter()
-            .enumerate()
-            .map(|(rank, m)| match m {
-                Msg::GhostOut { to } if to.len() == self.shards() => Ok(to),
-                other => Err(self.protocol(rank, format!("expected ghost_out, got {other:?}"))),
-            })
-            .collect()
-    }
-
-    /// Relays the shards' `FpOut` replies and closes the force evaluation.
-    fn fp_exchange(&mut self, kick: bool) -> Result<(), ShardFault> {
-        let shards = self.shards();
-        let fp_out: Vec<Vec<Vec<f64>>> = self
-            .recv_all()?
-            .into_iter()
-            .enumerate()
-            .map(|(rank, m)| match m {
-                Msg::FpOut { to } if to.len() == shards => Ok(to),
-                other => Err(self.protocol(rank, format!("expected fp_out, got {other:?}"))),
-            })
-            .collect::<Result<_, _>>()?;
-        let relay = Instant::now();
-        let mut fp_in: Vec<Vec<Vec<f64>>> = (0..shards)
-            .map(|t| (0..shards).map(|s| fp_out[s][t].clone()).collect())
-            .collect();
-        self.stats.exchange_seconds += relay.elapsed().as_secs_f64();
-        for (rank, link) in self.links.iter_mut().enumerate() {
-            link.send(&Msg::FpIn {
-                from: std::mem::take(&mut fp_in[rank]),
-                kick,
-            })?;
+    /// The send-round barrier plus the density and force rounds shared by
+    /// both legs. On entry every shard has been told to push its halo
+    /// (`MigIn` or `HaloPos`); the `HaloSent` barrier guarantees every
+    /// peer frame is in flight before anyone is told to receive.
+    fn halo_rounds(&mut self, kick: bool) -> Result<(), ShardFault> {
+        let sent = self.recv_all_waiting()?;
+        for (rank, m) in sent.into_iter().enumerate() {
+            match m {
+                Msg::HaloSent => {}
+                other => {
+                    return Err(self.protocol(rank, format!("expected halo_sent, got {other:?}")))
+                }
+            }
         }
+        self.send_all(|_| Msg::HaloDensity)?;
+        let done = self.recv_all_waiting()?;
+        for (rank, m) in done.into_iter().enumerate() {
+            match m {
+                Msg::DensityDone => {}
+                other => {
+                    return Err(self.protocol(rank, format!("expected density_done, got {other:?}")))
+                }
+            }
+        }
+        self.send_all(|_| Msg::HaloForce { kick })?;
         let want = self.step + u64::from(kick);
-        for (rank, m) in self.recv_all()?.into_iter().enumerate() {
+        for (rank, m) in self.recv_all_waiting()?.into_iter().enumerate() {
             match m {
                 Msg::StepDone { step } if step == want => {}
                 other => {
@@ -440,42 +460,14 @@ impl ShardWorld {
                 m.rebuild.record(rebuild_start.elapsed());
             }
             let force_start = Instant::now();
-            self.exchange_and_force(incoming, true)?;
+            self.rebuild_halo(incoming, true)?;
             if let Some(m) = &self.metrics {
                 m.force.record(force_start.elapsed());
             }
         } else {
             let force_start = Instant::now();
-            self.send_all(|_| Msg::PosTick)?;
-            let shards = self.shards();
-            let pos_out: Vec<Vec<Vec<Vec3>>> = self
-                .recv_all()?
-                .into_iter()
-                .enumerate()
-                .map(|(rank, m)| match m {
-                    Msg::PosOut { to } if to.len() == shards => Ok(to),
-                    other => {
-                        Err(self.protocol(rank, format!("expected pos_out, got {other:?}")))
-                    }
-                })
-                .collect::<Result<_, _>>()?;
-            let relay = Instant::now();
-            let mut pos_in: Vec<Vec<Vec<Vec3>>> = (0..shards)
-                .map(|t| (0..shards).map(|s| pos_out[s][t].clone()).collect())
-                .collect();
-            let shipped: u64 = pos_in
-                .iter()
-                .flat_map(|per| per.iter().map(|v| v.len() as u64))
-                .sum();
-            self.stats.ghost_sent += shipped;
-            self.stats.ghost_recv += shipped;
-            self.stats.exchange_seconds += relay.elapsed().as_secs_f64();
-            for (rank, link) in self.links.iter_mut().enumerate() {
-                link.send(&Msg::PosIn {
-                    from: std::mem::take(&mut pos_in[rank]),
-                })?;
-            }
-            self.fp_exchange(true)?;
+            self.send_all(|_| Msg::HaloPos)?;
+            self.halo_rounds(true)?;
             if let Some(m) = &self.metrics {
                 m.force.record(force_start.elapsed());
             }
@@ -582,17 +574,58 @@ impl ShardWorld {
         Ok(merged)
     }
 
+    /// Polls every shard's cumulative halo counters and folds them into
+    /// the driver-side stats (the halo fields are overwritten — shards
+    /// report cumulative tallies, so summing them is the world total).
+    fn sync_halo_stats(&mut self) -> Result<(), ShardFault> {
+        self.send_all(|_| Msg::Counters)?;
+        let mut total = HaloCounters::default();
+        for (rank, m) in self.recv_all()?.into_iter().enumerate() {
+            let c = match m {
+                Msg::CountersOut { counters } => counters,
+                other => {
+                    return Err(
+                        self.protocol(rank, format!("expected counters_out, got {other:?}"))
+                    )
+                }
+            };
+            total.ghost_sent += c.ghost_sent;
+            total.ghost_installed += c.ghost_installed;
+            total.bytes_sent += c.bytes_sent;
+            total.bytes_recv += c.bytes_recv;
+            total.wire_seconds += c.wire_seconds;
+        }
+        self.stats.ghost_sent = total.ghost_sent;
+        self.stats.ghost_installed = total.ghost_installed;
+        self.stats.wire_bytes_sent = total.bytes_sent;
+        self.stats.wire_bytes_recv = total.bytes_recv;
+        self.stats.wire_seconds = total.wire_seconds;
+        Ok(())
+    }
+
+    /// Aggregate decomposition counters — polls the shards' halo tallies,
+    /// so it needs live links.
+    pub fn stats(&mut self) -> Result<ShardStats, ShardFault> {
+        self.sync_halo_stats()?;
+        Ok(self.stats.clone())
+    }
+
     /// The run report's `shards` section for this world.
-    pub fn shards_info(&self, backend: &str) -> ShardsInfo {
-        ShardsInfo {
+    pub fn shards_info(&mut self, backend: &str, codec: Codec) -> Result<ShardsInfo, ShardFault> {
+        let stats = self.stats()?;
+        Ok(ShardsInfo {
             count: self.shards(),
             backend: backend.to_string(),
-            ghost_sent: self.stats.ghost_sent,
-            ghost_recv: self.stats.ghost_recv,
-            migrated: self.stats.migrated,
-            rebuilds: self.stats.rebuilds,
-            exchange_seconds: self.stats.exchange_seconds,
-        }
+            codec: codec.name().to_string(),
+            ghost_sent: stats.ghost_sent,
+            ghost_installed: stats.ghost_installed,
+            migrated: stats.migrated,
+            rebuilds: stats.rebuilds,
+            wire_bytes_sent: stats.wire_bytes_sent,
+            wire_bytes_recv: stats.wire_bytes_recv,
+            wire_seconds: stats.wire_seconds,
+            compute_wait_seconds: stats.compute_wait_seconds,
+        })
     }
 
     /// Asks every shard to exit (errors ignored — a dead link is already
@@ -602,12 +635,4 @@ impl ShardWorld {
             let _ = link.send(&Msg::Shutdown);
         }
     }
-}
-
-/// Transposes per-source `GhostOut.to` matrices into per-target
-/// `GhostIn.from` payloads (`from[t][s] = to[s][t]`).
-fn route_exports(exports: &[Vec<GhostExport>], shards: usize) -> Vec<Vec<GhostExport>> {
-    (0..shards)
-        .map(|t| (0..shards).map(|s| exports[s][t].clone()).collect())
-        .collect()
 }

@@ -1,17 +1,21 @@
-//! Property fuzz of the shard wire codec: every f64 bit pattern must
-//! round-trip exactly, and torn / truncated / corrupted frames must come
+//! Property fuzz of the shard wire codecs — the same battery runs against
+//! both the hex-f64 JSON codec and the binary codec: every f64 bit pattern
+//! must round-trip exactly, the two codecs must decode to the very same
+//! message, and torn / truncated / corrupted / oversized frames must come
 //! back as typed [`CodecError`]s — never a panic, never a silently wrong
 //! message.
 
 use md_geometry::Vec3;
-use md_serve::wire::compact;
-use md_shard::codec::{self, f64_to_hex, hex_to_f64, CodecError, MAX_FRAME};
+use md_shard::codec::{f64_to_hex, hex_to_f64, Codec, CodecError, MAX_FRAME};
 use md_shard::{GhostExport, Msg, ShardAtom};
 use proptest::collection;
 use proptest::prelude::*;
 
-/// Highest gid the wire carries as a plain JSON number (f64-exact).
-const MAX_GID: u64 = 1 << 53;
+/// Highest gid the wire carries as a plain JSON number (the decoder
+/// rejects anything above 9.0e15 as not exactly representable).
+const MAX_GID: u64 = 9_000_000_000_000_000;
+
+const CODECS: [Codec; 2] = [Codec::Json, Codec::Binary];
 
 fn vec3_of(bits: (u64, u64, u64)) -> Vec3 {
     Vec3::new(
@@ -33,10 +37,11 @@ fn atoms_of(raw: Vec<AtomBits>) -> Vec<ShardAtom> {
         .collect()
 }
 
-/// The canonical comparison: NaN breaks `PartialEq`, compact re-encoding
-/// compares the exact wire bytes instead.
-fn wire_bytes(msg: &Msg) -> String {
-    compact(&msg.encode())
+/// The canonical comparison: NaN breaks `PartialEq`, so messages are
+/// compared through their canonical binary encoding, which preserves every
+/// bit pattern.
+fn wire_bytes(msg: &Msg) -> Vec<u8> {
+    msg.encode_binary()
 }
 
 proptest! {
@@ -50,7 +55,7 @@ proptest! {
     }
 
     #[test]
-    fn atom_payloads_round_trip_bit_exactly(
+    fn atom_payloads_round_trip_bit_exactly_in_both_codecs(
         raw in collection::vec(
             (0..MAX_GID, (any::<u64>(), any::<u64>(), any::<u64>()),
              (any::<u64>(), any::<u64>(), any::<u64>())),
@@ -58,37 +63,58 @@ proptest! {
         ),
     ) {
         let msg = Msg::MigIn { atoms: atoms_of(raw) };
-        let frame = codec::encode_frame(&msg.encode());
-        let (payload, used) = codec::decode_frame(&frame).unwrap();
-        prop_assert_eq!(used, frame.len());
-        let back = Msg::decode(&payload).unwrap();
-        prop_assert_eq!(wire_bytes(&back), wire_bytes(&msg));
+        for codec in CODECS {
+            let frame = codec.encode(&msg);
+            let (back, used) = codec.decode(&frame).unwrap();
+            prop_assert_eq!(used, frame.len(), "{} consumed", codec.name());
+            prop_assert_eq!(wire_bytes(&back), wire_bytes(&msg), "{} bytes", codec.name());
+        }
     }
 
     #[test]
-    fn ghost_and_fp_payloads_round_trip_bit_exactly(
+    fn ghost_and_fp_payloads_round_trip_bit_exactly_in_both_codecs(
         entries in collection::vec(
             (0..MAX_GID, (any::<u64>(), any::<u64>(), any::<u64>())),
             0..6,
         ),
         fp_bits in collection::vec(any::<u64>(), 0..6),
-        kick in proptest::bool::ANY,
     ) {
-        let ghost = Msg::GhostOut {
-            to: vec![GhostExport {
+        let ghosts = Msg::PeerGhosts {
+            export: GhostExport {
                 gids: entries.iter().map(|&(gid, _)| gid).collect(),
                 pos: entries.iter().map(|&(_, bits)| vec3_of(bits)).collect(),
-            }],
+            },
         };
-        let fp = Msg::FpIn {
-            from: vec![fp_bits.iter().map(|&b| f64::from_bits(b)).collect()],
-            kick,
+        let fp = Msg::PeerFp {
+            fp: fp_bits.iter().map(|&b| f64::from_bits(b)).collect(),
         };
-        for msg in [ghost, fp] {
-            let frame = codec::encode_frame(&msg.encode());
-            let (payload, _) = codec::decode_frame(&frame).unwrap();
-            let back = Msg::decode(&payload).unwrap();
-            prop_assert_eq!(wire_bytes(&back), wire_bytes(&msg));
+        for msg in [ghosts, fp] {
+            for codec in CODECS {
+                let frame = codec.encode(&msg);
+                let (back, _) = codec.decode(&frame).unwrap();
+                prop_assert_eq!(wire_bytes(&back), wire_bytes(&msg), "{}", codec.name());
+            }
+        }
+    }
+
+    #[test]
+    fn both_codecs_decode_to_the_same_message(
+        raw in collection::vec(
+            (0..MAX_GID, (any::<u64>(), any::<u64>(), any::<u64>()),
+             (any::<u64>(), any::<u64>(), any::<u64>())),
+            0..8,
+        ),
+        fp_bits in collection::vec(any::<u64>(), 0..6),
+        kick in proptest::bool::ANY,
+    ) {
+        for msg in [
+            Msg::MigIn { atoms: atoms_of(raw) },
+            Msg::PeerFp { fp: fp_bits.iter().map(|&b| f64::from_bits(b)).collect() },
+            Msg::HaloForce { kick },
+        ] {
+            let (via_json, _) = Codec::Json.decode(&Codec::Json.encode(&msg)).unwrap();
+            let (via_bin, _) = Codec::Binary.decode(&Codec::Binary.encode(&msg)).unwrap();
+            prop_assert_eq!(wire_bytes(&via_json), wire_bytes(&via_bin));
         }
     }
 
@@ -101,18 +127,26 @@ proptest! {
         ),
         cut_seed in any::<u64>(),
     ) {
-        let frame = codec::encode_frame(&Msg::MigIn { atoms: atoms_of(raw) }.encode());
-        let cut = (cut_seed % frame.len() as u64) as usize;
-        prop_assert!(matches!(
-            codec::decode_frame(&frame[..cut]),
-            Err(CodecError::Truncated)
-        ));
-        // The stream reader reports the same condition.
-        let mut stream = std::io::Cursor::new(frame[..cut].to_vec());
-        prop_assert!(matches!(
-            codec::read_frame(&mut stream),
-            Err(CodecError::Truncated)
-        ));
+        let msg = Msg::MigIn { atoms: atoms_of(raw) };
+        for codec in CODECS {
+            let frame = codec.encode(&msg);
+            let cut = (cut_seed % frame.len() as u64) as usize;
+            prop_assert!(
+                matches!(codec.decode(&frame[..cut]), Err(CodecError::Truncated)),
+                "{} buffer cut at {cut}", codec.name()
+            );
+            // The stream reader reports the same condition.
+            let mut stream = std::io::Cursor::new(frame[..cut].to_vec());
+            let got = codec.read_msg(&mut stream);
+            prop_assert!(
+                matches!(
+                    got,
+                    Err(CodecError::Truncated)
+                        | Err(CodecError::Io(_))
+                ),
+                "{} stream cut at {cut}", codec.name()
+            );
+        }
     }
 
     #[test]
@@ -126,27 +160,58 @@ proptest! {
         bit in 0..8u32,
     ) {
         let msg = Msg::MigIn { atoms: atoms_of(raw) };
-        let mut frame = codec::encode_frame(&msg.encode());
-        let idx = (idx_seed % frame.len() as u64) as usize;
-        frame[idx] ^= 1 << bit;
-        match codec::decode_frame(&frame) {
-            // Typed rejection is the expected outcome for any single-bit
-            // corruption (checksum, framing or length damage).
-            Err(
-                CodecError::Truncated
-                | CodecError::Oversize(_)
-                | CodecError::BadChecksum { .. }
-                | CodecError::BadJson(_)
-                | CodecError::BadField(_)
-                | CodecError::Io(_),
-            ) => {}
-            // Acceptance is sound only if the bytes decode to the very
-            // same message (theoretically unreachable for a bit flip).
-            Ok((payload, _)) => {
-                let back = Msg::decode(&payload);
-                prop_assert!(back.is_ok());
-                prop_assert_eq!(wire_bytes(&back.unwrap()), wire_bytes(&msg));
+        for codec in CODECS {
+            let mut frame = codec.encode(&msg);
+            let idx = (idx_seed % frame.len() as u64) as usize;
+            frame[idx] ^= 1 << bit;
+            match codec.decode(&frame) {
+                // Typed rejection is the expected outcome for any
+                // single-bit corruption (checksum, framing or length
+                // damage).
+                Err(
+                    CodecError::Truncated
+                    | CodecError::Oversize(_)
+                    | CodecError::BadChecksum { .. }
+                    | CodecError::BadJson(_)
+                    | CodecError::BadField(_)
+                    | CodecError::Io(_),
+                ) => {}
+                // Acceptance is sound only if the bytes decode to the
+                // very same message (theoretically unreachable for a bit
+                // flip inside the checksummed region).
+                Ok((back, _)) => {
+                    prop_assert_eq!(wire_bytes(&back), wire_bytes(&msg), "{}", codec.name());
+                }
             }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_after_the_payload_is_rejected(
+        fp_bits in collection::vec(any::<u64>(), 0..4),
+        junk in collection::vec(33u8..=126, 1..8),
+    ) {
+        // Splice garbage between the payload and the checksum, fixing up
+        // the length prefix and checksum so only payload-level validation
+        // can catch it. Both codecs must reject with a typed error: JSON
+        // parsing stops at the document end, binary decoding demands exact
+        // consumption.
+        let msg = Msg::PeerFp {
+            fp: fp_bits.iter().map(|&b| f64::from_bits(b)).collect(),
+        };
+        for codec in CODECS {
+            let frame = codec.encode(&msg);
+            let body = &frame[4..frame.len() - 8];
+            let mut spliced = body.to_vec();
+            spliced.extend_from_slice(&junk);
+            let reframed = md_shard::codec::frame(spliced);
+            prop_assert!(
+                matches!(
+                    codec.decode(&reframed),
+                    Err(CodecError::BadJson(_) | CodecError::BadField(_))
+                ),
+                "{} accepted trailing garbage", codec.name()
+            );
         }
     }
 
@@ -157,24 +222,28 @@ proptest! {
     ) {
         let mut frame = (MAX_FRAME + excess).to_le_bytes().to_vec();
         frame.extend(tail);
-        prop_assert!(matches!(
-            codec::decode_frame(&frame),
-            Err(CodecError::Oversize(_))
-        ));
-        let mut stream = std::io::Cursor::new(frame);
-        prop_assert!(matches!(
-            codec::read_frame(&mut stream),
-            Err(CodecError::Oversize(_))
-        ));
+        for codec in CODECS {
+            prop_assert!(matches!(
+                codec.decode(&frame),
+                Err(CodecError::Oversize(_))
+            ));
+            let mut stream = std::io::Cursor::new(frame.clone());
+            prop_assert!(matches!(
+                codec.read_msg(&mut stream),
+                Err(CodecError::Oversize(_))
+            ));
+        }
     }
 
     #[test]
     fn garbage_byte_soup_never_panics(bytes in collection::vec(any::<u8>(), 0..64)) {
         // Any outcome is fine; the property is the absence of a panic and
         // of unbounded allocation.
-        let _ = codec::decode_frame(&bytes);
-        let mut stream = std::io::Cursor::new(bytes);
-        let _ = codec::read_frame(&mut stream);
+        for codec in CODECS {
+            let _ = codec.decode(&bytes);
+            let mut stream = std::io::Cursor::new(bytes.clone());
+            let _ = codec.read_msg(&mut stream);
+        }
     }
 
     #[test]
@@ -187,7 +256,12 @@ proptest! {
         let unknown = JsonValue::obj(vec![("t", JsonValue::str(&tag))]);
         prop_assert!(matches!(Msg::decode(&unknown), Err(CodecError::BadField(_))));
         // A real tag with its required fields missing is also typed.
-        let hollow = JsonValue::obj(vec![("t", JsonValue::str("fp_in"))]);
+        let hollow = JsonValue::obj(vec![("t", JsonValue::str("peer_fp"))]);
         prop_assert!(matches!(Msg::decode(&hollow), Err(CodecError::BadField(_))));
+        // Binary: an out-of-range tag byte is typed, not a panic.
+        prop_assert!(matches!(
+            Msg::decode_binary(&[0xC8]),
+            Err(CodecError::BadField(_))
+        ));
     }
 }

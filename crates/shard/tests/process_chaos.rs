@@ -11,7 +11,7 @@
 use md_geometry::Vec3;
 use md_potential::AnalyticEam;
 use md_sim::{PotentialChoice, Simulation, StrategyKind, System};
-use md_shard::{ProcessWorld, ShardFault, WorldSpec};
+use md_shard::{Codec, ProcessWorld, ShardFault, WorldSpec};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -65,9 +65,9 @@ fn spec() -> WorldSpec {
     }
 }
 
-fn spawn(start: &System, label: &str) -> (ProcessWorld, PathBuf) {
+fn spawn(start: &System, label: &str, codec: Codec) -> (ProcessWorld, PathBuf) {
     let socks = scratch(label);
-    let world = ProcessWorld::spawn(start, &spec(), SHARDS, worker_path(), &socks)
+    let world = ProcessWorld::spawn(start, &spec(), SHARDS, worker_path(), &socks, codec)
         .expect("spawn workers");
     (world, socks)
 }
@@ -97,12 +97,21 @@ fn assert_bitwise(a: &[Vec3], b: &[Vec3], what: &str) {
 
 #[test]
 fn killed_worker_faults_and_checkpoint_resumes_at_the_exact_step() {
+    for codec in [Codec::Json, Codec::Binary] {
+        chaos_round_trip(codec);
+    }
+}
+
+/// One full kill / fault / resume cycle over the peer mesh with the given
+/// control+halo codec.
+fn chaos_round_trip(codec: Codec) {
+    let tag = codec.name();
     let start = start_system();
     let sim_box = *start.sim_box();
-    let ckpt = scratch("ckpt");
+    let ckpt = scratch(&format!("ckpt-{tag}"));
 
     // Uninterrupted reference over the process backend.
-    let (mut clean, clean_socks) = spawn(&start, "clean");
+    let (mut clean, clean_socks) = spawn(&start, &format!("clean-{tag}"), codec);
     clean.refresh_forces().expect("clean refresh");
     clean.run(10).expect("clean run");
     let (clean_pos, clean_vel) = clean.gather().expect("clean gather");
@@ -111,7 +120,7 @@ fn killed_worker_faults_and_checkpoint_resumes_at_the_exact_step() {
 
     // Chaos run: checkpoint at step 5, advance past it, then SIGKILL a
     // worker. The next step must surface a typed fault on that rank.
-    let (mut chaos, chaos_socks) = spawn(&start, "chaos");
+    let (mut chaos, chaos_socks) = spawn(&start, &format!("chaos-{tag}"), codec);
     chaos.refresh_forces().expect("chaos refresh");
     chaos.run(5).expect("chaos run to checkpoint");
     chaos.save_checkpoint(&ckpt).expect("checkpoint");
@@ -129,9 +138,9 @@ fn killed_worker_faults_and_checkpoint_resumes_at_the_exact_step() {
     let _ = std::fs::remove_dir_all(&chaos_socks);
 
     // Resume from the committed generation: fresh workers, exact step.
-    let resume_socks = scratch("resume");
+    let resume_socks = scratch(&format!("resume-{tag}"));
     let mut resumed = ProcessWorld::resume(
-        &ckpt, sim_box, &spec(), SHARDS, worker_path(), &resume_socks,
+        &ckpt, sim_box, &spec(), SHARDS, worker_path(), &resume_socks, codec,
     )
     .expect("resume");
     assert_eq!(resumed.step_count(), 5, "resume step");
@@ -147,9 +156,9 @@ fn killed_worker_faults_and_checkpoint_resumes_at_the_exact_step() {
 
     // Determinism of the recovery path itself: a second resume from the
     // same generation replays the first bit for bit.
-    let again_socks = scratch("again");
+    let again_socks = scratch(&format!("again-{tag}"));
     let mut again = ProcessWorld::resume(
-        &ckpt, sim_box, &spec(), SHARDS, worker_path(), &again_socks,
+        &ckpt, sim_box, &spec(), SHARDS, worker_path(), &again_socks, codec,
     )
     .expect("second resume");
     again.refresh_forces().expect("second resumed refresh");

@@ -15,7 +15,12 @@ use std::path::Path;
 
 /// Version stamp of the report layout. Bump when renaming or removing
 /// fields; adding fields is backward-compatible for `metrics_diff`.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: the `shards` section's star-relay accounting (`ghost_recv`,
+/// `exchange_seconds`) was replaced by peer-mesh accounting
+/// (`ghost_installed`, wire byte/second counters, `compute_wait_seconds`)
+/// plus the wire `codec` name.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Identifying metadata of the run the report describes.
 #[derive(Debug, Clone)]
@@ -45,17 +50,29 @@ pub struct ShardsInfo {
     /// Transport backend: `"virtual"` (in-memory) or `"process"`
     /// (Unix-socket workers).
     pub backend: String,
-    /// Ghost position/fp records sent across shard boundaries, summed over
-    /// shards and steps.
+    /// Wire codec the shards speak: `"json"` or `"binary"`.
+    pub codec: String,
+    /// Ghost position records sent shard → shard over the peer mesh,
+    /// summed over shards and steps.
     pub ghost_sent: u64,
-    /// Ghost records received (equals `ghost_sent` when no frame was lost).
-    pub ghost_recv: u64,
+    /// Ghost position records installed at receiving shards. Conservation:
+    /// equals `ghost_sent` after every completed step.
+    pub ghost_installed: u64,
     /// Atoms that changed owner at a neighbor-list rebuild.
     pub migrated: u64,
     /// Neighbor-list rebuild rounds (every shard rebuilds together).
     pub rebuilds: u64,
-    /// Driver wall-clock spent routing ghost/migration exchanges, seconds.
-    pub exchange_seconds: f64,
+    /// Bytes written to peer links, summed over shards (every peer frame:
+    /// ghosts, positions, F′(ρ)).
+    pub wire_bytes_sent: u64,
+    /// Bytes read from peer links, summed over shards.
+    pub wire_bytes_recv: u64,
+    /// Wall seconds shards spent encoding/shipping/decoding peer frames,
+    /// summed over shards.
+    pub wire_seconds: f64,
+    /// Driver wall seconds spent waiting on shard replies inside the halo
+    /// rounds (worker compute plus straggler imbalance).
+    pub compute_wait_seconds: f64,
 }
 
 /// The balancer's plan choice, as recorded in a run report.
@@ -290,11 +307,18 @@ impl RunReport {
                 JsonValue::obj(vec![
                     ("count", JsonValue::num(s.count as f64)),
                     ("backend", JsonValue::str(s.backend.clone())),
+                    ("codec", JsonValue::str(s.codec.clone())),
                     ("ghost_sent", JsonValue::num(s.ghost_sent as f64)),
-                    ("ghost_recv", JsonValue::num(s.ghost_recv as f64)),
+                    ("ghost_installed", JsonValue::num(s.ghost_installed as f64)),
                     ("migrated", JsonValue::num(s.migrated as f64)),
                     ("rebuilds", JsonValue::num(s.rebuilds as f64)),
-                    ("exchange_seconds", JsonValue::num(s.exchange_seconds)),
+                    ("wire_bytes_sent", JsonValue::num(s.wire_bytes_sent as f64)),
+                    ("wire_bytes_recv", JsonValue::num(s.wire_bytes_recv as f64)),
+                    ("wire_seconds", JsonValue::num(s.wire_seconds)),
+                    (
+                        "compute_wait_seconds",
+                        JsonValue::num(s.compute_wait_seconds),
+                    ),
                 ]),
             ));
         }
@@ -374,7 +398,10 @@ mod tests {
     fn report_exposes_the_documented_paths() {
         let report = sample();
         let doc = report.json();
-        assert_eq!(doc.path("schema").and_then(|v| v.as_f64()), Some(1.0));
+        assert_eq!(
+            doc.path("schema").and_then(|v| v.as_f64()),
+            Some(SCHEMA_VERSION as f64)
+        );
         assert_eq!(doc.path("case.atoms").and_then(|v| v.as_f64()), Some(1024.0));
         assert_eq!(
             doc.path("case.strategy").and_then(|v| v.as_str()),
@@ -472,11 +499,15 @@ mod tests {
             shards: Some(ShardsInfo {
                 count: 2,
                 backend: "virtual".to_string(),
+                codec: "binary".to_string(),
                 ghost_sent: 1200,
-                ghost_recv: 1200,
+                ghost_installed: 1200,
                 migrated: 7,
                 rebuilds: 3,
-                exchange_seconds: 0.25,
+                wire_bytes_sent: 48_000,
+                wire_bytes_recv: 48_000,
+                wire_seconds: 0.02,
+                compute_wait_seconds: 0.25,
             }),
         };
         let report = RunReport::collect(&info, &PhaseTimers::new(), &SimMetrics::new(2));
@@ -488,7 +519,15 @@ mod tests {
             Some("virtual")
         );
         assert_eq!(
+            doc.path("shards.codec").and_then(|v| v.as_str()),
+            Some("binary")
+        );
+        assert_eq!(
             doc.path("shards.ghost_sent").and_then(|v| v.as_f64()),
+            Some(1200.0)
+        );
+        assert_eq!(
+            doc.path("shards.ghost_installed").and_then(|v| v.as_f64()),
             Some(1200.0)
         );
         assert_eq!(
@@ -496,7 +535,16 @@ mod tests {
             Some(7.0)
         );
         assert_eq!(
-            doc.path("shards.exchange_seconds").and_then(|v| v.as_f64()),
+            doc.path("shards.wire_bytes_sent").and_then(|v| v.as_f64()),
+            Some(48_000.0)
+        );
+        assert_eq!(
+            doc.path("shards.wire_seconds").and_then(|v| v.as_f64()),
+            Some(0.02)
+        );
+        assert_eq!(
+            doc.path("shards.compute_wait_seconds")
+                .and_then(|v| v.as_f64()),
             Some(0.25)
         );
     }

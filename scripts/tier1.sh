@@ -40,12 +40,15 @@
 #      metered mdrun of taskgraph-vs-barriered SDC on the carved-void case
 #      with every physics counter matching exactly — only the scheduling
 #      regime, and therefore the scatter.* counters, may differ)
-#  11. shard gate                 (the halo-exchange decomposition: the
-#      virtual-rank conformance battery plus the codec fuzz and the
-#      process-backend chaos/resume test under RAYON_NUM_THREADS=2 and
-#      =4, then an A/B metered mdrun of a 2-shard process-backend run
-#      against the unsharded engine — the physics counters must match
-#      exactly; slabbing may only change where the work runs)
+#  11. shard gate                 (the peer-mesh halo-exchange: the
+#      conformance battery over both codecs plus the codec-generic fuzz
+#      and the SIGKILL/resume chaos test — both run the JSON and binary
+#      codecs — under RAYON_NUM_THREADS=2 and =4, then two A/B metered
+#      mdruns: a 2-shard process-backend run against the unsharded
+#      engine, and the same sharded case binary-vs-json — the physics
+#      counters must match exactly in both; slabbing may only change
+#      where the work runs, and the codec may only change how the bytes
+#      are spelled)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -159,7 +162,9 @@ cargo run -q -p sdc-bench --release --bin metrics_diff -- \
   "$sdc" "$tg" --ab --tol 1.0 --time-tol 50
 rm -f "$sdc" "$tg"
 
-echo "==> [11/11] shard gate (conformance battery + codec fuzz + chaos + A/B vs unsharded)"
+echo "==> [11/11] shard gate (conformance battery + codec fuzz + chaos + A/B legs)"
+# The conformance battery, the codec-generic fuzz, and the SIGKILL/resume
+# chaos test each cover both the JSON and the binary codec internally.
 for t in 2 4; do
   echo "    shard battery, RAYON_NUM_THREADS=$t"
   RAYON_NUM_THREADS="$t" cargo test -q --test shard_conformance
@@ -169,6 +174,7 @@ done
 cargo build -q --release -p md-shard
 flat="$(mktemp /tmp/tier1_flat.XXXXXX.json)"
 shrd="$(mktemp /tmp/tier1_shard.XXXXXX.json)"
+shbn="$(mktemp /tmp/tier1_shard_bin.XXXXXX.json)"
 cargo run -q -p sdc-bench --release --bin mdrun -- \
   --cells 9 --strategy sdc2d --threads 2 --steps 20 --report 20 \
   --metrics-out "$flat" > /dev/null
@@ -176,10 +182,20 @@ cargo run -q -p sdc-bench --release --bin mdrun -- \
   --cells 9 --strategy sdc2d --threads 2 --steps 20 --report 20 \
   --shards 2 --shard-backend process --metrics-out "$shrd" > /dev/null
 # Counters must match exactly; the time tolerance is deliberately huge —
-# every step crosses the hex-f64 JSON wire twice, so sharded step *time*
-# is a different regime, not a regression signal.
+# every step crosses the peer-mesh wire, so sharded step *time* is a
+# different regime, not a regression signal.
 cargo run -q -p sdc-bench --release --bin metrics_diff -- \
   "$flat" "$shrd" --ab --tol 1.0 --time-tol 500
-rm -f "$flat" "$shrd"
+echo "    binary-codec leg (process backend, binary vs json)"
+cargo run -q -p sdc-bench --release --bin mdrun -- \
+  --cells 9 --strategy sdc2d --threads 2 --steps 20 --report 20 \
+  --shards 2 --shard-backend process --shard-codec binary \
+  --metrics-out "$shbn" > /dev/null
+# Same strategy, same shards: strict (non-A/B) diff. Every counter —
+# physics spans, scatter bookkeeping, ghost/migration traffic — must be
+# identical; only the wire volume and timings may move, and only down.
+cargo run -q -p sdc-bench --release --bin metrics_diff -- \
+  "$shrd" "$shbn" --tol 1.0 --time-tol 500
+rm -f "$flat" "$shrd" "$shbn"
 
 echo "tier-1: all green"

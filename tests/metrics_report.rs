@@ -257,11 +257,15 @@ fn sharded_run_report_pins_the_shards_section() {
         shards: Some(ShardsInfo {
             count: 2,
             backend: "virtual".to_string(),
+            codec: "binary".to_string(),
             ghost_sent: 640,
-            ghost_recv: 640,
+            ghost_installed: 640,
             migrated: 3,
             rebuilds: 2,
-            exchange_seconds: 0.125,
+            wire_bytes_sent: 65536,
+            wire_bytes_recv: 65536,
+            wire_seconds: 0.125,
+            compute_wait_seconds: 0.0625,
         }),
     };
     let report = RunReport::collect(&info, sim.timers(), sim.metrics().expect("metrics on"));
@@ -275,17 +279,25 @@ fn sharded_run_report_pins_the_shards_section() {
         [
             "count",
             "backend",
+            "codec",
             "ghost_sent",
-            "ghost_recv",
+            "ghost_installed",
             "migrated",
             "rebuilds",
-            "exchange_seconds"
+            "wire_bytes_sent",
+            "wire_bytes_recv",
+            "wire_seconds",
+            "compute_wait_seconds"
         ]
     );
     assert_eq!(doc.path("shards.count").and_then(|v| v.as_f64()), Some(2.0));
     assert_eq!(
         doc.path("shards.backend").and_then(|v| v.as_str()),
         Some("virtual")
+    );
+    assert_eq!(
+        doc.path("shards.codec").and_then(|v| v.as_str()),
+        Some("binary")
     );
     // Round-trips like everything else.
     let back = RunReport::parse(&report.to_string()).expect("parse back");
