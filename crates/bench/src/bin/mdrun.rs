@@ -64,6 +64,9 @@ usage: mdrun [options]
                             instead of the analytic forms (fe/cu only)
   --no-fused                use the reference (per-pair dyn-dispatched) EAM
                             path instead of the fused monomorphized one
+  --no-simd                 use the scalar fused kernels instead of the
+                            lane-batched (AVX2) spline evaluation; physics
+                            is bitwise identical either way
   --restart PATH            continue from a checkpoint file
   --dump PATH               write an .xyz trajectory
   --log PATH                write a thermo CSV
@@ -102,6 +105,7 @@ const KNOWN_FLAGS: &[&str] = &[
     "--reorder",
     "--tabulated",
     "--no-fused",
+    "--no-simd",
     "--restart",
     "--dump",
     "--log",
@@ -182,6 +186,7 @@ fn run(args: &Args) -> Result<(), String> {
     let reorder = args.flag("--reorder");
     let tabulated = args.flag("--tabulated");
     let no_fused = args.flag("--no-fused");
+    let no_simd = args.flag("--no-simd");
     let checkpoint_every: usize = args.try_get_or("--checkpoint-every", 0)?;
     let metrics_out: Option<PathBuf> = args.get_str("--metrics-out").map(PathBuf::from);
     let balance = args.flag("--balance");
@@ -205,12 +210,26 @@ fn run(args: &Args) -> Result<(), String> {
                 "unknown backend '{shard_backend}' for flag '--shard-backend' (virtual | process)"
             ));
         }
-        // The sharded driver runs plain NVE over its own protocol; the
-        // single-process conveniences that reach into the Simulation's
-        // internals do not apply.
+        // Full audit of every flag against the sharded driver. Honored:
+        // --potential/--cells/--void/--tabulated/--temperature/--seed (they
+        // shape the initial state the driver inherits), --strategy (barriered
+        // kinds), --threads/--steps/--dt/--report, --no-fused/--no-simd
+        // (shipped per shard through the Init wire spec), --dump,
+        // --checkpoint/--checkpoint-every (per-shard directory),
+        // --metrics-out, --shard-backend/--shard-codec. Everything else is a
+        // single-process convenience that reaches into the Simulation's
+        // internals and is rejected explicitly below — silently ignoring a
+        // flag the user asked for is the bug this audit fixes.
+        if matches!(strategy, StrategyKind::TaskGraph { .. }) {
+            return Err(format!(
+                "the task-graph scheduler ('{strategy}') is not supported with --shards; \
+                 pick a barriered strategy (e.g. sdc2d) for the per-shard engines"
+            ));
+        }
         for (on, flag) in [
             (args.get_str("--restart").is_some(), "--restart"),
             (recover, "--recover"),
+            (args.get_str("--max-retries").is_some(), "--max-retries"),
             (balance, "--balance"),
             (reorder, "--reorder"),
             (args.get_str("--log").is_some(), "--log"),
@@ -309,6 +328,7 @@ fn run(args: &Args) -> Result<(), String> {
     let mut sim = builder
         .strategy(strategy)
         .fused(!no_fused)
+        .simd(!no_simd)
         .threads(threads)
         .dt(dt)
         .seed(seed)
@@ -329,6 +349,7 @@ fn run(args: &Args) -> Result<(), String> {
             potential: potential.clone(),
             tabulated,
             fused: !no_fused,
+            simd: !no_simd,
             strategy: sim.engine().strategy().name().to_string(),
             threads,
             skin: 0.3,
@@ -705,5 +726,69 @@ fn main() {
     if let Err(e) = run(&Args::parse()) {
         eprintln!("mdrun: {e}\n\n{USAGE}");
         std::process::exit(2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::run;
+    use sdc_bench::Args;
+
+    /// Runs the argument pipeline and returns the usage error it must
+    /// produce (all cases here fail flag validation, long before any
+    /// simulation is built).
+    fn err_of(flags: &[&str]) -> String {
+        let argv: Vec<String> = flags.iter().map(|s| s.to_string()).collect();
+        run(&Args::from_vec(argv)).expect_err("expected a usage error")
+    }
+
+    #[test]
+    fn shards_reject_every_single_process_convenience() {
+        for (flags, needle) in [
+            (vec!["--shards", "2", "--restart", "x.ckpt"], "--restart"),
+            (vec!["--shards", "2", "--recover"], "--recover"),
+            (vec!["--shards", "2", "--max-retries", "5"], "--max-retries"),
+            (vec!["--shards", "2", "--balance"], "--balance"),
+            (vec!["--shards", "2", "--reorder"], "--reorder"),
+            (vec!["--shards", "2", "--log", "t.csv"], "--log"),
+            (
+                vec!["--shards", "2", "--thermostat", "rescale:300:10"],
+                "--thermostat",
+            ),
+        ] {
+            let e = err_of(&flags);
+            assert!(
+                e.contains(needle) && e.contains("--shards"),
+                "{flags:?} must name both the flag and --shards, got: {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn shards_reject_the_taskgraph_scheduler_in_both_spellings() {
+        for flags in [
+            vec!["--shards", "2", "--taskgraph"],
+            vec!["--shards", "2", "--strategy", "taskgraph2d"],
+            vec!["--shards", "2", "--strategy", "sdc2d", "--taskgraph"],
+        ] {
+            let e = err_of(&flags);
+            assert!(
+                e.contains("task-graph") && e.contains("--shards"),
+                "{flags:?}: {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_transport_options_need_shards() {
+        assert!(err_of(&["--shard-backend", "process"]).contains("--shards"));
+        assert!(err_of(&["--shard-codec", "binary"]).contains("--shards"));
+    }
+
+    #[test]
+    fn unknown_flags_and_bad_values_are_usage_errors() {
+        assert!(err_of(&["--no-simdd"]).contains("unknown flag"));
+        assert!(err_of(&["--cells", "many"]).contains("--cells"));
+        assert!(err_of(&["--strategy", "avx"]).contains("--strategy"));
     }
 }

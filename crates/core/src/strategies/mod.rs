@@ -160,6 +160,19 @@ impl StrategyKind {
         matches!(self, StrategyKind::LocalWrite)
     }
 
+    /// `true` for strategies whose [`ScatterExec::run_indexed`] sweep hands
+    /// the kernel real half-list slot indices (Serial, barriered SDC, and
+    /// the task-graph scheduler); every other strategy receives
+    /// [`NO_SLOT`](crate::scatter::NO_SLOT) and must recompute per pair.
+    /// Slot-addressed side channels — the fused EAM scratch replay and the
+    /// SIMD precompute pass built on top of it — are only sound on these.
+    pub fn provides_slots(&self) -> bool {
+        matches!(
+            self,
+            StrategyKind::Serial | StrategyKind::Sdc { .. } | StrategyKind::TaskGraph { .. }
+        )
+    }
+
     /// The next-best strategy when this one is infeasible for the current
     /// box geometry: SDC sheds decomposed axes one at a time (3 → 2 → 1) —
     /// each step weakens the geometric precondition — and finally falls back
@@ -581,10 +594,9 @@ mod tests {
                 sap: None,
                 taskgraph: runner.as_ref(),
             };
-            let expects_slots = matches!(
-                kind,
-                StrategyKind::Serial | StrategyKind::Sdc { .. } | StrategyKind::TaskGraph { .. }
-            );
+            // The public predicate must agree with the dispatch below — the
+            // fused/SIMD engines gate their slot-addressed scratch on it.
+            let expects_slots = kind.provides_slots();
             let hits: Vec<AtomicU32> = (0..f.half.entries()).map(|_| AtomicU32::new(0)).collect();
             let (pos, sim_box, half) = (&f.pos, &f.sim_box, &f.half);
             let mut rho = vec![0.0f64; pos.len()];

@@ -1,0 +1,232 @@
+//! Cluster-of-M neighbor grouping for lane-parallel force kernels.
+//!
+//! The SIMD fused EAM path evaluates spline lookups four pairs at a time.
+//! To feed full lanes it walks the half list **cluster by cluster**: a
+//! cluster is `M` consecutive CSR rows, and because a half list stores each
+//! row's entries contiguously, every cluster owns one contiguous span of
+//! pair slots. Pairs from all rows of a cluster are packed into lane
+//! batches together, so the only partially-filled batch per cluster is its
+//! tail — lane occupancy approaches 1 as cluster spans grow.
+//!
+//! Combined with the spatial relabeling of [`crate::reorder`] (see
+//! [`cluster_permutation`]), consecutive rows are spatially adjacent atoms,
+//! so the four lanes of a batch read neighboring table segments and
+//! positions from nearby cache lines — the cluster-pair formats of
+//! Mangiardi & Meyer (arXiv:1611.00075) applied to a CSR half list.
+//!
+//! The grouping is **purely an iteration schedule**: atoms are never
+//! relabeled by clustering and the CSR itself is untouched, so checkpoints,
+//! dumps and gathered observables cannot observe whether clustering was on.
+
+use crate::csr::Csr;
+use crate::reorder::{spatial_permutation, Permutation};
+use md_geometry::{SimBox, Vec3};
+use std::ops::Range;
+
+/// Default cluster height: four CSR rows per cluster, matching the 4-wide
+/// f64 lanes of the AVX2 spline kernels.
+pub const DEFAULT_CLUSTER_M: usize = 4;
+
+/// A grouping of a half list's rows into clusters of `M` consecutive rows
+/// (the last cluster may be shorter). See the module docs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterList {
+    m: usize,
+    rows: usize,
+    /// `starts[c]` = first pair slot of cluster `c`; `starts[clusters()]` =
+    /// total entry count. Slot spans are contiguous and disjoint, which is
+    /// what lets the precompute pass scatter into per-slot scratch from
+    /// several clusters in parallel.
+    starts: Vec<u32>,
+}
+
+impl ClusterList {
+    /// Groups `csr`'s rows into clusters of `m` consecutive rows.
+    ///
+    /// # Panics
+    /// Panics if `m == 0`.
+    pub fn build(csr: &Csr, m: usize) -> ClusterList {
+        assert!(m > 0, "cluster height m must be positive");
+        let rows = csr.rows();
+        let offsets = csr.offsets();
+        let clusters = rows.div_ceil(m);
+        let mut starts = Vec::with_capacity(clusters + 1);
+        for c in 0..=clusters {
+            starts.push(offsets[(c * m).min(rows)]);
+        }
+        ClusterList { m, rows, starts }
+    }
+
+    /// Cluster height `M`.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Number of rows of the underlying CSR.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of clusters.
+    #[inline]
+    pub fn clusters(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Total number of pair slots covered.
+    #[inline]
+    pub fn entries(&self) -> usize {
+        *self.starts.last().expect("starts is never empty") as usize
+    }
+
+    /// The CSR rows belonging to cluster `c`.
+    #[inline]
+    pub fn cluster_rows(&self, c: usize) -> Range<usize> {
+        let lo = c * self.m;
+        lo..((c + 1) * self.m).min(self.rows)
+    }
+
+    /// The contiguous pair-slot span of cluster `c`.
+    #[inline]
+    pub fn cluster_span(&self, c: usize) -> Range<usize> {
+        self.starts[c] as usize..self.starts[c + 1] as usize
+    }
+
+    /// Fraction of SIMD lanes that carry real pairs when each cluster's
+    /// span is packed into `width`-wide batches (only the tail batch of a
+    /// cluster can run partially filled): `entries / (width · Σ_c
+    /// ⌈span_c/width⌉)`. Returns 1.0 for an empty list. Feeds the perf
+    /// model's lane-efficiency term.
+    pub fn lane_occupancy(&self, width: usize) -> f64 {
+        assert!(width > 0, "lane width must be positive");
+        let batches: usize = (0..self.clusters())
+            .map(|c| self.cluster_span(c).len().div_ceil(width))
+            .sum();
+        if batches == 0 {
+            return 1.0;
+        }
+        self.entries() as f64 / (width * batches) as f64
+    }
+
+    /// Heap bytes used by the grouping (memory-overhead reporting).
+    pub fn heap_bytes(&self) -> usize {
+        self.starts.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+/// The atom relabeling that makes clusters spatially coherent: atoms sorted
+/// by linked-cell id, so the `M` rows of a cluster sit in the same (or an
+/// adjacent) cell and their lanes touch nearby memory. This is exactly the
+/// §II.D.1 spatial sort — clustering adds no relabeling of its own, which
+/// is what keeps checkpoints and dumps identical with clustering on or off.
+pub fn cluster_permutation(sim_box: &SimBox, positions: &[Vec3], cell_size: f64) -> Permutation {
+    spatial_permutation(sim_box, positions, cell_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use md_geometry::LatticeSpec;
+
+    fn sample() -> Csr {
+        // Ten rows with assorted lengths, including empty rows.
+        Csr::from_rows(&[
+            vec![1, 2, 3],
+            vec![2],
+            vec![],
+            vec![4, 5],
+            vec![5, 6, 7, 8],
+            vec![6],
+            vec![7],
+            vec![8, 9],
+            vec![9],
+            vec![],
+        ])
+    }
+
+    #[test]
+    fn spans_partition_all_entries_in_order() {
+        let csr = sample();
+        for m in [1, 2, 3, 4, 7, 10, 13] {
+            let cl = ClusterList::build(&csr, m);
+            assert_eq!(cl.m(), m);
+            assert_eq!(cl.rows(), csr.rows());
+            assert_eq!(cl.clusters(), csr.rows().div_ceil(m));
+            assert_eq!(cl.entries(), csr.entries());
+            let mut next_slot = 0;
+            let mut next_row = 0;
+            for c in 0..cl.clusters() {
+                let rows = cl.cluster_rows(c);
+                let span = cl.cluster_span(c);
+                assert_eq!(rows.start, next_row, "row gap at cluster {c} (m = {m})");
+                assert_eq!(span.start, next_slot, "slot gap at cluster {c} (m = {m})");
+                // The span is exactly the union of its rows' entry ranges.
+                let row_total: usize = rows.clone().map(|i| csr.row_len(i)).sum();
+                assert_eq!(span.len(), row_total);
+                next_row = rows.end;
+                next_slot = span.end;
+            }
+            assert_eq!(next_row, csr.rows());
+            assert_eq!(next_slot, csr.entries());
+        }
+    }
+
+    #[test]
+    fn remainder_cluster_is_shorter() {
+        let cl = ClusterList::build(&sample(), 4);
+        assert_eq!(cl.clusters(), 3);
+        assert_eq!(cl.cluster_rows(2), 8..10);
+    }
+
+    #[test]
+    fn lane_occupancy_bounds_and_exact_cases() {
+        let csr = sample();
+        for m in [1, 2, 4, 8] {
+            let occ = ClusterList::build(&csr, m).lane_occupancy(4);
+            assert!(occ > 0.0 && occ <= 1.0, "occupancy {occ} out of range");
+        }
+        // One cluster spanning everything: 15 entries over ceil(15/4) = 4
+        // batches of width 4.
+        assert_eq!(csr.entries(), 15);
+        let one = ClusterList::build(&csr, 16);
+        assert!((one.lane_occupancy(4) - 15.0 / 16.0).abs() < 1e-15);
+        // Width 1 packs perfectly.
+        assert_eq!(ClusterList::build(&csr, 4).lane_occupancy(1), 1.0);
+        // Empty list: defined as fully occupied.
+        assert_eq!(ClusterList::build(&Csr::empty(5), 4).lane_occupancy(4), 1.0);
+    }
+
+    #[test]
+    fn occupancy_grows_with_cluster_height() {
+        // Taller clusters merge row remainders: occupancy must not drop.
+        let csr = sample();
+        let o1 = ClusterList::build(&csr, 1).lane_occupancy(4);
+        let o4 = ClusterList::build(&csr, 4).lane_occupancy(4);
+        let oall = ClusterList::build(&csr, csr.rows()).lane_occupancy(4);
+        assert!(o1 <= o4 + 1e-15);
+        assert!(o4 <= oall + 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_cluster_height_rejected() {
+        let _ = ClusterList::build(&sample(), 0);
+    }
+
+    #[test]
+    fn cluster_permutation_is_the_spatial_sort() {
+        let (bx, pos) = LatticeSpec::bcc_fe(3).build();
+        assert_eq!(
+            cluster_permutation(&bx, &pos, 2.9),
+            spatial_permutation(&bx, &pos, 2.9)
+        );
+    }
+
+    #[test]
+    fn heap_bytes_counts_starts() {
+        let cl = ClusterList::build(&sample(), 4);
+        assert!(cl.heap_bytes() >= (cl.clusters() + 1) * 4);
+    }
+}

@@ -19,6 +19,15 @@ pub struct MachineParams {
     /// the measured single-thread gain on the tabulated iron case
     /// (EXPERIMENTS.md §fused).
     pub fused_pair_cost: f64,
+    /// Serial cost of one stored half-pair under the SIMD fused path at
+    /// full lane occupancy: the φ/f spline lookups run four pairs per AVX2
+    /// block in the cluster-batched precompute pass, leaving the sweeps as
+    /// pure replays. Real cost is `simd_pair_cost / occupancy` — partially
+    /// filled tail batches pay for their idle lanes — which is the
+    /// [`MachineParams::simd`] view's lane-efficiency term. Default is
+    /// `fused_pair_cost / 1.2`, the measured single-thread gain on the
+    /// tabulated iron case (EXPERIMENTS.md §simd).
+    pub simd_pair_cost: f64,
     /// Shared-bandwidth degradation μ: work cost scales by `1 + μ·ln P`.
     pub mem_contention: f64,
     /// Fixed cost of one fork-join barrier.
@@ -94,6 +103,7 @@ impl Default for MachineParams {
         MachineParams {
             pair_cost: 60e-9,
             fused_pair_cost: 48e-9,
+            simd_pair_cost: 40e-9,
             mem_contention: 0.05,
             barrier_base: 4e-6,
             barrier_log: 1.5e-6,
@@ -129,8 +139,10 @@ impl MachineParams {
         );
         MachineParams {
             pair_cost,
-            // Keep the measured fused/reference ratio of the defaults.
+            // Keep the measured fused/reference and SIMD/fused ratios of
+            // the defaults.
             fused_pair_cost: pair_cost * 0.8,
+            simd_pair_cost: pair_cost * 0.8 / 1.2,
             ..MachineParams::default()
         }
     }
@@ -141,6 +153,24 @@ impl MachineParams {
     /// fused path keeps the same strategy-routed scatter).
     pub fn fused(mut self) -> MachineParams {
         self.pair_cost = self.fused_pair_cost;
+        self
+    }
+
+    /// Constants for predicting the SIMD fused path at the given lane
+    /// occupancy (`ClusterList::lane_occupancy` from `md-neighbor`, in
+    /// `(0, 1]`): the per-pair cost becomes `simd_pair_cost / occupancy` —
+    /// idle lanes in a cluster's tail batch still occupy the vector units —
+    /// and, like [`MachineParams::fused`], every synchronization,
+    /// bandwidth, and rebuild constant is unchanged.
+    ///
+    /// # Panics
+    /// Panics unless `0 < occupancy ≤ 1`.
+    pub fn simd(mut self, occupancy: f64) -> MachineParams {
+        assert!(
+            occupancy > 0.0 && occupancy <= 1.0,
+            "lane occupancy must be in (0, 1], got {occupancy}"
+        );
+        self.pair_cost = self.simd_pair_cost / occupancy;
         self
     }
 
@@ -221,6 +251,29 @@ mod tests {
         // Calibration preserves the fused/reference ratio.
         let c = MachineParams::calibrated(100e-9);
         assert!((c.fused_pair_cost / c.pair_cost - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simd_view_scales_with_lane_occupancy() {
+        let m = MachineParams::default();
+        let full = m.simd(1.0);
+        assert_eq!(full.pair_cost, m.simd_pair_cost);
+        assert!(full.pair_cost < m.fused().pair_cost, "SIMD must beat fused");
+        assert_eq!(full.barrier_base, m.barrier_base, "sync costs unchanged");
+        // Half-empty lanes double the effective per-pair cost; occupancy
+        // can degrade the SIMD path below the scalar fused one.
+        let half = m.simd(0.5);
+        assert!((half.pair_cost - 2.0 * m.simd_pair_cost).abs() < 1e-18);
+        assert!(half.pair_cost > m.fused().pair_cost);
+        // Calibration preserves the SIMD/fused ratio.
+        let c = MachineParams::calibrated(100e-9);
+        assert!((c.fused_pair_cost / c.simd_pair_cost - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "occupancy")]
+    fn out_of_range_occupancy_rejected() {
+        let _ = MachineParams::default().simd(0.0);
     }
 
     #[test]

@@ -57,21 +57,122 @@ impl InterleavedRadial {
         })
     }
 
-    /// Fused `(φ, dφ/dr, f, df/dr)` — one index computation, two Horner
-    /// chains over one 64-byte coefficient row.
+    /// Segment index and local coordinate, with exactly the
+    /// [`UniformSpline`] lookup semantics: out-of-domain arguments clamp to
+    /// the boundary segments, NaN saturates to segment 0 in release, and
+    /// debug builds reject non-finite arguments loudly. The batched path
+    /// calls this per lane so the clamp behavior cannot diverge from scalar.
     #[inline]
-    fn eval(&self, r: f64) -> (f64, f64, f64, f64) {
+    fn locate(&self, r: f64) -> (usize, f64) {
         debug_assert!(r.is_finite(), "non-finite spline argument {r}");
         let t = (r - self.a) * self.inv_h;
         let i = (t.floor() as isize).clamp(0, self.coeff.len() as isize - 1) as usize;
         let xl = self.a + self.h * i as f64;
-        let u = (r - xl) * self.inv_h;
+        (i, (r - xl) * self.inv_h)
+    }
+
+    /// Fused `(φ, dφ/dr, f, df/dr)` — one index computation, two Horner
+    /// chains over one 64-byte coefficient row.
+    #[inline]
+    fn eval(&self, r: f64) -> (f64, f64, f64, f64) {
+        let (i, u) = self.locate(r);
         let [p0, p1, p2, p3, f0, f1, f2, f3] = self.coeff[i];
         let phi = p0 + u * (p1 + u * (p2 + u * p3));
         let dphi = (p1 + u * (2.0 * p2 + u * (3.0 * p3))) * self.inv_h;
         let f = f0 + u * (f1 + u * (f2 + u * f3));
         let df = (f1 + u * (2.0 * f2 + u * (3.0 * f3))) * self.inv_h;
         (phi, dphi, f, df)
+    }
+
+    /// Batched [`InterleavedRadial::eval`] with the `r ≥ rc → zeros` guard
+    /// of [`TabulatedEam::pair_density`] applied per lane **before** any
+    /// table lookup. Bitwise identical to the scalar call per lane: full
+    /// in-cutoff blocks of four lanes run vector Horner chains in scalar
+    /// operation order; blocks containing a beyond-cutoff lane and the
+    /// remainder lanes evaluate scalar.
+    fn eval_batch(&self, rs: &[f64], out: &mut [[f64; 4]], rc: f64) {
+        #[cfg(target_arch = "x86_64")]
+        if crate::simd::simd_active() {
+            // SAFETY: simd_active() implies the AVX2 probe succeeded.
+            unsafe { self.eval_batch_avx2(rs, out, rc) };
+            return;
+        }
+        for (o, &r) in out.iter_mut().zip(rs) {
+            *o = self.eval_guarded(r, rc);
+        }
+    }
+
+    /// One scalar lane of [`InterleavedRadial::eval_batch`].
+    #[inline]
+    fn eval_guarded(&self, r: f64, rc: f64) -> [f64; 4] {
+        if r >= rc {
+            return [0.0; 4];
+        }
+        let (phi, dphi, f, df) = self.eval(r);
+        [phi, dphi, f, df]
+    }
+
+    /// AVX2 leg of [`InterleavedRadial::eval_batch`].
+    ///
+    /// # Safety
+    /// The caller must have verified AVX2 support.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn eval_batch_avx2(&self, rs: &[f64], out: &mut [[f64; 4]], rc: f64) {
+        use core::arch::x86_64::*;
+        let a_v = _mm256_set1_pd(self.a);
+        let h_v = _mm256_set1_pd(self.h);
+        let inv_v = _mm256_set1_pd(self.inv_h);
+        let last = _mm_set1_epi32(self.coeff.len() as i32 - 1);
+        let mut k = 0;
+        while k + 4 <= rs.len() {
+            let block = &rs[k..k + 4];
+            let r_v = _mm256_loadu_pd(block.as_ptr());
+            // A beyond-cutoff lane must short-circuit to zeros *before* the
+            // segment lookup, exactly like the scalar guard; evaluate mixed
+            // blocks lane by lane. Ordered-quiet `≥` matches the scalar
+            // comparison on NaN lanes (false — they stay on the vector
+            // path and poison their own outputs through the Horner chains).
+            let over = _mm256_cmp_pd::<_CMP_GE_OQ>(r_v, _mm256_set1_pd(rc));
+            if _mm256_movemask_pd(over) != 0 {
+                for (l, &r) in block.iter().enumerate() {
+                    out[k + l] = self.eval_guarded(r, rc);
+                }
+            } else {
+                // Vectorized `locate`, lane-exact against the scalar one:
+                // every lane here is `< rc ≤ b`, so `t` cannot overflow the
+                // i32 convert, and a NaN lane's truncation yields the
+                // "integer indefinite" `i32::MIN`, which the clamp sends to
+                // segment 0 — the same segment the scalar saturating
+                // `as isize` cast picks. (Scalar `locate` would also
+                // `debug_assert` on a non-finite lane; keep that.)
+                debug_assert!(
+                    block.iter().all(|r| r.is_finite()),
+                    "non-finite spline argument in {block:?}"
+                );
+                let t = _mm256_mul_pd(_mm256_sub_pd(r_v, a_v), inv_v);
+                let idx = _mm256_cvttpd_epi32(_mm256_floor_pd(t));
+                let idx = _mm_min_epi32(_mm_max_epi32(idx, _mm_setzero_si128()), last);
+                // xl = a + h·i, u = (r − xl)·inv_h — scalar operation order.
+                let xl = _mm256_add_pd(a_v, _mm256_mul_pd(h_v, _mm256_cvtepi32_pd(idx)));
+                let u_v = _mm256_mul_pd(_mm256_sub_pd(r_v, xl), inv_v);
+                let mut us = [0.0; 4];
+                _mm256_storeu_pd(us.as_mut_ptr(), u_v);
+                let mut is = [0i32; 4];
+                _mm_storeu_si128(is.as_mut_ptr() as *mut __m128i, idx);
+                let rows = [
+                    &self.coeff[is[0] as usize],
+                    &self.coeff[is[1] as usize],
+                    &self.coeff[is[2] as usize],
+                    &self.coeff[is[3] as usize],
+                ];
+                crate::simd::avx2::radial_block4(rows, &us, self.inv_h, &mut out[k..k + 4]);
+            }
+            k += 4;
+        }
+        for l in k..rs.len() {
+            out[l] = self.eval_guarded(rs[l], rc);
+        }
     }
 }
 
@@ -219,6 +320,39 @@ impl EamPotential for TabulatedEam {
         }
     }
 
+    fn pair_density_batch(&self, r: &[f64], out: &mut [[f64; 4]]) {
+        assert_eq!(r.len(), out.len(), "pair_density_batch length mismatch");
+        match &self.radial {
+            Some(t) => t.eval_batch(r, out, self.rc),
+            // Mismatched grids: no interleaved table to vectorize over;
+            // fall back to the scalar two-spline lookup per lane.
+            None => {
+                for (o, &ri) in out.iter_mut().zip(r) {
+                    let (phi, dphi, f, df) = self.pair_density(ri);
+                    *o = [phi, dphi, f, df];
+                }
+            }
+        }
+    }
+
+    fn embedding_deriv_batch(&self, rho: &[f64], fp: &mut [f64]) {
+        assert_eq!(rho.len(), fp.len(), "embedding_deriv_batch length mismatch");
+        // Fixed-size chunks keep the value scratch on the stack. A chunk
+        // containing an out-of-domain density takes the scalar lane loop so
+        // the NaN poisoning of `embedding` applies bit-for-bit.
+        const B: usize = 64;
+        let mut values = [0.0; B];
+        for (rc, fc) in rho.chunks(B).zip(fp.chunks_mut(B)) {
+            if rc.iter().all(|&x| x <= self.rho_max) {
+                self.embedding.eval_batch(rc, &mut values[..rc.len()], fc);
+            } else {
+                for (o, &x) in fc.iter_mut().zip(rc) {
+                    *o = self.embedding(x).1;
+                }
+            }
+        }
+    }
+
     fn max_density(&self) -> Option<f64> {
         Some(self.rho_max)
     }
@@ -328,6 +462,77 @@ mod tests {
         // The hooks survive dyn erasure — that is their whole point.
         let erased: &dyn EamPotential = &tab;
         assert!(erased.as_tabulated().is_some());
+    }
+
+    #[test]
+    fn batched_pair_density_is_bitwise_identical_to_scalar() {
+        let (_, tab) = tables();
+        // Sweep includes sub-r_min extrapolation, the whole table, and
+        // beyond-cutoff lanes that must hit the zero guard before lookup.
+        let rs: Vec<f64> = (0..37).map(|k| 0.3 + 0.165 * k as f64).collect();
+        for len in 0..=rs.len() {
+            let mut out = vec![[0.0; 4]; len];
+            tab.pair_density_batch(&rs[..len], &mut out);
+            for (k, &r) in rs[..len].iter().enumerate() {
+                let (phi, dphi, f, df) = tab.pair_density(r);
+                let got = out[k];
+                assert_eq!(
+                    [phi.to_bits(), dphi.to_bits(), f.to_bits(), df.to_bits()],
+                    [got[0].to_bits(), got[1].to_bits(), got[2].to_bits(), got[3].to_bits()],
+                    "lane {k} of {len} at r = {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_embedding_deriv_is_bitwise_identical_including_poison() {
+        let (_, tab) = tables();
+        let edge = tab.rho_max();
+        // In-domain lanes, the exact table edge, beyond-edge lanes and a NaN
+        // lane: the batch must reproduce the scalar result bit for bit,
+        // poisoned NaNs included.
+        let rhos: Vec<f64> = (0..29)
+            .map(|k| match k % 7 {
+                6 => edge * 1.25,
+                5 => edge,
+                4 if k == 25 => f64::NAN,
+                _ => edge * (k as f64 + 0.5) / 30.0,
+            })
+            .collect();
+        for len in 0..=rhos.len() {
+            let mut fp = vec![0.0; len];
+            tab.embedding_deriv_batch(&rhos[..len], &mut fp);
+            for (k, &rho) in rhos[..len].iter().enumerate() {
+                let want = tab.embedding(rho).1;
+                assert_eq!(
+                    want.to_bits(),
+                    fp[k].to_bits(),
+                    "lane {k} of {len} at rho = {rho}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_batch_methods_match_scalar_on_analytic() {
+        // AnalyticEam takes the trait defaults (a scalar lane loop): the
+        // fused engine's batched precompute must agree with per-pair calls
+        // there too.
+        let (src, _) = tables();
+        let rs = [1.1, 2.3, 3.7, 4.9, 5.8, 6.2, 0.9];
+        let mut out = [[0.0; 4]; 7];
+        src.pair_density_batch(&rs, &mut out);
+        for (k, &r) in rs.iter().enumerate() {
+            let (phi, dphi, f, df) = src.pair_density(r);
+            assert_eq!([phi, dphi, f, df], out[k]);
+        }
+        let rhos = [0.5, 11.0, 29.0, 44.0];
+        let mut fp = [0.0; 4];
+        src.embedding_deriv_batch(&rhos, &mut fp);
+        for (k, &rho) in rhos.iter().enumerate() {
+            assert_eq!(src.embedding(rho).1, fp[k]);
+        }
     }
 
     #[test]

@@ -36,6 +36,7 @@
 pub mod cutoff;
 pub mod eam;
 pub mod pair;
+pub mod simd;
 pub mod spline;
 pub mod traits;
 
@@ -45,5 +46,6 @@ pub use eam::file::{load_setfl, read_setfl, save_setfl, write_setfl, SetflError,
 pub use eam::tabulated::TabulatedEam;
 pub use pair::lj::LennardJones;
 pub use pair::morse::Morse;
+pub use simd::simd_active;
 pub use spline::UniformSpline;
 pub use traits::{EamPotential, PairPotential};

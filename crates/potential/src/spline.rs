@@ -165,6 +165,64 @@ impl UniformSpline {
     pub fn value(&self, x: f64) -> f64 {
         self.eval(x).0
     }
+
+    /// Batched [`UniformSpline::eval`]: writes `S(xs[k])` into `values[k]`
+    /// and `S'(xs[k])` into `derivs[k]`.
+    ///
+    /// Guaranteed **bit-exact** against per-lane [`UniformSpline::eval`] for
+    /// every lane count (including the scalar remainder lanes) on every
+    /// backend: when [`crate::simd::simd_active`] reports AVX2, full blocks
+    /// of four lanes run through vector Horner chains that replicate the
+    /// scalar operation order; otherwise (or for the trailing `len % 4`
+    /// lanes) the scalar evaluator runs per lane. The segment lookup is
+    /// always scalar, so out-of-domain clamping and the debug-build
+    /// non-finite-argument check behave identically to [`UniformSpline::eval`].
+    ///
+    /// # Panics
+    /// Panics if the three slices differ in length.
+    pub fn eval_batch(&self, xs: &[f64], values: &mut [f64], derivs: &mut [f64]) {
+        assert_eq!(xs.len(), values.len(), "eval_batch length mismatch");
+        assert_eq!(xs.len(), derivs.len(), "eval_batch length mismatch");
+        #[cfg(target_arch = "x86_64")]
+        if crate::simd::simd_active() {
+            // SAFETY: simd_active() implies the AVX2 probe succeeded.
+            unsafe { self.eval_batch_avx2(xs, values, derivs) };
+            return;
+        }
+        for (k, &x) in xs.iter().enumerate() {
+            let (v, d) = self.eval(x);
+            values[k] = v;
+            derivs[k] = d;
+        }
+    }
+
+    /// AVX2 leg of [`UniformSpline::eval_batch`].
+    ///
+    /// # Safety
+    /// The caller must have verified AVX2 support.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn eval_batch_avx2(&self, xs: &[f64], values: &mut [f64], derivs: &mut [f64]) {
+        let mut k = 0;
+        while k + 4 <= xs.len() {
+            let mut us = [0.0; 4];
+            let mut rows = [&self.coeff[0]; 4];
+            for (l, &x) in xs[k..k + 4].iter().enumerate() {
+                let (i, u) = self.locate(x);
+                us[l] = u;
+                rows[l] = &self.coeff[i];
+            }
+            let (v, d) = crate::simd::avx2::spline_block4(rows, &us, self.inv_h);
+            values[k..k + 4].copy_from_slice(&v);
+            derivs[k..k + 4].copy_from_slice(&d);
+            k += 4;
+        }
+        for l in k..xs.len() {
+            let (v, d) = self.eval(xs[l]);
+            values[l] = v;
+            derivs[l] = d;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -274,6 +332,34 @@ mod tests {
             assert_eq!(value, v, "value bits differ at x = {x}");
             assert_eq!(deriv, d, "deriv bits differ at x = {x}");
         }
+    }
+
+    #[test]
+    fn eval_batch_is_bitwise_identical_for_every_lane_count() {
+        let s = UniformSpline::from_fn(0.5, 3.5, 57, |x| (x * 1.3).sin() - 0.4 * x * x);
+        // Every batch length from empty through several full blocks plus
+        // remainders, with arguments spanning in-domain, below-domain and
+        // above-domain (clamped extrapolation) points.
+        let xs: Vec<f64> = (0..23).map(|k| 0.1 + 0.17 * k as f64).collect();
+        for len in 0..=xs.len() {
+            let mut values = vec![0.0; len];
+            let mut derivs = vec![0.0; len];
+            s.eval_batch(&xs[..len], &mut values, &mut derivs);
+            for (k, &x) in xs[..len].iter().enumerate() {
+                let (v, d) = s.eval(x);
+                assert_eq!(v.to_bits(), values[k].to_bits(), "value lane {k} of {len}");
+                assert_eq!(d.to_bits(), derivs[k].to_bits(), "deriv lane {k} of {len}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn eval_batch_rejects_mismatched_lengths() {
+        let s = UniformSpline::from_fn(0.0, 1.0, 11, |x| x);
+        let mut values = [0.0; 2];
+        let mut derivs = [0.0; 3];
+        s.eval_batch(&[0.1, 0.2], &mut values, &mut derivs);
     }
 
     #[cfg(debug_assertions)]

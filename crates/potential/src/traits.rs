@@ -58,6 +58,40 @@ pub trait EamPotential: Send + Sync {
         (phi, dphi, f, df)
     }
 
+    /// Batched [`EamPotential::pair_density`]: writes
+    /// `[φ, dφ/dr, f, df/dr]` for each separation `r[k]` into `out[k]`.
+    ///
+    /// The default loops the scalar evaluation per lane; tabulated backends
+    /// override it with SIMD Horner chains over their interleaved
+    /// coefficient rows. Overrides must stay **bitwise identical** to the
+    /// per-lane scalar calls for every lane count — the force engine's
+    /// determinism contract (SIMD path ≡ scalar fused path) rests on it.
+    ///
+    /// # Panics
+    /// Panics if `r` and `out` differ in length.
+    fn pair_density_batch(&self, r: &[f64], out: &mut [[f64; 4]]) {
+        assert_eq!(r.len(), out.len(), "pair_density_batch length mismatch");
+        for (o, &ri) in out.iter_mut().zip(r) {
+            let (phi, dphi, f, df) = self.pair_density(ri);
+            *o = [phi, dphi, f, df];
+        }
+    }
+
+    /// Batched embedding derivative: writes `dF/dρ` at each host density
+    /// `rho[k]` into `fp[k]`. Same contract as
+    /// [`EamPotential::pair_density_batch`]: overrides must be bitwise
+    /// identical to per-lane [`EamPotential::embedding`] — including the
+    /// out-of-domain NaN poisoning of tabulated backends.
+    ///
+    /// # Panics
+    /// Panics if `rho` and `fp` differ in length.
+    fn embedding_deriv_batch(&self, rho: &[f64], fp: &mut [f64]) {
+        assert_eq!(rho.len(), fp.len(), "embedding_deriv_batch length mismatch");
+        for (o, &x) in fp.iter_mut().zip(rho) {
+            *o = self.embedding(x).1;
+        }
+    }
+
     /// Largest host density the embedding function is defined for, or
     /// `None` when the domain is unbounded (closed-form potentials).
     /// Tabulated backends report their table edge so drivers can surface
@@ -106,6 +140,12 @@ impl<P: EamPotential + ?Sized> EamPotential for &P {
     }
     fn pair_density(&self, r: f64) -> (f64, f64, f64, f64) {
         (**self).pair_density(r)
+    }
+    fn pair_density_batch(&self, r: &[f64], out: &mut [[f64; 4]]) {
+        (**self).pair_density_batch(r, out)
+    }
+    fn embedding_deriv_batch(&self, rho: &[f64], fp: &mut [f64]) {
+        (**self).embedding_deriv_batch(rho, fp)
     }
     fn max_density(&self) -> Option<f64> {
         (**self).max_density()

@@ -74,6 +74,42 @@ proptest! {
     }
 
     #[test]
+    fn eval_batch_bit_exact_vs_scalar_for_every_lane_count(
+        xs in proptest::collection::vec(-0.5..4.5f64, 0..23),
+    ) {
+        // The SIMD determinism contract: for any batch length — empty,
+        // remainder lanes, full 4-lane blocks — and any finite argument
+        // (including out-of-domain clamped points), the batched evaluator
+        // returns exactly the scalar bits.
+        let s = UniformSpline::from_fn(0.0, 4.0, 97, |x| (x * 0.9).cos() + 0.3 * x);
+        let mut values = vec![0.0; xs.len()];
+        let mut derivs = vec![0.0; xs.len()];
+        s.eval_batch(&xs, &mut values, &mut derivs);
+        for (k, &x) in xs.iter().enumerate() {
+            let (v, d) = s.eval(x);
+            prop_assert_eq!(v.to_bits(), values[k].to_bits(), "value lane {} of {}", k, xs.len());
+            prop_assert_eq!(d.to_bits(), derivs[k].to_bits(), "deriv lane {} of {}", k, xs.len());
+        }
+    }
+
+    #[test]
+    fn pair_density_batch_bit_exact_vs_scalar(
+        rs in proptest::collection::vec(0.6..6.5f64, 0..19),
+    ) {
+        let src = AnalyticEam::fe();
+        let tab = TabulatedEam::standard(&src, src.rho_e());
+        let mut out = vec![[0.0; 4]; rs.len()];
+        tab.pair_density_batch(&rs, &mut out);
+        for (k, &r) in rs.iter().enumerate() {
+            let (phi, dphi, f, df) = tab.pair_density(r);
+            prop_assert_eq!(phi.to_bits(), out[k][0].to_bits());
+            prop_assert_eq!(dphi.to_bits(), out[k][1].to_bits());
+            prop_assert_eq!(f.to_bits(), out[k][2].to_bits());
+            prop_assert_eq!(df.to_bits(), out[k][3].to_bits());
+        }
+    }
+
+    #[test]
     fn tabulated_tracks_analytic_at_random_points(r in 1.0..5.5f64, rho_frac in 0.0..0.98f64) {
         let src = AnalyticEam::fe();
         let tab = TabulatedEam::standard(&src, src.rho_e());

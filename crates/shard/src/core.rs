@@ -67,6 +67,7 @@ struct CoreState {
     reach: f64,
     potential: PotentialChoice,
     fused: bool,
+    simd: bool,
     strategy: StrategyKind,
     threads: usize,
     step: u64,
@@ -171,6 +172,7 @@ impl CoreState {
             reach,
             potential,
             fused: spec.fused,
+            simd: spec.simd,
             strategy,
             threads: spec.threads,
             step: spec.step,
@@ -449,6 +451,7 @@ impl CoreState {
         self.acc_timers
             .add(Phase::Neighbor, rebuild_start.elapsed());
         engine.set_fused(self.fused);
+        engine.set_simd(self.simd);
         self.system = Some(system);
         self.engine = Some(engine);
         self.fresh_ghosts = false;

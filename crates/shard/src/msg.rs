@@ -100,6 +100,8 @@ pub struct InitSpec {
     pub tabulated: bool,
     /// Use the fused EAM path.
     pub fused: bool,
+    /// Use the lane-batched (SIMD) spline kernels of the fused path.
+    pub simd: bool,
     /// Scatter strategy name (parsed by `StrategyKind::parse`).
     pub strategy: String,
     /// Worker threads per shard.
@@ -310,6 +312,7 @@ impl Msg {
                 ("potential", JsonValue::str(&*s.potential)),
                 ("tabulated", JsonValue::Bool(s.tabulated)),
                 ("fused", JsonValue::Bool(s.fused)),
+                ("simd", JsonValue::Bool(s.simd)),
                 ("strategy", JsonValue::str(&*s.strategy)),
                 ("threads", JsonValue::num(s.threads as f64)),
                 ("skin", hx(s.skin)),
@@ -434,6 +437,7 @@ impl Msg {
                     potential: get_str(field(v, "potential")?)?,
                     tabulated: get_bool(field(v, "tabulated")?)?,
                     fused: get_bool(field(v, "fused")?)?,
+                    simd: get_bool(field(v, "simd")?)?,
                     strategy: get_str(field(v, "strategy")?)?,
                     threads: get_usize(field(v, "threads")?)?,
                     skin: get_f64(field(v, "skin")?)?,
@@ -729,6 +733,7 @@ impl Msg {
                 put_str(&mut out, &s.potential);
                 out.push(u8::from(s.tabulated));
                 out.push(u8::from(s.fused));
+                out.push(u8::from(s.simd));
                 put_str(&mut out, &s.strategy);
                 put_u64(&mut out, s.threads as u64);
                 put_f64(&mut out, s.skin);
@@ -843,6 +848,7 @@ impl Msg {
                 let potential = c.str()?;
                 let tabulated = c.bool()?;
                 let fused = c.bool()?;
+                let simd = c.bool()?;
                 let strategy = c.str()?;
                 let threads = c.usize()?;
                 let skin = c.f64()?;
@@ -858,6 +864,7 @@ impl Msg {
                     potential,
                     tabulated,
                     fused,
+                    simd,
                     strategy,
                     threads,
                     skin,
@@ -956,6 +963,7 @@ mod tests {
                 potential: "fe".to_string(),
                 tabulated: false,
                 fused: true,
+                simd: false,
                 strategy: "sdc2d".to_string(),
                 threads: 2,
                 skin: 0.3,

@@ -101,6 +101,8 @@ pub struct WorldSpec {
     pub tabulated: bool,
     /// Use the fused EAM path.
     pub fused: bool,
+    /// Use the lane-batched (SIMD) spline kernels of the fused path.
+    pub simd: bool,
     /// Scatter strategy name.
     pub strategy: String,
     /// Worker threads per shard.
@@ -246,6 +248,7 @@ impl ShardWorld {
                 potential: spec.potential.clone(),
                 tabulated: spec.tabulated,
                 fused: spec.fused,
+                simd: spec.simd,
                 strategy: spec.strategy.clone(),
                 threads: spec.threads,
                 skin: spec.skin,

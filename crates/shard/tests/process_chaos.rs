@@ -57,6 +57,7 @@ fn spec() -> WorldSpec {
         potential: "fe".to_string(),
         tabulated: false,
         fused: true,
+        simd: true,
         strategy: "sdc2d".to_string(),
         threads: 1,
         skin: SKIN,

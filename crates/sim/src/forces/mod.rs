@@ -20,7 +20,7 @@ use crate::balance::{BalanceConfig, BalanceState, RebalanceEvent};
 use crate::metrics::SimMetrics;
 use crate::system::System;
 use crate::timing::{Phase, PhaseTimers};
-use md_neighbor::{NeighborList, VerletConfig};
+use md_neighbor::{ClusterList, NeighborList, VerletConfig};
 use md_perfmodel::ObservedImbalance;
 use md_potential::{EamPotential, PairPotential};
 use sdc_core::schedule::{self, PlanChoice};
@@ -114,7 +114,9 @@ pub struct ForceEngine {
     downgrades: Vec<DowngradeEvent>,
     metrics: Option<Arc<SimMetrics>>,
     fused: bool,
+    simd: bool,
     scratch: Vec<eam::PairRecord>,
+    clusters: Option<ClusterList>,
     sap: SapBuffers,
     balance: Option<BalanceState>,
     taskgraph: Option<TaskGraphRunner>,
@@ -239,7 +241,9 @@ impl ForceEngine {
             downgrades,
             metrics: None,
             fused: true,
+            simd: true,
             scratch: Vec::new(),
+            clusters: None,
             sap: SapBuffers::new(),
             balance: None,
             taskgraph,
@@ -710,6 +714,9 @@ impl ForceEngine {
         self.full = full;
         self.plan = plan;
         self.localwrite = localwrite;
+        // The cluster grouping indexes the outgoing list's slot spans; the
+        // SIMD density pass rebuilds it lazily from the fresh list.
+        self.clusters = None;
         self.rebuilds += 1;
         // Re-schedule (and possibly re-plan) the fresh decomposition, then
         // bring the task graph in line with whatever plan survived.
@@ -831,6 +838,37 @@ impl ForceEngine {
     /// the conformance tests.
     pub fn set_fused(&mut self, fused: bool) {
         self.fused = fused;
+    }
+
+    /// Whether the fused EAM path batches spline evaluations through the
+    /// lane-parallel kernels (the default). Only takes effect on strategies
+    /// whose indexed sweeps provide real slots
+    /// ([`StrategyKind::provides_slots`]); elsewhere the scalar fused
+    /// kernels run regardless of this flag.
+    #[inline]
+    pub fn simd(&self) -> bool {
+        self.simd
+    }
+
+    /// Selects the lane-batched (default) or scalar fused EAM kernels. Both
+    /// settings produce bitwise-identical physics — the batched spline
+    /// evaluators replicate the scalar operation order exactly — so the
+    /// scalar setting exists for A/B benchmarking, as the conformance
+    /// oracle, and as an escape hatch (`mdrun --no-simd`).
+    pub fn set_simd(&mut self, simd: bool) {
+        self.simd = simd;
+    }
+
+    /// Fraction of SIMD lanes carrying real pairs under the current cluster
+    /// grouping (the perf model's lane-efficiency term), or `None` before
+    /// the first SIMD density pass on the current neighbor list.
+    pub fn lane_occupancy(&self) -> Option<f64> {
+        // Width 4: the AVX2 kernels process four f64 lanes per block.
+        self.clusters.as_ref().map(|c| c.lane_occupancy(4))
+    }
+
+    pub(crate) fn clusters_mut(&mut self) -> &mut Option<ClusterList> {
+        &mut self.clusters
     }
 
     /// Largest embedding density the potential defines, when its domain is

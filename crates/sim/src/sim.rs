@@ -310,6 +310,7 @@ pub struct SimulationBuilder {
     parallel_neighbor: Option<bool>,
     metrics: bool,
     fused: bool,
+    simd: bool,
     balance: Option<BalanceConfig>,
     start_step: usize,
 }
@@ -332,6 +333,7 @@ impl SimulationBuilder {
             parallel_neighbor: None,
             metrics: false,
             fused: true,
+            simd: true,
             balance: None,
             start_step: 0,
         }
@@ -451,6 +453,16 @@ impl SimulationBuilder {
         self
     }
 
+    /// Selects the lane-batched (SIMD) spline kernels of the fused path
+    /// (default **on**; `mdrun --no-simd` turns it off). Takes effect only
+    /// on strategies whose sweeps provide pair slots, and is bitwise
+    /// identical to the scalar fused kernels either way — a performance
+    /// knob, kept for A/B benchmarking and as the conformance oracle.
+    pub fn simd(mut self, on: bool) -> Self {
+        self.simd = on;
+        self
+    }
+
     /// Enables the cost-guided SDC load balancer (default **off**): LPT
     /// task ordering within colors, a decomposition search minimizing the
     /// predicted makespan, and mid-run re-planning at neighbor-list rebuilds
@@ -509,6 +521,7 @@ impl SimulationBuilder {
             engine.enable_metrics();
         }
         engine.set_fused(self.fused);
+        engine.set_simd(self.simd);
         if let Some(config) = self.balance {
             engine.enable_balance(&system, config);
         }

@@ -49,28 +49,36 @@
 #      counters must match exactly in both; slabbing may only change
 #      where the work runs, and the codec may only change how the bytes
 #      are spelled)
+#  12. SIMD gate                  (the lane-batched fused EAM kernels: the
+#      conformance battery under RAYON_NUM_THREADS=2 and =4, the same
+#      battery in release so the silent `UniformSpline::locate` clamp is
+#      live, a MD_SIMD_SCALAR=1 leg so the runtime scalar fallback stays
+#      conformant on any host, then an A/B metered mdrun of SIMD-vs-scalar
+#      fused with every physics counter matching exactly — the batched
+#      kernels may only change how fast the splines evaluate, never what
+#      the physics does)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> [1/11] release build"
+echo "==> [1/12] release build"
 cargo build --release --workspace
 
-echo "==> [2/11] test suite"
+echo "==> [2/12] test suite"
 cargo test --workspace -q
 
-echo "==> [3/11] clippy (deny warnings)"
+echo "==> [3/12] clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> [4/11] debug-assertions test job"
+echo "==> [4/12] debug-assertions test job"
 RUSTFLAGS="-C debug-assertions=on" cargo test --workspace -q --profile dev
 
-echo "==> [5/11] thread-matrix test job"
+echo "==> [5/12] thread-matrix test job"
 for t in 2 4; do
   echo "    RAYON_NUM_THREADS=$t"
   RAYON_NUM_THREADS="$t" cargo test -q -p md-neighbor -p sdc-core -p sdc-md
 done
 
-echo "==> [6/11] metrics regression gate"
+echo "==> [6/12] metrics regression gate"
 report="$(mktemp /tmp/tier1_metrics.XXXXXX.json)"
 cargo run -q -p sdc-bench --release --bin mdrun -- \
   --cells 9 --strategy sdc2d --threads 2 --steps 20 --report 20 \
@@ -79,7 +87,7 @@ cargo run -q -p sdc-bench --release --bin metrics_diff -- \
   scripts/metrics_baseline.json "$report" --tol 1.10 --time-tol 50
 rm -f "$report"
 
-echo "==> [7/11] fused-path conformance gate"
+echo "==> [7/12] fused-path conformance gate"
 ref="$(mktemp /tmp/tier1_ref.XXXXXX.json)"
 fus="$(mktemp /tmp/tier1_fused.XXXXXX.json)"
 cargo run -q -p sdc-bench --release --bin mdrun -- \
@@ -96,7 +104,7 @@ for t in 2 4; do
   RAYON_NUM_THREADS="$t" cargo test -q --test force_consistency
 done
 
-echo "==> [8/11] load-balance gate"
+echo "==> [8/12] load-balance gate"
 def="$(mktemp /tmp/tier1_default.XXXXXX.json)"
 bal="$(mktemp /tmp/tier1_balanced.XXXXXX.json)"
 cargo run -q -p sdc-bench --release --bin mdrun -- \
@@ -113,7 +121,7 @@ for t in 2 4; do
   RAYON_NUM_THREADS="$t" cargo test -q --test load_balance
 done
 
-echo "==> [9/11] mdserve chaos gate (client storm + kill-and-restart resume)"
+echo "==> [9/12] mdserve chaos gate (client storm + kill-and-restart resume)"
 sd="$(mktemp -d /tmp/tier1_mdserve.XXXXXX)"
 # The server runs in its own process group (setsid): `kill -9` must reach
 # the mdserve process itself, not just the timeout/cargo wrappers — SIGKILL
@@ -145,7 +153,7 @@ wait "$serve2_pid"
 grep -q "re-queued" "$sd/serve2.log" || { echo "restart did not replay the journal"; cat "$sd/serve2.log"; exit 1; }
 rm -rf "$sd"
 
-echo "==> [10/11] task-graph gate (conformance + determinism + A/B vs barriered SDC)"
+echo "==> [10/12] task-graph gate (conformance + determinism + A/B vs barriered SDC)"
 for t in 2 4; do
   echo "    taskgraph battery, RAYON_NUM_THREADS=$t"
   RAYON_NUM_THREADS="$t" cargo test -q --test taskgraph_conformance
@@ -162,7 +170,7 @@ cargo run -q -p sdc-bench --release --bin metrics_diff -- \
   "$sdc" "$tg" --ab --tol 1.0 --time-tol 50
 rm -f "$sdc" "$tg"
 
-echo "==> [11/11] shard gate (conformance battery + codec fuzz + chaos + A/B legs)"
+echo "==> [11/12] shard gate (conformance battery + codec fuzz + chaos + A/B legs)"
 # The conformance battery, the codec-generic fuzz, and the SIGKILL/resume
 # chaos test each cover both the JSON and the binary codec internally.
 for t in 2 4; do
@@ -197,5 +205,26 @@ cargo run -q -p sdc-bench --release --bin mdrun -- \
 cargo run -q -p sdc-bench --release --bin metrics_diff -- \
   "$shrd" "$shbn" --tol 1.0 --time-tol 500
 rm -f "$flat" "$shrd" "$shbn"
+
+echo "==> [12/12] SIMD gate (conformance battery + scalar-fallback leg + A/B vs scalar fused)"
+for t in 2 4; do
+  echo "    SIMD battery, RAYON_NUM_THREADS=$t"
+  RAYON_NUM_THREADS="$t" cargo test -q --test simd_conformance
+done
+echo "    release-profile battery (silent spline clamp live)"
+cargo test -q --release --test simd_conformance
+echo "    runtime scalar-fallback leg (MD_SIMD_SCALAR=1)"
+MD_SIMD_SCALAR=1 cargo test -q --test simd_conformance
+scl="$(mktemp /tmp/tier1_scalar.XXXXXX.json)"
+smd="$(mktemp /tmp/tier1_simd.XXXXXX.json)"
+cargo run -q -p sdc-bench --release --bin mdrun -- \
+  --cells 9 --strategy sdc2d --threads 2 --steps 20 --report 20 \
+  --no-simd --metrics-out "$scl" > /dev/null
+cargo run -q -p sdc-bench --release --bin mdrun -- \
+  --cells 9 --strategy sdc2d --threads 2 --steps 20 --report 20 \
+  --metrics-out "$smd" > /dev/null
+cargo run -q -p sdc-bench --release --bin metrics_diff -- \
+  "$scl" "$smd" --ab --tol 1.0 --time-tol 50
+rm -f "$scl" "$smd"
 
 echo "tier-1: all green"

@@ -92,6 +92,7 @@ fn spec(threads: usize) -> WorldSpec {
         potential: "fe".to_string(),
         tabulated: false,
         fused: true,
+        simd: true,
         strategy: "sdc2d".to_string(),
         threads,
         skin: SKIN,

@@ -1,0 +1,268 @@
+//! Conformance battery for the SIMD fused EAM path.
+//!
+//! The determinism contract under test: the lane-batched spline kernels are
+//! **bitwise identical** to the scalar fused path — same rho, fp, forces,
+//! trajectories — for every slot-providing strategy, at every thread count,
+//! on both potential backends, across checkpoint round-trips, and in both
+//! build profiles (tier-1 job 12 runs this file in release and again with
+//! `MD_SIMD_SCALAR=1` so the runtime scalar fallback is exercised on any
+//! host). Physics-level nets: central-difference force consistency on the
+//! SIMD path, and the out-of-table density guard surfacing through the
+//! watchdog as the structured root cause.
+
+use sdc_md::prelude::*;
+use sdc_md::sim::checkpoint::{load_checkpoint, save_checkpoint};
+use std::path::PathBuf;
+
+/// Perturb the perfect crystal deterministically so forces are non-zero.
+fn rattle(system: &mut System, amplitude: f64) {
+    for (k, p) in system.positions_mut().iter_mut().enumerate() {
+        let k = k as f64;
+        p.x += amplitude * (0.917 * k).sin();
+        p.y += amplitude * (1.311 * k).cos();
+        p.z += amplitude * (2.113 * k).sin();
+    }
+    system.wrap();
+}
+
+/// A seeded 9³-cell iron simulation with every knob pinned except the ones
+/// under test.
+fn sim_with(tabulated: bool, strategy: StrategyKind, threads: usize, simd: bool) -> Simulation {
+    let builder = Simulation::builder(LatticeSpec::bcc_fe(9));
+    let builder = if tabulated {
+        let src = AnalyticEam::fe();
+        builder.potential(TabulatedEam::standard(&src, src.rho_e()))
+    } else {
+        builder.potential(AnalyticEam::fe())
+    };
+    builder
+        .strategy(strategy)
+        .threads(threads)
+        .temperature(320.0)
+        .seed(7)
+        .simd(simd)
+        .build()
+        .expect("buildable configuration")
+}
+
+fn assert_states_bitwise(a: &Simulation, b: &Simulation, what: &str) {
+    assert_eq!(
+        a.system().positions(),
+        b.system().positions(),
+        "{what}: positions must be bitwise equal"
+    );
+    assert_eq!(
+        a.system().velocities(),
+        b.system().velocities(),
+        "{what}: velocities must be bitwise equal"
+    );
+    assert_eq!(
+        a.system().forces(),
+        b.system().forces(),
+        "{what}: forces must be bitwise equal"
+    );
+    assert_eq!(
+        a.system().rho(),
+        b.system().rho(),
+        "{what}: densities must be bitwise equal"
+    );
+}
+
+/// The tentpole contract: multi-step trajectories under the SIMD path are
+/// bitwise identical to the scalar fused path for every slot-providing
+/// strategy and the whole thread matrix, on both potential backends.
+#[test]
+fn simd_trajectories_are_bitwise_identical_to_scalar_fused() {
+    for tabulated in [false, true] {
+        for strategy in [
+            StrategyKind::Serial,
+            StrategyKind::Sdc { dims: 3 },
+            StrategyKind::TaskGraph { dims: 3 },
+        ] {
+            for threads in [1, 2, 4, 8] {
+                let mut on = sim_with(tabulated, strategy, threads, true);
+                let mut off = sim_with(tabulated, strategy, threads, false);
+                assert!(on.engine().simd(), "SIMD must be the default");
+                assert!(!off.engine().simd());
+                for round in 0..3 {
+                    on.run(4);
+                    off.run(4);
+                    assert_states_bitwise(
+                        &on,
+                        &off,
+                        &format!("tab={tabulated} {strategy} t={threads} round {round}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Same configuration run twice must reproduce the trajectory bit for bit —
+/// the run-to-run determinism half of the contract, on the SIMD default.
+#[test]
+fn simd_runs_are_deterministic_run_to_run() {
+    for threads in [2, 4] {
+        let mut a = sim_with(true, StrategyKind::Sdc { dims: 3 }, threads, true);
+        let mut b = sim_with(true, StrategyKind::Sdc { dims: 3 }, threads, true);
+        a.run(8);
+        b.run(8);
+        assert_states_bitwise(&a, &b, &format!("run-to-run t={threads}"));
+    }
+}
+
+/// Central-difference force consistency on the SIMD path: analytic forces
+/// must equal `-dE/dx` on both potential backends, under a slot-providing
+/// parallel strategy, with the batched kernels doing the evaluation.
+#[test]
+fn simd_forces_match_numerical_gradient() {
+    for (label, pot) in [
+        (
+            "analytic",
+            PotentialChoice::Eam(std::sync::Arc::new(AnalyticEam::fe())),
+        ),
+        ("tabulated", {
+            let src = AnalyticEam::fe();
+            PotentialChoice::Eam(std::sync::Arc::new(TabulatedEam::standard(&src, src.rho_e())))
+        }),
+    ] {
+        let mut system = System::from_lattice(
+            LatticeSpec::bcc_fe(9),
+            sdc_md::sim::units::FE_MASS,
+        );
+        rattle(&mut system, 0.05);
+        let mut eng =
+            ForceEngine::new(&system, pot, StrategyKind::Sdc { dims: 3 }, 2, 0.3).unwrap();
+        assert!(eng.simd(), "SIMD must be the default");
+        eng.compute(&mut system);
+        assert!(
+            eng.lane_occupancy().is_some_and(|o| o > 0.5 && o <= 1.0),
+            "{label}: the SIMD pass must have built a cluster grouping"
+        );
+        let forces: Vec<Vec3> = system.forces().to_vec();
+        let h = 1e-5;
+        let stride = (system.len() / 5).max(1);
+        for atom in (0..system.len()).step_by(stride) {
+            for axis in 0..3 {
+                let orig = system.positions()[atom];
+                system.positions_mut()[atom][axis] = orig[axis] + h;
+                eng.compute(&mut system);
+                let ep = eng.potential_energy(&system);
+                system.positions_mut()[atom][axis] = orig[axis] - h;
+                eng.compute(&mut system);
+                let em = eng.potential_energy(&system);
+                system.positions_mut()[atom] = orig;
+                let numeric = -(ep - em) / (2.0 * h);
+                assert!(
+                    (forces[atom][axis] - numeric).abs()
+                        < 1e-4 * forces[atom][axis].abs().max(1.0),
+                    "{label}: atom {atom} axis {axis}: analytic {} vs numeric {numeric}",
+                    forces[atom][axis]
+                );
+            }
+        }
+    }
+}
+
+/// Satellite 3: cluster batching must not leak into observable state. The
+/// checkpoint a SIMD run writes mid-run is byte-identical to the scalar
+/// run's, and resuming that checkpoint with SIMD off continues bitwise
+/// identically to resuming with SIMD on.
+#[test]
+fn checkpoint_roundtrip_is_bitwise_across_simd_settings() {
+    let dir = std::env::temp_dir();
+    let ckpt_on: PathBuf = dir.join(format!("simd-conf-on-{}.ckpt", std::process::id()));
+    let ckpt_off: PathBuf = dir.join(format!("simd-conf-off-{}.ckpt", std::process::id()));
+
+    let mut on = sim_with(true, StrategyKind::Sdc { dims: 2 }, 2, true);
+    let mut off = sim_with(true, StrategyKind::Sdc { dims: 2 }, 2, false);
+    on.run(6);
+    off.run(6);
+    save_checkpoint(&ckpt_on, on.system(), on.step_count()).expect("save simd-on checkpoint");
+    save_checkpoint(&ckpt_off, off.system(), off.step_count()).expect("save simd-off checkpoint");
+    let bytes_on = std::fs::read(&ckpt_on).expect("read simd-on checkpoint");
+    let bytes_off = std::fs::read(&ckpt_off).expect("read simd-off checkpoint");
+    assert_eq!(
+        bytes_on, bytes_off,
+        "a mid-run checkpoint must be byte-identical with clustering on or off"
+    );
+
+    let resume = |simd: bool| -> Simulation {
+        let (system, step) = load_checkpoint(&ckpt_on).expect("load checkpoint");
+        let src = AnalyticEam::fe();
+        let mut sim = Simulation::from_system(system)
+            .potential(TabulatedEam::standard(&src, src.rho_e()))
+            .strategy(StrategyKind::Sdc { dims: 2 })
+            .threads(2)
+            .simd(simd)
+            .start_step(step)
+            .build()
+            .expect("resumable");
+        sim.run(4);
+        sim
+    };
+    let resumed_off = resume(false);
+    let resumed_on = resume(true);
+    assert_states_bitwise(
+        &resumed_on,
+        &resumed_off,
+        "resume from a clustering-on checkpoint under clustering off",
+    );
+    assert_eq!(resumed_off.step_count(), 10);
+
+    let _ = std::fs::remove_file(&ckpt_on);
+    let _ = std::fs::remove_file(&ckpt_off);
+}
+
+/// Satellite 2, exercised through the batched path and meaningful in
+/// release builds (where `UniformSpline::locate` clamps silently instead of
+/// debug-asserting): driving an atom into another's core pushes the host
+/// density past the tabulated embedding domain, and the watchdog must
+/// surface the structured `DensityOutOfRange` root cause — not a NaN
+/// symptom — with the SIMD kernels doing the evaluation.
+#[test]
+fn out_of_table_density_surfaces_through_the_simd_path() {
+    let src = AnalyticEam::fe();
+    let tab = TabulatedEam::standard(&src, src.rho_e());
+    let mut sim = Simulation::builder(LatticeSpec::bcc_fe(9))
+        .potential(tab)
+        .strategy(StrategyKind::Sdc { dims: 2 })
+        .threads(2)
+        .temperature(300.0)
+        .seed(11)
+        .build()
+        .expect("buildable");
+    assert!(sim.engine().simd(), "the default path is under test");
+    let cfg = RecoveryConfig {
+        checkpoint_every: 10,
+        ..RecoveryConfig::default()
+    };
+    let mut fired = false;
+    let report = sim
+        .run_with_recovery_observed(30, &cfg, |system, step| {
+            if step == 15 && !fired {
+                fired = true;
+                let target = system.positions()[0] + Vec3::new(0.6, 0.0, 0.0);
+                system.positions_mut()[1] = target;
+            }
+        })
+        .expect("run completes despite the fault");
+    assert!(fired);
+    assert_eq!(report.steps_completed, 30);
+    assert!(
+        report
+            .faults
+            .iter()
+            .any(|f| matches!(f.fault, SimFault::DensityOutOfRange { .. })),
+        "expected DensityOutOfRange, got {:?}",
+        report.faults
+    );
+    assert!(
+        !report
+            .faults
+            .iter()
+            .any(|f| matches!(f.fault, SimFault::NonFiniteForce { .. })),
+        "the root cause, not the NaN-force symptom, must be reported: {:?}",
+        report.faults
+    );
+}
